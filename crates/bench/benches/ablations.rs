@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5
+//! (runtime side; the quality side is printed by the `ablation-quality`
+//! binary of this crate):
+//!
+//! * score-cache on/off,
+//! * parallel vs sequential candidate scoring,
+//! * HiCS contrast with Welch vs KS,
+//! * Beam classic (global list) vs `Beam_FX`.
+
+use anomex_bench::{bench_dataset, bench_pois};
+use anomex_core::explainer::PointExplainer;
+use anomex_core::hics::{sort_features, Hics};
+use anomex_core::scoring::SubspaceScorer;
+use anomex_core::Beam;
+use anomex_dataset::gen::hics::HicsPreset;
+use anomex_dataset::subspace::enumerate_subspaces;
+use anomex_dataset::Subspace;
+use anomex_detectors::Lof;
+use anomex_stats::tests::TwoSampleTest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+}
+
+/// Cache ablation: Beam explains five points that share their stage-1
+/// enumeration; with the cache the repeats are free.
+fn ablation_cache(c: &mut Criterion) {
+    let ds = bench_dataset(HicsPreset::D14);
+    let lof = Lof::new(15).unwrap();
+    let beam = Beam::new().beam_width(10);
+    let pois = bench_pois(HicsPreset::D14, 2, 5);
+    let mut group = c.benchmark_group("ablation_cache");
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let scorer = SubspaceScorer::new(&ds, &lof);
+            for &p in &pois {
+                let _ = beam.explain(&scorer, p, 2);
+            }
+        })
+    });
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let scorer = SubspaceScorer::without_cache(&ds, &lof);
+            for &p in &pois {
+                let _ = beam.explain(&scorer, p, 2);
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Parallel fan-out ablation: scoring all C(23,2) subspaces through the
+/// parallel batch path vs a sequential loop.
+fn ablation_parallel(c: &mut Criterion) {
+    let ds = bench_dataset(HicsPreset::D23);
+    let lof = Lof::new(15).unwrap();
+    let subs: Vec<Subspace> = enumerate_subspaces(ds.n_features(), 2).collect();
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.bench_function("par_batch", |b| {
+        b.iter(|| {
+            let scorer = SubspaceScorer::without_cache(&ds, &lof);
+            scorer.score_batch(&subs)
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let scorer = SubspaceScorer::without_cache(&ds, &lof);
+            subs.iter().map(|s| scorer.scores(s)).collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// HiCS statistical-test ablation (paper footnote 2): Welch vs KS
+/// contrast cost on 2d and 5d subspaces.
+fn ablation_hics_test(c: &mut Criterion) {
+    let ds = bench_dataset(HicsPreset::D39);
+    let sorted = sort_features(&ds);
+    let mut group = c.benchmark_group("ablation_hics_test");
+    for (name, test) in [
+        ("welch", TwoSampleTest::Welch),
+        ("ks", TwoSampleTest::KolmogorovSmirnov),
+    ] {
+        let hics = Hics::new().monte_carlo_iterations(50).statistical_test(test);
+        for dim in [2usize, 5] {
+            let sub = Subspace::new((0..dim).collect::<Vec<_>>());
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{dim}d")),
+                &sub,
+                |b, sub| b.iter(|| hics.contrast(&ds, &sorted, sub)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Beam global-list vs fixed-dim variant: identical search cost, the
+/// variants differ only in which list they return — the bench verifies
+/// the fairness variant is free.
+fn ablation_beam_fx(c: &mut Criterion) {
+    let ds = bench_dataset(HicsPreset::D14);
+    let lof = Lof::new(15).unwrap();
+    let point = bench_pois(HicsPreset::D14, 3, 1)[0];
+    let mut group = c.benchmark_group("ablation_beam_fx");
+    for (name, fx) in [("classic", false), ("fx", true)] {
+        let beam = Beam::new().beam_width(10).fixed_dim(fx);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let scorer = SubspaceScorer::new(&ds, &lof);
+                beam.explain(&scorer, point, 3)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = ablation_cache, ablation_parallel, ablation_hics_test, ablation_beam_fx
+}
+criterion_main!(benches);

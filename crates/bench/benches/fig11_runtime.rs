@@ -1,0 +1,101 @@
+//! Figure 11 — runtime of detection & explanation pipelines.
+//!
+//! The paper's panels plot runtime vs explanation dimensionality for
+//! every pipeline on HiCS 14–39d and Electricity. This bench regenerates
+//! the same series at bench scale (reduced widths/pools so a Criterion
+//! sample stays tractable); the full-scale numbers come from
+//! `anomex-eval fig11`, which reports the measured wall-clock of the
+//! real runs.
+
+use anomex_bench::{bench_dataset, bench_pois};
+use anomex_core::explainer::{PointExplainer, SummaryExplainer};
+use anomex_core::scoring::SubspaceScorer;
+use anomex_core::{Beam, Hics, LookOut, RefOut};
+use anomex_dataset::gen::hics::HicsPreset;
+use anomex_detectors::Lof;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+}
+
+/// Panel (a)-(d) analogue: point explainers on D14/D23, runtime vs
+/// explanation dimensionality, with LOF (the paper's fastest detector).
+fn point_pipelines(c: &mut Criterion) {
+    let lof = Lof::new(15).unwrap();
+    let beam = Beam::new().beam_width(10);
+    let refout = RefOut::new().pool_size(30).seed(1);
+    let mut group = c.benchmark_group("fig11_point");
+    for preset in [HicsPreset::D14, HicsPreset::D23] {
+        let ds = bench_dataset(preset);
+        for dim in [2usize, 3] {
+            let point = bench_pois(preset, dim, 1)[0];
+            group.bench_with_input(
+                BenchmarkId::new(format!("Beam+LOF/{}", preset.name()), format!("{dim}d")),
+                &dim,
+                |b, &dim| {
+                    b.iter(|| {
+                        let scorer = SubspaceScorer::new(&ds, &lof);
+                        beam.explain(&scorer, point, dim)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("RefOut+LOF/{}", preset.name()), format!("{dim}d")),
+                &dim,
+                |b, &dim| {
+                    b.iter(|| {
+                        let scorer = SubspaceScorer::new(&ds, &lof);
+                        refout.explain(&scorer, point, dim)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Panel (e)-(h) analogue: summarizers on D14, runtime vs explanation
+/// dimensionality.
+fn summary_pipelines(c: &mut Criterion) {
+    let lof = Lof::new(15).unwrap();
+    let lookout = LookOut::new().budget(20);
+    let hics = Hics::new().monte_carlo_iterations(25).candidate_cutoff(50);
+    let ds = bench_dataset(HicsPreset::D14);
+    let mut group = c.benchmark_group("fig11_summary");
+    for dim in [2usize, 3] {
+        let pois = bench_pois(HicsPreset::D14, dim, 5);
+        group.bench_with_input(
+            BenchmarkId::new("LookOut+LOF/D14", format!("{dim}d")),
+            &dim,
+            |b, &dim| {
+                b.iter(|| {
+                    let scorer = SubspaceScorer::without_cache(&ds, &lof);
+                    lookout.summarize(&scorer, &pois, dim)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("HiCS+LOF/D14", format!("{dim}d")),
+            &dim,
+            |b, &dim| {
+                b.iter(|| {
+                    let scorer = SubspaceScorer::new(&ds, &lof);
+                    hics.summarize(&scorer, &pois, dim)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = point_pipelines, summary_pipelines
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the statistical substrate: the two-sample tests
+//! and the kNN kernel every pipeline leans on.
+
+use anomex_bench::bench_dataset;
+use anomex_dataset::gen::hics::HicsPreset;
+use anomex_dataset::Subspace;
+use anomex_detectors::knn::knn_table;
+use anomex_detectors::zscore::standardize_scores;
+use anomex_stats::tests::ks::ks_two_sample;
+use anomex_stats::tests::welch::welch_t_test;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn two_sample_tests(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("two_sample_tests");
+    for n in [100usize, 1000] {
+        let a: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let b2: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.3).collect();
+        group.bench_with_input(BenchmarkId::new("welch", n), &n, |bch, _| {
+            bch.iter(|| welch_t_test(&a, &b2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ks", n), &n, |bch, _| {
+            bch.iter(|| ks_two_sample(&a, &b2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn knn_kernel(c: &mut Criterion) {
+    let ds = bench_dataset(HicsPreset::D14);
+    let mut group = c.benchmark_group("knn_kernel");
+    for dim in [2usize, 5] {
+        let proj = ds.project(&Subspace::new((0..dim).collect::<Vec<_>>()));
+        group.bench_with_input(BenchmarkId::new("k15", format!("{dim}d")), &proj, |b, p| {
+            b.iter(|| knn_table(p, 15))
+        });
+    }
+    group.finish();
+}
+
+fn score_standardization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let scores: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>() * 3.0).collect();
+    c.bench_function("zscore_1000", |b| b.iter(|| standardize_scores(&scores)));
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = two_sample_tests, knn_kernel, score_standardization
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Table 1 / Figure 8 — testbed construction cost: dataset generation
+//! and the exhaustive-LOF ground-truth derivation for the full-space
+//! family. The characteristics themselves are printed by
+//! `anomex-eval table1` / `fig8`.
+
+use anomex_dataset::gen::fullspace::{generate_fullspace_with_outliers, FullSpacePreset};
+use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+use anomex_eval::ground_truth::derive_fullspace_ground_truth;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4))
+}
+
+fn hics_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_hics_generation");
+    for preset in HicsPreset::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &preset, |b, &p| {
+            b.iter(|| generate_hics(p, 42))
+        });
+    }
+    group.finish();
+}
+
+fn fullspace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_fullspace_generation");
+    for preset in FullSpacePreset::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &preset, |b, &p| {
+            b.iter(|| generate_fullspace_with_outliers(p, 42))
+        });
+    }
+    group.finish();
+}
+
+/// The exhaustive 2d LOF scan that anchors the derived ground truth
+/// (restricted to 2d and five outliers so a sample stays tractable;
+/// the 3d/4d scans scale by C(d, k)).
+fn ground_truth_derivation(c: &mut Criterion) {
+    let (ds, outliers) = generate_fullspace_with_outliers(FullSpacePreset::BreastA, 42);
+    let five = &outliers[..5];
+    c.bench_function("table1_gt_derivation_2d", |b| {
+        b.iter(|| derive_fullspace_ground_truth(&ds, five, &[2]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = hics_generation, fullspace_generation, ground_truth_derivation
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Quality-side ablations for DESIGN.md §5: how much do the z-score
+//! standardization, the Beam output variant and the HiCS test choice
+//! matter for MAP (not runtime)?
+//!
+//! ```text
+//! cargo run --release -p anomex-bench --bin ablation_quality
+//! ```
+
+use anomex_core::explainer::{PointExplainer, SummaryExplainer};
+use anomex_core::hics::Hics;
+use anomex_core::scoring::SubspaceScorer;
+use anomex_core::Beam;
+use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+use anomex_dataset::Subspace;
+use anomex_eval::metrics;
+use anomex_stats::tests::TwoSampleTest;
+
+/// MAP of per-point explanations against planted truth.
+fn point_map(
+    g: &anomex_dataset::gen::Generated,
+    scorer: &SubspaceScorer<'_>,
+    explainer: &dyn PointExplainer,
+    dim: usize,
+) -> f64 {
+    let pois = g.ground_truth.points_explained_at_dim(dim);
+    let explanations: Vec<_> = pois
+        .iter()
+        .map(|&p| explainer.explain(scorer, p, dim))
+        .collect();
+    let per_point: Vec<(Vec<&Subspace>, &_)> = pois
+        .iter()
+        .zip(&explanations)
+        .map(|(&p, e)| (g.ground_truth.relevant_for_at_dim(p, dim), e))
+        .collect();
+    metrics::map(&per_point)
+}
+
+fn summary_map(
+    g: &anomex_dataset::gen::Generated,
+    scorer: &SubspaceScorer<'_>,
+    explainer: &dyn SummaryExplainer,
+    dim: usize,
+) -> f64 {
+    let pois = g.ground_truth.points_explained_at_dim(dim);
+    let summary = explainer.summarize(scorer, &pois, dim);
+    let per_point: Vec<(Vec<&Subspace>, &_)> = pois
+        .iter()
+        .map(|&p| (g.ground_truth.relevant_for_at_dim(p, dim), &summary))
+        .collect();
+    metrics::map(&per_point)
+}
+
+fn main() {
+    let g = generate_hics(HicsPreset::D23, 42);
+    let lof = anomex_detectors::Lof::new(15).expect("valid k");
+    println!("quality ablations on {} (Beam width 30, LOF)\n", HicsPreset::D23.name());
+
+    // --- Ablation 1: z-score standardization (paper §2.2) ---------------
+    let beam = Beam::new().beam_width(30);
+    println!("{:<44} {:>6} {:>6}", "ablation", "2d", "3d");
+    let std_scorer = SubspaceScorer::new(&g.dataset, &lof);
+    let raw_scorer = SubspaceScorer::new(&g.dataset, &lof).with_raw_scores();
+    println!(
+        "{:<44} {:>6.2} {:>6.2}",
+        "Beam + standardized scores (default)",
+        point_map(&g, &std_scorer, &beam, 2),
+        point_map(&g, &std_scorer, &beam, 3),
+    );
+    println!(
+        "{:<44} {:>6.2} {:>6.2}",
+        "Beam + raw detector scores",
+        point_map(&g, &raw_scorer, &beam, 2),
+        point_map(&g, &raw_scorer, &beam, 3),
+    );
+
+    // --- Ablation 2: Beam_FX vs classic global list ---------------------
+    let classic = Beam::new().beam_width(30).fixed_dim(false);
+    println!(
+        "{:<44} {:>6.2} {:>6.2}",
+        "Beam classic (mixed-dim global list)",
+        point_map(&g, &std_scorer, &classic, 2),
+        point_map(&g, &std_scorer, &classic, 3),
+    );
+
+    // --- Ablation 3: HiCS contrast test (footnote 2) --------------------
+    for (name, test) in [
+        ("HiCS_FX + KS contrast (default)", TwoSampleTest::KolmogorovSmirnov),
+        ("HiCS_FX + Welch contrast", TwoSampleTest::Welch),
+    ] {
+        let hics = Hics::new()
+            .monte_carlo_iterations(50)
+            .candidate_cutoff(200)
+            .statistical_test(test)
+            .seed(42);
+        println!(
+            "{:<44} {:>6.2} {:>6.2}",
+            name,
+            summary_map(&g, &std_scorer, &hics, 2),
+            summary_map(&g, &std_scorer, &hics, 3),
+        );
+    }
+
+    println!(
+        "\nsubspace evaluations: standardized scorer {}, raw scorer {}",
+        std_scorer.evaluations(),
+        raw_scorer.evaluations()
+    );
+}

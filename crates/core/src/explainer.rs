@@ -1,0 +1,191 @@
+//! The explanation interfaces: point explainers, summarizers, and their
+//! ranked-subspace results.
+
+use crate::scoring::SubspaceScorer;
+use anomex_dataset::Subspace;
+
+/// A ranked list of subspaces, best first, each with the score the
+/// explainer assigned it. This is the universal output type of the
+/// framework (`EXP_a(p)` in the paper's §3.3).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankedSubspaces {
+    entries: Vec<(Subspace, f64)>,
+}
+
+impl RankedSubspaces {
+    /// Builds a ranking from `(subspace, score)` pairs, sorting by score
+    /// descending (ties broken by subspace order for determinism) and
+    /// deduplicating subspaces (keeping the best score of each).
+    #[must_use]
+    pub fn from_scored(mut entries: Vec<(Subspace, f64)>) -> Self {
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut seen = crate::fxhash::FxHashSet::default();
+        entries.retain(|(s, _)| seen.insert(s.clone()));
+        RankedSubspaces { entries }
+    }
+
+    /// Builds a ranking that preserves the given order (for algorithms
+    /// like LookOut whose greedy selection order *is* the ranking).
+    #[must_use]
+    pub fn from_ordered(entries: Vec<(Subspace, f64)>) -> Self {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        let mut out = Vec::with_capacity(entries.len());
+        for (s, v) in entries {
+            if seen.insert(s.clone()) {
+                out.push((s, v));
+            }
+        }
+        RankedSubspaces { entries: out }
+    }
+
+    /// The ranked `(subspace, score)` pairs, best first.
+    #[must_use]
+    pub fn entries(&self) -> &[(Subspace, f64)] {
+        &self.entries
+    }
+
+    /// The ranked subspaces only, best first.
+    #[must_use]
+    pub fn subspaces(&self) -> Vec<&Subspace> {
+        self.entries.iter().map(|(s, _)| s).collect()
+    }
+
+    /// Number of ranked subspaces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ranking is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The best-ranked subspace, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&Subspace> {
+        self.entries.first().map(|(s, _)| s)
+    }
+
+    /// Truncates to the `k` best entries.
+    #[must_use]
+    pub fn truncated(mut self, k: usize) -> Self {
+        self.entries.truncate(k);
+        self
+    }
+
+    /// Zero-based rank of `subspace`, if present.
+    #[must_use]
+    pub fn rank_of(&self, subspace: &Subspace) -> Option<usize> {
+        self.entries.iter().position(|(s, _)| s == subspace)
+    }
+}
+
+/// An algorithm that explains the outlyingness of **one point** by
+/// ranking subspaces (paper §2.2: Beam, RefOut).
+pub trait PointExplainer: Send + Sync {
+    /// Ranks subspaces of exactly `target_dim` features that best explain
+    /// why `point` is outlying, best first.
+    ///
+    /// # Panics
+    /// Implementations panic when `point` is out of range or
+    /// `target_dim` is 0 or exceeds the dataset dimensionality.
+    fn explain(&self, scorer: &SubspaceScorer<'_>, point: usize, target_dim: usize)
+        -> RankedSubspaces;
+
+    /// Short identifier used in reports (e.g. `"Beam"`).
+    fn name(&self) -> &'static str;
+}
+
+/// An algorithm that **summarizes** the outlyingness of a *set* of points
+/// with a single ranked subspace list (paper §2.3: LookOut, HiCS).
+pub trait SummaryExplainer: Send + Sync {
+    /// Ranks subspaces of exactly `target_dim` features that collectively
+    /// separate as many of `points` from the inliers as possible.
+    ///
+    /// # Panics
+    /// Implementations panic when `points` is empty or out of range, or
+    /// `target_dim` is 0 or exceeds the dataset dimensionality.
+    fn summarize(
+        &self,
+        scorer: &SubspaceScorer<'_>,
+        points: &[usize],
+        target_dim: usize,
+    ) -> RankedSubspaces;
+
+    /// Short identifier used in reports (e.g. `"LookOut"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn s(fs: &[usize]) -> Subspace {
+        Subspace::new(fs.to_vec())
+    }
+
+    #[test]
+    fn from_scored_sorts_descending() {
+        let r = RankedSubspaces::from_scored(vec![
+            (s(&[0]), 1.0),
+            (s(&[1]), 3.0),
+            (s(&[2]), 2.0),
+        ]);
+        assert_eq!(r.best(), Some(&s(&[1])));
+        assert_eq!(r.entries()[2].0, s(&[0]));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn from_scored_dedupes_keeping_best() {
+        let r = RankedSubspaces::from_scored(vec![
+            (s(&[0, 1]), 1.0),
+            (s(&[1, 0]), 5.0), // same canonical subspace
+            (s(&[2]), 3.0),
+        ]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.entries()[0], (s(&[0, 1]), 5.0));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let r1 = RankedSubspaces::from_scored(vec![(s(&[3]), 1.0), (s(&[1]), 1.0)]);
+        let r2 = RankedSubspaces::from_scored(vec![(s(&[1]), 1.0), (s(&[3]), 1.0)]);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.best(), Some(&s(&[1])));
+    }
+
+    #[test]
+    fn from_ordered_preserves_order() {
+        let r = RankedSubspaces::from_ordered(vec![
+            (s(&[5]), 0.1),
+            (s(&[2]), 9.0),
+            (s(&[5]), 10.0), // duplicate dropped, first kept
+        ]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.best(), Some(&s(&[5])));
+    }
+
+    #[test]
+    fn rank_and_truncate() {
+        let r = RankedSubspaces::from_scored(vec![
+            (s(&[0]), 3.0),
+            (s(&[1]), 2.0),
+            (s(&[2]), 1.0),
+        ]);
+        assert_eq!(r.rank_of(&s(&[1])), Some(1));
+        assert_eq!(r.rank_of(&s(&[9])), None);
+        let t = r.truncated(1);
+        assert_eq!(t.len(), 1);
+        assert!(t.rank_of(&s(&[1])).is_none());
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = RankedSubspaces::default();
+        assert!(r.is_empty());
+        assert_eq!(r.best(), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! A small, fast, non-cryptographic hasher (the rustc "Fx" multiply-xor
+//! scheme) for the subspace score cache.
+//!
+//! Subspace search hashes millions of small `Vec<u16>` keys; SipHash's
+//! HashDoS protection is wasted effort there (keys are internally
+//! generated, never attacker-controlled), so we use the same algorithm
+//! rustc itself uses for its interning tables.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Streaming Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+}
+
+/// `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed by the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Subspace;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let b: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        b.hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = Subspace::new([1usize, 4, 9]);
+        assert_eq!(hash_of(&s), hash_of(&s));
+        assert_eq!(hash_of(&s), hash_of(&Subspace::new([9usize, 4, 1])));
+    }
+
+    #[test]
+    fn distinguishes_subspaces() {
+        let mut seen = FxHashSet::default();
+        // 1000 distinct subspaces must produce 1000 distinct map entries.
+        for a in 0..10usize {
+            for b in 10..20usize {
+                for c in 20..30usize {
+                    seen.insert(Subspace::new([a, b, c]));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<Subspace, usize> = FxHashMap::default();
+        for i in 0..100usize {
+            m.insert(Subspace::new([i, i + 1]), i);
+        }
+        for i in 0..100usize {
+            assert_eq!(m[&Subspace::new([i, i + 1])], i);
+        }
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Crude avalanche check: low bits of hashes of consecutive keys
+        // should not collide en masse.
+        let mut low_bits = FxHashSet::default();
+        for i in 0..256u64 {
+            low_bits.insert(hash_of(&i) & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+}

@@ -1,0 +1,459 @@
+//! HiCS — High Contrast Subspaces (Keller, Müller, Böhm — ICDE 2012;
+//! paper §2.3).
+//!
+//! HiCS decouples subspace *search* from outlier *scoring*: it ranks
+//! subspaces by their **contrast** — how much the conditional
+//! distribution of one feature, restricted to random slices of the
+//! subspace's other features, deviates from its marginal distribution.
+//! High contrast means strong feature dependence: many empty regions,
+//! few dense ones — promising territory for separating outliers from
+//! inliers.
+//!
+//! Contrast is estimated by Monte Carlo: in each of `M` iterations a
+//! random comparison feature is drawn, a random axis-parallel slice of
+//! the remaining features (expected volume `α`) selects the conditional
+//! sample, and a two-sample statistical test (Welch's t-test by default,
+//! Kolmogorov–Smirnov as alternative — paper footnote 2) measures the
+//! deviation `1 − p`. Candidates are grown stage-wise (Apriori-style,
+//! `candidate_cutoff` survivors per stage). Finally the retrieved
+//! subspaces are ranked for the given points of interest using the
+//! pipeline's detector — HiCS's only use of the detector.
+//!
+//! `HiCS_FX` (the paper's fairness variant) stops at the requested
+//! dimensionality and returns only subspaces of exactly that size;
+//! classic HiCS returns subspaces of varying dimensionality.
+
+use crate::explainer::{RankedSubspaces, SummaryExplainer};
+use crate::fxhash::{FxHashSet, FxHasher};
+use crate::parallel::par_map;
+use crate::scoring::SubspaceScorer;
+use anomex_dataset::subspace::enumerate_subspaces;
+use anomex_dataset::{Dataset, Subspace};
+use anomex_stats::rank::argsort;
+use anomex_stats::tests::TwoSampleTest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hash::{Hash, Hasher};
+
+/// The HiCS summarizer. Defaults to the paper's §3.1 settings:
+/// `M = 100` Monte-Carlo iterations, `α = 0.1`, `candidate_cutoff = 400`,
+/// top-100 results, fixed-dimensionality output (`HiCS_FX`, the variant
+/// the paper's Figure 10 evaluates).
+///
+/// The default contrast test is **Kolmogorov–Smirnov** (the ELKI
+/// implementation's default, and one of the paper's two options —
+/// footnote 2): a slice whose *mean* happens to coincide with the
+/// marginal mean still differs in *distribution*, which the KS statistic
+/// sees but Welch's t-test does not. Welch remains available through
+/// [`Hics::statistical_test`] and is compared in the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hics {
+    monte_carlo_iterations: usize,
+    alpha: f64,
+    candidate_cutoff: usize,
+    test: TwoSampleTest,
+    result_size: usize,
+    fixed_dim: bool,
+    seed: u64,
+}
+
+impl Default for Hics {
+    fn default() -> Self {
+        Hics {
+            monte_carlo_iterations: 100,
+            alpha: 0.1,
+            candidate_cutoff: 400,
+            test: TwoSampleTest::KolmogorovSmirnov,
+            result_size: 100,
+            fixed_dim: true,
+            seed: 0,
+        }
+    }
+}
+
+impl Hics {
+    /// Paper-default HiCS.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of Monte-Carlo slice iterations per contrast
+    /// estimate.
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    #[must_use]
+    pub fn monte_carlo_iterations(mut self, m: usize) -> Self {
+        assert!(m > 0, "Monte-Carlo iterations must be positive");
+        self.monte_carlo_iterations = m;
+        self
+    }
+
+    /// Sets the expected slice volume `α ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `(0, 1)`.
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the number of candidates surviving each stage (paper: 400).
+    ///
+    /// # Panics
+    /// Panics when `c == 0`.
+    #[must_use]
+    pub fn candidate_cutoff(mut self, c: usize) -> Self {
+        assert!(c > 0, "candidate cutoff must be positive");
+        self.candidate_cutoff = c;
+        self
+    }
+
+    /// Chooses the statistical contrast test (Welch or KS — footnote 2).
+    #[must_use]
+    pub fn statistical_test(mut self, test: TwoSampleTest) -> Self {
+        self.test = test;
+        self
+    }
+
+    /// Sets the number of subspaces returned.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    #[must_use]
+    pub fn result_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "result size must be positive");
+        self.result_size = n;
+        self
+    }
+
+    /// Chooses between `HiCS_FX` (`true`, default) and classic HiCS
+    /// (`false`: candidates of *all* visited dimensionalities compete in
+    /// the final ranking).
+    #[must_use]
+    pub fn fixed_dim(mut self, fx: bool) -> Self {
+        self.fixed_dim = fx;
+        self
+    }
+
+    /// Seeds the Monte-Carlo slicing (deterministic given the seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Estimates the contrast of one subspace on `dataset` — exposed for
+    /// diagnostics, tests and ablation benches. `sorted_idx[f]` must be
+    /// the row indices of the dataset sorted ascending by feature `f`
+    /// (see [`sort_features`]).
+    #[must_use]
+    pub fn contrast(&self, dataset: &Dataset, sorted_idx: &[Vec<usize>], subspace: &Subspace) -> f64 {
+        let k = subspace.dim();
+        assert!(k >= 2, "contrast is defined for subspaces of 2+ features");
+        let n = dataset.n_rows();
+        // Deterministic per-subspace RNG so parallel evaluation order
+        // cannot change results.
+        let mut h = FxHasher::default();
+        subspace.hash(&mut h);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ h.finish());
+
+        // Window size per conditioning feature so the expected slice
+        // keeps ~α·N rows: N · α^(1/(k−1)).
+        let w = ((n as f64) * self.alpha.powf(1.0 / (k - 1) as f64)).ceil() as usize;
+        let w = w.clamp(2, n);
+        let features: Vec<usize> = subspace.iter().collect();
+
+        let mut total = 0.0;
+        let mut valid = 0usize;
+        let mut in_slice = vec![0u16; n];
+        for _ in 0..self.monte_carlo_iterations {
+            let cmp_idx = rng.gen_range(0..k);
+            let cmp_feature = features[cmp_idx];
+            // Count how many of the k−1 conditioning windows each row hits.
+            for c in in_slice.iter_mut() {
+                *c = 0;
+            }
+            for (j, &g) in features.iter().enumerate() {
+                if j == cmp_idx {
+                    continue;
+                }
+                let start = rng.gen_range(0..=n - w);
+                for &row in &sorted_idx[g][start..start + w] {
+                    in_slice[row] += 1;
+                }
+            }
+            let needed = (k - 1) as u16;
+            let column = dataset.column(cmp_feature);
+            let conditional: Vec<f64> = in_slice
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == needed)
+                .map(|(row, _)| column[row])
+                .collect();
+            if conditional.len() < 2 || conditional.len() == n {
+                continue; // degenerate slice: no information
+            }
+            let (_stat, p) = self.test.run(column, &conditional);
+            total += 1.0 - p;
+            valid += 1;
+        }
+        if valid == 0 {
+            0.0
+        } else {
+            total / valid as f64
+        }
+    }
+
+    /// Runs the stage-wise candidate search and returns
+    /// `(subspace, contrast)` pairs: only the final stage for `HiCS_FX`,
+    /// all stages for classic HiCS.
+    #[must_use]
+    pub fn search_candidates(
+        &self,
+        dataset: &Dataset,
+        target_dim: usize,
+    ) -> Vec<(Subspace, f64)> {
+        let d = dataset.n_features();
+        let sorted_idx = sort_features(dataset);
+
+        // Stage 2: exhaustive contrast over all feature pairs
+        // (`summarize` guarantees target_dim ≥ 2).
+        let pairs: Vec<Subspace> = enumerate_subspaces(d, 2).collect();
+        let mut stage = self.score_contrast(dataset, &sorted_idx, pairs);
+        truncate_ranked(&mut stage, self.candidate_cutoff);
+        let mut all = stage.clone();
+
+        let mut dim = 2;
+        while dim < target_dim {
+            dim += 1;
+            let mut seen = FxHashSet::default();
+            let mut cands: Vec<Subspace> = Vec::new();
+            for (s, _) in &stage {
+                for f in 0..d {
+                    if let Some(ext) = s.extended_with(f) {
+                        if seen.insert(ext.clone()) {
+                            cands.push(ext);
+                        }
+                    }
+                }
+            }
+            stage = self.score_contrast(dataset, &sorted_idx, cands);
+            truncate_ranked(&mut stage, self.candidate_cutoff);
+            all.extend(stage.iter().cloned());
+        }
+
+        if self.fixed_dim {
+            stage
+        } else {
+            all
+        }
+    }
+
+    fn score_contrast(
+        &self,
+        dataset: &Dataset,
+        sorted_idx: &[Vec<usize>],
+        cands: Vec<Subspace>,
+    ) -> Vec<(Subspace, f64)> {
+        let contrasts = par_map(&cands, |s| self.contrast(dataset, sorted_idx, s));
+        cands.into_iter().zip(contrasts).collect()
+    }
+}
+
+impl SummaryExplainer for Hics {
+    fn summarize(
+        &self,
+        scorer: &SubspaceScorer<'_>,
+        points: &[usize],
+        target_dim: usize,
+    ) -> RankedSubspaces {
+        let d = scorer.n_features();
+        assert!(!points.is_empty(), "HiCS needs at least one point of interest");
+        assert!(
+            points.iter().all(|&p| p < scorer.n_rows()),
+            "point of interest out of range"
+        );
+        assert!(
+            (2..=d).contains(&target_dim),
+            "target dimensionality {target_dim} out of range 2..={d}"
+        );
+
+        // Detector-independent candidate search...
+        let mut candidates = self.search_candidates(scorer.dataset(), target_dim);
+        truncate_ranked(&mut candidates, self.result_size.max(self.candidate_cutoff));
+
+        // ... then rank the retrieved subspaces for the given points with
+        // the pipeline's detector (mean standardized score of the POIs).
+        let subs: Vec<Subspace> = candidates.into_iter().map(|(s, _)| s).collect();
+        let poi_scores = scorer.point_scores_batch(&subs, points);
+        let ranked: Vec<(Subspace, f64)> = subs
+            .into_iter()
+            .zip(poi_scores)
+            .map(|(s, scores)| {
+                let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+                (s, mean)
+            })
+            .collect();
+        RankedSubspaces::from_scored(ranked).truncated(self.result_size)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.fixed_dim {
+            "HiCS_FX"
+        } else {
+            "HiCS"
+        }
+    }
+}
+
+/// Per-feature ascending argsort of the dataset rows — the index HiCS
+/// slices against.
+#[must_use]
+pub fn sort_features(dataset: &Dataset) -> Vec<Vec<usize>> {
+    (0..dataset.n_features())
+        .map(|f| argsort(dataset.column(f)))
+        .collect()
+}
+
+/// Keeps the `k` best pairs, sorted descending (deterministic ties).
+fn truncate_ranked(v: &mut Vec<(Subspace, f64)>, k: usize) {
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v.truncate(k);
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_detectors::Lof;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 6 features: {0, 1} strongly dependent (tube), {3, 4} dependent,
+    /// everything else independent noise; outliers break each tube.
+    fn planted() -> (Dataset, Vec<usize>, Subspace, Subspace) {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 300;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n + 2);
+        for _ in 0..n {
+            let t1: f64 = rng.gen_range(0.1..0.9);
+            let t2: f64 = rng.gen_range(0.1..0.9);
+            rows.push(vec![
+                t1 + rng.gen_range(-0.02..0.02),
+                t1 + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.0..1.0),
+                t2 + rng.gen_range(-0.02..0.02),
+                t2 + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.0..1.0),
+            ]);
+        }
+        let a = rows.len();
+        rows.push(vec![0.25, 0.75, 0.5, 0.5, 0.51, 0.5]);
+        let b = rows.len();
+        rows.push(vec![0.5, 0.51, 0.5, 0.25, 0.75, 0.5]);
+        (
+            Dataset::from_rows(rows).unwrap(),
+            vec![a, b],
+            Subspace::new([0usize, 1]),
+            Subspace::new([3usize, 4]),
+        )
+    }
+
+    #[test]
+    fn contrast_separates_dependent_from_independent_pairs() {
+        let (ds, ..) = planted();
+        let hics = Hics::new().monte_carlo_iterations(50);
+        let sorted = sort_features(&ds);
+        let dependent = hics.contrast(&ds, &sorted, &Subspace::new([0usize, 1]));
+        let independent = hics.contrast(&ds, &sorted, &Subspace::new([2usize, 5]));
+        assert!(
+            dependent > independent + 0.2,
+            "dependent {dependent} vs independent {independent}"
+        );
+        assert!((0.0..=1.0).contains(&dependent));
+        assert!((0.0..=1.0).contains(&independent));
+    }
+
+    #[test]
+    fn search_finds_the_tubes_first() {
+        let (ds, _, sa, sb) = planted();
+        let hics = Hics::new().monte_carlo_iterations(50).candidate_cutoff(5);
+        let cands = hics.search_candidates(&ds, 2);
+        let top2: Vec<&Subspace> = cands.iter().take(2).map(|(s, _)| s).collect();
+        assert!(top2.contains(&&sa), "top: {cands:?}");
+        assert!(top2.contains(&&sb), "top: {cands:?}");
+    }
+
+    #[test]
+    fn summarize_ranks_tubes_at_top() {
+        let (ds, pois, sa, sb) = planted();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let hics = Hics::new().monte_carlo_iterations(50).result_size(10);
+        let summary = hics.summarize(&scorer, &pois, 2);
+        let subs = summary.subspaces();
+        assert!(subs[..2].contains(&&sa), "summary: {subs:?}");
+        assert!(subs[..2].contains(&&sb), "summary: {subs:?}");
+    }
+
+    #[test]
+    fn fx_returns_only_target_dim() {
+        let (ds, pois, ..) = planted();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let summary = Hics::new()
+            .monte_carlo_iterations(20)
+            .fixed_dim(true)
+            .summarize(&scorer, &pois, 3);
+        assert!(summary.entries().iter().all(|(s, _)| s.dim() == 3));
+    }
+
+    #[test]
+    fn classic_returns_mixed_dims() {
+        let (ds, pois, ..) = planted();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let summary = Hics::new()
+            .monte_carlo_iterations(20)
+            .fixed_dim(false)
+            .result_size(50)
+            .summarize(&scorer, &pois, 3);
+        let dims: FxHashSet<usize> =
+            summary.entries().iter().map(|(s, _)| s.dim()).collect();
+        assert!(dims.contains(&2) && dims.contains(&3), "dims: {dims:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ds, pois, ..) = planted();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let h = Hics::new().monte_carlo_iterations(30).seed(5);
+        let a = h.summarize(&scorer, &pois, 2);
+        let b = h.summarize(&scorer, &pois, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ks_test_variant_also_works() {
+        let (ds, ..) = planted();
+        let hics = Hics::new()
+            .monte_carlo_iterations(50)
+            .statistical_test(TwoSampleTest::KolmogorovSmirnov);
+        let sorted = sort_features(&ds);
+        let dep = hics.contrast(&ds, &sorted, &Subspace::new([0usize, 1]));
+        let ind = hics.contrast(&ds, &sorted, &Subspace::new([2usize, 5]));
+        assert!(dep > ind, "KS: dependent {dep} vs independent {ind}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2+ features")]
+    fn contrast_rejects_singletons() {
+        let (ds, ..) = planted();
+        let sorted = sort_features(&ds);
+        let _ = Hics::new().contrast(&ds, &sorted, &Subspace::single(0));
+    }
+}

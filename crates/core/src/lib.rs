@@ -1,0 +1,60 @@
+//! # anomex-core
+//!
+//! The primary contribution of the reproduced paper: a detector-agnostic
+//! framework for **outlier explanation**, implementing the four subspace
+//! search algorithms the paper evaluates (§2.2–§2.3):
+//!
+//! * [`beam::Beam`] — stage-wise greedy *point explanation*
+//!   (Nguyen et al., DAMI 2016), including the paper's `Beam_FX`
+//!   fixed-dimensionality variant;
+//! * [`refout::RefOut`] — random-subspace-pool *point explanation*
+//!   (Keller et al., CIKM 2013);
+//! * [`lookout::LookOut`] — submodular-greedy *explanation
+//!   summarization* (Gupta et al., ECML/PKDD 2018);
+//! * [`hics::Hics`] — high-contrast-subspace *explanation
+//!   summarization* (Keller et al., ICDE 2012), including `HiCS_FX`.
+//!
+//! Every algorithm consumes outlyingness scores through a shared
+//! [`scoring::SubspaceScorer`], which projects the dataset onto candidate
+//! subspaces, runs any [`anomex_detectors::Detector`], standardizes the
+//! scores per subspace (paper §2.2) and memoizes the results — so any
+//! detector × explainer pairing forms a [`pipeline::Pipeline`], exactly
+//! like the paper's 12-pipeline testbed (Figure 7).
+//!
+//! ```
+//! use anomex_core::beam::Beam;
+//! use anomex_core::explainer::PointExplainer;
+//! use anomex_core::scoring::SubspaceScorer;
+//! use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+//! use anomex_detectors::Lof;
+//!
+//! let g = generate_hics(HicsPreset::D14, 42);
+//! let outlier = g.ground_truth.outliers()[0];
+//! let lof = Lof::new(15).unwrap();
+//! let scorer = SubspaceScorer::new(&g.dataset, &lof);
+//! let ranked = Beam::default().explain(&scorer, outlier, 2);
+//! assert!(!ranked.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod beam;
+pub mod explainer;
+pub mod fxhash;
+pub mod hics;
+pub mod lookout;
+pub mod parallel;
+pub mod pipeline;
+pub mod refout;
+pub mod scoring;
+pub mod surrogate;
+
+pub use beam::Beam;
+pub use explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
+pub use hics::Hics;
+pub use lookout::LookOut;
+pub use pipeline::{Pipeline, PipelineOutput};
+pub use refout::RefOut;
+pub use scoring::SubspaceScorer;
+pub use surrogate::Surrogate;

@@ -1,0 +1,228 @@
+//! LookOut — explanation summarization by submodular maximization
+//! (Gupta, Eswaran, Shah, Akoglu, Faloutsos — ECML/PKDD 2018; paper
+//! §2.3).
+//!
+//! LookOut enumerates **every** subspace of the requested dimensionality,
+//! scores all points of interest in each, and greedily selects a
+//! `budget`-sized list maximizing the concise-summary objective
+//!
+//! `f(S) = Σ_{p ∈ P} max_{s ∈ S} score(p, s)`
+//!
+//! which is non-negative, non-decreasing and submodular, so the greedy
+//! algorithm enjoys the classic `1 − 1/e ≈ 63 %` approximation guarantee
+//! (Nemhauser & Wolsey 1978). The selection order *is* the output
+//! ranking; each subspace carries its marginal gain as score.
+//!
+//! Standardized scores can be negative; the objective clamps them at 0
+//! (a subspace in which a point looks perfectly normal contributes
+//! nothing) to preserve the submodularity preconditions.
+
+use crate::explainer::{RankedSubspaces, SummaryExplainer};
+use crate::scoring::SubspaceScorer;
+use anomex_dataset::subspace::enumerate_subspaces;
+use anomex_dataset::Subspace;
+
+/// The LookOut summarizer. Defaults to the paper's `budget = 100`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookOut {
+    budget: usize,
+}
+
+impl Default for LookOut {
+    fn default() -> Self {
+        LookOut { budget: 100 }
+    }
+}
+
+impl LookOut {
+    /// Paper-default LookOut (budget 100).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of subspaces in the summary.
+    ///
+    /// # Panics
+    /// Panics when `b == 0`.
+    #[must_use]
+    pub fn budget(mut self, b: usize) -> Self {
+        assert!(b > 0, "budget must be positive");
+        self.budget = b;
+        self
+    }
+}
+
+impl SummaryExplainer for LookOut {
+    fn summarize(
+        &self,
+        scorer: &SubspaceScorer<'_>,
+        points: &[usize],
+        target_dim: usize,
+    ) -> RankedSubspaces {
+        let d = scorer.n_features();
+        assert!(!points.is_empty(), "LookOut needs at least one point of interest");
+        assert!(
+            points.iter().all(|&p| p < scorer.n_rows()),
+            "point of interest out of range"
+        );
+        assert!(
+            (1..=d).contains(&target_dim),
+            "target dimensionality {target_dim} out of range 1..={d}"
+        );
+
+        // Exhaustive enumeration + scoring of all C(d, target_dim)
+        // subspaces at the points of interest only (clamped at 0).
+        let candidates: Vec<Subspace> = enumerate_subspaces(d, target_dim).collect();
+        let score_rows: Vec<Vec<f64>> = scorer
+            .point_scores_batch(&candidates, points)
+            .into_iter()
+            .map(|row| row.into_iter().map(|v| v.max(0.0)).collect())
+            .collect();
+
+        // Greedy max-coverage: `best[j]` is the current objective
+        // contribution of point j.
+        let mut best = vec![0.0f64; points.len()];
+        let mut selected: Vec<(Subspace, f64)> = Vec::new();
+        let mut used = vec![false; candidates.len()];
+        for _ in 0..self.budget.min(candidates.len()) {
+            let mut arg = usize::MAX;
+            let mut top_gain = 0.0f64;
+            for (i, row) in score_rows.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let gain: f64 = row
+                    .iter()
+                    .zip(&best)
+                    .map(|(&v, &b)| (v - b).max(0.0))
+                    .sum();
+                if gain > top_gain
+                    || (gain == top_gain
+                        && arg != usize::MAX
+                        && candidates[i] < candidates[arg])
+                {
+                    top_gain = gain;
+                    arg = i;
+                }
+            }
+            if arg == usize::MAX || top_gain <= 0.0 {
+                break; // every remaining subspace is redundant
+            }
+            used[arg] = true;
+            for (b, &v) in best.iter_mut().zip(&score_rows[arg]) {
+                *b = b.max(v);
+            }
+            selected.push((candidates[arg].clone(), top_gain));
+        }
+        RankedSubspaces::from_ordered(selected)
+    }
+
+    fn name(&self) -> &'static str {
+        "LookOut"
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use anomex_detectors::Lof;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 6-feature dataset with two planted outliers in different 2d tubes:
+    /// point A deviates in {0, 1}, point B in {3, 4}.
+    fn planted_two() -> (Dataset, usize, usize, Subspace, Subspace) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 250;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n + 2);
+        for _ in 0..n {
+            let t1: f64 = rng.gen_range(0.1..0.9);
+            let t2: f64 = rng.gen_range(0.1..0.9);
+            rows.push(vec![
+                t1 + rng.gen_range(-0.02..0.02),
+                t1 + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.0..1.0),
+                t2 + rng.gen_range(-0.02..0.02),
+                t2 + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.0..1.0),
+            ]);
+        }
+        let a = rows.len();
+        rows.push(vec![0.25, 0.75, 0.5, 0.5, 0.52, 0.5]); // breaks {0,1}
+        let b = rows.len();
+        rows.push(vec![0.5, 0.52, 0.5, 0.3, 0.8, 0.5]); // breaks {3,4}
+        (
+            Dataset::from_rows(rows).unwrap(),
+            a,
+            b,
+            Subspace::new([0usize, 1]),
+            Subspace::new([3usize, 4]),
+        )
+    }
+
+    #[test]
+    fn summary_covers_both_outliers() {
+        let (ds, a, b, sa, sb) = planted_two();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let summary = LookOut::new().budget(2).summarize(&scorer, &[a, b], 2);
+        let subs: Vec<&Subspace> = summary.subspaces();
+        assert_eq!(subs.len(), 2);
+        assert!(subs.contains(&&sa), "missing {sa}: {subs:?}");
+        assert!(subs.contains(&&sb), "missing {sb}: {subs:?}");
+    }
+
+    #[test]
+    fn first_pick_maximizes_total_score() {
+        let (ds, a, b, ..) = planted_two();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let summary = LookOut::new().budget(5).summarize(&scorer, &[a, b], 2);
+        // Marginal gains must be non-increasing (submodularity).
+        let gains: Vec<f64> = summary.entries().iter().map(|(_, g)| *g).collect();
+        for w in gains.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "gains must not increase: {gains:?}");
+        }
+    }
+
+    #[test]
+    fn stops_early_when_gains_vanish() {
+        let (ds, a, ..) = planted_two();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        // A single point is fully covered by its best subspace; further
+        // picks add nothing, so the summary stays short of the budget.
+        let summary = LookOut::new().budget(100).summarize(&scorer, &[a], 2);
+        assert!(summary.len() < 15, "summary length {}", summary.len());
+    }
+
+    #[test]
+    fn single_point_summary_contains_its_subspace() {
+        let (ds, a, _, sa, _) = planted_two();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let summary = LookOut::new().budget(3).summarize(&scorer, &[a], 2);
+        assert_eq!(summary.best(), Some(&sa));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (ds, a, b, ..) = planted_two();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let x = LookOut::new().budget(4).summarize(&scorer, &[a, b], 2);
+        let y = LookOut::new().budget(4).summarize(&scorer, &[a, b], 2);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn rejects_empty_point_set() {
+        let (ds, ..) = planted_two();
+        let lof = Lof::new(10).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let _ = LookOut::new().summarize(&scorer, &[], 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Detector × explainer pipelines — the paper's Figure 7.
+//!
+//! A [`Pipeline`] binds one detector to one explanation algorithm and
+//! runs it over a dataset and a set of points of interest at a requested
+//! explanation dimensionality, producing per-point ranked subspace lists
+//! (`EXP_a(p)`). Point explainers run once per point; summarizers run
+//! once and their summary stands as the explanation of *every* point —
+//! exactly how the paper evaluates them with the same per-point MAP.
+
+use crate::explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
+use crate::scoring::SubspaceScorer;
+use anomex_dataset::Dataset;
+use anomex_detectors::Detector;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// The explanation side of a pipeline.
+pub enum ExplainerKind {
+    /// A per-point explainer (Beam, RefOut).
+    Point(Box<dyn PointExplainer>),
+    /// A set-level summarizer (LookOut, HiCS).
+    Summary(Box<dyn SummaryExplainer>),
+}
+
+impl ExplainerKind {
+    /// The explainer's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExplainerKind::Point(e) => e.name(),
+            ExplainerKind::Summary(e) => e.name(),
+        }
+    }
+}
+
+/// One detector × explainer pairing.
+pub struct Pipeline {
+    detector: Box<dyn Detector>,
+    explainer: ExplainerKind,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutput {
+    /// Per-point ranked explanations (`EXP_a(p)`), keyed by point id.
+    pub explanations: BTreeMap<usize, RankedSubspaces>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Number of detector invocations (subspace evaluations).
+    pub subspace_evaluations: usize,
+    /// Score-cache hits during the run.
+    pub cache_hits: usize,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from a detector and a point explainer.
+    #[must_use]
+    pub fn point<D, E>(detector: D, explainer: E) -> Self
+    where
+        D: Detector + 'static,
+        E: PointExplainer + 'static,
+    {
+        Pipeline {
+            detector: Box::new(detector),
+            explainer: ExplainerKind::Point(Box::new(explainer)),
+        }
+    }
+
+    /// Builds a pipeline from a detector and a summarizer.
+    #[must_use]
+    pub fn summary<D, E>(detector: D, explainer: E) -> Self
+    where
+        D: Detector + 'static,
+        E: SummaryExplainer + 'static,
+    {
+        Pipeline {
+            detector: Box::new(detector),
+            explainer: ExplainerKind::Summary(Box::new(explainer)),
+        }
+    }
+
+    /// The detector's display name.
+    #[must_use]
+    pub fn detector_name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    /// The explainer's display name.
+    #[must_use]
+    pub fn explainer_name(&self) -> &'static str {
+        self.explainer.name()
+    }
+
+    /// A `"Explainer+Detector"` label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.explainer_name(), self.detector_name())
+    }
+
+    /// Runs the pipeline: explains every point of interest at
+    /// `target_dim`.
+    ///
+    /// # Panics
+    /// Panics when `points` is empty or out of range, or `target_dim` is
+    /// invalid for the dataset (propagated from the explainer).
+    #[must_use]
+    pub fn run(&self, dataset: &Dataset, points: &[usize], target_dim: usize) -> PipelineOutput {
+        assert!(!points.is_empty(), "pipeline needs at least one point of interest");
+        let scorer = SubspaceScorer::new(dataset, &self.detector);
+        let start = Instant::now();
+        let explanations: BTreeMap<usize, RankedSubspaces> = match &self.explainer {
+            ExplainerKind::Point(e) => points
+                .iter()
+                .map(|&p| (p, e.explain(&scorer, p, target_dim)))
+                .collect(),
+            ExplainerKind::Summary(e) => {
+                let summary = e.summarize(&scorer, points, target_dim);
+                points.iter().map(|&p| (p, summary.clone())).collect()
+            }
+        };
+        PipelineOutput {
+            explanations,
+            elapsed: start.elapsed(),
+            subspace_evaluations: scorer.evaluations(),
+            cache_hits: scorer.cache_hits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::beam::Beam;
+    use crate::lookout::LookOut;
+    use anomex_detectors::Lof;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted() -> (Dataset, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 150;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n + 2);
+        for _ in 0..n {
+            let t: f64 = rng.gen_range(0.1..0.9);
+            rows.push(vec![
+                t + rng.gen_range(-0.02..0.02),
+                t + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ]);
+        }
+        let a = rows.len();
+        rows.push(vec![0.3, 0.7, 0.5, 0.5]);
+        let b = rows.len();
+        rows.push(vec![0.7, 0.3, 0.5, 0.5]);
+        (Dataset::from_rows(rows).unwrap(), vec![a, b])
+    }
+
+    #[test]
+    fn point_pipeline_explains_each_point() {
+        let (ds, pois) = planted();
+        let pipe = Pipeline::point(Lof::new(10).unwrap(), Beam::new());
+        let out = pipe.run(&ds, &pois, 2);
+        assert_eq!(out.explanations.len(), 2);
+        for p in &pois {
+            assert!(!out.explanations[p].is_empty());
+        }
+        assert!(out.subspace_evaluations > 0);
+        assert_eq!(pipe.label(), "Beam_FX+LOF");
+    }
+
+    #[test]
+    fn summary_pipeline_shares_one_summary() {
+        let (ds, pois) = planted();
+        let pipe = Pipeline::summary(Lof::new(10).unwrap(), LookOut::new().budget(5));
+        let out = pipe.run(&ds, &pois, 2);
+        assert_eq!(out.explanations[&pois[0]], out.explanations[&pois[1]]);
+        assert_eq!(pipe.label(), "LookOut+LOF");
+    }
+
+    #[test]
+    fn point_pipeline_caches_across_points() {
+        let (ds, pois) = planted();
+        let pipe = Pipeline::point(Lof::new(10).unwrap(), Beam::new());
+        let out = pipe.run(&ds, &pois, 2);
+        // Stage-1 enumeration is identical for both points: the second
+        // point must be served entirely from cache.
+        assert_eq!(out.subspace_evaluations, 6); // C(4,2)
+        assert!(out.cache_hits >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn rejects_empty_poi_set() {
+        let (ds, _) = planted();
+        let pipe = Pipeline::point(Lof::new(10).unwrap(), Beam::new());
+        let _ = pipe.run(&ds, &[], 2);
+    }
+}

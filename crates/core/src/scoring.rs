@@ -1,0 +1,282 @@
+//! The shared subspace-scoring engine: project → detect → standardize →
+//! memoize.
+//!
+//! Every explainer evaluates the same primitive thousands to millions of
+//! times: *"how outlying is point p (or point set P) in subspace s
+//! according to detector D?"*. [`SubspaceScorer`] centralizes that
+//! primitive, applying the paper's per-subspace z-score standardization
+//! (§2.2) and caching full score vectors so stage-wise searches never
+//! re-run the detector on a subspace they have already visited.
+
+use crate::fxhash::FxHashMap;
+use crate::parallel::par_map;
+use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::zscore::standardize_scores;
+use anomex_detectors::Detector;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Caching subspace scorer binding one dataset to one detector.
+///
+/// Cheap to share by reference across threads; all interior mutability is
+/// synchronized.
+pub struct SubspaceScorer<'a> {
+    dataset: &'a Dataset,
+    detector: &'a dyn Detector,
+    cache: Mutex<FxHashMap<Subspace, Arc<Vec<f64>>>>,
+    evaluations: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cache_enabled: bool,
+    standardize: bool,
+}
+
+impl<'a> SubspaceScorer<'a> {
+    /// Creates a scorer with caching enabled.
+    #[must_use]
+    pub fn new(dataset: &'a Dataset, detector: &'a dyn Detector) -> Self {
+        SubspaceScorer {
+            dataset,
+            detector,
+            cache: Mutex::new(FxHashMap::default()),
+            evaluations: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            cache_enabled: true,
+            standardize: true,
+        }
+    }
+
+    /// Disables the per-subspace z-score standardization (paper §2.2),
+    /// exposing the detector's raw scores. Exists for the ablation
+    /// benches that quantify how much the standardization matters;
+    /// production explainers should keep it on.
+    #[must_use]
+    pub fn with_raw_scores(mut self) -> Self {
+        self.standardize = false;
+        self
+    }
+
+    /// Creates a scorer that never caches — appropriate for exhaustive
+    /// single-pass enumerations (LookOut over millions of subspaces)
+    /// where a cache would only consume memory.
+    #[must_use]
+    pub fn without_cache(dataset: &'a Dataset, detector: &'a dyn Detector) -> Self {
+        let mut s = Self::new(dataset, detector);
+        s.cache_enabled = false;
+        s
+    }
+
+    /// The underlying dataset.
+    #[must_use]
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// The underlying detector.
+    #[must_use]
+    pub fn detector(&self) -> &'a dyn Detector {
+        self.detector
+    }
+
+    /// Number of features of the underlying dataset.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.dataset.n_features()
+    }
+
+    /// Number of rows of the underlying dataset.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.dataset.n_rows()
+    }
+
+    /// Total detector invocations so far (cache misses).
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Computes (or retrieves) the **standardized** score vector of every
+    /// row in `subspace`: detector scores z-scored against the subspace's
+    /// own score population.
+    #[must_use]
+    pub fn scores(&self, subspace: &Subspace) -> Arc<Vec<f64>> {
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.lock().get(subspace) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        let computed = Arc::new(self.compute(subspace));
+        if self.cache_enabled {
+            self.cache
+                .lock()
+                .entry(subspace.clone())
+                .or_insert_with(|| Arc::clone(&computed));
+        }
+        computed
+    }
+
+    /// The standardized score of one point in one subspace — the
+    /// `score(p_s)'` of the paper's §2.2.
+    #[must_use]
+    pub fn point_score(&self, subspace: &Subspace, point: usize) -> f64 {
+        self.scores(subspace)[point]
+    }
+
+    /// Scores a batch of subspaces in parallel (order preserved). The
+    /// parallelism lives here, at the candidate level, so detectors and
+    /// explainers stay single-threaded and simple.
+    #[must_use]
+    pub fn score_batch(&self, subspaces: &[Subspace]) -> Vec<Arc<Vec<f64>>> {
+        par_map(subspaces, |s| self.scores(s))
+    }
+
+    /// Convenience: the standardized scores of a fixed set of points in a
+    /// batch of subspaces — `out[i][j]` is the score of `points[j]` in
+    /// `subspaces[i]`. Uses the parallel batch path.
+    #[must_use]
+    pub fn point_scores_batch(
+        &self,
+        subspaces: &[Subspace],
+        points: &[usize],
+    ) -> Vec<Vec<f64>> {
+        self.score_batch(subspaces)
+            .into_iter()
+            .map(|v| points.iter().map(|&p| v[p]).collect())
+            .collect()
+    }
+
+    fn compute(&self, subspace: &Subspace) -> Vec<f64> {
+        assert!(
+            !subspace.is_empty(),
+            "cannot score the empty subspace"
+        );
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let projected = self.dataset.project(subspace);
+        let raw = self.detector.score_all(&projected);
+        debug_assert_eq!(raw.len(), self.dataset.n_rows());
+        if self.standardize {
+            standardize_scores(&raw)
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use anomex_detectors::Lof;
+
+    fn toy() -> Dataset {
+        // A tight cluster with one planted outlier in feature pair {0,1};
+        // feature 2 is uniform noise.
+        let mut rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64 / 30.0;
+                vec![t * 0.01, t * 0.01, t]
+            })
+            .collect();
+        rows.push(vec![0.8, 0.9, 0.5]);
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn scores_are_standardized() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let z = scorer.scores(&Subspace::new([0usize, 1]));
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        // Planted outlier dominates.
+        let top = (0..z.len()).max_by(|&a, &b| z[a].total_cmp(&z[b])).unwrap();
+        assert_eq!(top, 30);
+    }
+
+    #[test]
+    fn caching_avoids_recomputation() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let s = Subspace::new([0usize, 2]);
+        let a = scorer.scores(&s);
+        let b = scorer.scores(&s);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(scorer.evaluations(), 1);
+        assert_eq!(scorer.cache_hits(), 1);
+    }
+
+    #[test]
+    fn uncached_scorer_recomputes() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::without_cache(&ds, &lof);
+        let s = Subspace::new([1usize, 2]);
+        let a = scorer.scores(&s);
+        let b = scorer.scores(&s);
+        assert_eq!(*a, *b); // same values
+        assert_eq!(scorer.evaluations(), 2); // but computed twice
+        assert_eq!(scorer.cache_hits(), 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let subs: Vec<Subspace> = vec![
+            Subspace::new([0usize]),
+            Subspace::new([1usize]),
+            Subspace::new([0usize, 1]),
+            Subspace::new([0usize, 1, 2]),
+        ];
+        let batch = scorer.score_batch(&subs);
+        for (s, b) in subs.iter().zip(&batch) {
+            let direct = scorer.scores(s);
+            assert_eq!(**b, *direct);
+        }
+    }
+
+    #[test]
+    fn point_scores_batch_shape() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let subs = vec![Subspace::new([0usize, 1]), Subspace::new([2usize])];
+        let pts = vec![30usize, 0];
+        let m = scorer.point_scores_batch(&subs, &pts);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(m[0][0], scorer.point_score(&subs[0], 30));
+    }
+
+    #[test]
+    fn raw_scores_skip_standardization() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let raw = SubspaceScorer::new(&ds, &lof).with_raw_scores();
+        let s = Subspace::new([0usize, 1]);
+        let v = raw.scores(&s);
+        // Raw LOF scores hover around 1, never zero-mean.
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean > 0.5, "raw LOF mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty subspace")]
+    fn rejects_empty_subspace() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let _ = scorer.scores(&Subspace::new(Vec::<usize>::new()));
+    }
+}

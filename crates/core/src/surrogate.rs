@@ -1,0 +1,299 @@
+//! Surrogate (predictive) explanations — the research direction the
+//! paper's conclusions (§6) lay out: *"build a surrogate model to
+//! predict the scores of points produced by an unsupervised outlier
+//! detector and approximate its decision boundary using minimal
+//! predictive signatures"*.
+//!
+//! Where the four benchmarked algorithms produce *descriptive*
+//! explanations (they re-search subspaces for every new batch), a
+//! surrogate explanation is a **model**: it regresses the detector's
+//! score vector on the raw features and returns the *minimal feature
+//! signature* that predicts the scores well. The signature doubles as a
+//! reusable explanation — it does not have to be recomputed when new
+//! data arrives from the same generative process.
+//!
+//! The implementation uses greedy forward selection over ordinary least
+//! squares (interaction-expanded, see below), stopping when adding a
+//! feature no longer improves R² by `min_gain` or the target `r2_target`
+//! is reached. Linear terms alone cannot see *joint* deviations (a
+//! masked subspace outlier has unremarkable marginals), so each
+//! candidate feature also contributes its pairwise products with the
+//! features already selected — the cheapest interaction expansion that
+//! makes tube-style subspace structure visible to the regression.
+
+use crate::explainer::{RankedSubspaces, SummaryExplainer};
+use crate::scoring::SubspaceScorer;
+use anomex_dataset::Subspace;
+use anomex_stats::linalg::least_squares;
+
+/// The surrogate explainer.
+///
+/// As a [`SummaryExplainer`], it ranks `target_dim`-sized signatures by
+/// their predictive R² — but its native output, [`Surrogate::fit`],
+/// exposes the full fitted model (signature, coefficients, R² path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Surrogate {
+    max_features: usize,
+    min_gain: f64,
+    r2_target: f64,
+}
+
+impl Default for Surrogate {
+    fn default() -> Self {
+        Surrogate {
+            max_features: 5,
+            min_gain: 0.01,
+            r2_target: 0.95,
+        }
+    }
+}
+
+/// A fitted surrogate model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateModel {
+    /// Selected features in selection order.
+    pub signature: Vec<usize>,
+    /// R² after each selection step (same length as `signature`).
+    pub r2_path: Vec<f64>,
+    /// Final in-sample R².
+    pub r_squared: f64,
+}
+
+impl SurrogateModel {
+    /// The signature as a canonical subspace.
+    #[must_use]
+    pub fn subspace(&self) -> Subspace {
+        Subspace::new(self.signature.clone())
+    }
+}
+
+impl Surrogate {
+    /// A surrogate with default stopping rules (≤ 5 features, 1 % min
+    /// R² gain, stop at R² ≥ 0.95).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum signature size.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    #[must_use]
+    pub fn max_features(mut self, n: usize) -> Self {
+        assert!(n > 0, "signature needs at least one feature");
+        self.max_features = n;
+        self
+    }
+
+    /// Minimum R² improvement to keep growing the signature.
+    #[must_use]
+    pub fn min_gain(mut self, g: f64) -> Self {
+        self.min_gain = g;
+        self
+    }
+
+    /// Early-stop R² target.
+    #[must_use]
+    pub fn r2_target(mut self, t: f64) -> Self {
+        self.r2_target = t;
+        self
+    }
+
+    /// Fits the surrogate: regresses the detector's score vector in the
+    /// subspace `scored` (usually the full space) on the raw features,
+    /// greedily growing the minimal predictive signature.
+    #[must_use]
+    pub fn fit(&self, scorer: &SubspaceScorer<'_>, scored: &Subspace) -> SurrogateModel {
+        let ds = scorer.dataset();
+        let y = scorer.scores(scored);
+        let d = ds.n_features();
+
+        let mut selected: Vec<usize> = Vec::new();
+        let mut r2_path: Vec<f64> = Vec::new();
+        let mut best_r2 = 0.0f64;
+
+        while selected.len() < self.max_features.min(d) {
+            let mut best: Option<(usize, f64)> = None;
+            for f in 0..d {
+                if selected.contains(&f) {
+                    continue;
+                }
+                let r2 = self.fit_r2(ds, &selected, f, &y);
+                if best.is_none_or(|(_, b)| r2 > b) {
+                    best = Some((f, r2));
+                }
+            }
+            let Some((f, r2)) = best else { break };
+            if r2 - best_r2 < self.min_gain && !selected.is_empty() {
+                break;
+            }
+            selected.push(f);
+            r2_path.push(r2);
+            best_r2 = r2;
+            if best_r2 >= self.r2_target {
+                break;
+            }
+        }
+        SurrogateModel {
+            signature: selected,
+            r2_path,
+            r_squared: best_r2,
+        }
+    }
+
+    /// R² of the OLS fit on `selected ∪ {candidate}` with pairwise
+    /// interaction terms between the candidate and the selected set.
+    fn fit_r2(
+        &self,
+        ds: &anomex_dataset::Dataset,
+        selected: &[usize],
+        candidate: usize,
+        y: &[f64],
+    ) -> f64 {
+        let n = ds.n_rows();
+        let mut cols: Vec<Vec<f64>> = Vec::new();
+        for &f in selected.iter().chain(std::iter::once(&candidate)) {
+            cols.push(ds.column(f).to_vec());
+        }
+        // Interaction terms (candidate × each selected feature): the
+        // joint deviation carrier.
+        for &f in selected {
+            let inter: Vec<f64> = (0..n)
+                .map(|i| ds.value(i, f) * ds.value(i, candidate))
+                .collect();
+            cols.push(inter);
+        }
+        let col_refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        match least_squares(&col_refs, y) {
+            Ok(fit) => fit.r_squared,
+            Err(_) => f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl SummaryExplainer for Surrogate {
+    fn summarize(
+        &self,
+        scorer: &SubspaceScorer<'_>,
+        points: &[usize],
+        target_dim: usize,
+    ) -> RankedSubspaces {
+        assert!(!points.is_empty(), "surrogate needs at least one point of interest");
+        let d = scorer.n_features();
+        assert!(
+            (1..=d).contains(&target_dim),
+            "target dimensionality {target_dim} out of range 1..={d}"
+        );
+        // Fit against the full-space score vector, then report the
+        // signature prefix of the requested size (plus the nested
+        // prefixes, ranked by their R² — a natural ranked output).
+        let model = self
+            .max_features(target_dim)
+            .fit(scorer, &Subspace::full(d));
+        let mut out = Vec::new();
+        for k in (1..=model.signature.len()).rev() {
+            out.push((
+                Subspace::new(model.signature[..k].to_vec()),
+                model.r2_path[k - 1],
+            ));
+        }
+        RankedSubspaces::from_ordered(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "Surrogate"
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use anomex_detectors::Lof;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 6 features; outlyingness (LOF in full space) is driven by the
+    /// {1, 4} tube: points off the tube are the outliers.
+    fn planted() -> (Dataset, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 250;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n + 5);
+        for _ in 0..n {
+            let t: f64 = rng.gen_range(0.1..0.9);
+            let mut r: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
+            r[1] = t + rng.gen_range(-0.02..0.02);
+            r[4] = t + rng.gen_range(-0.02..0.02);
+            rows.push(r);
+        }
+        let mut outliers = Vec::new();
+        for i in 0..5 {
+            outliers.push(rows.len());
+            let mut r: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
+            r[1] = 0.2 + i as f64 * 0.05;
+            r[4] = 0.8 - i as f64 * 0.05;
+            rows.push(r);
+        }
+        (Dataset::from_rows(rows).unwrap(), outliers)
+    }
+
+    #[test]
+    fn signature_finds_score_driving_features() {
+        let (ds, _) = planted();
+        let lof = Lof::new(15).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let model = Surrogate::new()
+            .max_features(3)
+            .min_gain(0.005)
+            .fit(&scorer, &Subspace::new([1usize, 4]));
+        // Fitting against the score in the driving subspace must select
+        // exactly its features first.
+        assert!(model.signature.len() >= 2, "{model:?}");
+        assert!(model.signature[..2].contains(&1), "{model:?}");
+        assert!(model.signature[..2].contains(&4), "{model:?}");
+    }
+
+    #[test]
+    fn r2_path_is_monotone() {
+        let (ds, _) = planted();
+        let lof = Lof::new(15).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let model = Surrogate::new().max_features(4).min_gain(0.0).fit(
+            &scorer,
+            &Subspace::full(6),
+        );
+        for w in model.r2_path.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{:?}", model.r2_path);
+        }
+        assert!(model.r_squared <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn summarize_returns_nested_prefixes() {
+        let (ds, outliers) = planted();
+        let lof = Lof::new(15).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let ranked = Surrogate::new().summarize(&scorer, &outliers, 3);
+        assert!(!ranked.is_empty());
+        // Dims decrease along the ranking (largest prefix first) and
+        // every entry is a prefix of the previous.
+        let entries = ranked.entries();
+        for w in entries.windows(2) {
+            assert!(w[1].0.is_subset_of(&w[0].0));
+        }
+    }
+
+    #[test]
+    fn stops_early_on_min_gain() {
+        let (ds, _) = planted();
+        let lof = Lof::new(15).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let strict = Surrogate::new().max_features(6).min_gain(0.5).fit(
+            &scorer,
+            &Subspace::full(6),
+        );
+        // A 50 % gain requirement cannot be met repeatedly.
+        assert!(strict.signature.len() <= 2, "{strict:?}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the explanation framework.
+
+use anomex_core::explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
+use anomex_core::parallel::par_map;
+use anomex_core::scoring::SubspaceScorer;
+use anomex_core::{Beam, LookOut, RefOut};
+use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::Lof;
+use proptest::prelude::*;
+
+/// Strategy: a small random dataset (rows × features) of finite values.
+fn small_dataset() -> impl Strategy<Value = Dataset> {
+    (20usize..60, 3usize..7).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::collection::vec(0.0f64..1.0, c..=c), r..=r)
+            .prop_map(|rows| Dataset::from_rows(rows).expect("well-formed"))
+    })
+}
+
+fn scored_entries() -> impl Strategy<Value = Vec<(Subspace, f64)>> {
+    prop::collection::vec(
+        (prop::collection::vec(0usize..8, 1..4), -10.0f64..10.0)
+            .prop_map(|(fs, v)| (Subspace::new(fs), v)),
+        0..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Beam always returns non-empty rankings of exactly the requested
+    /// dimensionality, with finite scores, for any dataset and any point.
+    #[test]
+    fn beam_output_invariants(ds in small_dataset(), pt in 0usize..20, dim in 1usize..4) {
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let dim = dim.min(ds.n_features());
+        let ranked = Beam::new().beam_width(5).result_size(10).explain(&scorer, pt, dim);
+        prop_assert!(!ranked.is_empty());
+        prop_assert!(ranked.len() <= 10);
+        for (s, v) in ranked.entries() {
+            prop_assert_eq!(s.dim(), dim);
+            prop_assert!(v.is_finite());
+        }
+        // Scores sorted descending.
+        for w in ranked.entries().windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    /// RefOut honours the same output contract.
+    #[test]
+    fn refout_output_invariants(ds in small_dataset(), pt in 0usize..20, dim in 1usize..4) {
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let dim = dim.min(ds.n_features());
+        let ranked = RefOut::new().pool_size(10).beam_width(5).result_size(10)
+            .explain(&scorer, pt, dim);
+        prop_assert!(!ranked.is_empty());
+        for (s, v) in ranked.entries() {
+            prop_assert_eq!(s.dim(), dim);
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// LookOut's summary never exceeds the budget, never repeats a
+    /// subspace, and its marginal gains are non-increasing (the
+    /// submodularity witness).
+    #[test]
+    fn lookout_output_invariants(ds in small_dataset(), budget in 1usize..6) {
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let pois = vec![0usize, 1, 2];
+        let summary = LookOut::new().budget(budget).summarize(&scorer, &pois, 2);
+        prop_assert!(summary.len() <= budget);
+        let mut seen = std::collections::HashSet::new();
+        for (s, _) in summary.entries() {
+            prop_assert!(seen.insert(s.clone()));
+        }
+        for w in summary.entries().windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-9);
+        }
+    }
+
+    /// The ranking container keeps its sort/dedup invariants under any
+    /// input.
+    #[test]
+    fn ranked_subspaces_invariants(entries in scored_entries()) {
+        let r = RankedSubspaces::from_scored(entries.clone());
+        // Deduplicated.
+        let mut seen = std::collections::HashSet::new();
+        for (s, _) in r.entries() {
+            prop_assert!(seen.insert(s.clone()));
+        }
+        // Sorted descending.
+        for w in r.entries().windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        // Best score survived for each subspace.
+        for (s, v) in r.entries() {
+            let max_in = entries.iter().filter(|(e, _)| e == s).map(|(_, x)| *x)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(*v, max_in);
+        }
+    }
+
+    /// The scorer cache is score-transparent: cached and uncached
+    /// scorers agree bit-for-bit.
+    #[test]
+    fn cache_transparency(ds in small_dataset()) {
+        let lof = Lof::new(5).unwrap();
+        let cached = SubspaceScorer::new(&ds, &lof);
+        let uncached = SubspaceScorer::without_cache(&ds, &lof);
+        let s = Subspace::new([0usize, 1]);
+        prop_assert_eq!(&*cached.scores(&s), &*uncached.scores(&s));
+        prop_assert_eq!(&*cached.scores(&s), &*uncached.scores(&s)); // repeat hits cache
+    }
+
+    /// par_map equals the sequential map for arbitrary inputs.
+    #[test]
+    fn par_map_equals_map(xs in prop::collection::vec(-1e3f64..1e3, 0..200)) {
+        let par = par_map(&xs, |&x| (x * 1.5).sin());
+        let seq: Vec<f64> = xs.iter().map(|&x| (x * 1.5).sin()).collect();
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal dependency-free CSV codec for numeric datasets.
+//!
+//! Supports exactly the shape the benchmark needs: an optional header row
+//! of feature names followed by rows of finite decimal numbers separated
+//! by commas. Quoting/escaping is intentionally out of scope — generated
+//! and exported datasets never need it.
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads a dataset from CSV text. When `has_header` is true the first
+/// line provides feature names.
+///
+/// ```
+/// use anomex_dataset::csv::read_csv;
+/// let ds = read_csv("a,b\n1,2\n3,4\n".as_bytes(), true).unwrap();
+/// assert_eq!(ds.n_rows(), 2);
+/// assert_eq!(ds.feature_names(), &["a", "b"]);
+/// ```
+///
+/// # Errors
+/// [`DataError::Parse`] with a 1-based line number on malformed input.
+pub fn read_csv<R: Read>(reader: R, has_header: bool) -> Result<Dataset> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    let mut names: Option<Vec<String>> = None;
+    if has_header {
+        line_no += 1;
+        let header = lines
+            .next()
+            .ok_or(DataError::Parse {
+                line: 1,
+                detail: "empty input".into(),
+            })?
+            .map_err(DataError::Io)?;
+        names = Some(header.split(',').map(|s| s.trim().to_string()).collect());
+    }
+
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for line in lines {
+        line_no += 1;
+        let line = line.map_err(DataError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut count = 0usize;
+        for (i, field) in line.split(',').enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| DataError::Parse {
+                line: line_no,
+                detail: format!("cannot parse {:?} as a number", field.trim()),
+            })?;
+            if !v.is_finite() {
+                return Err(DataError::Parse {
+                    line: line_no,
+                    detail: "non-finite value".into(),
+                });
+            }
+            if columns.len() <= i {
+                if !columns.is_empty() && !columns[0].is_empty() && columns[0].len() > 1 {
+                    return Err(DataError::Parse {
+                        line: line_no,
+                        detail: "row has more fields than previous rows".into(),
+                    });
+                }
+                columns.push(Vec::new());
+            }
+            columns[i].push(v);
+            count = i + 1;
+        }
+        if count != columns.len() {
+            return Err(DataError::Parse {
+                line: line_no,
+                detail: format!("row has {count} fields, expected {}", columns.len()),
+            });
+        }
+    }
+
+    let ds = Dataset::from_columns(columns)?;
+    match names {
+        Some(n) => ds.with_names(n),
+        None => Ok(ds),
+    }
+}
+
+/// Reads a dataset from a CSV file on disk.
+///
+/// # Errors
+/// I/O and parse errors as in [`read_csv`].
+pub fn read_csv_file<P: AsRef<Path>>(path: P, has_header: bool) -> Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file, has_header)
+}
+
+/// Writes a dataset as CSV with a header of feature names.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv<W: Write>(ds: &Dataset, mut writer: W) -> Result<()> {
+    writeln!(writer, "{}", ds.feature_names().join(","))?;
+    let mut buf = String::new();
+    for i in 0..ds.n_rows() {
+        buf.clear();
+        for f in 0..ds.n_features() {
+            if f > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&format!("{}", ds.value(i, f)));
+        }
+        writeln!(writer, "{buf}")?;
+    }
+    Ok(())
+}
+
+/// Writes a dataset to a CSV file on disk.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv_file<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(ds, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let ds = Dataset::from_rows(vec![vec![1.5, -2.0], vec![0.25, 3.0]])
+            .unwrap()
+            .with_names(vec!["x", "y"])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(&buf[..], true).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn headerless() {
+        let ds = read_csv("1,2\n3,4\n".as_bytes(), false).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.feature_names(), &["F0", "F1"]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let ds = read_csv("1,2\n\n3,4\n\n".as_bytes(), false).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let err = read_csv("a,b\n1,2\n1,oops\n".as_bytes(), true).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(read_csv("1,2\n1\n".as_bytes(), false).is_err());
+        assert!(read_csv("1\n1,2\n".as_bytes(), false).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(read_csv("".as_bytes(), true).is_err());
+        assert!(read_csv("inf,1\n".as_bytes(), false).is_err());
+    }
+}

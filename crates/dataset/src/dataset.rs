@@ -1,0 +1,320 @@
+//! Columnar, immutable-after-construction numeric datasets.
+//!
+//! Column-major layout fits the access pattern of subspace search: an
+//! explainer touches a *few columns* of *every row* at a time, and a
+//! projection onto a subspace simply gathers those columns.
+
+use crate::subspace::Subspace;
+use crate::view::ProjectedMatrix;
+use crate::{DataError, Result};
+use anomex_stats::descriptive;
+
+/// An in-memory dataset of `n_rows × n_features` finite `f64` values,
+/// stored column-major with optional feature names.
+///
+/// ```
+/// use anomex_dataset::{Dataset, Subspace};
+/// let ds = Dataset::from_rows(vec![
+///     vec![1.0, 10.0, 100.0],
+///     vec![2.0, 20.0, 200.0],
+/// ]).unwrap();
+/// assert_eq!(ds.n_rows(), 2);
+/// assert_eq!(ds.value(1, 2), 200.0);
+/// let proj = ds.project(&Subspace::new([0usize, 2]));
+/// assert_eq!(proj.row(1), &[2.0, 200.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    columns: Vec<Vec<f64>>,
+    names: Vec<String>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from columns. All columns must have equal length;
+    /// values must be finite.
+    ///
+    /// # Errors
+    /// [`DataError::Shape`] on ragged or empty input or non-finite values.
+    pub fn from_columns(columns: Vec<Vec<f64>>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(DataError::Shape("dataset needs at least one column".into()));
+        }
+        let n_rows = columns[0].len();
+        if n_rows == 0 {
+            return Err(DataError::Shape("dataset needs at least one row".into()));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != n_rows {
+                return Err(DataError::Shape(format!(
+                    "column {i} has {} rows, expected {n_rows}",
+                    c.len()
+                )));
+            }
+            if c.iter().any(|x| !x.is_finite()) {
+                return Err(DataError::Shape(format!("column {i} contains non-finite values")));
+            }
+        }
+        let names = (0..columns.len()).map(|i| format!("F{i}")).collect();
+        Ok(Dataset { columns, names, n_rows })
+    }
+
+    /// Builds a dataset from row-major data.
+    ///
+    /// # Errors
+    /// [`DataError::Shape`] on ragged/empty input or non-finite values.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(DataError::Shape("dataset needs at least one row".into()));
+        }
+        let d = rows[0].len();
+        if d == 0 {
+            return Err(DataError::Shape("dataset needs at least one column".into()));
+        }
+        let mut columns = vec![Vec::with_capacity(rows.len()); d];
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                return Err(DataError::Shape(format!(
+                    "row {r} has {} values, expected {d}",
+                    row.len()
+                )));
+            }
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Dataset::from_columns(columns)
+    }
+
+    /// Replaces the default `F0..Fd` feature names.
+    ///
+    /// # Errors
+    /// [`DataError::Shape`] if the name count differs from the feature count.
+    pub fn with_names<S: Into<String>>(mut self, names: Vec<S>) -> Result<Self> {
+        if names.len() != self.columns.len() {
+            return Err(DataError::Shape(format!(
+                "{} names for {} features",
+                names.len(),
+                self.columns.len()
+            )));
+        }
+        self.names = names.into_iter().map(Into::into).collect();
+        Ok(self)
+    }
+
+    /// Number of rows (data points).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features (columns).
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Feature names.
+    #[must_use]
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// A whole column.
+    ///
+    /// # Panics
+    /// Panics when `feature` is out of bounds.
+    #[must_use]
+    pub fn column(&self, feature: usize) -> &[f64] {
+        &self.columns[feature]
+    }
+
+    /// One cell value.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn value(&self, row: usize, feature: usize) -> f64 {
+        self.columns[feature][row]
+    }
+
+    /// Gathers one row into a fresh vector (row-major callers only;
+    /// hot paths should use [`Dataset::project`]).
+    #[must_use]
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// Materializes the projection of every row onto `subspace` as a
+    /// row-major matrix — the input format of every detector.
+    ///
+    /// # Panics
+    /// Panics when the subspace references a feature out of bounds.
+    #[must_use]
+    pub fn project(&self, subspace: &Subspace) -> ProjectedMatrix {
+        let k = subspace.dim();
+        assert!(k > 0, "cannot project onto an empty subspace");
+        let mut data = vec![0.0; self.n_rows * k];
+        for (j, feature) in subspace.iter().enumerate() {
+            assert!(
+                feature < self.columns.len(),
+                "feature {feature} out of bounds for {} features",
+                self.columns.len()
+            );
+            let col = &self.columns[feature];
+            for (i, &v) in col.iter().enumerate() {
+                data[i * k + j] = v;
+            }
+        }
+        ProjectedMatrix::new(data, self.n_rows, k)
+    }
+
+    /// Materializes the full feature space (`project` onto all features).
+    #[must_use]
+    pub fn full_matrix(&self) -> ProjectedMatrix {
+        self.project(&Subspace::full(self.n_features()))
+    }
+
+    /// Returns a copy with every feature min-max scaled into `[0, 1]`
+    /// (constant features become 0.5). Standard preprocessing so that
+    /// distance-based detectors weigh features comparably.
+    #[must_use]
+    pub fn min_max_scaled(&self) -> Dataset {
+        let mut columns = self.columns.clone();
+        for c in &mut columns {
+            descriptive::min_max_scale(c);
+        }
+        Dataset {
+            columns,
+            names: self.names.clone(),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Returns a copy with every feature standardized to zero mean and
+    /// unit variance (constant features become all-zero).
+    #[must_use]
+    pub fn standardized(&self) -> Dataset {
+        let mut columns = self.columns.clone();
+        for c in &mut columns {
+            descriptive::standardize(c);
+        }
+        Dataset {
+            columns,
+            names: self.names.clone(),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Pearson correlation between two features (0 when either is constant).
+    ///
+    /// # Panics
+    /// Panics when a feature index is out of bounds.
+    #[must_use]
+    pub fn correlation(&self, fa: usize, fb: usize) -> f64 {
+        let a = &self.columns[fa];
+        let b = &self.columns[fb];
+        let ma = descriptive::mean(a);
+        let mb = descriptive::mean(b);
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for i in 0..self.n_rows {
+            let da = a[i] - ma;
+            let db = b[i] - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        if va == 0.0 || vb == 0.0 {
+            0.0
+        } else {
+            cov / (va.sqrt() * vb.sqrt())
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![1.0, 4.0, 7.0],
+            vec![2.0, 5.0, 8.0],
+            vec![3.0, 6.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_round_trips() {
+        let ds = toy();
+        assert_eq!(ds.n_rows(), 3);
+        assert_eq!(ds.n_features(), 3);
+        assert_eq!(ds.row(1), vec![2.0, 5.0, 8.0]);
+        assert_eq!(ds.column(2), &[7.0, 8.0, 9.0]);
+        assert_eq!(ds.value(0, 1), 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Dataset::from_rows(vec![]).is_err());
+        assert!(Dataset::from_rows(vec![vec![]]).is_err());
+        assert!(Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Dataset::from_columns(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Dataset::from_rows(vec![vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn names() {
+        let ds = toy().with_names(vec!["a", "b", "c"]).unwrap();
+        assert_eq!(ds.feature_names(), &["a", "b", "c"]);
+        assert!(toy().with_names(vec!["a"]).is_err());
+        assert_eq!(toy().feature_names()[0], "F0");
+    }
+
+    #[test]
+    fn projection_gathers_columns() {
+        let ds = toy();
+        let p = ds.project(&Subspace::new([2usize, 0]));
+        assert_eq!(p.n_rows(), 3);
+        assert_eq!(p.dim(), 2);
+        // Canonical subspace order is [0, 2].
+        assert_eq!(p.row(0), &[1.0, 7.0]);
+        assert_eq!(p.row(2), &[3.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn projection_checks_bounds() {
+        let _ = toy().project(&Subspace::new([5usize]));
+    }
+
+    #[test]
+    fn min_max_scaling() {
+        let ds = toy().min_max_scaled();
+        assert_eq!(ds.column(0), &[0.0, 0.5, 1.0]);
+        assert_eq!(ds.column(2), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn standardization() {
+        let ds = toy().standardized();
+        for f in 0..3 {
+            let c = ds.column(f);
+            let mean: f64 = c.iter().sum::<f64>() / c.len() as f64;
+            assert!(mean.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_of_identical_columns_is_one() {
+        let ds = toy();
+        assert!((ds.correlation(0, 1) - 1.0).abs() < 1e-12); // both increasing linearly
+        let anti = Dataset::from_columns(vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]]).unwrap();
+        assert!((anti.correlation(0, 1) + 1.0).abs() < 1e-12);
+        let constant = Dataset::from_columns(vec![vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        assert_eq!(constant.correlation(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Gaussian-cluster sampling helpers shared by the generators.
+
+use rand::Rng;
+use rand_distr_free::sample_standard_normal;
+
+/// A tiny standard-normal sampler (Box–Muller) so the crate needs no
+/// `rand_distr` dependency.
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// One standard-normal draw via the Box–Muller transform.
+    pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Avoid u1 == 0 which would take ln(0).
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// One standard-normal draw.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    sample_standard_normal(rng)
+}
+
+/// One `N(mean, std²)` draw.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * sample_standard_normal(rng)
+}
+
+/// Cluster centers evenly spaced on the interval `[lo, hi]` with a small
+/// deterministic jitter; with a single cluster, the midpoint.
+///
+/// Centers on a shared interval are what make the features of a block
+/// *correlated* (paper Figure 6): every coordinate of an inlier equals
+/// its cluster's center value plus noise, so between-cluster variance is
+/// common to all coordinates.
+pub fn diagonal_centers<R: Rng + ?Sized>(rng: &mut R, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n >= 1 && hi > lo);
+    if n == 1 {
+        return vec![0.5 * (lo + hi)];
+    }
+    let span = hi - lo;
+    let step = span / (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let jitter = (rng.gen::<f64>() - 0.5) * 0.2 * step;
+            (lo + i as f64 * step + jitter).clamp(lo, hi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn centers_spacing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = diagonal_centers(&mut rng, 4, 0.2, 0.8);
+        assert_eq!(c.len(), 4);
+        assert!(c.iter().all(|&x| (0.2..=0.8).contains(&x)));
+        for w in c.windows(2) {
+            assert!(w[1] > w[0], "centers must stay ordered");
+        }
+        let single = diagonal_centers(&mut rng, 1, 0.0, 1.0);
+        assert_eq!(single, vec![0.5]);
+    }
+}

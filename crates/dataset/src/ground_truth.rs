@@ -1,0 +1,202 @@
+//! Ground truth: which points are outliers and which subspaces explain
+//! them.
+//!
+//! Mirrors the paper's evaluation protocol (§3.3): each point of interest
+//! `p` has a set `REL_p` of relevant subspaces; an explainer's output
+//! `EXP_a(p)` is judged by exact membership of its subspaces in `REL_p`,
+//! restricted to the points explained at the requested dimensionality.
+
+use crate::subspace::Subspace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outlier points and their relevant subspaces.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// point id → relevant subspaces (each point appears once; the map is
+    /// ordered so iteration is deterministic).
+    relevant: BTreeMap<usize, Vec<Subspace>>,
+}
+
+impl GroundTruth {
+    /// An empty ground truth.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `subspace` relevant for `point`. Duplicate declarations
+    /// are ignored.
+    pub fn add(&mut self, point: usize, subspace: Subspace) {
+        let entry = self.relevant.entry(point).or_default();
+        if !entry.contains(&subspace) {
+            entry.push(subspace);
+        }
+    }
+
+    /// All outlier point ids, ascending.
+    #[must_use]
+    pub fn outliers(&self) -> Vec<usize> {
+        self.relevant.keys().copied().collect()
+    }
+
+    /// Number of outlier points.
+    #[must_use]
+    pub fn n_outliers(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// The relevant subspaces of one point (empty if the point is not an
+    /// outlier).
+    #[must_use]
+    pub fn relevant_for(&self, point: usize) -> &[Subspace] {
+        self.relevant.get(&point).map_or(&[], Vec::as_slice)
+    }
+
+    /// The relevant subspaces of one point that have exactly `dim`
+    /// features.
+    #[must_use]
+    pub fn relevant_for_at_dim(&self, point: usize, dim: usize) -> Vec<&Subspace> {
+        self.relevant_for(point)
+            .iter()
+            .filter(|s| s.dim() == dim)
+            .collect()
+    }
+
+    /// Points that, according to the ground truth, are explained by at
+    /// least one subspace of exactly `dim` features. The paper's MAP and
+    /// Mean Recall are computed over exactly this population.
+    #[must_use]
+    pub fn points_explained_at_dim(&self, dim: usize) -> Vec<usize> {
+        self.relevant
+            .iter()
+            .filter(|(_, subs)| subs.iter().any(|s| s.dim() == dim))
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// The deduplicated set of all relevant subspaces, ordered.
+    #[must_use]
+    pub fn relevant_subspaces(&self) -> Vec<Subspace> {
+        let mut all: Vec<Subspace> = self.relevant.values().flatten().cloned().collect();
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    /// Histogram of relevant-subspace dimensionalities
+    /// (dim → count of distinct relevant subspaces). Regenerates the data
+    /// behind the paper's Figure 8.
+    #[must_use]
+    pub fn dimensionality_histogram(&self) -> BTreeMap<usize, usize> {
+        let mut h = BTreeMap::new();
+        for s in self.relevant_subspaces() {
+            *h.entry(s.dim()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Average number of relevant subspaces per outlier (Table 1).
+    #[must_use]
+    pub fn mean_subspaces_per_outlier(&self) -> f64 {
+        if self.relevant.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.relevant.values().map(Vec::len).sum();
+        total as f64 / self.relevant.len() as f64
+    }
+
+    /// Average number of outliers explained per relevant subspace (Table 1).
+    #[must_use]
+    pub fn mean_outliers_per_subspace(&self) -> f64 {
+        let subs = self.relevant_subspaces();
+        if subs.is_empty() {
+            return 0.0;
+        }
+        let total: usize = subs
+            .iter()
+            .map(|s| {
+                self.relevant
+                    .values()
+                    .filter(|rels| rels.contains(s))
+                    .count()
+            })
+            .sum();
+        total as f64 / subs.len() as f64
+    }
+
+    /// Fraction of outliers explained by exactly `k` relevant subspaces.
+    #[must_use]
+    pub fn fraction_with_k_subspaces(&self, k: usize) -> f64 {
+        if self.relevant.is_empty() {
+            return 0.0;
+        }
+        let n = self.relevant.values().filter(|v| v.len() == k).count();
+        n as f64 / self.relevant.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn sample() -> GroundTruth {
+        let mut gt = GroundTruth::new();
+        gt.add(3, Subspace::new([0usize, 1]));
+        gt.add(3, Subspace::new([0usize, 1, 2]));
+        gt.add(7, Subspace::new([0usize, 1]));
+        gt.add(9, Subspace::new([4usize, 5, 6]));
+        gt
+    }
+
+    #[test]
+    fn outlier_listing() {
+        let gt = sample();
+        assert_eq!(gt.outliers(), vec![3, 7, 9]);
+        assert_eq!(gt.n_outliers(), 3);
+        assert!(gt.relevant_for(42).is_empty());
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut gt = sample();
+        gt.add(3, Subspace::new([1usize, 0]));
+        assert_eq!(gt.relevant_for(3).len(), 2);
+    }
+
+    #[test]
+    fn dim_filtering() {
+        let gt = sample();
+        assert_eq!(gt.points_explained_at_dim(2), vec![3, 7]);
+        assert_eq!(gt.points_explained_at_dim(3), vec![3, 9]);
+        assert!(gt.points_explained_at_dim(5).is_empty());
+        assert_eq!(gt.relevant_for_at_dim(3, 2).len(), 1);
+    }
+
+    #[test]
+    fn subspace_dedup_and_histogram() {
+        let gt = sample();
+        assert_eq!(gt.relevant_subspaces().len(), 3); // {0,1} counted once
+        let h = gt.dimensionality_histogram();
+        assert_eq!(h[&2], 1);
+        assert_eq!(h[&3], 2);
+    }
+
+    #[test]
+    fn table1_statistics() {
+        let gt = sample();
+        assert!((gt.mean_subspaces_per_outlier() - 4.0 / 3.0).abs() < 1e-12);
+        // {0,1} explains 2 points; the two 3d subspaces explain 1 each.
+        assert!((gt.mean_outliers_per_subspace() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((gt.fraction_with_k_subspaces(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((gt.fraction_with_k_subspaces(2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::new();
+        assert_eq!(gt.mean_subspaces_per_outlier(), 0.0);
+        assert_eq!(gt.mean_outliers_per_subspace(), 0.0);
+        assert!(gt.outliers().is_empty());
+    }
+}

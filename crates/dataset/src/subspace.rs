@@ -1,0 +1,359 @@
+//! Feature subspaces: canonical, ordered sets of feature indices.
+//!
+//! A *subspace* is the unit of explanation in the whole framework: point
+//! explainers rank subspaces per outlier, summarizers rank subspaces per
+//! outlier *set*, and ground truth associates outliers with their relevant
+//! subspaces. Canonical (sorted, deduplicated) representation makes
+//! equality, hashing and subset tests cheap and unambiguous.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A canonical set of feature indices (sorted ascending, no duplicates).
+///
+/// Feature indices are stored as `u16` (≤ 65 535 features), which keeps
+/// the type compact enough to be hashed millions of times during subspace
+/// search.
+///
+/// ```
+/// use anomex_dataset::Subspace;
+/// let s = Subspace::new([3usize, 1, 3, 2]);
+/// assert_eq!(s.features(), &[1, 2, 3]);
+/// assert_eq!(s.dim(), 3);
+/// assert!(s.is_superset_of(&Subspace::new([1usize, 3])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Subspace {
+    features: Vec<u16>,
+}
+
+impl Subspace {
+    /// Builds a canonical subspace from any collection of feature indices;
+    /// duplicates are removed and order is normalized.
+    ///
+    /// # Panics
+    /// Panics if any index exceeds `u16::MAX` (the framework targets
+    /// datasets of at most 65 535 features).
+    #[must_use]
+    pub fn new<I>(features: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<usize>,
+    {
+        let mut f: Vec<u16> = features
+            .into_iter()
+            .map(|x| {
+                let x: usize = x.into();
+                u16::try_from(x).expect("feature index exceeds u16::MAX")
+            })
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        Subspace { features: f }
+    }
+
+    /// A single-feature subspace.
+    #[must_use]
+    pub fn single(feature: usize) -> Self {
+        Subspace::new([feature])
+    }
+
+    /// The full feature space of a `d`-dimensional dataset: `{0, …, d−1}`.
+    #[must_use]
+    pub fn full(d: usize) -> Self {
+        Subspace::new(0..d)
+    }
+
+    /// The sorted feature indices.
+    #[must_use]
+    pub fn features(&self) -> &[u16] {
+        &self.features
+    }
+
+    /// Iterates the feature indices as `usize` (convenient for column access).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.features.iter().map(|&f| f as usize)
+    }
+
+    /// Number of features (the subspace's dimensionality).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the subspace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Whether `feature` belongs to the subspace (binary search).
+    #[must_use]
+    pub fn contains(&self, feature: usize) -> bool {
+        u16::try_from(feature)
+            .map(|f| self.features.binary_search(&f).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Whether every feature of `other` is contained in `self`.
+    #[must_use]
+    pub fn is_superset_of(&self, other: &Subspace) -> bool {
+        if other.features.len() > self.features.len() {
+            return false;
+        }
+        // Linear merge over both sorted lists.
+        let mut it = self.features.iter();
+        'outer: for &f in &other.features {
+            for &g in it.by_ref() {
+                match g.cmp(&f) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether every feature of `self` is contained in `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Subspace) -> bool {
+        other.is_superset_of(self)
+    }
+
+    /// Union of two subspaces (the *join* used by stage-wise search).
+    #[must_use]
+    pub fn union(&self, other: &Subspace) -> Subspace {
+        let mut f = Vec::with_capacity(self.features.len() + other.features.len());
+        f.extend_from_slice(&self.features);
+        f.extend_from_slice(&other.features);
+        f.sort_unstable();
+        f.dedup();
+        Subspace { features: f }
+    }
+
+    /// `self` extended with one feature; returns `None` if the feature is
+    /// already present (the no-op join stage-wise searches must skip).
+    #[must_use]
+    pub fn extended_with(&self, feature: usize) -> Option<Subspace> {
+        if self.contains(feature) {
+            return None;
+        }
+        let f = u16::try_from(feature).ok()?;
+        let pos = self.features.partition_point(|&g| g < f);
+        let mut features = Vec::with_capacity(self.features.len() + 1);
+        features.extend_from_slice(&self.features[..pos]);
+        features.push(f);
+        features.extend_from_slice(&self.features[pos..]);
+        Some(Subspace { features })
+    }
+
+    /// Number of features shared with `other`.
+    #[must_use]
+    pub fn intersection_size(&self, other: &Subspace) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.features.len() && j < other.features.len() {
+            match self.features[i].cmp(&other.features[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+impl fmt::Display for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, feat) in self.features.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "F{feat}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Subspace {
+    fn from(fs: [usize; N]) -> Self {
+        Subspace::new(fs)
+    }
+}
+
+/// Enumerates every subspace of exactly `k` features drawn from a
+/// `d`-dimensional feature space, in lexicographic order.
+///
+/// This is the exhaustive enumeration used by LookOut (fixed-`k` search)
+/// and by the first stage of Beam and HiCS (`k = 2`). The number of
+/// combinations is `C(d, k)`; callers are expected to keep `k` small.
+///
+/// ```
+/// use anomex_dataset::subspace::enumerate_subspaces;
+/// let all: Vec<_> = enumerate_subspaces(4, 2).collect();
+/// assert_eq!(all.len(), 6); // C(4, 2)
+/// ```
+pub fn enumerate_subspaces(d: usize, k: usize) -> SubspaceCombinations {
+    SubspaceCombinations::new(d, k)
+}
+
+/// Iterator over all `C(d, k)` canonical subspaces (see
+/// [`enumerate_subspaces`]).
+#[derive(Debug, Clone)]
+pub struct SubspaceCombinations {
+    d: usize,
+    k: usize,
+    current: Vec<u16>,
+    done: bool,
+}
+
+impl SubspaceCombinations {
+    fn new(d: usize, k: usize) -> Self {
+        let done = k > d || k == 0;
+        let current: Vec<u16> = (0..k as u16).collect();
+        SubspaceCombinations { d, k, current, done }
+    }
+}
+
+impl Iterator for SubspaceCombinations {
+    type Item = Subspace;
+
+    fn next(&mut self) -> Option<Subspace> {
+        if self.done {
+            return None;
+        }
+        let out = Subspace {
+            features: self.current.clone(),
+        };
+        // Advance to the next combination (standard odometer).
+        let k = self.k;
+        let d = self.d as u16;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            let max_at_i = d - (k - i) as u16;
+            if self.current[i] < max_at_i {
+                self.current[i] += 1;
+                for j in i + 1..k {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// `C(n, k)` as `u128`, saturating; used for search-space accounting in
+/// reports and benches.
+#[must_use]
+pub fn n_choose_k(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i + 1) as u128;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes() {
+        let s = Subspace::new([5usize, 1, 3, 1, 5]);
+        assert_eq!(s.features(), &[1, 3, 5]);
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s, Subspace::new([3usize, 5, 1]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Subspace::new([2usize, 0]).to_string(), "{F0,F2}");
+        assert_eq!(Subspace::new(Vec::<usize>::new()).to_string(), "{}");
+    }
+
+    #[test]
+    fn subset_superset() {
+        let big = Subspace::new([0usize, 2, 4, 6]);
+        let small = Subspace::new([2usize, 6]);
+        assert!(big.is_superset_of(&small));
+        assert!(small.is_subset_of(&big));
+        assert!(!small.is_superset_of(&big));
+        assert!(big.is_superset_of(&big));
+        assert!(!big.is_superset_of(&Subspace::new([2usize, 5])));
+        assert!(big.is_superset_of(&Subspace::new(Vec::<usize>::new())));
+    }
+
+    #[test]
+    fn union_and_extend() {
+        let a = Subspace::new([0usize, 3]);
+        let b = Subspace::new([1usize, 3]);
+        assert_eq!(a.union(&b), Subspace::new([0usize, 1, 3]));
+        assert_eq!(a.extended_with(1), Some(Subspace::new([0usize, 1, 3])));
+        assert_eq!(a.extended_with(3), None);
+    }
+
+    #[test]
+    fn intersection_size() {
+        let a = Subspace::new([0usize, 1, 2, 5]);
+        let b = Subspace::new([1usize, 5, 9]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(b.intersection_size(&a), 2);
+        assert_eq!(a.intersection_size(&Subspace::new([7usize])), 0);
+    }
+
+    #[test]
+    fn contains_handles_out_of_range() {
+        let s = Subspace::new([1usize, 2]);
+        assert!(s.contains(2));
+        assert!(!s.contains(70000)); // beyond u16
+    }
+
+    #[test]
+    fn enumeration_counts_and_order() {
+        let all: Vec<Subspace> = enumerate_subspaces(5, 3).collect();
+        assert_eq!(all.len() as u128, n_choose_k(5, 3));
+        // Lexicographic and unique.
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(all[0], Subspace::new([0usize, 1, 2]));
+        assert_eq!(all[all.len() - 1], Subspace::new([2usize, 3, 4]));
+    }
+
+    #[test]
+    fn enumeration_edge_cases() {
+        assert_eq!(enumerate_subspaces(4, 0).count(), 0);
+        assert_eq!(enumerate_subspaces(3, 4).count(), 0);
+        assert_eq!(enumerate_subspaces(3, 3).count(), 1);
+        assert_eq!(enumerate_subspaces(1, 1).count(), 1);
+    }
+
+    #[test]
+    fn n_choose_k_values() {
+        assert_eq!(n_choose_k(6, 2), 15);
+        assert_eq!(n_choose_k(100, 5), 75_287_520);
+        assert_eq!(n_choose_k(3, 5), 0);
+        assert_eq!(n_choose_k(70, 5), 12_103_014);
+    }
+
+    #[test]
+    fn full_space() {
+        assert_eq!(Subspace::full(3), Subspace::new([0usize, 1, 2]));
+    }
+}

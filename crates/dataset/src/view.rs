@@ -1,0 +1,124 @@
+//! Row-major projected matrices — the working representation every
+//! detector scores.
+//!
+//! A [`ProjectedMatrix`] owns a dense row-major buffer so that the O(N²)
+//! distance scans of LOF/ABOD walk contiguous memory regardless of which
+//! feature subset was projected.
+
+/// A dense row-major `n_rows × dim` matrix of finite `f64`s, produced by
+/// [`crate::Dataset::project`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectedMatrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    dim: usize,
+}
+
+impl ProjectedMatrix {
+    /// Wraps a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n_rows * dim`.
+    #[must_use]
+    pub fn new(data: Vec<f64>, n_rows: usize, dim: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            n_rows * dim,
+            "buffer length {} does not match {n_rows}x{dim}",
+            data.len()
+        );
+        ProjectedMatrix { data, n_rows, dim }
+    }
+
+    /// Number of rows (points).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of projected features.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Squared Euclidean distance between rows `i` and `j`.
+    #[must_use]
+    pub fn sq_dist(&self, i: usize, j: usize) -> f64 {
+        sq_dist(self.row(i), self.row(j))
+    }
+
+    /// The raw row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Debug-asserts equal lengths.
+#[must_use]
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Dot product of two equal-length slices.
+#[must_use]
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_dims() {
+        let m = ProjectedMatrix::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        let rows: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_mismatched_buffer() {
+        let _ = ProjectedMatrix::new(vec![1.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn distances() {
+        let m = ProjectedMatrix::new(vec![0.0, 0.0, 3.0, 4.0], 2, 2);
+        assert_eq!(m.sq_dist(0, 1), 25.0);
+        assert_eq!(m.sq_dist(0, 0), 0.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for subspaces, datasets and the CSV codec.
+
+use anomex_dataset::csv::{read_csv, write_csv};
+use anomex_dataset::subspace::{enumerate_subspaces, n_choose_k};
+use anomex_dataset::{Dataset, Subspace};
+use proptest::prelude::*;
+
+fn feature_set() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..64, 0..12)
+}
+
+fn small_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::collection::vec(-1e3f64..1e3, c..=c), r..=r)
+    })
+}
+
+proptest! {
+    #[test]
+    fn subspace_canonical_idempotent(fs in feature_set()) {
+        let a = Subspace::new(fs.clone());
+        let b = Subspace::new(a.iter().collect::<Vec<_>>());
+        prop_assert_eq!(&a, &b);
+        // Sorted, deduplicated.
+        for w in a.features().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn subspace_union_laws(a in feature_set(), b in feature_set()) {
+        let sa = Subspace::new(a);
+        let sb = Subspace::new(b);
+        let u = sa.union(&sb);
+        // Commutative, absorbing, superset of both.
+        prop_assert_eq!(&u, &sb.union(&sa));
+        prop_assert!(u.is_superset_of(&sa));
+        prop_assert!(u.is_superset_of(&sb));
+        prop_assert_eq!(&u.union(&sa), &u);
+        // |A∪B| = |A| + |B| − |A∩B|
+        prop_assert_eq!(u.dim(), sa.dim() + sb.dim() - sa.intersection_size(&sb));
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in feature_set(), b in feature_set()) {
+        let sa = Subspace::new(a);
+        let sb = Subspace::new(b);
+        prop_assert_eq!(sa.is_subset_of(&sb), sa.union(&sb) == sb);
+    }
+
+    #[test]
+    fn extend_adds_exactly_one(a in feature_set(), f in 0usize..64) {
+        let s = Subspace::new(a);
+        match s.extended_with(f) {
+            Some(e) => {
+                prop_assert_eq!(e.dim(), s.dim() + 1);
+                prop_assert!(e.contains(f));
+                prop_assert!(e.is_superset_of(&s));
+            }
+            None => prop_assert!(s.contains(f)),
+        }
+    }
+
+    #[test]
+    fn enumeration_count_matches_binomial(d in 1usize..9, k in 1usize..5) {
+        let n = enumerate_subspaces(d, k).count();
+        prop_assert_eq!(n as u128, n_choose_k(d, k));
+        // All enumerated subspaces have the right dim and are unique.
+        let all: Vec<Subspace> = enumerate_subspaces(d, k).collect();
+        for s in &all {
+            prop_assert_eq!(s.dim(), k.min(d));
+        }
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn dataset_rows_columns_agree(rows in small_matrix()) {
+        let ds = Dataset::from_rows(rows.clone()).unwrap();
+        prop_assert_eq!(ds.n_rows(), rows.len());
+        prop_assert_eq!(ds.n_features(), rows[0].len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(&ds.row(i), row);
+        }
+    }
+
+    #[test]
+    fn projection_preserves_values(rows in small_matrix()) {
+        let ds = Dataset::from_rows(rows).unwrap();
+        let sub = Subspace::new([0usize]);
+        let proj = ds.project(&sub);
+        for i in 0..ds.n_rows() {
+            prop_assert_eq!(proj.row(i)[0], ds.value(i, 0));
+        }
+        let full = ds.full_matrix();
+        for i in 0..ds.n_rows() {
+            prop_assert_eq!(full.row(i).to_vec(), ds.row(i));
+        }
+    }
+
+    #[test]
+    fn min_max_scaled_in_unit_interval(rows in small_matrix()) {
+        let ds = Dataset::from_rows(rows).unwrap().min_max_scaled();
+        for f in 0..ds.n_features() {
+            for &v in ds.column(f) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_symmetric_and_bounded(rows in small_matrix()) {
+        let ds = Dataset::from_rows(rows).unwrap();
+        for i in 0..ds.n_features() {
+            for j in 0..ds.n_features() {
+                let c = ds.correlation(i, j);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+                prop_assert!((c - ds.correlation(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_round_trip(rows in small_matrix()) {
+        let ds = Dataset::from_rows(rows).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(&buf[..], true).unwrap();
+        prop_assert_eq!(back.n_rows(), ds.n_rows());
+        prop_assert_eq!(back.n_features(), ds.n_features());
+        for i in 0..ds.n_rows() {
+            for f in 0..ds.n_features() {
+                prop_assert_eq!(back.value(i, f), ds.value(i, f));
+            }
+        }
+    }
+}

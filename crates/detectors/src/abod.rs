@@ -1,0 +1,220 @@
+//! Fast Angle-Based Outlier Detection (Kriegel, Schubert, Zimek — KDD
+//! 2008).
+//!
+//! ABOD scores a point by the *variance of the weighted angles* between
+//! it and pairs of other points: a point surrounded by data in many
+//! directions sees highly varying angles (inlier), while a point at the
+//! border of the distribution sees all others in similar directions
+//! (small variance → outlier). The paper uses the O(k²·N) *Fast ABOD*
+//! variant with `k = 10` that restricts the pairs to the point's k
+//! nearest neighbours.
+//!
+//! Since the raw ABOD value is *small* for outliers, [`FastAbod`] maps it
+//! through `−ln(var + ε)` so that, like every other [`Detector`], larger
+//! scores mean more outlying.
+
+use crate::knn::{knn_table_with, KnnBackend};
+use crate::{Detector, DetectorError, Result};
+use anomex_dataset::view::dot;
+use anomex_dataset::ProjectedMatrix;
+use anomex_stats::descriptive::OnlineMoments;
+
+/// Numerical floor so the log transform stays finite when a point's
+/// angle spectrum is degenerate.
+const VAR_FLOOR: f64 = 1e-300;
+/// Variance assigned when a point has no valid neighbour pair at all
+/// (e.g. every neighbour is an exact duplicate): treated as maximally
+/// inlying.
+const DEGENERATE_VAR: f64 = 1e6;
+
+/// The Fast ABOD detector. The paper uses `k = 10`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastAbod {
+    k: usize,
+    backend: KnnBackend,
+}
+
+impl FastAbod {
+    /// Creates a Fast ABOD detector over `k ≥ 2` nearest neighbours
+    /// (at least two are needed to form one angle pair).
+    ///
+    /// # Errors
+    /// [`DetectorError::InvalidParameter`] when `k < 2`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(DetectorError::InvalidParameter {
+                detector: "FastABOD",
+                detail: "k must be at least 2 to form angle pairs",
+            });
+        }
+        Ok(FastAbod {
+            k,
+            backend: KnnBackend::default(),
+        })
+    }
+
+    /// Selects the kNN backend (brute force by default).
+    #[must_use]
+    pub fn with_backend(mut self, backend: KnnBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured neighbourhood size.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The raw ABOD variance of each point (small = outlying), before the
+    /// monotone `−ln` mapping. Exposed for diagnostics and tests.
+    #[must_use]
+    pub fn raw_variance(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        let n = data.n_rows();
+        let knn = knn_table_with(data, self.k, self.backend);
+        let mut out = Vec::with_capacity(n);
+        let mut diffs: Vec<Vec<f64>> = Vec::new();
+        for p in 0..n {
+            let rp = data.row(p);
+            diffs.clear();
+            diffs.extend(knn.neighbors[p].iter().map(|&o| {
+                data.row(o)
+                    .iter()
+                    .zip(rp)
+                    .map(|(a, b)| a - b)
+                    .collect::<Vec<f64>>()
+            }));
+            // ABOD(p) = Var over pairs (x1, x2) of
+            //   ⟨x1−p, x2−p⟩ / (‖x1−p‖² · ‖x2−p‖²)
+            let norms_sq: Vec<f64> = diffs.iter().map(|d| dot(d, d)).collect();
+            let mut moments = OnlineMoments::new();
+            for i in 0..diffs.len() {
+                if norms_sq[i] == 0.0 {
+                    continue; // duplicate of p: angle undefined
+                }
+                for j in i + 1..diffs.len() {
+                    if norms_sq[j] == 0.0 {
+                        continue;
+                    }
+                    let v = dot(&diffs[i], &diffs[j]) / (norms_sq[i] * norms_sq[j]);
+                    moments.push(v);
+                }
+            }
+            let var = if moments.count() < 2 {
+                DEGENERATE_VAR
+            } else {
+                moments.population_variance()
+            };
+            out.push(var);
+        }
+        out
+    }
+}
+
+impl Detector for FastAbod {
+    fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        self.raw_variance(data)
+            .into_iter()
+            .map(|v| -(v.max(VAR_FLOOR)).ln())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "FastABOD"
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_with_border_point() -> (Dataset, usize) {
+        // A filled disc of points plus one point far outside: the outside
+        // point sees the whole disc under a narrow cone of directions.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut rows = Vec::new();
+        for _ in 0..80 {
+            let r: f64 = rng.gen::<f64>().sqrt();
+            let a: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+            rows.push(vec![r * a.cos(), r * a.sin()]);
+        }
+        let idx = rows.len();
+        rows.push(vec![8.0, 0.0]);
+        (Dataset::from_rows(rows).unwrap(), idx)
+    }
+
+    #[test]
+    fn border_point_scores_highest() {
+        let (ds, idx) = blob_with_border_point();
+        let scores = FastAbod::new(10).unwrap().score_all(&ds.full_matrix());
+        let top = (0..scores.len())
+            .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+            .unwrap();
+        assert_eq!(top, idx);
+    }
+
+    #[test]
+    fn raw_variance_small_for_outlier() {
+        let (ds, idx) = blob_with_border_point();
+        let raw = FastAbod::new(10).unwrap().raw_variance(&ds.full_matrix());
+        let median = {
+            let mut v = raw.clone();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        assert!(
+            raw[idx] < median / 10.0,
+            "outlier variance {} vs median {median}",
+            raw[idx]
+        );
+    }
+
+    #[test]
+    fn corner_more_outlying_than_center() {
+        // On a uniform grid, a corner point sees all data within a 90°
+        // cone (low angle variance) while an interior point is surrounded
+        // in every direction (high variance) — the textbook ABOD picture
+        // of Figure 2-b.
+        let rows: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let ds = Dataset::from_rows(rows).unwrap();
+        let scores = FastAbod::new(8).unwrap().score_all(&ds.full_matrix());
+        let corner = 0; // (0, 0)
+        let center = 12; // (2, 2)
+        assert!(
+            scores[corner] > scores[center],
+            "corner {} vs center {}",
+            scores[corner],
+            scores[center]
+        );
+    }
+
+    #[test]
+    fn duplicates_handled_finitely() {
+        let mut rows = vec![vec![0.0, 0.0]; 6];
+        rows.push(vec![1.0, 1.0]);
+        rows.push(vec![2.0, 0.0]);
+        let ds = Dataset::from_rows(rows).unwrap();
+        let scores = FastAbod::new(4).unwrap().score_all(&ds.full_matrix());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn rejects_small_k() {
+        assert!(FastAbod::new(0).is_err());
+        assert!(FastAbod::new(1).is_err());
+        assert!(FastAbod::new(2).is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (ds, _) = blob_with_border_point();
+        let a = FastAbod::new(10).unwrap().score_all(&ds.full_matrix());
+        let b = FastAbod::new(10).unwrap().score_all(&ds.full_matrix());
+        assert_eq!(a, b);
+    }
+}

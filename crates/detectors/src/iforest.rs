@@ -1,0 +1,428 @@
+//! Isolation Forest (Liu, Ting, Zhou — ICDM 2008).
+//!
+//! Isolation-based detector (paper §2.1): outliers are points that random
+//! axis-parallel partitions isolate quickly. A forest of `t` random trees
+//! is built on subsamples of size `ψ`; the outlyingness of a point is
+//! `s(x, ψ) = 2^(−E[h(x)] / c(ψ))` where `h(x)` is the path length to the
+//! leaf containing `x` and `c(n)` the average unsuccessful-search path
+//! length of a BST, used both as the depth correction at truncated leaves
+//! and as the normalizer. Scores live in `(0, 1)`, outliers close to 1.
+//!
+//! The paper runs iForest **10 times and averages the scores** to tame
+//! the variance of the randomized construction; [`IsolationForest`]
+//! exposes this as `repetitions`.
+
+use crate::{Detector, DetectorError, Result};
+use anomex_dataset::ProjectedMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Euler–Mascheroni constant (for the harmonic-number approximation).
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Average path length of an unsuccessful BST search over `n` points —
+/// `c(n) = 2·H(n−1) − 2(n−1)/n`, with `c(0) = c(1) = 0`.
+#[must_use]
+pub fn average_path_length(n: usize) -> f64 {
+    match n {
+        0 | 1 => 0.0,
+        2 => 1.0,
+        _ => {
+            let n = n as f64;
+            let h = (n - 1.0).ln() + EULER_GAMMA;
+            2.0 * h - 2.0 * (n - 1.0) / n
+        }
+    }
+}
+
+/// Builder for [`IsolationForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationForestBuilder {
+    trees: usize,
+    subsample: usize,
+    repetitions: usize,
+    seed: u64,
+}
+
+impl IsolationForestBuilder {
+    /// Number of trees per forest (paper: 100).
+    #[must_use]
+    pub fn trees(mut self, t: usize) -> Self {
+        self.trees = t;
+        self
+    }
+
+    /// Subsample size per tree (paper: 256; clamped to the data size).
+    #[must_use]
+    pub fn subsample(mut self, psi: usize) -> Self {
+        self.subsample = psi;
+        self
+    }
+
+    /// Number of independent forests whose scores are averaged
+    /// (paper: 10).
+    #[must_use]
+    pub fn repetitions(mut self, r: usize) -> Self {
+        self.repetitions = r;
+        self
+    }
+
+    /// RNG seed; the detector is deterministic given the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the detector.
+    ///
+    /// # Errors
+    /// [`DetectorError::InvalidParameter`] when any count is zero.
+    pub fn build(self) -> Result<IsolationForest> {
+        if self.trees == 0 || self.subsample < 2 || self.repetitions == 0 {
+            return Err(DetectorError::InvalidParameter {
+                detector: "IsolationForest",
+                detail: "trees ≥ 1, subsample ≥ 2 and repetitions ≥ 1 required",
+            });
+        }
+        Ok(IsolationForest {
+            trees: self.trees,
+            subsample: self.subsample,
+            repetitions: self.repetitions,
+            seed: self.seed,
+        })
+    }
+}
+
+/// The Isolation Forest detector.
+///
+/// ```
+/// use anomex_detectors::iforest::IsolationForest;
+/// let forest = IsolationForest::builder().trees(50).seed(7).build().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationForest {
+    trees: usize,
+    subsample: usize,
+    repetitions: usize,
+    seed: u64,
+}
+
+/// One node of an isolation tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal split: `feature < threshold` goes left.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Terminal node holding `size` training points at depth `depth`.
+    Leaf { size: usize },
+}
+
+/// A single isolation tree (arena representation, root at index 0).
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Path length of `x` through the tree, with the `c(size)` correction
+    /// at truncated leaves.
+    fn path_length(&self, x: &[f64]) -> f64 {
+        let mut node = 0usize;
+        let mut depth = 0.0f64;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { size } => return depth + average_path_length(*size),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] < *threshold { *left } else { *right };
+                    depth += 1.0;
+                }
+            }
+        }
+    }
+}
+
+/// Builds one isolation tree on `sample` (indices into `data`).
+fn build_tree(
+    data: &ProjectedMatrix,
+    sample: &mut [usize],
+    height_limit: usize,
+    rng: &mut StdRng,
+) -> Tree {
+    let mut nodes = Vec::new();
+    build_node(data, sample, 0, height_limit, rng, &mut nodes);
+    Tree { nodes }
+}
+
+/// Recursively builds the subtree over `sample`, returning its node index.
+fn build_node(
+    data: &ProjectedMatrix,
+    sample: &mut [usize],
+    depth: usize,
+    height_limit: usize,
+    rng: &mut StdRng,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    if sample.len() <= 1 || depth >= height_limit {
+        nodes.push(Node::Leaf { size: sample.len() });
+        return nodes.len() - 1;
+    }
+    // Pick a feature whose values still vary within the node sample.
+    let d = data.dim();
+    let start = rng.gen_range(0..d);
+    let mut chosen: Option<(usize, f64, f64)> = None;
+    for off in 0..d {
+        let f = (start + off) % d;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &i in sample.iter() {
+            let v = data.row(i)[f];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi > lo {
+            chosen = Some((f, lo, hi));
+            break;
+        }
+    }
+    let Some((feature, lo, hi)) = chosen else {
+        // All remaining points identical in every feature: unsplittable.
+        nodes.push(Node::Leaf { size: sample.len() });
+        return nodes.len() - 1;
+    };
+    let threshold = rng.gen_range(lo..hi);
+    // Partition the sample in place.
+    let mut mid = 0usize;
+    for i in 0..sample.len() {
+        if data.row(sample[i])[feature] < threshold {
+            sample.swap(i, mid);
+            mid += 1;
+        }
+    }
+    // `threshold` may coincide with `lo` (half-open sampling), in which
+    // case one side is empty and becomes a size-0 leaf — harmless, the
+    // other side keeps shrinking via the depth limit.
+    let placeholder = nodes.len();
+    nodes.push(Node::Leaf { size: 0 }); // will be overwritten
+    let (left_slice, right_slice) = sample.split_at_mut(mid);
+    let left = build_node(data, left_slice, depth + 1, height_limit, rng, nodes);
+    let right = build_node(data, right_slice, depth + 1, height_limit, rng, nodes);
+    nodes[placeholder] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    placeholder
+}
+
+impl IsolationForest {
+    /// A builder preconfigured with the paper's settings
+    /// (`t = 100`, `ψ = 256`, `repetitions = 10`, seed 0).
+    #[must_use]
+    pub fn builder() -> IsolationForestBuilder {
+        IsolationForestBuilder {
+            trees: 100,
+            subsample: 256,
+            repetitions: 10,
+            seed: 0,
+        }
+    }
+
+    /// Number of trees.
+    #[must_use]
+    pub fn trees(&self) -> usize {
+        self.trees
+    }
+
+    /// Averaged-forest repetitions.
+    #[must_use]
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// Scores one forest construction (one repetition).
+    fn score_once(&self, data: &ProjectedMatrix, rng: &mut StdRng) -> Vec<f64> {
+        let n = data.n_rows();
+        let psi = self.subsample.min(n);
+        let height_limit = (psi as f64).log2().ceil() as usize;
+        let c_psi = average_path_length(psi);
+
+        let mut path_sums = vec![0.0f64; n];
+        let mut pool: Vec<usize> = (0..n).collect();
+        for _ in 0..self.trees {
+            pool.shuffle(rng);
+            let sample = &mut pool[..psi];
+            let tree = build_tree(data, sample, height_limit, rng);
+            for (i, sum) in path_sums.iter_mut().enumerate() {
+                *sum += tree.path_length(data.row(i));
+            }
+        }
+        path_sums
+            .into_iter()
+            .map(|s| {
+                let e_h = s / self.trees as f64;
+                2.0f64.powf(-e_h / c_psi)
+            })
+            .collect()
+    }
+}
+
+impl Detector for IsolationForest {
+    fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        let n = data.n_rows();
+        let mut acc = vec![0.0f64; n];
+        for rep in 0..self.repetitions {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(rep as u64));
+            for (a, s) in acc.iter_mut().zip(self.score_once(data, &mut rng)) {
+                *a += s;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.repetitions as f64;
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "iForest"
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster_with_outlier(n: usize) -> (Dataset, usize) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>() * 0.1, rng.gen::<f64>() * 0.1])
+            .collect();
+        let idx = rows.len();
+        rows.push(vec![10.0, -10.0]);
+        (Dataset::from_rows(rows).unwrap(), idx)
+    }
+
+    #[test]
+    fn average_path_length_values() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        assert_eq!(average_path_length(2), 1.0);
+        // c(256) ≈ 10.244 (reference value from the iForest paper's formula).
+        assert!((average_path_length(256) - 10.244).abs() < 0.01);
+        // Monotone increasing.
+        let mut prev = 0.0;
+        for n in 2..100 {
+            let c = average_path_length(n);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn outlier_scores_highest_and_near_one() {
+        let (ds, idx) = cluster_with_outlier(200);
+        let forest = IsolationForest::builder()
+            .trees(100)
+            .repetitions(2)
+            .seed(42)
+            .build()
+            .unwrap();
+        let scores = forest.score_all(&ds.full_matrix());
+        let top = (0..scores.len())
+            .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+            .unwrap();
+        assert_eq!(top, idx);
+        assert!(scores[idx] > 0.7, "outlier score = {}", scores[idx]);
+        // Inliers well below the outlier.
+        let mean_inlier: f64 =
+            scores[..idx].iter().sum::<f64>() / idx as f64;
+        assert!(mean_inlier < 0.6, "mean inlier score = {mean_inlier}");
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let (ds, _) = cluster_with_outlier(100);
+        let forest = IsolationForest::builder().trees(20).repetitions(1).build().unwrap();
+        let scores = forest.score_all(&ds.full_matrix());
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ds, _) = cluster_with_outlier(80);
+        let f = |seed| {
+            IsolationForest::builder()
+                .trees(30)
+                .repetitions(2)
+                .seed(seed)
+                .build()
+                .unwrap()
+                .score_all(&ds.full_matrix())
+        };
+        assert_eq!(f(9), f(9));
+        assert_ne!(f(9), f(10));
+    }
+
+    #[test]
+    fn repetitions_reduce_variance() {
+        let (ds, _) = cluster_with_outlier(120);
+        let m = ds.full_matrix();
+        // Spread of single-rep scores across seeds vs 10-rep scores.
+        let spread = |reps: usize| -> f64 {
+            let runs: Vec<Vec<f64>> = (0..5)
+                .map(|s| {
+                    IsolationForest::builder()
+                        .trees(25)
+                        .repetitions(reps)
+                        .seed(s * 1000)
+                        .build()
+                        .unwrap()
+                        .score_all(&m)
+                })
+                .collect();
+            // Mean per-point standard deviation across runs.
+            let n = m.n_rows();
+            (0..n)
+                .map(|i| {
+                    let vals: Vec<f64> = runs.iter().map(|r| r[i]).collect();
+                    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                    (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64)
+                        .sqrt()
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(spread(8) < spread(1), "averaging must reduce score variance");
+    }
+
+    #[test]
+    fn handles_constant_data() {
+        let ds = Dataset::from_rows(vec![vec![1.0, 2.0]; 20]).unwrap();
+        let forest = IsolationForest::builder().trees(10).repetitions(1).build().unwrap();
+        let scores = forest.score_all(&ds.full_matrix());
+        assert!(scores.iter().all(|s| s.is_finite()));
+        // All points identical → identical scores.
+        for w in scores.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(IsolationForest::builder().trees(0).build().is_err());
+        assert!(IsolationForest::builder().subsample(1).build().is_err());
+        assert!(IsolationForest::builder().repetitions(0).build().is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! A k-d tree for exact k-nearest-neighbour queries in low-dimensional
+//! projections.
+//!
+//! Subspace explanations live in 2–5 dimensions — exactly the regime
+//! where a k-d tree beats the O(N²) brute-force scan. The tree is an
+//! optional acceleration: [`crate::knn::knn_table_with`] produces the
+//! same [`crate::knn::KnnTable`] through either backend, and the
+//! detectors accept the choice via their builders.
+
+use anomex_dataset::view::sq_dist;
+use anomex_dataset::ProjectedMatrix;
+
+/// Maximum points in a leaf before splitting.
+const LEAF_SIZE: usize = 16;
+
+/// A balanced k-d tree over the rows of a [`ProjectedMatrix`].
+pub struct KdTree<'a> {
+    data: &'a ProjectedMatrix,
+    nodes: Vec<Node>,
+    /// Row ids, permuted so every node owns a contiguous range.
+    ids: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+    Split {
+        axis: u8,
+        value: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+impl<'a> KdTree<'a> {
+    /// Builds the tree in O(N log N) expected time (median-of-axis
+    /// partitioning via `select_nth_unstable`).
+    ///
+    /// # Panics
+    /// Panics when `data` has no rows or more than `u32::MAX` rows.
+    #[must_use]
+    pub fn build(data: &'a ProjectedMatrix) -> Self {
+        assert!(data.n_rows() > 0, "k-d tree needs at least one row");
+        assert!(u32::try_from(data.n_rows()).is_ok(), "row count exceeds u32");
+        let mut ids: Vec<u32> = (0..data.n_rows() as u32).collect();
+        let mut nodes = Vec::new();
+        build_node(data, &mut ids, 0, data.n_rows(), 0, &mut nodes);
+        KdTree { data, nodes, ids }
+    }
+
+    /// The `k` nearest neighbours of `query` (excluding `exclude`, used
+    /// for self-queries), as `(row, squared_distance)` sorted ascending.
+    #[must_use]
+    pub fn knn(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.data.dim(), "query dimensionality mismatch");
+        let mut heap = BoundedMaxHeap::new(k);
+        self.search(0, query, exclude, &mut heap);
+        heap.into_sorted()
+    }
+
+    fn search(&self, node: usize, query: &[f64], exclude: Option<usize>, heap: &mut BoundedMaxHeap) {
+        match &self.nodes[node] {
+            Node::Leaf { start, end } => {
+                for &id in &self.ids[*start as usize..*end as usize] {
+                    let id = id as usize;
+                    if Some(id) == exclude {
+                        continue;
+                    }
+                    let d = sq_dist(query, self.data.row(id));
+                    heap.push(id, d);
+                }
+            }
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*axis as usize] - value;
+                let (near, far) = if diff < 0.0 {
+                    (*left as usize, *right as usize)
+                } else {
+                    (*right as usize, *left as usize)
+                };
+                self.search(near, query, exclude, heap);
+                // Prune the far side when the splitting plane is farther
+                // than the current k-th best.
+                if !heap.full() || diff * diff < heap.worst() {
+                    self.search(far, query, exclude, heap);
+                }
+            }
+        }
+    }
+}
+
+/// Recursively builds the subtree over `ids[start..end]`, returning its
+/// node index.
+fn build_node(
+    data: &ProjectedMatrix,
+    ids: &mut [u32],
+    start: usize,
+    end: usize,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let count = end - start;
+    if count <= LEAF_SIZE {
+        nodes.push(Node::Leaf {
+            start: start as u32,
+            end: end as u32,
+        });
+        return (nodes.len() - 1) as u32;
+    }
+    // Split on the axis with the largest spread at this node (better
+    // balance than round-robin for correlated data).
+    let dim = data.dim();
+    let mut best_axis = depth % dim;
+    let mut best_spread = -1.0f64;
+    for axis in 0..dim {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &id in &ids[start..end] {
+            let v = data.row(id as usize)[axis];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo > best_spread {
+            best_spread = hi - lo;
+            best_axis = axis;
+        }
+    }
+    if best_spread == 0.0 {
+        // All points identical at this node: unsplittable.
+        nodes.push(Node::Leaf {
+            start: start as u32,
+            end: end as u32,
+        });
+        return (nodes.len() - 1) as u32;
+    }
+    let mid = start + count / 2;
+    ids[start..end].select_nth_unstable_by(count / 2, |&a, &b| {
+        data.row(a as usize)[best_axis].total_cmp(&data.row(b as usize)[best_axis])
+    });
+    let split_value = data.row(ids[mid] as usize)[best_axis];
+
+    let placeholder = nodes.len() as u32;
+    nodes.push(Node::Leaf { start: 0, end: 0 });
+    let left = build_node(data, ids, start, mid, depth + 1, nodes);
+    let right = build_node(data, ids, mid, end, depth + 1, nodes);
+    nodes[placeholder as usize] = Node::Split {
+        axis: best_axis as u8,
+        value: split_value,
+        left,
+        right,
+    };
+    placeholder
+}
+
+/// Fixed-capacity max-heap over `(row, squared_distance)` keeping the
+/// `k` smallest distances seen.
+struct BoundedMaxHeap {
+    k: usize,
+    items: Vec<(usize, f64)>, // max-heap by distance
+}
+
+impl BoundedMaxHeap {
+    fn new(k: usize) -> Self {
+        BoundedMaxHeap {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.items.len() >= self.k
+    }
+
+    fn worst(&self) -> f64 {
+        self.items.first().map_or(f64::INFINITY, |&(_, d)| d)
+    }
+
+    fn push(&mut self, id: usize, d: f64) {
+        if self.full() {
+            if d >= self.worst() {
+                return;
+            }
+            self.pop_root();
+        }
+        self.items.push((id, d));
+        // Sift up.
+        let mut i = self.items.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[parent].1 < self.items[i].1 {
+                self.items.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop_root(&mut self) {
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        self.items.pop();
+        // Sift down.
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.items.len() && self.items[l].1 > self.items[largest].1 {
+                largest = l;
+            }
+            if r < self.items.len() && self.items[r].1 > self.items[largest].1 {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.items.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn into_sorted(mut self) -> Vec<(usize, f64)> {
+        self.items.sort_by(|a, b| a.1.total_cmp(&b.1));
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, d: usize, seed: u64) -> ProjectedMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        Dataset::from_rows(rows).unwrap().full_matrix()
+    }
+
+    /// Brute-force reference: the k smallest squared distances.
+    fn brute(data: &ProjectedMatrix, q: &[f64], k: usize, exclude: Option<usize>) -> Vec<f64> {
+        let mut d: Vec<f64> = (0..data.n_rows())
+            .filter(|&i| Some(i) != exclude)
+            .map(|i| sq_dist(q, data.row(i)))
+            .collect();
+        d.sort_by(f64::total_cmp);
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn matches_brute_force_distances() {
+        for (n, d) in [(50usize, 2usize), (300, 3), (500, 5)] {
+            let m = random_matrix(n, d, n as u64);
+            let tree = KdTree::build(&m);
+            for q in 0..n.min(40) {
+                let got: Vec<f64> = tree
+                    .knn(m.row(q), 10, Some(q))
+                    .into_iter()
+                    .map(|(_, dist)| dist)
+                    .collect();
+                let want = brute(&m, m.row(q), 10, Some(q));
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-12, "n={n} d={d} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_self_works() {
+        let m = random_matrix(100, 2, 9);
+        let tree = KdTree::build(&m);
+        for q in 0..20 {
+            let nn = tree.knn(m.row(q), 5, Some(q));
+            assert!(nn.iter().all(|&(i, _)| i != q));
+            assert_eq!(nn.len(), 5);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points() {
+        let m = random_matrix(6, 2, 1);
+        let tree = KdTree::build(&m);
+        let nn = tree.knn(m.row(0), 100, Some(0));
+        assert_eq!(nn.len(), 5);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let rows = vec![vec![0.5, 0.5]; 40];
+        let m = Dataset::from_rows(rows).unwrap().full_matrix();
+        let tree = KdTree::build(&m);
+        let nn = tree.knn(m.row(0), 5, Some(0));
+        assert_eq!(nn.len(), 5);
+        assert!(nn.iter().all(|&(_, d)| d == 0.0));
+    }
+
+    #[test]
+    fn sorted_ascending() {
+        let m = random_matrix(200, 4, 3);
+        let tree = KdTree::build(&m);
+        let nn = tree.knn(m.row(7), 20, Some(7));
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Distance-based kNN outlier detector — the classic global baseline
+//! (Ramaswamy et al., SIGMOD 2000 style).
+//!
+//! The paper's detector selection (§3.1) deliberately *excludes*
+//! distance-based detectors because the experimental studies it cites
+//! report them frequently outperformed by LOF/ABOD/iForest; this
+//! implementation exists as the **baseline** that lets users reproduce
+//! that comparison themselves (see the `detector_shootout` example and
+//! the ablation benches).
+//!
+//! The score of a point is an aggregate of its distances to its `k`
+//! nearest neighbours — either the distance to the k-th neighbour
+//! (max-aggregation) or the mean over all k (mean-aggregation).
+
+use crate::knn::{knn_table_with, KnnBackend};
+use crate::{Detector, DetectorError, Result};
+use anomex_dataset::ProjectedMatrix;
+
+/// How the k neighbour distances collapse into one score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KnnAggregation {
+    /// Distance to the k-th nearest neighbour (the original kNN-outlier
+    /// definition).
+    Max,
+    /// Mean distance over all k neighbours (smoother, the common
+    /// practical choice).
+    #[default]
+    Mean,
+}
+
+/// The kNN-distance detector.
+///
+/// ```
+/// use anomex_detectors::knndist::KnnDist;
+/// let det = KnnDist::new(5).unwrap();
+/// assert_eq!(det.k(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnDist {
+    k: usize,
+    aggregation: KnnAggregation,
+    backend: KnnBackend,
+}
+
+impl KnnDist {
+    /// Creates the detector with neighbourhood size `k ≥ 1`.
+    ///
+    /// # Errors
+    /// [`DetectorError::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(DetectorError::InvalidParameter {
+                detector: "KnnDist",
+                detail: "k must be at least 1",
+            });
+        }
+        Ok(KnnDist {
+            k,
+            aggregation: KnnAggregation::default(),
+            backend: KnnBackend::default(),
+        })
+    }
+
+    /// The configured neighbourhood size.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Selects the distance aggregation.
+    #[must_use]
+    pub fn with_aggregation(mut self, agg: KnnAggregation) -> Self {
+        self.aggregation = agg;
+        self
+    }
+
+    /// Selects the kNN backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: KnnBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+impl Detector for KnnDist {
+    fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        let knn = knn_table_with(data, self.k, self.backend);
+        knn.distances
+            .iter()
+            .map(|d| match self.aggregation {
+                KnnAggregation::Max => *d.last().expect("k >= 1"),
+                KnnAggregation::Mean => d.iter().sum::<f64>() / d.len() as f64,
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "KnnDist"
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+
+    fn cluster_with_outlier() -> Dataset {
+        let mut rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64 * 0.01, (i / 5) as f64 * 0.01])
+            .collect();
+        rows.push(vec![3.0, 3.0]);
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn outlier_scores_highest_under_both_aggregations() {
+        let ds = cluster_with_outlier();
+        for agg in [KnnAggregation::Max, KnnAggregation::Mean] {
+            let det = KnnDist::new(5).unwrap().with_aggregation(agg);
+            let scores = det.score_all(&ds.full_matrix());
+            let top = (0..scores.len())
+                .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+                .unwrap();
+            assert_eq!(top, 20, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn max_aggregation_equals_kth_distance() {
+        let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![3.0], vec![6.0]]).unwrap();
+        let det = KnnDist::new(2).unwrap().with_aggregation(KnnAggregation::Max);
+        let scores = det.score_all(&ds.full_matrix());
+        // Point 0: neighbours at 1 and 3 → k-th distance 3.
+        assert_eq!(scores[0], 3.0);
+        // Point 3: neighbours at 3 and 5 → k-th distance 5.
+        assert_eq!(scores[3], 5.0);
+    }
+
+    #[test]
+    fn mean_aggregation_averages() {
+        let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![3.0], vec![6.0]]).unwrap();
+        let det = KnnDist::new(2).unwrap().with_aggregation(KnnAggregation::Mean);
+        let scores = det.score_all(&ds.full_matrix());
+        assert_eq!(scores[0], 2.0); // (1 + 3) / 2
+    }
+
+    #[test]
+    fn misses_local_outliers_that_lof_catches() {
+        // The textbook LOF-vs-kNN failure mode: a point just outside a
+        // dense cluster scores lower (global kNN) than sparse-cluster
+        // members, while LOF ranks it first — the reason the paper's
+        // testbed uses LOF rather than kNN distance.
+        use crate::lof::Lof;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::new();
+        for _ in 0..60 {
+            rows.push(vec![rng.gen::<f64>() * 0.05, rng.gen::<f64>() * 0.05]);
+        }
+        for _ in 0..20 {
+            rows.push(vec![5.0 + rng.gen::<f64>() * 3.0, 5.0 + rng.gen::<f64>() * 3.0]);
+        }
+        let probe = rows.len();
+        rows.push(vec![0.5, 0.5]);
+        let ds = Dataset::from_rows(rows).unwrap();
+        let knn_scores = KnnDist::new(10).unwrap().score_all(&ds.full_matrix());
+        let lof_scores = Lof::new(10).unwrap().score_all(&ds.full_matrix());
+        let rank = |scores: &[f64]| {
+            let mut idx: Vec<usize> = (0..scores.len()).collect();
+            idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            idx.iter().position(|&i| i == probe).unwrap()
+        };
+        assert_eq!(rank(&lof_scores), 0, "LOF must rank the local outlier first");
+        assert!(
+            rank(&knn_scores) > 0,
+            "global kNN distance should be fooled by the sparse cluster"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(KnnDist::new(0).is_err());
+    }
+}

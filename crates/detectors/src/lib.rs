@@ -1,0 +1,133 @@
+//! # anomex-detectors
+//!
+//! From-scratch implementations of the three unsupervised outlier
+//! detectors the paper pairs with every explanation algorithm (§2.1):
+//!
+//! * [`lof::Lof`] — Local Outlier Factor (density-based; Breunig et al.,
+//!   SIGMOD 2000), the paper's `k = 15`;
+//! * [`abod::FastAbod`] — Fast Angle-Based Outlier Detection (Kriegel et
+//!   al., KDD 2008), the paper's `k = 10`;
+//! * [`iforest::IsolationForest`] — Isolation Forest (Liu et al., ICDM
+//!   2008), the paper's `t = 100` trees, `ψ = 256`, averaged over 10
+//!   repetitions.
+//!
+//! All detectors implement the [`Detector`] trait: they consume a
+//! row-major [`ProjectedMatrix`] (a dataset projected onto a subspace)
+//! and emit one outlyingness score per row, **larger = more outlying**.
+//! Per-subspace z-score standardization of those scores (paper §2.2)
+//! lives in [`zscore`].
+//!
+//! ```
+//! use anomex_dataset::Dataset;
+//! use anomex_detectors::{lof::Lof, Detector};
+//!
+//! // Nine clustered points and one far-away outlier.
+//! let mut rows: Vec<Vec<f64>> = (0..9)
+//!     .map(|i| vec![(i % 3) as f64 * 0.01, (i / 3) as f64 * 0.01])
+//!     .collect();
+//! rows.push(vec![5.0, 5.0]);
+//! let ds = Dataset::from_rows(rows).unwrap();
+//! let scores = Lof::new(3).unwrap().score_all(&ds.full_matrix());
+//! let top = (0..10).max_by(|&a, &b| scores[a].total_cmp(&scores[b])).unwrap();
+//! assert_eq!(top, 9);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod abod;
+pub mod iforest;
+pub mod kdtree;
+pub mod knn;
+pub mod knndist;
+pub mod loda;
+pub mod lof;
+pub mod zscore;
+
+pub use abod::FastAbod;
+pub use iforest::IsolationForest;
+pub use knndist::KnnDist;
+pub use loda::Loda;
+pub use lof::Lof;
+
+use anomex_dataset::ProjectedMatrix;
+
+/// An unsupervised outlier detector.
+///
+/// Implementations are pure functions of the input matrix (plus their own
+/// configuration and seed): calling [`Detector::score_all`] twice on the
+/// same data yields identical scores. This determinism is what lets the
+/// explanation framework cache per-subspace score vectors.
+pub trait Detector: Send + Sync {
+    /// Scores every row of `data`; **larger = more outlying**. The
+    /// returned vector has exactly `data.n_rows()` finite entries.
+    fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64>;
+
+    /// Short identifier used in reports (e.g. `"LOF"`).
+    fn name(&self) -> &'static str;
+}
+
+impl<T: Detector + ?Sized> Detector for &T {
+    fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        (**self).score_all(data)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl Detector for Box<dyn Detector> {
+    fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        (**self).score_all(data)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Configuration errors shared by the detector constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorError {
+    /// A hyper-parameter was outside its valid domain.
+    InvalidParameter {
+        /// The detector being configured.
+        detector: &'static str,
+        /// Description of the violated constraint.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorError::InvalidParameter { detector, detail } => {
+                write!(f, "{detector}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
+
+/// Result alias for detector construction.
+pub type Result<T> = std::result::Result<T, DetectorError>;
+
+/// The three paper detectors with the paper's hyper-parameters
+/// (`LOF k=15`, `Fast ABOD k=10`, `iForest t=100 ψ=256 reps=10`), in the
+/// order they appear in every figure. Handy for building the 12 pipelines.
+#[must_use]
+pub fn paper_detectors(seed: u64) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(Lof::new(15).expect("paper k is valid")),
+        Box::new(FastAbod::new(10).expect("paper k is valid")),
+        Box::new(
+            IsolationForest::builder()
+                .trees(100)
+                .subsample(256)
+                .repetitions(10)
+                .seed(seed)
+                .build()
+                .expect("paper parameters are valid"),
+        ),
+    ]
+}

@@ -1,0 +1,229 @@
+//! Local Outlier Factor (Breunig, Kriegel, Ng, Sander — SIGMOD 2000).
+//!
+//! Density-based detector (paper §2.1): a point is outlying when its
+//! local reachability density is low relative to its neighbours'.
+//! Inliers score ≈ 1, outliers substantially above 1. Time complexity
+//! O(N²·d), dominated by the kNN scan.
+
+use crate::knn::{knn_table_with, KnnBackend, KnnTable};
+use crate::{Detector, DetectorError, Result};
+use anomex_dataset::ProjectedMatrix;
+
+/// Guard against division by zero for points whose neighbourhood
+/// collapses onto them (exact duplicates).
+const MIN_MEAN_REACH: f64 = 1e-12;
+
+/// The LOF detector. The paper uses `k = 15`.
+///
+/// ```
+/// use anomex_detectors::lof::Lof;
+/// let lof = Lof::new(15).unwrap();
+/// assert_eq!(lof.k(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lof {
+    k: usize,
+    backend: KnnBackend,
+}
+
+impl Lof {
+    /// Creates a LOF detector with neighbourhood size `k ≥ 1`.
+    ///
+    /// # Errors
+    /// [`DetectorError::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(DetectorError::InvalidParameter {
+                detector: "LOF",
+                detail: "k must be at least 1",
+            });
+        }
+        Ok(Lof {
+            k,
+            backend: KnnBackend::default(),
+        })
+    }
+
+    /// Selects the kNN backend (brute force by default; the k-d tree is
+    /// usually faster for 2–5d projections).
+    #[must_use]
+    pub fn with_backend(mut self, backend: KnnBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured neighbourhood size.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// LOF scores from a precomputed kNN table (shared with callers that
+    /// also need the table, e.g. tests and diagnostics).
+    #[must_use]
+    pub fn score_from_knn(&self, knn: &KnnTable) -> Vec<f64> {
+        let n = knn.neighbors.len();
+        // Local reachability density:
+        //   lrd(p) = 1 / mean_{o ∈ kNN(p)} reach-dist_k(p ← o)
+        //   reach-dist_k(p ← o) = max(k-dist(o), d(p, o))
+        let lrd: Vec<f64> = (0..n)
+            .map(|p| {
+                let mut sum = 0.0;
+                for (o, &d_po) in knn.neighbors[p].iter().zip(&knn.distances[p]) {
+                    sum += knn.k_dist(*o).max(d_po);
+                }
+                let mean = (sum / knn.neighbors[p].len() as f64).max(MIN_MEAN_REACH);
+                1.0 / mean
+            })
+            .collect();
+        // LOF(p) = mean_{o ∈ kNN(p)} lrd(o) / lrd(p)
+        (0..n)
+            .map(|p| {
+                let mean_ratio: f64 = knn.neighbors[p]
+                    .iter()
+                    .map(|&o| lrd[o] / lrd[p])
+                    .sum::<f64>()
+                    / knn.neighbors[p].len() as f64;
+                mean_ratio
+            })
+            .collect()
+    }
+}
+
+impl Detector for Lof {
+    fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        let knn = knn_table_with(data, self.k, self.backend);
+        self.score_from_knn(&knn)
+    }
+
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_with_outlier() -> Dataset {
+        // 5×5 unit grid plus a far point.
+        let mut rows: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        rows.push(vec![20.0, 20.0]);
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn outlier_scores_highest() {
+        let ds = grid_with_outlier();
+        let scores = Lof::new(5).unwrap().score_all(&ds.full_matrix());
+        let top = (0..scores.len())
+            .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+            .unwrap();
+        assert_eq!(top, 25);
+        assert!(scores[25] > 2.0, "outlier LOF = {}", scores[25]);
+    }
+
+    #[test]
+    fn uniform_cluster_scores_near_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ds = Dataset::from_rows(rows).unwrap();
+        let scores = Lof::new(15).unwrap().score_all(&ds.full_matrix());
+        let interior_like = scores.iter().filter(|&&s| s < 1.4).count();
+        assert!(
+            interior_like > 150,
+            "most uniform points should score near 1; got {interior_like}"
+        );
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn varying_density_regions() {
+        // A dense blob and a sparse blob; a point just outside the dense
+        // blob must out-score points inside either blob (LOF's signature
+        // property vs global distance-based detectors).
+        let mut rows = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..60 {
+            rows.push(vec![rng.gen::<f64>() * 0.05, rng.gen::<f64>() * 0.05]);
+        }
+        for _ in 0..60 {
+            rows.push(vec![5.0 + rng.gen::<f64>() * 2.0, 5.0 + rng.gen::<f64>() * 2.0]);
+        }
+        let probe = rows.len();
+        rows.push(vec![0.4, 0.4]); // near the dense blob but outside it
+        let ds = Dataset::from_rows(rows).unwrap();
+        let scores = Lof::new(10).unwrap().score_all(&ds.full_matrix());
+        let max_inlier = scores[..probe]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            scores[probe] > max_inlier,
+            "probe {} vs max inlier {}",
+            scores[probe],
+            max_inlier
+        );
+    }
+
+    #[test]
+    fn duplicates_do_not_produce_nan() {
+        let rows = vec![vec![1.0, 1.0]; 10];
+        let ds = Dataset::from_rows(rows).unwrap();
+        let scores = Lof::new(3).unwrap().score_all(&ds.full_matrix());
+        assert!(scores.iter().all(|s| s.is_finite()));
+        // All duplicates are equally (non-)outlying.
+        for w in scores.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn translation_and_scale_invariance() {
+        let ds = grid_with_outlier();
+        let base = Lof::new(5).unwrap().score_all(&ds.full_matrix());
+        // Affine-transform every coordinate: LOF ratios are invariant.
+        let transformed = Dataset::from_rows(
+            (0..ds.n_rows())
+                .map(|i| ds.row(i).iter().map(|v| v * 3.0 + 7.0).collect())
+                .collect(),
+        )
+        .unwrap();
+        let scaled = Lof::new(5).unwrap().score_all(&transformed.full_matrix());
+        for (a, b) in base.iter().zip(&scaled) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(Lof::new(0).is_err());
+    }
+
+    #[test]
+    fn kdtree_backend_agrees_with_brute_force() {
+        // Use tie-free continuous data: under exact distance ties the two
+        // backends may legitimately select different (equidistant)
+        // neighbours.
+        let mut rng = StdRng::seed_from_u64(12);
+        let rows: Vec<Vec<f64>> = (0..150)
+            .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
+            .collect();
+        let ds = Dataset::from_rows(rows).unwrap();
+        let brute = Lof::new(5).unwrap().score_all(&ds.full_matrix());
+        let tree = Lof::new(5)
+            .unwrap()
+            .with_backend(crate::knn::KnnBackend::KdTree)
+            .score_all(&ds.full_matrix());
+        for (a, b) in brute.iter().zip(&tree) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Z-score standardization of per-subspace score vectors (paper §2.2).
+//!
+//! Raw outlyingness scores are not comparable across subspaces of
+//! different dimensionality (distances grow with dimension, iForest path
+//! lengths shift, ...). The paper removes this *dimensionality bias* by
+//! standardizing the score of a point against the score population of its
+//! subspace:
+//!
+//! `score(p_s)' = (score(p_s) − mean(score_s)) / sqrt(Var(score_s))`
+//!
+//! Beam, RefOut and LookOut all consume standardized scores.
+
+use anomex_stats::descriptive::{zscore, OnlineMoments};
+
+/// Standardizes a whole score vector. A constant vector maps to all
+/// zeros ("nothing stands out in this subspace").
+#[must_use]
+pub fn standardize_scores(scores: &[f64]) -> Vec<f64> {
+    let mut m = OnlineMoments::new();
+    m.extend(scores);
+    let (mean, std) = (m.mean(), m.population_std());
+    scores.iter().map(|&s| zscore(s, mean, std)).collect()
+}
+
+/// The standardized score of the point at `index` within its population.
+///
+/// # Panics
+/// Panics when `index` is out of bounds.
+#[must_use]
+pub fn standardized_at(scores: &[f64], index: usize) -> f64 {
+    let mut m = OnlineMoments::new();
+    m.extend(scores);
+    zscore(scores[index], m.mean(), m.population_std())
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn standardization_properties() {
+        let scores = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        let z = standardize_scores(&scores);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        // The extreme point keeps the top rank.
+        let top = (0..z.len()).max_by(|&a, &b| z[a].total_cmp(&z[b])).unwrap();
+        assert_eq!(top, 4);
+        assert!(z[4] > 1.5);
+    }
+
+    #[test]
+    fn constant_scores_are_neutral() {
+        let z = standardize_scores(&[3.0, 3.0, 3.0]);
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+        assert_eq!(standardized_at(&[3.0, 3.0, 3.0], 1), 0.0);
+    }
+
+    #[test]
+    fn standardized_at_matches_vector_form() {
+        let scores = vec![0.5, 1.5, -2.0, 0.25];
+        let z = standardize_scores(&scores);
+        for (i, zi) in z.iter().enumerate() {
+            assert!((standardized_at(&scores, i) - zi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_preserving() {
+        let scores = vec![0.1, 5.0, 2.0, 3.3];
+        let z = standardize_scores(&scores);
+        let order = |v: &[f64]| {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by(|&a, &b| v[b].total_cmp(&v[a]));
+            idx
+        };
+        assert_eq!(order(&scores), order(&z));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the detectors.
+
+use anomex_dataset::Dataset;
+use anomex_detectors::kdtree::KdTree;
+use anomex_detectors::knn::{knn_table, knn_table_with, KnnBackend};
+use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Loda, Lof};
+use proptest::prelude::*;
+
+/// Strategy: a random dataset with at least 20 rows and 2–5 features.
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (20usize..80, 2usize..6).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::collection::vec(-100.0f64..100.0, c..=c), r..=r)
+            .prop_map(|rows| Dataset::from_rows(rows).expect("well-formed"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every detector returns one finite score per row.
+    #[test]
+    fn all_detectors_return_finite_scores(ds in dataset()) {
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(Lof::new(5).unwrap()),
+            Box::new(FastAbod::new(4).unwrap()),
+            Box::new(IsolationForest::builder().trees(10).repetitions(1).build().unwrap()),
+            Box::new(KnnDist::new(5).unwrap()),
+            Box::new(Loda::builder().projections(10).build().unwrap()),
+        ];
+        let m = ds.full_matrix();
+        for det in &detectors {
+            let scores = det.score_all(&m);
+            prop_assert_eq!(scores.len(), ds.n_rows(), "{}", det.name());
+            prop_assert!(scores.iter().all(|s| s.is_finite()), "{}", det.name());
+        }
+    }
+
+    /// iForest scores stay in (0, 1].
+    #[test]
+    fn iforest_score_range(ds in dataset()) {
+        let det = IsolationForest::builder().trees(15).repetitions(1).build().unwrap();
+        for s in det.score_all(&ds.full_matrix()) {
+            prop_assert!(s > 0.0 && s <= 1.0, "score {s}");
+        }
+    }
+
+    /// LOF is invariant under affine feature transforms (translate+scale).
+    #[test]
+    fn lof_affine_invariance(ds in dataset(), scale in 0.1f64..10.0, shift in -50.0f64..50.0) {
+        let base = Lof::new(5).unwrap().score_all(&ds.full_matrix());
+        let transformed = Dataset::from_rows(
+            (0..ds.n_rows())
+                .map(|i| ds.row(i).iter().map(|v| v * scale + shift).collect())
+                .collect(),
+        ).unwrap();
+        let scaled = Lof::new(5).unwrap().score_all(&transformed.full_matrix());
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// kNN-distance scores scale linearly with the data.
+    #[test]
+    fn knndist_scales_linearly(ds in dataset(), scale in 0.1f64..10.0) {
+        let base = KnnDist::new(5).unwrap().score_all(&ds.full_matrix());
+        let transformed = Dataset::from_rows(
+            (0..ds.n_rows())
+                .map(|i| ds.row(i).iter().map(|v| v * scale).collect())
+                .collect(),
+        ).unwrap();
+        let scaled = KnnDist::new(5).unwrap().score_all(&transformed.full_matrix());
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!((a * scale - b).abs() < 1e-6 * b.abs().max(1.0));
+        }
+    }
+
+    /// kNN tables: neighbour lists exclude self, are sorted, and both
+    /// backends agree on distances.
+    #[test]
+    fn knn_table_invariants(ds in dataset(), k in 1usize..10) {
+        let m = ds.full_matrix();
+        let t = knn_table(&m, k);
+        for (i, (nbrs, dists)) in t.neighbors.iter().zip(&t.distances).enumerate() {
+            prop_assert!(!nbrs.contains(&i));
+            prop_assert_eq!(nbrs.len(), k.min(ds.n_rows() - 1));
+            for w in dists.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+        let kd = knn_table_with(&m, k, KnnBackend::KdTree);
+        for i in 0..ds.n_rows() {
+            for (a, b) in t.distances[i].iter().zip(&kd.distances[i]) {
+                prop_assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The k-d tree finds exactly the smallest distances.
+    #[test]
+    fn kdtree_exactness(ds in dataset(), k in 1usize..8) {
+        let m = ds.full_matrix();
+        let tree = KdTree::build(&m);
+        let q = 0usize;
+        let got: Vec<f64> = tree.knn(m.row(q), k, Some(q)).into_iter().map(|(_, d)| d).collect();
+        let mut want: Vec<f64> = (1..m.n_rows()).map(|j| m.sq_dist(q, j)).collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+    }
+}

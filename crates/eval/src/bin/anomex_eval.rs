@@ -1,0 +1,220 @@
+//! `anomex-eval` — the experiment harness CLI.
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//!
+//! ```text
+//! anomex-eval table1  [--fast|--full] [--seed N] [--out DIR]
+//! anomex-eval fig8    [--fast|--full] ...
+//! anomex-eval fig9    ...   # MAP of Beam & RefOut pipelines
+//! anomex-eval fig10   ...   # MAP of HiCS & LookOut pipelines
+//! anomex-eval fig11   ...   # pipeline runtimes
+//! anomex-eval table2  ...   # effectiveness/efficiency trade-offs
+//! anomex-eval all     ...   # everything, sharing generated datasets
+//! ```
+//!
+//! Text reports go to stdout; JSON result tables go to `--out`
+//! (default `results/`).
+
+use anomex_eval::datasets::{TestbedDataset, TestbedFamily};
+use anomex_eval::experiment::ExperimentConfig;
+use anomex_eval::report;
+use anomex_eval::runner::{run_grid, ResultTable};
+use anomex_eval::tradeoff;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    mode: Mode,
+    seed: u64,
+    out: PathBuf,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    Fast,
+    Balanced,
+    Full,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = None;
+    let mut mode = Mode::Balanced;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--fast" => mode = Mode::Fast,
+            "--full" => mode = Mode::Full,
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(argv.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        experiment: experiment.ok_or_else(|| USAGE.to_string())?,
+        mode,
+        seed,
+        out,
+    })
+}
+
+const USAGE: &str = "usage: anomex-eval <table1|fig8|fig9|fig10|fig11|table2|overlap|all> \
+[--fast|--full] [--seed N] [--out DIR]";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match args.mode {
+        Mode::Fast => ExperimentConfig::fast(args.seed),
+        Mode::Balanced => ExperimentConfig::balanced(args.seed),
+        Mode::Full => ExperimentConfig::full(args.seed),
+    };
+    let fast = args.mode == Mode::Fast;
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+
+    eprintln!("# generating testbed datasets (ground truth derivation may take a while)...");
+    let testbeds: Vec<TestbedDataset> = cfg
+        .datasets(fast)
+        .into_iter()
+        .map(|f| {
+            eprintln!("#   {}", f.name());
+            TestbedDataset::build(f, cfg.seed, &cfg.gt_dims())
+        })
+        .collect();
+
+    match args.experiment.as_str() {
+        "table1" => {
+            println!("Table 1: dataset characteristics\n");
+            println!("{}", report::table1(&testbeds));
+        }
+        "fig8" => {
+            println!("Figure 8: relevant-subspace dimensionality & contamination\n");
+            println!("{}", report::fig8(&testbeds));
+        }
+        "fig9" => {
+            let t = grid("fig9", &testbeds, &cfg, true, &args.out);
+            println!("Figure 9: MAP of point-explanation pipelines\n");
+            println!("{}", report::map_grid(&t));
+        }
+        "fig10" => {
+            let t = grid("fig10", &testbeds, &cfg, false, &args.out);
+            println!("Figure 10: MAP of summarization pipelines\n");
+            println!("{}", report::map_grid(&t));
+        }
+        "fig11" => {
+            // The paper reports runtime on HiCS 14–39d plus Electricity.
+            let subset: Vec<TestbedDataset> = testbeds
+                .into_iter()
+                .filter(|t| fig11_dataset(t.family))
+                .collect();
+            let p = grid("fig11-point", &subset, &cfg, true, &args.out);
+            let s = grid("fig11-summary", &subset, &cfg, false, &args.out);
+            println!("Figure 11: runtime of detection & explanation pipelines (seconds)\n");
+            println!("{}", report::runtime_grid(&p));
+            println!("{}", report::runtime_grid(&s));
+        }
+        "table2" => {
+            let p = grid("fig9", &testbeds, &cfg, true, &args.out);
+            let s = grid("fig10", &testbeds, &cfg, false, &args.out);
+            println!("Table 2: effectiveness/efficiency trade-offs\n");
+            println!("{}", tradeoff::render(&tradeoff::build(&p, &s)));
+        }
+        "all" => {
+            println!("Table 1: dataset characteristics\n");
+            println!("{}", report::table1(&testbeds));
+            println!("Figure 8: relevant-subspace dimensionality & contamination\n");
+            println!("{}", report::fig8(&testbeds));
+            let p = grid("fig9", &testbeds, &cfg, true, &args.out);
+            println!("Figure 9: MAP of point-explanation pipelines\n");
+            println!("{}", report::map_grid(&p));
+            let s = grid("fig10", &testbeds, &cfg, false, &args.out);
+            println!("Figure 10: MAP of summarization pipelines\n");
+            println!("{}", report::map_grid(&s));
+            println!("Figure 11: runtime of pipelines (seconds)\n");
+            let fig11_p = filter_table(&p, "fig11-point");
+            let fig11_s = filter_table(&s, "fig11-summary");
+            println!("{}", report::runtime_grid(&fig11_p));
+            println!("{}", report::runtime_grid(&fig11_s));
+            println!("Table 2: effectiveness/efficiency trade-offs\n");
+            println!("{}", tradeoff::render(&tradeoff::build(&p, &s)));
+        }
+        "overlap" => {
+            // The paper's "complementary experiments": outlier/inlier
+            // score separability (AUC) per projection dimensionality.
+            use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+            use anomex_detectors::paper_detectors;
+            let preset = if fast { HicsPreset::D14 } else { HicsPreset::D23 };
+            let g = generate_hics(preset, cfg.seed);
+            println!("Score-overlap (masking) analysis on {}\n", preset.name());
+            for det in paper_detectors(cfg.seed) {
+                let profile = anomex_eval::overlap::masking_profile(&g, &det);
+                println!("{}", anomex_eval::overlap::render_profile(det.name(), &profile));
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fig11_dataset(f: TestbedFamily) -> bool {
+    matches!(
+        f.name(),
+        "HiCS-14d" | "HiCS-23d" | "HiCS-39d" | "Electricity-like (C)"
+    )
+}
+
+fn filter_table(t: &ResultTable, name: &str) -> ResultTable {
+    let mut out = ResultTable::new(name);
+    out.cells = t
+        .cells
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.dataset.as_str(),
+                "HiCS-14d" | "HiCS-23d" | "HiCS-39d" | "Electricity-like (C)"
+            )
+        })
+        .cloned()
+        .collect();
+    out
+}
+
+fn grid(
+    name: &str,
+    testbeds: &[TestbedDataset],
+    cfg: &ExperimentConfig,
+    point: bool,
+    out_dir: &Path,
+) -> ResultTable {
+    eprintln!("# running {name} grid...");
+    let pipelines = if point {
+        cfg.point_pipelines()
+    } else {
+        cfg.summary_pipelines()
+    };
+    let table = run_grid(name, testbeds, &pipelines, cfg);
+    let path = out_dir.join(format!("{name}.json"));
+    std::fs::write(&path, table.to_json()).expect("write result json");
+    eprintln!("#   wrote {}", path.display());
+    table
+}

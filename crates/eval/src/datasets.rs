@@ -1,0 +1,162 @@
+//! The eight testbed datasets (paper §3.2, Table 1), ready to evaluate:
+//! five HiCS-family subspace-outlier datasets and three full-space-outlier
+//! datasets with exhaustive-LOF-derived ground truth.
+
+use crate::ground_truth::derive_fullspace_ground_truth;
+use anomex_dataset::gen::fullspace::{generate_fullspace_with_outliers, FullSpacePreset};
+use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+use anomex_dataset::{Dataset, GroundTruth};
+
+/// Which testbed family a dataset belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestbedFamily {
+    /// HiCS-style subspace outliers (planted ground truth).
+    Hics(HicsPreset),
+    /// Full-space outliers (ground truth derived by exhaustive LOF).
+    FullSpace(FullSpacePreset),
+}
+
+impl TestbedFamily {
+    /// All eight paper datasets: HiCS 14–100d then the A/B/C full-space
+    /// datasets.
+    #[must_use]
+    pub fn all() -> Vec<TestbedFamily> {
+        let mut v: Vec<TestbedFamily> =
+            HicsPreset::all().into_iter().map(TestbedFamily::Hics).collect();
+        v.extend(FullSpacePreset::all().into_iter().map(TestbedFamily::FullSpace));
+        v
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TestbedFamily::Hics(p) => p.name(),
+            TestbedFamily::FullSpace(p) => p.name(),
+        }
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn n_features(self) -> usize {
+        match self {
+            TestbedFamily::Hics(p) => p.n_features(),
+            TestbedFamily::FullSpace(p) => p.n_features(),
+        }
+    }
+
+    /// The explanation dimensionalities the paper evaluates on this
+    /// dataset: 2–5d for the synthetic family, 2–4d for the full-space
+    /// family.
+    #[must_use]
+    pub fn explanation_dims(self) -> Vec<usize> {
+        match self {
+            TestbedFamily::Hics(_) => vec![2, 3, 4, 5],
+            TestbedFamily::FullSpace(_) => vec![2, 3, 4],
+        }
+    }
+
+    /// The paper's "Relevant Features Ratio" (Table 1 / Table 2): the
+    /// maximal explanation dimensionality over the dataset
+    /// dimensionality for the HiCS family, 100 % for full-space outliers.
+    #[must_use]
+    pub fn relevant_feature_ratio(self) -> f64 {
+        match self {
+            TestbedFamily::Hics(p) => 5.0 / p.n_features() as f64,
+            TestbedFamily::FullSpace(_) => 1.0,
+        }
+    }
+}
+
+/// A testbed dataset with its ground truth.
+#[derive(Debug, Clone)]
+pub struct TestbedDataset {
+    /// Which paper dataset this is.
+    pub family: TestbedFamily,
+    /// The data matrix.
+    pub dataset: Dataset,
+    /// Points of interest and their relevant subspaces.
+    pub ground_truth: GroundTruth,
+}
+
+impl TestbedDataset {
+    /// Builds one testbed dataset. For the full-space family this runs
+    /// the exhaustive-LOF ground-truth derivation over `gt_dims`
+    /// (the paper uses 2–4d; pass fewer dims to trade fidelity for
+    /// speed).
+    #[must_use]
+    pub fn build(family: TestbedFamily, seed: u64, gt_dims: &[usize]) -> Self {
+        match family {
+            TestbedFamily::Hics(p) => {
+                let g = generate_hics(p, seed);
+                TestbedDataset {
+                    family,
+                    dataset: g.dataset,
+                    ground_truth: g.ground_truth,
+                }
+            }
+            TestbedFamily::FullSpace(p) => {
+                let (dataset, outliers) = generate_fullspace_with_outliers(p, seed);
+                let ground_truth =
+                    derive_fullspace_ground_truth(&dataset, &outliers, gt_dims);
+                TestbedDataset {
+                    family,
+                    dataset,
+                    ground_truth,
+                }
+            }
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.family.name()
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn families_enumerate_all_eight() {
+        let all = TestbedFamily::all();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0].name(), "HiCS-14d");
+        assert_eq!(all[7].name(), "Electricity-like (C)");
+    }
+
+    #[test]
+    fn relevant_feature_ratios_match_table1() {
+        // The paper floors the percentages: 35, 21, 12, 7, 5, then 100.
+        let ratios: Vec<i64> = TestbedFamily::all()
+            .into_iter()
+            .map(|f| (f.relevant_feature_ratio() * 100.0).floor() as i64)
+            .collect();
+        assert_eq!(ratios, vec![35, 21, 12, 7, 5, 100, 100, 100]);
+    }
+
+    #[test]
+    fn hics_build_has_planted_truth() {
+        let t = TestbedDataset::build(TestbedFamily::Hics(HicsPreset::D14), 1, &[]);
+        assert_eq!(t.dataset.n_features(), 14);
+        assert_eq!(t.ground_truth.n_outliers(), 20);
+    }
+
+    #[test]
+    fn fullspace_build_derives_truth() {
+        let t = TestbedDataset::build(
+            TestbedFamily::FullSpace(FullSpacePreset::BreastA),
+            1,
+            &[2],
+        );
+        assert_eq!(t.ground_truth.n_outliers(), 20);
+        // Each outlier got exactly one 2d subspace.
+        for p in t.ground_truth.outliers() {
+            let rels = t.ground_truth.relevant_for(p);
+            assert_eq!(rels.len(), 1);
+            assert_eq!(rels[0].dim(), 2);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # anomex-eval
+//!
+//! The evaluation framework of the reproduced paper: the MAP / Mean
+//! Recall metrics of §3.3, the exhaustive-LOF ground-truth derivation for
+//! the full-space dataset family (§3.2), the 12-pipeline runner, and the
+//! experiment harness that regenerates **every table and figure** of the
+//! paper's evaluation section (Table 1, Table 2, Figures 8–11).
+//!
+//! The `anomex-eval` binary drives it:
+//!
+//! ```text
+//! anomex-eval table1           # dataset characteristics (Table 1)
+//! anomex-eval fig8             # relevant-subspace dimensionalities
+//! anomex-eval fig9  [--fast]   # MAP of Beam & RefOut pipelines
+//! anomex-eval fig10 [--fast]   # MAP of HiCS & LookOut pipelines
+//! anomex-eval fig11 [--fast]   # pipeline runtimes
+//! anomex-eval table2 [--fast]  # effectiveness/efficiency trade-offs
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod datasets;
+pub mod experiment;
+pub mod ground_truth;
+pub mod metrics;
+pub mod overlap;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod tradeoff;
+
+pub use datasets::{TestbedDataset, TestbedFamily};
+pub use metrics::{average_precision, map, mean_recall, precision};
+pub use runner::{CellResult, ResultTable};

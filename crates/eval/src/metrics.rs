@@ -1,0 +1,191 @@
+//! The effectiveness metrics of the paper's §3.3: Precision (Eq. 1),
+//! Average Precision (Eq. 2), MAP (Eq. 3) and Mean Recall.
+//!
+//! A returned subspace counts as relevant **only** when it is *identical*
+//! to a ground-truth subspace of the point (exact-match semantics, §3.3).
+//! MAP rewards explainers that rank the relevant subspace(s) at the top
+//! of their candidate list — the property that separates a usable
+//! explanation from a needle buried in a haystack.
+
+use anomex_core::RankedSubspaces;
+use anomex_dataset::Subspace;
+
+/// Precision of one explanation (Eq. 1):
+/// `|REL_p ∩ EXP_a(p)| / |EXP_a(p)|`. Empty explanations score 0.
+#[must_use]
+pub fn precision(relevant: &[&Subspace], explanation: &RankedSubspaces) -> f64 {
+    if explanation.is_empty() {
+        return 0.0;
+    }
+    let hits = explanation
+        .entries()
+        .iter()
+        .filter(|(s, _)| relevant.contains(&s))
+        .count();
+    hits as f64 / explanation.len() as f64
+}
+
+/// Average Precision of one explanation (Eq. 2):
+/// `Σ_k P@k(p) · rel(k) / |REL_p|`, where `P@k` is the precision of the
+/// top-`k` prefix and `rel(k)` flags whether the `k`-th returned subspace
+/// is relevant. Returns 0 when the point has no relevant subspaces.
+#[must_use]
+pub fn average_precision(relevant: &[&Subspace], explanation: &RankedSubspaces) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (k, (s, _)) in explanation.entries().iter().enumerate() {
+        if relevant.contains(&s) {
+            hits += 1;
+            sum += hits as f64 / (k + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Recall of one explanation: `|REL_p ∩ EXP_a(p)| / |REL_p|`.
+/// Returns 0 when the point has no relevant subspaces.
+#[must_use]
+pub fn recall(relevant: &[&Subspace], explanation: &RankedSubspaces) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = relevant
+        .iter()
+        .filter(|r| explanation.rank_of(r).is_some())
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Mean Average Precision over a set of points (Eq. 3). Each element of
+/// `per_point` pairs a point's relevant subspaces with its explanation.
+/// Returns 0 for an empty set.
+#[must_use]
+pub fn map(per_point: &[(Vec<&Subspace>, &RankedSubspaces)]) -> f64 {
+    if per_point.is_empty() {
+        return 0.0;
+    }
+    per_point
+        .iter()
+        .map(|(rel, exp)| average_precision(rel, exp))
+        .sum::<f64>()
+        / per_point.len() as f64
+}
+
+/// Mean Recall over a set of points. Returns 0 for an empty set.
+#[must_use]
+pub fn mean_recall(per_point: &[(Vec<&Subspace>, &RankedSubspaces)]) -> f64 {
+    if per_point.is_empty() {
+        return 0.0;
+    }
+    per_point
+        .iter()
+        .map(|(rel, exp)| recall(rel, exp))
+        .sum::<f64>()
+        / per_point.len() as f64
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn s(fs: &[usize]) -> Subspace {
+        Subspace::new(fs.to_vec())
+    }
+
+    fn ranking(subs: &[&[usize]]) -> RankedSubspaces {
+        RankedSubspaces::from_ordered(
+            subs.iter()
+                .enumerate()
+                .map(|(i, fs)| (s(fs), (subs.len() - i) as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn precision_counts_exact_matches_only() {
+        let rel_owned = [s(&[0, 1])];
+        let rel: Vec<&Subspace> = rel_owned.iter().collect();
+        // {0,1,2} is a superset, NOT an exact match.
+        let exp = ranking(&[&[0, 1, 2], &[0, 1]]);
+        assert!((precision(&rel, &exp) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let rel_owned = [s(&[0, 1]), s(&[2, 3])];
+        let rel: Vec<&Subspace> = rel_owned.iter().collect();
+        let exp = ranking(&[&[0, 1], &[2, 3], &[4, 5]]);
+        assert!((average_precision(&rel, &exp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_penalizes_late_hits() {
+        let rel_owned = [s(&[0, 1])];
+        let rel: Vec<&Subspace> = rel_owned.iter().collect();
+        let first = average_precision(&rel, &ranking(&[&[0, 1], &[2, 3]]));
+        let second = average_precision(&rel, &ranking(&[&[2, 3], &[0, 1]]));
+        let third = average_precision(&rel, &ranking(&[&[2, 3], &[4, 5], &[0, 1]]));
+        assert!((first - 1.0).abs() < 1e-12);
+        assert!((second - 0.5).abs() < 1e-12);
+        assert!((third - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_textbook_example() {
+        // Relevant at positions 1, 3, 5 (1-based) of five returned:
+        // AP = (1/1 + 2/3 + 3/5) / 3.
+        let rel_owned = [s(&[0]), s(&[2]), s(&[4])];
+        let rel: Vec<&Subspace> = rel_owned.iter().collect();
+        let exp = ranking(&[&[0], &[1], &[2], &[3], &[4]]);
+        let want = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((average_precision(&rel, &exp) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_divides_by_rel_count_when_misses() {
+        // One of two relevant subspaces never returned.
+        let rel_owned = [s(&[0]), s(&[9])];
+        let rel: Vec<&Subspace> = rel_owned.iter().collect();
+        let exp = ranking(&[&[0], &[1]]);
+        assert!((average_precision(&rel, &exp) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_basics() {
+        let rel_owned = [s(&[0]), s(&[9])];
+        let rel: Vec<&Subspace> = rel_owned.iter().collect();
+        assert!((recall(&rel, &ranking(&[&[0], &[1]])) - 0.5).abs() < 1e-12);
+        assert_eq!(recall(&rel, &ranking(&[&[1], &[2]])), 0.0);
+        assert!((recall(&rel, &ranking(&[&[9], &[0]])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_and_mean_recall_aggregate() {
+        let rel_a = [s(&[0])];
+        let rel_b = [s(&[1])];
+        let exp_a = ranking(&[&[0]]); // AP = 1
+        let exp_b = ranking(&[&[2], &[1]]); // AP = 0.5
+        let batch = vec![
+            (rel_a.iter().collect::<Vec<_>>(), &exp_a),
+            (rel_b.iter().collect::<Vec<_>>(), &exp_b),
+        ];
+        assert!((map(&batch) - 0.75).abs() < 1e-12);
+        assert!((mean_recall(&batch) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let rel_owned = [s(&[0])];
+        let rel: Vec<&Subspace> = rel_owned.iter().collect();
+        let empty = RankedSubspaces::default();
+        assert_eq!(precision(&rel, &empty), 0.0);
+        assert_eq!(average_precision(&rel, &empty), 0.0);
+        assert_eq!(map(&[]), 0.0);
+        assert_eq!(mean_recall(&[]), 0.0);
+        let no_rel: Vec<&Subspace> = Vec::new();
+        assert_eq!(average_precision(&no_rel, &ranking(&[&[0]])), 0.0);
+    }
+}

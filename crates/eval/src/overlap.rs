@@ -1,0 +1,201 @@
+//! Score-distribution overlap analysis — the paper's "complementary
+//! experiments" (§4.1/§4.2, described but not plotted there).
+//!
+//! The stage-wise search strategies live or die by how well the detector
+//! separates outlier from inlier scores in **lower-dimensional
+//! projections** of the relevant subspace. This module quantifies that
+//! separability as the AUC (Mann–Whitney) of the planted outliers'
+//! scores against the inliers', per projection dimensionality — the
+//! *masking profile* of a dataset × detector pair.
+
+use anomex_dataset::gen::Generated;
+use anomex_dataset::Subspace;
+use anomex_detectors::Detector;
+
+/// Rank-based AUC of `positives` against the rest: the probability that
+/// a uniformly drawn positive outscores a uniformly drawn negative
+/// (ties counted half). Returns 0.5 for empty sides.
+#[must_use]
+pub fn auc(scores: &[f64], positives: &[usize]) -> f64 {
+    let is_pos = |i: usize| positives.contains(&i);
+    let mut n_pos = 0u64;
+    let mut n_neg = 0u64;
+    let mut wins = 0.0f64;
+    for i in 0..scores.len() {
+        if !is_pos(i) {
+            continue;
+        }
+        n_pos += 1;
+        for j in 0..scores.len() {
+            if is_pos(j) {
+                continue;
+            }
+            if n_pos == 1 {
+                n_neg += 1;
+            }
+            wins += match scores[i].total_cmp(&scores[j]) {
+                std::cmp::Ordering::Greater => 1.0,
+                std::cmp::Ordering::Equal => 0.5,
+                std::cmp::Ordering::Less => 0.0,
+            };
+        }
+    }
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    wins / (n_pos * n_neg) as f64
+}
+
+/// One row of a masking profile: for a planted block, the mean AUC of
+/// its outliers over sampled `k`-dim projections of the block, for
+/// `k = 1 ..= block.dim()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMasking {
+    /// The planted relevant subspace.
+    pub block: Subspace,
+    /// `auc_by_dim[k-1]` = mean AUC over the `k`-dim projections of the
+    /// block (the final entry is the full block).
+    pub auc_by_dim: Vec<f64>,
+}
+
+/// Computes the masking profile of a generated (block-based) dataset
+/// under `detector`: for each planted block and each projection
+/// dimensionality, the mean AUC of the block's outliers.
+///
+/// All `C(block.dim(), k)` projections are evaluated (block dims are
+/// ≤ 5, so at most 10 projections per level).
+#[must_use]
+pub fn masking_profile(generated: &Generated, detector: &dyn Detector) -> Vec<BlockMasking> {
+    let mut out = Vec::with_capacity(generated.blocks.len());
+    for block in &generated.blocks {
+        let outliers: Vec<usize> = generated
+            .ground_truth
+            .outliers()
+            .into_iter()
+            .filter(|&p| generated.ground_truth.relevant_for(p).contains(block))
+            .collect();
+        let features: Vec<usize> = block.iter().collect();
+        let m = features.len();
+        let mut auc_by_dim = Vec::with_capacity(m);
+        for k in 1..=m {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for combo in combinations(&features, k) {
+                let proj = generated.dataset.project(&Subspace::new(combo));
+                let scores = detector.score_all(&proj);
+                total += auc(&scores, &outliers);
+                count += 1;
+            }
+            auc_by_dim.push(total / count as f64);
+        }
+        out.push(BlockMasking {
+            block: block.clone(),
+            auc_by_dim,
+        });
+    }
+    out
+}
+
+/// All `k`-element combinations of `items`.
+fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(items: &[usize], k: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(items, k, 0, &mut current, &mut out);
+    out
+}
+
+/// Renders a masking profile as a fixed-width table.
+#[must_use]
+pub fn render_profile(detector_name: &str, profile: &[BlockMasking]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "masking profile — {detector_name} (AUC of planted outliers)");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "block", "1d", "2d", "3d", "4d", "5d"
+    );
+    for bm in profile {
+        let mut row = format!("{:<18}", bm.block.to_string());
+        for k in 0..5 {
+            match bm.auc_by_dim.get(k) {
+                Some(a) => {
+                    let _ = write!(row, " {:>6.2}", a);
+                }
+                None => {
+                    let _ = write!(row, " {:>6}", "·");
+                }
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+    use anomex_detectors::Lof;
+
+    #[test]
+    fn auc_basics() {
+        // Positives clearly on top.
+        assert_eq!(auc(&[1.0, 2.0, 9.0, 8.0], &[2, 3]), 1.0);
+        // Positives clearly at the bottom.
+        assert_eq!(auc(&[9.0, 8.0, 1.0, 2.0], &[2, 3]), 0.0);
+        // Random interleaving near 0.5; exact value for this case:
+        let a = auc(&[1.0, 3.0, 2.0, 4.0], &[1, 2]);
+        assert!((a - 0.5).abs() < 0.26);
+        // Ties count half.
+        assert_eq!(auc(&[5.0, 5.0], &[0]), 0.5);
+        // Degenerate sides.
+        assert_eq!(auc(&[1.0, 2.0], &[]), 0.5);
+        assert_eq!(auc(&[1.0, 2.0], &[0, 1]), 0.5);
+    }
+
+    #[test]
+    fn combinations_count() {
+        let items = [1usize, 2, 3, 4];
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 4).len(), 1);
+        assert_eq!(combinations(&items, 1).len(), 4);
+    }
+
+    #[test]
+    fn masking_increases_with_projection_dim() {
+        // The defining property of the HiCS testbed: AUC near 0.5 in 1d,
+        // near 1.0 in the full block.
+        let g = generate_hics(HicsPreset::D14, 42);
+        let lof = Lof::new(15).unwrap();
+        let profile = masking_profile(&g, &lof);
+        assert_eq!(profile.len(), 4);
+        for bm in &profile {
+            let first = bm.auc_by_dim[0];
+            let last = *bm.auc_by_dim.last().unwrap();
+            assert!(first < 0.75, "1d AUC should be maskd, got {first} for {}", bm.block);
+            assert!(last > 0.9, "full-block AUC should separate, got {last} for {}", bm.block);
+        }
+    }
+
+    #[test]
+    fn render_contains_blocks() {
+        let g = generate_hics(HicsPreset::D14, 1);
+        let lof = Lof::new(15).unwrap();
+        let profile = masking_profile(&g, &lof);
+        let text = render_profile("LOF", &profile);
+        assert!(text.contains("LOF"));
+        assert!(text.contains("{F0,F1}"));
+    }
+}

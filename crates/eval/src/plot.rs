@@ -1,0 +1,145 @@
+//! Terminal scatter plots of 2d subspace explanations.
+//!
+//! LookOut's original purpose was *pictorial* explanation — handing the
+//! analyst a small set of 2d plots in which the outliers visibly stand
+//! out (paper §2.3). This module renders exactly those plots as ASCII,
+//! so the examples and the CLI can show the explanation rather than
+//! just name it.
+
+use anomex_dataset::{Dataset, Subspace};
+
+/// Character used for inlier points.
+const INLIER: char = '·';
+/// Character used for highlighted (outlier) points.
+const OUTLIER: char = '#';
+
+/// Renders the projection of `dataset` onto a 2-feature `subspace` as an
+/// ASCII scatter plot of `width × height` cells, with `highlight` rows
+/// drawn as `#` over the inlier cloud.
+///
+/// # Panics
+/// Panics unless the subspace has exactly 2 features, both in range,
+/// and `width`/`height` are at least 2.
+#[must_use]
+pub fn scatter(
+    dataset: &Dataset,
+    subspace: &Subspace,
+    highlight: &[usize],
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(subspace.dim(), 2, "scatter plots need exactly 2 features");
+    assert!(width >= 2 && height >= 2, "plot must be at least 2x2");
+    let fs: Vec<usize> = subspace.iter().collect();
+    let (fx, fy) = (fs[0], fs[1]);
+    let xs = dataset.column(fx);
+    let ys = dataset.column(fy);
+
+    let (x_lo, x_hi) = min_max(xs);
+    let (y_lo, y_hi) = min_max(ys);
+    let cell = |v: f64, lo: f64, hi: f64, n: usize| -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        (((v - lo) / (hi - lo) * n as f64) as usize).min(n - 1)
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for i in 0..dataset.n_rows() {
+        if highlight.contains(&i) {
+            continue; // drawn after, so outliers are never hidden
+        }
+        let cx = cell(xs[i], x_lo, x_hi, width);
+        let cy = cell(ys[i], y_lo, y_hi, height);
+        grid[height - 1 - cy][cx] = INLIER;
+    }
+    for &i in highlight {
+        let cx = cell(xs[i], x_lo, x_hi, width);
+        let cy = cell(ys[i], y_lo, y_hi, height);
+        grid[height - 1 - cy][cx] = OUTLIER;
+    }
+
+    let names = dataset.feature_names();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (y) vs {} (x)\n",
+        names[fy], names[fx]
+    ));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    out
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn diagonal_with_outlier() -> Dataset {
+        let mut rows: Vec<Vec<f64>> = (0..50).map(|i| {
+            let t = i as f64 / 50.0;
+            vec![t, t, 0.5]
+        }).collect();
+        rows.push(vec![0.1, 0.9, 0.5]); // off-diagonal
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn outlier_marker_present_and_off_diagonal() {
+        let ds = diagonal_with_outlier();
+        let plot = scatter(&ds, &Subspace::new([0usize, 1]), &[50], 20, 10);
+        assert!(plot.contains('#'));
+        assert!(plot.contains('·'));
+        // Outlier at (0.1, 0.9): top-left region → '#" appears in an
+        // early row, left half.
+        let lines: Vec<&str> = plot.lines().collect();
+        let hash_line = lines.iter().position(|l| l.contains('#')).unwrap();
+        assert!(hash_line <= 3, "outlier should render near the top: line {hash_line}");
+        assert!(lines[hash_line].find('#').unwrap() < 12);
+    }
+
+    #[test]
+    fn header_names_axes() {
+        let ds = diagonal_with_outlier().with_names(vec!["a", "b", "c"]).unwrap();
+        let plot = scatter(&ds, &Subspace::new([0usize, 1]), &[], 10, 5);
+        assert!(plot.starts_with("b (y) vs a (x)"));
+    }
+
+    #[test]
+    fn dimensions_respected() {
+        let ds = diagonal_with_outlier();
+        let plot = scatter(&ds, &Subspace::new([0usize, 2]), &[], 30, 7);
+        // Header + 7 rows + bottom border.
+        assert_eq!(plot.lines().count(), 9);
+        assert!(plot.lines().nth(1).unwrap().len() == 31); // '|' + 30 cells
+    }
+
+    #[test]
+    fn constant_feature_does_not_crash() {
+        let ds = diagonal_with_outlier();
+        let plot = scatter(&ds, &Subspace::new([1usize, 2]), &[0], 10, 5);
+        assert!(plot.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 2 features")]
+    fn rejects_non_2d_subspace() {
+        let ds = diagonal_with_outlier();
+        let _ = scatter(&ds, &Subspace::new([0usize, 1, 2]), &[], 10, 5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Fixed-width text reports mirroring the paper's tables and figures.
+
+use crate::datasets::{TestbedDataset, TestbedFamily};
+use crate::runner::ResultTable;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders Table 1 — characteristics of every testbed dataset.
+#[must_use]
+pub fn table1(testbeds: &[TestbedDataset]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>6} {:>9} {:>8} {:>8} {:>9} {:>9} {:>7}",
+        "dataset", "rows", "feats", "outliers", "contam%", "#relsub", "sub/outl", "outl/sub", "ratio%"
+    );
+    for tb in testbeds {
+        let gt = &tb.ground_truth;
+        let n_rel = gt.relevant_subspaces().len();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>6} {:>9} {:>8.1} {:>8} {:>9.2} {:>9.2} {:>7.0}",
+            tb.name(),
+            tb.dataset.n_rows(),
+            tb.dataset.n_features(),
+            gt.n_outliers(),
+            100.0 * gt.n_outliers() as f64 / tb.dataset.n_rows() as f64,
+            n_rel,
+            gt.mean_subspaces_per_outlier(),
+            gt.mean_outliers_per_subspace(),
+            (tb.family.relevant_feature_ratio() * 100.0).floor(),
+        );
+    }
+    out
+}
+
+/// Renders Figure 8 — dimensionality histogram of relevant subspaces and
+/// contamination ratio, per HiCS dataset.
+#[must_use]
+pub fn fig8(testbeds: &[TestbedDataset]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>5} {:>5} {:>5} {:>10}",
+        "dataset", "2d", "3d", "4d", "5d", "contam%"
+    );
+    for tb in testbeds {
+        if !matches!(tb.family, TestbedFamily::Hics(_)) {
+            continue;
+        }
+        let h = tb.ground_truth.dimensionality_histogram();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>5} {:>5} {:>5} {:>10.1}",
+            tb.name(),
+            h.get(&2).copied().unwrap_or(0),
+            h.get(&3).copied().unwrap_or(0),
+            h.get(&4).copied().unwrap_or(0),
+            h.get(&5).copied().unwrap_or(0),
+            100.0 * tb.ground_truth.n_outliers() as f64 / tb.dataset.n_rows() as f64,
+        );
+    }
+    out
+}
+
+/// Renders a MAP grid (Figures 9 & 10): one block per dataset, one row
+/// per pipeline, one column per explanation dimensionality. Skipped
+/// cells print `—`.
+#[must_use]
+pub fn map_grid(table: &ResultTable) -> String {
+    grid(table, |c| {
+        if c.skipped {
+            "    —".to_string()
+        } else {
+            format!("{:5.2}", c.map)
+        }
+    })
+}
+
+/// Renders a runtime grid (Figure 11) in seconds.
+#[must_use]
+pub fn runtime_grid(table: &ResultTable) -> String {
+    grid(table, |c| {
+        if c.skipped {
+            "       —".to_string()
+        } else {
+            format!("{:8.3}", c.seconds)
+        }
+    })
+}
+
+fn grid(
+    table: &ResultTable,
+    cell_fmt: impl Fn(&crate::runner::CellResult) -> String,
+) -> String {
+    let mut out = String::new();
+    let datasets: Vec<String> = {
+        let mut seen = Vec::new();
+        for c in &table.cells {
+            if !seen.contains(&c.dataset) {
+                seen.push(c.dataset.clone());
+            }
+        }
+        seen
+    };
+    for ds in datasets {
+        let cells = table.for_dataset(&ds);
+        let dims: BTreeSet<usize> = cells.iter().map(|c| c.dim).collect();
+        let pipes: Vec<(String, String)> = {
+            let mut seen = Vec::new();
+            for c in &cells {
+                let key = (c.explainer.clone(), c.detector.clone());
+                if !seen.contains(&key) {
+                    seen.push(key);
+                }
+            }
+            seen
+        };
+        let _ = writeln!(out, "== {ds} ==");
+        let mut header = format!("{:<22}", "pipeline");
+        for d in &dims {
+            let _ = write!(header, " {:>8}", format!("{d}d"));
+        }
+        let _ = writeln!(out, "{header}");
+        for (expl, det) in pipes {
+            let mut row = format!("{:<22}", format!("{expl}+{det}"));
+            for d in &dims {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.explainer == expl && c.detector == det && c.dim == *d);
+                match cell {
+                    Some(c) => {
+                        let _ = write!(row, " {:>8}", cell_fmt(c));
+                    }
+                    None => {
+                        let _ = write!(row, " {:>8}", "·");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::runner::CellResult;
+
+    fn cell(ds: &str, det: &str, expl: &str, dim: usize, map: f64, skipped: bool) -> CellResult {
+        CellResult {
+            dataset: ds.into(),
+            detector: det.into(),
+            explainer: expl.into(),
+            dim,
+            map,
+            mean_recall: map,
+            seconds: 1.5,
+            evaluations: 10,
+            n_points: 5,
+            skipped,
+            skip_reason: None,
+        }
+    }
+
+    #[test]
+    fn map_grid_layout() {
+        let mut t = ResultTable::new("fig9");
+        t.cells.push(cell("DS-A", "LOF", "Beam_FX", 2, 0.75, false));
+        t.cells.push(cell("DS-A", "LOF", "Beam_FX", 3, 0.5, false));
+        t.cells.push(cell("DS-A", "LOF", "RefOut", 2, 1.0, false));
+        t.cells.push(cell("DS-A", "LOF", "RefOut", 3, 0.0, true));
+        let s = map_grid(&t);
+        assert!(s.contains("== DS-A =="));
+        assert!(s.contains("Beam_FX+LOF"));
+        assert!(s.contains("0.75"));
+        assert!(s.contains('—'), "skipped cell must print a dash:\n{s}");
+        // Two dim columns.
+        assert!(s.contains("2d") && s.contains("3d"));
+    }
+
+    #[test]
+    fn runtime_grid_prints_seconds() {
+        let mut t = ResultTable::new("fig11");
+        t.cells.push(cell("DS-A", "LOF", "LookOut", 2, 0.5, false));
+        let s = runtime_grid(&t);
+        assert!(s.contains("1.500"), "{s}");
+    }
+}

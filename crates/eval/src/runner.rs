@@ -1,0 +1,285 @@
+//! Executes pipelines against testbed datasets and collects the
+//! serializable result cells behind every figure and table.
+
+use crate::datasets::TestbedDataset;
+use crate::experiment::ExperimentConfig;
+use crate::metrics;
+use anomex_core::pipeline::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// One (dataset × pipeline × explanation-dimensionality) measurement —
+/// a single point of a Figure 9/10 curve or Figure 11 runtime curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Detector display name.
+    pub detector: String,
+    /// Explainer display name.
+    pub explainer: String,
+    /// Explanation dimensionality.
+    pub dim: usize,
+    /// Mean Average Precision (Eq. 3) over the evaluated points.
+    pub map: f64,
+    /// Mean Recall over the evaluated points.
+    pub mean_recall: f64,
+    /// Wall-clock seconds of the pipeline run.
+    pub seconds: f64,
+    /// Detector invocations (subspace evaluations).
+    pub evaluations: usize,
+    /// Number of points whose explanations were evaluated.
+    pub n_points: usize,
+    /// Whether the cell was skipped (budget exceeded); metrics are 0.
+    pub skipped: bool,
+    /// Reason for skipping, when applicable.
+    pub skip_reason: Option<String>,
+}
+
+/// A named collection of cells (one experiment).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Experiment identifier (`fig9`, `fig10`, ...).
+    pub experiment: String,
+    /// All measured/skipped cells.
+    pub cells: Vec<CellResult>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(experiment: &str) -> Self {
+        ResultTable {
+            experiment: experiment.to_string(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    /// Never in practice — the types are plain data.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain data serializes")
+    }
+
+    /// Parses a table back from JSON.
+    ///
+    /// # Errors
+    /// Propagates `serde_json` errors on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The cells of one dataset, in insertion order.
+    #[must_use]
+    pub fn for_dataset(&self, dataset: &str) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| c.dataset == dataset).collect()
+    }
+}
+
+/// Selects the points of interest of one cell: the ground-truth outliers
+/// explained at the target dimensionality (§3.3 evaluates exactly this
+/// population), deterministically capped at `max_pois` when configured.
+#[must_use]
+pub fn points_of_interest(
+    testbed: &TestbedDataset,
+    dim: usize,
+    cfg: &ExperimentConfig,
+) -> Vec<usize> {
+    let mut pois = testbed.ground_truth.points_explained_at_dim(dim);
+    if let Some(cap) = cfg.max_pois {
+        pois.truncate(cap);
+    }
+    pois
+}
+
+/// Runs one pipeline on one dataset at one explanation dimensionality,
+/// or records a skip when the estimated cost exceeds the budget.
+#[must_use]
+pub fn run_cell(
+    testbed: &TestbedDataset,
+    pipeline: &Pipeline,
+    dim: usize,
+    cfg: &ExperimentConfig,
+) -> CellResult {
+    let pois = points_of_interest(testbed, dim, cfg);
+    if pois.is_empty() {
+        return CellResult {
+            dataset: testbed.name().to_string(),
+            detector: pipeline.detector_name().to_string(),
+            explainer: pipeline.explainer_name().to_string(),
+            dim,
+            map: 0.0,
+            mean_recall: 0.0,
+            seconds: 0.0,
+            evaluations: 0,
+            n_points: 0,
+            skipped: true,
+            skip_reason: Some("no points explained at this dimensionality".into()),
+        };
+    }
+    let estimate = cfg.estimated_evaluations(
+        pipeline.explainer_name(),
+        testbed.dataset.n_features(),
+        dim,
+        pois.len(),
+    );
+    if estimate > cfg.eval_budget as u128 {
+        return CellResult {
+            dataset: testbed.name().to_string(),
+            detector: pipeline.detector_name().to_string(),
+            explainer: pipeline.explainer_name().to_string(),
+            dim,
+            map: 0.0,
+            mean_recall: 0.0,
+            seconds: 0.0,
+            evaluations: 0,
+            n_points: 0,
+            skipped: true,
+            skip_reason: Some(format!(
+                "estimated {estimate} evaluations exceed budget {}",
+                cfg.eval_budget
+            )),
+        };
+    }
+
+    let output = pipeline.run(&testbed.dataset, &pois, dim);
+
+    // Evaluate over the points explained at this dimensionality (§3.3).
+    let per_point: Vec<_> = pois
+        .iter()
+        .filter_map(|&p| {
+            let rel = testbed.ground_truth.relevant_for_at_dim(p, dim);
+            if rel.is_empty() {
+                None
+            } else {
+                Some((rel, &output.explanations[&p]))
+            }
+        })
+        .collect();
+
+    CellResult {
+        dataset: testbed.name().to_string(),
+        detector: pipeline.detector_name().to_string(),
+        explainer: pipeline.explainer_name().to_string(),
+        dim,
+        map: metrics::map(&per_point),
+        mean_recall: metrics::mean_recall(&per_point),
+        seconds: output.elapsed.as_secs_f64(),
+        evaluations: output.subspace_evaluations,
+        n_points: per_point.len(),
+        skipped: false,
+        skip_reason: None,
+    }
+}
+
+/// Runs a whole pipeline family (Figure 9 or 10) over the given testbeds
+/// and dims.
+#[must_use]
+pub fn run_grid(
+    experiment: &str,
+    testbeds: &[TestbedDataset],
+    pipelines: &[Pipeline],
+    cfg: &ExperimentConfig,
+) -> ResultTable {
+    let mut table = ResultTable::new(experiment);
+    for tb in testbeds {
+        for dim in tb.family.explanation_dims() {
+            for pipe in pipelines {
+                let cell = run_cell(tb, pipe, dim, cfg);
+                eprintln!(
+                    "#   [{experiment}] {} {} {dim}d: {}",
+                    tb.name(),
+                    pipe.label(),
+                    if cell.skipped {
+                        "skipped".to_string()
+                    } else {
+                        format!("map={:.2} in {:.1}s", cell.map, cell.seconds)
+                    }
+                );
+                table.cells.push(cell);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::datasets::{TestbedDataset, TestbedFamily};
+    use anomex_dataset::gen::hics::HicsPreset;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig::fast(7)
+    }
+
+    fn d14() -> TestbedDataset {
+        TestbedDataset::build(TestbedFamily::Hics(HicsPreset::D14), 7, &[])
+    }
+
+    #[test]
+    fn run_cell_produces_metrics() {
+        let tb = d14();
+        let cfg = tiny_cfg();
+        let pipes = cfg.point_pipelines();
+        let cell = run_cell(&tb, &pipes[0], 2, &cfg); // Beam + LOF
+        assert!(!cell.skipped);
+        assert!(cell.n_points > 0);
+        assert!((0.0..=1.0).contains(&cell.map));
+        assert!((0.0..=1.0).contains(&cell.mean_recall));
+        assert!(cell.seconds > 0.0);
+        assert!(cell.evaluations > 0);
+        assert_eq!(cell.dataset, "HiCS-14d");
+    }
+
+    #[test]
+    fn budget_exceeded_cells_are_skipped() {
+        let tb = d14();
+        let mut cfg = tiny_cfg();
+        cfg.eval_budget = 1;
+        let pipes = cfg.point_pipelines();
+        let cell = run_cell(&tb, &pipes[0], 2, &cfg);
+        assert!(cell.skipped);
+        assert!(cell.skip_reason.is_some());
+        assert_eq!(cell.map, 0.0);
+    }
+
+    #[test]
+    fn poi_cap_and_dim_filter_are_honoured() {
+        let tb = d14();
+        let mut cfg = tiny_cfg();
+        // 14d: one block per dimensionality, 5 outliers each.
+        cfg.max_pois = None;
+        assert_eq!(points_of_interest(&tb, 2, &cfg).len(), 5);
+        assert_eq!(points_of_interest(&tb, 5, &cfg).len(), 5);
+        cfg.max_pois = Some(3);
+        assert_eq!(points_of_interest(&tb, 2, &cfg).len(), 3);
+        // No points are explained at 6d.
+        assert!(points_of_interest(&tb, 6, &cfg).is_empty());
+    }
+
+    #[test]
+    fn cell_with_no_points_at_dim_is_skipped() {
+        let tb = d14();
+        let cfg = tiny_cfg();
+        let pipes = cfg.point_pipelines();
+        let cell = run_cell(&tb, &pipes[0], 6, &cfg);
+        assert!(cell.skipped);
+        assert_eq!(cell.n_points, 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let tb = d14();
+        let cfg = tiny_cfg();
+        let pipes = cfg.point_pipelines();
+        let mut table = ResultTable::new("fig9");
+        table.cells.push(run_cell(&tb, &pipes[0], 2, &cfg));
+        let json = table.to_json();
+        let back = ResultTable::from_json(&json).unwrap();
+        assert_eq!(back, table);
+        assert_eq!(back.for_dataset("HiCS-14d").len(), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Table 2 — effectiveness/efficiency trade-offs of detection and
+//! explanation pipelines (paper §4.3).
+//!
+//! For every explanation dimensionality × relevant-feature-ratio bucket,
+//! the table reports the point-explanation pipeline and the summarization
+//! pipeline with the best Pareto trade-off: highest MAP first, faster
+//! runtime as tie-breaker (MAP compared at 2-decimal granularity, like
+//! the paper's reading of its own figures). Buckets with no effective
+//! pipeline stay empty — mirroring the paper's blank cells.
+
+use crate::runner::{CellResult, ResultTable};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One winner entry: pipeline label and its (mean) MAP and runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Winner {
+    /// `"Explainer+Detector"`.
+    pub label: String,
+    /// Mean MAP across the bucket's datasets.
+    pub map: f64,
+    /// Mean seconds across the bucket's datasets.
+    pub seconds: f64,
+}
+
+/// The Table 2 matrix: `(dim, ratio-bucket-name) → (point winner,
+/// summary winner)`.
+pub type TradeoffMatrix = BTreeMap<(usize, String), (Option<Winner>, Option<Winner>)>;
+
+/// Ratio bucket of a dataset name, following the paper's Table 2 columns.
+/// The three full-space datasets share the `100%` bucket.
+#[must_use]
+pub fn ratio_bucket(dataset: &str) -> Option<&'static str> {
+    match dataset {
+        "HiCS-14d" => Some("35%"),
+        "HiCS-23d" => Some("21%"),
+        "HiCS-39d" => Some("12%"),
+        "HiCS-70d" => Some("7%"),
+        "HiCS-100d" => Some("5%"),
+        name if name.contains("(A)") || name.contains("(B)") || name.contains("(C)") => {
+            Some("100%")
+        }
+        _ => None,
+    }
+}
+
+/// Whether an explainer label belongs to the point-explanation family.
+fn is_point_explainer(explainer: &str) -> bool {
+    explainer.starts_with("Beam") || explainer == "RefOut"
+}
+
+/// Aggregates cells into per-bucket pipeline means and picks winners.
+#[must_use]
+pub fn build(point_table: &ResultTable, summary_table: &ResultTable) -> TradeoffMatrix {
+    let mut matrix = TradeoffMatrix::new();
+    // (dim, bucket, label) → (Σmap, Σsec, n)
+    let mut agg: BTreeMap<(usize, String, String), (f64, f64, usize)> = BTreeMap::new();
+    let all: Vec<&CellResult> = point_table
+        .cells
+        .iter()
+        .chain(&summary_table.cells)
+        .filter(|c| !c.skipped)
+        .collect();
+    for c in &all {
+        let Some(bucket) = ratio_bucket(&c.dataset) else { continue };
+        let label = format!("{}+{}", c.explainer, c.detector);
+        let e = agg
+            .entry((c.dim, bucket.to_string(), label))
+            .or_insert((0.0, 0.0, 0));
+        e.0 += c.map;
+        e.1 += c.seconds;
+        e.2 += 1;
+    }
+
+    for ((dim, bucket, label), (m, s, n)) in agg {
+        let winner = Winner {
+            map: m / n as f64,
+            seconds: s / n as f64,
+            label: label.clone(),
+        };
+        let entry = matrix.entry((dim, bucket)).or_insert((None, None));
+        let explainer = label.split('+').next().unwrap_or("");
+        let slot = if is_point_explainer(explainer) {
+            &mut entry.0
+        } else {
+            &mut entry.1
+        };
+        let better = match slot {
+            None => true,
+            Some(current) => pareto_better(&winner, current),
+        };
+        if better && winner.map > 0.0 {
+            *slot = Some(winner);
+        }
+    }
+    matrix
+}
+
+/// Paper-style Pareto comparison: MAP at 2-decimal granularity first,
+/// then faster runtime.
+fn pareto_better(a: &Winner, b: &Winner) -> bool {
+    let (ma, mb) = ((a.map * 100.0).round(), (b.map * 100.0).round());
+    if ma != mb {
+        return ma > mb;
+    }
+    a.seconds < b.seconds
+}
+
+/// Renders the matrix as the paper lays it out: rows = explanation
+/// dimensionality, columns = relevant-feature ratio, two pipeline lines
+/// per cell (point explainer over summarizer).
+#[must_use]
+pub fn render(matrix: &TradeoffMatrix) -> String {
+    let dims: Vec<usize> = {
+        let mut v: Vec<usize> = matrix.keys().map(|(d, _)| *d).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let buckets = ["100%", "35%", "21%", "12%", "7%", "5%"];
+    let present: Vec<&str> = buckets
+        .iter()
+        .copied()
+        .filter(|b| matrix.keys().any(|(_, bb)| bb == b))
+        .collect();
+
+    let mut out = String::new();
+    let mut header = format!("{:<5}", "dim");
+    for b in &present {
+        let _ = write!(header, " {:>24}", b);
+    }
+    let _ = writeln!(out, "{header}");
+    for d in dims {
+        for (row, pick) in [("point", 0usize), ("summary", 1)] {
+            let mut line = format!("{:<5}", if pick == 0 { format!("{d}d") } else { String::new() });
+            for b in &present {
+                let cell = matrix.get(&(d, (*b).to_string()));
+                let text = match cell {
+                    Some((p, s)) => {
+                        let w = if pick == 0 { p } else { s };
+                        match w {
+                            Some(w) => format!("{} ({:.2})", w.label, w.map),
+                            None => "—".to_string(),
+                        }
+                    }
+                    None => "—".to_string(),
+                };
+                let _ = write!(line, " {:>24}", text);
+            }
+            let _ = writeln!(out, "{line}");
+            let _ = row;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn cell(ds: &str, det: &str, expl: &str, dim: usize, map: f64, sec: f64) -> CellResult {
+        CellResult {
+            dataset: ds.into(),
+            detector: det.into(),
+            explainer: expl.into(),
+            dim,
+            map,
+            mean_recall: map,
+            seconds: sec,
+            evaluations: 1,
+            n_points: 5,
+            skipped: false,
+            skip_reason: None,
+        }
+    }
+
+    #[test]
+    fn buckets_follow_table2() {
+        assert_eq!(ratio_bucket("HiCS-14d"), Some("35%"));
+        assert_eq!(ratio_bucket("Breast-like (A)"), Some("100%"));
+        assert_eq!(ratio_bucket("Electricity-like (C)"), Some("100%"));
+        assert_eq!(ratio_bucket("unknown"), None);
+    }
+
+    #[test]
+    fn picks_pareto_winner_per_family() {
+        let mut p = ResultTable::new("fig9");
+        p.cells.push(cell("HiCS-14d", "LOF", "Beam_FX", 2, 0.9, 2.0));
+        p.cells.push(cell("HiCS-14d", "LOF", "RefOut", 2, 0.9, 1.0)); // same MAP, faster
+        p.cells.push(cell("HiCS-14d", "iForest", "Beam_FX", 2, 0.5, 0.1));
+        let mut s = ResultTable::new("fig10");
+        s.cells.push(cell("HiCS-14d", "LOF", "LookOut", 2, 0.8, 1.0));
+        s.cells.push(cell("HiCS-14d", "LOF", "HiCS_FX", 2, 0.95, 5.0)); // higher MAP wins
+        let m = build(&p, &s);
+        let (point, summary) = &m[&(2, "35%".to_string())];
+        assert_eq!(point.as_ref().unwrap().label, "RefOut+LOF");
+        assert_eq!(summary.as_ref().unwrap().label, "HiCS_FX+LOF");
+    }
+
+    #[test]
+    fn zero_map_yields_empty_cell() {
+        let mut p = ResultTable::new("fig9");
+        p.cells.push(cell("HiCS-39d", "LOF", "Beam_FX", 5, 0.0, 1.0));
+        let s = ResultTable::new("fig10");
+        let m = build(&p, &s);
+        let (point, summary) = &m[&(5, "12%".to_string())];
+        assert!(point.is_none());
+        assert!(summary.is_none());
+    }
+
+    #[test]
+    fn aggregates_fullspace_bucket_across_datasets() {
+        let mut p = ResultTable::new("fig9");
+        p.cells.push(cell("Breast-like (A)", "LOF", "Beam_FX", 2, 1.0, 1.0));
+        p.cells.push(cell("BreastDiag-like (B)", "LOF", "Beam_FX", 2, 0.5, 3.0));
+        let s = ResultTable::new("fig10");
+        let m = build(&p, &s);
+        let (point, _) = &m[&(2, "100%".to_string())];
+        let w = point.as_ref().unwrap();
+        assert!((w.map - 0.75).abs() < 1e-12);
+        assert!((w.seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_layout() {
+        let mut p = ResultTable::new("fig9");
+        p.cells.push(cell("HiCS-14d", "LOF", "Beam_FX", 2, 0.9, 2.0));
+        let s = ResultTable::new("fig10");
+        let text = render(&build(&p, &s));
+        assert!(text.contains("35%"));
+        assert!(text.contains("Beam_FX+LOF"));
+        assert!(text.contains("2d"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the evaluation metrics (§3.3) and the AUC
+//! used by the overlap analysis.
+
+use anomex_core::RankedSubspaces;
+use anomex_dataset::Subspace;
+use anomex_eval::metrics::{average_precision, mean_recall, precision, recall};
+use anomex_eval::overlap::auc;
+use anomex_eval::{map, CellResult, ResultTable};
+use proptest::prelude::*;
+
+fn subspace() -> impl Strategy<Value = Subspace> {
+    prop::collection::vec(0usize..10, 1..4).prop_map(Subspace::new)
+}
+
+fn ranking() -> impl Strategy<Value = RankedSubspaces> {
+    prop::collection::vec((subspace(), -5.0f64..5.0), 0..15)
+        .prop_map(RankedSubspaces::from_scored)
+}
+
+fn relevant_set() -> impl Strategy<Value = Vec<Subspace>> {
+    prop::collection::vec(subspace(), 1..4).prop_map(|mut v| {
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    /// All §3.3 metrics stay in [0, 1].
+    #[test]
+    fn metrics_in_unit_interval(rel in relevant_set(), exp in ranking()) {
+        let rel_refs: Vec<&Subspace> = rel.iter().collect();
+        for v in [
+            precision(&rel_refs, &exp),
+            average_precision(&rel_refs, &exp),
+            recall(&rel_refs, &exp),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    /// AveP = 1 ⟺ the explanation starts with exactly the relevant set.
+    #[test]
+    fn perfect_prefix_gives_ap_one(rel in relevant_set()) {
+        let entries: Vec<(Subspace, f64)> = rel
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), (rel.len() - i) as f64))
+            .collect();
+        let exp = RankedSubspaces::from_ordered(entries);
+        let rel_refs: Vec<&Subspace> = rel.iter().collect();
+        prop_assert!((average_precision(&rel_refs, &exp) - 1.0).abs() < 1e-12);
+        prop_assert!((recall(&rel_refs, &exp) - 1.0).abs() < 1e-12);
+    }
+
+    /// Appending irrelevant junk after the hits never changes AveP
+    /// (only positions of hits matter) and never changes recall.
+    #[test]
+    fn junk_suffix_preserves_ap(rel in relevant_set()) {
+        let mut entries: Vec<(Subspace, f64)> = rel
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), 100.0 - i as f64))
+            .collect();
+        let rel_refs: Vec<&Subspace> = rel.iter().collect();
+        let clean = RankedSubspaces::from_ordered(entries.clone());
+        let ap_clean = average_precision(&rel_refs, &clean);
+        // Junk uses feature ids ≥ 100 → disjoint from any relevant set.
+        for j in 0..5usize {
+            entries.push((Subspace::new([100 + j, 200 + j]), -(j as f64)));
+        }
+        let dirty = RankedSubspaces::from_ordered(entries);
+        prop_assert!((average_precision(&rel_refs, &dirty) - ap_clean).abs() < 1e-12);
+        prop_assert!((recall(&rel_refs, &dirty) - recall(&rel_refs, &clean)).abs() < 1e-12);
+    }
+
+    /// Demoting a hit (moving it later) never increases AveP.
+    #[test]
+    fn demotion_monotonicity(rel in subspace(), junk_before in 0usize..8) {
+        let rel_refs = [&rel];
+        let make = |pos: usize| {
+            let mut entries = Vec::new();
+            for j in 0..pos {
+                entries.push((Subspace::new([100 + j]), 100.0 - j as f64));
+            }
+            entries.push((rel.clone(), 50.0));
+            RankedSubspaces::from_ordered(entries)
+        };
+        let early = average_precision(&rel_refs, &make(junk_before));
+        let late = average_precision(&rel_refs, &make(junk_before + 1));
+        prop_assert!(late <= early + 1e-12);
+    }
+
+    /// MAP and Mean Recall are means: bounded by the extremes of the
+    /// per-point values.
+    #[test]
+    fn map_is_a_mean(rels in prop::collection::vec(relevant_set(), 1..5),
+                     exps in prop::collection::vec(ranking(), 5)) {
+        let batch: Vec<(Vec<&Subspace>, &RankedSubspaces)> = rels
+            .iter()
+            .zip(&exps)
+            .map(|(r, e)| (r.iter().collect(), e))
+            .collect();
+        let aps: Vec<f64> = batch.iter().map(|(r, e)| average_precision(r, e)).collect();
+        let m = map(&batch);
+        let lo = aps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = aps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-12 && m <= hi + 1e-12);
+        let mr = mean_recall(&batch);
+        prop_assert!((0.0..=1.0).contains(&mr));
+    }
+
+    /// AUC flips under score negation: AUC(-s) = 1 − AUC(s).
+    #[test]
+    fn auc_antisymmetry(scores in prop::collection::vec(-10.0f64..10.0, 4..30),
+                        pos_mask in prop::collection::vec(any::<bool>(), 4..30)) {
+        let n = scores.len().min(pos_mask.len());
+        let scores = &scores[..n];
+        let positives: Vec<usize> = (0..n).filter(|&i| pos_mask[i]).collect();
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let a = auc(scores, &positives);
+        let b = auc(&neg, &positives);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b}");
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    /// Result tables survive a JSON round trip for arbitrary cell data.
+    #[test]
+    fn result_table_json_roundtrip(maps in prop::collection::vec(0.0f64..1.0, 1..6)) {
+        let mut t = ResultTable::new("prop");
+        for (i, m) in maps.iter().enumerate() {
+            t.cells.push(CellResult {
+                dataset: format!("ds{i}"),
+                detector: "LOF".into(),
+                explainer: "Beam_FX".into(),
+                dim: 2 + i,
+                map: *m,
+                mean_recall: m * 0.5,
+                seconds: i as f64,
+                evaluations: i,
+                n_points: 5,
+                skipped: false,
+                skip_reason: None,
+            });
+        }
+        let back = ResultTable::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

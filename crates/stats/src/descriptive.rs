@@ -1,0 +1,386 @@
+//! Descriptive statistics: batch and streaming moments, quantiles and
+//! z-score standardization.
+//!
+//! The explanation algorithms standardize per-subspace outlyingness scores
+//! with a z-score (paper §2.2) to remove dimensionality bias, and RefOut
+//! compares score populations by their first two moments; this module is
+//! the single implementation both rely on.
+
+use crate::{Result, StatsError};
+
+/// Numerically stable streaming estimator of mean and variance
+/// (Welford's algorithm).
+///
+/// Merging two accumulators with [`OnlineMoments::merge`] uses the
+/// parallel variant of the update, so the estimator can be used with
+/// chunked/parallel scans.
+///
+/// ```
+/// use anomex_stats::descriptive::OnlineMoments;
+/// let mut m = OnlineMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Adds every observation in `xs`.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel update).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+    }
+
+    /// Number of observations seen so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divide by `n`); `0.0` when fewer than one observation.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divide by `n - 1`); `0.0` when fewer than two observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+/// Immutable five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample variance (n − 1 denominator).
+    pub variance: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty, finite sample.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::InsufficientData`] for an empty slice and
+    /// [`StatsError::NonFinite`] if any value is NaN/∞.
+    pub fn of(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::InsufficientData {
+                what: "Summary::of",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let mut m = OnlineMoments::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            if !x.is_finite() {
+                return Err(StatsError::NonFinite { what: "Summary::of" });
+            }
+            m.push(x);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Ok(Summary {
+            n: xs.len(),
+            mean: m.mean(),
+            variance: m.sample_variance(),
+            min,
+            max,
+        })
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n − 1 denominator); `0.0` for fewer than two values.
+#[must_use]
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    let mut m = OnlineMoments::new();
+    m.extend(xs);
+    m.sample_variance()
+}
+
+/// Population variance (n denominator); `0.0` for an empty slice.
+#[must_use]
+pub fn population_variance(xs: &[f64]) -> f64 {
+    let mut m = OnlineMoments::new();
+    m.extend(xs);
+    m.population_variance()
+}
+
+/// Median of a sample (average of the two central order statistics for
+/// even-length input).
+///
+/// # Errors
+/// Returns [`StatsError::InsufficientData`] for an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` (type-7, the numpy default).
+///
+/// # Errors
+/// Returns [`StatsError::InsufficientData`] for an empty slice and
+/// [`StatsError::InvalidParameter`] when `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "quantile",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            what: "quantile",
+            detail: "q must lie in [0, 1]",
+        });
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let h = q * (v.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    Ok(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+/// Z-score of a single value against a population described by its mean
+/// and standard deviation.
+///
+/// When `std` is zero (degenerate population) the z-score is defined as
+/// `0.0`: every value is "at the mean" of a constant population. This is
+/// the convention the explanation algorithms rely on so that constant
+/// score vectors never dominate a ranking.
+#[must_use]
+pub fn zscore(x: f64, mean: f64, std: f64) -> f64 {
+    if std > 0.0 && std.is_finite() {
+        (x - mean) / std
+    } else {
+        0.0
+    }
+}
+
+/// Standardizes a whole sample in place: `x ← (x − mean) / std`
+/// (population std). A constant sample becomes all zeros.
+pub fn standardize(xs: &mut [f64]) {
+    let mut m = OnlineMoments::new();
+    m.extend(xs);
+    let mu = m.mean();
+    let sd = m.population_std();
+    for x in xs.iter_mut() {
+        *x = zscore(*x, mu, sd);
+    }
+}
+
+/// Min-max scales a sample into `[0, 1]` in place. A constant sample
+/// becomes all `0.5`.
+pub fn min_max_scale(xs: &mut [f64]) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs.iter() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let range = hi - lo;
+    for x in xs.iter_mut() {
+        *x = if range > 0.0 { (*x - lo) / range } else { 0.5 };
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.5, -2.0, 3.25, 0.0, 8.5, -1.25, 4.0];
+        let mu = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let mut m = OnlineMoments::new();
+        m.extend(&xs);
+        assert!((m.mean() - mu).abs() < 1e-12);
+        assert!((m.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineMoments::new();
+        whole.extend(&xs);
+        let mut a = OnlineMoments::new();
+        let mut b = OnlineMoments::new();
+        a.extend(&xs[..37]);
+        b.extend(&xs[37..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineMoments::new();
+        a.extend(&[1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&OnlineMoments::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(matches!(
+            Summary::of(&[]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            Summary::of(&[1.0, f64::NAN]),
+            Err(StatsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.variance - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+        assert!(median(&[]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 1.0 / 3.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn zscore_degenerate_population_is_zero() {
+        assert_eq!(zscore(5.0, 5.0, 0.0), 0.0);
+        assert_eq!(zscore(100.0, 5.0, 0.0), 0.0);
+        assert_eq!(zscore(7.0, 5.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_unit_var() {
+        let mut xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.7 - 3.0).collect();
+        standardize(&mut xs);
+        let mut m = OnlineMoments::new();
+        m.extend(&xs);
+        assert!(m.mean().abs() < 1e-12);
+        assert!((m.population_variance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_scale_bounds() {
+        let mut xs = vec![-3.0, 0.0, 9.0];
+        min_max_scale(&mut xs);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(xs[2], 1.0);
+        let mut flat = vec![4.0; 5];
+        min_max_scale(&mut flat);
+        assert!(flat.iter().all(|&x| x == 0.5));
+    }
+}

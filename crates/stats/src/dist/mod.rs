@@ -1,0 +1,8 @@
+//! Probability distributions needed by the hypothesis tests: the standard
+//! normal and Student-t distributions.
+
+pub mod normal;
+pub mod student_t;
+
+pub use normal::Normal;
+pub use student_t::StudentT;

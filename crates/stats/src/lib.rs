@@ -1,0 +1,90 @@
+//! # anomex-stats
+//!
+//! Self-contained statistical substrate for the `anomex` workspace: the
+//! numerical building blocks required by the outlier detectors and the
+//! subspace-explanation algorithms of Myrtakis et al., *"A Comparative
+//! Evaluation of Anomaly Explanation Algorithms"* (EDBT 2021).
+//!
+//! The crate deliberately has **no external dependencies**. Everything —
+//! special functions, distributions and the two-sample hypothesis tests —
+//! is implemented from first principles and validated against reference
+//! values in the unit tests.
+//!
+//! ## Contents
+//!
+//! * [`descriptive`] — streaming and batch moments, quantiles, z-scores.
+//! * [`special`] — `ln Γ`, regularized incomplete beta, `erf`/`erfc`.
+//! * [`dist`] — standard normal and Student-t distributions.
+//! * [`tests`] — Welch's two-sample t-test (used by RefOut and HiCS) and
+//!   the two-sample Kolmogorov–Smirnov test (HiCS's alternative contrast
+//!   test).
+//! * [`rank`] — argsort / ranking / top-k selection helpers shared by the
+//!   detectors and the evaluation metrics.
+//!
+//! ## Example
+//!
+//! ```
+//! use anomex_stats::tests::welch::welch_t_test;
+//!
+//! let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+//! let b = [6.0, 7.0, 8.0, 9.0, 10.0];
+//! let r = welch_t_test(&a, &b).unwrap();
+//! assert!(r.p_value < 0.01); // clearly different means
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod descriptive;
+pub mod dist;
+pub mod linalg;
+pub mod rank;
+pub mod special;
+pub mod tests;
+
+pub use descriptive::{OnlineMoments, Summary};
+pub use tests::ks::{ks_two_sample, KsResult};
+pub use tests::welch::{welch_t_test, WelchResult};
+
+/// Error type for statistical routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A sample was empty or too small for the requested statistic.
+    InsufficientData {
+        /// Name of the routine that failed.
+        what: &'static str,
+        /// Minimum required number of observations.
+        needed: usize,
+        /// Number of observations actually provided.
+        got: usize,
+    },
+    /// An input contained NaN or infinite values where finite values are required.
+    NonFinite {
+        /// Name of the routine that failed.
+        what: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the routine that failed.
+        what: &'static str,
+        /// Human-readable description of the violated constraint.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::InsufficientData { what, needed, got } => {
+                write!(f, "{what}: needs at least {needed} observations, got {got}")
+            }
+            StatsError::NonFinite { what } => write!(f, "{what}: non-finite input"),
+            StatsError::InvalidParameter { what, detail } => write!(f, "{what}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,208 @@
+//! Small dense linear algebra: Cholesky solves and ordinary least
+//! squares — the numerical kernel of the surrogate (predictive)
+//! explainer.
+
+use crate::{Result, StatsError};
+
+/// A dense symmetric positive-definite solve `A x = b` via Cholesky
+/// decomposition (`A` row-major, `n × n`).
+///
+/// # Errors
+/// [`StatsError::InvalidParameter`] when `A` is not SPD (within
+/// tolerance) or shapes mismatch.
+pub fn cholesky_solve(a: &[f64], n: usize, b: &[f64]) -> Result<Vec<f64>> {
+    if a.len() != n * n || b.len() != n {
+        return Err(StatsError::InvalidParameter {
+            what: "cholesky_solve",
+            detail: "shape mismatch",
+        });
+    }
+    // Decompose A = L Lᵀ.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(StatsError::InvalidParameter {
+                        what: "cholesky_solve",
+                        detail: "matrix is not positive definite",
+                    });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares with intercept: fits `y ≈ β₀ + Σ βⱼ xⱼ` over
+/// the selected columns. Returns the coefficient vector
+/// `[β₀, β₁, …]` and the in-sample R².
+///
+/// A tiny ridge term (`1e-9` on the diagonal) keeps collinear feature
+/// sets solvable — exactly the situation the explainer's greedy
+/// selection creates when it probes correlated features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// `[intercept, coef_1, …, coef_k]` aligned with the input columns.
+    pub coefficients: Vec<f64>,
+    /// In-sample coefficient of determination ∈ (−∞, 1].
+    pub r_squared: f64,
+}
+
+/// Fits OLS of `y` on `columns` (each a slice of length `y.len()`).
+///
+/// # Errors
+/// [`StatsError::InsufficientData`] with fewer than `k + 2` rows, or a
+/// Cholesky failure on a degenerate design.
+pub fn least_squares(columns: &[&[f64]], y: &[f64]) -> Result<LinearFit> {
+    let n = y.len();
+    let k = columns.len();
+    if n < k + 2 {
+        return Err(StatsError::InsufficientData {
+            what: "least_squares",
+            needed: k + 2,
+            got: n,
+        });
+    }
+    for c in columns {
+        if c.len() != n {
+            return Err(StatsError::InvalidParameter {
+                what: "least_squares",
+                detail: "column length mismatch",
+            });
+        }
+    }
+    let p = k + 1; // + intercept
+    // Normal equations XᵀX β = Xᵀy with X = [1 | columns].
+    let mut xtx = vec![0.0f64; p * p];
+    let mut xty = vec![0.0f64; p];
+    let col = |j: usize, i: usize| -> f64 {
+        if j == 0 {
+            1.0
+        } else {
+            columns[j - 1][i]
+        }
+    };
+    for a in 0..p {
+        for b in a..p {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += col(a, i) * col(b, i);
+            }
+            xtx[a * p + b] = s;
+            xtx[b * p + a] = s;
+        }
+        let mut s = 0.0;
+        for (i, &yi) in y.iter().enumerate() {
+            s += col(a, i) * yi;
+        }
+        xty[a] = s;
+    }
+    // Tiny ridge for numerical robustness under collinearity.
+    for a in 0..p {
+        xtx[a * p + a] += 1e-9 * (1.0 + xtx[a * p + a].abs());
+    }
+    let beta = cholesky_solve(&xtx, p, &xty)?;
+
+    // R².
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let mut ss_tot = 0.0;
+    let mut ss_res = 0.0;
+    for (i, &yi) in y.iter().enumerate() {
+        let mut pred = beta[0];
+        for (j, &bj) in beta.iter().enumerate().skip(1) {
+            pred += bj * col(j, i);
+        }
+        ss_res += (yi - pred).powi(2);
+        ss_tot += (yi - mean_y).powi(2);
+    }
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+    Ok(LinearFit {
+        coefficients: beta,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2]
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let x = cholesky_solve(&a, 2, &[10.0, 9.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(cholesky_solve(&a, 2, &[1.0, 1.0]).is_err());
+        assert!(cholesky_solve(&a, 3, &[1.0, 1.0]).is_err()); // shape
+    }
+
+    #[test]
+    fn ols_recovers_exact_linear_relation() {
+        let x1: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let x2: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| 2.0 + 3.0 * x1[i] - 0.5 * x2[i]).collect();
+        let fit = least_squares(&[&x1, &x2], &y).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-6);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-6);
+        assert!((fit.coefficients[2] + 0.5).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn ols_r_squared_zero_for_irrelevant_feature() {
+        // y independent of x: R² near 0 (tiny positive from fitting noise).
+        let x: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let fit = least_squares(&[&x], &y).unwrap();
+        assert!(fit.r_squared.abs() < 0.05, "r2 = {}", fit.r_squared);
+    }
+
+    #[test]
+    fn ols_handles_collinear_columns() {
+        let x1: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let x2 = x1.clone(); // perfectly collinear
+        let y: Vec<f64> = x1.iter().map(|v| 2.0 * v + 1.0).collect();
+        let fit = least_squares(&[&x1, &x2], &y).unwrap();
+        // Prediction quality is what matters, not coefficient identity.
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn ols_needs_enough_rows() {
+        let x = [1.0, 2.0];
+        let y = [1.0, 2.0];
+        assert!(least_squares(&[&x], &y).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Ranking and selection helpers: argsort, top-k, dense ranks.
+//!
+//! These are shared by the detectors (k-nearest-neighbour selection), the
+//! explainers (beam-width truncation, top-k subspace lists) and the
+//! evaluation metrics (ranked relevance).
+
+/// Indices that would sort `xs` ascending (`NaN`s ordered last via
+/// `total_cmp`). Stable, so equal values keep their original order.
+///
+/// ```
+/// use anomex_stats::rank::argsort;
+/// assert_eq!(argsort(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+/// ```
+#[must_use]
+pub fn argsort(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    idx
+}
+
+/// Indices that would sort `xs` descending; stable.
+#[must_use]
+pub fn argsort_desc(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[b].total_cmp(&xs[a]));
+    idx
+}
+
+/// The `k` indices with the largest values, ordered descending by value.
+/// Returns all indices when `k ≥ len`.
+#[must_use]
+pub fn top_k_desc(xs: &[f64], k: usize) -> Vec<usize> {
+    let mut idx = argsort_desc(xs);
+    idx.truncate(k);
+    idx
+}
+
+/// The `k` indices with the smallest values, ordered ascending by value.
+/// Returns all indices when `k ≥ len`. Used for k-nearest-neighbour
+/// selection; uses a partial select to stay `O(n + k log k)`.
+#[must_use]
+pub fn bottom_k_asc(xs: &[f64], k: usize) -> Vec<usize> {
+    let n = xs.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return argsort(xs);
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| xs[a].total_cmp(&xs[b]));
+    idx.truncate(k);
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    idx
+}
+
+/// Zero-based rank of each element when sorted descending
+/// (rank 0 = largest). Ties broken by original index (stable).
+#[must_use]
+pub fn ranks_desc(xs: &[f64]) -> Vec<usize> {
+    let order = argsort_desc(xs);
+    let mut ranks = vec![0usize; xs.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        ranks[i] = rank;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn argsort_sorts() {
+        let xs = [5.0, -1.0, 3.5, 0.0];
+        assert_eq!(argsort(&xs), vec![1, 3, 2, 0]);
+        assert_eq!(argsort_desc(&xs), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn argsort_is_stable_for_ties() {
+        let xs = [1.0, 2.0, 1.0, 2.0];
+        assert_eq!(argsort(&xs), vec![0, 2, 1, 3]);
+        assert_eq!(argsort_desc(&xs), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn top_k_desc_basic() {
+        let xs = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_desc(&xs, 2), vec![1, 3]);
+        assert_eq!(top_k_desc(&xs, 10), vec![1, 3, 2, 0]);
+        assert!(top_k_desc(&xs, 0).is_empty());
+    }
+
+    #[test]
+    fn bottom_k_matches_full_sort_prefix() {
+        let xs: Vec<f64> = (0..57).map(|i| ((i * 37) % 57) as f64).collect();
+        for k in [1, 5, 20, 56, 57, 60] {
+            let fast = bottom_k_asc(&xs, k);
+            let slow: Vec<usize> = argsort(&xs).into_iter().take(k).collect();
+            assert_eq!(fast, slow, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn bottom_k_zero_is_empty() {
+        assert!(bottom_k_asc(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ranks_desc_basic() {
+        let xs = [0.2, 0.9, 0.4];
+        assert_eq!(ranks_desc(&xs), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn nan_sorts_deterministically() {
+        let xs = [1.0, f64::NAN, 0.0];
+        // total_cmp places NaN above all numbers for positive NaN bit pattern.
+        let order = argsort(&xs);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 2);
+        assert_eq!(order[1], 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Special functions: `ln Γ`, the regularized incomplete beta function and
+//! the error function.
+//!
+//! These are the numerical kernels behind the Student-t CDF (Welch's
+//! t-test) and the normal CDF, implemented from the classic Lanczos and
+//! Lentz continued-fraction recipes (Numerical Recipes §6) and validated
+//! against high-precision reference values in the unit tests.
+
+/// Natural log of the gamma function for `x > 0` (Lanczos approximation,
+/// g = 7, n = 9 coefficients; relative error below 1e-13 over the domain
+/// used by the tests in this crate).
+///
+/// ```
+/// use anomex_stats::special::ln_gamma;
+/// assert!((ln_gamma(1.0)).abs() < 1e-12);          // Γ(1) = 1
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-11); // Γ(5) = 24
+/// ```
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `x ∈ [0, 1]`, evaluated with the Lentz continued fraction.
+///
+/// This is the workhorse behind the Student-t CDF: for t-distributed `T`
+/// with `ν` degrees of freedom, `P(T ≤ t) = 1 − I_{ν/(ν+t²)}(ν/2, 1/2)/2`
+/// for `t ≥ 0`.
+#[must_use]
+pub fn beta_inc_reg(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0, "beta_inc_reg requires a, b > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1−x)^b / (a B(a, b)).
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // The continued fraction converges quickly for x < (a+1)/(a+b+2);
+    // use the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) otherwise.
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        ln_front.exp() * beta_cf(a, b, x) / a
+    } else {
+        1.0 - beta_inc_reg(b, a, 1.0 - x)
+    }
+}
+
+/// Modified Lentz evaluation of the continued fraction for the incomplete
+/// beta function (Numerical Recipes `betacf`).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3.0e-16;
+    const FPMIN: f64 = 1.0e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function `erf(x)` with absolute error below `1.5e-7`
+/// (Abramowitz & Stegun 7.1.26 rational approximation, made odd by
+/// reflection).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Uses the Chebyshev-fitted expansion from Numerical Recipes (`erfcc`)
+/// with relative error everywhere below `1.2e-7`, which is ample for the
+/// p-value comparisons performed by the explanation algorithms.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    /// Reference values computed with mpmath (50 digits).
+    #[test]
+    fn ln_gamma_reference_values() {
+        let cases = [
+            (0.5, 0.572_364_942_924_700_1),   // ln √π
+            (1.0, 0.0),
+            (1.5, -0.120_782_237_635_245_22),
+            (2.0, 0.0),
+            (3.0, std::f64::consts::LN_2),    // Γ(3) = 2
+            (10.0, 12.801_827_480_081_469),   // ln 362880
+            (100.0, 359.134_205_369_575_4),
+            (0.1, 2.252_712_651_734_206),
+        ];
+        for (x, want) in cases {
+            let got = ln_gamma(x);
+            assert!(
+                (got - want).abs() < 1e-10 * want.abs().max(1.0),
+                "ln_gamma({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_inc_reference_values() {
+        // Reference values from scipy.special.betainc.
+        let cases = [
+            (2.0, 3.0, 0.5, 0.6875),
+            (0.5, 0.5, 0.25, 1.0 / 3.0), // I_{1/4}(1/2,1/2) = 1/3 (arcsine law)
+            (5.0, 5.0, 0.5, 0.5),
+            (1.0, 1.0, 0.42, 0.42),      // uniform CDF
+            (10.0, 2.0, 0.9, 0.697_356_880_199_999_2),
+        ];
+        for (a, b, x, want) in cases {
+            let got = beta_inc_reg(a, b, x);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "betainc({a},{b},{x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_inc_bounds_and_monotonicity() {
+        assert_eq!(beta_inc_reg(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc_reg(2.0, 3.0, 1.0), 1.0);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 / 100.0;
+            let v = beta_inc_reg(3.5, 1.25, x);
+            assert!(v >= prev, "betainc must be non-decreasing in x");
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn beta_symmetry() {
+        // I_x(a, b) = 1 − I_{1−x}(b, a)
+        for &(a, b, x) in &[(2.0, 7.0, 0.3), (0.7, 0.9, 0.6), (4.0, 4.0, 0.2)] {
+            let lhs = beta_inc_reg(a, b, x);
+            let rhs = 1.0 - beta_inc_reg(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (2.0, 0.995_322_265_018_952_7),
+            (-1.0, -0.842_700_792_949_714_9),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn erfc_is_complement() {
+        for i in -30..=30 {
+            let x = i as f64 * 0.1;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! HiCS (paper §2.3, footnote 2) can use either Welch's t-test or the KS
+//! test to measure the contrast between the marginal and the conditioned
+//! distribution of a feature inside a subspace slice. The KS statistic is
+//! the supremum distance between the two empirical CDFs; the p-value uses
+//! the asymptotic Kolmogorov distribution with the Stephens small-sample
+//! correction (Numerical Recipes `kstwo`).
+
+use crate::{Result, StatsError};
+
+/// Outcome of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// Supremum distance `D = sup_x |F_a(x) − F_b(x)| ∈ [0, 1]`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Runs the two-sample KS test under the null hypothesis that both samples
+/// originate from the same underlying distribution.
+///
+/// ```
+/// use anomex_stats::tests::ks::ks_two_sample;
+/// let a = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+/// let b = [1.1, 1.2, 1.3, 1.4, 1.5, 1.6];
+/// let r = ks_two_sample(&a, &b).unwrap();
+/// assert_eq!(r.statistic, 1.0); // completely separated samples
+/// assert!(r.p_value < 0.01);
+/// ```
+///
+/// # Errors
+/// * [`StatsError::InsufficientData`] when either sample is empty.
+/// * [`StatsError::NonFinite`] when any observation is NaN/∞.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsResult> {
+    for s in [a, b] {
+        if s.is_empty() {
+            return Err(StatsError::InsufficientData {
+                what: "ks_two_sample",
+                needed: 1,
+                got: 0,
+            });
+        }
+        if s.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite { what: "ks_two_sample" });
+        }
+    }
+
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+
+    let (na, nb) = (sa.len(), sb.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    // Merge-walk both sorted samples, tracking the ECDF gap at each step.
+    while ia < na && ib < nb {
+        let xa = sa[ia];
+        let xb = sb[ib];
+        let x = xa.min(xb);
+        while ia < na && sa[ia] <= x {
+            ia += 1;
+        }
+        while ib < nb && sb[ib] <= x {
+            ib += 1;
+        }
+        let fa = ia as f64 / na as f64;
+        let fb = ib as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Ok(KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    })
+}
+
+/// Kolmogorov survival function
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)`, clamped into `[0, 1]`.
+#[must_use]
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let mut prev_term = f64::INFINITY;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        // Converged: alternating series with rapidly decaying terms.
+        if term <= 1e-12 * sum.abs() || term >= prev_term {
+            break;
+        }
+        prev_term = term;
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_two_sample(&a, &a).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_full_distance() {
+        let a = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+        let b = [10.0, 10.1, 10.2, 10.3, 10.4, 10.5, 10.6, 10.7];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 1e-3);
+    }
+
+    #[test]
+    fn statistic_symmetric_in_order() {
+        let a = [0.3, 1.0, 2.2, 0.9, 1.4];
+        let b = [0.5, 1.9, 2.5, 3.3];
+        let ab = ks_two_sample(&a, &b).unwrap();
+        let ba = ks_two_sample(&b, &a).unwrap();
+        assert_eq!(ab.statistic, ba.statistic);
+        assert_eq!(ab.p_value, ba.p_value);
+    }
+
+    #[test]
+    fn known_statistic_interleaved() {
+        // ECDF gap of these interleaved samples is exactly 0.5:
+        // after 1,2 (a) the gap is 2/4 - 0/4.
+        let a = [1.0, 2.0, 5.0, 6.0];
+        let b = [3.0, 4.0, 7.0, 8.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let a = [1.0, 1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        // F_a(1) = 0.75, F_b(1) = 0.25 → D = 0.5
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(ks_two_sample(&[], &[1.0]).is_err());
+        assert!(ks_two_sample(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_q_properties() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(10.0) < 1e-12);
+        // Known value: Q(1.0) ≈ 0.26999967 (Kolmogorov distribution).
+        assert!((kolmogorov_q(1.0) - 0.269_999_67).abs() < 1e-6);
+        // Monotone decreasing.
+        let mut prev = 1.0;
+        for i in 1..60 {
+            let q = kolmogorov_q(i as f64 * 0.05);
+            // Allow tiny numerical wiggle from the truncated theta series
+            // near the λ → 0 clamp.
+            assert!(q <= prev + 1e-9);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn p_value_shrinks_with_separation() {
+        let base: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let mut last_p = 1.1;
+        for shift in [0.5_f64, 1.5, 3.0] {
+            let shifted: Vec<f64> = base.iter().map(|x| x + shift).collect();
+            let r = ks_two_sample(&base, &shifted).unwrap();
+            assert!(r.p_value <= last_p);
+            last_p = r.p_value;
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Two-sample hypothesis tests.
+//!
+//! The explanation algorithms use these tests as *discrepancy measures*
+//! over populations of outlyingness scores (RefOut, paper §2.2) or over
+//! raw feature values in subspace slices (HiCS, paper §2.3, footnote 2):
+//!
+//! * [`welch`] — Welch's unequal-variance t-test;
+//! * [`ks`] — the two-sample Kolmogorov–Smirnov test.
+
+pub mod ks;
+pub mod welch;
+
+/// Which two-sample test a consumer (e.g. HiCS) should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TwoSampleTest {
+    /// Welch's unequal-variance t-test (the paper's default).
+    #[default]
+    Welch,
+    /// Two-sample Kolmogorov–Smirnov test.
+    KolmogorovSmirnov,
+}
+
+impl TwoSampleTest {
+    /// Runs the chosen test and returns `(statistic, p_value)`.
+    ///
+    /// Degenerate inputs (samples too small or with zero variance where
+    /// the test is undefined) yield `(0.0, 1.0)` — "no evidence of
+    /// discrepancy" — which is the robust behaviour the Monte-Carlo loops
+    /// of HiCS and the feature scans of RefOut need.
+    #[must_use]
+    pub fn run(self, a: &[f64], b: &[f64]) -> (f64, f64) {
+        match self {
+            TwoSampleTest::Welch => match welch::welch_t_test(a, b) {
+                Ok(r) => (r.statistic.abs(), r.p_value),
+                Err(_) => (0.0, 1.0),
+            },
+            TwoSampleTest::KolmogorovSmirnov => match ks::ks_two_sample(a, b) {
+                Ok(r) => (r.statistic, r.p_value),
+                Err(_) => (0.0, 1.0),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let a = [0.1, 0.4, 0.35, 0.8, 0.2, 0.6];
+        let b = [1.1, 1.4, 1.35, 1.8, 1.2, 1.6];
+        let (tw, pw) = TwoSampleTest::Welch.run(&a, &b);
+        let direct = welch::welch_t_test(&a, &b).unwrap();
+        assert!((tw - direct.statistic.abs()).abs() < 1e-14);
+        assert!((pw - direct.p_value).abs() < 1e-14);
+
+        let (tk, pk) = TwoSampleTest::KolmogorovSmirnov.run(&a, &b);
+        let direct = ks::ks_two_sample(&a, &b).unwrap();
+        assert!((tk - direct.statistic).abs() < 1e-14);
+        assert!((pk - direct.p_value).abs() < 1e-14);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_neutral() {
+        assert_eq!(TwoSampleTest::Welch.run(&[], &[1.0]), (0.0, 1.0));
+        assert_eq!(TwoSampleTest::KolmogorovSmirnov.run(&[1.0], &[]), (0.0, 1.0));
+        // zero variance in both samples with equal means → neutral
+        let (t, p) = TwoSampleTest::Welch.run(&[2.0, 2.0], &[2.0, 2.0]);
+        assert_eq!((t, p), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Welch's two-sample t-test for unequal variances and sample sizes
+//! (B. L. Welch, *Biometrika* 1938 — reference [46] of the paper).
+//!
+//! RefOut uses this test to quantify the discrepancy between the
+//! outlyingness-score populations of random subspaces that do / do not
+//! contain a candidate feature set, and HiCS uses it (by default) as the
+//! slice-contrast measure.
+
+use crate::descriptive::OnlineMoments;
+use crate::dist::StudentT;
+use crate::{Result, StatsError};
+
+/// Outcome of a Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchResult {
+    /// The t statistic (signed: positive when `mean(a) > mean(b)`).
+    pub statistic: f64,
+    /// Welch–Satterthwaite effective degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the first sample.
+    pub mean_a: f64,
+    /// Mean of the second sample.
+    pub mean_b: f64,
+}
+
+/// Runs Welch's two-sample t-test on samples `a` and `b` under the null
+/// hypothesis that both population means are equal.
+///
+/// ```
+/// use anomex_stats::tests::welch::welch_t_test;
+/// // scipy.stats.ttest_ind(a, b, equal_var=False)
+/// let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
+/// let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 19.8, 20.5, 17.3, 22.6, 29.9, 25.3];
+/// let r = welch_t_test(&a, &b).unwrap();
+/// assert!((r.statistic - (-2.4042)).abs() < 1e-3);
+/// assert!((r.p_value - 0.0221).abs() < 1e-3);
+/// ```
+///
+/// # Errors
+/// * [`StatsError::InsufficientData`] if either sample has fewer than two
+///   observations.
+/// * [`StatsError::NonFinite`] if any observation is NaN/∞.
+/// * [`StatsError::InvalidParameter`] if both samples have zero variance
+///   *and* different means (the statistic is infinite); callers that want
+///   a neutral fallback should use [`crate::tests::TwoSampleTest::run`].
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<WelchResult> {
+    for (name, s) in [("first", a), ("second", b)] {
+        if s.len() < 2 {
+            let _ = name;
+            return Err(StatsError::InsufficientData {
+                what: "welch_t_test",
+                needed: 2,
+                got: s.len(),
+            });
+        }
+        if s.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite { what: "welch_t_test" });
+        }
+    }
+
+    let mut ma = OnlineMoments::new();
+    ma.extend(a);
+    let mut mb = OnlineMoments::new();
+    mb.extend(b);
+
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (va, vb) = (ma.sample_variance(), mb.sample_variance());
+    let sa2 = va / na; // squared standard error contributions
+    let sb2 = vb / nb;
+    let se2 = sa2 + sb2;
+
+    if se2 == 0.0 {
+        // Both samples constant.
+        if ma.mean() == mb.mean() {
+            return Ok(WelchResult {
+                statistic: 0.0,
+                df: na + nb - 2.0,
+                p_value: 1.0,
+                mean_a: ma.mean(),
+                mean_b: mb.mean(),
+            });
+        }
+        return Err(StatsError::InvalidParameter {
+            what: "welch_t_test",
+            detail: "both samples constant with different means: infinite statistic",
+        });
+    }
+
+    let t = (ma.mean() - mb.mean()) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2 / (sa2 * sa2 / (na - 1.0) + sb2 * sb2 / (nb - 1.0));
+    let dist = StudentT::new(df)?;
+    Ok(WelchResult {
+        statistic: t,
+        df,
+        p_value: dist.two_sided_p(t),
+        mean_a: ma.mean(),
+        mean_b: mb.mean(),
+    })
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    /// Reference case: scipy.stats.ttest_ind(equal_var=False).
+    #[test]
+    fn scipy_reference_case() {
+        let a = [3.0, 4.0, 1.0, 2.1, 3.3];
+        let b = [4.9, 5.4, 6.1, 5.8, 7.0, 5.5];
+        let r = welch_t_test(&a, &b).unwrap();
+        // scipy: statistic = -5.203554, pvalue = 0.0016140, df ≈ 6.44362
+        assert!((r.statistic + 5.203_554).abs() < 1e-5, "t = {}", r.statistic);
+        assert!((r.p_value - 0.001_614_0).abs() < 1e-6, "p = {}", r.p_value);
+        assert!((r.df - 6.443_62).abs() < 1e-4, "df = {}", r.df);
+    }
+
+    #[test]
+    fn identical_samples_yield_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &a).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antisymmetric_in_sample_order() {
+        let a = [1.0, 2.5, 0.7, 1.9];
+        let b = [5.0, 4.2, 6.1];
+        let ab = welch_t_test(&a, &b).unwrap();
+        let ba = welch_t_test(&b, &a).unwrap();
+        assert!((ab.statistic + ba.statistic).abs() < 1e-12);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+        assert!((ab.df - ba.df).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_samples() {
+        // Equal constants: neutral result.
+        let r = welch_t_test(&[5.0, 5.0, 5.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+        // Different constants: infinite evidence → error.
+        assert!(welch_t_test(&[5.0, 5.0], &[6.0, 6.0]).is_err());
+    }
+
+    #[test]
+    fn small_samples_rejected() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(welch_t_test(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(welch_t_test(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn larger_separation_means_smaller_p() {
+        let base = [0.0, 0.1, -0.1, 0.05, -0.05, 0.2];
+        let mut last_p = 1.1;
+        for shift in [0.5, 1.0, 2.0, 4.0] {
+            let shifted: Vec<f64> = base.iter().map(|x| x + shift).collect();
+            let r = welch_t_test(&base, &shifted).unwrap();
+            assert!(r.p_value < last_p, "p should shrink as separation grows");
+            last_p = r.p_value;
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the statistical substrate.
+
+use anomex_stats::descriptive::{self, OnlineMoments};
+use anomex_stats::dist::{Normal, StudentT};
+use anomex_stats::rank;
+use anomex_stats::special::beta_inc_reg;
+use anomex_stats::tests::ks::ks_two_sample;
+use anomex_stats::tests::welch::welch_t_test;
+use proptest::prelude::*;
+
+/// Strategy: a sample of finite, moderately sized floats.
+fn sample(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, min_len..64)
+}
+
+proptest! {
+    #[test]
+    fn welford_mean_within_bounds(xs in sample(1)) {
+        let mut m = OnlineMoments::new();
+        m.extend(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m.mean() >= lo - 1e-6 && m.mean() <= hi + 1e-6);
+        prop_assert!(m.sample_variance() >= -1e-9);
+    }
+
+    #[test]
+    fn welford_merge_associative(xs in sample(3), split in 0usize..64) {
+        let split = split % xs.len();
+        let mut whole = OnlineMoments::new();
+        whole.extend(&xs);
+        let mut a = OnlineMoments::new();
+        a.extend(&xs[..split]);
+        let mut b = OnlineMoments::new();
+        b.extend(&xs[split..]);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        let scale = whole.mean().abs().max(1.0);
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-8 * scale);
+    }
+
+    #[test]
+    fn standardize_is_zero_mean(mut xs in sample(2)) {
+        descriptive::standardize(&mut xs);
+        let mut m = OnlineMoments::new();
+        m.extend(&xs);
+        prop_assert!(m.mean().abs() < 1e-7);
+        // Either all-zero (constant input) or unit variance.
+        let v = m.population_variance();
+        prop_assert!(v.abs() < 1e-7 || (v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zscore_monotone_in_x(mean in -100.0f64..100.0, std in 0.01f64..100.0,
+                            a in -1e3f64..1e3, delta in 0.0f64..1e3) {
+        let za = descriptive::zscore(a, mean, std);
+        let zb = descriptive::zscore(a + delta, mean, std);
+        prop_assert!(zb >= za);
+    }
+
+    #[test]
+    fn beta_inc_in_unit_interval(a in 0.05f64..50.0, b in 0.05f64..50.0, x in 0.0f64..=1.0) {
+        let v = beta_inc_reg(a, b, x);
+        prop_assert!((0.0..=1.0).contains(&v), "betainc({a},{b},{x}) = {v}");
+    }
+
+    #[test]
+    fn beta_inc_symmetry(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.001f64..0.999) {
+        let lhs = beta_inc_reg(a, b, x);
+        let rhs = 1.0 - beta_inc_reg(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(mu in -10.0f64..10.0, sd in 0.1f64..10.0,
+                           x in -50.0f64..50.0, d in 0.0f64..10.0) {
+        let n = Normal::new(mu, sd).unwrap();
+        prop_assert!(n.cdf(x + d) >= n.cdf(x) - 1e-12);
+        let c = n.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn student_t_cdf_valid(df in 0.5f64..200.0, t in -50.0f64..50.0) {
+        let d = StudentT::new(df).unwrap();
+        let c = d.cdf(t);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let p = d.two_sided_p(t);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn welch_p_in_unit_interval(a in sample(2), b in sample(2)) {
+        if let Ok(r) = welch_t_test(&a, &b) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+            prop_assert!(r.df > 0.0);
+        }
+    }
+
+    #[test]
+    fn welch_shift_invariance(a in sample(2), b in sample(2), shift in -1e3f64..1e3) {
+        let ra = welch_t_test(&a, &b);
+        let sa: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let sb: Vec<f64> = b.iter().map(|x| x + shift).collect();
+        let rb = welch_t_test(&sa, &sb);
+        if let (Ok(x), Ok(y)) = (ra, rb) {
+            // Shifting both samples by the same constant leaves the statistic
+            // nearly unchanged (floating-point cancellation aside).
+            prop_assert!((x.statistic - y.statistic).abs() < 1e-3 * x.statistic.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn ks_statistic_bounded(a in sample(1), b in sample(1)) {
+        let r = ks_two_sample(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn ks_identical_is_zero(a in sample(1)) {
+        let r = ks_two_sample(&a, &a).unwrap();
+        prop_assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    fn argsort_is_permutation_and_sorted(xs in sample(1)) {
+        let idx = rank::argsort(&xs);
+        let mut seen = vec![false; xs.len()];
+        for &i in &idx {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for w in idx.windows(2) {
+            prop_assert!(xs[w[0]] <= xs[w[1]]);
+        }
+    }
+
+    #[test]
+    fn bottom_k_agrees_with_sort(xs in sample(1), k in 0usize..80) {
+        let fast = rank::bottom_k_asc(&xs, k);
+        let slow: Vec<usize> = rank::argsort(&xs).into_iter().take(k).collect();
+        // Values must agree (indices may differ under exact ties).
+        let fv: Vec<f64> = fast.iter().map(|&i| xs[i]).collect();
+        let sv: Vec<f64> = slow.iter().map(|&i| xs[i]).collect();
+        prop_assert_eq!(fv, sv);
+    }
+
+    #[test]
+    fn quantile_within_range(xs in sample(1), q in 0.0f64..=1.0) {
+        let v = descriptive::quantile(&xs, q).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+}

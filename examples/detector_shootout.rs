@@ -1,0 +1,91 @@
+//! Detector comparison on the two outlier regimes the paper contrasts:
+//! *full-space* outliers (deviation spread over all features) vs
+//! *subspace* outliers (masked in every low-dimensional projection).
+//!
+//! This reproduces, at example scale, the asymmetry that drives the
+//! paper's "is any detector good for any explainer?" question: LOF
+//! dominates on density-based subspace outliers, while all three
+//! detectors handle full-space outliers.
+//!
+//! ```text
+//! cargo run --release --example detector_shootout
+//! ```
+
+use anomex::prelude::*;
+use anomex_stats::rank::top_k_desc;
+
+/// Fraction of `expected` points found in the `k` top-scored rows.
+fn recall_at_k(scores: &[f64], expected: &[usize], k: usize) -> f64 {
+    let top = top_k_desc(scores, k);
+    expected.iter().filter(|p| top.contains(p)).count() as f64 / expected.len() as f64
+}
+
+fn main() {
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(Lof::new(15).expect("valid k")),
+        Box::new(FastAbod::new(10).expect("valid k")),
+        Box::new(
+            IsolationForest::builder()
+                .trees(100)
+                .repetitions(5)
+                .seed(3)
+                .build()
+                .expect("valid parameters"),
+        ),
+    ];
+
+    // Regime 1 — full-space outliers (the paper's real-dataset family).
+    let (full_ds, full_outliers) =
+        generate_fullspace_with_outliers(FullSpacePreset::BreastA, 11);
+    println!("regime 1: full-space outliers ({})", FullSpacePreset::BreastA.name());
+    println!("{:<12} {:>12} {:>12}", "detector", "recall@n", "recall@2n");
+    let n = full_outliers.len();
+    for det in &detectors {
+        let scores = det.score_all(&full_ds.full_matrix());
+        println!(
+            "{:<12} {:>12.2} {:>12.2}",
+            det.name(),
+            recall_at_k(&scores, &full_outliers, n),
+            recall_at_k(&scores, &full_outliers, 2 * n),
+        );
+    }
+
+    // Regime 2 — subspace outliers, scored in the FULL feature space:
+    // every detector should struggle because the deviation is confined
+    // to a small feature block.
+    let g = generate_hics(HicsPreset::D39, 11);
+    let sub_outliers = g.ground_truth.outliers();
+    println!("\nregime 2: subspace outliers scored in the FULL 39d space");
+    println!("{:<12} {:>12} {:>12}", "detector", "recall@n", "recall@2n");
+    let n = sub_outliers.len();
+    for det in &detectors {
+        let scores = det.score_all(&g.dataset.full_matrix());
+        println!(
+            "{:<12} {:>12.2} {:>12.2}",
+            det.name(),
+            recall_at_k(&scores, &sub_outliers, n),
+            recall_at_k(&scores, &sub_outliers, 2 * n),
+        );
+    }
+
+    // Regime 3 — the same subspace outliers, scored in their RELEVANT
+    // blocks: this is what an explanation pipeline enables.
+    println!("\nregime 3: same outliers scored in their ground-truth blocks");
+    println!("{:<12} {:>12}", "detector", "mean block recall@30");
+    for det in &detectors {
+        let mut total = 0.0;
+        for block in &g.blocks {
+            let members: Vec<usize> = g
+                .ground_truth
+                .outliers()
+                .into_iter()
+                .filter(|&p| g.ground_truth.relevant_for(p).contains(block))
+                .collect();
+            let scores = det.score_all(&g.dataset.project(block));
+            total += recall_at_k(&scores, &members, 30);
+        }
+        println!("{:<12} {:>12.2}", det.name(), total / g.blocks.len() as f64);
+    }
+    println!("\ntakeaway: no detector sees masked outliers in the full space —");
+    println!("finding the right subspace (the explainers' job) is what makes them visible.");
+}

@@ -1,0 +1,83 @@
+//! # anomex — detector-agnostic outlier explanation
+//!
+//! A Rust implementation of the algorithms and benchmarking framework of
+//! **"A Comparative Evaluation of Anomaly Explanation Algorithms"**
+//! (Myrtakis, Christophides, Simon — EDBT 2021): given a multivariate
+//! dataset and a set of outliers, find the feature **subspaces** that
+//! best *explain* why those points are outlying.
+//!
+//! The workspace provides:
+//!
+//! * three unsupervised **outlier detectors** — LOF, Fast ABOD, Isolation
+//!   Forest ([`detectors`]);
+//! * two **point explainers** — Beam and RefOut — ranking subspaces per
+//!   individual outlier, and two **explanation summarizers** — LookOut
+//!   and HiCS — ranking subspaces for a whole outlier set ([`core`]);
+//! * the statistical substrate they need — Welch's t-test,
+//!   Kolmogorov–Smirnov, Student-t / normal distributions ([`stats`]);
+//! * dataset handling, subspace algebra and the paper's synthetic
+//!   testbed generators ([`dataset`]);
+//! * the evaluation framework — MAP / Mean Recall metrics, pipelines,
+//!   and the harness regenerating every table and figure of the paper
+//!   ([`eval`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anomex::prelude::*;
+//!
+//! // Generate a paper testbed dataset with planted subspace outliers.
+//! let g = generate_hics(HicsPreset::D14, 42);
+//! let outlier = g.ground_truth.outliers()[0];
+//!
+//! // Explain it: which 2d feature pair makes it anomalous?
+//! let lof = Lof::new(15).unwrap();
+//! let scorer = SubspaceScorer::new(&g.dataset, &lof);
+//! let explanation = Beam::new().explain(&scorer, outlier, 2);
+//!
+//! println!("{} is best explained by {}", outlier, explanation.best().unwrap());
+//! ```
+//!
+//! See the `examples/` directory for richer scenarios (sensor-fault
+//! diagnosis, intrusion summarization, detector comparison) and the
+//! `anomex-eval` binary for the full experiment harness.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use anomex_core as core;
+pub use anomex_dataset as dataset;
+pub use anomex_detectors as detectors;
+pub use anomex_eval as eval;
+pub use anomex_stats as stats;
+
+/// One-stop imports for the common workflow: generate/load data → pick a
+/// detector → explain or summarize outliers.
+pub mod prelude {
+    pub use anomex_core::explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
+    pub use anomex_core::pipeline::{Pipeline, PipelineOutput};
+    pub use anomex_core::scoring::SubspaceScorer;
+    pub use anomex_core::surrogate::{Surrogate, SurrogateModel};
+    pub use anomex_core::{Beam, Hics, LookOut, RefOut};
+    pub use anomex_dataset::gen::fullspace::{
+        generate_fullspace_with_outliers, FullSpacePreset,
+    };
+    pub use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+    pub use anomex_dataset::{Dataset, GroundTruth, Subspace};
+    pub use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Loda, Lof};
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_workflow() {
+        let g = generate_hics(HicsPreset::D14, 1);
+        let lof = Lof::new(15).unwrap();
+        let scorer = SubspaceScorer::new(&g.dataset, &lof);
+        let outlier = g.ground_truth.outliers()[0];
+        let ranked = Beam::new().explain(&scorer, outlier, 2);
+        assert!(!ranked.is_empty());
+    }
+}

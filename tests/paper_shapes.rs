@@ -1,0 +1,141 @@
+//! Shape-level reproduction tests: the paper's headline *qualitative*
+//! findings must hold on the regenerated testbed, at smoke-test scale.
+//!
+//! These are the load-bearing claims of §4; each test pins one of them.
+
+use anomex_dataset::gen::fullspace::FullSpacePreset;
+use anomex_dataset::gen::hics::HicsPreset;
+use anomex_eval::datasets::{TestbedDataset, TestbedFamily};
+use anomex_eval::experiment::ExperimentConfig;
+use anomex_eval::runner::run_cell;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::fast(42)
+}
+
+fn breast_like() -> TestbedDataset {
+    TestbedDataset::build(
+        TestbedFamily::FullSpace(FullSpacePreset::BreastA),
+        42,
+        &[2, 3],
+    )
+}
+
+fn d14() -> TestbedDataset {
+    TestbedDataset::build(TestbedFamily::Hics(HicsPreset::D14), 42, &[])
+}
+
+/// §4.1: "Beam with LOF retrieves the optimal subspace for every outlier
+/// point (MAP = 1) [on real-world datasets] ... the effectiveness of
+/// Beam with Fast ABOD and iForest is significantly lower."
+#[test]
+fn fullspace_beam_lof_dominates_other_detectors() {
+    let tb = breast_like();
+    let c = cfg();
+    let pipes = c.point_pipelines();
+    let lof = run_cell(&tb, &pipes[0], 2, &c); // Beam+LOF
+    let abod = run_cell(&tb, &pipes[1], 2, &c); // Beam+FastABOD
+    let forest = run_cell(&tb, &pipes[2], 2, &c); // Beam+iForest
+    assert!(lof.map > 0.9, "Beam+LOF MAP = {}", lof.map);
+    assert!(
+        lof.map > abod.map + 0.3 && lof.map > forest.map + 0.3,
+        "LOF {} vs ABOD {} vs iForest {}",
+        lof.map,
+        abod.map,
+        forest.map
+    );
+}
+
+/// §4.1: "RefOut seems to have very low MAP [on real-world datasets]
+/// regardless of the employed detector."
+#[test]
+fn fullspace_refout_is_weak() {
+    let tb = breast_like();
+    let c = cfg();
+    let pipes = c.point_pipelines();
+    let beam_lof = run_cell(&tb, &pipes[0], 2, &c);
+    let refout_lof = run_cell(&tb, &pipes[3], 2, &c);
+    assert!(
+        refout_lof.map < beam_lof.map - 0.3,
+        "RefOut {} should trail Beam {} clearly",
+        refout_lof.map,
+        beam_lof.map
+    );
+}
+
+/// §4.2: "HiCS has poor MAP [on real-world datasets] regardless of the
+/// explanation dimensionality or the detector used" — there are no
+/// correlated relevant subspaces for the contrast heuristic to find.
+#[test]
+fn fullspace_hics_near_zero() {
+    let tb = breast_like();
+    let c = cfg();
+    let pipes = c.summary_pipelines();
+    for pipe in &pipes[3..] {
+        // HiCS_FX × 3 detectors
+        let cell = run_cell(&tb, pipe, 2, &c);
+        assert!(
+            cell.map < 0.25,
+            "{}: MAP = {} (expected near zero on full-space data)",
+            pipe.label(),
+            cell.map
+        );
+    }
+}
+
+/// §4.2: "Starting from 14 dimensions, HiCS and LookOut with LOF achieve
+/// optimal MAP regardless of the explanation dimensionality."
+#[test]
+fn synthetic_14d_summarizers_with_lof_are_optimal() {
+    let tb = d14();
+    let c = cfg();
+    let pipes = c.summary_pipelines();
+    for dim in [2usize, 3] {
+        let lookout = run_cell(&tb, &pipes[0], dim, &c);
+        assert!(
+            lookout.map > 0.9,
+            "LookOut+LOF at {dim}d: {}",
+            lookout.map
+        );
+        let hics = run_cell(&tb, &pipes[3], dim, &c);
+        assert!(hics.map > 0.9, "HiCS+LOF at {dim}d: {}", hics.map);
+    }
+}
+
+/// §4.3: RefOut's runtime is flat in explanation dimensionality while
+/// Beam's grows with it (the core efficiency trade-off of Figure 11).
+#[test]
+fn refout_runtime_flat_beam_runtime_grows() {
+    let tb = d14();
+    let c = cfg();
+    let pipes = c.point_pipelines();
+    let beam_2d = run_cell(&tb, &pipes[0], 2, &c);
+    let beam_4d = run_cell(&tb, &pipes[0], 4, &c);
+    let refout_2d = run_cell(&tb, &pipes[3], 2, &c);
+    let refout_4d = run_cell(&tb, &pipes[3], 4, &c);
+    assert!(
+        beam_4d.evaluations > 2 * beam_2d.evaluations,
+        "Beam evals: {} -> {}",
+        beam_2d.evaluations,
+        beam_4d.evaluations
+    );
+    let ratio = refout_4d.evaluations as f64 / refout_2d.evaluations.max(1) as f64;
+    assert!(
+        ratio < 1.5,
+        "RefOut evals should stay flat: {} -> {}",
+        refout_2d.evaluations,
+        refout_4d.evaluations
+    );
+}
+
+/// Table 1 invariant behind Table 2's columns: the summarizer regime
+/// (many outliers per subspace) holds on synthetic data, the
+/// point-explanation regime (≈1 outlier per subspace) on full-space
+/// data.
+#[test]
+fn outliers_per_subspace_regimes() {
+    let syn = d14();
+    assert!((syn.ground_truth.mean_outliers_per_subspace() - 5.0).abs() < 1e-9);
+    let real = breast_like();
+    assert!(real.ground_truth.mean_outliers_per_subspace() < 1.5);
+}
