@@ -86,14 +86,14 @@ fn ablation_hics_test(c: &mut Criterion) {
         ("welch", TwoSampleTest::Welch),
         ("ks", TwoSampleTest::KolmogorovSmirnov),
     ] {
-        let hics = Hics::new().monte_carlo_iterations(50).statistical_test(test);
+        let hics = Hics::new()
+            .monte_carlo_iterations(50)
+            .statistical_test(test);
         for dim in [2usize, 5] {
             let sub = Subspace::new((0..dim).collect::<Vec<_>>());
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{dim}d")),
-                &sub,
-                |b, sub| b.iter(|| hics.contrast(&ds, &sorted, sub)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("{dim}d")), &sub, |b, sub| {
+                b.iter(|| hics.contrast(&ds, &sorted, sub))
+            });
         }
     }
     group.finish();

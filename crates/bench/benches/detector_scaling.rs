@@ -61,13 +61,13 @@ fn row_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("row_scaling");
     for n in [250usize, 500, 1000] {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| full.row(i).to_vec()).collect();
-        let small = anomex_dataset::Dataset::from_rows(rows).unwrap().full_matrix();
+        let small = anomex_dataset::Dataset::from_rows(rows)
+            .unwrap()
+            .full_matrix();
         for det in detectors() {
-            group.bench_with_input(
-                BenchmarkId::new(det.name(), n),
-                &small,
-                |b, m| b.iter(|| det.score_all(m)),
-            );
+            group.bench_with_input(BenchmarkId::new(det.name(), n), &small, |b, m| {
+                b.iter(|| det.score_all(m))
+            });
         }
     }
     group.finish();

@@ -19,9 +19,11 @@ fn config() -> Criterion {
 fn hics_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_hics_generation");
     for preset in HicsPreset::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &preset, |b, &p| {
-            b.iter(|| generate_hics(p, 42))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(preset.name()),
+            &preset,
+            |b, &p| b.iter(|| generate_hics(p, 42)),
+        );
     }
     group.finish();
 }
@@ -29,9 +31,11 @@ fn hics_generation(c: &mut Criterion) {
 fn fullspace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_fullspace_generation");
     for preset in FullSpacePreset::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &preset, |b, &p| {
-            b.iter(|| generate_fullspace_with_outliers(p, 42))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(preset.name()),
+            &preset,
+            |b, &p| b.iter(|| generate_fullspace_with_outliers(p, 42)),
+        );
     }
     group.finish();
 }

@@ -53,7 +53,10 @@ fn summary_map(
 fn main() {
     let g = generate_hics(HicsPreset::D23, 42);
     let lof = anomex_detectors::Lof::new(15).expect("valid k");
-    println!("quality ablations on {} (Beam width 30, LOF)\n", HicsPreset::D23.name());
+    println!(
+        "quality ablations on {} (Beam width 30, LOF)\n",
+        HicsPreset::D23.name()
+    );
 
     // --- Ablation 1: z-score standardization (paper §2.2) ---------------
     let beam = Beam::new().beam_width(30);
@@ -84,7 +87,10 @@ fn main() {
 
     // --- Ablation 3: HiCS contrast test (footnote 2) --------------------
     for (name, test) in [
-        ("HiCS_FX + KS contrast (default)", TwoSampleTest::KolmogorovSmirnov),
+        (
+            "HiCS_FX + KS contrast (default)",
+            TwoSampleTest::KolmogorovSmirnov,
+        ),
         ("HiCS_FX + Welch contrast", TwoSampleTest::Welch),
     ] {
         let hics = Hics::new()

@@ -193,7 +193,11 @@ mod unit_tests {
             };
         }
         rows.push(out);
-        (Dataset::from_rows(rows).unwrap(), n, Subspace::new([1usize, 4]))
+        (
+            Dataset::from_rows(rows).unwrap(),
+            n,
+            Subspace::new([1usize, 4]),
+        )
     }
 
     #[test]
@@ -202,7 +206,12 @@ mod unit_tests {
         let lof = Lof::new(10).unwrap();
         let scorer = SubspaceScorer::new(&ds, &lof);
         let ranked = Beam::new().explain(&scorer, point, 2);
-        assert_eq!(ranked.best(), Some(&truth), "top: {:?}", ranked.entries()[0]);
+        assert_eq!(
+            ranked.best(),
+            Some(&truth),
+            "top: {:?}",
+            ranked.entries()[0]
+        );
     }
 
     #[test]
@@ -231,7 +240,10 @@ mod unit_tests {
         let (ds, point, _) = planted();
         let lof = Lof::new(10).unwrap();
         let scorer = SubspaceScorer::new(&ds, &lof);
-        let ranked = Beam::new().beam_width(1).result_size(5).explain(&scorer, point, 3);
+        let ranked = Beam::new()
+            .beam_width(1)
+            .result_size(5)
+            .explain(&scorer, point, 3);
         assert!(!ranked.is_empty());
         assert!(ranked.len() <= 5);
     }

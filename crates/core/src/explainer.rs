@@ -91,8 +91,12 @@ pub trait PointExplainer: Send + Sync {
     /// # Panics
     /// Implementations panic when `point` is out of range or
     /// `target_dim` is 0 or exceeds the dataset dimensionality.
-    fn explain(&self, scorer: &SubspaceScorer<'_>, point: usize, target_dim: usize)
-        -> RankedSubspaces;
+    fn explain(
+        &self,
+        scorer: &SubspaceScorer<'_>,
+        point: usize,
+        target_dim: usize,
+    ) -> RankedSubspaces;
 
     /// Short identifier used in reports (e.g. `"Beam"`).
     fn name(&self) -> &'static str;
@@ -128,11 +132,7 @@ mod unit_tests {
 
     #[test]
     fn from_scored_sorts_descending() {
-        let r = RankedSubspaces::from_scored(vec![
-            (s(&[0]), 1.0),
-            (s(&[1]), 3.0),
-            (s(&[2]), 2.0),
-        ]);
+        let r = RankedSubspaces::from_scored(vec![(s(&[0]), 1.0), (s(&[1]), 3.0), (s(&[2]), 2.0)]);
         assert_eq!(r.best(), Some(&s(&[1])));
         assert_eq!(r.entries()[2].0, s(&[0]));
         assert_eq!(r.len(), 3);
@@ -170,11 +170,7 @@ mod unit_tests {
 
     #[test]
     fn rank_and_truncate() {
-        let r = RankedSubspaces::from_scored(vec![
-            (s(&[0]), 3.0),
-            (s(&[1]), 2.0),
-            (s(&[2]), 1.0),
-        ]);
+        let r = RankedSubspaces::from_scored(vec![(s(&[0]), 3.0), (s(&[1]), 2.0), (s(&[2]), 1.0)]);
         assert_eq!(r.rank_of(&s(&[1])), Some(1));
         assert_eq!(r.rank_of(&s(&[9])), None);
         let t = r.truncated(1);

@@ -151,7 +151,12 @@ impl Hics {
     /// the row indices of the dataset sorted ascending by feature `f`
     /// (see [`sort_features`]).
     #[must_use]
-    pub fn contrast(&self, dataset: &Dataset, sorted_idx: &[Vec<usize>], subspace: &Subspace) -> f64 {
+    pub fn contrast(
+        &self,
+        dataset: &Dataset,
+        sorted_idx: &[Vec<usize>],
+        subspace: &Subspace,
+    ) -> f64 {
         let k = subspace.dim();
         assert!(k >= 2, "contrast is defined for subspaces of 2+ features");
         let n = dataset.n_rows();
@@ -212,11 +217,7 @@ impl Hics {
     /// `(subspace, contrast)` pairs: only the final stage for `HiCS_FX`,
     /// all stages for classic HiCS.
     #[must_use]
-    pub fn search_candidates(
-        &self,
-        dataset: &Dataset,
-        target_dim: usize,
-    ) -> Vec<(Subspace, f64)> {
+    pub fn search_candidates(&self, dataset: &Dataset, target_dim: usize) -> Vec<(Subspace, f64)> {
         let d = dataset.n_features();
         let sorted_idx = sort_features(dataset);
 
@@ -272,7 +273,10 @@ impl SummaryExplainer for Hics {
         target_dim: usize,
     ) -> RankedSubspaces {
         let d = scorer.n_features();
-        assert!(!points.is_empty(), "HiCS needs at least one point of interest");
+        assert!(
+            !points.is_empty(),
+            "HiCS needs at least one point of interest"
+        );
         assert!(
             points.iter().all(|&p| p < scorer.n_rows()),
             "point of interest out of range"
@@ -421,8 +425,7 @@ mod unit_tests {
             .fixed_dim(false)
             .result_size(50)
             .summarize(&scorer, &pois, 3);
-        let dims: FxHashSet<usize> =
-            summary.entries().iter().map(|(s, _)| s.dim()).collect();
+        let dims: FxHashSet<usize> = summary.entries().iter().map(|(s, _)| s.dim()).collect();
         assert!(dims.contains(&2) && dims.contains(&3), "dims: {dims:?}");
     }
 

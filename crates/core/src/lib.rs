@@ -17,9 +17,13 @@
 //! Every algorithm consumes outlyingness scores through a shared
 //! [`scoring::SubspaceScorer`], which projects the dataset onto candidate
 //! subspaces, runs any [`anomex_detectors::Detector`], standardizes the
-//! scores per subspace (paper §2.2) and memoizes the results — so any
-//! detector × explainer pairing forms a [`pipeline::Pipeline`], exactly
-//! like the paper's 12-pipeline testbed (Figure 7).
+//! scores per subspace (paper §2.2) and memoizes the results in a
+//! sharded, `Arc`-shareable [`cache::ScoreCache`] — so any detector ×
+//! explainer pairing forms a [`pipeline::Pipeline`], exactly like the
+//! paper's 12-pipeline testbed (Figure 7). The
+//! [`engine::ExplanationEngine`] keeps one cache alive across runs,
+//! explanation dimensionalities and explainers sharing a (dataset,
+//! detector) pair, and fans per-point explanation out across cores.
 //!
 //! ```
 //! use anomex_core::beam::Beam;
@@ -40,6 +44,8 @@
 #![deny(unsafe_code)]
 
 pub mod beam;
+pub mod cache;
+pub mod engine;
 pub mod explainer;
 pub mod fxhash;
 pub mod hics;
@@ -51,10 +57,12 @@ pub mod scoring;
 pub mod surrogate;
 
 pub use beam::Beam;
+pub use cache::{CacheStats, ScoreCache};
+pub use engine::{DimRun, EngineRun, ExplanationEngine, RunSpec, RunStats};
 pub use explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
 pub use hics::Hics;
 pub use lookout::LookOut;
-pub use pipeline::{Pipeline, PipelineOutput};
+pub use pipeline::{ExplainerKind, Pipeline, PipelineOutput};
 pub use refout::RefOut;
 pub use scoring::SubspaceScorer;
 pub use surrogate::Surrogate;

@@ -61,7 +61,10 @@ impl SummaryExplainer for LookOut {
         target_dim: usize,
     ) -> RankedSubspaces {
         let d = scorer.n_features();
-        assert!(!points.is_empty(), "LookOut needs at least one point of interest");
+        assert!(
+            !points.is_empty(),
+            "LookOut needs at least one point of interest"
+        );
         assert!(
             points.iter().all(|&p| p < scorer.n_rows()),
             "point of interest out of range"
@@ -92,15 +95,9 @@ impl SummaryExplainer for LookOut {
                 if used[i] {
                     continue;
                 }
-                let gain: f64 = row
-                    .iter()
-                    .zip(&best)
-                    .map(|(&v, &b)| (v - b).max(0.0))
-                    .sum();
+                let gain: f64 = row.iter().zip(&best).map(|(&v, &b)| (v - b).max(0.0)).sum();
                 if gain > top_gain
-                    || (gain == top_gain
-                        && arg != usize::MAX
-                        && candidates[i] < candidates[arg])
+                    || (gain == top_gain && arg != usize::MAX && candidates[i] < candidates[arg])
                 {
                     top_gain = gain;
                     arg = i;

@@ -7,6 +7,23 @@
 
 use crossbeam::channel;
 use crossbeam::queue::SegQueue;
+use std::cell::Cell;
+
+thread_local! {
+    /// Set for the lifetime of a [`par_map`] worker thread. A nested
+    /// `par_map` call from such a thread would spawn workers × workers
+    /// threads (e.g. `score_batch` inside an explainer that is itself
+    /// fanned out per point), so nested calls detect the flag and run
+    /// sequentially on the worker instead.
+    static INSIDE_PAR_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already a [`par_map`] worker — i.e. a
+/// `par_map` call here would nest.
+#[must_use]
+pub fn is_nested() -> bool {
+    INSIDE_PAR_WORKER.with(Cell::get)
+}
 
 /// Number of worker threads used by [`par_map`]: all available cores,
 /// capped at the item count.
@@ -38,7 +55,7 @@ where
         return Vec::new();
     }
     let workers = worker_count(n);
-    if workers == 1 || n == 1 {
+    if workers == 1 || n == 1 || is_nested() {
         return items.iter().map(&f).collect();
     }
 
@@ -60,6 +77,7 @@ where
         for _ in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || {
+                INSIDE_PAR_WORKER.with(|flag| flag.set(true));
                 let mut local: Vec<(usize, U)> = Vec::new();
                 while let Some(range) = queue_ref.pop() {
                     for i in range {
@@ -124,6 +142,37 @@ mod unit_tests {
         let items = vec![1, 2, 3];
         let out = par_map(&items, |&x| NoDefault(format!("v{x}")));
         assert_eq!(out[2], NoDefault("v3".into()));
+    }
+
+    #[test]
+    fn nested_par_map_runs_sequentially() {
+        // Each inner par_map must stay on the worker thread that called
+        // it — nesting would otherwise oversubscribe the machine with
+        // workers × workers threads.
+        let outer: Vec<usize> = (0..4).collect();
+        let reports = par_map(&outer, |_| {
+            let inner: Vec<usize> = (0..16).collect();
+            let ids = par_map(&inner, |_| std::thread::current().id());
+            let first = ids[0];
+            ids.iter().all(|&id| id == first)
+        });
+        assert!(
+            reports.iter().all(|&on_one_thread| on_one_thread),
+            "inner par_map escaped its worker thread"
+        );
+    }
+
+    #[test]
+    fn nesting_flag_is_only_set_on_workers() {
+        assert!(!is_nested(), "caller thread must not be marked as worker");
+        let observed = par_map(&[0usize, 1, 2, 3], |_| is_nested());
+        // On a multi-core machine the items run on flagged workers; on a
+        // single core par_map degenerates to the caller's thread.
+        let multicore = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        if multicore {
+            assert!(observed.iter().all(|&flagged| flagged));
+        }
+        assert!(!is_nested(), "flag must not leak back to the caller");
     }
 
     #[test]

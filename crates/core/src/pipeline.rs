@@ -7,12 +7,14 @@
 //! once and their summary stands as the explanation of *every* point —
 //! exactly how the paper evaluates them with the same per-point MAP.
 
+use crate::cache::ScoreCache;
+use crate::engine::{ExplanationEngine, RunSpec};
 use crate::explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
-use crate::scoring::SubspaceScorer;
 use anomex_dataset::Dataset;
 use anomex_detectors::Detector;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The explanation side of a pipeline.
 pub enum ExplainerKind {
@@ -97,32 +99,62 @@ impl Pipeline {
         format!("{}+{}", self.explainer_name(), self.detector_name())
     }
 
+    /// The pipeline's explainer.
+    #[must_use]
+    pub fn explainer(&self) -> &ExplainerKind {
+        &self.explainer
+    }
+
+    /// The pipeline's detector.
+    #[must_use]
+    pub fn detector(&self) -> &dyn Detector {
+        self.detector.as_ref()
+    }
+
+    /// An [`ExplanationEngine`] binding this pipeline's detector to
+    /// `dataset`, with a fresh cache.
+    #[must_use]
+    pub fn engine<'a>(&'a self, dataset: &'a Dataset) -> ExplanationEngine<'a> {
+        ExplanationEngine::new(dataset, self.detector.as_ref())
+    }
+
+    /// An [`ExplanationEngine`] over an existing shared cache — the hook
+    /// the evaluation harness uses to reuse one cache across every
+    /// pipeline pairing the same (dataset, detector).
+    #[must_use]
+    pub fn engine_with_cache<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        cache: Arc<ScoreCache>,
+    ) -> ExplanationEngine<'a> {
+        ExplanationEngine::with_cache(dataset, self.detector.as_ref(), cache)
+    }
+
     /// Runs the pipeline: explains every point of interest at
     /// `target_dim`.
+    ///
+    /// This is a compatibility wrapper over [`ExplanationEngine`]: one
+    /// single-dimensionality engine run with a throwaway cache, points
+    /// explained in parallel. Use [`Pipeline::engine`] directly to keep
+    /// the cache warm across dimensionalities or runs.
     ///
     /// # Panics
     /// Panics when `points` is empty or out of range, or `target_dim` is
     /// invalid for the dataset (propagated from the explainer).
     #[must_use]
     pub fn run(&self, dataset: &Dataset, points: &[usize], target_dim: usize) -> PipelineOutput {
-        assert!(!points.is_empty(), "pipeline needs at least one point of interest");
-        let scorer = SubspaceScorer::new(dataset, &self.detector);
-        let start = Instant::now();
-        let explanations: BTreeMap<usize, RankedSubspaces> = match &self.explainer {
-            ExplainerKind::Point(e) => points
-                .iter()
-                .map(|&p| (p, e.explain(&scorer, p, target_dim)))
-                .collect(),
-            ExplainerKind::Summary(e) => {
-                let summary = e.summarize(&scorer, points, target_dim);
-                points.iter().map(|&p| (p, summary.clone())).collect()
-            }
-        };
+        assert!(
+            !points.is_empty(),
+            "pipeline needs at least one point of interest"
+        );
+        let engine = self.engine(dataset);
+        let run = engine.run(&self.explainer, &RunSpec::new(points, [target_dim]));
+        let pass = run.into_single();
         PipelineOutput {
-            explanations,
-            elapsed: start.elapsed(),
-            subspace_evaluations: scorer.evaluations(),
-            cache_hits: scorer.cache_hits(),
+            explanations: pass.explanations,
+            elapsed: pass.stats.elapsed,
+            subspace_evaluations: pass.stats.evaluations,
+            cache_hits: pass.stats.cache_hits,
         }
     }
 }
@@ -187,6 +219,19 @@ mod unit_tests {
         // point must be served entirely from cache.
         assert_eq!(out.subspace_evaluations, 6); // C(4,2)
         assert!(out.cache_hits >= 6);
+    }
+
+    #[test]
+    fn wrapper_matches_direct_engine_run() {
+        let (ds, pois) = planted();
+        let pipe = Pipeline::point(Lof::new(10).unwrap(), Beam::new());
+        let out = pipe.run(&ds, &pois, 2);
+        let direct = pipe
+            .engine(&ds)
+            .run(pipe.explainer(), &RunSpec::new(pois.as_slice(), [2usize]))
+            .into_single();
+        assert_eq!(out.explanations, direct.explanations);
+        assert_eq!(out.subspace_evaluations, direct.stats.evaluations);
     }
 
     #[test]

@@ -170,7 +170,9 @@ impl PointExplainer for RefOut {
             let mut next: Vec<(Subspace, f64)> = Vec::new();
             for (s, _) in &stage {
                 for f in 0..d {
-                    let Some(ext) = s.extended_with(f) else { continue };
+                    let Some(ext) = s.extended_with(f) else {
+                        continue;
+                    };
                     if !seen.insert(ext.clone()) {
                         continue;
                     }
@@ -267,7 +269,11 @@ mod unit_tests {
             };
         }
         rows.push(out);
-        (Dataset::from_rows(rows).unwrap(), n, Subspace::new([2usize, 5]))
+        (
+            Dataset::from_rows(rows).unwrap(),
+            n,
+            Subspace::new([2usize, 5]),
+        )
     }
 
     #[test]
@@ -302,8 +308,14 @@ mod unit_tests {
         let (ds, point, _) = planted();
         let lof = Lof::new(10).unwrap();
         let scorer = SubspaceScorer::new(&ds, &lof);
-        let a = RefOut::new().seed(11).pool_size(30).explain(&scorer, point, 2);
-        let b = RefOut::new().seed(11).pool_size(30).explain(&scorer, point, 2);
+        let a = RefOut::new()
+            .seed(11)
+            .pool_size(30)
+            .explain(&scorer, point, 2);
+        let b = RefOut::new()
+            .seed(11)
+            .pool_size(30)
+            .explain(&scorer, point, 2);
         assert_eq!(a, b);
     }
 
@@ -338,7 +350,13 @@ mod unit_tests {
             })
             .collect();
         let scores: Vec<f64> = (0..20)
-            .map(|i| if i % 2 == 0 { 5.0 + (i as f64) * 0.01 } else { 0.0 + (i as f64) * 0.01 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    5.0 + (i as f64) * 0.01
+                } else {
+                    0.0 + (i as f64) * 0.01
+                }
+            })
             .collect();
         let d3 = discrepancy(&pool, &scores, &Subspace::single(3));
         let d1 = discrepancy(&pool, &scores, &Subspace::single(1));

@@ -5,43 +5,65 @@
 //! times: *"how outlying is point p (or point set P) in subspace s
 //! according to detector D?"*. [`SubspaceScorer`] centralizes that
 //! primitive, applying the paper's per-subspace z-score standardization
-//! (§2.2) and caching full score vectors so stage-wise searches never
-//! re-run the detector on a subspace they have already visited.
+//! (§2.2) and memoizing full score vectors in a [`ScoreCache`] so
+//! stage-wise searches never re-run the detector on a subspace they have
+//! already visited.
+//!
+//! The cache is a separate, `Arc`-shared [`ScoreCache`]: a scorer built
+//! with [`SubspaceScorer::new`] owns a private one (the old per-run
+//! behaviour), while [`SubspaceScorer::with_cache`] attaches an external
+//! cache that outlives the run — the mechanism behind
+//! [`crate::engine::ExplanationEngine`]'s cross-dimension reuse.
 
-use crate::fxhash::FxHashMap;
+use crate::cache::{Fetch, ScoreCache};
 use crate::parallel::par_map;
 use anomex_dataset::{Dataset, Subspace};
 use anomex_detectors::zscore::standardize_scores;
 use anomex_detectors::Detector;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Caching subspace scorer binding one dataset to one detector.
 ///
 /// Cheap to share by reference across threads; all interior mutability is
-/// synchronized.
+/// synchronized. The `evaluations` / `cache_hits` counters are **local to
+/// this scorer** (they meter one run even when the underlying cache is
+/// shared across many).
 pub struct SubspaceScorer<'a> {
     dataset: &'a Dataset,
     detector: &'a dyn Detector,
-    cache: Mutex<FxHashMap<Subspace, Arc<Vec<f64>>>>,
+    cache: Option<Arc<ScoreCache>>,
     evaluations: AtomicUsize,
     cache_hits: AtomicUsize,
-    cache_enabled: bool,
     standardize: bool,
 }
 
 impl<'a> SubspaceScorer<'a> {
-    /// Creates a scorer with caching enabled.
+    /// Creates a scorer with a private, unbounded cache.
     #[must_use]
     pub fn new(dataset: &'a Dataset, detector: &'a dyn Detector) -> Self {
+        Self::with_cache(dataset, detector, Arc::new(ScoreCache::new()))
+    }
+
+    /// Creates a scorer backed by an external, shareable cache. The cache
+    /// outlives the scorer, so score vectors computed here are visible to
+    /// every later scorer attached to the same cache.
+    ///
+    /// Only share a cache between scorers with identical score semantics:
+    /// same dataset, same detector (same configuration and seed), same
+    /// standardization setting.
+    #[must_use]
+    pub fn with_cache(
+        dataset: &'a Dataset,
+        detector: &'a dyn Detector,
+        cache: Arc<ScoreCache>,
+    ) -> Self {
         SubspaceScorer {
             dataset,
             detector,
-            cache: Mutex::new(FxHashMap::default()),
+            cache: Some(cache),
             evaluations: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
-            cache_enabled: true,
             standardize: true,
         }
     }
@@ -58,12 +80,18 @@ impl<'a> SubspaceScorer<'a> {
 
     /// Creates a scorer that never caches — appropriate for exhaustive
     /// single-pass enumerations (LookOut over millions of subspaces)
-    /// where a cache would only consume memory.
+    /// where a cache would only consume memory. (A bounded shared cache
+    /// — [`ScoreCache::with_capacity`] — is the middle ground.)
     #[must_use]
     pub fn without_cache(dataset: &'a Dataset, detector: &'a dyn Detector) -> Self {
-        let mut s = Self::new(dataset, detector);
-        s.cache_enabled = false;
-        s
+        SubspaceScorer {
+            dataset,
+            detector,
+            cache: None,
+            evaluations: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            standardize: true,
+        }
     }
 
     /// The underlying dataset.
@@ -78,6 +106,12 @@ impl<'a> SubspaceScorer<'a> {
         self.detector
     }
 
+    /// The backing cache, when caching is enabled.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<ScoreCache>> {
+        self.cache.as_ref()
+    }
+
     /// Number of features of the underlying dataset.
     #[must_use]
     pub fn n_features(&self) -> usize {
@@ -90,13 +124,15 @@ impl<'a> SubspaceScorer<'a> {
         self.dataset.n_rows()
     }
 
-    /// Total detector invocations so far (cache misses).
+    /// Detector invocations performed *through this scorer* (unique
+    /// cache misses; concurrent misses of the same subspace count once).
     #[must_use]
     pub fn evaluations(&self) -> usize {
         self.evaluations.load(Ordering::Relaxed)
     }
 
-    /// Cache hits so far.
+    /// Cache hits observed by this scorer — including requests served by
+    /// entries a previous run left in a shared cache.
     #[must_use]
     pub fn cache_hits(&self) -> usize {
         self.cache_hits.load(Ordering::Relaxed)
@@ -107,20 +143,25 @@ impl<'a> SubspaceScorer<'a> {
     /// own score population.
     #[must_use]
     pub fn scores(&self, subspace: &Subspace) -> Arc<Vec<f64>> {
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.lock().get(subspace) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+        assert!(!subspace.is_empty(), "cannot score the empty subspace");
+        match &self.cache {
+            Some(cache) => {
+                let (scores, fetch) = cache.get_or_compute(subspace, || self.compute(subspace));
+                match fetch {
+                    Fetch::Computed => {
+                        self.evaluations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Fetch::Hit => {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                scores
+            }
+            None => {
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.compute(subspace))
             }
         }
-        let computed = Arc::new(self.compute(subspace));
-        if self.cache_enabled {
-            self.cache
-                .lock()
-                .entry(subspace.clone())
-                .or_insert_with(|| Arc::clone(&computed));
-        }
-        computed
     }
 
     /// The standardized score of one point in one subspace — the
@@ -132,7 +173,10 @@ impl<'a> SubspaceScorer<'a> {
 
     /// Scores a batch of subspaces in parallel (order preserved). The
     /// parallelism lives here, at the candidate level, so detectors and
-    /// explainers stay single-threaded and simple.
+    /// explainers stay single-threaded and simple. When invoked from
+    /// inside another [`par_map`] region (an explainer already fanned out
+    /// per point), the batch falls back to the sequential path instead of
+    /// oversubscribing the machine.
     #[must_use]
     pub fn score_batch(&self, subspaces: &[Subspace]) -> Vec<Arc<Vec<f64>>> {
         par_map(subspaces, |s| self.scores(s))
@@ -142,11 +186,7 @@ impl<'a> SubspaceScorer<'a> {
     /// batch of subspaces — `out[i][j]` is the score of `points[j]` in
     /// `subspaces[i]`. Uses the parallel batch path.
     #[must_use]
-    pub fn point_scores_batch(
-        &self,
-        subspaces: &[Subspace],
-        points: &[usize],
-    ) -> Vec<Vec<f64>> {
+    pub fn point_scores_batch(&self, subspaces: &[Subspace], points: &[usize]) -> Vec<Vec<f64>> {
         self.score_batch(subspaces)
             .into_iter()
             .map(|v| points.iter().map(|&p| v[p]).collect())
@@ -154,11 +194,6 @@ impl<'a> SubspaceScorer<'a> {
     }
 
     fn compute(&self, subspace: &Subspace) -> Vec<f64> {
-        assert!(
-            !subspace.is_empty(),
-            "cannot score the empty subspace"
-        );
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
         let projected = self.dataset.project(subspace);
         let raw = self.detector.score_all(&projected);
         debug_assert_eq!(raw.len(), self.dataset.n_rows());
@@ -226,6 +261,28 @@ mod unit_tests {
         assert_eq!(*a, *b); // same values
         assert_eq!(scorer.evaluations(), 2); // but computed twice
         assert_eq!(scorer.cache_hits(), 0);
+        assert!(scorer.cache().is_none());
+    }
+
+    #[test]
+    fn shared_cache_is_warm_for_the_next_scorer() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let cache = Arc::new(ScoreCache::new());
+        let s = Subspace::new([0usize, 1]);
+
+        let first = SubspaceScorer::with_cache(&ds, &lof, Arc::clone(&cache));
+        let a = first.scores(&s);
+        assert_eq!(first.evaluations(), 1);
+
+        // A second run over the same (dataset, detector) reuses the work.
+        let second = SubspaceScorer::with_cache(&ds, &lof, Arc::clone(&cache));
+        let b = second.scores(&s);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(second.evaluations(), 0);
+        assert_eq!(second.cache_hits(), 1);
+        assert_eq!(cache.stats().evaluations, 1);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
@@ -244,6 +301,23 @@ mod unit_tests {
             let direct = scorer.scores(s);
             assert_eq!(**b, *direct);
         }
+    }
+
+    #[test]
+    fn concurrent_misses_count_one_evaluation() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let scorer = SubspaceScorer::new(&ds, &lof);
+        let s = Subspace::new([0usize, 1, 2]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _ = scorer.scores(&s);
+                });
+            }
+        });
+        assert_eq!(scorer.evaluations(), 1, "duplicated detector work");
+        assert_eq!(scorer.cache_hits(), 7);
     }
 
     #[test]

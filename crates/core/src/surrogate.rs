@@ -179,7 +179,10 @@ impl SummaryExplainer for Surrogate {
         points: &[usize],
         target_dim: usize,
     ) -> RankedSubspaces {
-        assert!(!points.is_empty(), "surrogate needs at least one point of interest");
+        assert!(
+            !points.is_empty(),
+            "surrogate needs at least one point of interest"
+        );
         let d = scorer.n_features();
         assert!(
             (1..=d).contains(&target_dim),
@@ -259,10 +262,10 @@ mod unit_tests {
         let (ds, _) = planted();
         let lof = Lof::new(15).unwrap();
         let scorer = SubspaceScorer::new(&ds, &lof);
-        let model = Surrogate::new().max_features(4).min_gain(0.0).fit(
-            &scorer,
-            &Subspace::full(6),
-        );
+        let model = Surrogate::new()
+            .max_features(4)
+            .min_gain(0.0)
+            .fit(&scorer, &Subspace::full(6));
         for w in model.r2_path.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "{:?}", model.r2_path);
         }
@@ -289,10 +292,10 @@ mod unit_tests {
         let (ds, _) = planted();
         let lof = Lof::new(15).unwrap();
         let scorer = SubspaceScorer::new(&ds, &lof);
-        let strict = Surrogate::new().max_features(6).min_gain(0.5).fit(
-            &scorer,
-            &Subspace::full(6),
-        );
+        let strict = Surrogate::new()
+            .max_features(6)
+            .min_gain(0.5)
+            .fit(&scorer, &Subspace::full(6));
         // A 50 % gain requirement cannot be met repeatedly.
         assert!(strict.signature.len() <= 2, "{strict:?}");
     }

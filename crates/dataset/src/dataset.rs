@@ -52,11 +52,17 @@ impl Dataset {
                 )));
             }
             if c.iter().any(|x| !x.is_finite()) {
-                return Err(DataError::Shape(format!("column {i} contains non-finite values")));
+                return Err(DataError::Shape(format!(
+                    "column {i} contains non-finite values"
+                )));
             }
         }
         let names = (0..columns.len()).map(|i| format!("F{i}")).collect();
-        Ok(Dataset { columns, names, n_rows })
+        Ok(Dataset {
+            columns,
+            names,
+            n_rows,
+        })
     }
 
     /// Builds a dataset from row-major data.

@@ -138,7 +138,11 @@ pub fn generate_fullspace_with_outliers(
         .collect();
     // Shared factor loadings (d × q) induce feature correlation.
     let loadings: Vec<Vec<f64>> = (0..d)
-        .map(|_| (0..N_FACTORS).map(|_| standard_normal(&mut rng) * LOADING_STD).collect())
+        .map(|_| {
+            (0..N_FACTORS)
+                .map(|_| standard_normal(&mut rng) * LOADING_STD)
+                .collect()
+        })
         .collect();
 
     let mut rows_idx: Vec<usize> = (0..n).collect();
@@ -158,16 +162,11 @@ pub fn generate_fullspace_with_outliers(
         // an extra offset of ~3–5 total noise std with random sign, on top
         // of the inlier model.
         for (f, col) in columns.iter_mut().enumerate() {
-            let common: f64 = loadings[f]
-                .iter()
-                .zip(&factors)
-                .map(|(w, z)| w * z)
-                .sum();
+            let common: f64 = loadings[f].iter().zip(&factors).map(|(w, z)| w * z).sum();
             let mut v = c[f] + common + normal(&mut rng, 0.0, NOISE_STD);
             if is_outlier {
-                let total_std = ((N_FACTORS as f64) * LOADING_STD * LOADING_STD
-                    + NOISE_STD * NOISE_STD)
-                    .sqrt();
+                let total_std =
+                    ((N_FACTORS as f64) * LOADING_STD * LOADING_STD + NOISE_STD * NOISE_STD).sqrt();
                 let magnitude = rng.gen_range(3.0..5.0) * total_std;
                 let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
                 v += sign * magnitude;
@@ -229,7 +228,10 @@ mod unit_tests {
                 .sqrt()
         };
         let out_nn: f64 = outliers.iter().map(|&p| nn(p)).sum::<f64>() / outliers.len() as f64;
-        let inliers: Vec<usize> = (0..full.n_rows()).filter(|&i| !is_outlier(i)).take(40).collect();
+        let inliers: Vec<usize> = (0..full.n_rows())
+            .filter(|&i| !is_outlier(i))
+            .take(40)
+            .collect();
         let in_nn: f64 = inliers.iter().map(|&p| nn(p)).sum::<f64>() / inliers.len() as f64;
         assert!(
             out_nn > 2.0 * in_nn,
@@ -251,11 +253,16 @@ mod unit_tests {
                 .fold(f64::INFINITY, f64::min)
                 .sqrt()
         };
-        let out_nn: f64 =
-            outliers.iter().take(30).map(|&p| nn(p)).sum::<f64>() / 30.0;
-        let inliers: Vec<usize> = (0..proj.n_rows()).filter(|&i| !is_outlier(i)).take(30).collect();
+        let out_nn: f64 = outliers.iter().take(30).map(|&p| nn(p)).sum::<f64>() / 30.0;
+        let inliers: Vec<usize> = (0..proj.n_rows())
+            .filter(|&i| !is_outlier(i))
+            .take(30)
+            .collect();
         let in_nn: f64 = inliers.iter().map(|&p| nn(p)).sum::<f64>() / inliers.len() as f64;
-        assert!(out_nn > 1.5 * in_nn, "proj outlier NN {out_nn:.4} vs {in_nn:.4}");
+        assert!(
+            out_nn > 1.5 * in_nn,
+            "proj outlier NN {out_nn:.4} vs {in_nn:.4}"
+        );
     }
 
     #[test]

@@ -148,7 +148,10 @@ impl HicsPreset {
 
     fn n_shared(self) -> usize {
         let nb = self.n_blocks();
-        SHARED_PAIRS.iter().filter(|&&(a, b)| a < nb && b < nb).count()
+        SHARED_PAIRS
+            .iter()
+            .filter(|&&(a, b)| a < nb && b < nb)
+            .count()
     }
 
     /// Short display name (e.g. `"HiCS-14d"`).
@@ -325,8 +328,13 @@ mod unit_tests {
 
     #[test]
     fn contamination_matches_paper() {
-        let expected = [(HicsPreset::D14, 20), (HicsPreset::D23, 34), (HicsPreset::D39, 59),
-                        (HicsPreset::D70, 100), (HicsPreset::D100, 143)];
+        let expected = [
+            (HicsPreset::D14, 20),
+            (HicsPreset::D23, 34),
+            (HicsPreset::D39, 59),
+            (HicsPreset::D70, 100),
+            (HicsPreset::D100, 143),
+        ];
         for (p, n) in expected {
             assert_eq!(p.n_outliers(), n, "{:?}", p);
             let g = generate_hics(p, 3);
@@ -423,12 +431,13 @@ mod unit_tests {
                     .fold(f64::INFINITY, f64::min)
                     .sqrt()
             };
-            let out_nn: f64 =
-                outliers.iter().map(|&p| nn(p)).sum::<f64>() / outliers.len() as f64;
-            let inlier_sample: Vec<usize> =
-                (0..proj.n_rows()).filter(|&i| !is_outlier(i)).take(50).collect();
-            let in_nn: f64 = inlier_sample.iter().map(|&p| nn(p)).sum::<f64>()
-                / inlier_sample.len() as f64;
+            let out_nn: f64 = outliers.iter().map(|&p| nn(p)).sum::<f64>() / outliers.len() as f64;
+            let inlier_sample: Vec<usize> = (0..proj.n_rows())
+                .filter(|&i| !is_outlier(i))
+                .take(50)
+                .collect();
+            let in_nn: f64 =
+                inlier_sample.iter().map(|&p| nn(p)).sum::<f64>() / inlier_sample.len() as f64;
             assert!(
                 out_nn > 3.0 * in_nn,
                 "block {block}: outlier NN {out_nn:.4} vs inlier NN {in_nn:.4}"

@@ -72,8 +72,14 @@ impl std::fmt::Display for DataError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DataError::Shape(s) => write!(f, "shape error: {s}"),
-            DataError::FeatureOutOfBounds { feature, n_features } => {
-                write!(f, "feature {feature} out of bounds for {n_features} features")
+            DataError::FeatureOutOfBounds {
+                feature,
+                n_features,
+            } => {
+                write!(
+                    f,
+                    "feature {feature} out of bounds for {n_features} features"
+                )
             }
             DataError::RowOutOfBounds { row, n_rows } => {
                 write!(f, "row {row} out of bounds for {n_rows} rows")

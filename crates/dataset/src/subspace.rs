@@ -217,7 +217,12 @@ impl SubspaceCombinations {
     fn new(d: usize, k: usize) -> Self {
         let done = k > d || k == 0;
         let current: Vec<u16> = (0..k as u16).collect();
-        SubspaceCombinations { d, k, current, done }
+        SubspaceCombinations {
+            d,
+            k,
+            current,
+            done,
+        }
     }
 }
 

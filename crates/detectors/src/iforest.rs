@@ -143,7 +143,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] < *threshold { *left } else { *right };
+                    node = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                     depth += 1.0;
                 }
             }
@@ -346,15 +350,18 @@ mod unit_tests {
         assert_eq!(top, idx);
         assert!(scores[idx] > 0.7, "outlier score = {}", scores[idx]);
         // Inliers well below the outlier.
-        let mean_inlier: f64 =
-            scores[..idx].iter().sum::<f64>() / idx as f64;
+        let mean_inlier: f64 = scores[..idx].iter().sum::<f64>() / idx as f64;
         assert!(mean_inlier < 0.6, "mean inlier score = {mean_inlier}");
     }
 
     #[test]
     fn scores_in_unit_interval() {
         let (ds, _) = cluster_with_outlier(100);
-        let forest = IsolationForest::builder().trees(20).repetitions(1).build().unwrap();
+        let forest = IsolationForest::builder()
+            .trees(20)
+            .repetitions(1)
+            .build()
+            .unwrap();
         let scores = forest.score_all(&ds.full_matrix());
         assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
     }
@@ -404,13 +411,20 @@ mod unit_tests {
                 .sum::<f64>()
                 / n as f64
         };
-        assert!(spread(8) < spread(1), "averaging must reduce score variance");
+        assert!(
+            spread(8) < spread(1),
+            "averaging must reduce score variance"
+        );
     }
 
     #[test]
     fn handles_constant_data() {
         let ds = Dataset::from_rows(vec![vec![1.0, 2.0]; 20]).unwrap();
-        let forest = IsolationForest::builder().trees(10).repetitions(1).build().unwrap();
+        let forest = IsolationForest::builder()
+            .trees(10)
+            .repetitions(1)
+            .build()
+            .unwrap();
         let scores = forest.score_all(&ds.full_matrix());
         assert!(scores.iter().all(|s| s.is_finite()));
         // All points identical → identical scores.

@@ -44,7 +44,10 @@ impl<'a> KdTree<'a> {
     #[must_use]
     pub fn build(data: &'a ProjectedMatrix) -> Self {
         assert!(data.n_rows() > 0, "k-d tree needs at least one row");
-        assert!(u32::try_from(data.n_rows()).is_ok(), "row count exceeds u32");
+        assert!(
+            u32::try_from(data.n_rows()).is_ok(),
+            "row count exceeds u32"
+        );
         let mut ids: Vec<u32> = (0..data.n_rows() as u32).collect();
         let mut nodes = Vec::new();
         build_node(data, &mut ids, 0, data.n_rows(), 0, &mut nodes);
@@ -55,13 +58,23 @@ impl<'a> KdTree<'a> {
     /// for self-queries), as `(row, squared_distance)` sorted ascending.
     #[must_use]
     pub fn knn(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<(usize, f64)> {
-        assert_eq!(query.len(), self.data.dim(), "query dimensionality mismatch");
+        assert_eq!(
+            query.len(),
+            self.data.dim(),
+            "query dimensionality mismatch"
+        );
         let mut heap = BoundedMaxHeap::new(k);
         self.search(0, query, exclude, &mut heap);
         heap.into_sorted()
     }
 
-    fn search(&self, node: usize, query: &[f64], exclude: Option<usize>, heap: &mut BoundedMaxHeap) {
+    fn search(
+        &self,
+        node: usize,
+        query: &[f64],
+        exclude: Option<usize>,
+        heap: &mut BoundedMaxHeap,
+    ) {
         match &self.nodes[node] {
             Node::Leaf { start, end } => {
                 for &id in &self.ids[*start as usize..*end as usize] {

@@ -69,7 +69,11 @@ pub fn knn_table_with(data: &ProjectedMatrix, k: usize, backend: KnnBackend) -> 
                 neighbors.push(nn.iter().map(|&(id, _)| id).collect());
                 distances.push(nn.iter().map(|&(_, d)| d.sqrt()).collect());
             }
-            KnnTable { neighbors, distances, k }
+            KnnTable {
+                neighbors,
+                distances,
+                k,
+            }
         }
     }
 }
@@ -103,7 +107,11 @@ pub fn knn_table(data: &ProjectedMatrix, k: usize) -> KnnTable {
         neighbors.push(idx);
         distances.push(d);
     }
-    KnnTable { neighbors, distances, k }
+    KnnTable {
+        neighbors,
+        distances,
+        k,
+    }
 }
 
 #[cfg(test)]

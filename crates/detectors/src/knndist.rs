@@ -128,7 +128,9 @@ mod unit_tests {
     #[test]
     fn max_aggregation_equals_kth_distance() {
         let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![3.0], vec![6.0]]).unwrap();
-        let det = KnnDist::new(2).unwrap().with_aggregation(KnnAggregation::Max);
+        let det = KnnDist::new(2)
+            .unwrap()
+            .with_aggregation(KnnAggregation::Max);
         let scores = det.score_all(&ds.full_matrix());
         // Point 0: neighbours at 1 and 3 → k-th distance 3.
         assert_eq!(scores[0], 3.0);
@@ -139,7 +141,9 @@ mod unit_tests {
     #[test]
     fn mean_aggregation_averages() {
         let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![3.0], vec![6.0]]).unwrap();
-        let det = KnnDist::new(2).unwrap().with_aggregation(KnnAggregation::Mean);
+        let det = KnnDist::new(2)
+            .unwrap()
+            .with_aggregation(KnnAggregation::Mean);
         let scores = det.score_all(&ds.full_matrix());
         assert_eq!(scores[0], 2.0); // (1 + 3) / 2
     }
@@ -159,7 +163,10 @@ mod unit_tests {
             rows.push(vec![rng.gen::<f64>() * 0.05, rng.gen::<f64>() * 0.05]);
         }
         for _ in 0..20 {
-            rows.push(vec![5.0 + rng.gen::<f64>() * 3.0, 5.0 + rng.gen::<f64>() * 3.0]);
+            rows.push(vec![
+                5.0 + rng.gen::<f64>() * 3.0,
+                5.0 + rng.gen::<f64>() * 3.0,
+            ]);
         }
         let probe = rows.len();
         rows.push(vec![0.5, 0.5]);
@@ -171,7 +178,11 @@ mod unit_tests {
             idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
             idx.iter().position(|&i| i == probe).unwrap()
         };
-        assert_eq!(rank(&lof_scores), 0, "LOF must rank the local outlier first");
+        assert_eq!(
+            rank(&lof_scores),
+            0,
+            "LOF must rank the local outlier first"
+        );
         assert!(
             rank(&knn_scores) > 0,
             "global kNN distance should be fooled by the sparse cluster"

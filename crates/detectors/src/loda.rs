@@ -105,7 +105,9 @@ impl Loda {
 impl Detector for Loda {
     fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
         let model = self.fit(data);
-        (0..data.n_rows()).map(|i| model.score(data.row(i))).collect()
+        (0..data.n_rows())
+            .map(|i| model.score(data.row(i)))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -138,8 +140,8 @@ impl Projection {
             return 0;
         }
         let frac = (z - self.lo) / (self.hi - self.lo);
-        ((frac * self.counts.len() as f64) as isize)
-            .clamp(0, self.counts.len() as isize - 1) as usize
+        ((frac * self.counts.len() as f64) as isize).clamp(0, self.counts.len() as isize - 1)
+            as usize
     }
 
     fn log_density(&self, z: f64) -> f64 {
@@ -187,8 +189,7 @@ impl LodaModel {
                     // N(0,1) weight via Box–Muller.
                     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                     let u2: f64 = rng.gen();
-                    let g = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     (f, g)
                 })
                 .collect();
@@ -215,7 +216,10 @@ impl LodaModel {
             }
             projections.push(proj);
         }
-        LodaModel { projections, dim: d }
+        LodaModel {
+            projections,
+            dim: d,
+        }
     }
 
     /// Anomaly score of a point: negative mean log-density over the
@@ -329,10 +333,22 @@ mod unit_tests {
     #[test]
     fn deterministic_given_seed() {
         let (ds, _) = blob_with_outlier(100);
-        let a = Loda::builder().seed(5).build().unwrap().score_all(&ds.full_matrix());
-        let b = Loda::builder().seed(5).build().unwrap().score_all(&ds.full_matrix());
+        let a = Loda::builder()
+            .seed(5)
+            .build()
+            .unwrap()
+            .score_all(&ds.full_matrix());
+        let b = Loda::builder()
+            .seed(5)
+            .build()
+            .unwrap()
+            .score_all(&ds.full_matrix());
         assert_eq!(a, b);
-        let c = Loda::builder().seed(6).build().unwrap().score_all(&ds.full_matrix());
+        let c = Loda::builder()
+            .seed(6)
+            .build()
+            .unwrap()
+            .score_all(&ds.full_matrix());
         assert_ne!(a, c);
     }
 

@@ -155,7 +155,10 @@ mod unit_tests {
             rows.push(vec![rng.gen::<f64>() * 0.05, rng.gen::<f64>() * 0.05]);
         }
         for _ in 0..60 {
-            rows.push(vec![5.0 + rng.gen::<f64>() * 2.0, 5.0 + rng.gen::<f64>() * 2.0]);
+            rows.push(vec![
+                5.0 + rng.gen::<f64>() * 2.0,
+                5.0 + rng.gen::<f64>() * 2.0,
+            ]);
         }
         let probe = rows.len();
         rows.push(vec![0.4, 0.4]); // near the dense blob but outside it

@@ -129,6 +129,9 @@ fn main() -> ExitCode {
             println!("Figure 11: runtime of detection & explanation pipelines (seconds)\n");
             println!("{}", report::runtime_grid(&p));
             println!("{}", report::runtime_grid(&s));
+            println!("Score-cache hit rates (share of subspace scores reused)\n");
+            println!("{}", report::cache_grid(&p));
+            println!("{}", report::cache_grid(&s));
         }
         "table2" => {
             let p = grid("fig9", &testbeds, &cfg, true, &args.out);
@@ -152,6 +155,9 @@ fn main() -> ExitCode {
             let fig11_s = filter_table(&s, "fig11-summary");
             println!("{}", report::runtime_grid(&fig11_p));
             println!("{}", report::runtime_grid(&fig11_s));
+            println!("Score-cache hit rates (share of subspace scores reused)\n");
+            println!("{}", report::cache_grid(&fig11_p));
+            println!("{}", report::cache_grid(&fig11_s));
             println!("Table 2: effectiveness/efficiency trade-offs\n");
             println!("{}", tradeoff::render(&tradeoff::build(&p, &s)));
         }
@@ -160,12 +166,19 @@ fn main() -> ExitCode {
             // score separability (AUC) per projection dimensionality.
             use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
             use anomex_detectors::paper_detectors;
-            let preset = if fast { HicsPreset::D14 } else { HicsPreset::D23 };
+            let preset = if fast {
+                HicsPreset::D14
+            } else {
+                HicsPreset::D23
+            };
             let g = generate_hics(preset, cfg.seed);
             println!("Score-overlap (masking) analysis on {}\n", preset.name());
             for det in paper_detectors(cfg.seed) {
                 let profile = anomex_eval::overlap::masking_profile(&g, &det);
-                println!("{}", anomex_eval::overlap::render_profile(det.name(), &profile));
+                println!(
+                    "{}",
+                    anomex_eval::overlap::render_profile(det.name(), &profile)
+                );
             }
         }
         other => {

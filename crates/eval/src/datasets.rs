@@ -21,9 +21,15 @@ impl TestbedFamily {
     /// datasets.
     #[must_use]
     pub fn all() -> Vec<TestbedFamily> {
-        let mut v: Vec<TestbedFamily> =
-            HicsPreset::all().into_iter().map(TestbedFamily::Hics).collect();
-        v.extend(FullSpacePreset::all().into_iter().map(TestbedFamily::FullSpace));
+        let mut v: Vec<TestbedFamily> = HicsPreset::all()
+            .into_iter()
+            .map(TestbedFamily::Hics)
+            .collect();
+        v.extend(
+            FullSpacePreset::all()
+                .into_iter()
+                .map(TestbedFamily::FullSpace),
+        );
         v
     }
 
@@ -97,8 +103,7 @@ impl TestbedDataset {
             }
             TestbedFamily::FullSpace(p) => {
                 let (dataset, outliers) = generate_fullspace_with_outliers(p, seed);
-                let ground_truth =
-                    derive_fullspace_ground_truth(&dataset, &outliers, gt_dims);
+                let ground_truth = derive_fullspace_ground_truth(&dataset, &outliers, gt_dims);
                 TestbedDataset {
                     family,
                     dataset,
@@ -146,11 +151,7 @@ mod unit_tests {
 
     #[test]
     fn fullspace_build_derives_truth() {
-        let t = TestbedDataset::build(
-            TestbedFamily::FullSpace(FullSpacePreset::BreastA),
-            1,
-            &[2],
-        );
+        let t = TestbedDataset::build(TestbedFamily::FullSpace(FullSpacePreset::BreastA), 1, &[2]);
         assert_eq!(t.ground_truth.n_outliers(), 20);
         // Each outlier got exactly one 2d subspace.
         for p in t.ground_truth.outliers() {

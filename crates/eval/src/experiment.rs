@@ -15,6 +15,7 @@
 //!   anti-explosion guard (hours).
 
 use crate::datasets::TestbedFamily;
+use anomex_core::cache::ScoreCache;
 use anomex_core::pipeline::Pipeline;
 use anomex_core::{Beam, Hics, LookOut, RefOut};
 use anomex_dataset::gen::fullspace::FullSpacePreset;
@@ -45,6 +46,10 @@ pub struct ExperimentConfig {
     /// Per-cell budget on detector invocations; combinations whose
     /// estimated cost exceeds it are skipped (and reported as such).
     pub eval_budget: usize,
+    /// Capacity bound of the per-(dataset, detector) score cache shared
+    /// across a grid sweep (`None` = unbounded). Only the `full` preset
+    /// bounds it — its cells can touch millions of subspaces.
+    pub cache_capacity: Option<usize>,
     /// Dimensionalities of the exhaustive-LOF ground-truth derivation
     /// for the full-space family.
     pub gt_dims_end: usize,
@@ -65,6 +70,7 @@ impl ExperimentConfig {
             result_size: 100,
             max_pois: Some(6),
             eval_budget: 3_000,
+            cache_capacity: None,
             gt_dims_end: 3,
         }
     }
@@ -86,6 +92,7 @@ impl ExperimentConfig {
             result_size: 100,
             max_pois: Some(5),
             eval_budget: 9_000,
+            cache_capacity: None,
             gt_dims_end: 4,
         }
     }
@@ -105,6 +112,7 @@ impl ExperimentConfig {
             result_size: 100,
             max_pois: None,
             eval_budget: 2_000_000,
+            cache_capacity: Some(1 << 20),
             gt_dims_end: 4,
         }
     }
@@ -127,6 +135,17 @@ impl ExperimentConfig {
     #[must_use]
     pub fn gt_dims(&self) -> Vec<usize> {
         (2..=self.gt_dims_end).collect()
+    }
+
+    /// A fresh score cache honouring [`ExperimentConfig::cache_capacity`].
+    /// The grid runner creates one per (dataset, detector) pair and
+    /// shares it across every pipeline and dimensionality of the sweep.
+    #[must_use]
+    pub fn score_cache(&self) -> ScoreCache {
+        match self.cache_capacity {
+            Some(cap) => ScoreCache::with_capacity(cap),
+            None => ScoreCache::new(),
+        }
     }
 
     /// The three paper detectors under this configuration.
@@ -226,9 +245,7 @@ impl ExperimentConfig {
                 // are point-specific.
                 c2 + stages * (self.beam_width as u128) * (d as u128) * (n_pois as u128)
             }
-            "RefOut" => {
-                (self.pool_size as u128 + self.result_size as u128) * (n_pois as u128)
-            }
+            "RefOut" => (self.pool_size as u128 + self.result_size as u128) * (n_pois as u128),
             "LookOut" => anomex_dataset::subspace::n_choose_k(d, dim),
             "HiCS" | "HiCS_FX" => (self.candidate_cutoff + self.result_size) as u128,
             _ => 0,

@@ -117,7 +117,10 @@ mod unit_tests {
         assert_eq!(two, &Subspace::new([1usize, 3]), "got {two}");
         // The 3d best must contain it.
         let three = rels.iter().find(|s| s.dim() == 3).unwrap();
-        assert!(three.is_superset_of(two), "3d best {three} should extend {two}");
+        assert!(
+            three.is_superset_of(two),
+            "3d best {three} should extend {two}"
+        );
     }
 
     #[test]

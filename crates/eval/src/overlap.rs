@@ -100,7 +100,13 @@ pub fn masking_profile(generated: &Generated, detector: &dyn Detector) -> Vec<Bl
 fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn rec(items: &[usize], k: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -120,7 +126,10 @@ fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
 pub fn render_profile(detector_name: &str, profile: &[BlockMasking]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "masking profile — {detector_name} (AUC of planted outliers)");
+    let _ = writeln!(
+        out,
+        "masking profile — {detector_name} (AUC of planted outliers)"
+    );
     let _ = writeln!(
         out,
         "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}",
@@ -184,8 +193,16 @@ mod unit_tests {
         for bm in &profile {
             let first = bm.auc_by_dim[0];
             let last = *bm.auc_by_dim.last().unwrap();
-            assert!(first < 0.75, "1d AUC should be maskd, got {first} for {}", bm.block);
-            assert!(last > 0.9, "full-block AUC should separate, got {last} for {}", bm.block);
+            assert!(
+                first < 0.75,
+                "1d AUC should be maskd, got {first} for {}",
+                bm.block
+            );
+            assert!(
+                last > 0.9,
+                "full-block AUC should separate, got {last} for {}",
+                bm.block
+            );
         }
     }
 

@@ -61,10 +61,7 @@ pub fn scatter(
 
     let names = dataset.feature_names();
     let mut out = String::new();
-    out.push_str(&format!(
-        "{} (y) vs {} (x)\n",
-        names[fy], names[fx]
-    ));
+    out.push_str(&format!("{} (y) vs {} (x)\n", names[fy], names[fx]));
     for row in grid {
         out.push('|');
         out.extend(row);
@@ -91,10 +88,12 @@ mod unit_tests {
     use super::*;
 
     fn diagonal_with_outlier() -> Dataset {
-        let mut rows: Vec<Vec<f64>> = (0..50).map(|i| {
-            let t = i as f64 / 50.0;
-            vec![t, t, 0.5]
-        }).collect();
+        let mut rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 50.0;
+                vec![t, t, 0.5]
+            })
+            .collect();
         rows.push(vec![0.1, 0.9, 0.5]); // off-diagonal
         Dataset::from_rows(rows).unwrap()
     }
@@ -109,13 +108,18 @@ mod unit_tests {
         // early row, left half.
         let lines: Vec<&str> = plot.lines().collect();
         let hash_line = lines.iter().position(|l| l.contains('#')).unwrap();
-        assert!(hash_line <= 3, "outlier should render near the top: line {hash_line}");
+        assert!(
+            hash_line <= 3,
+            "outlier should render near the top: line {hash_line}"
+        );
         assert!(lines[hash_line].find('#').unwrap() < 12);
     }
 
     #[test]
     fn header_names_axes() {
-        let ds = diagonal_with_outlier().with_names(vec!["a", "b", "c"]).unwrap();
+        let ds = diagonal_with_outlier()
+            .with_names(vec!["a", "b", "c"])
+            .unwrap();
         let plot = scatter(&ds, &Subspace::new([0usize, 1]), &[], 10, 5);
         assert!(plot.starts_with("b (y) vs a (x)"));
     }

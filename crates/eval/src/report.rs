@@ -12,7 +12,15 @@ pub fn table1(testbeds: &[TestbedDataset]) -> String {
     let _ = writeln!(
         out,
         "{:<22} {:>6} {:>6} {:>9} {:>8} {:>8} {:>9} {:>9} {:>7}",
-        "dataset", "rows", "feats", "outliers", "contam%", "#relsub", "sub/outl", "outl/sub", "ratio%"
+        "dataset",
+        "rows",
+        "feats",
+        "outliers",
+        "contam%",
+        "#relsub",
+        "sub/outl",
+        "outl/sub",
+        "ratio%"
     );
     for tb in testbeds {
         let gt = &tb.ground_truth;
@@ -89,10 +97,25 @@ pub fn runtime_grid(table: &ResultTable) -> String {
     })
 }
 
-fn grid(
-    table: &ResultTable,
-    cell_fmt: impl Fn(&crate::runner::CellResult) -> String,
-) -> String {
+/// Renders a cache-hit-rate grid: the fraction of subspace-score
+/// requests each cell served from the sweep-shared [`ScoreCache`]
+/// instead of re-running the detector. Companion to the runtime grid —
+/// high late-dimensionality hit rates are where the engine's cache
+/// sharing pays off.
+///
+/// [`ScoreCache`]: anomex_core::cache::ScoreCache
+#[must_use]
+pub fn cache_grid(table: &ResultTable) -> String {
+    grid(table, |c| {
+        if c.skipped {
+            "       —".to_string()
+        } else {
+            format!("{:7.1}%", 100.0 * c.cache_hit_rate)
+        }
+    })
+}
+
+fn grid(table: &ResultTable, cell_fmt: impl Fn(&crate::runner::CellResult) -> String) -> String {
     let mut out = String::new();
     let datasets: Vec<String> = {
         let mut seen = Vec::new();
@@ -159,6 +182,9 @@ mod unit_tests {
             mean_recall: map,
             seconds: 1.5,
             evaluations: 10,
+            cache_hits: 30,
+            cache_hit_rate: 0.75,
+            peak_cache_entries: 10,
             n_points: 5,
             skipped,
             skip_reason: None,
@@ -187,5 +213,15 @@ mod unit_tests {
         t.cells.push(cell("DS-A", "LOF", "LookOut", 2, 0.5, false));
         let s = runtime_grid(&t);
         assert!(s.contains("1.500"), "{s}");
+    }
+
+    #[test]
+    fn cache_grid_prints_hit_rates() {
+        let mut t = ResultTable::new("fig11");
+        t.cells.push(cell("DS-A", "LOF", "LookOut", 2, 0.5, false));
+        t.cells.push(cell("DS-A", "LOF", "LookOut", 3, 0.0, true));
+        let s = cache_grid(&t);
+        assert!(s.contains("75.0%"), "{s}");
+        assert!(s.contains('—'), "skipped cell must print a dash:\n{s}");
     }
 }

@@ -4,8 +4,12 @@
 use crate::datasets::TestbedDataset;
 use crate::experiment::ExperimentConfig;
 use crate::metrics;
+use anomex_core::cache::ScoreCache;
+use anomex_core::engine::{ExplanationEngine, RunSpec};
+use anomex_core::fxhash::FxHashMap;
 use anomex_core::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One (dataset × pipeline × explanation-dimensionality) measurement —
 /// a single point of a Figure 9/10 curve or Figure 11 runtime curve.
@@ -27,6 +31,16 @@ pub struct CellResult {
     pub seconds: f64,
     /// Detector invocations (subspace evaluations).
     pub evaluations: usize,
+    /// Score-cache hits during the run — including entries left warm by
+    /// earlier dimensionalities of the same engine sweep.
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Fraction of subspace-score requests served from cache, in `[0,1]`.
+    #[serde(default)]
+    pub cache_hit_rate: f64,
+    /// Peak score vectors resident in the engine's cache.
+    #[serde(default)]
+    pub peak_cache_entries: usize,
     /// Number of points whose explanations were evaluated.
     pub n_points: usize,
     /// Whether the cell was skipped (budget exceeded); metrics are 0.
@@ -94,8 +108,34 @@ pub fn points_of_interest(
     pois
 }
 
-/// Runs one pipeline on one dataset at one explanation dimensionality,
-/// or records a skip when the estimated cost exceeds the budget.
+fn skipped_cell(
+    testbed: &TestbedDataset,
+    pipeline: &Pipeline,
+    dim: usize,
+    reason: String,
+) -> CellResult {
+    CellResult {
+        dataset: testbed.name().to_string(),
+        detector: pipeline.detector_name().to_string(),
+        explainer: pipeline.explainer_name().to_string(),
+        dim,
+        map: 0.0,
+        mean_recall: 0.0,
+        seconds: 0.0,
+        evaluations: 0,
+        cache_hits: 0,
+        cache_hit_rate: 0.0,
+        peak_cache_entries: 0,
+        n_points: 0,
+        skipped: true,
+        skip_reason: Some(reason),
+    }
+}
+
+/// Runs one pipeline on one dataset at one explanation dimensionality
+/// with a throwaway engine (cold cache). The grid runner uses
+/// [`run_cell_with_engine`] instead, so a whole dimensionality sweep
+/// shares one warm cache.
 #[must_use]
 pub fn run_cell(
     testbed: &TestbedDataset,
@@ -103,21 +143,31 @@ pub fn run_cell(
     dim: usize,
     cfg: &ExperimentConfig,
 ) -> CellResult {
+    let engine = pipeline.engine(&testbed.dataset);
+    run_cell_with_engine(testbed, pipeline, &engine, dim, cfg)
+}
+
+/// Runs one cell through an existing engine, or records a skip when the
+/// estimated cost exceeds the budget. The engine's cache persists across
+/// calls, which is exactly the point: later dimensionalities (and later
+/// pipelines pairing the same detector) are served from warm entries,
+/// and the cell's `RunStats`-derived telemetry records the payoff.
+#[must_use]
+pub fn run_cell_with_engine(
+    testbed: &TestbedDataset,
+    pipeline: &Pipeline,
+    engine: &ExplanationEngine<'_>,
+    dim: usize,
+    cfg: &ExperimentConfig,
+) -> CellResult {
     let pois = points_of_interest(testbed, dim, cfg);
     if pois.is_empty() {
-        return CellResult {
-            dataset: testbed.name().to_string(),
-            detector: pipeline.detector_name().to_string(),
-            explainer: pipeline.explainer_name().to_string(),
+        return skipped_cell(
+            testbed,
+            pipeline,
             dim,
-            map: 0.0,
-            mean_recall: 0.0,
-            seconds: 0.0,
-            evaluations: 0,
-            n_points: 0,
-            skipped: true,
-            skip_reason: Some("no points explained at this dimensionality".into()),
-        };
+            "no points explained at this dimensionality".into(),
+        );
     }
     let estimate = cfg.estimated_evaluations(
         pipeline.explainer_name(),
@@ -126,25 +176,19 @@ pub fn run_cell(
         pois.len(),
     );
     if estimate > cfg.eval_budget as u128 {
-        return CellResult {
-            dataset: testbed.name().to_string(),
-            detector: pipeline.detector_name().to_string(),
-            explainer: pipeline.explainer_name().to_string(),
+        return skipped_cell(
+            testbed,
+            pipeline,
             dim,
-            map: 0.0,
-            mean_recall: 0.0,
-            seconds: 0.0,
-            evaluations: 0,
-            n_points: 0,
-            skipped: true,
-            skip_reason: Some(format!(
+            format!(
                 "estimated {estimate} evaluations exceed budget {}",
                 cfg.eval_budget
-            )),
-        };
+            ),
+        );
     }
 
-    let output = pipeline.run(&testbed.dataset, &pois, dim);
+    let run = engine.run(pipeline.explainer(), &RunSpec::new(pois.as_slice(), [dim]));
+    let pass = run.into_single();
 
     // Evaluate over the points explained at this dimensionality (§3.3).
     let per_point: Vec<_> = pois
@@ -154,7 +198,7 @@ pub fn run_cell(
             if rel.is_empty() {
                 None
             } else {
-                Some((rel, &output.explanations[&p]))
+                Some((rel, &pass.explanations[&p]))
             }
         })
         .collect();
@@ -166,8 +210,11 @@ pub fn run_cell(
         dim,
         map: metrics::map(&per_point),
         mean_recall: metrics::mean_recall(&per_point),
-        seconds: output.elapsed.as_secs_f64(),
-        evaluations: output.subspace_evaluations,
+        seconds: pass.stats.elapsed.as_secs_f64(),
+        evaluations: pass.stats.evaluations,
+        cache_hits: pass.stats.cache_hits,
+        cache_hit_rate: pass.stats.hit_rate(),
+        peak_cache_entries: pass.stats.peak_cache_entries,
         n_points: per_point.len(),
         skipped: false,
         skip_reason: None,
@@ -176,6 +223,13 @@ pub fn run_cell(
 
 /// Runs a whole pipeline family (Figure 9 or 10) over the given testbeds
 /// and dims.
+///
+/// Per dataset, one [`ScoreCache`] is kept per *detector* and shared by
+/// every pipeline pairing that detector and every explanation
+/// dimensionality — so a Figure 9/10/11 sweep never re-runs the detector
+/// on a subspace any earlier cell already scored. Rankings and MAP are
+/// unchanged (cached score vectors are bit-identical to recomputed
+/// ones); only the redundant detector work disappears.
 #[must_use]
 pub fn run_grid(
     experiment: &str,
@@ -185,9 +239,16 @@ pub fn run_grid(
 ) -> ResultTable {
     let mut table = ResultTable::new(experiment);
     for tb in testbeds {
-        for dim in tb.family.explanation_dims() {
-            for pipe in pipelines {
-                let cell = run_cell(tb, pipe, dim, cfg);
+        let mut caches: FxHashMap<&'static str, Arc<ScoreCache>> = FxHashMap::default();
+        for pipe in pipelines {
+            let cache = Arc::clone(
+                caches
+                    .entry(pipe.detector_name())
+                    .or_insert_with(|| Arc::new(cfg.score_cache())),
+            );
+            let engine = pipe.engine_with_cache(&tb.dataset, cache);
+            for dim in tb.family.explanation_dims() {
+                let cell = run_cell_with_engine(tb, pipe, &engine, dim, cfg);
                 eprintln!(
                     "#   [{experiment}] {} {} {dim}d: {}",
                     tb.name(),
@@ -195,7 +256,12 @@ pub fn run_grid(
                     if cell.skipped {
                         "skipped".to_string()
                     } else {
-                        format!("map={:.2} in {:.1}s", cell.map, cell.seconds)
+                        format!(
+                            "map={:.2} in {:.1}s ({:.0}% cached)",
+                            cell.map,
+                            cell.seconds,
+                            100.0 * cell.cache_hit_rate
+                        )
                     }
                 );
                 table.cells.push(cell);

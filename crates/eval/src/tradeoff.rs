@@ -62,7 +62,9 @@ pub fn build(point_table: &ResultTable, summary_table: &ResultTable) -> Tradeoff
         .filter(|c| !c.skipped)
         .collect();
     for c in &all {
-        let Some(bucket) = ratio_bucket(&c.dataset) else { continue };
+        let Some(bucket) = ratio_bucket(&c.dataset) else {
+            continue;
+        };
         let label = format!("{}+{}", c.explainer, c.detector);
         let e = agg
             .entry((c.dim, bucket.to_string(), label))
@@ -132,7 +134,14 @@ pub fn render(matrix: &TradeoffMatrix) -> String {
     let _ = writeln!(out, "{header}");
     for d in dims {
         for (row, pick) in [("point", 0usize), ("summary", 1)] {
-            let mut line = format!("{:<5}", if pick == 0 { format!("{d}d") } else { String::new() });
+            let mut line = format!(
+                "{:<5}",
+                if pick == 0 {
+                    format!("{d}d")
+                } else {
+                    String::new()
+                }
+            );
             for b in &present {
                 let cell = matrix.get(&(d, (*b).to_string()));
                 let text = match cell {
@@ -168,6 +177,9 @@ mod unit_tests {
             mean_recall: map,
             seconds: sec,
             evaluations: 1,
+            cache_hits: 0,
+            cache_hit_rate: 0.0,
+            peak_cache_entries: 1,
             n_points: 5,
             skipped: false,
             skip_reason: None,
@@ -185,12 +197,16 @@ mod unit_tests {
     #[test]
     fn picks_pareto_winner_per_family() {
         let mut p = ResultTable::new("fig9");
-        p.cells.push(cell("HiCS-14d", "LOF", "Beam_FX", 2, 0.9, 2.0));
+        p.cells
+            .push(cell("HiCS-14d", "LOF", "Beam_FX", 2, 0.9, 2.0));
         p.cells.push(cell("HiCS-14d", "LOF", "RefOut", 2, 0.9, 1.0)); // same MAP, faster
-        p.cells.push(cell("HiCS-14d", "iForest", "Beam_FX", 2, 0.5, 0.1));
+        p.cells
+            .push(cell("HiCS-14d", "iForest", "Beam_FX", 2, 0.5, 0.1));
         let mut s = ResultTable::new("fig10");
-        s.cells.push(cell("HiCS-14d", "LOF", "LookOut", 2, 0.8, 1.0));
-        s.cells.push(cell("HiCS-14d", "LOF", "HiCS_FX", 2, 0.95, 5.0)); // higher MAP wins
+        s.cells
+            .push(cell("HiCS-14d", "LOF", "LookOut", 2, 0.8, 1.0));
+        s.cells
+            .push(cell("HiCS-14d", "LOF", "HiCS_FX", 2, 0.95, 5.0)); // higher MAP wins
         let m = build(&p, &s);
         let (point, summary) = &m[&(2, "35%".to_string())];
         assert_eq!(point.as_ref().unwrap().label, "RefOut+LOF");
@@ -200,7 +216,8 @@ mod unit_tests {
     #[test]
     fn zero_map_yields_empty_cell() {
         let mut p = ResultTable::new("fig9");
-        p.cells.push(cell("HiCS-39d", "LOF", "Beam_FX", 5, 0.0, 1.0));
+        p.cells
+            .push(cell("HiCS-39d", "LOF", "Beam_FX", 5, 0.0, 1.0));
         let s = ResultTable::new("fig10");
         let m = build(&p, &s);
         let (point, summary) = &m[&(5, "12%".to_string())];
@@ -211,8 +228,10 @@ mod unit_tests {
     #[test]
     fn aggregates_fullspace_bucket_across_datasets() {
         let mut p = ResultTable::new("fig9");
-        p.cells.push(cell("Breast-like (A)", "LOF", "Beam_FX", 2, 1.0, 1.0));
-        p.cells.push(cell("BreastDiag-like (B)", "LOF", "Beam_FX", 2, 0.5, 3.0));
+        p.cells
+            .push(cell("Breast-like (A)", "LOF", "Beam_FX", 2, 1.0, 1.0));
+        p.cells
+            .push(cell("BreastDiag-like (B)", "LOF", "Beam_FX", 2, 0.5, 3.0));
         let s = ResultTable::new("fig10");
         let m = build(&p, &s);
         let (point, _) = &m[&(2, "100%".to_string())];
@@ -224,7 +243,8 @@ mod unit_tests {
     #[test]
     fn render_contains_layout() {
         let mut p = ResultTable::new("fig9");
-        p.cells.push(cell("HiCS-14d", "LOF", "Beam_FX", 2, 0.9, 2.0));
+        p.cells
+            .push(cell("HiCS-14d", "LOF", "Beam_FX", 2, 0.9, 2.0));
         let s = ResultTable::new("fig10");
         let text = render(&build(&p, &s));
         assert!(text.contains("35%"));

@@ -13,8 +13,7 @@ fn subspace() -> impl Strategy<Value = Subspace> {
 }
 
 fn ranking() -> impl Strategy<Value = RankedSubspaces> {
-    prop::collection::vec((subspace(), -5.0f64..5.0), 0..15)
-        .prop_map(RankedSubspaces::from_scored)
+    prop::collection::vec((subspace(), -5.0f64..5.0), 0..15).prop_map(RankedSubspaces::from_scored)
 }
 
 fn relevant_set() -> impl Strategy<Value = Vec<Subspace>> {
@@ -138,6 +137,9 @@ proptest! {
                 mean_recall: m * 0.5,
                 seconds: i as f64,
                 evaluations: i,
+                cache_hits: i * 2,
+                cache_hit_rate: if i > 0 { 0.5 } else { 0.0 },
+                peak_cache_entries: i,
                 n_points: 5,
                 skipped: false,
                 skip_reason: None,

@@ -150,7 +150,9 @@ impl Summary {
         let mut max = f64::NEG_INFINITY;
         for &x in xs {
             if !x.is_finite() {
-                return Err(StatsError::NonFinite { what: "Summary::of" });
+                return Err(StatsError::NonFinite {
+                    what: "Summary::of",
+                });
             }
             m.push(x);
             min = min.min(x);

@@ -21,7 +21,10 @@ impl Normal {
     /// The standard normal `N(0, 1)`.
     #[must_use]
     pub fn standard() -> Self {
-        Normal { mean: 0.0, std: 1.0 }
+        Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// A normal with the given mean and standard deviation.

@@ -80,13 +80,13 @@ mod unit_tests {
     fn cdf_reference_values() {
         let cases = [
             // (df, t, cdf)
-            (1.0, 1.0, 0.75),                      // Cauchy: arctan form
+            (1.0, 1.0, 0.75), // Cauchy: arctan form
             (1.0, 0.0, 0.5),
             (2.0, 1.0, 0.788_675_134_594_812_6),
             (5.0, 2.0, 0.949_030_260_585_070_8),
             (10.0, -1.5, 0.082_253_663_222_720_1),
             (30.0, 2.042, 0.974_985_664_671_901_2),
-            (4.5, 1.2, 0.855_261_472_579_017_4),   // fractional df (Welch)
+            (4.5, 1.2, 0.855_261_472_579_017_4), // fractional df (Welch)
         ];
         for (df, t, want) in cases {
             let d = StudentT::new(df).unwrap();

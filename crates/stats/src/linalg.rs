@@ -98,7 +98,7 @@ pub fn least_squares(columns: &[&[f64]], y: &[f64]) -> Result<LinearFit> {
         }
     }
     let p = k + 1; // + intercept
-    // Normal equations XᵀX β = Xᵀy with X = [1 | columns].
+                   // Normal equations XᵀX β = Xᵀy with X = [1 | columns].
     let mut xtx = vec![0.0f64; p * p];
     let mut xty = vec![0.0f64; p];
     let col = |j: usize, i: usize| -> f64 {
@@ -141,7 +141,11 @@ pub fn least_squares(columns: &[&[f64]], y: &[f64]) -> Result<LinearFit> {
         ss_res += (yi - pred).powi(2);
         ss_tot += (yi - mean_y).powi(2);
     }
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        0.0
+    };
     Ok(LinearFit {
         coefficients: beta,
         r_squared,
@@ -184,7 +188,9 @@ mod unit_tests {
     fn ols_r_squared_zero_for_irrelevant_feature() {
         // y independent of x: R² near 0 (tiny positive from fitting noise).
         let x: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
-        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let fit = least_squares(&[&x], &y).unwrap();
         assert!(fit.r_squared.abs() < 0.05, "r2 = {}", fit.r_squared);
     }

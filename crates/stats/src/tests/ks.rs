@@ -43,7 +43,9 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsResult> {
             });
         }
         if s.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::NonFinite { what: "ks_two_sample" });
+            return Err(StatsError::NonFinite {
+                what: "ks_two_sample",
+            });
         }
     }
 

@@ -64,7 +64,10 @@ mod unit_tests {
     #[test]
     fn degenerate_inputs_are_neutral() {
         assert_eq!(TwoSampleTest::Welch.run(&[], &[1.0]), (0.0, 1.0));
-        assert_eq!(TwoSampleTest::KolmogorovSmirnov.run(&[1.0], &[]), (0.0, 1.0));
+        assert_eq!(
+            TwoSampleTest::KolmogorovSmirnov.run(&[1.0], &[]),
+            (0.0, 1.0)
+        );
         // zero variance in both samples with equal means → neutral
         let (t, p) = TwoSampleTest::Welch.run(&[2.0, 2.0], &[2.0, 2.0]);
         assert_eq!((t, p), (0.0, 1.0));

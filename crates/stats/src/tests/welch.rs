@@ -56,7 +56,9 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<WelchResult> {
             });
         }
         if s.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::NonFinite { what: "welch_t_test" });
+            return Err(StatsError::NonFinite {
+                what: "welch_t_test",
+            });
         }
     }
 
@@ -112,7 +114,11 @@ mod unit_tests {
         let b = [4.9, 5.4, 6.1, 5.8, 7.0, 5.5];
         let r = welch_t_test(&a, &b).unwrap();
         // scipy: statistic = -5.203554, pvalue = 0.0016140, df ≈ 6.44362
-        assert!((r.statistic + 5.203_554).abs() < 1e-5, "t = {}", r.statistic);
+        assert!(
+            (r.statistic + 5.203_554).abs() < 1e-5,
+            "t = {}",
+            r.statistic
+        );
         assert!((r.p_value - 0.001_614_0).abs() < 1e-6, "p = {}", r.p_value);
         assert!((r.df - 6.443_62).abs() < 1e-4, "df = {}", r.df);
     }

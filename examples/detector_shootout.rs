@@ -35,9 +35,11 @@ fn main() {
     ];
 
     // Regime 1 — full-space outliers (the paper's real-dataset family).
-    let (full_ds, full_outliers) =
-        generate_fullspace_with_outliers(FullSpacePreset::BreastA, 11);
-    println!("regime 1: full-space outliers ({})", FullSpacePreset::BreastA.name());
+    let (full_ds, full_outliers) = generate_fullspace_with_outliers(FullSpacePreset::BreastA, 11);
+    println!(
+        "regime 1: full-space outliers ({})",
+        FullSpacePreset::BreastA.name()
+    );
     println!("{:<12} {:>12} {:>12}", "detector", "recall@n", "recall@2n");
     let n = full_outliers.len();
     for det in &detectors {

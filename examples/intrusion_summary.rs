@@ -20,15 +20,15 @@ use rand::{Rng, SeedableRng};
 
 const FEATURES: [&str; 10] = [
     "bytes_out",
-    "pkts_out",      // coupled with bytes_out
+    "pkts_out", // coupled with bytes_out
     "bytes_in",
-    "pkts_in",       // coupled with bytes_in
+    "pkts_in", // coupled with bytes_in
     "syn_rate",
-    "ack_rate",      // coupled with syn_rate
+    "ack_rate", // coupled with syn_rate
     "dst_ports",
-    "dst_hosts",     // coupled with dst_ports
-    "duration",      // independent
-    "ttl_var",       // independent
+    "dst_hosts", // coupled with dst_ports
+    "duration",  // independent
+    "ttl_var",   // independent
 ];
 
 fn simulate_traffic(n: usize, seed: u64) -> (Dataset, Vec<usize>, Vec<Subspace>) {
@@ -81,7 +81,11 @@ fn simulate_traffic(n: usize, seed: u64) -> (Dataset, Vec<usize>, Vec<Subspace>)
 fn show(summary: &RankedSubspaces, ds: &Dataset, truth: &[Subspace]) {
     for (s, score) in summary.entries() {
         let names: Vec<&str> = s.iter().map(|f| ds.feature_names()[f].as_str()).collect();
-        let marker = if truth.contains(s) { "  <-- planted attack pattern" } else { "" };
+        let marker = if truth.contains(s) {
+            "  <-- planted attack pattern"
+        } else {
+            ""
+        };
         println!("  view [{}]  score {score:6.2}{marker}", names.join(" vs "));
     }
 }
@@ -99,7 +103,10 @@ fn main() {
 
     // LookOut: the analyst asks for at most 3 complementary 2d views.
     let summary = LookOut::new().budget(3).summarize(&scorer, &alerts, 2);
-    println!("LookOut dashboard ({} views cover all alerts):", summary.len());
+    println!(
+        "LookOut dashboard ({} views cover all alerts):",
+        summary.len()
+    );
     show(&summary, &dataset, &truth);
 
     // HiCS: search by feature correlation, rank with the detector.
@@ -115,7 +122,10 @@ fn main() {
     // view as the analyst would see it (alerts drawn as '#').
     if let Some(best) = summary.best() {
         println!("\nbest view, plotted:\n");
-        println!("{}", anomex::eval::plot::scatter(&dataset, best, &alerts, 60, 18));
+        println!(
+            "{}",
+            anomex::eval::plot::scatter(&dataset, best, &alerts, 60, 18)
+        );
     }
 
     // Both planted attack patterns must surface in LookOut's summary.

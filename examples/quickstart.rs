@@ -1,6 +1,7 @@
 //! Quickstart: generate a dataset with planted subspace outliers, detect
 //! nothing — the points are *given* — and ask every explainer **why**
-//! they are outlying.
+//! they are outlying, through one [`ExplanationEngine`] whose score
+//! cache is shared by all of them.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -34,39 +35,64 @@ fn main() {
     println!("\nexplaining point #{point} (ground truth: {truth})\n");
 
     // The detector is interchangeable — that's the point of the paper.
+    // The engine binds it to the dataset and keeps one score cache alive
+    // across every explainer run below, so no subspace is ever scored
+    // twice.
     let lof = Lof::new(15).expect("valid k");
-    let scorer = SubspaceScorer::new(dataset, &lof);
+    let engine = ExplanationEngine::new(dataset, &lof);
 
     // --- Point explanation with Beam ------------------------------------
-    let beam = Beam::new();
-    let explanation = beam.explain(&scorer, point, 2);
+    let beam = ExplainerKind::Point(Box::new(Beam::new()));
+    let run = engine.run(&beam, &RunSpec::new(vec![point], [2usize]));
+    let explanation = &run.dims[0].explanations[&point];
     println!("Beam top-5 subspaces (score = standardized LOF):");
     for (s, score) in explanation.entries().iter().take(5) {
         let marker = if s == truth { "  <-- ground truth" } else { "" };
         println!("  {s:<16} {score:7.2}{marker}");
     }
+    println!(
+        "  [{} detector evaluations, {} cache hits]",
+        run.dims[0].stats.evaluations, run.dims[0].stats.cache_hits
+    );
 
     // --- Point explanation with RefOut ----------------------------------
-    let refout = RefOut::new().seed(7);
-    let explanation = refout.explain(&scorer, point, 2);
+    // A different explainer, the same engine: RefOut's exhaustive stages
+    // are largely served from the cache Beam already filled.
+    let refout = ExplainerKind::Point(Box::new(RefOut::new().seed(7)));
+    let run = engine.run(&refout, &RunSpec::new(vec![point], [2usize]));
+    let explanation = &run.dims[0].explanations[&point];
     println!("\nRefOut top-5 subspaces:");
     for (s, score) in explanation.entries().iter().take(5) {
         let marker = if s == truth { "  <-- ground truth" } else { "" };
         println!("  {s:<16} {score:7.2}{marker}");
     }
+    println!(
+        "  [{} detector evaluations, {} cache hits]",
+        run.dims[0].stats.evaluations, run.dims[0].stats.cache_hits
+    );
 
     // --- Summarize ALL outliers explained at 2d with LookOut ------------
     let pois = generated.ground_truth.points_explained_at_dim(2);
-    let lookout = LookOut::new().budget(4);
-    let summary = lookout.summarize(&scorer, &pois, 2);
-    println!("\nLookOut summary for the {} outliers explained in 2d:", pois.len());
+    let lookout = ExplainerKind::Summary(Box::new(LookOut::new().budget(4)));
+    let run = engine.run(&lookout, &RunSpec::new(pois.clone(), [2usize]));
+    let summary = &run.dims[0].explanations[&pois[0]];
+    println!(
+        "\nLookOut summary for the {} outliers explained in 2d:",
+        pois.len()
+    );
     for (s, gain) in summary.entries() {
         println!("  {s:<16} marginal gain {gain:7.2}");
     }
-
     println!(
-        "\nsubspace evaluations: {} (cache hits: {})",
-        scorer.evaluations(),
-        scorer.cache_hits()
+        "  [{} detector evaluations, {} cache hits — {:.0}% served warm]",
+        run.dims[0].stats.evaluations,
+        run.dims[0].stats.cache_hits,
+        100.0 * run.dims[0].stats.hit_rate()
+    );
+
+    let totals = engine.cache().stats();
+    println!(
+        "\nengine totals: {} unique subspaces scored, {} requests served from cache",
+        totals.evaluations, totals.hits
     );
 }

@@ -18,13 +18,13 @@ use rand::{Rng, SeedableRng};
 /// Channel names of the simulated plant.
 const CHANNELS: [&str; 8] = [
     "intake_temp",
-    "coolant_temp",   // physically coupled to intake_temp
+    "coolant_temp", // physically coupled to intake_temp
     "pressure",
-    "flow_rate",      // physically coupled to pressure
+    "flow_rate", // physically coupled to pressure
     "vibration",
     "rpm",
     "voltage",
-    "current",        // physically coupled to voltage
+    "current", // physically coupled to voltage
 ];
 
 fn simulate_plant(n: usize, seed: u64) -> (Dataset, Vec<usize>) {
@@ -37,14 +37,14 @@ fn simulate_plant(n: usize, seed: u64) -> (Dataset, Vec<usize>) {
         let power: f64 = rng.gen_range(0.3..0.9);
         let noise = |rng: &mut StdRng| rng.gen_range(-0.015..0.015);
         rows.push(vec![
-            load + noise(&mut rng),           // intake_temp
-            load + noise(&mut rng),           // coolant_temp tracks intake
-            duty + noise(&mut rng),           // pressure
-            duty + noise(&mut rng),           // flow follows pressure
-            rng.gen_range(0.0..1.0),          // vibration: independent
-            rng.gen_range(0.0..1.0),          // rpm: independent
-            power + noise(&mut rng),          // voltage
-            power + noise(&mut rng),          // current follows voltage
+            load + noise(&mut rng),  // intake_temp
+            load + noise(&mut rng),  // coolant_temp tracks intake
+            duty + noise(&mut rng),  // pressure
+            duty + noise(&mut rng),  // flow follows pressure
+            rng.gen_range(0.0..1.0), // vibration: independent
+            rng.gen_range(0.0..1.0), // rpm: independent
+            power + noise(&mut rng), // voltage
+            power + noise(&mut rng), // current follows voltage
         ]);
     }
     // Fault 1: coolant decoupled from intake (blocked radiator) — both
@@ -77,17 +77,26 @@ fn main() {
     ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     println!("top-5 anomalous readings by full-space LOF:");
     for &i in ranked.iter().take(5) {
-        let marker = if faults.contains(&i) { "  <-- injected fault" } else { "" };
+        let marker = if faults.contains(&i) {
+            "  <-- injected fault"
+        } else {
+            ""
+        };
         println!("  reading #{i:<4} LOF {:.2}{marker}", scores[i]);
     }
 
     // Step 2 — explanation. For each flagged reading, which sensor pair
-    // exhibits the anomaly?
-    let scorer = SubspaceScorer::new(&dataset, &lof);
-    let beam = Beam::new().result_size(3);
+    // exhibits the anomaly? One engine run explains every fault in
+    // parallel, and its cache ensures the shared exhaustive 2d stage is
+    // scored only once across the faults.
+    let engine = ExplanationEngine::new(&dataset, &lof);
+    let beam = ExplainerKind::Point(Box::new(Beam::new().result_size(3)));
+    let run = engine
+        .run(&beam, &RunSpec::new(faults.clone(), [2usize]))
+        .into_single();
     println!("\ndiagnosis (Beam, 2d explanations):");
     for &fault in &faults {
-        let explanation = beam.explain(&scorer, fault, 2);
+        let explanation = &run.explanations[&fault];
         let (best, score) = &explanation.entries()[0];
         let names: Vec<&str> = best
             .iter()
@@ -98,24 +107,27 @@ fn main() {
             names.join(" + ")
         );
         for (s, v) in explanation.entries().iter().skip(1) {
-            let names: Vec<&str> =
-                s.iter().map(|f| dataset.feature_names()[f].as_str()).collect();
+            let names: Vec<&str> = s
+                .iter()
+                .map(|f| dataset.feature_names()[f].as_str())
+                .collect();
             println!("      runner-up: {} ({v:.1})", names.join(" + "));
         }
     }
 
     // Sanity: the diagnosis should name the decoupled pairs.
-    let expl1 = beam.explain(&scorer, faults[0], 2);
     assert_eq!(
-        expl1.best(),
+        run.explanations[&faults[0]].best(),
         Some(&Subspace::new([0usize, 1])),
         "fault 1 should implicate intake_temp + coolant_temp"
     );
-    let expl2 = beam.explain(&scorer, faults[1], 2);
     assert_eq!(
-        expl2.best(),
+        run.explanations[&faults[1]].best(),
         Some(&Subspace::new([6usize, 7])),
         "fault 2 should implicate voltage + current"
     );
-    println!("\nboth faults correctly localized.");
+    println!(
+        "\nboth faults correctly localized ({} subspace evaluations, {} cache hits).",
+        run.stats.evaluations, run.stats.cache_hits
+    );
 }

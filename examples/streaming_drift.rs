@@ -19,17 +19,24 @@ use anomex_detectors::loda::Loda;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const FEATURES: [&str; 6] = ["cpu", "memory", "disk_io", "net_io", "latency", "error_rate"];
+const FEATURES: [&str; 6] = [
+    "cpu",
+    "memory",
+    "disk_io",
+    "net_io",
+    "latency",
+    "error_rate",
+];
 
 fn normal_obs(rng: &mut StdRng) -> Vec<f64> {
     let load: f64 = rng.gen_range(0.2..0.6);
     vec![
-        load + rng.gen_range(-0.05..0.05),        // cpu tracks load
-        load * 0.8 + rng.gen_range(-0.05..0.05),  // memory tracks load
-        rng.gen_range(0.1..0.4),                  // disk
-        rng.gen_range(0.1..0.4),                  // net
+        load + rng.gen_range(-0.05..0.05),             // cpu tracks load
+        load * 0.8 + rng.gen_range(-0.05..0.05),       // memory tracks load
+        rng.gen_range(0.1..0.4),                       // disk
+        rng.gen_range(0.1..0.4),                       // net
         0.2 + load * 0.3 + rng.gen_range(-0.03..0.03), // latency
-        rng.gen_range(0.0..0.05),                 // errors near zero
+        rng.gen_range(0.0..0.05),                      // errors near zero
     ]
 }
 
@@ -39,7 +46,11 @@ fn main() {
     // Warm-up window: 500 normal observations.
     let warmup: Vec<Vec<f64>> = (0..500).map(|_| normal_obs(&mut rng)).collect();
     let ds = Dataset::from_rows(warmup).expect("well-formed");
-    let loda = Loda::builder().projections(100).seed(7).build().expect("valid");
+    let loda = Loda::builder()
+        .projections(100)
+        .seed(7)
+        .build()
+        .expect("valid");
     let mut model = loda.fit(&ds.full_matrix());
 
     // Alert threshold: mean + 3σ of warm-up scores.
@@ -47,7 +58,10 @@ fn main() {
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
     let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64;
     let threshold = mean + 3.0 * var.sqrt();
-    println!("warm-up: {} observations, alert threshold {threshold:.3}\n", ds.n_rows());
+    println!(
+        "warm-up: {} observations, alert threshold {threshold:.3}\n",
+        ds.n_rows()
+    );
 
     // Phase 1 — a genuine anomaly: error-rate spike (with the latency
     // bump that real incidents drag along).
@@ -55,10 +69,16 @@ fn main() {
     anomaly[5] = 0.95;
     anomaly[4] = 0.85;
     let score = model.score(&anomaly);
-    println!("t=501  error spike       score {score:.3} {}", alert(score, threshold));
+    println!(
+        "t=501  error spike       score {score:.3} {}",
+        alert(score, threshold)
+    );
     let imp = model.feature_importance(&anomaly);
     let top = argmax(&imp);
-    println!("       blamed feature:   {} (importance {:.1})", FEATURES[top], imp[top]);
+    println!(
+        "       blamed feature:   {} (importance {:.1})",
+        FEATURES[top], imp[top]
+    );
     assert_eq!(FEATURES[top], "error_rate");
 
     // Phase 2 — concept drift: the service moves to a high-load regime.
@@ -76,7 +96,10 @@ fn main() {
     };
     let first = drifted(&mut rng);
     let before = model.score(&first);
-    println!("\nt=502  high-load regime  score {before:.3} {}", alert(before, threshold));
+    println!(
+        "\nt=502  high-load regime  score {before:.3} {}",
+        alert(before, threshold)
+    );
 
     // ...but as the stream continues, the model absorbs the new normal.
     for _ in 0..800 {
@@ -84,7 +107,10 @@ fn main() {
         model.update(&obs);
     }
     let after = model.score(&drifted(&mut rng));
-    println!("t=1302 high-load regime  score {after:.3} {} (model adapted)", alert(after, threshold));
+    println!(
+        "t=1302 high-load regime  score {after:.3} {} (model adapted)",
+        alert(after, threshold)
+    );
     assert!(after < before, "streaming updates must absorb the drift");
 
     // The error spike still stands far above the adapted normal —
@@ -109,5 +135,7 @@ fn alert(score: f64, threshold: f64) -> &'static str {
 }
 
 fn argmax(xs: &[f64]) -> usize {
-    (0..xs.len()).max_by(|&a, &b| xs[a].total_cmp(&xs[b])).expect("non-empty")
+    (0..xs.len())
+        .max_by(|&a, &b| xs[a].total_cmp(&xs[b]))
+        .expect("non-empty")
 }

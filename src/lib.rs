@@ -52,16 +52,17 @@ pub use anomex_eval as eval;
 pub use anomex_stats as stats;
 
 /// One-stop imports for the common workflow: generate/load data → pick a
-/// detector → explain or summarize outliers.
+/// detector → build an [`ExplanationEngine`](anomex_core::engine::ExplanationEngine)
+/// → explain or summarize outliers.
 pub mod prelude {
+    pub use anomex_core::cache::{CacheStats, ScoreCache};
+    pub use anomex_core::engine::{DimRun, EngineRun, ExplanationEngine, RunSpec, RunStats};
     pub use anomex_core::explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
-    pub use anomex_core::pipeline::{Pipeline, PipelineOutput};
+    pub use anomex_core::pipeline::{ExplainerKind, Pipeline, PipelineOutput};
     pub use anomex_core::scoring::SubspaceScorer;
     pub use anomex_core::surrogate::{Surrogate, SurrogateModel};
     pub use anomex_core::{Beam, Hics, LookOut, RefOut};
-    pub use anomex_dataset::gen::fullspace::{
-        generate_fullspace_with_outliers, FullSpacePreset,
-    };
+    pub use anomex_dataset::gen::fullspace::{generate_fullspace_with_outliers, FullSpacePreset};
     pub use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
     pub use anomex_dataset::{Dataset, GroundTruth, Subspace};
     pub use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Loda, Lof};

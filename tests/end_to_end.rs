@@ -104,11 +104,7 @@ fn fullspace_pipeline_matches_derived_truth() {
     // Derive ground truth at 2d by exhaustive LOF, then check Beam+LOF
     // reproduces it — by construction Beam's exhaustive 2d stage must
     // find the same argmax subspace.
-    let tb = TestbedDataset::build(
-        TestbedFamily::FullSpace(FullSpacePreset::BreastA),
-        42,
-        &[2],
-    );
+    let tb = TestbedDataset::build(TestbedFamily::FullSpace(FullSpacePreset::BreastA), 42, &[2]);
     let lof = Lof::new(15).unwrap();
     let scorer = SubspaceScorer::new(&tb.dataset, &lof);
     for &p in tb.ground_truth.outliers().iter().take(5) {

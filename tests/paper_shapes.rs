@@ -92,11 +92,7 @@ fn synthetic_14d_summarizers_with_lof_are_optimal() {
     let pipes = c.summary_pipelines();
     for dim in [2usize, 3] {
         let lookout = run_cell(&tb, &pipes[0], dim, &c);
-        assert!(
-            lookout.map > 0.9,
-            "LookOut+LOF at {dim}d: {}",
-            lookout.map
-        );
+        assert!(lookout.map > 0.9, "LookOut+LOF at {dim}d: {}", lookout.map);
         let hics = run_cell(&tb, &pipes[3], dim, &c);
         assert!(hics.map > 0.9, "HiCS+LOF at {dim}d: {}", hics.map);
     }
