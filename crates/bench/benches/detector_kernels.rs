@@ -1,0 +1,118 @@
+//! Detector distance-kernel benchmarks: the score-cache *miss* path.
+//!
+//! Three kNN builders over the same data answer the ISSUE's question
+//! "how fast is a miss?":
+//!
+//! * `naive`   — sequential row-by-row `sq_dist` scan (the reference);
+//! * `blocked` — norm-trick blocked kernel + parallel row blocks
+//!   (the production path behind `knn_table`);
+//! * `incremental` — kNN from a warm [`IncrementalDistances`] memo,
+//!   i.e. the cost of extending a stage-wise chain `S → S ∪ {f}`:
+//!   one O(N²) plane add instead of a fresh O(N²·d) scan.
+//!
+//! Grid: N ∈ {500, 1000, 2000} × d ∈ {2, 5, 10}, k = 15 (the paper's
+//! LOF neighbourhood). `scripts/bench_snapshot.sh` distills the same
+//! comparison into `BENCH_detectors.json`.
+
+use anomex_dataset::{Dataset, IncrementalDistances, Subspace};
+use anomex_detectors::kernels::{knn_table_blocked, knn_table_from_sq_dists, knn_table_naive};
+use anomex_detectors::{Detector, FastAbod, Lof};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const K: usize = 15;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+}
+
+fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_rows(
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect::<Vec<Vec<f64>>>(),
+    )
+    .expect("well-formed")
+}
+
+/// naive vs blocked vs incremental kNN builds across the N × d grid.
+fn knn_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_builders");
+    for n in [500usize, 1000, 2000] {
+        for d in [2usize, 5, 10] {
+            let ds = random_dataset(n, d, (n * 31 + d) as u64);
+            let m = ds.full_matrix();
+            let label = format!("N{n}-d{d}");
+
+            group.bench_with_input(BenchmarkId::new("naive", &label), &m, |b, m| {
+                b.iter(|| knn_table_naive(m, K))
+            });
+            group.bench_with_input(BenchmarkId::new("blocked", &label), &m, |b, m| {
+                b.iter(|| knn_table_blocked(m, K))
+            });
+
+            // Incremental steady state: the memo holds the (d−1)-feature
+            // parent matrix and the last feature's plane (warmed in the
+            // per-batch setup, outside the timer); the measured routine
+            // serves the full d-feature subspace — one O(N²) matrix copy
+            // + plane add — and runs k-selection. This is the per-child
+            // cost Beam/RefOut pay once the memo is enabled.
+            let full = Subspace::full(d);
+            let parent = Subspace::new(0..d - 1);
+            group.bench_with_input(
+                BenchmarkId::new("incremental", &label),
+                &ds,
+                |b, ds| {
+                    b.iter_batched(
+                        || {
+                            let inc = IncrementalDistances::new(2);
+                            let _ = inc.sq_dists(ds, &parent);
+                            let _ = inc.sq_dists(ds, &Subspace::single(d - 1));
+                            inc
+                        },
+                        |inc| knn_table_from_sq_dists(&inc.sq_dists(ds, &full), K),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// End-to-end miss cost per detector: coordinates (projection path) vs
+/// a warm distance matrix (the incremental path's steady state).
+fn detector_miss_paths(c: &mut Criterion) {
+    let ds = random_dataset(1000, 5, 99);
+    let m = ds.full_matrix();
+    let full = Subspace::full(5);
+    let inc = IncrementalDistances::new(4);
+    let dists = inc.sq_dists(&ds, &full);
+
+    let lof = Lof::new(K).unwrap();
+    let abod = FastAbod::new(10).unwrap();
+
+    let mut group = c.benchmark_group("detector_miss");
+    group.bench_function("LOF/coords/N1000-d5", |b| b.iter(|| lof.score_all(&m)));
+    group.bench_function("LOF/dists/N1000-d5", |b| {
+        b.iter(|| lof.score_from_sq_dists(&dists).expect("supported"))
+    });
+    group.bench_function("FastABOD/coords/N1000-d5", |b| b.iter(|| abod.score_all(&m)));
+    group.bench_function("FastABOD/dists/N1000-d5", |b| {
+        b.iter(|| abod.score_from_sq_dists(&dists).expect("supported"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = knn_builders, detector_miss_paths
+}
+criterion_main!(benches);

@@ -38,7 +38,7 @@ use crate::explainer::RankedSubspaces;
 use crate::parallel::par_map;
 use crate::pipeline::ExplainerKind;
 use crate::scoring::SubspaceScorer;
-use anomex_dataset::Dataset;
+use anomex_dataset::{Dataset, IncrementalDistances};
 use anomex_detectors::Detector;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -181,6 +181,7 @@ pub struct ExplanationEngine<'a> {
     dataset: &'a Dataset,
     detector: &'a dyn Detector,
     cache: Arc<ScoreCache>,
+    incremental: Option<Arc<IncrementalDistances>>,
 }
 
 impl<'a> ExplanationEngine<'a> {
@@ -204,7 +205,31 @@ impl<'a> ExplanationEngine<'a> {
             dataset,
             detector,
             cache,
+            incremental: None,
         }
+    }
+
+    /// Enables the incremental pairwise-distance memo for score-cache
+    /// misses ([`IncrementalDistances`]): distance-based detectors (LOF,
+    /// kNN-distance, Fast ABOD) then score stage-wise candidates
+    /// `S ∪ {f}` by adding one per-feature distance plane to the parent's
+    /// memoized matrix — O(N²) per miss instead of O(N²·|S|) — while
+    /// coordinate-based detectors fall back transparently. `capacity`
+    /// bounds residency: at most `capacity` subspace matrices plus
+    /// `capacity` feature planes, each `n² × 8` bytes.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    #[must_use]
+    pub fn with_incremental_distances(mut self, capacity: usize) -> Self {
+        self.incremental = Some(Arc::new(IncrementalDistances::new(capacity)));
+        self
+    }
+
+    /// The engine's incremental-distance memo, when enabled.
+    #[must_use]
+    pub fn incremental_distances(&self) -> Option<&Arc<IncrementalDistances>> {
+        self.incremental.as_ref()
     }
 
     /// The engine's dataset.
@@ -230,7 +255,12 @@ impl<'a> ExplanationEngine<'a> {
     /// to (and profiting from) the engine's cache.
     #[must_use]
     pub fn scorer(&self) -> SubspaceScorer<'a> {
-        SubspaceScorer::with_cache(self.dataset, self.detector, Arc::clone(&self.cache))
+        let scorer =
+            SubspaceScorer::with_cache(self.dataset, self.detector, Arc::clone(&self.cache));
+        match &self.incremental {
+            Some(inc) => scorer.with_incremental(Arc::clone(inc)),
+            None => scorer,
+        }
     }
 
     /// Executes `spec` with `explainer`: one pass per requested
@@ -458,6 +488,30 @@ mod unit_tests {
         assert_eq!(stats.peak_cache_entries, 6);
         assert_eq!(engine.cache().stats().evaluations, 6);
         assert_eq!(run.total_evaluations(), 6);
+    }
+
+    #[test]
+    fn incremental_distances_preserve_explanations() {
+        let (ds, pois) = planted();
+        let lof = Lof::new(10).unwrap();
+        let base = ExplanationEngine::new(&ds, &lof)
+            .run(&beam(), &RunSpec::new(pois.clone(), [2usize, 3]));
+        let engine = ExplanationEngine::new(&ds, &lof).with_incremental_distances(16);
+        let fast = engine.run(&beam(), &RunSpec::new(pois, [2usize, 3]));
+        // Distance-path scores agree with the projection path to rounding
+        // (the blocked kernel reassociates arithmetic), so the *selected*
+        // subspaces — the explanation — must be identical.
+        for (a, b) in base.dims.iter().zip(&fast.dims) {
+            for (p, ranked) in &a.explanations {
+                assert_eq!(ranked.subspaces(), b.explanations[p].subspaces());
+            }
+        }
+        let inc = engine.incremental_distances().expect("memo enabled");
+        let stats = inc.stats();
+        assert!(
+            stats.incremental_builds > 0,
+            "beam's stage-wise extensions must hit the incremental path: {stats:?}"
+        );
     }
 
     #[test]

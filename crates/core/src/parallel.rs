@@ -1,192 +1,10 @@
-//! Minimal fork-join parallel map over a slice, built on scoped threads
-//! and `crossbeam` queues/channels.
+//! Re-export of the [`anomex_parallel`] fork-join map.
 //!
-//! Subspace search is embarrassingly parallel at the candidate level
-//! (each candidate is scored independently), so a chunked work-stealing
-//! map is all the framework needs — no external thread-pool dependency.
+//! The implementation used to live here; it moved into its own
+//! bottom-layer crate so the detectors' per-row kernels (kNN scans,
+//! ABOD variance, iForest path lengths) can share the same worker pool
+//! discipline — and, crucially, the same [`is_nested`] guard — as the
+//! explainer-level fan-out in this crate. Existing `anomex_core::parallel`
+//! paths keep working unchanged.
 
-use crossbeam::channel;
-use crossbeam::queue::SegQueue;
-use std::cell::Cell;
-
-thread_local! {
-    /// Set for the lifetime of a [`par_map`] worker thread. A nested
-    /// `par_map` call from such a thread would spawn workers × workers
-    /// threads (e.g. `score_batch` inside an explainer that is itself
-    /// fanned out per point), so nested calls detect the flag and run
-    /// sequentially on the worker instead.
-    static INSIDE_PAR_WORKER: Cell<bool> = const { Cell::new(false) };
-}
-
-/// Whether the current thread is already a [`par_map`] worker — i.e. a
-/// `par_map` call here would nest.
-#[must_use]
-pub fn is_nested() -> bool {
-    INSIDE_PAR_WORKER.with(Cell::get)
-}
-
-/// Number of worker threads used by [`par_map`]: all available cores,
-/// capped at the item count.
-fn worker_count(items: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    cores.min(items).max(1)
-}
-
-/// Applies `f` to every item, in parallel, preserving input order in the
-/// output. `f` runs on multiple threads, so it must be `Sync`.
-///
-/// Items are pulled in small batches from a shared queue, which balances
-/// workloads whose per-item cost varies wildly (e.g. scoring 2d vs 5d
-/// subspaces).
-///
-/// ```
-/// use anomex_core::parallel::par_map;
-/// let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9, 16]);
-/// ```
-pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = worker_count(n);
-    if workers == 1 || n == 1 || is_nested() {
-        return items.iter().map(&f).collect();
-    }
-
-    // Chunked index queue: batches amortize queue traffic while keeping
-    // load balance.
-    let batch = (n / (workers * 8)).max(1);
-    let queue: SegQueue<std::ops::Range<usize>> = SegQueue::new();
-    let mut start = 0;
-    while start < n {
-        let end = (start + batch).min(n);
-        queue.push(start..end);
-        start = end;
-    }
-
-    let (tx, rx) = channel::unbounded::<Vec<(usize, U)>>();
-    let queue_ref = &queue;
-    let f_ref = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                INSIDE_PAR_WORKER.with(|flag| flag.set(true));
-                let mut local: Vec<(usize, U)> = Vec::new();
-                while let Some(range) = queue_ref.pop() {
-                    for i in range {
-                        local.push((i, f_ref(&items[i])));
-                    }
-                }
-                // A disconnected receiver is impossible here: `rx` lives
-                // until after the scope joins.
-                let _ = tx.send(local);
-            });
-        }
-        drop(tx);
-    });
-
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    for local in rx.try_iter() {
-        for (i, v) in local {
-            debug_assert!(out[i].is_none(), "index {i} produced twice");
-            out[i] = Some(v);
-        }
-    }
-    out.into_iter()
-        .map(|o| o.expect("every index produced exactly once"))
-        .collect()
-}
-
-#[cfg(test)]
-mod unit_tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<usize> = (0..1000).collect();
-        let out = par_map(&items, |&x| x * 2);
-        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_and_single() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(par_map(&empty, |&x| x).is_empty());
-        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn runs_every_item_exactly_once() {
-        let count = AtomicUsize::new(0);
-        let items: Vec<usize> = (0..357).collect();
-        let out = par_map(&items, |&x| {
-            count.fetch_add(1, Ordering::Relaxed);
-            x
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 357);
-        assert_eq!(out.len(), 357);
-    }
-
-    #[test]
-    fn works_with_non_default_types() {
-        #[derive(Debug, PartialEq)]
-        struct NoDefault(String);
-        let items = vec![1, 2, 3];
-        let out = par_map(&items, |&x| NoDefault(format!("v{x}")));
-        assert_eq!(out[2], NoDefault("v3".into()));
-    }
-
-    #[test]
-    fn nested_par_map_runs_sequentially() {
-        // Each inner par_map must stay on the worker thread that called
-        // it — nesting would otherwise oversubscribe the machine with
-        // workers × workers threads.
-        let outer: Vec<usize> = (0..4).collect();
-        let reports = par_map(&outer, |_| {
-            let inner: Vec<usize> = (0..16).collect();
-            let ids = par_map(&inner, |_| std::thread::current().id());
-            let first = ids[0];
-            ids.iter().all(|&id| id == first)
-        });
-        assert!(
-            reports.iter().all(|&on_one_thread| on_one_thread),
-            "inner par_map escaped its worker thread"
-        );
-    }
-
-    #[test]
-    fn nesting_flag_is_only_set_on_workers() {
-        assert!(!is_nested(), "caller thread must not be marked as worker");
-        let observed = par_map(&[0usize, 1, 2, 3], |_| is_nested());
-        // On a multi-core machine the items run on flagged workers; on a
-        // single core par_map degenerates to the caller's thread.
-        let multicore = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
-        if multicore {
-            assert!(observed.iter().all(|&flagged| flagged));
-        }
-        assert!(!is_nested(), "flag must not leak back to the caller");
-    }
-
-    #[test]
-    fn uneven_workloads_balance() {
-        // Mix trivially cheap and artificially expensive items.
-        let items: Vec<u64> = (0..64).collect();
-        let out = par_map(&items, |&x| {
-            if x % 7 == 0 {
-                (0..50_000u64).fold(x, |a, b| a.wrapping_add(b % 13))
-            } else {
-                x
-            }
-        });
-        assert_eq!(out.len(), 64);
-        assert_eq!(out[1], 1);
-    }
-}
+pub use anomex_parallel::{is_nested, par_chunk_flat_map, par_map};

@@ -17,11 +17,17 @@
 
 use crate::cache::{Fetch, ScoreCache};
 use crate::parallel::par_map;
-use anomex_dataset::{Dataset, Subspace};
+use anomex_dataset::{Dataset, IncrementalDistances, Subspace};
 use anomex_detectors::zscore::standardize_scores;
 use anomex_detectors::Detector;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Tri-state memo of whether the scorer's detector supports the
+/// distance-only scoring path (`score_from_sq_dists`).
+const DIST_UNKNOWN: u8 = 0;
+const DIST_SUPPORTED: u8 = 1;
+const DIST_UNSUPPORTED: u8 = 2;
 
 /// Caching subspace scorer binding one dataset to one detector.
 ///
@@ -33,6 +39,13 @@ pub struct SubspaceScorer<'a> {
     dataset: &'a Dataset,
     detector: &'a dyn Detector,
     cache: Option<Arc<ScoreCache>>,
+    /// Optional incremental pairwise-distance memo (see
+    /// [`SubspaceScorer::with_incremental`]).
+    incremental: Option<Arc<IncrementalDistances>>,
+    /// Whether `detector` accepts the distance-only path; discovered on
+    /// the first miss so unsupported detectors (iForest, LODA) pay the
+    /// O(N²) matrix build at most once.
+    dist_support: AtomicU8,
     evaluations: AtomicUsize,
     cache_hits: AtomicUsize,
     standardize: bool,
@@ -62,10 +75,28 @@ impl<'a> SubspaceScorer<'a> {
             dataset,
             detector,
             cache: Some(cache),
+            incremental: None,
+            dist_support: AtomicU8::new(DIST_UNKNOWN),
             evaluations: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             standardize: true,
         }
+    }
+
+    /// Attaches an incremental pairwise-distance memo
+    /// ([`IncrementalDistances`]): score-cache misses on detectors that
+    /// support the distance-only path (LOF, kNN-distance, Fast ABOD)
+    /// then reuse memoized per-feature distance contributions instead of
+    /// re-scanning coordinates — a stage-wise search extending `S` to
+    /// `S ∪ {f}` pays O(N²) per miss instead of O(N²·|S|). Detectors
+    /// that need raw coordinates fall back to the projection path
+    /// transparently. The memo may be shared by several scorers over the
+    /// **same dataset** (it stores distances, which are
+    /// detector-independent).
+    #[must_use]
+    pub fn with_incremental(mut self, distances: Arc<IncrementalDistances>) -> Self {
+        self.incremental = Some(distances);
+        self
     }
 
     /// Disables the per-subspace z-score standardization (paper §2.2),
@@ -88,6 +119,8 @@ impl<'a> SubspaceScorer<'a> {
             dataset,
             detector,
             cache: None,
+            incremental: None,
+            dist_support: AtomicU8::new(DIST_UNKNOWN),
             evaluations: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             standardize: true,
@@ -194,14 +227,39 @@ impl<'a> SubspaceScorer<'a> {
     }
 
     fn compute(&self, subspace: &Subspace) -> Vec<f64> {
-        let projected = self.dataset.project(subspace);
-        let raw = self.detector.score_all(&projected);
+        let raw = self
+            .compute_from_distances(subspace)
+            .unwrap_or_else(|| self.detector.score_all(&self.dataset.project(subspace)));
         debug_assert_eq!(raw.len(), self.dataset.n_rows());
         if self.standardize {
             standardize_scores(&raw)
         } else {
             raw
         }
+    }
+
+    /// The distance-only scoring path: `Some(raw scores)` when an
+    /// incremental memo is attached and the detector supports scoring
+    /// from pairwise distances, `None` otherwise.
+    fn compute_from_distances(&self, subspace: &Subspace) -> Option<Vec<f64>> {
+        let incremental = self.incremental.as_ref()?;
+        if self.dist_support.load(Ordering::Relaxed) == DIST_UNSUPPORTED {
+            return None;
+        }
+        if self.dataset.n_rows() < 2 {
+            return None; // kNN-style detectors need ≥ 2 rows either way
+        }
+        let dists = incremental.sq_dists(self.dataset, subspace);
+        let raw = self.detector.score_from_sq_dists(&dists);
+        self.dist_support.store(
+            if raw.is_some() {
+                DIST_SUPPORTED
+            } else {
+                DIST_UNSUPPORTED
+            },
+            Ordering::Relaxed,
+        );
+        raw
     }
 }
 
@@ -352,5 +410,63 @@ mod unit_tests {
         let lof = Lof::new(5).unwrap();
         let scorer = SubspaceScorer::new(&ds, &lof);
         let _ = scorer.scores(&Subspace::new(Vec::<usize>::new()));
+    }
+
+    #[test]
+    fn incremental_distance_path_matches_projection_path() {
+        // Continuous random data: no distance near-ties, so both paths
+        // select identical neighbours and scores agree to rounding.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let ds = Dataset::from_rows(
+            (0..120)
+                .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
+                .collect::<Vec<Vec<f64>>>(),
+        )
+        .unwrap();
+        let lof = Lof::new(5).unwrap();
+        let plain = SubspaceScorer::new(&ds, &lof);
+        let inc = Arc::new(IncrementalDistances::new(8));
+        let fast = SubspaceScorer::new(&ds, &lof).with_incremental(Arc::clone(&inc));
+        // A stage-wise chain: each child extends its parent by the
+        // highest feature, so the memo serves it incrementally.
+        for s in [
+            Subspace::new([0usize]),
+            Subspace::new([0usize, 1]),
+            Subspace::new([0usize, 1, 2]),
+        ] {
+            let a = plain.scores(&s);
+            let b = fast.scores(&s);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-6, "{s}: {x} vs {y}");
+            }
+        }
+        assert!(
+            inc.stats().incremental_builds >= 1,
+            "chain must reuse the parent matrix"
+        );
+    }
+
+    #[test]
+    fn incremental_scorer_falls_back_for_coordinate_detectors() {
+        use anomex_detectors::IsolationForest;
+        let ds = toy();
+        let forest = IsolationForest::builder()
+            .trees(10)
+            .repetitions(1)
+            .seed(1)
+            .build()
+            .unwrap();
+        let plain = SubspaceScorer::new(&ds, &forest);
+        let inc = Arc::new(IncrementalDistances::new(4));
+        let fast = SubspaceScorer::new(&ds, &forest).with_incremental(Arc::clone(&inc));
+        let s = Subspace::new([0usize, 1]);
+        assert_eq!(*plain.scores(&s), *fast.scores(&s));
+        let _ = fast.scores(&Subspace::new([1usize, 2]));
+        // iForest needs coordinates: only the probing first miss builds a
+        // distance matrix; later misses skip the memo entirely.
+        let stats = inc.stats();
+        assert_eq!(stats.full_builds + stats.incremental_builds, 1);
     }
 }

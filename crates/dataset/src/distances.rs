@@ -1,0 +1,363 @@
+//! Incremental pairwise squared-distance matrices for subspace search.
+//!
+//! Stage-wise explorations (Beam, RefOut refinement) score chains of
+//! subspaces `S ∪ {f}` that differ by a single feature. Squared
+//! Euclidean distances decompose per feature —
+//! `‖a_S − b_S‖² = Σ_{f ∈ S} (a_f − b_f)²` — so the pairwise distance
+//! matrix of `S ∪ {f}` is the matrix of `S` plus the *per-feature
+//! contribution plane* of `f`. [`IncrementalDistances`] memoizes both
+//! the per-feature planes and recently built subspace matrices (bounded
+//! FIFO residency), turning the O(N²·|S|) distance recomputation of a
+//! cache miss into an O(N²) plane add whenever the canonical parent of
+//! the requested subspace is still resident.
+//!
+//! **Determinism.** A matrix's values never depend on *how* it was
+//! built: both the full build and the incremental build fold the
+//! feature planes in ascending feature order (the incremental path only
+//! extends the parent `S \ {max(S)}`, whose own fold is the ascending
+//! prefix), so the floating-point result is bit-identical either way —
+//! cache evictions can change cost, never scores.
+
+use crate::dataset::Dataset;
+use crate::subspace::Subspace;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// A dense `n × n` matrix of pairwise squared Euclidean distances
+/// (row-major, zero diagonal, symmetric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqDistMatrix {
+    data: Vec<f64>,
+    n: usize,
+}
+
+impl SqDistMatrix {
+    /// Wraps a row-major `n × n` buffer of squared distances.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    #[must_use]
+    pub fn new(data: Vec<f64>, n: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            n * n,
+            "buffer length {} does not match {n}x{n}",
+            data.len()
+        );
+        SqDistMatrix { data, n }
+    }
+
+    /// Number of rows (= columns).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// The squared distances of row `i` to every row, as a slice of
+    /// length `n_rows` — directly consumable by k-smallest selection.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The squared distance between rows `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+}
+
+/// Telemetry of an [`IncrementalDistances`] cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalDistancesStats {
+    /// Requests answered by a resident subspace matrix.
+    pub matrix_hits: usize,
+    /// Matrices built as parent-matrix + one feature plane (the fast
+    /// incremental path).
+    pub incremental_builds: usize,
+    /// Matrices built by folding every feature plane from scratch.
+    pub full_builds: usize,
+    /// Feature planes computed (a plane cache miss).
+    pub planes_computed: usize,
+}
+
+/// Bounded caches shared under one lock; see [`IncrementalDistances`].
+struct Caches {
+    planes: HashMap<u16, Arc<Vec<f64>>>,
+    plane_order: VecDeque<u16>,
+    matrices: HashMap<Subspace, Arc<SqDistMatrix>>,
+    matrix_order: VecDeque<Subspace>,
+    stats: IncrementalDistancesStats,
+}
+
+/// A bounded, thread-safe memo of per-feature distance planes and
+/// per-subspace distance matrices over one dataset — see the
+/// [module docs](self).
+///
+/// The cache itself stores no dataset reference: the caller passes the
+/// dataset to [`IncrementalDistances::sq_dists`] and is responsible for
+/// always pairing one cache with one dataset (the same contract as the
+/// score cache). Memory residency is bounded by `capacity` matrices
+/// *and* `capacity` planes, each `n² × 8` bytes; evictions are FIFO and
+/// only ever cost recomputation, never change values.
+pub struct IncrementalDistances {
+    capacity: usize,
+    inner: Mutex<Caches>,
+}
+
+impl IncrementalDistances {
+    /// A cache keeping at most `capacity ≥ 1` subspace matrices and
+    /// `capacity` feature planes resident.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        IncrementalDistances {
+            capacity,
+            inner: Mutex::new(Caches {
+                planes: HashMap::new(),
+                plane_order: VecDeque::new(),
+                matrices: HashMap::new(),
+                matrix_order: VecDeque::new(),
+                stats: IncrementalDistancesStats::default(),
+            }),
+        }
+    }
+
+    /// The configured residency bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the cache telemetry.
+    ///
+    /// # Panics
+    /// Panics if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn stats(&self) -> IncrementalDistancesStats {
+        self.inner.lock().expect("distance cache lock poisoned").stats
+    }
+
+    /// The pairwise squared-distance matrix of `dataset` projected onto
+    /// `subspace`, built incrementally from the canonical parent
+    /// `subspace \ {max feature}` when that matrix is still resident.
+    ///
+    /// Values are bit-deterministic regardless of cache state (see the
+    /// [module docs](self)). The internal lock is held for the duration
+    /// of a build: concurrent callers requesting cold subspaces
+    /// serialize here, which is acceptable because the score cache above
+    /// this layer already deduplicates concurrent misses per subspace.
+    ///
+    /// # Panics
+    /// Panics when `subspace` is empty or references a feature out of
+    /// bounds, or if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn sq_dists(&self, dataset: &Dataset, subspace: &Subspace) -> Arc<SqDistMatrix> {
+        assert!(!subspace.is_empty(), "cannot build distances of the empty subspace");
+        let n = dataset.n_rows();
+        let mut inner = self.inner.lock().expect("distance cache lock poisoned");
+
+        if let Some(m) = inner.matrices.get(subspace) {
+            inner.stats.matrix_hits += 1;
+            return Arc::clone(m);
+        }
+
+        let features = subspace.features();
+        let last = features[features.len() - 1];
+        let parent = if features.len() > 1 {
+            Some(Subspace::new(
+                features[..features.len() - 1].iter().map(|&f| f as usize),
+            ))
+        } else {
+            None
+        };
+
+        let base: Option<Vec<f64>> = parent
+            .as_ref()
+            .and_then(|p| inner.matrices.get(p))
+            .map(|m| m.data.clone());
+        let mut data: Vec<f64> = match base {
+            Some(data) => {
+                // Incremental: parent fold (ascending prefix) + last plane.
+                inner.stats.incremental_builds += 1;
+                data
+            }
+            None => {
+                // Full build: fold every plane in ascending feature order.
+                let mut data = vec![0.0f64; n * n];
+                for &f in &features[..features.len() - 1] {
+                    let plane = Self::plane(&mut inner, dataset, f, self.capacity);
+                    add_assign(&mut data, &plane);
+                }
+                inner.stats.full_builds += 1;
+                data
+            }
+        };
+        let last_plane = Self::plane(&mut inner, dataset, last, self.capacity);
+        add_assign(&mut data, &last_plane);
+
+        let matrix = Arc::new(SqDistMatrix::new(data, n));
+        inner.matrices.insert(subspace.clone(), Arc::clone(&matrix));
+        inner.matrix_order.push_back(subspace.clone());
+        while inner.matrix_order.len() > self.capacity {
+            if let Some(old) = inner.matrix_order.pop_front() {
+                inner.matrices.remove(&old);
+            }
+        }
+        matrix
+    }
+
+    /// The per-feature squared-difference plane of feature `f`
+    /// (`plane[i * n + j] = (x_if − x_jf)²`), memoized FIFO-bounded.
+    fn plane(inner: &mut Caches, dataset: &Dataset, f: u16, capacity: usize) -> Arc<Vec<f64>> {
+        if let Some(p) = inner.planes.get(&f) {
+            return Arc::clone(p);
+        }
+        let col = dataset.column(f as usize);
+        let n = col.len();
+        let mut plane = vec![0.0f64; n * n];
+        for i in 0..n {
+            let ci = col[i];
+            let row = &mut plane[i * n..(i + 1) * n];
+            for (j, out) in row.iter_mut().enumerate() {
+                let d = ci - col[j];
+                *out = d * d;
+            }
+        }
+        let plane = Arc::new(plane);
+        inner.planes.insert(f, Arc::clone(&plane));
+        inner.plane_order.push_back(f);
+        while inner.plane_order.len() > capacity {
+            if let Some(old) = inner.plane_order.pop_front() {
+                inner.planes.remove(&old);
+            }
+        }
+        inner.stats.planes_computed += 1;
+        plane
+    }
+}
+
+/// Elementwise `out += plane`.
+fn add_assign(out: &mut [f64], plane: &[f64]) {
+    debug_assert_eq!(out.len(), plane.len());
+    for (o, &p) in out.iter_mut().zip(plane) {
+        *o += p;
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::view::sq_dist;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![0.0, 1.0, 5.0],
+            vec![1.0, 0.0, 2.0],
+            vec![2.0, 2.0, 1.0],
+            vec![0.5, 0.5, 0.5],
+        ])
+        .unwrap()
+    }
+
+    fn brute(ds: &Dataset, s: &Subspace) -> Vec<f64> {
+        let m = ds.project(s);
+        let n = m.n_rows();
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                out[i * n + j] = sq_dist(m.row(i), m.row(j));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_projection_distances() {
+        let ds = toy();
+        let inc = IncrementalDistances::new(8);
+        for s in [
+            Subspace::new([0usize]),
+            Subspace::new([0usize, 1]),
+            Subspace::new([0usize, 1, 2]),
+            Subspace::new([1usize, 2]),
+        ] {
+            let got = inc.sq_dists(&ds, &s);
+            let want = brute(&ds, &s);
+            assert_eq!(got.n_rows(), 4);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!(
+                        (got.get(i, j) - want[i * 4 + j]).abs() < 1e-12,
+                        "{s:?} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_path_is_bit_identical_to_full_build() {
+        let ds = toy();
+        let s01 = Subspace::new([0usize, 1]);
+        let s012 = Subspace::new([0usize, 1, 2]);
+
+        // Warm parent → child built incrementally.
+        let warm = IncrementalDistances::new(8);
+        let _ = warm.sq_dists(&ds, &s01);
+        let via_parent = warm.sq_dists(&ds, &s012);
+        assert_eq!(warm.stats().incremental_builds, 1);
+
+        // Cold cache → child folded from scratch.
+        let cold = IncrementalDistances::new(8);
+        let from_scratch = cold.sq_dists(&ds, &s012);
+        assert_eq!(cold.stats().incremental_builds, 0);
+
+        assert_eq!(*via_parent, *from_scratch, "fold order must match bit-for-bit");
+    }
+
+    #[test]
+    fn hits_and_eviction() {
+        let ds = toy();
+        let inc = IncrementalDistances::new(1);
+        let s0 = Subspace::new([0usize]);
+        let s1 = Subspace::new([1usize]);
+        let a = inc.sq_dists(&ds, &s0);
+        let b = inc.sq_dists(&ds, &s0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(inc.stats().matrix_hits, 1);
+        // Capacity 1: requesting another subspace evicts the first…
+        let _ = inc.sq_dists(&ds, &s1);
+        let c = inc.sq_dists(&ds, &s0);
+        // …so this rebuild is value-identical but not pointer-identical.
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*a, *c);
+    }
+
+    #[test]
+    fn plane_memoization_counts() {
+        let ds = toy();
+        let inc = IncrementalDistances::new(8);
+        let _ = inc.sq_dists(&ds, &Subspace::new([0usize, 1]));
+        let _ = inc.sq_dists(&ds, &Subspace::new([0usize, 2]));
+        // Features 0, 1, 2 each computed once; feature 0 reused.
+        assert_eq!(inc.stats().planes_computed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty subspace")]
+    fn rejects_empty_subspace() {
+        let ds = toy();
+        let inc = IncrementalDistances::new(2);
+        let _ = inc.sq_dists(&ds, &Subspace::new(Vec::<usize>::new()));
+    }
+}

@@ -28,12 +28,14 @@
 
 pub mod csv;
 pub mod dataset;
+pub mod distances;
 pub mod gen;
 pub mod ground_truth;
 pub mod subspace;
 pub mod view;
 
 pub use dataset::Dataset;
+pub use distances::{IncrementalDistances, SqDistMatrix};
 pub use ground_truth::GroundTruth;
 pub use subspace::Subspace;
 pub use view::ProjectedMatrix;

@@ -67,6 +67,29 @@ impl ProjectedMatrix {
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
+
+    /// Gathers the matrix into `out` in **column-major** order
+    /// (`out[t * n_rows + i]` = row `i`, feature `t`), reusing `out`'s
+    /// allocation. Distance kernels iterate one feature over *all* rows
+    /// at a time; the gathered layout makes that inner loop contiguous.
+    pub fn gather_columns_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n_rows * self.dim, 0.0);
+        for (i, row) in self.rows().enumerate() {
+            for (t, &v) in row.iter().enumerate() {
+                out[t * self.n_rows + i] = v;
+            }
+        }
+    }
+
+    /// The squared Euclidean norm of every row, written into `sq_norms`
+    /// (reusing its allocation). Together with a pairwise dot product
+    /// this yields squared distances via the norm trick
+    /// `‖a − b‖² = ‖a‖² + ‖b‖² − 2⟨a, b⟩`.
+    pub fn sq_norms_into(&self, sq_norms: &mut Vec<f64>) {
+        sq_norms.clear();
+        sq_norms.extend(self.rows().map(|r| dot(r, r)));
+    }
 }
 
 /// Squared Euclidean distance between two equal-length slices.
@@ -112,6 +135,17 @@ mod unit_tests {
     #[should_panic(expected = "does not match")]
     fn rejects_mismatched_buffer() {
         let _ = ProjectedMatrix::new(vec![1.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn column_gather_and_norms() {
+        let m = ProjectedMatrix::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let mut cols = vec![99.0]; // stale content must be discarded
+        m.gather_columns_into(&mut cols);
+        assert_eq!(cols, vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        let mut norms = Vec::new();
+        m.sq_norms_into(&mut norms);
+        assert_eq!(norms, vec![5.0, 25.0, 61.0]);
     }
 
     #[test]

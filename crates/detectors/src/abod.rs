@@ -13,11 +13,18 @@
 //! through `−ln(var + ε)` so that, like every other [`Detector`], larger
 //! scores mean more outlying.
 
+use crate::kernels::knn_table_from_sq_dists;
 use crate::knn::{knn_table_with, KnnBackend};
 use crate::{Detector, DetectorError, Result};
+use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::view::dot;
 use anomex_dataset::ProjectedMatrix;
+use anomex_parallel::par_chunk_flat_map;
 use anomex_stats::descriptive::OnlineMoments;
+
+/// Rows per parallel work item of the variance loop (each chunk reuses
+/// one flat scratch allocation across its rows).
+const CHUNK_ROWS: usize = 32;
 
 /// Numerical floor so the log transform stays finite when a point's
 /// angle spectrum is degenerate.
@@ -68,46 +75,109 @@ impl FastAbod {
 
     /// The raw ABOD variance of each point (small = outlying), before the
     /// monotone `−ln` mapping. Exposed for diagnostics and tests.
+    ///
+    /// Rows are scored in parallel chunks; each chunk reuses one flat
+    /// `k × d` difference buffer, so the hot loop performs no per-row
+    /// allocation. Per-row outputs are independent of the thread
+    /// schedule, so scores are deterministic.
     #[must_use]
     pub fn raw_variance(&self, data: &ProjectedMatrix) -> Vec<f64> {
         let n = data.n_rows();
+        let dim = data.dim();
         let knn = knn_table_with(data, self.k, self.backend);
-        let mut out = Vec::with_capacity(n);
-        let mut diffs: Vec<Vec<f64>> = Vec::new();
-        for p in 0..n {
-            let rp = data.row(p);
-            diffs.clear();
-            diffs.extend(knn.neighbors[p].iter().map(|&o| {
-                data.row(o)
-                    .iter()
-                    .zip(rp)
-                    .map(|(a, b)| a - b)
-                    .collect::<Vec<f64>>()
-            }));
-            // ABOD(p) = Var over pairs (x1, x2) of
-            //   ⟨x1−p, x2−p⟩ / (‖x1−p‖² · ‖x2−p‖²)
-            let norms_sq: Vec<f64> = diffs.iter().map(|d| dot(d, d)).collect();
-            let mut moments = OnlineMoments::new();
-            for i in 0..diffs.len() {
-                if norms_sq[i] == 0.0 {
-                    continue; // duplicate of p: angle undefined
-                }
-                for j in i + 1..diffs.len() {
-                    if norms_sq[j] == 0.0 {
-                        continue;
+        let knn_ref = &knn;
+        par_chunk_flat_map(n, CHUNK_ROWS, |start, end| {
+            let k = knn_ref.k();
+            // Flat k × d difference matrix: diffs[slot * dim ..] = x_o − p.
+            let mut diffs = vec![0.0f64; k * dim];
+            let mut norms_sq = vec![0.0f64; k];
+            let mut out = Vec::with_capacity(end - start);
+            for p in start..end {
+                let rp = data.row(p);
+                for (slot, &o) in knn_ref.neighbors(p).iter().enumerate() {
+                    let ro = data.row(o);
+                    let seg = &mut diffs[slot * dim..(slot + 1) * dim];
+                    for (t, dst) in seg.iter_mut().enumerate() {
+                        *dst = ro[t] - rp[t];
                     }
-                    let v = dot(&diffs[i], &diffs[j]) / (norms_sq[i] * norms_sq[j]);
-                    moments.push(v);
                 }
+                for slot in 0..k {
+                    let seg = &diffs[slot * dim..(slot + 1) * dim];
+                    norms_sq[slot] = dot(seg, seg);
+                }
+                // ABOD(p) = Var over pairs (x1, x2) of
+                //   ⟨x1−p, x2−p⟩ / (‖x1−p‖² · ‖x2−p‖²)
+                let mut moments = OnlineMoments::new();
+                for i in 0..k {
+                    if norms_sq[i] == 0.0 {
+                        continue; // duplicate of p: angle undefined
+                    }
+                    let di = &diffs[i * dim..(i + 1) * dim];
+                    for j in i + 1..k {
+                        if norms_sq[j] == 0.0 {
+                            continue;
+                        }
+                        let dj = &diffs[j * dim..(j + 1) * dim];
+                        let v = dot(di, dj) / (norms_sq[i] * norms_sq[j]);
+                        moments.push(v);
+                    }
+                }
+                out.push(finish_variance(moments));
             }
-            let var = if moments.count() < 2 {
-                DEGENERATE_VAR
-            } else {
-                moments.population_variance()
-            };
-            out.push(var);
-        }
-        out
+            out
+        })
+    }
+
+    /// The raw ABOD variance from a precomputed pairwise squared-distance
+    /// matrix. Inner products are recovered through the polarization
+    /// identity `⟨a−p, b−p⟩ = (d²(p,a) + d²(p,b) − d²(a,b)) / 2`, so no
+    /// coordinates are needed — the consumer side of the incremental
+    /// subspace-distance path. Agrees with [`FastAbod::raw_variance`] to
+    /// rounding (the identity reassociates the arithmetic).
+    #[must_use]
+    pub fn raw_variance_from_sq_dists(&self, dists: &SqDistMatrix) -> Vec<f64> {
+        let n = dists.n_rows();
+        let knn = knn_table_from_sq_dists(dists, self.k);
+        let knn_ref = &knn;
+        par_chunk_flat_map(n, CHUNK_ROWS, |start, end| {
+            let k = knn_ref.k();
+            let mut sqd = vec![0.0f64; k];
+            let mut out = Vec::with_capacity(end - start);
+            for p in start..end {
+                let nbrs = knn_ref.neighbors(p);
+                let row = dists.row(p);
+                for (slot, &o) in nbrs.iter().enumerate() {
+                    sqd[slot] = row[o];
+                }
+                let mut moments = OnlineMoments::new();
+                for i in 0..k {
+                    if sqd[i] == 0.0 {
+                        continue; // duplicate of p: angle undefined
+                    }
+                    for j in i + 1..k {
+                        if sqd[j] == 0.0 {
+                            continue;
+                        }
+                        let inner = 0.5 * (sqd[i] + sqd[j] - dists.get(nbrs[i], nbrs[j]));
+                        let v = inner / (sqd[i] * sqd[j]);
+                        moments.push(v);
+                    }
+                }
+                out.push(finish_variance(moments));
+            }
+            out
+        })
+    }
+}
+
+/// Collapses the accumulated angle moments of one point into its
+/// variance, substituting [`DEGENERATE_VAR`] when fewer than two valid
+/// neighbour pairs exist.
+fn finish_variance(moments: OnlineMoments) -> f64 {
+    if moments.count() < 2 {
+        DEGENERATE_VAR
+    } else {
+        moments.population_variance()
     }
 }
 
@@ -121,6 +191,15 @@ impl Detector for FastAbod {
 
     fn name(&self) -> &'static str {
         "FastABOD"
+    }
+
+    fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        Some(
+            self.raw_variance_from_sq_dists(dists)
+                .into_iter()
+                .map(|v| -(v.max(VAR_FLOOR)).ln())
+                .collect(),
+        )
     }
 }
 

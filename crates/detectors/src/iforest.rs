@@ -14,9 +14,13 @@
 
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::ProjectedMatrix;
+use anomex_parallel::par_chunk_flat_map;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+
+/// Rows per parallel work item of the path-length scoring loop.
+const CHUNK_ROWS: usize = 64;
 
 /// Euler–Mascheroni constant (for the harmonic-number approximation).
 const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
@@ -254,29 +258,41 @@ impl IsolationForest {
     }
 
     /// Scores one forest construction (one repetition).
+    ///
+    /// Tree construction stays sequential (the RNG stream defines the
+    /// forest, so build order is part of the detector's determinism);
+    /// the per-row path-length evaluation over the finished forest is
+    /// read-only and fans out across cores. Each row folds its tree
+    /// path lengths in the same ascending tree order as a sequential
+    /// scan, so scores are bit-identical to a serial evaluation.
     fn score_once(&self, data: &ProjectedMatrix, rng: &mut StdRng) -> Vec<f64> {
         let n = data.n_rows();
         let psi = self.subsample.min(n);
         let height_limit = (psi as f64).log2().ceil() as usize;
         let c_psi = average_path_length(psi);
 
-        let mut path_sums = vec![0.0f64; n];
         let mut pool: Vec<usize> = (0..n).collect();
-        for _ in 0..self.trees {
-            pool.shuffle(rng);
-            let sample = &mut pool[..psi];
-            let tree = build_tree(data, sample, height_limit, rng);
-            for (i, sum) in path_sums.iter_mut().enumerate() {
-                *sum += tree.path_length(data.row(i));
-            }
-        }
-        path_sums
-            .into_iter()
-            .map(|s| {
-                let e_h = s / self.trees as f64;
-                2.0f64.powf(-e_h / c_psi)
+        let trees: Vec<Tree> = (0..self.trees)
+            .map(|_| {
+                pool.shuffle(rng);
+                build_tree(data, &mut pool[..psi], height_limit, rng)
             })
-            .collect()
+            .collect();
+
+        let trees_ref = &trees;
+        par_chunk_flat_map(n, CHUNK_ROWS, |start, end| {
+            (start..end)
+                .map(|i| {
+                    let row = data.row(i);
+                    let mut sum = 0.0f64;
+                    for tree in trees_ref {
+                        sum += tree.path_length(row);
+                    }
+                    let e_h = sum / self.trees as f64;
+                    2.0f64.powf(-e_h / c_psi)
+                })
+                .collect()
+        })
     }
 }
 

@@ -1,0 +1,576 @@
+//! Cache-friendly distance kernels shared by the kNN-based detectors.
+//!
+//! The cost model of subspace explanation is dominated by detector
+//! re-scoring across thousands of projections; every score-cache *miss*
+//! lands in an O(N²·d) kNN scan. This module makes that miss path fast:
+//!
+//! * [`GatheredMatrix`] — a column-major gather of the projection plus
+//!   per-row squared norms, the shared read-only input of the kernel;
+//! * [`GatheredMatrix::sq_dists_block_into`] — a blocked pairwise
+//!   squared-distance kernel using the norm trick
+//!   `‖a − b‖² = ‖a‖² + ‖b‖² − 2⟨a, b⟩`, whose inner loops walk
+//!   contiguous columns (auto-vectorizable) and reuse caller scratch
+//!   (zero per-row allocation);
+//! * [`knn_table_blocked`] — the production kNN builder: blocked kernel
+//!   plus parallel row blocks via [`anomex_parallel`];
+//! * [`knn_table_naive`] — the straightforward row-by-row `sq_dist`
+//!   scan, kept as the sequential reference implementation that the
+//!   equivalence property tests and benches compare against;
+//! * [`knn_table_from_sq_dists`] — kNN from a precomputed
+//!   [`SqDistMatrix`] (the incremental subspace-distance path).
+//!
+//! All three kNN builders exclude a row's self-distance *by index*
+//! rather than writing an `f64::INFINITY` sentinel into the distance
+//! buffer, so distance rows stay clean and shareable between kernels.
+//! The production builders select neighbours with a sampled-threshold
+//! scan (`bottom_k_nonneg`): a strided sample picks a cutoff just above
+//! the k-th-smallest quantile, one vectorizable fixed-threshold pass
+//! compacts the few candidates below it, and an exact `select_nth`
+//! finishes on that shortlist (falling back to the reference selection
+//! on the rare sample undershoot). The naive builder keeps the
+//! general-purpose [`bottom_k_asc_excluding`] selection as the
+//! reference. Both produce identical `(value, index)`-ordered results.
+//!
+//! Numerics: the norm trick is algebraically exact but reassociates the
+//! floating-point computation, so blocked distances can differ from the
+//! naive scan by O(ε·‖a‖·‖b‖) — exact zeros for identical rows are
+//! still produced exactly (the cancellation is bitwise), and negative
+//! rounding residue is clamped at 0. The naive and matrix-based paths
+//! accumulate per-feature terms in ascending feature order and agree
+//! bit-for-bit.
+
+use crate::knn::KnnTable;
+use anomex_dataset::distances::SqDistMatrix;
+use anomex_dataset::view::sq_dist;
+use anomex_dataset::ProjectedMatrix;
+use anomex_parallel::par_map;
+use anomex_stats::rank::bottom_k_asc_excluding;
+
+/// Rows per kernel block: the dot-product accumulators of a block
+/// (`BLOCK_ROWS × n`) stay resident while each gathered column streams
+/// through once, amortizing column loads over the block.
+const BLOCK_ROWS: usize = 8;
+
+/// Row blocks per parallel work item (so each worker chunk reuses one
+/// scratch allocation across several blocks).
+const BLOCKS_PER_CHUNK: usize = 4;
+
+/// A column-major gathered copy of a projected matrix plus per-row
+/// squared norms — the shared, read-only input of the blocked kernel.
+pub struct GatheredMatrix {
+    /// Column-major values: `cols[t * n_rows + i]` is row `i`, feature `t`.
+    cols: Vec<f64>,
+    /// `‖row_i‖²` for every row.
+    sq_norms: Vec<f64>,
+    n_rows: usize,
+    dim: usize,
+}
+
+impl GatheredMatrix {
+    /// Gathers `data` (O(N·d), done once per kNN build).
+    #[must_use]
+    pub fn new(data: &ProjectedMatrix) -> Self {
+        let mut cols = Vec::new();
+        data.gather_columns_into(&mut cols);
+        let mut sq_norms = Vec::new();
+        data.sq_norms_into(&mut sq_norms);
+        GatheredMatrix {
+            cols,
+            sq_norms,
+            n_rows: data.n_rows(),
+            dim: data.dim(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The squared norm of every row.
+    #[must_use]
+    pub fn sq_norms(&self) -> &[f64] {
+        &self.sq_norms
+    }
+
+    /// One gathered column.
+    ///
+    /// # Panics
+    /// Panics when `t` is out of bounds.
+    #[must_use]
+    pub fn column(&self, t: usize) -> &[f64] {
+        &self.cols[t * self.n_rows..(t + 1) * self.n_rows]
+    }
+
+    /// Writes the squared distances of rows `i0..i1` to *every* row into
+    /// `out` (`out[(i − i0) * n_rows + j] = ‖row_i − row_j‖²`), via the
+    /// norm trick over contiguous columns. `out` doubles as the
+    /// dot-product accumulator; only its first `(i1 − i0) · n_rows`
+    /// entries are touched. Values are clamped at 0 so rounding residue
+    /// never produces negative squared distances.
+    ///
+    /// # Panics
+    /// Panics when the row range is invalid or `out` is too small.
+    pub fn sq_dists_block_into(&self, i0: usize, i1: usize, out: &mut [f64]) {
+        assert!(i0 <= i1 && i1 <= self.n_rows, "invalid row block {i0}..{i1}");
+        let n = self.n_rows;
+        let rows = i1 - i0;
+        let out = &mut out[..rows * n];
+        out.fill(0.0);
+        // Dot products: out[bi * n + j] = ⟨row_{i0+bi}, row_j⟩.
+        for t in 0..self.dim {
+            let col = self.column(t);
+            for bi in 0..rows {
+                let a = col[i0 + bi];
+                let acc = &mut out[bi * n..(bi + 1) * n];
+                for (accv, &cv) in acc.iter_mut().zip(col) {
+                    *accv += a * cv;
+                }
+            }
+        }
+        // Norm trick + clamp.
+        for bi in 0..rows {
+            let nsq_i = self.sq_norms[i0 + bi];
+            let acc = &mut out[bi * n..(bi + 1) * n];
+            for (accv, &nsq_j) in acc.iter_mut().zip(&self.sq_norms) {
+                *accv = (nsq_i + nsq_j - 2.0 * *accv).max(0.0);
+            }
+        }
+    }
+}
+
+/// Strided sample size used to estimate the selection threshold. With
+/// `n ≥ MIN_SAMPLED_LEN` rows the sample's r-th smallest value sits just
+/// above the `k/n` quantile, so the candidate pass keeps only a few
+/// dozen survivors.
+const SELECT_SAMPLE: usize = 64;
+
+/// Minimum row length for the sampled-threshold path; shorter rows go
+/// straight to the reference selection (a shortlist would not pay for
+/// the sampling pass there).
+const MIN_SAMPLED_LEN: usize = 256;
+
+/// Tombstone for the self-distance entry in the candidate shortlist.
+/// `u64::MAX` is a NaN bit pattern, which the precondition on
+/// [`bottom_k_nonneg`] rules out for real values, and it sorts after
+/// every live candidate.
+const DEAD_CANDIDATE: (u64, usize) = (u64::MAX, usize::MAX);
+
+/// Picks a cutoff for row `xs`: the r-th smallest of a strided
+/// [`SELECT_SAMPLE`]-point sample, with `r` two ranks above the sample
+/// rank of the `k/n` quantile. Deterministic (the sample is a fixed
+/// stride, shifted off the excluded slot) and ≥ the true k-th smallest
+/// with high probability; the caller falls back when it is not.
+fn sampled_threshold(xs: &[f64], k: usize, exclude: usize) -> f64 {
+    let n = xs.len();
+    let stride = n / SELECT_SAMPLE;
+    let mut sample = [0u64; SELECT_SAMPLE];
+    for (s, slot) in sample.iter_mut().enumerate() {
+        let mut j = s * stride;
+        if j == exclude {
+            j += 1;
+        }
+        *slot = xs[j].to_bits();
+    }
+    let r = (SELECT_SAMPLE * (k + 1)).div_ceil(n) + 2;
+    let (_, &mut rth, _) = sample.select_nth_unstable(r - 1);
+    f64::from_bits(rth)
+}
+
+/// The `k` smallest `(value, index)` pairs of `xs` excluding index
+/// `exclude`, ascending with ties broken by index — the same selection
+/// contract as [`bottom_k_asc_excluding`], specialized for squared
+/// distances.
+///
+/// Two-phase: [`sampled_threshold`] picks a cutoff `t` just above the
+/// `k/n` quantile, then one fixed-threshold pass compacts every element
+/// `≤ t` into `scratch` (the gate is a branch-free eight-wide compare,
+/// the compaction a branchless conditional append, so the pass
+/// vectorizes). If at least `k` non-self candidates survive — every
+/// value `≤ t` is among them, so they provably contain the k smallest —
+/// an exact `select_nth` on the shortlist finishes; otherwise the row
+/// falls back to the reference selection. Candidates are keyed on the
+/// raw IEEE bit pattern, which orders identically to `f64::total_cmp`
+/// under a precondition the distance kernels guarantee: **every value
+/// is non-NaN with a clear sign bit** (no negatives, no `-0.0`; `+∞` is
+/// fine). Squared Euclidean distances satisfy this by construction —
+/// sums and products of finite values clamped at `+0.0`.
+fn bottom_k_nonneg(
+    xs: &[f64],
+    k: usize,
+    exclude: usize,
+    scratch: &mut Vec<(u64, usize)>,
+) -> Vec<(f64, usize)> {
+    debug_assert!(
+        xs.iter().all(|v| !v.is_nan() && v.is_sign_positive()),
+        "selection requires non-NaN, sign-positive values"
+    );
+    let n = xs.len();
+    if n < MIN_SAMPLED_LEN || n < 4 * k {
+        return bottom_k_reference(xs, k, exclude);
+    }
+    let t = sampled_threshold(xs, k, exclude);
+    if scratch.len() < n + 8 {
+        scratch.resize(n + 8, DEAD_CANDIDATE);
+    }
+    let mut len = 0usize;
+    let mut groups = xs.chunks_exact(8);
+    let mut base = 0usize;
+    for q in &mut groups {
+        let any = (q[0] <= t)
+            | (q[1] <= t)
+            | (q[2] <= t)
+            | (q[3] <= t)
+            | (q[4] <= t)
+            | (q[5] <= t)
+            | (q[6] <= t)
+            | (q[7] <= t);
+        if any {
+            for (jj, &v) in q.iter().enumerate() {
+                scratch[len] = (v.to_bits(), base + jj);
+                len += usize::from(v <= t);
+            }
+        }
+        base += 8;
+    }
+    for (jj, &v) in groups.remainder().iter().enumerate() {
+        scratch[len] = (v.to_bits(), base + jj);
+        len += usize::from(v <= t);
+    }
+    let hits = &mut scratch[..len];
+    let mut live = len;
+    for h in hits.iter_mut() {
+        if h.1 == exclude {
+            *h = DEAD_CANDIDATE;
+            live -= 1;
+            break;
+        }
+    }
+    if live < k {
+        return bottom_k_reference(xs, k, exclude);
+    }
+    if k < hits.len() {
+        hits.select_nth_unstable(k - 1);
+    }
+    let head = &mut hits[..k];
+    head.sort_unstable();
+    head.iter().map(|&(b, j)| (f64::from_bits(b), j)).collect()
+}
+
+/// The general-purpose selection as `(value, index)` pairs — the small-
+/// row path and sample-undershoot fallback of [`bottom_k_nonneg`].
+fn bottom_k_reference(xs: &[f64], k: usize, exclude: usize) -> Vec<(f64, usize)> {
+    bottom_k_asc_excluding(xs, k, exclude)
+        .into_iter()
+        .map(|j| (xs[j], j))
+        .collect()
+}
+
+/// Selects the `k` nearest neighbours of row `i` from its squared
+/// distances, appending indices and (root) distances to the flat output
+/// vectors. `scratch` is the reusable candidate shortlist.
+fn select_row(
+    sq_dists: &[f64],
+    i: usize,
+    k: usize,
+    neighbors: &mut Vec<usize>,
+    distances: &mut Vec<f64>,
+    scratch: &mut Vec<(u64, usize)>,
+) {
+    let selected = bottom_k_nonneg(sq_dists, k, i, scratch);
+    debug_assert_eq!(selected.len(), k);
+    for (v, j) in selected {
+        distances.push(v.sqrt());
+        neighbors.push(j);
+    }
+}
+
+/// The reference selection: the general-purpose index-excluding
+/// [`bottom_k_asc_excluding`] (an `n`-sized index vector plus
+/// `select_nth` per row), kept on the naive path so the benchmarks
+/// compare the full production kernel — distances *and* selection —
+/// against the straightforward implementation.
+fn select_row_reference(
+    sq_dists: &[f64],
+    i: usize,
+    k: usize,
+    neighbors: &mut Vec<usize>,
+    distances: &mut Vec<f64>,
+) {
+    let idx = bottom_k_asc_excluding(sq_dists, k, i);
+    debug_assert_eq!(idx.len(), k);
+    for &j in &idx {
+        distances.push(sq_dists[j].sqrt());
+    }
+    neighbors.extend(idx);
+}
+
+/// Computes the kNN table with the blocked norm-trick kernel, row
+/// blocks fanned out across cores (deterministic: per-row outputs are
+/// independent of the thread schedule).
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 rows or `k == 0`.
+#[must_use]
+pub fn knn_table_blocked(data: &ProjectedMatrix, k: usize) -> KnnTable {
+    let n = data.n_rows();
+    assert!(n >= 2, "kNN needs at least two rows");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n - 1);
+
+    let gathered = GatheredMatrix::new(data);
+    let gathered_ref = &gathered;
+
+    let chunk = BLOCK_ROWS * BLOCKS_PER_CHUNK;
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(n)))
+        .collect();
+    let parts: Vec<(Vec<usize>, Vec<f64>)> = par_map(&ranges, |&(start, end)| {
+        let mut scratch = vec![0.0f64; BLOCK_ROWS * n];
+        let mut shortlist: Vec<(u64, usize)> = Vec::new();
+        let mut neighbors = Vec::with_capacity((end - start) * k);
+        let mut distances = Vec::with_capacity((end - start) * k);
+        let mut i0 = start;
+        while i0 < end {
+            let i1 = (i0 + BLOCK_ROWS).min(end);
+            gathered_ref.sq_dists_block_into(i0, i1, &mut scratch);
+            for i in i0..i1 {
+                let row = &scratch[(i - i0) * n..(i - i0 + 1) * n];
+                select_row(row, i, k, &mut neighbors, &mut distances, &mut shortlist);
+            }
+            i0 = i1;
+        }
+        (neighbors, distances)
+    });
+
+    let mut neighbors = Vec::with_capacity(n * k);
+    let mut distances = Vec::with_capacity(n * k);
+    for (nb, di) in parts {
+        neighbors.extend(nb);
+        distances.extend(di);
+    }
+    KnnTable::from_flat(neighbors, distances, n, k)
+}
+
+/// Computes the kNN table with the sequential row-by-row [`sq_dist`]
+/// scan — the reference implementation the blocked kernel is tested and
+/// benchmarked against.
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 rows or `k == 0`.
+#[must_use]
+pub fn knn_table_naive(data: &ProjectedMatrix, k: usize) -> KnnTable {
+    let n = data.n_rows();
+    assert!(n >= 2, "kNN needs at least two rows");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n - 1);
+
+    let mut neighbors = Vec::with_capacity(n * k);
+    let mut distances = Vec::with_capacity(n * k);
+    let mut row_dists = vec![0.0f64; n];
+    for i in 0..n {
+        let ri = data.row(i);
+        for (j, dj) in row_dists.iter_mut().enumerate() {
+            *dj = sq_dist(ri, data.row(j));
+        }
+        select_row_reference(&row_dists, i, k, &mut neighbors, &mut distances);
+    }
+    KnnTable::from_flat(neighbors, distances, n, k)
+}
+
+/// Builds the kNN table from a precomputed pairwise squared-distance
+/// matrix — the consumer side of the incremental subspace-distance path
+/// ([`anomex_dataset::distances::IncrementalDistances`]).
+///
+/// # Panics
+/// Panics if the matrix has fewer than 2 rows or `k == 0`.
+#[must_use]
+pub fn knn_table_from_sq_dists(dists: &SqDistMatrix, k: usize) -> KnnTable {
+    let n = dists.n_rows();
+    assert!(n >= 2, "kNN needs at least two rows");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n - 1);
+
+    let mut neighbors = Vec::with_capacity(n * k);
+    let mut distances = Vec::with_capacity(n * k);
+    let mut shortlist: Vec<(u64, usize)> = Vec::new();
+    for i in 0..n {
+        select_row(dists.row(i), i, k, &mut neighbors, &mut distances, &mut shortlist);
+    }
+    KnnTable::from_flat(neighbors, distances, n, k)
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, d: usize, seed: u64) -> ProjectedMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_rows(
+            (0..n)
+                .map(|_| (0..d).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect(),
+        )
+        .unwrap()
+        .full_matrix()
+    }
+
+    #[test]
+    fn block_kernel_matches_sq_dist() {
+        let m = random_matrix(37, 3, 7);
+        let g = GatheredMatrix::new(&m);
+        let mut out = vec![0.0; BLOCK_ROWS * m.n_rows()];
+        let mut i0 = 0;
+        while i0 < m.n_rows() {
+            let i1 = (i0 + BLOCK_ROWS).min(m.n_rows());
+            g.sq_dists_block_into(i0, i1, &mut out);
+            for i in i0..i1 {
+                for j in 0..m.n_rows() {
+                    let want = m.sq_dist(i, j);
+                    let got = out[(i - i0) * m.n_rows() + j];
+                    assert!(
+                        (got - want).abs() < 1e-9 * want.max(1.0),
+                        "({i},{j}): {got} vs {want}"
+                    );
+                }
+            }
+            i0 = i1;
+        }
+    }
+
+    #[test]
+    fn identical_rows_give_exact_zero() {
+        let m = Dataset::from_rows(vec![vec![3.5, -2.25, 0.5]; 9])
+            .unwrap()
+            .full_matrix();
+        let g = GatheredMatrix::new(&m);
+        let mut out = vec![0.0; BLOCK_ROWS * 9];
+        g.sq_dists_block_into(0, 8, &mut out);
+        assert!(out[..8 * 9].iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn blocked_and_naive_tables_agree() {
+        let m = random_matrix(83, 4, 11);
+        let blocked = knn_table_blocked(&m, 6);
+        let naive = knn_table_naive(&m, 6);
+        assert_eq!(blocked.k(), naive.k());
+        for i in 0..m.n_rows() {
+            for (a, b) in blocked.distances(i).iter().zip(naive.distances(i)) {
+                assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_path_is_bit_identical_to_naive() {
+        let ds = Dataset::from_rows(
+            (0..40)
+                .map(|i| vec![(i % 7) as f64 * 0.3, (i % 5) as f64 * 1.7, i as f64 * 0.01])
+                .collect(),
+        )
+        .unwrap();
+        let inc = anomex_dataset::IncrementalDistances::new(4);
+        let s = anomex_dataset::Subspace::full(3);
+        let dists = inc.sq_dists(&ds, &s);
+        let from_matrix = knn_table_from_sq_dists(&dists, 5);
+        let naive = knn_table_naive(&ds.project(&s), 5);
+        assert_eq!(from_matrix, naive);
+    }
+
+    #[test]
+    fn sampled_selection_matches_general_selection() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut shortlist: Vec<(u64, usize)> = Vec::new();
+        for trial in 0..120 {
+            // Alternate short rows (reference path) and long rows (the
+            // sampled-threshold path, incl. its undershoot fallback).
+            let n = if trial % 2 == 0 {
+                5 + trial % 60
+            } else {
+                MIN_SAMPLED_LEN + 17 * (trial % 50)
+            };
+            // Coarse grid on a third of the trials to force exact ties.
+            let xs: Vec<f64> = (0..n)
+                .map(|_| {
+                    let v = rng.gen_range(0.0..8.0);
+                    if trial % 3 == 0 {
+                        (v * 2.0).round() * 0.5
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let exclude = trial % n;
+            for k in [1usize, 3, 15, 40] {
+                let k = k.min(n - 1);
+                let want = bottom_k_asc_excluding(&xs, k, exclude);
+                let got: Vec<usize> = bottom_k_nonneg(&xs, k, exclude, &mut shortlist)
+                    .into_iter()
+                    .map(|(_, j)| j)
+                    .collect();
+                assert_eq!(got, want, "n={n} k={k} exclude={exclude}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_selection_handles_constant_rows() {
+        // Every element ties: the threshold pass collects the whole row
+        // and the (value, index) order must still match the reference.
+        let xs = vec![2.5f64; MIN_SAMPLED_LEN * 2];
+        let mut shortlist: Vec<(u64, usize)> = Vec::new();
+        let want = bottom_k_asc_excluding(&xs, 15, 3);
+        let got: Vec<usize> = bottom_k_nonneg(&xs, 15, 3, &mut shortlist)
+            .into_iter()
+            .map(|(_, j)| j)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fast_and_reference_selection_build_identical_tables() {
+        // knn_table_from_sq_dists uses the sampled-threshold selection,
+        // knn_table_naive the general one; the tables must be equal
+        // bit-for-bit (same distances folded in the same order). The
+        // duplicate-heavy grid keeps ties in play and n is large enough
+        // to take the sampled path rather than the small-row fallback.
+        let n = MIN_SAMPLED_LEN + 44;
+        let ds = Dataset::from_rows(
+            (0..n)
+                .map(|i| vec![(i % 4) as f64, (i % 9) as f64 * 0.25])
+                .collect::<Vec<Vec<f64>>>(),
+        )
+        .unwrap();
+        let inc = anomex_dataset::IncrementalDistances::new(2);
+        let dists = inc.sq_dists(&ds, &anomex_dataset::Subspace::full(2));
+        assert_eq!(
+            knn_table_from_sq_dists(&dists, 7),
+            knn_table_naive(&ds.full_matrix(), 7)
+        );
+    }
+
+    #[test]
+    fn partial_final_block_is_handled() {
+        // n deliberately not a multiple of the block size.
+        let m = random_matrix(BLOCK_ROWS * 2 + 3, 2, 3);
+        let blocked = knn_table_blocked(&m, 4);
+        let naive = knn_table_naive(&m, 4);
+        for i in 0..m.n_rows() {
+            for (a, b) in blocked.distances(i).iter().zip(naive.distances(i)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

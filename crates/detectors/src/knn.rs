@@ -1,15 +1,18 @@
 //! Exact k-nearest-neighbour search over a projected matrix.
 //!
-//! LOF and Fast ABOD both start from the same kNN structure, computed
-//! here with a brute-force O(N²·d) scan — the same asymptotics as the
-//! reference implementations the paper used (scikit-learn LOF, PyOD
-//! FastABOD), and the realistic regime for the ~1000-point datasets of
-//! the testbed where subspace *count*, not dataset size, dominates cost.
+//! LOF and Fast ABOD both start from the same kNN structure. The
+//! production path ([`knn_table`]) runs the blocked norm-trick kernel
+//! of [`crate::kernels`] with parallel row blocks — same O(N²·d)
+//! asymptotics as the reference implementations the paper used
+//! (scikit-learn LOF, PyOD FastABOD), but with contiguous,
+//! allocation-free inner loops. The sequential row-by-row scan survives
+//! as [`crate::kernels::knn_table_naive`], the reference the
+//! equivalence tests and benches compare against.
 
 use crate::kdtree::KdTree;
-use anomex_dataset::view::sq_dist;
+use crate::kernels;
 use anomex_dataset::ProjectedMatrix;
-use anomex_stats::rank::bottom_k_asc;
+use anomex_parallel::par_chunk_flat_map;
 
 /// Which exact-kNN implementation a detector should use.
 ///
@@ -17,7 +20,7 @@ use anomex_stats::rank::bottom_k_asc;
 /// differ between backends only under exact distance ties.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KnnBackend {
-    /// O(N²·d) scan — the reference implementation and the default.
+    /// Blocked O(N²·d) scan — the reference semantics and the default.
     #[default]
     BruteForce,
     /// k-d tree — typically faster in the 2–5d projections subspace
@@ -25,26 +28,91 @@ pub enum KnnBackend {
     KdTree,
 }
 
-/// k-nearest neighbours of every row: `neighbors[i]` are the indices of
-/// the `k` rows closest to row `i` (self excluded), ascending by
-/// distance; `distances[i]` are the matching Euclidean distances.
+/// k-nearest neighbours of every row in a flat, `k`-strided layout:
+/// row `i`'s neighbours and distances live at `[i * k, (i + 1) * k)` of
+/// one contiguous buffer each, ascending by distance, self excluded.
+///
+/// ```
+/// use anomex_dataset::Dataset;
+/// use anomex_detectors::knn::knn_table;
+/// let m = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![3.0]])
+///     .unwrap()
+///     .full_matrix();
+/// let t = knn_table(&m, 2);
+/// assert_eq!(t.neighbors(0), &[1, 2]);
+/// assert_eq!(t.distances(0), &[1.0, 3.0]);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct KnnTable {
-    /// Neighbour indices per row, ascending by distance.
-    pub neighbors: Vec<Vec<usize>>,
-    /// Euclidean distances per row, aligned with `neighbors`.
-    pub distances: Vec<Vec<f64>>,
-    /// The `k` used (may be smaller than requested when the dataset has
-    /// fewer than `k + 1` rows).
-    pub k: usize,
+    /// Flat neighbour indices, `n_rows × k`, ascending by distance.
+    neighbors: Vec<usize>,
+    /// Flat Euclidean distances, aligned with `neighbors`.
+    distances: Vec<f64>,
+    n_rows: usize,
+    k: usize,
 }
 
 impl KnnTable {
+    /// Wraps flat `n_rows × k` neighbour/distance buffers.
+    ///
+    /// # Panics
+    /// Panics when either buffer's length differs from `n_rows * k`.
+    #[must_use]
+    pub fn from_flat(
+        neighbors: Vec<usize>,
+        distances: Vec<f64>,
+        n_rows: usize,
+        k: usize,
+    ) -> Self {
+        assert_eq!(neighbors.len(), n_rows * k, "neighbor buffer length");
+        assert_eq!(distances.len(), n_rows * k, "distance buffer length");
+        KnnTable {
+            neighbors,
+            distances,
+            n_rows,
+            k,
+        }
+    }
+
+    /// Number of rows the table covers.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The `k` used (may be smaller than requested when the dataset has
+    /// fewer than `k + 1` rows).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Neighbour indices of row `i`, ascending by distance.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Euclidean distances of row `i` to its neighbours, ascending.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[must_use]
+    pub fn distances(&self, i: usize) -> &[f64] {
+        &self.distances[i * self.k..(i + 1) * self.k]
+    }
+
     /// Distance of row `i` to its k-th nearest neighbour
     /// (LOF's `k-dist`).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
     #[must_use]
     pub fn k_dist(&self, i: usize) -> f64 {
-        *self.distances[i].last().expect("k >= 1")
+        self.distances[(i + 1) * self.k - 1]
     }
 }
 
@@ -62,56 +130,30 @@ pub fn knn_table_with(data: &ProjectedMatrix, k: usize, backend: KnnBackend) -> 
             assert!(k >= 1, "k must be at least 1");
             let k = k.min(n - 1);
             let tree = KdTree::build(data);
-            let mut neighbors = Vec::with_capacity(n);
-            let mut distances = Vec::with_capacity(n);
-            for i in 0..n {
-                let nn = tree.knn(data.row(i), k, Some(i));
-                neighbors.push(nn.iter().map(|&(id, _)| id).collect());
-                distances.push(nn.iter().map(|&(_, d)| d.sqrt()).collect());
-            }
-            KnnTable {
-                neighbors,
-                distances,
-                k,
-            }
+            let tree_ref = &tree;
+            let flat: Vec<(usize, f64)> = par_chunk_flat_map(n, 32, |start, end| {
+                let mut part = Vec::with_capacity((end - start) * k);
+                for i in start..end {
+                    let nn = tree_ref.knn(data.row(i), k, Some(i));
+                    part.extend(nn.iter().map(|&(id, d)| (id, d.sqrt())));
+                }
+                part
+            });
+            let neighbors = flat.iter().map(|&(id, _)| id).collect();
+            let distances = flat.iter().map(|&(_, d)| d).collect();
+            KnnTable::from_flat(neighbors, distances, n, k)
         }
     }
 }
 
 /// Computes the kNN table of `data` with `k` clamped to `n_rows − 1`
-/// (brute-force backend).
+/// (blocked brute-force kernel, parallel row blocks).
 ///
 /// # Panics
 /// Panics if `data` has fewer than 2 rows or `k == 0`.
 #[must_use]
 pub fn knn_table(data: &ProjectedMatrix, k: usize) -> KnnTable {
-    let n = data.n_rows();
-    assert!(n >= 2, "kNN needs at least two rows");
-    assert!(k >= 1, "k must be at least 1");
-    let k = k.min(n - 1);
-
-    let mut neighbors = Vec::with_capacity(n);
-    let mut distances = Vec::with_capacity(n);
-    let mut row_dists = vec![0.0f64; n];
-    for i in 0..n {
-        let ri = data.row(i);
-        for (j, dj) in row_dists.iter_mut().enumerate() {
-            *dj = if i == j {
-                f64::INFINITY // exclude self
-            } else {
-                sq_dist(ri, data.row(j))
-            };
-        }
-        let idx = bottom_k_asc(&row_dists, k);
-        let d: Vec<f64> = idx.iter().map(|&j| row_dists[j].sqrt()).collect();
-        neighbors.push(idx);
-        distances.push(d);
-    }
-    KnnTable {
-        neighbors,
-        distances,
-        k,
-    }
+    kernels::knn_table_blocked(data, k)
 }
 
 #[cfg(test)]
@@ -129,18 +171,18 @@ mod unit_tests {
     #[test]
     fn finds_nearest() {
         let t = knn_table(&line(), 2);
-        assert_eq!(t.neighbors[0], vec![1, 2]);
-        assert_eq!(t.distances[0], vec![1.0, 2.0]);
-        assert_eq!(t.neighbors[3], vec![2, 1]);
-        assert_eq!(t.distances[3], vec![8.0, 9.0]);
+        assert_eq!(t.neighbors(0), &[1, 2]);
+        assert_eq!(t.distances(0), &[1.0, 2.0]);
+        assert_eq!(t.neighbors(3), &[2, 1]);
+        assert_eq!(t.distances(3), &[8.0, 9.0]);
         assert_eq!(t.k_dist(0), 2.0);
     }
 
     #[test]
     fn clamps_k() {
         let t = knn_table(&line(), 100);
-        assert_eq!(t.k, 3);
-        assert_eq!(t.neighbors[0].len(), 3);
+        assert_eq!(t.k(), 3);
+        assert_eq!(t.neighbors(0).len(), 3);
     }
 
     #[test]
@@ -150,8 +192,8 @@ mod unit_tests {
             .full_matrix();
         let t = knn_table(&m, 2);
         for i in 0..3 {
-            assert!(!t.neighbors[i].contains(&i));
-            assert_eq!(t.distances[i], vec![0.0, 0.0]);
+            assert!(!t.neighbors(i).contains(&i));
+            assert_eq!(t.distances(i), &[0.0, 0.0]);
         }
     }
 
@@ -166,8 +208,8 @@ mod unit_tests {
         .unwrap()
         .full_matrix();
         let t = knn_table(&m, 3);
-        for d in &t.distances {
-            for w in d.windows(2) {
+        for i in 0..4 {
+            for w in t.distances(i).windows(2) {
                 assert!(w[0] <= w[1]);
             }
         }
@@ -184,10 +226,10 @@ mod unit_tests {
         let m = Dataset::from_rows(rows).unwrap().full_matrix();
         let brute = knn_table_with(&m, 10, KnnBackend::BruteForce);
         let tree = knn_table_with(&m, 10, KnnBackend::KdTree);
-        assert_eq!(brute.k, tree.k);
+        assert_eq!(brute.k(), tree.k());
         for i in 0..m.n_rows() {
-            for (a, b) in brute.distances[i].iter().zip(&tree.distances[i]) {
-                assert!((a - b).abs() < 1e-12, "row {i}");
+            for (a, b) in brute.distances(i).iter().zip(tree.distances(i)) {
+                assert!((a - b).abs() < 1e-9, "row {i}");
             }
         }
     }

@@ -12,8 +12,10 @@
 //! nearest neighbours — either the distance to the k-th neighbour
 //! (max-aggregation) or the mean over all k (mean-aggregation).
 
-use crate::knn::{knn_table_with, KnnBackend};
+use crate::kernels::knn_table_from_sq_dists;
+use crate::knn::{knn_table_with, KnnBackend, KnnTable};
 use crate::{Detector, DetectorError, Result};
+use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
 
 /// How the k neighbour distances collapse into one score.
@@ -80,22 +82,33 @@ impl KnnDist {
         self.backend = backend;
         self
     }
+
+    /// Collapses each row's neighbour distances into one score.
+    fn aggregate(&self, knn: &KnnTable) -> Vec<f64> {
+        (0..knn.n_rows())
+            .map(|i| {
+                let d = knn.distances(i);
+                match self.aggregation {
+                    KnnAggregation::Max => *d.last().expect("k >= 1"),
+                    KnnAggregation::Mean => d.iter().sum::<f64>() / d.len() as f64,
+                }
+            })
+            .collect()
+    }
 }
 
 impl Detector for KnnDist {
     fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
         let knn = knn_table_with(data, self.k, self.backend);
-        knn.distances
-            .iter()
-            .map(|d| match self.aggregation {
-                KnnAggregation::Max => *d.last().expect("k >= 1"),
-                KnnAggregation::Mean => d.iter().sum::<f64>() / d.len() as f64,
-            })
-            .collect()
+        self.aggregate(&knn)
     }
 
     fn name(&self) -> &'static str {
         "KnnDist"
+    }
+
+    fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        Some(self.aggregate(&knn_table_from_sq_dists(dists, self.k)))
     }
 }
 

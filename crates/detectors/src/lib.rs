@@ -38,6 +38,7 @@
 pub mod abod;
 pub mod iforest;
 pub mod kdtree;
+pub mod kernels;
 pub mod knn;
 pub mod knndist;
 pub mod loda;
@@ -50,6 +51,7 @@ pub use knndist::KnnDist;
 pub use loda::Loda;
 pub use lof::Lof;
 
+use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
 
 /// An unsupervised outlier detector.
@@ -65,6 +67,22 @@ pub trait Detector: Send + Sync {
 
     /// Short identifier used in reports (e.g. `"LOF"`).
     fn name(&self) -> &'static str;
+
+    /// Scores every row from a precomputed pairwise squared-distance
+    /// matrix — the consumer side of the incremental subspace-distance
+    /// path ([`anomex_dataset::distances::IncrementalDistances`]).
+    ///
+    /// Returns `None` (the default) when the detector needs raw
+    /// coordinates (e.g. Isolation Forest, LODA); distance-only
+    /// detectors (LOF, kNN-distance, Fast ABOD) override it. When
+    /// `Some`, the scores are semantically equivalent to
+    /// [`Detector::score_all`] on the matching projection — LOF and
+    /// kNN-distance are bit-identical, Fast ABOD agrees to rounding
+    /// (its distance-only inner products go through the polarization
+    /// identity, which reassociates the arithmetic).
+    fn score_from_sq_dists(&self, _dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 impl<T: Detector + ?Sized> Detector for &T {
@@ -74,6 +92,9 @@ impl<T: Detector + ?Sized> Detector for &T {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+    fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        (**self).score_from_sq_dists(dists)
+    }
 }
 
 impl Detector for Box<dyn Detector> {
@@ -82,6 +103,9 @@ impl Detector for Box<dyn Detector> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        (**self).score_from_sq_dists(dists)
     }
 }
 

@@ -5,8 +5,10 @@
 //! Inliers score ≈ 1, outliers substantially above 1. Time complexity
 //! O(N²·d), dominated by the kNN scan.
 
+use crate::kernels::knn_table_from_sq_dists;
 use crate::knn::{knn_table_with, KnnBackend, KnnTable};
 use crate::{Detector, DetectorError, Result};
+use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
 
 /// Guard against division by zero for points whose neighbourhood
@@ -62,28 +64,29 @@ impl Lof {
     /// also need the table, e.g. tests and diagnostics).
     #[must_use]
     pub fn score_from_knn(&self, knn: &KnnTable) -> Vec<f64> {
-        let n = knn.neighbors.len();
+        let n = knn.n_rows();
         // Local reachability density:
         //   lrd(p) = 1 / mean_{o ∈ kNN(p)} reach-dist_k(p ← o)
         //   reach-dist_k(p ← o) = max(k-dist(o), d(p, o))
         let lrd: Vec<f64> = (0..n)
             .map(|p| {
                 let mut sum = 0.0;
-                for (o, &d_po) in knn.neighbors[p].iter().zip(&knn.distances[p]) {
-                    sum += knn.k_dist(*o).max(d_po);
+                for (&o, &d_po) in knn.neighbors(p).iter().zip(knn.distances(p)) {
+                    sum += knn.k_dist(o).max(d_po);
                 }
-                let mean = (sum / knn.neighbors[p].len() as f64).max(MIN_MEAN_REACH);
+                let mean = (sum / knn.k() as f64).max(MIN_MEAN_REACH);
                 1.0 / mean
             })
             .collect();
         // LOF(p) = mean_{o ∈ kNN(p)} lrd(o) / lrd(p)
         (0..n)
             .map(|p| {
-                let mean_ratio: f64 = knn.neighbors[p]
+                let mean_ratio: f64 = knn
+                    .neighbors(p)
                     .iter()
                     .map(|&o| lrd[o] / lrd[p])
                     .sum::<f64>()
-                    / knn.neighbors[p].len() as f64;
+                    / knn.k() as f64;
                 mean_ratio
             })
             .collect()
@@ -98,6 +101,10 @@ impl Detector for Lof {
 
     fn name(&self) -> &'static str {
         "LOF"
+    }
+
+    fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        Some(self.score_from_knn(&knn_table_from_sq_dists(dists, self.k)))
     }
 }
 

@@ -1,9 +1,11 @@
-//! Property-based tests for the detectors.
+//! Property-based tests for the detectors and their distance kernels.
 
-use anomex_dataset::Dataset;
+use anomex_dataset::{Dataset, IncrementalDistances, Subspace};
 use anomex_detectors::kdtree::KdTree;
+use anomex_detectors::kernels::{knn_table_blocked, knn_table_from_sq_dists, knn_table_naive};
 use anomex_detectors::knn::{knn_table, knn_table_with, KnnBackend};
 use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Loda, Lof};
+use anomex_stats::descriptive::OnlineMoments;
 use proptest::prelude::*;
 
 /// Strategy: a random dataset with at least 20 rows and 2–5 features.
@@ -12,6 +14,45 @@ fn dataset() -> impl Strategy<Value = Dataset> {
         prop::collection::vec(prop::collection::vec(-100.0f64..100.0, c..=c), r..=r)
             .prop_map(|rows| Dataset::from_rows(rows).expect("well-formed"))
     })
+}
+
+/// Strategy: a dataset whose values live on a coarse grid, so duplicate
+/// rows and exact distance ties are common — the adversarial input for
+/// tie-breaking and the norm-trick kernel's exact-zero guarantee.
+fn gridded_dataset() -> impl Strategy<Value = Dataset> {
+    (20usize..60, 1usize..4).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::collection::vec(-3i8..=3, c..=c), r..=r).prop_map(|rows| {
+            Dataset::from_rows(
+                rows.into_iter()
+                    .map(|row| row.into_iter().map(|v| f64::from(v) * 0.5).collect())
+                    .collect::<Vec<Vec<f64>>>(),
+            )
+            .expect("well-formed")
+        })
+    })
+}
+
+/// Asserts the distance columns of two kNN tables agree to a relative
+/// 1e-9 (the norm trick reassociates arithmetic, so bitwise equality is
+/// not expected between the blocked and naive builders).
+fn assert_distances_close(
+    a: &anomex_detectors::knn::KnnTable,
+    b: &anomex_detectors::knn::KnnTable,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.k(), b.k());
+    prop_assert_eq!(a.n_rows(), b.n_rows());
+    for i in 0..a.n_rows() {
+        for (x, y) in a.distances(i).iter().zip(b.distances(i)) {
+            prop_assert!(
+                (x - y).abs() < 1e-9 * x.abs().max(1.0),
+                "row {}: {} vs {}",
+                i,
+                x,
+                y
+            );
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -80,19 +121,115 @@ proptest! {
     fn knn_table_invariants(ds in dataset(), k in 1usize..10) {
         let m = ds.full_matrix();
         let t = knn_table(&m, k);
-        for (i, (nbrs, dists)) in t.neighbors.iter().zip(&t.distances).enumerate() {
-            prop_assert!(!nbrs.contains(&i));
-            prop_assert_eq!(nbrs.len(), k.min(ds.n_rows() - 1));
-            for w in dists.windows(2) {
+        for i in 0..t.n_rows() {
+            prop_assert!(!t.neighbors(i).contains(&i));
+            prop_assert_eq!(t.neighbors(i).len(), k.min(ds.n_rows() - 1));
+            for w in t.distances(i).windows(2) {
                 prop_assert!(w[0] <= w[1]);
             }
         }
         let kd = knn_table_with(&m, k, KnnBackend::KdTree);
         for i in 0..ds.n_rows() {
-            for (a, b) in t.distances[i].iter().zip(&kd.distances[i]) {
+            for (a, b) in t.distances(i).iter().zip(kd.distances(i)) {
                 prop_assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
             }
         }
+    }
+
+    /// The blocked norm-trick kernel and the naive row-by-row scan agree
+    /// on every neighbour distance for continuous data.
+    #[test]
+    fn blocked_knn_matches_naive(ds in dataset(), k in 1usize..10) {
+        let m = ds.full_matrix();
+        assert_distances_close(&knn_table_blocked(&m, k), &knn_table_naive(&m, k))?;
+    }
+
+    /// …and for gridded data full of duplicate rows and exact ties —
+    /// including 1-d projections, where cancellation in the norm trick is
+    /// at its worst. Duplicate rows must come out at exactly 0.
+    #[test]
+    fn blocked_knn_matches_naive_on_ties(ds in gridded_dataset(), k in 1usize..6) {
+        let m = ds.full_matrix();
+        let blocked = knn_table_blocked(&m, k);
+        assert_distances_close(&blocked, &knn_table_naive(&m, k))?;
+        // Every zero distance in the naive table is exactly zero in the
+        // blocked one (identical rows cancel bitwise in the norm trick).
+        let naive = knn_table_naive(&m, k);
+        for i in 0..m.n_rows() {
+            for (x, y) in blocked.distances(i).iter().zip(naive.distances(i)) {
+                if *y == 0.0 {
+                    prop_assert_eq!(*x, 0.0, "row {}", i);
+                }
+            }
+        }
+        // 1-d projections of the same dataset.
+        let p = ds.project(&Subspace::single(0));
+        assert_distances_close(&knn_table_blocked(&p, k), &knn_table_naive(&p, k))?;
+    }
+
+    /// The incremental distance-matrix path yields the *bit-identical*
+    /// kNN table to the naive scan, warm or cold: both fold per-feature
+    /// contributions in ascending feature order.
+    #[test]
+    fn incremental_knn_is_bit_identical_to_naive(ds in dataset(), k in 1usize..8) {
+        let inc = IncrementalDistances::new(8);
+        let d = ds.n_features();
+        // A stage-wise chain {0}, {0,1}, …, {0,…,d−1}: every step after
+        // the first is served incrementally from its parent.
+        for dim in 1..=d {
+            let s = Subspace::new(0..dim);
+            let dists = inc.sq_dists(&ds, &s);
+            let from_matrix = knn_table_from_sq_dists(&dists, k);
+            let naive = knn_table_naive(&ds.project(&s), k);
+            prop_assert_eq!(from_matrix, naive, "dim {}", dim);
+        }
+        prop_assert_eq!(inc.stats().incremental_builds, d - 1);
+    }
+
+    /// Parallel per-row scoring is deterministic: repeated runs of the
+    /// fanned-out detectors are bit-identical regardless of the thread
+    /// schedule, and ABOD matches a serial from-first-principles
+    /// reference.
+    #[test]
+    fn parallel_scoring_is_deterministic(ds in dataset()) {
+        let m = ds.full_matrix();
+
+        let abod = FastAbod::new(4).unwrap();
+        let first = abod.score_all(&m);
+        prop_assert_eq!(&first, &abod.score_all(&m));
+        // Serial reference: the textbook Fast ABOD loop, no scratch
+        // reuse, no parallelism.
+        let knn = knn_table_with(&m, 4, KnnBackend::BruteForce);
+        for (p, score) in first.iter().enumerate() {
+            let rp = m.row(p);
+            let diffs: Vec<Vec<f64>> = knn.neighbors(p).iter()
+                .map(|&o| m.row(o).iter().zip(rp).map(|(a, b)| a - b).collect())
+                .collect();
+            let norms: Vec<f64> = diffs.iter()
+                .map(|v| v.iter().map(|x| x * x).sum())
+                .collect();
+            let mut moments = OnlineMoments::new();
+            for i in 0..diffs.len() {
+                if norms[i] == 0.0 { continue; }
+                for j in i + 1..diffs.len() {
+                    if norms[j] == 0.0 { continue; }
+                    let inner: f64 = diffs[i].iter().zip(&diffs[j]).map(|(a, b)| a * b).sum();
+                    moments.push(inner / (norms[i] * norms[j]));
+                }
+            }
+            let var = if moments.count() < 2 { 1e6 } else { moments.population_variance() };
+            let want = -(var.max(1e-300)).ln();
+            prop_assert!(
+                (score - want).abs() < 1e-9 * want.abs().max(1.0),
+                "point {}: {} vs {}", p, score, want
+            );
+        }
+
+        let forest = IsolationForest::builder().trees(10).repetitions(1).seed(3).build().unwrap();
+        prop_assert_eq!(forest.score_all(&m), forest.score_all(&m));
+
+        let blocked = knn_table_blocked(&m, 5);
+        prop_assert_eq!(&blocked, &knn_table_blocked(&m, 5));
     }
 
     /// The k-d tree finds exactly the smallest distances.

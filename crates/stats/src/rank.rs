@@ -54,6 +54,39 @@ pub fn bottom_k_asc(xs: &[f64], k: usize) -> Vec<usize> {
     idx
 }
 
+/// The `k` indices with the smallest values among all indices except
+/// `exclude`, ordered ascending by value with ties broken by index.
+///
+/// This is the self-excluding selection of the kNN kernels: the distance
+/// buffer of row `i` contains a `d(i, i) = 0` entry, and excluding it
+/// *by index* keeps the buffer shareable (no `f64::INFINITY` sentinel
+/// writes that would prevent reuse across rows or kernels). The explicit
+/// index tie-break makes neighbour identities deterministic under exact
+/// distance ties (duplicate rows), independent of selection internals.
+///
+/// Returns all non-excluded indices when `k ≥ len − 1`.
+///
+/// ```
+/// use anomex_stats::rank::bottom_k_asc_excluding;
+/// let d = [0.0, 4.0, 1.0, 4.0];
+/// assert_eq!(bottom_k_asc_excluding(&d, 2, 0), vec![2, 1]);
+/// ```
+#[must_use]
+pub fn bottom_k_asc_excluding(xs: &[f64], k: usize, exclude: usize) -> Vec<usize> {
+    let n = xs.len();
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..n).filter(|&i| i != exclude).collect();
+    let cmp = |a: &usize, b: &usize| xs[*a].total_cmp(&xs[*b]).then_with(|| a.cmp(b));
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_by(cmp);
+    idx
+}
+
 /// Zero-based rank of each element when sorted descending
 /// (rank 0 = largest). Ties broken by original index (stable).
 #[must_use]
@@ -105,6 +138,24 @@ mod unit_tests {
     #[test]
     fn bottom_k_zero_is_empty() {
         assert!(bottom_k_asc(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn bottom_k_excluding_skips_the_index() {
+        let xs = [0.0, 3.0, 1.0, 2.0];
+        for k in 1..=4 {
+            let got = bottom_k_asc_excluding(&xs, k, 0);
+            assert!(!got.contains(&0), "k = {k}");
+            let want: Vec<usize> = vec![2, 3, 1].into_iter().take(k).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn bottom_k_excluding_breaks_ties_by_index() {
+        let xs = [0.0, 0.0, 0.0, 0.0];
+        assert_eq!(bottom_k_asc_excluding(&xs, 2, 1), vec![0, 2]);
+        assert_eq!(bottom_k_asc_excluding(&xs, 10, 1), vec![0, 2, 3]);
     }
 
     #[test]

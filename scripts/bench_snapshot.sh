@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Distill the detector-kernel benchmarks into BENCH_detectors.json.
+#
+# Runs the `detector_kernels` criterion bench, then extracts the mean
+# estimate of each naive/blocked/incremental kNN build from criterion's
+# saved estimates and writes a compact JSON snapshot at the repo root.
+# Commit the snapshot alongside kernel changes so reviewers can compare
+# miss-path costs across machines without rerunning five minutes of
+# benches.
+#
+# Usage: scripts/bench_snapshot.sh [extra cargo bench args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo bench -p anomex-bench --bench detector_kernels "$@"
+
+out=BENCH_detectors.json
+crit=target/criterion
+
+python3 - "$crit" "$out" <<'PY'
+import json, os, sys, datetime
+
+crit, out = sys.argv[1], sys.argv[2]
+group = os.path.join(crit, "knn_builders")
+entries = []
+for builder in sorted(os.listdir(group)):
+    bdir = os.path.join(group, builder)
+    if not os.path.isdir(bdir):
+        continue
+    for case in sorted(os.listdir(bdir)):
+        est = os.path.join(bdir, case, "new", "estimates.json")
+        if not os.path.isfile(est):
+            continue
+        with open(est) as f:
+            mean_ns = json.load(f)["mean"]["point_estimate"]
+        n, d = case.split("-")
+        entries.append({
+            "builder": builder,
+            "n_rows": int(n[1:]),
+            "dim": int(d[1:]),
+            "ms": round(mean_ns / 1e6, 4),
+        })
+
+by_case = {}
+for e in entries:
+    by_case.setdefault((e["n_rows"], e["dim"]), {})[e["builder"]] = e["ms"]
+speedups = [
+    {
+        "n_rows": n, "dim": d,
+        "blocked_vs_naive": round(t["naive"] / t["blocked"], 2),
+        "incremental_vs_naive": round(t["naive"] / t["incremental"], 2),
+    }
+    for (n, d), t in sorted(by_case.items())
+    if {"naive", "blocked", "incremental"} <= t.keys()
+]
+
+snapshot = {
+    "bench": "detector_kernels/knn_builders",
+    "k": 15,
+    "recorded": datetime.date.today().isoformat(),
+    "source": "criterion mean point estimates (target/criterion)",
+    "estimator": "criterion mean",
+    "timings_ms": entries,
+    "speedups": speedups,
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(entries)} timings, {len(speedups)} cases)")
+PY
