@@ -119,7 +119,12 @@ impl ScoreCacheBuilder {
 
     /// Bounds the total number of resident entries. When a shard
     /// overflows its slice of the capacity, its oldest entries are
-    /// evicted (FIFO). `None` (the default) means unbounded.
+    /// evicted (FIFO). `None` (the default) means unbounded. The
+    /// per-shard slice is clamped to ≥ 1, so `capacity(0)` behaves as a
+    /// one-entry-per-shard cache rather than caching nothing — every
+    /// value returned by `get_or_compute` must be insertable, or the
+    /// exactly-once in-flight protocol would have nowhere to publish
+    /// results.
     #[must_use]
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.capacity = Some(capacity);
@@ -440,6 +445,69 @@ mod unit_tests {
         // A re-request of an evicted key recomputes.
         let (_, f) = cache.get_or_compute(&s(&[0]), || vec![0.0]);
         assert_eq!(f, Fetch::Computed);
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one_entry_per_shard() {
+        // Regression: capacity 0 must not divide-to-zero or cache
+        // nothing — the per-shard bound clamps to 1 (see
+        // `ScoreCacheBuilder::capacity`).
+        let cache = ScoreCache::builder().shards(1).capacity(0).build();
+        let (_, f) = cache.get_or_compute(&s(&[0]), || vec![1.0]);
+        assert_eq!(f, Fetch::Computed);
+        assert_eq!(cache.len(), 1, "clamped capacity keeps one entry");
+        // The resident entry serves hits until displaced...
+        let (_, f) = cache.get_or_compute(&s(&[0]), || unreachable!());
+        assert_eq!(f, Fetch::Hit);
+        // ...and a new key displaces it (FIFO of size one).
+        let _ = cache.get_or_compute(&s(&[1]), || vec![2.0]);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&s(&[0])).is_none(), "old entry survived");
+        assert!(cache.get(&s(&[1])).is_some());
+    }
+
+    #[test]
+    fn capacity_one_evicts_fifo_exactly() {
+        let cache = ScoreCache::builder().shards(1).capacity(1).build();
+        for i in 0..4usize {
+            let (_, f) = cache.get_or_compute(&s(&[i]), || vec![i as f64]);
+            assert_eq!(f, Fetch::Computed);
+            assert_eq!(cache.len(), 1, "bound violated after insert {i}");
+            if i > 0 {
+                assert!(cache.get(&s(&[i - 1])).is_none(), "{}", i - 1);
+            }
+            assert!(cache.get(&s(&[i])).is_some(), "{i}");
+        }
+        // Every insert displaced the previous entry: 4 evaluations, and
+        // the `get` probes above account for the hits.
+        assert_eq!(cache.stats().evaluations, 4);
+        assert_eq!(cache.stats().peak_entries, 2, "insert-then-evict peak");
+    }
+
+    #[test]
+    fn tiny_capacity_still_computes_exactly_once_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        // Even when eviction churn is maximal (one resident entry), a
+        // burst of concurrent misses on one key runs `compute` once: the
+        // in-flight guard, not residency, provides exactly-once.
+        let cache = ScoreCache::builder().shards(1).capacity(0).build();
+        let computes = AtomicUsize::new(0);
+        let key = s(&[5, 6]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (v, _) = cache.get_or_compute(&key, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        vec![9.0]
+                    });
+                    assert_eq!(*v, vec![9.0]);
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "duplicated compute");
+        assert_eq!(cache.stats().evaluations, 1);
+        assert_eq!(cache.stats().hits, 7);
     }
 
     #[test]

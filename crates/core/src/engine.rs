@@ -40,6 +40,7 @@ use crate::pipeline::ExplainerKind;
 use crate::scoring::SubspaceScorer;
 use anomex_dataset::{Dataset, IncrementalDistances};
 use anomex_detectors::Detector;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,8 +94,9 @@ impl RunSpec {
     }
 }
 
-/// Telemetry of one per-dimension pass.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Telemetry of one per-dimension pass. Serializable so serving-layer
+/// responses and experiment logs can carry it verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunStats {
     /// Wall-clock time of the pass.
     pub elapsed: Duration,
@@ -400,6 +402,20 @@ mod unit_tests {
             run.total_evaluations() < cold2.total_evaluations() + cold3.total_evaluations(),
             "sweep must evaluate strictly less than independent runs"
         );
+    }
+
+    #[test]
+    fn run_stats_serialize_round_trip() {
+        let stats = RunStats {
+            elapsed: Duration::from_micros(1234),
+            evaluations: 6,
+            cache_hits: 9,
+            peak_cache_entries: 6,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: RunStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        assert!((back.hit_rate() - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! through `−ln(var + ε)` so that, like every other [`Detector`], larger
 //! scores mean more outlying.
 
+use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
-use crate::knn::{knn_table_with, KnnBackend};
+use crate::knn::{knn_table_with, KnnBackend, KnnTable};
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::view::dot;
@@ -82,50 +83,8 @@ impl FastAbod {
     /// schedule, so scores are deterministic.
     #[must_use]
     pub fn raw_variance(&self, data: &ProjectedMatrix) -> Vec<f64> {
-        let n = data.n_rows();
-        let dim = data.dim();
         let knn = knn_table_with(data, self.k, self.backend);
-        let knn_ref = &knn;
-        par_chunk_flat_map(n, CHUNK_ROWS, |start, end| {
-            let k = knn_ref.k();
-            // Flat k × d difference matrix: diffs[slot * dim ..] = x_o − p.
-            let mut diffs = vec![0.0f64; k * dim];
-            let mut norms_sq = vec![0.0f64; k];
-            let mut out = Vec::with_capacity(end - start);
-            for p in start..end {
-                let rp = data.row(p);
-                for (slot, &o) in knn_ref.neighbors(p).iter().enumerate() {
-                    let ro = data.row(o);
-                    let seg = &mut diffs[slot * dim..(slot + 1) * dim];
-                    for (t, dst) in seg.iter_mut().enumerate() {
-                        *dst = ro[t] - rp[t];
-                    }
-                }
-                for slot in 0..k {
-                    let seg = &diffs[slot * dim..(slot + 1) * dim];
-                    norms_sq[slot] = dot(seg, seg);
-                }
-                // ABOD(p) = Var over pairs (x1, x2) of
-                //   ⟨x1−p, x2−p⟩ / (‖x1−p‖² · ‖x2−p‖²)
-                let mut moments = OnlineMoments::new();
-                for i in 0..k {
-                    if norms_sq[i] == 0.0 {
-                        continue; // duplicate of p: angle undefined
-                    }
-                    let di = &diffs[i * dim..(i + 1) * dim];
-                    for j in i + 1..k {
-                        if norms_sq[j] == 0.0 {
-                            continue;
-                        }
-                        let dj = &diffs[j * dim..(j + 1) * dim];
-                        let v = dot(di, dj) / (norms_sq[i] * norms_sq[j]);
-                        moments.push(v);
-                    }
-                }
-                out.push(finish_variance(moments));
-            }
-            out
-        })
+        variance_from_coords(data, &knn)
     }
 
     /// The raw ABOD variance from a precomputed pairwise squared-distance
@@ -170,6 +129,66 @@ impl FastAbod {
     }
 }
 
+/// The angle-variance kernel over raw coordinates and a precomputed kNN
+/// reference set — the shared compute of [`FastAbod::raw_variance`] and
+/// [`FittedFastAbod`], so the fitted path is bit-identical by
+/// construction.
+///
+/// Rows are scored in parallel chunks; each chunk reuses one flat
+/// `k × d` difference buffer, so the hot loop performs no per-row
+/// allocation. Per-row outputs are independent of the thread schedule,
+/// so scores are deterministic.
+fn variance_from_coords(data: &ProjectedMatrix, knn: &KnnTable) -> Vec<f64> {
+    let n = data.n_rows();
+    let dim = data.dim();
+    par_chunk_flat_map(n, CHUNK_ROWS, |start, end| {
+        let k = knn.k();
+        // Flat k × d difference matrix: diffs[slot * dim ..] = x_o − p.
+        let mut diffs = vec![0.0f64; k * dim];
+        let mut norms_sq = vec![0.0f64; k];
+        let mut out = Vec::with_capacity(end - start);
+        for p in start..end {
+            let rp = data.row(p);
+            for (slot, &o) in knn.neighbors(p).iter().enumerate() {
+                let ro = data.row(o);
+                let seg = &mut diffs[slot * dim..(slot + 1) * dim];
+                for (t, dst) in seg.iter_mut().enumerate() {
+                    *dst = ro[t] - rp[t];
+                }
+            }
+            for slot in 0..k {
+                let seg = &diffs[slot * dim..(slot + 1) * dim];
+                norms_sq[slot] = dot(seg, seg);
+            }
+            // ABOD(p) = Var over pairs (x1, x2) of
+            //   ⟨x1−p, x2−p⟩ / (‖x1−p‖² · ‖x2−p‖²)
+            let mut moments = OnlineMoments::new();
+            for i in 0..k {
+                if norms_sq[i] == 0.0 {
+                    continue; // duplicate of p: angle undefined
+                }
+                let di = &diffs[i * dim..(i + 1) * dim];
+                for j in i + 1..k {
+                    if norms_sq[j] == 0.0 {
+                        continue;
+                    }
+                    let dj = &diffs[j * dim..(j + 1) * dim];
+                    let v = dot(di, dj) / (norms_sq[i] * norms_sq[j]);
+                    moments.push(v);
+                }
+            }
+            out.push(finish_variance(moments));
+        }
+        out
+    })
+}
+
+/// The monotone variance → outlyingness mapping shared by every scoring
+/// path: `−ln(max(var, floor))`, larger = more outlying.
+fn variance_to_score(v: f64) -> f64 {
+    -(v.max(VAR_FLOOR)).ln()
+}
+
 /// Collapses the accumulated angle moments of one point into its
 /// variance, substituting [`DEGENERATE_VAR`] when fewer than two valid
 /// neighbour pairs exist.
@@ -185,7 +204,7 @@ impl Detector for FastAbod {
     fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
         self.raw_variance(data)
             .into_iter()
-            .map(|v| -(v.max(VAR_FLOOR)).ln())
+            .map(variance_to_score)
             .collect()
     }
 
@@ -197,9 +216,69 @@ impl Detector for FastAbod {
         Some(
             self.raw_variance_from_sq_dists(dists)
                 .into_iter()
-                .map(|v| -(v.max(VAR_FLOOR)).ln())
+                .map(variance_to_score)
                 .collect(),
         )
+    }
+
+    fn fit(&self, data: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        Some(Box::new(FittedFastAbod::fit(*self, data)))
+    }
+}
+
+/// Fast ABOD frozen against one matrix: the kNN reference set plus the
+/// projected coordinates (the angle kernel needs both), computed once at
+/// fit time.
+#[derive(Debug, Clone)]
+pub struct FittedFastAbod {
+    knn: KnnTable,
+    data: ProjectedMatrix,
+}
+
+impl FittedFastAbod {
+    /// Builds the kNN reference set of `data` and freezes it together
+    /// with the coordinates.
+    ///
+    /// # Panics
+    /// Panics when `data` has fewer than 2 rows (kNN is undefined).
+    #[must_use]
+    pub fn fit(abod: FastAbod, data: &ProjectedMatrix) -> Self {
+        let knn = knn_table_with(data, abod.k, abod.backend);
+        FittedFastAbod {
+            knn,
+            data: data.clone(),
+        }
+    }
+
+    /// The frozen kNN reference set.
+    #[must_use]
+    pub fn knn(&self) -> &KnnTable {
+        &self.knn
+    }
+
+    /// ABOD scores of the fit rows, bit-identical to
+    /// [`Detector::score_all`] on the fit matrix (both run
+    /// [`variance_from_coords`] over the same table and coordinates).
+    #[must_use]
+    pub fn score_all(&self) -> Vec<f64> {
+        variance_from_coords(&self.data, &self.knn)
+            .into_iter()
+            .map(variance_to_score)
+            .collect()
+    }
+}
+
+impl FittedModel for FittedFastAbod {
+    fn score_fit_rows(&self) -> Vec<f64> {
+        self.score_all()
+    }
+
+    fn name(&self) -> &'static str {
+        "FastABOD"
+    }
+
+    fn n_rows(&self) -> usize {
+        self.knn.n_rows()
     }
 }
 
@@ -295,5 +374,17 @@ mod unit_tests {
         let a = FastAbod::new(10).unwrap().score_all(&ds.full_matrix());
         let b = FastAbod::new(10).unwrap().score_all(&ds.full_matrix());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fitted_model_is_bit_identical_to_score_all() {
+        let (ds, _) = blob_with_border_point();
+        let m = ds.full_matrix();
+        let abod = FastAbod::new(10).unwrap();
+        let fitted = FittedFastAbod::fit(abod, &m);
+        assert_eq!(fitted.score_fit_rows(), abod.score_all(&m));
+        assert_eq!(fitted.n_rows(), m.n_rows());
+        let via_trait = Detector::fit(&abod, &m).expect("FastABOD has a fit path");
+        assert_eq!(via_trait.score_fit_rows(), abod.score_all(&m));
     }
 }

@@ -1,0 +1,120 @@
+//! The fit/score lifecycle split: freeze a detector's expensive,
+//! data-dependent state once, then serve scores from it many times.
+//!
+//! The evaluation harness refits every detector from scratch per
+//! (dataset, detector, subspace) request — fine for offline tables,
+//! wasteful for a serving path that answers many queries against the
+//! same projection. A [`FittedModel`] is the frozen product of one such
+//! fit: LOF and kNN-distance freeze their [`crate::knn::KnnTable`],
+//! Fast ABOD its kNN reference set plus the projected coordinates, and
+//! Isolation Forest its trained tree ensembles.
+//!
+//! The contract is **bit-identity**: [`FittedModel::score_fit_rows`]
+//! must return exactly the vector [`Detector::score_all`] would produce
+//! on the matrix the model was fitted to — same arithmetic, same
+//! accumulation order. The serving registry
+//! (`anomex-serve`) relies on this to guarantee that a registry-served
+//! score equals the direct engine call.
+//!
+//! ```
+//! use anomex_dataset::Dataset;
+//! use anomex_detectors::fit::fit_model;
+//! use anomex_detectors::{Detector, Lof};
+//!
+//! let ds = Dataset::from_rows(
+//!     (0..12).map(|i| vec![f64::from(i % 4), f64::from(i / 4)]).collect(),
+//! )
+//! .unwrap();
+//! let m = ds.full_matrix();
+//! let lof = Lof::new(3).unwrap();
+//! let fitted = fit_model(&lof, &m);
+//! assert_eq!(fitted.score_fit_rows(), lof.score_all(&m));
+//! ```
+
+use crate::Detector;
+use anomex_dataset::ProjectedMatrix;
+
+/// A detector frozen against one projected matrix: the expensive
+/// data-dependent state (kNN tables, tree ensembles, reference sets) is
+/// computed once at fit time, after which scoring is read-only and safe
+/// to share across threads.
+pub trait FittedModel: Send + Sync {
+    /// Scores of the rows the model was fitted on, **bit-identical** to
+    /// [`Detector::score_all`] over the fit matrix.
+    fn score_fit_rows(&self) -> Vec<f64>;
+
+    /// Short identifier of the underlying detector (e.g. `"LOF"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of rows of the fit matrix.
+    fn n_rows(&self) -> usize;
+}
+
+/// Fallback fitted model for detectors without a dedicated fit path
+/// (e.g. LODA): the "frozen state" is the score vector itself, computed
+/// eagerly at fit time.
+pub struct PrecomputedScores {
+    name: &'static str,
+    scores: Vec<f64>,
+}
+
+impl PrecomputedScores {
+    /// Runs `detector` on `data` once and freezes the resulting scores.
+    #[must_use]
+    pub fn fit(detector: &dyn Detector, data: &ProjectedMatrix) -> Self {
+        PrecomputedScores {
+            name: detector.name(),
+            scores: detector.score_all(data),
+        }
+    }
+}
+
+impl FittedModel for PrecomputedScores {
+    fn score_fit_rows(&self) -> Vec<f64> {
+        self.scores.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn n_rows(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+/// Fits `detector` to `data`: the detector's dedicated fit path when it
+/// has one ([`Detector::fit`]), the [`PrecomputedScores`] fallback
+/// otherwise. Either way the returned model's scores are bit-identical
+/// to `detector.score_all(data)`.
+#[must_use]
+pub fn fit_model(detector: &dyn Detector, data: &ProjectedMatrix) -> Box<dyn FittedModel> {
+    detector
+        .fit(data)
+        .unwrap_or_else(|| Box::new(PrecomputedScores::fit(detector, data)))
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::Loda;
+    use anomex_dataset::Dataset;
+
+    #[test]
+    fn fallback_freezes_scores() {
+        let ds = Dataset::from_rows(
+            (0..20)
+                .map(|i| vec![f64::from(i % 5) * 0.1, f64::from(i / 5) * 0.1])
+                .collect(),
+        )
+        .unwrap();
+        let m = ds.full_matrix();
+        let loda = Loda::builder().projections(10).seed(7).build().unwrap();
+        let fitted = fit_model(&loda, &m);
+        assert_eq!(fitted.name(), loda.name());
+        assert_eq!(fitted.n_rows(), m.n_rows());
+        assert_eq!(fitted.score_fit_rows(), loda.score_all(&m));
+        // Scoring twice from the frozen state is free of re-fit drift.
+        assert_eq!(fitted.score_fit_rows(), fitted.score_fit_rows());
+    }
+}

@@ -12,6 +12,7 @@
 //! the variance of the randomized construction; [`IsolationForest`]
 //! exposes this as `repetitions`.
 
+use crate::fit::FittedModel;
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::ProjectedMatrix;
 use anomex_parallel::par_chunk_flat_map;
@@ -128,6 +129,7 @@ enum Node {
 }
 
 /// A single isolation tree (arena representation, root at index 0).
+#[derive(Debug, Clone)]
 struct Tree {
     nodes: Vec<Node>,
 }
@@ -257,15 +259,13 @@ impl IsolationForest {
         self.repetitions
     }
 
-    /// Scores one forest construction (one repetition).
+    /// Builds the trees of one repetition — the expensive, RNG-driven
+    /// half of [`IsolationForest::score_once`], separated out so the
+    /// fit/score lifecycle ([`FittedIsolationForest`]) can freeze it.
     ///
-    /// Tree construction stays sequential (the RNG stream defines the
-    /// forest, so build order is part of the detector's determinism);
-    /// the per-row path-length evaluation over the finished forest is
-    /// read-only and fans out across cores. Each row folds its tree
-    /// path lengths in the same ascending tree order as a sequential
-    /// scan, so scores are bit-identical to a serial evaluation.
-    fn score_once(&self, data: &ProjectedMatrix, rng: &mut StdRng) -> Vec<f64> {
+    /// Tree construction stays sequential: the RNG stream defines the
+    /// forest, so build order is part of the detector's determinism.
+    fn build_rep(&self, data: &ProjectedMatrix, rng: &mut StdRng) -> ForestRep {
         let n = data.n_rows();
         let psi = self.subsample.min(n);
         let height_limit = (psi as f64).log2().ceil() as usize;
@@ -278,21 +278,112 @@ impl IsolationForest {
                 build_tree(data, &mut pool[..psi], height_limit, rng)
             })
             .collect();
+        ForestRep { trees, c_psi }
+    }
 
-        let trees_ref = &trees;
+    /// Scores one forest construction (one repetition): build the trees,
+    /// then evaluate path lengths ([`ForestRep::eval`]).
+    fn score_once(&self, data: &ProjectedMatrix, rng: &mut StdRng) -> Vec<f64> {
+        self.build_rep(data, rng).eval(data)
+    }
+}
+
+/// One repetition's trained forest: the trees plus the ψ-derived path
+/// normalizer of the construction it came from.
+#[derive(Debug, Clone)]
+struct ForestRep {
+    trees: Vec<Tree>,
+    c_psi: f64,
+}
+
+impl ForestRep {
+    /// Per-row anomaly scores of the trained forest over `data`.
+    ///
+    /// The evaluation is read-only and fans out across cores. Each row
+    /// folds its tree path lengths in the same ascending tree order as
+    /// a sequential scan, so scores are bit-identical to a serial
+    /// evaluation.
+    fn eval(&self, data: &ProjectedMatrix) -> Vec<f64> {
+        let n = data.n_rows();
+        let n_trees = self.trees.len();
         par_chunk_flat_map(n, CHUNK_ROWS, |start, end| {
             (start..end)
                 .map(|i| {
                     let row = data.row(i);
                     let mut sum = 0.0f64;
-                    for tree in trees_ref {
+                    for tree in &self.trees {
                         sum += tree.path_length(row);
                     }
-                    let e_h = sum / self.trees as f64;
-                    2.0f64.powf(-e_h / c_psi)
+                    let e_h = sum / n_trees as f64;
+                    2.0f64.powf(-e_h / self.c_psi)
                 })
                 .collect()
         })
+    }
+}
+
+/// Isolation Forest frozen against one matrix: every repetition's tree
+/// ensemble is trained once at fit time, after which scoring replays
+/// only the read-only path-length evaluation.
+#[derive(Debug, Clone)]
+pub struct FittedIsolationForest {
+    reps: Vec<ForestRep>,
+    data: ProjectedMatrix,
+}
+
+impl FittedIsolationForest {
+    /// Trains every repetition's forest on `data` and freezes the
+    /// ensembles together with the coordinates.
+    #[must_use]
+    pub fn fit(forest: IsolationForest, data: &ProjectedMatrix) -> Self {
+        let reps = (0..forest.repetitions)
+            .map(|rep| {
+                let mut rng = StdRng::seed_from_u64(forest.seed.wrapping_add(rep as u64));
+                forest.build_rep(data, &mut rng)
+            })
+            .collect();
+        FittedIsolationForest {
+            reps,
+            data: data.clone(),
+        }
+    }
+
+    /// Total number of trained trees across every repetition.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.reps.iter().map(|r| r.trees.len()).sum()
+    }
+
+    /// Averaged scores of the fit rows, bit-identical to
+    /// [`Detector::score_all`] on the fit matrix: same per-repetition
+    /// evaluation, same ascending accumulation order, same final
+    /// division.
+    #[must_use]
+    pub fn score_all(&self) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.data.n_rows()];
+        for rep in &self.reps {
+            for (a, s) in acc.iter_mut().zip(rep.eval(&self.data)) {
+                *a += s;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.reps.len() as f64;
+        }
+        acc
+    }
+}
+
+impl FittedModel for FittedIsolationForest {
+    fn score_fit_rows(&self) -> Vec<f64> {
+        self.score_all()
+    }
+
+    fn name(&self) -> &'static str {
+        "iForest"
+    }
+
+    fn n_rows(&self) -> usize {
+        self.data.n_rows()
     }
 }
 
@@ -314,6 +405,10 @@ impl Detector for IsolationForest {
 
     fn name(&self) -> &'static str {
         "iForest"
+    }
+
+    fn fit(&self, data: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        Some(Box::new(FittedIsolationForest::fit(*self, data)))
     }
 }
 
@@ -447,6 +542,26 @@ mod unit_tests {
         for w in scores.windows(2) {
             assert_eq!(w[0], w[1]);
         }
+    }
+
+    #[test]
+    fn fitted_model_is_bit_identical_to_score_all() {
+        let (ds, _) = cluster_with_outlier(120);
+        let m = ds.full_matrix();
+        let forest = IsolationForest::builder()
+            .trees(25)
+            .repetitions(3)
+            .seed(17)
+            .build()
+            .unwrap();
+        let fitted = FittedIsolationForest::fit(forest, &m);
+        assert_eq!(fitted.score_fit_rows(), forest.score_all(&m));
+        assert_eq!(fitted.n_rows(), m.n_rows());
+        assert_eq!(fitted.n_trees(), 75);
+        // Scoring from frozen trees is replayable (no hidden RNG state).
+        assert_eq!(fitted.score_all(), fitted.score_all());
+        let via_trait = Detector::fit(&forest, &m).expect("iForest has a fit path");
+        assert_eq!(via_trait.score_fit_rows(), forest.score_all(&m));
     }
 
     #[test]

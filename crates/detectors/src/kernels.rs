@@ -119,7 +119,10 @@ impl GatheredMatrix {
     /// # Panics
     /// Panics when the row range is invalid or `out` is too small.
     pub fn sq_dists_block_into(&self, i0: usize, i1: usize, out: &mut [f64]) {
-        assert!(i0 <= i1 && i1 <= self.n_rows, "invalid row block {i0}..{i1}");
+        assert!(
+            i0 <= i1 && i1 <= self.n_rows,
+            "invalid row block {i0}..{i1}"
+        );
         let n = self.n_rows;
         let rows = i1 - i0;
         let out = &mut out[..rows * n];
@@ -403,7 +406,14 @@ pub fn knn_table_from_sq_dists(dists: &SqDistMatrix, k: usize) -> KnnTable {
     let mut distances = Vec::with_capacity(n * k);
     let mut shortlist: Vec<(u64, usize)> = Vec::new();
     for i in 0..n {
-        select_row(dists.row(i), i, k, &mut neighbors, &mut distances, &mut shortlist);
+        select_row(
+            dists.row(i),
+            i,
+            k,
+            &mut neighbors,
+            &mut distances,
+            &mut shortlist,
+        );
     }
     KnnTable::from_flat(neighbors, distances, n, k)
 }

@@ -58,12 +58,7 @@ impl KnnTable {
     /// # Panics
     /// Panics when either buffer's length differs from `n_rows * k`.
     #[must_use]
-    pub fn from_flat(
-        neighbors: Vec<usize>,
-        distances: Vec<f64>,
-        n_rows: usize,
-        k: usize,
-    ) -> Self {
+    pub fn from_flat(neighbors: Vec<usize>, distances: Vec<f64>, n_rows: usize, k: usize) -> Self {
         assert_eq!(neighbors.len(), n_rows * k, "neighbor buffer length");
         assert_eq!(distances.len(), n_rows * k, "distance buffer length");
         KnnTable {

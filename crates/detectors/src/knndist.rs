@@ -12,6 +12,7 @@
 //! nearest neighbours — either the distance to the k-th neighbour
 //! (max-aggregation) or the mean over all k (mean-aggregation).
 
+use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
 use crate::knn::{knn_table_with, KnnBackend, KnnTable};
 use crate::{Detector, DetectorError, Result};
@@ -110,6 +111,57 @@ impl Detector for KnnDist {
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
         Some(self.aggregate(&knn_table_from_sq_dists(dists, self.k)))
     }
+
+    fn fit(&self, data: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        Some(Box::new(FittedKnnDist::fit(*self, data)))
+    }
+}
+
+/// kNN-distance frozen against one matrix: the kNN table is computed
+/// once at fit time; scoring replays only the aggregation.
+#[derive(Debug, Clone)]
+pub struct FittedKnnDist {
+    det: KnnDist,
+    knn: KnnTable,
+}
+
+impl FittedKnnDist {
+    /// Builds the kNN table of `data` and freezes it.
+    ///
+    /// # Panics
+    /// Panics when `data` has fewer than 2 rows (kNN is undefined).
+    #[must_use]
+    pub fn fit(det: KnnDist, data: &ProjectedMatrix) -> Self {
+        let knn = knn_table_with(data, det.k, det.backend);
+        FittedKnnDist { det, knn }
+    }
+
+    /// The frozen kNN table.
+    #[must_use]
+    pub fn knn(&self) -> &KnnTable {
+        &self.knn
+    }
+
+    /// Aggregated distances of the fit rows, bit-identical to
+    /// [`Detector::score_all`] on the fit matrix.
+    #[must_use]
+    pub fn score_all(&self) -> Vec<f64> {
+        self.det.aggregate(&self.knn)
+    }
+}
+
+impl FittedModel for FittedKnnDist {
+    fn score_fit_rows(&self) -> Vec<f64> {
+        self.score_all()
+    }
+
+    fn name(&self) -> &'static str {
+        "KnnDist"
+    }
+
+    fn n_rows(&self) -> usize {
+        self.knn.n_rows()
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +257,17 @@ mod unit_tests {
     #[test]
     fn rejects_zero_k() {
         assert!(KnnDist::new(0).is_err());
+    }
+
+    #[test]
+    fn fitted_model_is_bit_identical_to_score_all() {
+        let ds = cluster_with_outlier();
+        let m = ds.full_matrix();
+        for agg in [KnnAggregation::Max, KnnAggregation::Mean] {
+            let det = KnnDist::new(5).unwrap().with_aggregation(agg);
+            let fitted = FittedKnnDist::fit(det, &m);
+            assert_eq!(fitted.score_fit_rows(), det.score_all(&m), "{agg:?}");
+            assert_eq!(fitted.n_rows(), m.n_rows());
+        }
     }
 }

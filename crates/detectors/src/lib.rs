@@ -36,6 +36,7 @@
 #![deny(unsafe_code)]
 
 pub mod abod;
+pub mod fit;
 pub mod iforest;
 pub mod kdtree;
 pub mod kernels;
@@ -45,11 +46,12 @@ pub mod loda;
 pub mod lof;
 pub mod zscore;
 
-pub use abod::FastAbod;
-pub use iforest::IsolationForest;
-pub use knndist::KnnDist;
+pub use abod::{FastAbod, FittedFastAbod};
+pub use fit::{fit_model, FittedModel, PrecomputedScores};
+pub use iforest::{FittedIsolationForest, IsolationForest};
+pub use knndist::{FittedKnnDist, KnnDist};
 pub use loda::Loda;
-pub use lof::Lof;
+pub use lof::{FittedLof, Lof};
 
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
@@ -83,6 +85,18 @@ pub trait Detector: Send + Sync {
     fn score_from_sq_dists(&self, _dists: &SqDistMatrix) -> Option<Vec<f64>> {
         None
     }
+
+    /// Freezes the detector's data-dependent state against `data`,
+    /// entering the fit/score lifecycle ([`fit`](crate::fit)).
+    ///
+    /// Returns `None` (the default) when the detector has no dedicated
+    /// fit path; callers wanting a model unconditionally should use
+    /// [`fit_model`], which falls back to [`PrecomputedScores`]. When
+    /// `Some`, the model's [`FittedModel::score_fit_rows`] is
+    /// bit-identical to [`Detector::score_all`] on `data`.
+    fn fit(&self, _data: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        None
+    }
 }
 
 impl<T: Detector + ?Sized> Detector for &T {
@@ -95,6 +109,9 @@ impl<T: Detector + ?Sized> Detector for &T {
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
         (**self).score_from_sq_dists(dists)
     }
+    fn fit(&self, data: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        (**self).fit(data)
+    }
 }
 
 impl Detector for Box<dyn Detector> {
@@ -106,6 +123,9 @@ impl Detector for Box<dyn Detector> {
     }
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
         (**self).score_from_sq_dists(dists)
+    }
+    fn fit(&self, data: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        (**self).fit(data)
     }
 }
 

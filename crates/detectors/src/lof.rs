@@ -5,6 +5,7 @@
 //! Inliers score ≈ 1, outliers substantially above 1. Time complexity
 //! O(N²·d), dominated by the kNN scan.
 
+use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
 use crate::knn::{knn_table_with, KnnBackend, KnnTable};
 use crate::{Detector, DetectorError, Result};
@@ -105,6 +106,58 @@ impl Detector for Lof {
 
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
         Some(self.score_from_knn(&knn_table_from_sq_dists(dists, self.k)))
+    }
+
+    fn fit(&self, data: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        Some(Box::new(FittedLof::fit(*self, data)))
+    }
+}
+
+/// LOF frozen against one matrix: the kNN table is computed once at fit
+/// time, after which scoring is a cheap read-only pass over it.
+#[derive(Debug, Clone)]
+pub struct FittedLof {
+    lof: Lof,
+    knn: KnnTable,
+}
+
+impl FittedLof {
+    /// Builds the kNN table of `data` and freezes it.
+    ///
+    /// # Panics
+    /// Panics when `data` has fewer than 2 rows (kNN is undefined).
+    #[must_use]
+    pub fn fit(lof: Lof, data: &ProjectedMatrix) -> Self {
+        let knn = knn_table_with(data, lof.k, lof.backend);
+        FittedLof { lof, knn }
+    }
+
+    /// The frozen kNN table.
+    #[must_use]
+    pub fn knn(&self) -> &KnnTable {
+        &self.knn
+    }
+
+    /// LOF scores of the fit rows, bit-identical to
+    /// [`Detector::score_all`] on the fit matrix (both are
+    /// [`Lof::score_from_knn`] over the same table).
+    #[must_use]
+    pub fn score_all(&self) -> Vec<f64> {
+        self.lof.score_from_knn(&self.knn)
+    }
+}
+
+impl FittedModel for FittedLof {
+    fn score_fit_rows(&self) -> Vec<f64> {
+        self.score_all()
+    }
+
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+
+    fn n_rows(&self) -> usize {
+        self.knn.n_rows()
     }
 }
 
@@ -215,6 +268,20 @@ mod unit_tests {
     #[test]
     fn rejects_zero_k() {
         assert!(Lof::new(0).is_err());
+    }
+
+    #[test]
+    fn fitted_model_is_bit_identical_to_score_all() {
+        let ds = grid_with_outlier();
+        let m = ds.full_matrix();
+        let lof = Lof::new(5).unwrap();
+        let fitted = FittedLof::fit(lof, &m);
+        assert_eq!(fitted.score_fit_rows(), lof.score_all(&m));
+        assert_eq!(fitted.n_rows(), m.n_rows());
+        // The trait entry point produces the same frozen model.
+        let via_trait = Detector::fit(&lof, &m).expect("LOF has a fit path");
+        assert_eq!(via_trait.score_fit_rows(), lof.score_all(&m));
+        assert_eq!(via_trait.name(), "LOF");
     }
 
     #[test]

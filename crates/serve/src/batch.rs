@@ -1,0 +1,610 @@
+//! The micro-batching request scheduler: a bounded queue with
+//! backpressure, a deadline-or-capacity batch cut, and a worker pool that
+//! fans each batch out through [`anomex_parallel::par_map`].
+//!
+//! The scheduler exists because explanation requests arrive one at a
+//! time but are served best in groups: concurrent requests against the
+//! same (dataset, detector) pair share the fitted-model registry and the
+//! score cache, so running them shoulder-to-shoulder turns N detector
+//! fits into one fit plus N−1 lookups. [`Batcher`] makes that sharing
+//! systematic without changing any result — execution through a batch is
+//! bit-identical to executing each request alone, a property the
+//! scheduler property tests pin down.
+//!
+//! ## Lifecycle of a request
+//!
+//! 1. [`Batcher::submit`] pushes the request onto a **bounded** queue.
+//!    A full queue fails fast with [`ServeError::Rejected`]
+//!    (backpressure — the caller decides whether to retry), never
+//!    blocks the submitter.
+//! 2. A worker cuts a batch when either `max_batch` requests are
+//!    waiting **or** the oldest request has waited `max_delay`
+//!    (deadline-or-capacity cut: latency is bounded even at low load).
+//! 3. The batch executes via [`anomex_parallel::par_map`]; each request's
+//!    handler runs under `catch_unwind`, so one panicking request fails
+//!    itself ([`ServeError::Internal`]) without taking the batch down.
+//! 4. The submitter redeems its [`Ticket`]; a per-request deadline turns
+//!    into [`ServeError::TimedOut`] — both when the worker notices the
+//!    expiry before executing and when the waiter gives up first — so an
+//!    overloaded service degrades into fast failures, not hangs.
+
+use anomex_parallel::par_map;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard from a poisoned lock. The
+/// scheduler's own critical sections never panic; poison could only come
+/// from a crashed worker, and abandoning the queue then would turn one
+/// failure into a deadlock for every waiter.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a request failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full at submission time (backpressure).
+    Rejected,
+    /// The request's deadline expired before a result was produced.
+    TimedOut,
+    /// The scheduler is shutting down.
+    ShutDown,
+    /// The request's handler panicked; the payload is the panic message.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "queue full, request rejected"),
+            ServeError::TimedOut => write!(f, "deadline expired"),
+            ServeError::ShutDown => write!(f, "service shut down"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Scheduler tuning knobs. The defaults favour interactive workloads:
+/// small batches cut after at most 2 ms of coalescing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum queued (not yet executing) requests; submissions beyond
+    /// this fail with [`ServeError::Rejected`]. Clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Maximum requests per batch. Clamped to ≥ 1.
+    pub max_batch: usize,
+    /// How long a worker may hold an underfull batch open waiting for
+    /// more requests, measured from the oldest request's arrival.
+    pub max_delay: Duration,
+    /// Worker threads cutting and executing batches. Clamped to ≥ 1.
+    pub workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            queue_capacity: 1024,
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            workers: 2,
+        }
+    }
+}
+
+/// Execution context the scheduler hands to the request handler.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchContext {
+    /// Time the request spent queued before its batch started executing.
+    pub queued: Duration,
+    /// Number of live requests in the batch executing alongside this one.
+    pub batch_size: usize,
+}
+
+/// A snapshot of the scheduler's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Requests accepted onto the queue.
+    pub submitted: usize,
+    /// Submissions refused because the queue was full.
+    pub rejected: usize,
+    /// Requests whose deadline expired before execution.
+    pub timed_out: usize,
+    /// Requests whose handler returned normally.
+    pub completed: usize,
+    /// Requests whose handler panicked.
+    pub failed: usize,
+    /// Batches cut.
+    pub batches: usize,
+    /// Largest batch executed so far.
+    pub max_batch_size: usize,
+}
+
+/// Shared atomic counters behind [`BatchStats`]; `Arc`-shared with the
+/// service so a `stats` request can report them from inside a handler.
+#[derive(Debug, Default)]
+pub struct BatchCounters {
+    submitted: AtomicUsize,
+    rejected: AtomicUsize,
+    timed_out: AtomicUsize,
+    completed: AtomicUsize,
+    failed: AtomicUsize,
+    batches: AtomicUsize,
+    max_batch_size: AtomicUsize,
+}
+
+impl BatchCounters {
+    /// A consistent-enough snapshot of the counters (each counter is read
+    /// atomically; the set is not a single atomic transaction).
+    #[must_use]
+    pub fn snapshot(&self) -> BatchStats {
+        BatchStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The slot a submitter waits on: filled exactly once by a worker (or by
+/// shutdown), then consumed by [`Ticket::wait`].
+struct TicketInner<R> {
+    slot: Mutex<Option<Result<R, ServeError>>>,
+    done: Condvar,
+}
+
+impl<R> TicketInner<R> {
+    fn new() -> Self {
+        TicketInner {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, res: Result<R, ServeError>) {
+        *lock(&self.slot) = Some(res);
+        self.done.notify_all();
+    }
+}
+
+/// The submitter's claim on a queued request's eventual result.
+pub struct Ticket<R> {
+    inner: Arc<TicketInner<R>>,
+    deadline: Option<Instant>,
+}
+
+impl<R> Ticket<R> {
+    /// Blocks until the request completes, fails, or its deadline
+    /// expires. A completed result beats a simultaneously-expired
+    /// deadline (the slot is checked first), so deadlines never discard
+    /// finished work.
+    pub fn wait(self) -> Result<R, ServeError> {
+        let mut slot = lock(&self.inner.slot);
+        loop {
+            if let Some(res) = slot.take() {
+                return res;
+            }
+            match self.deadline {
+                None => {
+                    slot = self
+                        .inner
+                        .done
+                        .wait(slot)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(ServeError::TimedOut);
+                    }
+                    slot = self
+                        .inner
+                        .done
+                        .wait_timeout(slot, d - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking poll: `Some` once the result is available. Consumes
+    /// the result, so a later [`Ticket::wait`] would block forever —
+    /// use one or the other.
+    pub fn try_take(&self) -> Option<Result<R, ServeError>> {
+        lock(&self.inner.slot).take()
+    }
+}
+
+/// One queued request.
+struct Job<Q, R> {
+    req: Q,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    ticket: Arc<TicketInner<R>>,
+}
+
+struct QueueState<Q, R> {
+    queue: VecDeque<Job<Q, R>>,
+    shutdown: bool,
+}
+
+type Handler<Q, R> = Box<dyn Fn(&Q, &BatchContext) -> R + Send + Sync>;
+
+struct Shared<Q, R> {
+    state: Mutex<QueueState<Q, R>>,
+    arrived: Condvar,
+    cfg: BatchConfig,
+    counters: Arc<BatchCounters>,
+    handler: Handler<Q, R>,
+}
+
+/// The micro-batching scheduler — see the [module docs](self).
+pub struct Batcher<Q, R> {
+    shared: Arc<Shared<Q, R>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
+    /// Starts the worker pool. `handler` executes one request within its
+    /// batch; it must be deterministic in the request alone for batch
+    /// composition to be unobservable in the results.
+    pub fn new<F>(cfg: BatchConfig, handler: F) -> Self
+    where
+        F: Fn(&Q, &BatchContext) -> R + Send + Sync + 'static,
+    {
+        let cfg = BatchConfig {
+            queue_capacity: cfg.queue_capacity.max(1),
+            max_batch: cfg.max_batch.max(1),
+            max_delay: cfg.max_delay,
+            workers: cfg.workers.max(1),
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            arrived: Condvar::new(),
+            cfg,
+            counters: Arc::new(BatchCounters::default()),
+            handler: Box::new(handler),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("anomex-serve-worker-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        Batcher { shared, workers }
+    }
+
+    /// Enqueues a request. `deadline` is a per-request time budget
+    /// measured from now; once it expires the request resolves to
+    /// [`ServeError::TimedOut`] instead of executing.
+    ///
+    /// # Errors
+    /// [`ServeError::Rejected`] when the queue is at capacity,
+    /// [`ServeError::ShutDown`] after the scheduler started stopping.
+    pub fn submit(&self, req: Q, deadline: Option<Duration>) -> Result<Ticket<R>, ServeError> {
+        let now = Instant::now();
+        let deadline = deadline.map(|d| now + d);
+        let inner = Arc::new(TicketInner::new());
+        {
+            let mut st = lock(&self.shared.state);
+            if st.shutdown {
+                return Err(ServeError::ShutDown);
+            }
+            if st.queue.len() >= self.shared.cfg.queue_capacity {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Rejected);
+            }
+            st.queue.push_back(Job {
+                req,
+                enqueued: now,
+                deadline,
+                ticket: Arc::clone(&inner),
+            });
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.arrived.notify_one();
+        Ok(Ticket { inner, deadline })
+    }
+
+    /// The scheduler's live counters (shareable with request handlers).
+    #[must_use]
+    pub fn counters(&self) -> Arc<BatchCounters> {
+        Arc::clone(&self.shared.counters)
+    }
+
+    /// A snapshot of the scheduler's counters.
+    #[must_use]
+    pub fn stats(&self) -> BatchStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Requests currently queued (not yet cut into a batch).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        lock(&self.shared.state).queue.len()
+    }
+
+    fn worker_loop(shared: &Shared<Q, R>) {
+        loop {
+            let batch: Vec<Job<Q, R>> = {
+                let mut st = lock(&shared.state);
+                loop {
+                    if !st.queue.is_empty() {
+                        break;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = shared
+                        .arrived
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                // Deadline-or-capacity cut: hold the batch open until it
+                // is full, the oldest request has waited `max_delay`, or
+                // shutdown flushes everything immediately.
+                let cut = st.queue.front().expect("queue nonempty").enqueued + shared.cfg.max_delay;
+                while st.queue.len() < shared.cfg.max_batch && !st.shutdown {
+                    let now = Instant::now();
+                    if now >= cut {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .arrived
+                        .wait_timeout(st, cut - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                let take = st.queue.len().min(shared.cfg.max_batch);
+                st.queue.drain(..take).collect()
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            Self::run_batch(shared, &batch);
+        }
+    }
+
+    fn run_batch(shared: &Shared<Q, R>, batch: &[Job<Q, R>]) {
+        let counters = &shared.counters;
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        // Expired requests fail fast without costing detector work.
+        let mut live: Vec<&Job<Q, R>> = Vec::with_capacity(batch.len());
+        for job in batch {
+            if job.deadline.is_some_and(|d| started >= d) {
+                counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                job.ticket.fill(Err(ServeError::TimedOut));
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        counters
+            .max_batch_size
+            .fetch_max(live.len(), Ordering::Relaxed);
+        let batch_size = live.len();
+        let results = par_map(&live, |job| {
+            let ctx = BatchContext {
+                queued: started.saturating_duration_since(job.enqueued),
+                batch_size,
+            };
+            catch_unwind(AssertUnwindSafe(|| (shared.handler)(&job.req, &ctx)))
+                .map_err(|payload| ServeError::Internal(panic_message(payload.as_ref())))
+        });
+        for (job, res) in live.iter().zip(results) {
+            match &res {
+                Ok(_) => counters.completed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+            };
+            job.ticket.fill(res);
+        }
+    }
+}
+
+impl<Q, R> Drop for Batcher<Q, R> {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.arrived.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers drain the queue before exiting; anything still present
+        // (a worker died mid-batch) resolves to ShutDown rather than a
+        // waiter hang.
+        let mut st = lock(&self.shared.state);
+        for job in st.queue.drain(..) {
+            job.ticket.fill(Err(ServeError::ShutDown));
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "request handler panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn echo_batcher(cfg: BatchConfig) -> Batcher<u64, u64> {
+        Batcher::new(cfg, |&req: &u64, _ctx| req.wrapping_mul(3).wrapping_add(1))
+    }
+
+    #[test]
+    fn roundtrip_preserves_request_identity() {
+        let b = echo_batcher(BatchConfig::default());
+        let tickets: Vec<_> = (0..100u64)
+            .map(|i| b.submit(i, None).expect("queue has room"))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), Ok((i as u64).wrapping_mul(3).wrapping_add(1)));
+        }
+        let stats = b.stats();
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.max_batch_size <= BatchConfig::default().max_batch);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        // A gate keeps the single worker busy so the queue backs up
+        // deterministically.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let handler_gate = Arc::clone(&gate);
+        let b: Batcher<u32, u32> = Batcher::new(
+            BatchConfig {
+                queue_capacity: 1,
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                workers: 1,
+            },
+            move |&req, _ctx| {
+                let (open, cv) = &*handler_gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                req
+            },
+        );
+        let first = b.submit(1, None).expect("empty queue accepts");
+        // Wait for the worker to pull the first job off the queue.
+        let t0 = Instant::now();
+        while b.queue_len() > 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "worker never started"
+            );
+            std::thread::yield_now();
+        }
+        let second = b.submit(2, None).expect("one slot free");
+        assert_eq!(b.submit(3, None).err(), Some(ServeError::Rejected));
+        assert_eq!(b.stats().rejected, 1);
+        // Release the worker: both accepted requests complete.
+        {
+            let (open, cv) = &*gate;
+            *open.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert_eq!(first.wait(), Ok(1));
+        assert_eq!(second.wait(), Ok(2));
+    }
+
+    #[test]
+    fn expired_deadline_times_out_instead_of_hanging() {
+        let b: Batcher<u32, u32> = Batcher::new(
+            BatchConfig {
+                max_delay: Duration::from_millis(200),
+                max_batch: 8,
+                ..BatchConfig::default()
+            },
+            |&req, _ctx| {
+                std::thread::sleep(Duration::from_millis(50));
+                req
+            },
+        );
+        let t = b
+            .submit(7, Some(Duration::from_millis(1)))
+            .expect("queue has room");
+        let t0 = Instant::now();
+        assert_eq!(t.wait(), Err(ServeError::TimedOut));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "timeout must be prompt"
+        );
+    }
+
+    #[test]
+    fn panicking_handler_fails_only_its_own_request() {
+        let b: Batcher<u32, u32> = Batcher::new(BatchConfig::default(), |&req, _ctx| {
+            assert!(req != 13, "unlucky request");
+            req
+        });
+        let bad = b.submit(13, None).expect("queue has room");
+        let good = b.submit(14, None).expect("queue has room");
+        match bad.wait() {
+            Err(ServeError::Internal(msg)) => assert!(msg.contains("unlucky")),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert_eq!(good.wait(), Ok(14));
+        assert_eq!(b.stats().failed, 1);
+    }
+
+    #[test]
+    fn drop_completes_queued_work() {
+        let b = echo_batcher(BatchConfig {
+            workers: 1,
+            max_delay: Duration::from_millis(1),
+            ..BatchConfig::default()
+        });
+        let tickets: Vec<_> = (0..32u64)
+            .map(|i| b.submit(i, None).expect("queue has room"))
+            .collect();
+        drop(b);
+        // Workers flush the queue on shutdown: every ticket resolves.
+        for (i, t) in tickets.into_iter().enumerate() {
+            match t.wait() {
+                Ok(v) => assert_eq!(v, (i as u64).wrapping_mul(3).wrapping_add(1)),
+                Err(e) => assert_eq!(e, ServeError::ShutDown),
+            }
+        }
+    }
+
+    #[test]
+    fn context_reports_batch_size() {
+        let b: Batcher<u32, usize> = Batcher::new(
+            BatchConfig {
+                max_delay: Duration::from_millis(100),
+                max_batch: 4,
+                workers: 1,
+                ..BatchConfig::default()
+            },
+            |_req, ctx| ctx.batch_size,
+        );
+        let tickets: Vec<_> = (0..4u32)
+            .map(|i| b.submit(i, None).expect("queue has room"))
+            .collect();
+        let sizes: Vec<usize> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert!(sizes.iter().all(|&s| (1..=4).contains(&s)));
+    }
+}

@@ -1,0 +1,192 @@
+//! JSON-lines front end for the anomex explanation service.
+//!
+//! One JSON request per input line, one JSON response per output line
+//! (see `anomex_serve::protocol`). Two transports, both on `std` alone:
+//!
+//! * `--stdin` (default): read stdin, write stdout, exit at EOF.
+//!   Responses come back in submission order.
+//! * `--listen ADDR`: line-oriented TCP, one thread per connection,
+//!   all connections sharing one scheduler — concurrent clients are
+//!   what micro-batching is for.
+
+use anomex_serve::batch::BatchConfig;
+use anomex_serve::protocol::Response;
+use anomex_serve::service::{ExplanationService, ServeHandle, Submitted};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+anomex_serve — JSON-lines outlier-explanation service
+
+USAGE:
+    anomex_serve [--stdin]                 serve stdin → stdout (default)
+    anomex_serve --listen ADDR             serve line-oriented TCP (e.g. 127.0.0.1:7878)
+
+OPTIONS:
+    --queue N          queue capacity before backpressure   [default: 1024]
+    --batch N          max requests per batch               [default: 32]
+    --delay-ms N       max batch-coalescing delay in ms     [default: 2]
+    --workers N        scheduler worker threads             [default: 2]
+    --deadline-ms N    per-request deadline in ms           [default: none]
+    --help             print this help
+";
+
+struct Options {
+    listen: Option<String>,
+    cfg: BatchConfig,
+    deadline: Option<Duration>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        listen: None,
+        cfg: BatchConfig::default(),
+        deadline: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--stdin" => opts.listen = None,
+            "--listen" => opts.listen = Some(value("--listen")?.clone()),
+            "--queue" => {
+                opts.cfg.queue_capacity = parse_num(value("--queue")?, "--queue")?;
+            }
+            "--batch" => {
+                opts.cfg.max_batch = parse_num(value("--batch")?, "--batch")?;
+            }
+            "--delay-ms" => {
+                let ms: u64 = parse_num(value("--delay-ms")?, "--delay-ms")?;
+                opts.cfg.max_delay = Duration::from_millis(ms);
+            }
+            "--workers" => {
+                opts.cfg.workers = parse_num(value("--workers")?, "--workers")?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(value("--deadline-ms")?, "--deadline-ms")?;
+                opts.deadline = Some(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("{flag} needs a non-negative integer, got '{value}'"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(ExplanationService::new());
+    let handle = Arc::new(ServeHandle::start(service, opts.cfg, opts.deadline));
+    match &opts.listen {
+        None => run_stdin(&handle),
+        Some(addr) => run_tcp(&handle, addr),
+    }
+}
+
+/// Stdin mode: a reaper thread prints responses in submission order
+/// while the main thread keeps reading, so consecutive lines can share
+/// a batch.
+fn run_stdin(handle: &Arc<ServeHandle>) -> ExitCode {
+    let (tx, rx) = mpsc::channel::<Submitted>();
+    let reaper = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        let mut out = BufWriter::new(stdout.lock());
+        for submitted in rx {
+            let resp = submitted.resolve();
+            if write_response(&mut out, &resp).is_err() {
+                return;
+            }
+            // Interactive pipes expect prompt responses; flushing per
+            // line costs little at this throughput.
+            let _ = out.flush();
+        }
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if let Some(submitted) = handle.submit_line(&line) {
+            if tx.send(submitted).is_err() {
+                break;
+            }
+        }
+    }
+    drop(tx);
+    let _ = reaper.join();
+    ExitCode::SUCCESS
+}
+
+/// TCP mode: one thread per connection, one shared scheduler.
+fn run_tcp(handle: &Arc<ServeHandle>, addr: &str) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("anomex_serve listening on {addr}");
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let handle = Arc::clone(handle);
+                let _ = std::thread::Builder::new()
+                    .name("anomex-serve-conn".to_string())
+                    .spawn(move || serve_connection(&handle, stream));
+            }
+            Err(e) => eprintln!("warning: failed connection: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_connection(handle: &ServeHandle, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let Some(submitted) = handle.submit_line(&line) else {
+            continue;
+        };
+        let resp = submitted.resolve();
+        if write_response(&mut writer, &resp).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+fn write_response<W: Write>(out: &mut W, resp: &Response) -> std::io::Result<()> {
+    let json = serde_json::to_string(resp).unwrap_or_else(|e| {
+        format!(
+            "{{\"id\":{},\"ok\":false,\"error\":\"serialize: {e}\"}}",
+            resp.id
+        )
+    });
+    writeln!(out, "{json}")
+}

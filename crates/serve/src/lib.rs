@@ -1,0 +1,71 @@
+//! # anomex-serve
+//!
+//! The serving layer: a fitted-model registry plus a micro-batching
+//! explanation service over the anomex framework.
+//!
+//! The paper's pipelines are batch experiments — fit, explain, write a
+//! figure. Serving inverts the shape: requests arrive one at a time,
+//! concurrently, against long-lived data. This crate adds the three
+//! pieces that inversion needs, all on `std` and the existing workspace
+//! crates (no new external dependencies):
+//!
+//! * [`registry::ModelRegistry`] — fits each (dataset, detector,
+//!   subspace) model **exactly once** (racing requests elect one
+//!   fitter) and serves concurrent readers through `Arc`s, built on the
+//!   explicit fit/score lifecycle of [`anomex_detectors::fit`];
+//! * [`batch::Batcher`] — a bounded request queue with backpressure
+//!   ([`batch::ServeError::Rejected`]), a deadline-or-capacity batch
+//!   cut, per-request deadlines ([`batch::ServeError::TimedOut`]) and a
+//!   worker pool fanning batches out through `anomex-parallel`;
+//! * [`service::ExplanationService`] / [`service::ServeHandle`] — the
+//!   request executor speaking the JSON-lines [`protocol`], serving
+//!   detector scores and Beam/LookOut/RefOut/HiCS explanations that are
+//!   **bit-identical** to direct [`anomex_core::ExplanationEngine`]
+//!   calls, with per-stage timing folded into
+//!   [`anomex_core::RunStats`].
+//!
+//! The `anomex_serve` binary wraps a [`service::ServeHandle`] in a
+//! stdin/stdout loop (`--stdin`) or a line-oriented TCP listener
+//! (`--listen ADDR`).
+//!
+//! ```
+//! use anomex_serve::protocol::{Request, RequestBody};
+//! use anomex_serve::service::{ExplanationService, ServeHandle};
+//! use anomex_serve::batch::BatchConfig;
+//! use anomex_dataset::Dataset;
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(ExplanationService::new());
+//! let mut rows: Vec<Vec<f64>> = (0..12)
+//!     .map(|i| vec![(i % 4) as f64 * 0.01, (i / 4) as f64 * 0.01])
+//!     .collect();
+//! rows.push(vec![5.0, 5.0]);
+//! service
+//!     .register_dataset("toy", Dataset::from_rows(rows).unwrap())
+//!     .unwrap();
+//! let handle = ServeHandle::start(service, BatchConfig::default(), None);
+//! let resp = handle.roundtrip(Request {
+//!     id: 1,
+//!     body: RequestBody::Score {
+//!         dataset: "toy".into(),
+//!         detector: "lof:k=3".into(),
+//!         subspace: None,
+//!         point: 12,
+//!     },
+//! });
+//! assert!(resp.ok);
+//! assert!(resp.score.unwrap() > 0.0, "planted outlier scores high");
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod batch;
+pub mod protocol;
+pub mod registry;
+pub mod service;
+
+pub use batch::{BatchConfig, BatchContext, BatchStats, Batcher, ServeError, Ticket};
+pub use protocol::{DatasetInfo, RankedEntry, Request, RequestBody, Response, ServeTiming};
+pub use registry::{FittedEntry, ModelKey, ModelRegistry, RegistryStats};
+pub use service::{ExplanationService, ServeHandle, Submitted};

@@ -1,0 +1,243 @@
+//! The wire protocol: one JSON object per line in, one per line out.
+//!
+//! Requests carry a client-chosen `id` echoed verbatim in the response,
+//! so clients may pipeline without ordering assumptions. The operation
+//! is selected by the `"op"` tag:
+//!
+//! ```json
+//! {"id": 1, "op": "load", "dataset": "toy", "rows": [[0.0, 0.1], [1.0, 0.9]]}
+//! {"id": 2, "op": "score", "dataset": "toy", "detector": "lof:k=3", "point": 0}
+//! {"id": 3, "op": "explain", "dataset": "toy", "detector": "lof",
+//!  "explainer": "beam", "point": 0, "dim": 2}
+//! {"id": 4, "op": "summarize", "dataset": "hics14", "detector": "iforest",
+//!  "explainer": "lookout:budget=3", "points": [813, 911], "dim": 2}
+//! {"id": 5, "op": "stats"}
+//! ```
+//!
+//! Responses always carry `id` and `ok`; the payload fields are present
+//! only when meaningful (`error` on failure, `score`/`explanation`/
+//! `dataset`/`service` per operation, `timing` on every served request).
+
+use crate::batch::BatchStats;
+use crate::registry::RegistryStats;
+use anomex_core::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation and its arguments.
+    #[serde(flatten)]
+    pub body: RequestBody,
+}
+
+/// The operation carried by a request, tagged by the `"op"` field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum RequestBody {
+    /// Registers a dataset under a name (row-major values). Re-using a
+    /// name is an error: fitted models are keyed by dataset name, so
+    /// silently replacing the data would serve stale models.
+    Load {
+        /// Name to register the dataset under.
+        dataset: String,
+        /// Row-major data values.
+        rows: Vec<Vec<f64>>,
+    },
+    /// The standardized outlyingness score of one point in one subspace,
+    /// served from the fitted-model registry.
+    Score {
+        /// Registered dataset name (or a `hicsN[@seed]` preset).
+        dataset: String,
+        /// Detector spec, e.g. `"lof"`, `"lof:k=5"`, `"iforest:trees=50"`.
+        detector: String,
+        /// Subspace feature indices; omitted = the full feature space.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        subspace: Option<Vec<usize>>,
+        /// Row index of the point to score.
+        point: usize,
+    },
+    /// A ranked subspace explanation of one point.
+    Explain {
+        /// Registered dataset name (or a `hicsN[@seed]` preset).
+        dataset: String,
+        /// Detector spec.
+        detector: String,
+        /// Explainer spec, e.g. `"beam"`, `"lookout:budget=3"`.
+        explainer: String,
+        /// Row index of the point to explain.
+        point: usize,
+        /// Explanation dimensionality (number of features).
+        dim: usize,
+    },
+    /// A ranked subspace summary of a set of points.
+    Summarize {
+        /// Registered dataset name (or a `hicsN[@seed]` preset).
+        dataset: String,
+        /// Detector spec.
+        detector: String,
+        /// Explainer spec (a summarizer, e.g. `"lookout"`, `"hics"`).
+        explainer: String,
+        /// Row indices of the points to summarize.
+        points: Vec<usize>,
+        /// Explanation dimensionality (number of features).
+        dim: usize,
+    },
+    /// Service counters: registry, scheduler and dataset census.
+    Stats,
+}
+
+/// One ranked subspace of an explanation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedEntry {
+    /// Feature indices of the subspace (sorted ascending).
+    pub subspace: Vec<usize>,
+    /// The score the explainer assigned it (larger = better explanation).
+    pub score: f64,
+}
+
+/// Shape of a registered dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetInfo {
+    /// Registered name.
+    pub name: String,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of features.
+    pub n_features: usize,
+}
+
+/// Service-wide counters returned by the `stats` operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Fitted-model registry counters.
+    pub registry: RegistryStats,
+    /// Micro-batching scheduler counters.
+    pub batch: BatchStats,
+    /// Registered datasets.
+    pub datasets: usize,
+}
+
+/// Per-request timing, folded into every served response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeTiming {
+    /// Microseconds the request spent queued before its batch executed.
+    pub queue_micros: u64,
+    /// Microseconds the request's handler spent executing.
+    pub exec_micros: u64,
+    /// Number of requests in the batch that served this request.
+    pub batch_size: usize,
+    /// Engine telemetry of the pass, for explain/summarize operations.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub run: Option<RunStats>,
+}
+
+/// One response line.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's correlation id (0 when the request had none, e.g.
+    /// on a parse failure).
+    pub id: u64,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Failure description, present iff `ok` is false.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// The requested score (for `score`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub score: Option<f64>,
+    /// The ranked explanation, best first (for `explain`/`summarize`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub explanation: Option<Vec<RankedEntry>>,
+    /// The registered dataset's shape (for `load`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dataset: Option<DatasetInfo>,
+    /// Service counters (for `stats`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub service: Option<ServiceStats>,
+    /// Per-request timing (on every served request).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timing: Option<ServeTiming>,
+}
+
+impl Response {
+    /// An error response.
+    #[must_use]
+    pub fn failure(id: u64, error: impl Into<String>) -> Self {
+        Response {
+            id,
+            ok: false,
+            error: Some(error.into()),
+            ..Response::default()
+        }
+    }
+
+    /// A success skeleton; callers fill the payload fields.
+    #[must_use]
+    pub fn success(id: u64) -> Self {
+        Response {
+            id,
+            ok: true,
+            ..Response::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = Request {
+            id: 7,
+            body: RequestBody::Score {
+                dataset: "toy".into(),
+                detector: "lof:k=5".into(),
+                subspace: Some(vec![0, 2]),
+                point: 3,
+            },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"score\""), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn stats_is_a_bare_op() {
+        let req: Request = serde_json::from_str(r#"{"id": 9, "op": "stats"}"#).unwrap();
+        assert_eq!(req.body, RequestBody::Stats);
+    }
+
+    #[test]
+    fn unknown_op_is_rejected() {
+        let res: Result<Request, _> = serde_json::from_str(r#"{"id": 1, "op": "frobnicate"}"#);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn response_omits_empty_fields() {
+        let json = serde_json::to_string(&Response::success(3)).unwrap();
+        assert_eq!(json, r#"{"id":3,"ok":true}"#);
+        let err = serde_json::to_string(&Response::failure(4, "nope")).unwrap();
+        assert!(err.contains("\"error\":\"nope\""), "{err}");
+        assert!(!err.contains("score"), "{err}");
+    }
+
+    #[test]
+    fn explain_request_parses() {
+        let line = r#"{"id": 2, "op": "explain", "dataset": "toy", "detector": "lof",
+                       "explainer": "beam", "point": 0, "dim": 2}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        match req.body {
+            RequestBody::Explain { point, dim, .. } => {
+                assert_eq!(point, 0);
+                assert_eq!(dim, 2);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+}

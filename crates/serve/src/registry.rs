@@ -1,0 +1,438 @@
+//! The fitted-model registry: fit once per (dataset, detector, subspace),
+//! serve concurrent readers forever.
+//!
+//! Detector work splits into an expensive, data-dependent **fit** (kNN
+//! tables for LOF/FastABOD/kNN-distance, trained tree ensembles for
+//! iForest — [`anomex_detectors::fit`]) and a cheap **score** read.
+//! A service answering many requests against the same data must not pay
+//! the fit per request; [`ModelRegistry`] keys fitted models by
+//! `(dataset, detector, subspace)` and guarantees **exactly one** fit per
+//! key no matter how many requests race on a cold entry — losers of the
+//! race block until the winner publishes, then share the model through an
+//! `Arc`.
+//!
+//! Each entry also freezes the **standardized score vector** of the fit
+//! rows — `standardize_scores(model.score_fit_rows())`, the exact
+//! arithmetic [`anomex_core::SubspaceScorer`] performs — so a
+//! registry-served score is bit-identical to a direct
+//! `ExplanationEngine`/detector call on the same key (the
+//! `crosscheck` integration tests pin this down per detector).
+
+use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::zscore::standardize_scores;
+use anomex_detectors::{fit_model, Detector, FittedModel};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard from a poisoned lock (fit panics
+/// are handled by the slot state machine, not by mutex poisoning).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Registry key: one fitted model per (dataset, detector, subspace).
+///
+/// The detector component must be a **canonical** description including
+/// every hyper-parameter and seed (e.g. `"lof:k=15"`), since two
+/// configurations of the same algorithm fit different models.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Registered dataset name.
+    pub dataset: String,
+    /// Canonical detector description (algorithm + hyper-parameters).
+    pub detector: String,
+    /// The subspace the model was fitted on.
+    pub subspace: Subspace,
+}
+
+impl ModelKey {
+    /// Builds a key from its three components.
+    #[must_use]
+    pub fn new(
+        dataset: impl Into<String>,
+        detector: impl Into<String>,
+        subspace: Subspace,
+    ) -> Self {
+        ModelKey {
+            dataset: dataset.into(),
+            detector: detector.into(),
+            subspace,
+        }
+    }
+}
+
+/// A fitted model plus the frozen standardized scores of its fit rows.
+pub struct FittedEntry {
+    model: Box<dyn FittedModel>,
+    scores: Arc<Vec<f64>>,
+    fit_time: Duration,
+}
+
+impl FittedEntry {
+    /// The frozen model.
+    #[must_use]
+    pub fn model(&self) -> &dyn FittedModel {
+        self.model.as_ref()
+    }
+
+    /// Standardized scores of the fit rows — bit-identical to
+    /// [`anomex_core::SubspaceScorer::scores`] for the same
+    /// (dataset, detector, subspace).
+    #[must_use]
+    pub fn scores(&self) -> &Arc<Vec<f64>> {
+        &self.scores
+    }
+
+    /// The standardized score of one fit row.
+    ///
+    /// # Panics
+    /// Panics when `point` is out of range.
+    #[must_use]
+    pub fn score_of(&self, point: usize) -> f64 {
+        self.scores[point]
+    }
+
+    /// Wall-clock time the fit took (projection + fit + standardization).
+    #[must_use]
+    pub fn fit_time(&self) -> Duration {
+        self.fit_time
+    }
+}
+
+/// A snapshot of the registry's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryStats {
+    /// Models fitted (cold misses; races on one key count once).
+    pub fits: usize,
+    /// Requests served by an already-fitted model.
+    pub hits: usize,
+    /// Entries evicted by the FIFO capacity bound.
+    pub evictions: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Peak resident entries over the registry's lifetime.
+    pub peak_entries: usize,
+}
+
+enum SlotState {
+    /// No fit has started yet.
+    Empty,
+    /// Some thread is fitting; waiters sleep on the slot's condvar.
+    Building,
+    /// The fit completed; every reader shares the entry.
+    Ready(Arc<FittedEntry>),
+    /// The fit panicked; waiters propagate the failure.
+    Poisoned,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Empty),
+            done: Condvar::new(),
+        }
+    }
+}
+
+struct RegistryMap {
+    slots: HashMap<ModelKey, Arc<Slot>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<ModelKey>,
+}
+
+/// Marks the slot poisoned if the fit unwinds, so waiters fail instead of
+/// sleeping forever.
+struct PoisonOnUnwind<'a> {
+    slot: &'a Slot,
+    armed: bool,
+}
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            *lock(&self.slot.state) = SlotState::Poisoned;
+            self.slot.done.notify_all();
+        }
+    }
+}
+
+/// The keyed fitted-model registry — see the [module docs](self).
+pub struct ModelRegistry {
+    map: Mutex<RegistryMap>,
+    /// FIFO bound on resident entries; `None` = unbounded.
+    capacity: Option<usize>,
+    fits: AtomicUsize,
+    hits: AtomicUsize,
+    evictions: AtomicUsize,
+    peak_entries: AtomicUsize,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An unbounded registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ModelRegistry {
+            map: Mutex::new(RegistryMap {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: None,
+            fits: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            peak_entries: AtomicUsize::new(0),
+        }
+    }
+
+    /// A registry evicting FIFO beyond `capacity` resident models
+    /// (clamped to ≥ 1). Readers holding an evicted entry's `Arc` keep
+    /// it alive; eviction only drops the registry's own reference.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut r = Self::new();
+        r.capacity = Some(capacity.max(1));
+        r
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.map).slots.len()
+    }
+
+    /// Whether the registry holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the registry's counters.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            fits: self.fits.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            peak_entries: self.peak_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the fitted entry for `key`, fitting it **exactly once**
+    /// on a cold key: concurrent callers racing on the same key elect
+    /// one fitter, the rest block until the model is published.
+    ///
+    /// `dataset` and `detector` must be the objects `key` describes —
+    /// the registry trusts the caller's naming (the service layer owns
+    /// that mapping).
+    ///
+    /// # Panics
+    /// Panics when the underlying fit panics (e.g. fewer than 2 rows for
+    /// kNN-backed detectors), and on every concurrent waiter of that
+    /// failed fit.
+    pub fn get_or_fit(
+        &self,
+        key: &ModelKey,
+        dataset: &Dataset,
+        detector: &dyn Detector,
+    ) -> Arc<FittedEntry> {
+        let slot = self.slot_for(key);
+        {
+            let mut st = lock(&slot.state);
+            loop {
+                match &*st {
+                    SlotState::Ready(entry) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(entry);
+                    }
+                    SlotState::Empty => {
+                        *st = SlotState::Building;
+                        break;
+                    }
+                    SlotState::Building => {
+                        st = slot.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    SlotState::Poisoned => {
+                        panic!("model fit panicked for {key:?}");
+                    }
+                }
+            }
+        }
+        // This thread won the build race; fit outside the lock.
+        let mut guard = PoisonOnUnwind {
+            slot: &slot,
+            armed: true,
+        };
+        let t0 = Instant::now();
+        let projected = dataset.project(&key.subspace);
+        let model = fit_model(detector, &projected);
+        let scores = Arc::new(standardize_scores(&model.score_fit_rows()));
+        let entry = Arc::new(FittedEntry {
+            model,
+            scores,
+            fit_time: t0.elapsed(),
+        });
+        guard.armed = false;
+        *lock(&slot.state) = SlotState::Ready(Arc::clone(&entry));
+        slot.done.notify_all();
+        self.fits.fetch_add(1, Ordering::Relaxed);
+        entry
+    }
+
+    /// Looks up (or inserts) the slot of `key`, applying the FIFO
+    /// capacity bound on insertion.
+    fn slot_for(&self, key: &ModelKey) -> Arc<Slot> {
+        let mut m = lock(&self.map);
+        if let Some(slot) = m.slots.get(key) {
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(Slot::new());
+        m.slots.insert(key.clone(), Arc::clone(&slot));
+        m.order.push_back(key.clone());
+        if let Some(cap) = self.capacity {
+            while m.slots.len() > cap {
+                let Some(oldest) = m.order.pop_front() else {
+                    break;
+                };
+                if oldest == *key {
+                    // Never evict the key being inserted.
+                    m.order.push_back(oldest);
+                    break;
+                }
+                if m.slots.remove(&oldest).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.peak_entries
+            .fetch_max(m.slots.len(), Ordering::Relaxed);
+        slot
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_detectors::Lof;
+
+    fn toy() -> Dataset {
+        let mut rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 5) as f64 * 0.01, (i / 5) as f64 * 0.01, i as f64])
+            .collect();
+        rows.push(vec![4.0, 4.0, 15.0]);
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn fits_once_then_serves_hits() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::new();
+        let key = ModelKey::new("toy", "lof:k=5", Subspace::new([0usize, 1]));
+        let a = reg.get_or_fit(&key, &ds, &lof);
+        let b = reg.get_or_fit(&key, &ds, &lof);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = reg.stats();
+        assert_eq!(stats.fits, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn scores_match_direct_standardized_detector_run() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::new();
+        let sub = Subspace::new([0usize, 1]);
+        let key = ModelKey::new("toy", "lof:k=5", sub.clone());
+        let entry = reg.get_or_fit(&key, &ds, &lof);
+        use anomex_detectors::Detector;
+        let direct = standardize_scores(&lof.score_all(&ds.project(&sub)));
+        assert_eq!(**entry.scores(), direct);
+        assert_eq!(entry.score_of(30), direct[30]);
+        assert_eq!(entry.model().name(), "LOF");
+    }
+
+    #[test]
+    fn concurrent_cold_misses_fit_exactly_once() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::new();
+        let key = ModelKey::new("toy", "lof:k=5", Subspace::new([0usize, 1, 2]));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _ = reg.get_or_fit(&key, &ds, &lof);
+                });
+            }
+        });
+        let stats = reg.stats();
+        assert_eq!(stats.fits, 1, "duplicated fit under contention");
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn distinct_keys_fit_distinct_models() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::new();
+        for sub in [
+            Subspace::new([0usize]),
+            Subspace::new([1usize]),
+            Subspace::new([0usize, 1]),
+        ] {
+            let key = ModelKey::new("toy", "lof:k=5", sub);
+            let _ = reg.get_or_fit(&key, &ds, &lof);
+        }
+        assert_eq!(reg.stats().fits, 3);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::with_capacity(2);
+        let keys: Vec<ModelKey> = (0..3usize)
+            .map(|f| ModelKey::new("toy", "lof:k=5", Subspace::new([f])))
+            .collect();
+        let first = reg.get_or_fit(&keys[0], &ds, &lof);
+        let _ = reg.get_or_fit(&keys[1], &ds, &lof);
+        let _ = reg.get_or_fit(&keys[2], &ds, &lof); // evicts keys[0]
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats().evictions, 1);
+        // The evicted entry stays alive for holders of its Arc...
+        assert_eq!(first.model().n_rows(), ds.n_rows());
+        // ...and re-requesting it refits.
+        let _ = reg.get_or_fit(&keys[0], &ds, &lof);
+        assert_eq!(reg.stats().fits, 4);
+    }
+
+    #[test]
+    fn fallback_detectors_freeze_scores_too() {
+        use anomex_detectors::Loda;
+        let ds = toy();
+        let loda = Loda::builder().projections(10).seed(7).build().unwrap();
+        let reg = ModelRegistry::new();
+        let sub = Subspace::new([0usize, 1, 2]);
+        let key = ModelKey::new("toy", "loda:p=10,s=7", sub.clone());
+        let entry = reg.get_or_fit(&key, &ds, &loda);
+        use anomex_detectors::Detector;
+        let direct = standardize_scores(&loda.score_all(&ds.project(&sub)));
+        assert_eq!(**entry.scores(), direct);
+    }
+}

@@ -1,0 +1,822 @@
+//! The explanation service: named datasets, spec-addressed detectors and
+//! explainers, and the request executor behind the JSON-lines front end.
+//!
+//! [`ExplanationService`] owns the long-lived state — registered
+//! datasets, the [`ModelRegistry`] of fitted models, and one shared
+//! [`ScoreCache`] per (dataset, detector) pair — and executes one
+//! [`RequestBody`] at a time. Explanations run through a real
+//! [`ExplanationEngine`] over those shared caches, so a served response
+//! is **bit-identical** to calling the engine directly with the same
+//! dataset, detector and spec (the `crosscheck` integration tests assert
+//! this per detector).
+//!
+//! [`ServeHandle`] couples a service to a [`Batcher`]: requests submitted
+//! through the handle are micro-batched, executed on the worker pool, and
+//! annotated with queue/execution timing.
+
+use crate::batch::{BatchConfig, BatchContext, BatchCounters, Batcher, ServeError, Ticket};
+use crate::protocol::{
+    DatasetInfo, RankedEntry, Request, RequestBody, Response, ServeTiming, ServiceStats,
+};
+use crate::registry::{ModelKey, ModelRegistry};
+use anomex_core::{
+    Beam, ExplainerKind, ExplanationEngine, Hics, LookOut, RankedSubspaces, RefOut, RunSpec,
+    RunStats, ScoreCache,
+};
+use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
+use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Lof};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// What one executed operation produced; [`ExplanationService::respond`]
+/// folds it into a [`Response`].
+#[derive(Default)]
+struct Outcome {
+    score: Option<f64>,
+    explanation: Option<Vec<RankedEntry>>,
+    dataset: Option<DatasetInfo>,
+    service: Option<ServiceStats>,
+    run: Option<RunStats>,
+}
+
+/// The serving state machine — see the [module docs](self).
+pub struct ExplanationService {
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    registry: ModelRegistry,
+    /// One score cache per (dataset, canonical detector) pair, shared by
+    /// every explanation request against that pair.
+    caches: Mutex<HashMap<(String, String), Arc<ScoreCache>>>,
+    /// Scheduler counters, attached by [`ServeHandle::start`] so the
+    /// `stats` operation can report them from inside a handler.
+    batch_counters: OnceLock<Arc<BatchCounters>>,
+}
+
+impl Default for ExplanationService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExplanationService {
+    /// A service with an unbounded fitted-model registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_registry(ModelRegistry::new())
+    }
+
+    /// A service over a caller-configured registry (e.g. FIFO-bounded via
+    /// [`ModelRegistry::with_capacity`] for memory-constrained serving).
+    #[must_use]
+    pub fn with_registry(registry: ModelRegistry) -> Self {
+        ExplanationService {
+            datasets: RwLock::new(HashMap::new()),
+            registry,
+            caches: Mutex::new(HashMap::new()),
+            batch_counters: OnceLock::new(),
+        }
+    }
+
+    /// The fitted-model registry.
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Registers `dataset` under `name`.
+    ///
+    /// # Errors
+    /// When the name is empty or already taken — fitted models are keyed
+    /// by dataset name, so replacing data under a live name would serve
+    /// stale models.
+    pub fn register_dataset(&self, name: &str, dataset: Dataset) -> Result<DatasetInfo, String> {
+        if name.is_empty() {
+            return Err("dataset name must not be empty".to_string());
+        }
+        let mut w = self
+            .datasets
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if w.contains_key(name) {
+            return Err(format!("dataset '{name}' is already registered"));
+        }
+        let info = DatasetInfo {
+            name: name.to_string(),
+            n_rows: dataset.n_rows(),
+            n_features: dataset.n_features(),
+        };
+        w.insert(name.to_string(), Arc::new(dataset));
+        Ok(info)
+    }
+
+    /// Resolves a dataset by name: registered datasets first, then the
+    /// synthetic `hicsN[@seed]` presets (e.g. `"hics14"`, `"hics23@7"`),
+    /// which are generated on first use and cached.
+    ///
+    /// # Errors
+    /// When the name is neither registered nor a recognizable preset.
+    pub fn resolve_dataset(&self, name: &str) -> Result<Arc<Dataset>, String> {
+        {
+            let r = self.datasets.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(ds) = r.get(name) {
+                return Ok(Arc::clone(ds));
+            }
+        }
+        let (preset, seed) = parse_hics_name(name)
+            .ok_or_else(|| format!("unknown dataset '{name}' (register it with a load request)"))?;
+        let generated = Arc::new(generate_hics(preset, seed).dataset);
+        let mut w = self
+            .datasets
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::clone(w.entry(name.to_string()).or_insert(generated)))
+    }
+
+    /// Service-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            registry: self.registry.stats(),
+            batch: self
+                .batch_counters
+                .get()
+                .map(|c| c.snapshot())
+                .unwrap_or_default(),
+            datasets: self
+                .datasets
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+        }
+    }
+
+    /// Wires the scheduler's counters into the `stats` operation; called
+    /// by [`ServeHandle::start`]. Later calls are no-ops.
+    pub fn attach_scheduler(&self, counters: Arc<BatchCounters>) {
+        let _ = self.batch_counters.set(counters);
+    }
+
+    /// Executes one request and folds the outcome (or failure) into a
+    /// [`Response`] with queue/execution timing. Handler panics become
+    /// error responses, so one degenerate request cannot take down the
+    /// worker pool.
+    #[must_use]
+    pub fn respond(&self, req: &Request, ctx: &BatchContext) -> Response {
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| self.execute(&req.body)));
+        let mut timing = ServeTiming {
+            queue_micros: duration_micros(ctx.queued),
+            exec_micros: duration_micros(started.elapsed()),
+            batch_size: ctx.batch_size,
+            run: None,
+        };
+        match result {
+            Ok(Ok(outcome)) => {
+                timing.run = outcome.run;
+                let mut resp = Response::success(req.id);
+                resp.score = outcome.score;
+                resp.explanation = outcome.explanation;
+                resp.dataset = outcome.dataset;
+                resp.service = outcome.service;
+                resp.timing = Some(timing);
+                resp
+            }
+            Ok(Err(msg)) => {
+                let mut resp = Response::failure(req.id, msg);
+                resp.timing = Some(timing);
+                resp
+            }
+            Err(payload) => {
+                let msg = crate::batch::panic_message(payload.as_ref());
+                let mut resp = Response::failure(req.id, format!("request panicked: {msg}"));
+                resp.timing = Some(timing);
+                resp
+            }
+        }
+    }
+
+    /// The shared score cache of one (dataset, canonical detector) pair.
+    fn cache_for(&self, dataset: &str, detector: &str) -> Arc<ScoreCache> {
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            caches
+                .entry((dataset.to_string(), detector.to_string()))
+                .or_insert_with(|| Arc::new(ScoreCache::new())),
+        )
+    }
+
+    fn execute(&self, body: &RequestBody) -> Result<Outcome, String> {
+        match body {
+            RequestBody::Load { dataset, rows } => {
+                let ds = Dataset::from_rows(rows.clone()).map_err(|e| e.to_string())?;
+                let info = self.register_dataset(dataset, ds)?;
+                Ok(Outcome {
+                    dataset: Some(info),
+                    ..Outcome::default()
+                })
+            }
+            RequestBody::Score {
+                dataset,
+                detector,
+                subspace,
+                point,
+            } => {
+                let ds = self.resolve_dataset(dataset)?;
+                let (canonical, det) = parse_detector(detector)?;
+                check_point(&ds, *point)?;
+                if ds.n_rows() < 2 {
+                    return Err("scoring needs at least 2 rows".to_string());
+                }
+                let sub = match subspace {
+                    Some(features) => check_subspace(&ds, features)?,
+                    None => Subspace::full(ds.n_features()),
+                };
+                let key = ModelKey::new(dataset.clone(), canonical, sub);
+                let entry = self.registry.get_or_fit(&key, &ds, det.as_ref());
+                Ok(Outcome {
+                    score: Some(entry.score_of(*point)),
+                    ..Outcome::default()
+                })
+            }
+            RequestBody::Explain {
+                dataset,
+                detector,
+                explainer,
+                point,
+                dim,
+            } => {
+                let ds = self.resolve_dataset(dataset)?;
+                let (canonical, det) = parse_detector(detector)?;
+                let kind = parse_explainer(explainer)?;
+                check_point(&ds, *point)?;
+                check_dim(&ds, *dim)?;
+                self.run_engine(
+                    dataset,
+                    &canonical,
+                    &ds,
+                    det.as_ref(),
+                    &kind,
+                    &[*point],
+                    *dim,
+                )
+            }
+            RequestBody::Summarize {
+                dataset,
+                detector,
+                explainer,
+                points,
+                dim,
+            } => {
+                let ds = self.resolve_dataset(dataset)?;
+                let (canonical, det) = parse_detector(detector)?;
+                let kind = parse_explainer(explainer)?;
+                if points.is_empty() {
+                    return Err("summarize needs at least one point".to_string());
+                }
+                for &p in points {
+                    check_point(&ds, p)?;
+                }
+                check_dim(&ds, *dim)?;
+                self.run_engine(dataset, &canonical, &ds, det.as_ref(), &kind, points, *dim)
+            }
+            RequestBody::Stats => Ok(Outcome {
+                service: Some(self.stats()),
+                ..Outcome::default()
+            }),
+        }
+    }
+
+    /// Runs a real [`ExplanationEngine`] over the pair's shared cache —
+    /// the same code path a direct caller would use, which is what makes
+    /// served explanations bit-identical to library calls.
+    #[allow(clippy::too_many_arguments)]
+    fn run_engine(
+        &self,
+        dataset_name: &str,
+        canonical_detector: &str,
+        ds: &Arc<Dataset>,
+        det: &dyn Detector,
+        kind: &ExplainerKind,
+        points: &[usize],
+        dim: usize,
+    ) -> Result<Outcome, String> {
+        let cache = self.cache_for(dataset_name, canonical_detector);
+        let engine = ExplanationEngine::with_cache(ds, det, cache);
+        let run = engine
+            .run(kind, &RunSpec::new(points.to_vec(), vec![dim]))
+            .into_single();
+        let ranked = run
+            .explanations
+            .get(&points[0])
+            .cloned()
+            .unwrap_or_default();
+        Ok(Outcome {
+            explanation: Some(ranked_entries(&ranked)),
+            run: Some(run.stats),
+            ..Outcome::default()
+        })
+    }
+}
+
+/// The outcome of handing one input line to a [`ServeHandle`].
+pub enum Submitted {
+    /// The request was queued; redeem the ticket for the response.
+    Queued(u64, Ticket<Response>),
+    /// The line failed before queueing (parse error, backpressure); the
+    /// response is already final.
+    Immediate(Response),
+}
+
+impl Submitted {
+    /// Blocks until the response is available, converting scheduler
+    /// errors (timeout, shutdown) into error responses.
+    #[must_use]
+    pub fn resolve(self) -> Response {
+        match self {
+            Submitted::Immediate(resp) => resp,
+            Submitted::Queued(id, ticket) => ticket
+                .wait()
+                .unwrap_or_else(|e| Response::failure(id, e.to_string())),
+        }
+    }
+}
+
+/// A running service: an [`ExplanationService`] coupled to a micro-batch
+/// scheduler. Dropping the handle shuts the worker pool down.
+pub struct ServeHandle {
+    service: Arc<ExplanationService>,
+    batcher: Batcher<Request, Response>,
+    default_deadline: Option<Duration>,
+}
+
+impl ServeHandle {
+    /// Starts the worker pool over `service`. `default_deadline` bounds
+    /// every request's time in the system (queue wait + execution);
+    /// `None` lets requests wait indefinitely.
+    #[must_use]
+    pub fn start(
+        service: Arc<ExplanationService>,
+        cfg: BatchConfig,
+        default_deadline: Option<Duration>,
+    ) -> Self {
+        let svc = Arc::clone(&service);
+        let batcher = Batcher::new(cfg, move |req: &Request, ctx: &BatchContext| {
+            svc.respond(req, ctx)
+        });
+        service.attach_scheduler(batcher.counters());
+        ServeHandle {
+            service,
+            batcher,
+            default_deadline,
+        }
+    }
+
+    /// The underlying service.
+    #[must_use]
+    pub fn service(&self) -> &Arc<ExplanationService> {
+        &self.service
+    }
+
+    /// Queues one request.
+    ///
+    /// # Errors
+    /// [`ServeError::Rejected`] under backpressure, [`ServeError::ShutDown`]
+    /// after shutdown.
+    pub fn submit(&self, req: Request) -> Result<Ticket<Response>, ServeError> {
+        self.batcher.submit(req, self.default_deadline)
+    }
+
+    /// Parses one JSON line and queues it. Returns `None` for blank
+    /// lines; parse failures and backpressure produce an
+    /// [`Submitted::Immediate`] error response (extracting the request
+    /// id when the line was at least valid JSON).
+    #[must_use]
+    pub fn submit_line(&self, line: &str) -> Option<Submitted> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        match serde_json::from_str::<Request>(line) {
+            Ok(req) => {
+                let id = req.id;
+                Some(match self.submit(req) {
+                    Ok(ticket) => Submitted::Queued(id, ticket),
+                    Err(e) => Submitted::Immediate(Response::failure(id, e.to_string())),
+                })
+            }
+            Err(parse_err) => {
+                let id = serde_json::from_str::<serde_json::Value>(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(serde_json::Value::as_u64))
+                    .unwrap_or(0);
+                Some(Submitted::Immediate(Response::failure(
+                    id,
+                    format!("bad request: {parse_err}"),
+                )))
+            }
+        }
+    }
+
+    /// Submits one request and blocks for its response — the convenience
+    /// path for in-process callers and tests.
+    #[must_use]
+    pub fn roundtrip(&self, req: Request) -> Response {
+        let id = req.id;
+        match self.submit(req) {
+            Ok(ticket) => Submitted::Queued(id, ticket).resolve(),
+            Err(e) => Response::failure(id, e.to_string()),
+        }
+    }
+}
+
+/// Converts a ranking into its wire representation.
+fn ranked_entries(ranked: &RankedSubspaces) -> Vec<RankedEntry> {
+    ranked
+        .entries()
+        .iter()
+        .map(|(s, score)| RankedEntry {
+            subspace: s.iter().collect(),
+            score: *score,
+        })
+        .collect()
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn check_point(ds: &Dataset, point: usize) -> Result<(), String> {
+    if point >= ds.n_rows() {
+        return Err(format!(
+            "point {point} out of range (dataset has {} rows)",
+            ds.n_rows()
+        ));
+    }
+    Ok(())
+}
+
+fn check_dim(ds: &Dataset, dim: usize) -> Result<(), String> {
+    if dim == 0 || dim > ds.n_features() {
+        return Err(format!(
+            "dim {dim} out of range (dataset has {} features)",
+            ds.n_features()
+        ));
+    }
+    Ok(())
+}
+
+fn check_subspace(ds: &Dataset, features: &[usize]) -> Result<Subspace, String> {
+    if features.is_empty() {
+        return Err("subspace must not be empty".to_string());
+    }
+    if let Some(&bad) = features.iter().find(|&&f| f >= ds.n_features()) {
+        return Err(format!(
+            "feature {bad} out of range (dataset has {} features)",
+            ds.n_features()
+        ));
+    }
+    Ok(Subspace::new(features.iter().copied()))
+}
+
+/// Parses `hicsN[@seed]` preset names (seed defaults to 42).
+fn parse_hics_name(name: &str) -> Option<(HicsPreset, u64)> {
+    let rest = name.strip_prefix("hics")?;
+    let (dims, seed) = match rest.split_once('@') {
+        Some((dims, seed)) => (dims, seed.parse::<u64>().ok()?),
+        None => (rest, 42),
+    };
+    let preset = match dims {
+        "14" => HicsPreset::D14,
+        "23" => HicsPreset::D23,
+        "39" => HicsPreset::D39,
+        "70" => HicsPreset::D70,
+        "100" => HicsPreset::D100,
+        _ => return None,
+    };
+    Some((preset, seed))
+}
+
+/// Splits `key=value,key=value` parameter lists.
+fn parse_kv(params: &str) -> Result<Vec<(String, String)>, String> {
+    if params.is_empty() {
+        return Ok(Vec::new());
+    }
+    params
+        .split(',')
+        .map(|pair| {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed parameter '{pair}' (expected key=value)"))?;
+            Ok((k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+fn parse_usize(key: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("parameter '{key}' must be a non-negative integer, got '{value}'"))
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("parameter '{key}' must be a non-negative integer, got '{value}'"))
+}
+
+/// Parses a detector spec (`"lof"`, `"lof:k=5"`,
+/// `"iforest:trees=50,psi=128,reps=2,seed=7"`, `"abod:k=10"`,
+/// `"knndist:k=5"`) into its **canonical** description — every
+/// hyper-parameter spelled out, so equivalent specs share registry and
+/// cache entries — plus the configured detector.
+///
+/// # Errors
+/// On unknown detector names, unknown parameters, or invalid values.
+pub fn parse_detector(spec: &str) -> Result<(String, Box<dyn Detector>), String> {
+    let spec = spec.trim();
+    let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
+    let kv = parse_kv(params)?;
+    match name.trim().to_ascii_lowercase().as_str() {
+        "lof" => {
+            let mut k = 15usize;
+            for (key, value) in &kv {
+                match key.as_str() {
+                    "k" => k = parse_usize(key, value)?,
+                    _ => return Err(format!("unknown lof parameter '{key}'")),
+                }
+            }
+            let det = Lof::new(k).map_err(|e| e.to_string())?;
+            Ok((format!("lof:k={k}"), Box::new(det)))
+        }
+        "abod" | "fastabod" => {
+            let mut k = 10usize;
+            for (key, value) in &kv {
+                match key.as_str() {
+                    "k" => k = parse_usize(key, value)?,
+                    _ => return Err(format!("unknown abod parameter '{key}'")),
+                }
+            }
+            let det = FastAbod::new(k).map_err(|e| e.to_string())?;
+            Ok((format!("abod:k={k}"), Box::new(det)))
+        }
+        "knndist" | "knn" => {
+            let mut k = 5usize;
+            for (key, value) in &kv {
+                match key.as_str() {
+                    "k" => k = parse_usize(key, value)?,
+                    _ => return Err(format!("unknown knndist parameter '{key}'")),
+                }
+            }
+            let det = KnnDist::new(k).map_err(|e| e.to_string())?;
+            Ok((format!("knndist:k={k}"), Box::new(det)))
+        }
+        "iforest" => {
+            let (mut trees, mut psi, mut reps, mut seed) = (100usize, 256usize, 10usize, 0u64);
+            for (key, value) in &kv {
+                match key.as_str() {
+                    "trees" => trees = parse_usize(key, value)?,
+                    "psi" => psi = parse_usize(key, value)?,
+                    "reps" => reps = parse_usize(key, value)?,
+                    "seed" => seed = parse_u64(key, value)?,
+                    _ => return Err(format!("unknown iforest parameter '{key}'")),
+                }
+            }
+            let det = IsolationForest::builder()
+                .trees(trees)
+                .subsample(psi)
+                .repetitions(reps)
+                .seed(seed)
+                .build()
+                .map_err(|e| e.to_string())?;
+            Ok((
+                format!("iforest:trees={trees},psi={psi},reps={reps},seed={seed}"),
+                Box::new(det),
+            ))
+        }
+        other => Err(format!(
+            "unknown detector '{other}' (expected lof, abod, iforest or knndist)"
+        )),
+    }
+}
+
+/// Parses an explainer spec (`"beam"`, `"refout[:seed=s]"`,
+/// `"lookout[:budget=b]"`, `"hics[:seed=s]"`).
+///
+/// # Errors
+/// On unknown explainer names, unknown parameters, or invalid values.
+pub fn parse_explainer(spec: &str) -> Result<ExplainerKind, String> {
+    let spec = spec.trim();
+    let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
+    let kv = parse_kv(params)?;
+    match name.trim().to_ascii_lowercase().as_str() {
+        "beam" => {
+            if let Some((key, _)) = kv.first() {
+                return Err(format!("unknown beam parameter '{key}'"));
+            }
+            Ok(ExplainerKind::Point(Box::new(Beam::new())))
+        }
+        "refout" => {
+            let mut refout = RefOut::new();
+            for (key, value) in &kv {
+                match key.as_str() {
+                    "seed" => refout = refout.seed(parse_u64(key, value)?),
+                    _ => return Err(format!("unknown refout parameter '{key}'")),
+                }
+            }
+            Ok(ExplainerKind::Point(Box::new(refout)))
+        }
+        "lookout" => {
+            let mut lookout = LookOut::new();
+            for (key, value) in &kv {
+                match key.as_str() {
+                    "budget" => {
+                        let b = parse_usize(key, value)?;
+                        if b == 0 {
+                            return Err("lookout budget must be positive".to_string());
+                        }
+                        lookout = lookout.budget(b);
+                    }
+                    _ => return Err(format!("unknown lookout parameter '{key}'")),
+                }
+            }
+            Ok(ExplainerKind::Summary(Box::new(lookout)))
+        }
+        "hics" => {
+            let mut hics = Hics::new();
+            for (key, value) in &kv {
+                match key.as_str() {
+                    "seed" => hics = hics.seed(parse_u64(key, value)?),
+                    _ => return Err(format!("unknown hics parameter '{key}'")),
+                }
+            }
+            Ok(ExplainerKind::Summary(Box::new(hics)))
+        }
+        other => Err(format!(
+            "unknown explainer '{other}' (expected beam, refout, lookout or hics)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn toy_rows() -> Vec<Vec<f64>> {
+        let mut rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64 * 0.01, (i / 5) as f64 * 0.01])
+            .collect();
+        rows.push(vec![3.0, 3.0]);
+        rows
+    }
+
+    fn service_with_toy() -> Arc<ExplanationService> {
+        let svc = Arc::new(ExplanationService::new());
+        let ds = Dataset::from_rows(toy_rows()).unwrap();
+        svc.register_dataset("toy", ds).unwrap();
+        svc
+    }
+
+    #[test]
+    fn detector_specs_canonicalize() {
+        assert_eq!(parse_detector("lof").unwrap().0, "lof:k=15");
+        assert_eq!(parse_detector("LOF:k=5").unwrap().0, "lof:k=5");
+        assert_eq!(parse_detector("fastabod").unwrap().0, "abod:k=10");
+        assert_eq!(
+            parse_detector("iforest:trees=50,seed=7").unwrap().0,
+            "iforest:trees=50,psi=256,reps=10,seed=7"
+        );
+        assert!(parse_detector("lof:q=1").is_err());
+        assert!(parse_detector("lof:k=0").is_err());
+        assert!(parse_detector("svm").is_err());
+    }
+
+    #[test]
+    fn explainer_specs_parse() {
+        assert!(matches!(
+            parse_explainer("beam").unwrap(),
+            ExplainerKind::Point(_)
+        ));
+        assert!(matches!(
+            parse_explainer("lookout:budget=3").unwrap(),
+            ExplainerKind::Summary(_)
+        ));
+        assert!(parse_explainer("lookout:budget=0").is_err());
+        assert!(parse_explainer("shap").is_err());
+    }
+
+    #[test]
+    fn hics_preset_names_resolve() {
+        let svc = ExplanationService::new();
+        let ds = svc.resolve_dataset("hics14").unwrap();
+        assert_eq!(ds.n_features(), 14);
+        // Cached: the second resolve returns the same Arc.
+        let again = svc.resolve_dataset("hics14").unwrap();
+        assert!(Arc::ptr_eq(&ds, &again));
+        assert!(svc.resolve_dataset("hics15").is_err());
+        assert!(svc.resolve_dataset("nope").is_err());
+    }
+
+    #[test]
+    fn load_rejects_duplicate_names() {
+        let svc = service_with_toy();
+        let out = svc.execute(&RequestBody::Load {
+            dataset: "toy".into(),
+            rows: toy_rows(),
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn score_validates_inputs() {
+        let svc = service_with_toy();
+        let base = |point: usize, subspace: Option<Vec<usize>>| RequestBody::Score {
+            dataset: "toy".into(),
+            detector: "lof:k=3".into(),
+            subspace,
+            point,
+        };
+        assert!(svc.execute(&base(999, None)).is_err());
+        assert!(svc.execute(&base(0, Some(vec![9]))).is_err());
+        assert!(svc.execute(&base(0, Some(vec![]))).is_err());
+        let ok = svc.execute(&base(20, None)).unwrap();
+        assert!(ok.score.is_some());
+    }
+
+    #[test]
+    fn score_is_served_from_the_registry() {
+        let svc = service_with_toy();
+        let req = RequestBody::Score {
+            dataset: "toy".into(),
+            detector: "lof:k=3".into(),
+            subspace: Some(vec![0, 1]),
+            point: 20,
+        };
+        let a = svc.execute(&req).unwrap().score.unwrap();
+        let b = svc.execute(&req).unwrap().score.unwrap();
+        assert_eq!(a, b);
+        let stats = svc.registry().stats();
+        assert_eq!(stats.fits, 1, "second request must be a registry hit");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn handle_roundtrips_and_times_requests() {
+        let svc = service_with_toy();
+        let handle = ServeHandle::start(svc, BatchConfig::default(), None);
+        let resp = handle.roundtrip(Request {
+            id: 11,
+            body: RequestBody::Explain {
+                dataset: "toy".into(),
+                detector: "lof:k=3".into(),
+                explainer: "beam".into(),
+                point: 20,
+                dim: 2,
+            },
+        });
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(resp.id, 11);
+        let explanation = resp.explanation.expect("explain returns a ranking");
+        assert!(!explanation.is_empty());
+        let timing = resp.timing.expect("timing is always attached");
+        assert!(timing.batch_size >= 1);
+        assert!(timing.run.is_some(), "explain reports engine stats");
+    }
+
+    #[test]
+    fn parse_failures_become_error_responses() {
+        let svc = service_with_toy();
+        let handle = ServeHandle::start(svc, BatchConfig::default(), None);
+        let resp = handle
+            .submit_line(r#"{"id": 5, "op": "frobnicate"}"#)
+            .expect("non-blank line")
+            .resolve();
+        assert!(!resp.ok);
+        assert_eq!(resp.id, 5, "id recovered from malformed request");
+        assert!(handle.submit_line("   ").is_none());
+    }
+
+    #[test]
+    fn panics_become_error_responses() {
+        // A 1-row dataset passes the point/dim validators but makes the
+        // kNN table build panic inside the detector — the catch_unwind
+        // in respond() must turn that into an error response.
+        let svc = service_with_toy();
+        let handle = ServeHandle::start(Arc::clone(&svc), BatchConfig::default(), None);
+        let one_row = Dataset::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        svc.register_dataset("one", one_row).unwrap();
+        let resp = handle.roundtrip(Request {
+            id: 3,
+            body: RequestBody::Explain {
+                dataset: "one".into(),
+                detector: "lof:k=3".into(),
+                explainer: "beam".into(),
+                point: 0,
+                dim: 1,
+            },
+        });
+        assert!(!resp.ok, "kNN on a 1-row dataset must fail, not hang");
+        assert_eq!(resp.id, 3);
+    }
+}

@@ -1,0 +1,292 @@
+//! Serving must not change a single bit of any result.
+//!
+//! The acceptance bar for the serving layer: a registry-served score and
+//! a service-served explanation are **bit-identical** to calling the
+//! detector / `ExplanationEngine` directly — verified here over all
+//! three paper detectors — and the service survives ≥ 8 concurrent
+//! clients with the queue bound enforced.
+
+use anomex_core::{Beam, LookOut};
+use anomex_core::{ExplainerKind, ExplanationEngine, RunSpec, SubspaceScorer};
+use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::zscore::standardize_scores;
+use anomex_detectors::{Detector, FastAbod, IsolationForest, Lof};
+use anomex_serve::batch::BatchConfig;
+use anomex_serve::protocol::{Request, RequestBody};
+use anomex_serve::registry::{ModelKey, ModelRegistry};
+use anomex_serve::service::{ExplanationService, ServeHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A 4-feature dataset with one outlier planted in features {0, 1}.
+fn planted() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut rows: Vec<Vec<f64>> = (0..80)
+        .map(|_| {
+            let t: f64 = rng.gen_range(0.1..0.9);
+            vec![
+                t + rng.gen_range(-0.02..0.02),
+                t + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ]
+        })
+        .collect();
+    rows.push(vec![0.2, 0.8, 0.5, 0.5]);
+    Dataset::from_rows(rows).unwrap()
+}
+
+fn paper_detectors() -> Vec<(&'static str, Box<dyn Detector>)> {
+    vec![
+        (
+            "lof:k=10",
+            Box::new(Lof::new(10).unwrap()) as Box<dyn Detector>,
+        ),
+        ("abod:k=8", Box::new(FastAbod::new(8).unwrap())),
+        (
+            "iforest:trees=25,psi=64,reps=2,seed=5",
+            Box::new(
+                IsolationForest::builder()
+                    .trees(25)
+                    .subsample(64)
+                    .repetitions(2)
+                    .seed(5)
+                    .build()
+                    .unwrap(),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn registry_scores_are_bit_identical_to_the_scorer_for_all_detectors() {
+    let ds = planted();
+    let reg = ModelRegistry::new();
+    for (canon, det) in paper_detectors() {
+        for sub in [
+            Subspace::new([0usize, 1]),
+            Subspace::new([2usize, 3]),
+            Subspace::new([0usize, 1, 2, 3]),
+        ] {
+            let key = ModelKey::new("planted", canon, sub.clone());
+            let entry = reg.get_or_fit(&key, &ds, det.as_ref());
+            // The scorer is the engine's scoring primitive: project →
+            // score_all → standardize.
+            let scorer = SubspaceScorer::new(&ds, &det);
+            let direct = scorer.scores(&sub);
+            assert_eq!(
+                entry.scores().as_slice(),
+                direct.as_slice(),
+                "{canon} on {sub}: registry and scorer disagree"
+            );
+            // And against the raw detector call, spelled out.
+            let by_hand = standardize_scores(&det.score_all(&ds.project(&sub)));
+            assert_eq!(entry.scores().as_slice(), by_hand, "{canon} on {sub}");
+        }
+    }
+}
+
+#[test]
+fn served_score_matches_direct_detector_call_for_all_detectors() {
+    let ds = planted();
+    let outlier = ds.n_rows() - 1;
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("planted", planted()).unwrap();
+    let handle = ServeHandle::start(Arc::clone(&svc), BatchConfig::default(), None);
+    for (spec, det) in paper_detectors() {
+        let resp = handle.roundtrip(Request {
+            id: 1,
+            body: RequestBody::Score {
+                dataset: "planted".into(),
+                detector: spec.into(),
+                subspace: Some(vec![0, 1]),
+                point: outlier,
+            },
+        });
+        assert!(resp.ok, "{spec}: {:?}", resp.error);
+        let direct =
+            standardize_scores(&det.score_all(&ds.project(&Subspace::new([0usize, 1]))))[outlier];
+        assert_eq!(resp.score, Some(direct), "{spec}: served score drifted");
+    }
+}
+
+#[test]
+fn served_explanation_is_bit_identical_to_a_direct_engine_run() {
+    let ds = planted();
+    let outlier = ds.n_rows() - 1;
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("planted", planted()).unwrap();
+    let handle = ServeHandle::start(svc, BatchConfig::default(), None);
+
+    // Beam (point explainer) and LookOut (summarizer), per the paper's
+    // point/summary split.
+    let cases: Vec<(&str, ExplainerKind)> = vec![
+        ("beam", ExplainerKind::Point(Box::new(Beam::new()))),
+        (
+            "lookout:budget=3",
+            ExplainerKind::Summary(Box::new(LookOut::new().budget(3))),
+        ),
+    ];
+    for (spec, kind) in cases {
+        let resp = handle.roundtrip(Request {
+            id: 2,
+            body: RequestBody::Explain {
+                dataset: "planted".into(),
+                detector: "lof:k=10".into(),
+                explainer: spec.into(),
+                point: outlier,
+                dim: 2,
+            },
+        });
+        assert!(resp.ok, "{spec}: {:?}", resp.error);
+        let served = resp.explanation.expect("explanation present");
+
+        let lof = Lof::new(10).unwrap();
+        let engine = ExplanationEngine::new(&ds, &lof);
+        let run = engine
+            .run(&kind, &RunSpec::new(vec![outlier], vec![2usize]))
+            .into_single();
+        let direct = &run.explanations[&outlier];
+        assert_eq!(served.len(), direct.len(), "{spec}");
+        for (got, (sub, score)) in served.iter().zip(direct.entries()) {
+            let features: Vec<usize> = sub.iter().collect();
+            assert_eq!(got.subspace, features, "{spec}: subspace order drifted");
+            assert_eq!(
+                got.score, *score,
+                "{spec}: score drifted (not bit-identical)"
+            );
+        }
+        // The best-ranked subspace finds the planted pair.
+        assert_eq!(served[0].subspace, vec![0, 1], "{spec}");
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_get_identical_answers() {
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("planted", planted()).unwrap();
+    let handle = Arc::new(ServeHandle::start(
+        svc,
+        BatchConfig {
+            max_batch: 8,
+            workers: 2,
+            ..BatchConfig::default()
+        },
+        None,
+    ));
+    let ds = planted();
+    let outlier = ds.n_rows() - 1;
+
+    // Reference answers computed single-threaded.
+    let reference: Vec<_> = (0..4)
+        .map(|i| {
+            handle.roundtrip(Request {
+                id: i,
+                body: RequestBody::Score {
+                    dataset: "planted".into(),
+                    detector: "lof:k=10".into(),
+                    subspace: Some(vec![i as usize % 4, (i as usize + 1) % 4]),
+                    point: outlier,
+                },
+            })
+        })
+        .collect();
+    assert!(reference.iter().all(|r| r.ok));
+
+    let answers: Vec<Vec<Option<f64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let handle = Arc::clone(&handle);
+                scope.spawn(move || {
+                    (0..4u64)
+                        .map(|i| {
+                            let resp = handle.roundtrip(Request {
+                                id: i,
+                                body: RequestBody::Score {
+                                    dataset: "planted".into(),
+                                    detector: "lof:k=10".into(),
+                                    subspace: Some(vec![i as usize % 4, (i as usize + 1) % 4]),
+                                    point: outlier,
+                                },
+                            });
+                            assert!(resp.ok, "{:?}", resp.error);
+                            assert_eq!(resp.id, i);
+                            resp.score
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for client in &answers {
+        for (i, score) in client.iter().enumerate() {
+            assert_eq!(*score, reference[i].score, "client diverged on request {i}");
+        }
+    }
+    // 8 clients × 4 requests over 4 distinct keys: at most 4 fits ever.
+    let stats = handle.service().registry().stats();
+    assert!(
+        stats.fits <= 4,
+        "fit-once violated: {} fits for 4 keys",
+        stats.fits
+    );
+}
+
+#[test]
+fn overload_is_rejected_not_buffered() {
+    // A tiny queue and a deliberately slow first request: the flood
+    // behind it must hit Rejected (bounded memory), not pile up.
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("planted", planted()).unwrap();
+    let handle = ServeHandle::start(
+        svc,
+        BatchConfig {
+            queue_capacity: 2,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            workers: 1,
+        },
+        None,
+    );
+    let slow = Request {
+        id: 0,
+        body: RequestBody::Summarize {
+            dataset: "hics14".into(),
+            detector: "lof:k=15".into(),
+            explainer: "lookout:budget=2".into(),
+            points: vec![0, 1, 2],
+            dim: 2,
+        },
+    };
+    let score = |id: u64| Request {
+        id,
+        body: RequestBody::Score {
+            dataset: "planted".into(),
+            detector: "lof:k=10".into(),
+            subspace: Some(vec![0, 1]),
+            point: 0,
+        },
+    };
+    let first = handle.submit(slow).expect("empty queue accepts");
+    let mut queued = Vec::new();
+    let mut rejected = 0usize;
+    for id in 1..40u64 {
+        match handle.submit(score(id)) {
+            Ok(t) => queued.push(t),
+            Err(e) => {
+                assert_eq!(e, anomex_serve::batch::ServeError::Rejected);
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "queue bound never engaged");
+    assert!(queued.len() <= 2, "queue exceeded its capacity");
+    // Everything accepted still completes correctly.
+    assert!(first.wait().expect("slow request completes").ok);
+    for t in queued {
+        assert!(t.wait().expect("queued request completes").ok);
+    }
+}

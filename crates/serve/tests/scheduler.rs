@@ -1,0 +1,155 @@
+//! Property tests for the micro-batching scheduler (satellite c).
+//!
+//! Three properties, over randomized workloads:
+//!
+//! 1. every response carries the id of the request that produced it —
+//!    batching never crosses wires;
+//! 2. batch composition is unobservable: the same requests produce the
+//!    same results no matter how the scheduler slices them into batches
+//!    (config, worker count and arrival order varied);
+//! 3. an expired deadline resolves to `TimedOut` — it never hangs the
+//!    caller.
+//!
+//! Each proptest case spins up real worker threads, so the case count
+//! is kept deliberately small.
+
+use anomex_serve::batch::{BatchConfig, Batcher, ServeError};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A handler deterministic in the request alone: ids must survive the
+/// trip untouched, payload results must not depend on batch slicing.
+fn arithmetic_batcher(cfg: BatchConfig) -> Batcher<(u64, u64), (u64, u64)> {
+    Batcher::new(cfg, |&(id, x): &(u64, u64), _ctx| {
+        (id, x.wrapping_mul(2654435761).rotate_left(13))
+    })
+}
+
+fn expected(x: u64) -> u64 {
+    x.wrapping_mul(2654435761).rotate_left(13)
+}
+
+fn small_config() -> impl Strategy<Value = BatchConfig> {
+    (1usize..=64, 1usize..=8, 0u64..=3, 1usize..=4).prop_map(
+        |(queue_capacity, max_batch, delay_ms, workers)| BatchConfig {
+            queue_capacity,
+            max_batch,
+            max_delay: Duration::from_millis(delay_ms),
+            workers,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 1: response ids match request ids, for every request
+    /// that the queue accepts, across arbitrary configs and loads.
+    #[test]
+    fn responses_carry_their_own_request_id(
+        cfg in small_config(),
+        payloads in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let batcher = arithmetic_batcher(cfg);
+        let mut accepted = Vec::new();
+        for (id, &x) in payloads.iter().enumerate() {
+            // Tiny queues may reject under load; Rejected is a valid
+            // answer, crossed wires are not.
+            if let Ok(ticket) = batcher.submit((id as u64, x), None) {
+                accepted.push((id as u64, x, ticket));
+            }
+        }
+        for (id, x, ticket) in accepted {
+            let (got_id, got) = ticket.wait().expect("accepted request completes");
+            prop_assert_eq!(got_id, id, "response for a different request");
+            prop_assert_eq!(got, expected(x));
+        }
+    }
+
+    /// Property 2: slicing the same workload into different batches
+    /// (different configs, submission from several threads) never
+    /// changes any result.
+    #[test]
+    fn batch_composition_never_changes_results(
+        cfg_a in small_config(),
+        cfg_b in small_config(),
+        payloads in proptest::collection::vec(any::<u64>(), 1..48),
+    ) {
+        let run = |cfg: BatchConfig, threads: usize| -> Vec<u64> {
+            // A queue at least as large as the workload: acceptance is
+            // total, so the two runs cover identical request sets.
+            let cfg = BatchConfig { queue_capacity: payloads.len(), ..cfg };
+            let batcher = Arc::new(arithmetic_batcher(cfg));
+            let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
+                let chunk = payloads.len().div_ceil(threads);
+                let handles: Vec<_> = payloads
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(c, part)| {
+                        let batcher = Arc::clone(&batcher);
+                        scope.spawn(move || {
+                            part.iter()
+                                .enumerate()
+                                .map(|(i, &x)| {
+                                    batcher
+                                        .submit(((c * chunk + i) as u64, x), None)
+                                        .expect("queue sized for workload")
+                                        .wait()
+                                        .expect("request completes")
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            });
+            let mut by_id: Vec<(u64, u64)> = results;
+            by_id.sort_unstable();
+            by_id.into_iter().map(|(_, v)| v).collect()
+        };
+        let sequential = run(cfg_a, 1);
+        let threaded = run(cfg_b, 3);
+        prop_assert_eq!(sequential, threaded, "batch slicing leaked into results");
+    }
+
+    /// Property 3: a deadline that expires while the queue is wedged
+    /// resolves to `TimedOut`; it must never hang.
+    #[test]
+    fn expired_deadlines_time_out_instead_of_hanging(
+        deadline_ms in 0u64..=5,
+        stalled in 1usize..=8,
+    ) {
+        // One worker blocked on a slow request wedges everything behind
+        // it past any millisecond-scale deadline.
+        let batcher: Batcher<u64, u64> = Batcher::new(
+            BatchConfig {
+                queue_capacity: 64,
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                workers: 1,
+            },
+            |&x, _ctx| {
+                if x == u64::MAX {
+                    std::thread::sleep(Duration::from_millis(300));
+                }
+                x
+            },
+        );
+        let slow = batcher.submit(u64::MAX, None).unwrap();
+        let tickets: Vec<_> = (0..stalled as u64)
+            .map(|i| {
+                batcher
+                    .submit(i, Some(Duration::from_millis(deadline_ms)))
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            match ticket.wait() {
+                Err(ServeError::TimedOut) | Ok(_) => {}
+                other => prop_assert!(false, "unexpected outcome: {other:?}"),
+            }
+        }
+        prop_assert_eq!(slow.wait(), Ok(u64::MAX));
+    }
+}

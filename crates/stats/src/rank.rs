@@ -64,7 +64,10 @@ pub fn bottom_k_asc(xs: &[f64], k: usize) -> Vec<usize> {
 /// index tie-break makes neighbour identities deterministic under exact
 /// distance ties (duplicate rows), independent of selection internals.
 ///
-/// Returns all non-excluded indices when `k ≥ len − 1`.
+/// Returns all non-excluded indices when `k ≥ len − 1`, and an empty
+/// vector when `k == 0` or `xs` is empty — callers asking for zero
+/// neighbours get zero neighbours, never a panic from the `k - 1`
+/// partial-select pivot.
 ///
 /// ```
 /// use anomex_stats::rank::bottom_k_asc_excluding;
@@ -149,6 +152,17 @@ mod unit_tests {
             let want: Vec<usize> = vec![2, 3, 1].into_iter().take(k).collect();
             assert_eq!(got, want, "k = {k}");
         }
+    }
+
+    #[test]
+    fn bottom_k_excluding_zero_k_and_empty_input_are_empty() {
+        // k = 0 must return empty (and not hit the `k - 1` pivot).
+        assert!(bottom_k_asc_excluding(&[1.0, 2.0, 3.0], 0, 1).is_empty());
+        // Empty input, with and without k.
+        assert!(bottom_k_asc_excluding(&[], 0, 0).is_empty());
+        assert!(bottom_k_asc_excluding(&[], 3, 0).is_empty());
+        // Degenerate single element that is also excluded.
+        assert!(bottom_k_asc_excluding(&[5.0], 2, 0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Smoke test for the anomex_serve JSON-lines front end: pipe three
+# requests (load, score, explain) through `anomex_serve --stdin` and
+# assert every response line is well-formed JSON with `"ok":true`.
+#
+# Usage: scripts/serve_smoke.sh [--release]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile=()
+target_dir="target/debug"
+if [[ "${1:-}" == "--release" ]]; then
+    profile=(--release)
+    target_dir="target/release"
+fi
+
+cargo build "${profile[@]}" -p anomex-serve --bin anomex_serve
+
+requests='{"id":1,"op":"load","dataset":"smoke","rows":[[0.0,0.0],[0.1,0.0],[0.0,0.1],[0.1,0.1],[0.2,0.0],[0.0,0.2],[0.2,0.2],[0.1,0.2],[0.2,0.1],[5.0,5.0]]}
+{"id":2,"op":"score","dataset":"smoke","detector":"lof:k=3","subspace":[0,1],"point":9}
+{"id":3,"op":"explain","dataset":"smoke","detector":"lof:k=3","explainer":"beam","point":9,"dim":1}'
+
+out="$(printf '%s\n' "$requests" | "$target_dir/anomex_serve" --stdin)"
+printf '%s\n' "$out"
+
+lines="$(printf '%s\n' "$out" | grep -c .)"
+if [[ "$lines" -ne 3 ]]; then
+    echo "FAIL: expected 3 response lines, got $lines" >&2
+    exit 1
+fi
+
+i=0
+while IFS= read -r line; do
+    i=$((i + 1))
+    # Well-formed JSON: python's parser is the arbiter (jq may be absent).
+    printf '%s' "$line" | python3 -c '
+import json, sys
+resp = json.load(sys.stdin)
+assert resp.get("ok") is True, f"response not ok: {resp}"
+assert isinstance(resp.get("id"), int), f"missing id: {resp}"
+' || {
+        echo "FAIL: response $i is malformed or not ok: $line" >&2
+        exit 1
+    }
+done < <(printf '%s\n' "$out")
+
+echo "OK: $lines well-formed ok:true responses"

@@ -19,7 +19,9 @@
 //!   testbed generators ([`dataset`]);
 //! * the evaluation framework — MAP / Mean Recall metrics, pipelines,
 //!   and the harness regenerating every table and figure of the paper
-//!   ([`eval`]).
+//!   ([`eval`]);
+//! * a serving layer — a fitted-model registry and a micro-batching
+//!   JSON-lines explanation service ([`serve`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use anomex_core as core;
 pub use anomex_dataset as dataset;
 pub use anomex_detectors as detectors;
 pub use anomex_eval as eval;
+pub use anomex_serve as serve;
 pub use anomex_stats as stats;
 
 /// One-stop imports for the common workflow: generate/load data → pick a
