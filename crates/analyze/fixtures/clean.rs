@@ -1,0 +1,45 @@
+//! Deliberately clean fixture: every construct the rules target, in a
+//! form the analyzer must accept — suppressed with a reason, inside a
+//! test region, or rewritten the recommended way. Contributes zero
+//! findings to the fixtures corpus.
+
+fn suppressed_unwrap(v: Option<f64>) -> f64 {
+    v.unwrap() // anomex: allow(panic-path) checked non-empty two lines up
+}
+
+fn suppressed_discard(stream: &mut TcpStream) {
+    // anomex: allow(swallowed-error) best-effort flush on the shutdown path
+    let _ = stream.flush();
+}
+
+fn suppressed_clock() -> f64 {
+    // anomex: allow(nondeterminism) telemetry only, never feeds results
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn nan_safe_sort(scores: &mut Vec<(usize, f64)>) {
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+}
+
+fn ordered_iteration(scores: &BTreeMap<String, f64>) {
+    for (name, score) in scores {
+        emit(name, score);
+    }
+}
+
+fn checked_indexing(scores: &[f64], point: usize) -> Option<f64> {
+    scores.get(point).copied()
+}
+
+#[cfg(test)]
+mod unit_tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let v: Option<f64> = Some(1.0);
+        assert_eq!(v.unwrap(), 1.0);
+        let scores = vec![2.0, 1.0];
+        let m = scores.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(m, Some(2.0));
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded `float-ordering` violations.
+
+fn nan_unsafe_sort(scores: &mut Vec<(usize, f64)>) {
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+}
+
+fn nan_unsafe_max(scores: &[f64]) -> Option<f64> {
+    scores
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+}

@@ -1,0 +1,20 @@
+//! Seeded `nested-lock` violations. Not compiled — lexed by the
+//! analyzer's negative tests and the CI fixtures check.
+
+fn reversed_order(&self) {
+    let s = slot.state.lock();
+    let m = self.map.lock();
+    use_both(s, m);
+}
+
+fn unclassified_nesting(&self) {
+    let a = self.mystery.lock();
+    let b = self.enigma.lock();
+    use_both(a, b);
+}
+
+fn same_class_twice(&self) {
+    let a = left.queue.write();
+    let b = right.queue.write();
+    merge(a, b);
+}

@@ -1,0 +1,24 @@
+//! Seeded `nondeterminism` violations.
+
+fn hash_order_iteration(scores: &HashMap<String, f64>) {
+    for (name, score) in scores {
+        emit(name, score);
+    }
+}
+
+fn adapter_iteration() {
+    let index: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    let dims: Vec<usize> = index.keys().copied().collect();
+    report(dims);
+}
+
+fn wall_clock_in_compute(rows: &[f64]) -> f64 {
+    let t0 = Instant::now();
+    let s: f64 = rows.iter().sum();
+    s / t0.elapsed().as_secs_f64()
+}
+
+fn entropy_seeded_sampling(n: usize) -> Vec<usize> {
+    let mut rng = thread_rng();
+    sample(&mut rng, n)
+}

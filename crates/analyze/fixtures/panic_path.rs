@@ -1,0 +1,22 @@
+//! Seeded `panic-path` violations.
+
+fn unwrap_on_hot_path(v: Option<f64>) -> f64 {
+    v.unwrap()
+}
+
+fn expect_on_hot_path(v: Result<f64, E>) -> f64 {
+    v.expect("scores must exist")
+}
+
+fn macro_panics(kind: u8) {
+    match kind {
+        0 => panic!("boom"),
+        1 => unreachable!("cannot happen"),
+        2 => todo!(),
+        _ => unimplemented!(),
+    }
+}
+
+fn request_path_indexing(scores: &[f64], point: usize) -> f64 {
+    scores[point]
+}

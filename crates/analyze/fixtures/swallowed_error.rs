@@ -1,0 +1,9 @@
+//! Seeded `swallowed-error` violations.
+
+fn swallow_flush(stream: &mut TcpStream) {
+    let _ = stream.flush();
+}
+
+fn swallow_join(worker: JoinHandle<()>) {
+    let _ = worker.join();
+}

@@ -1,0 +1,184 @@
+//! The committed baseline of grandfathered findings.
+//!
+//! Format: one record per line, tab-separated —
+//!
+//! ```text
+//! <rule>\t<path>\t<fingerprint-hex>\t<count>
+//! ```
+//!
+//! keyed by (rule, path, snippet fingerprint) with an occurrence count,
+//! so the same construct appearing N times on a file stays
+//! grandfathered at N. Fingerprints hash the rule id plus the
+//! whitespace-normalized offending line (see [`Finding::fingerprint`]),
+//! never the line *number*, so unrelated edits above a site do not
+//! invalidate the baseline. `--check` fails only when a (rule, path,
+//! fingerprint) key's current count exceeds its baselined count —
+//! i.e. when someone adds a *new* violation.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Key identifying one grandfathered finding shape in one file.
+pub type Key = (String, String, u64);
+
+/// A parsed baseline: key → grandfathered occurrence count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<Key, usize>,
+}
+
+impl Baseline {
+    /// Parses the committed baseline text. Blank lines and `#` comments
+    /// are skipped; malformed records are errors (a truncated baseline
+    /// must not silently un-grandfather everything).
+    ///
+    /// # Errors
+    /// Describes the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(rule), Some(path), Some(fp), Some(count)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected rule\\tpath\\tfingerprint\\tcount",
+                    i + 1
+                ));
+            };
+            let fp = u64::from_str_radix(fp, 16)
+                .map_err(|e| format!("baseline line {}: bad fingerprint: {e}", i + 1))?;
+            let count: usize = count
+                .parse()
+                .map_err(|e| format!("baseline line {}: bad count: {e}", i + 1))?;
+            *counts
+                .entry((rule.to_string(), path.to_string(), fp))
+                .or_insert(0) += count;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline covering exactly `findings`.
+    #[must_use]
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<Key, usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(key_of(f)).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Serializes in the committed format (sorted, stable).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# anomex-analyze baseline — grandfathered findings.\n\
+             # Regenerate with: cargo run -p anomex-analyze -- --write-baseline\n\
+             # rule\tpath\tfingerprint\tcount\n",
+        );
+        for ((rule, path, fp), count) in &self.counts {
+            out.push_str(&format!("{rule}\t{path}\t{fp:016x}\t{count}\n"));
+        }
+        out
+    }
+
+    /// Splits `findings` into (new, grandfathered): for each key, up to
+    /// the baselined count is grandfathered, the excess is new.
+    #[must_use]
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut seen: BTreeMap<Key, usize> = BTreeMap::new();
+        let mut fresh = Vec::new();
+        let mut old = Vec::new();
+        for f in findings {
+            let key = key_of(&f);
+            let used = seen.entry(key.clone()).or_insert(0);
+            if *used < self.counts.get(&key).copied().unwrap_or(0) {
+                *used += 1;
+                old.push(f);
+            } else {
+                fresh.push(f);
+            }
+        }
+        (fresh, old)
+    }
+
+    /// Total grandfathered occurrences.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+fn key_of(f: &Finding) -> Key {
+    (f.rule.to_string(), f.path.clone(), f.fingerprint())
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let fs = vec![
+            finding("panic-path", "a.rs", "v.unwrap();"),
+            finding("panic-path", "a.rs", "v.unwrap();"),
+            finding("nested-lock", "b.rs", "m.lock();"),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn partition_grandfathers_up_to_count() {
+        let old = vec![finding("panic-path", "a.rs", "v.unwrap();")];
+        let b = Baseline::from_findings(&old);
+        // Two occurrences now, one baselined → one new.
+        let now = vec![
+            finding("panic-path", "a.rs", "v.unwrap();"),
+            finding("panic-path", "a.rs", "v.unwrap();"),
+        ];
+        let (fresh, grandfathered) = b.partition(now);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(grandfathered.len(), 1);
+    }
+
+    #[test]
+    fn line_moves_stay_grandfathered() {
+        let mut f = finding("panic-path", "a.rs", "v.unwrap();");
+        let b = Baseline::from_findings(std::slice::from_ref(&f));
+        f.line = 500;
+        let (fresh, old) = b.partition(vec![f]);
+        assert!(fresh.is_empty());
+        assert_eq!(old.len(), 1);
+    }
+
+    #[test]
+    fn different_file_is_not_grandfathered() {
+        let b = Baseline::from_findings(&[finding("panic-path", "a.rs", "v.unwrap();")]);
+        let (fresh, _) = b.partition(vec![finding("panic-path", "z.rs", "v.unwrap();")]);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("panic-path\ta.rs\tzz\t1").is_err());
+        assert!(Baseline::parse("just-one-field").is_err());
+        assert!(Baseline::parse("# comment only\n\n").is_ok());
+    }
+}

@@ -1,0 +1,359 @@
+//! `nested-lock`: flags a lock acquisition while another known lock is
+//! held, unless the pair follows the declared ordering manifest.
+//!
+//! Lexical model: a **guard** becomes live at a `.lock()` / `.read()` /
+//! `.write()` (zero-argument) call or a `lock(&...)` helper call, and
+//! dies when
+//!
+//! * the binding's enclosing block closes (brace depth drops below the
+//!   depth at acquisition),
+//! * the guard variable is passed to `drop(...)`, or
+//! * for guards never bound by `let`, the statement ends (`;` at the
+//!   acquisition depth) — matching Rust's temporary lifetimes closely
+//!   enough for linting.
+//!
+//! Every acquisition while guards are live is checked against the
+//! [`LockOrder`] manifest: the held class must be strictly
+//! earlier-ordered than the acquired class, and both must be known.
+//! Condvar `wait` calls keep the guard held (they reacquire before
+//! returning), which the model gets right for free by never treating
+//! `wait` as a release.
+
+use crate::lock_order::LockOrder;
+use crate::rules::{finding_at, receiver_chain, Finding, Rule};
+use crate::source::SourceFile;
+
+/// See the [module docs](self).
+pub struct NestedLock {
+    manifest: LockOrder,
+}
+
+impl NestedLock {
+    /// A rule checking against `manifest`.
+    #[must_use]
+    pub fn new(manifest: LockOrder) -> Self {
+        NestedLock { manifest }
+    }
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// Manifest class, or `None` when the manifest does not know it.
+    class: Option<String>,
+    /// Receiver description for messages (`self.shards`, `slot.state`).
+    desc: String,
+    /// `let`-bound variable name, when the statement binds one.
+    var: Option<String>,
+    /// Brace depth at acquisition.
+    depth: usize,
+    /// Line of acquisition.
+    line: u32,
+    /// Temporary guards (no `let`) die at the statement's `;`.
+    temporary: bool,
+}
+
+impl Rule for NestedLock {
+    fn id(&self) -> &'static str {
+        "nested-lock"
+    }
+
+    fn description(&self) -> &'static str {
+        "lock acquired while another known lock is held, violating the declared lock order"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0usize;
+        // `let <name> =` seen in the current statement, at which depth.
+        let mut pending_let: Option<(String, usize)> = None;
+
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                if pending_let.as_ref().is_some_and(|(_, d)| *d > depth) {
+                    pending_let = None;
+                }
+                continue;
+            }
+            if t.is_punct(';') {
+                guards.retain(|g| !(g.temporary && g.depth == depth));
+                pending_let = None;
+                continue;
+            }
+            if t.is_ident("let") {
+                // `let [mut] name` — remember the binding target.
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+                    pending_let = Some((name.to_string(), depth));
+                }
+                continue;
+            }
+            // `drop(name)` / `mem::drop(name)` releases a named guard.
+            if t.is_ident("drop")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                if let Some(name) = toks.get(i + 2).and_then(|t| t.ident()) {
+                    guards.retain(|g| g.var.as_deref() != Some(name));
+                }
+                continue;
+            }
+
+            let Some(acq) = acquisition(file, i) else {
+                continue;
+            };
+            let class = self
+                .manifest
+                .classify(&file.path, acq.receiver_last.as_str())
+                .map(str::to_string);
+            for held in &guards {
+                let ok = match (&held.class, &class) {
+                    (Some(h), Some(n)) => self.manifest.allows(h, n),
+                    // A nesting involving a lock the manifest cannot
+                    // name can never be proven ordered.
+                    _ => false,
+                };
+                if !ok {
+                    let held_name = held
+                        .class
+                        .clone()
+                        .unwrap_or_else(|| format!("unclassified '{}'", held.desc));
+                    let new_name = class
+                        .clone()
+                        .unwrap_or_else(|| format!("unclassified '{}'", acq.desc));
+                    findings.push(finding_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!(
+                            "lock {new_name} acquired while {held_name} (line {}) is held — \
+                             not a declared ordering; see crates/analyze/lock_order.txt",
+                            held.line
+                        ),
+                    ));
+                }
+            }
+            guards.push(Guard {
+                class,
+                desc: acq.desc,
+                var: pending_let.as_ref().map(|(n, _)| n.clone()),
+                depth,
+                line: t.line,
+                temporary: pending_let.is_none(),
+            });
+        }
+        findings
+    }
+}
+
+struct Acquisition {
+    receiver_last: String,
+    desc: String,
+}
+
+/// Recognizes a lock acquisition at token `i`:
+/// `<chain>.lock()`, `<chain>.read()`, `<chain>.write()` (zero-arg
+/// calls only, so `io::Read::read(&mut buf)` never matches), or the
+/// workspace's `lock(&<chain>)` poison-recovering helper.
+fn acquisition(file: &SourceFile, i: usize) -> Option<Acquisition> {
+    let toks = &file.tokens;
+    let t = &toks[i];
+    let name = t.ident()?;
+    let after_open = toks.get(i + 1)?.is_punct('(');
+    match name {
+        "lock" | "read" | "write" if after_open => {
+            let is_method = i > 0 && toks[i - 1].is_punct('.');
+            if is_method {
+                // Zero-argument call only.
+                if !toks.get(i + 2)?.is_punct(')') {
+                    return None;
+                }
+                let chain = receiver_chain(file, i);
+                let last = chain.last()?.clone();
+                Some(Acquisition {
+                    desc: format!("{}.{name}()", chain.join(".")),
+                    receiver_last: last,
+                })
+            } else if name == "lock" {
+                // Free helper: `lock(&self.map)` — receiver is the last
+                // ident before the closing paren of the first argument.
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                let mut last_ident: Option<String> = None;
+                let mut chain: Vec<String> = Vec::new();
+                while let Some(t) = toks.get(j) {
+                    if t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct(')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if let Some(id) = t.ident() {
+                        if depth == 1 {
+                            last_ident = Some(id.to_string());
+                            chain.push(id.to_string());
+                        }
+                    }
+                    j += 1;
+                }
+                let last = last_ident?;
+                Some(Acquisition {
+                    desc: format!("lock(&{})", chain.join(".")),
+                    receiver_last: last,
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::lock_order::LockOrder;
+
+    const MANIFEST: &str = "\
+class coarse  x.rs  map,outer
+class fine    x.rs  state
+order coarse fine
+";
+
+    fn run(src: &str) -> Vec<Finding> {
+        let rule = NestedLock::new(LockOrder::parse(MANIFEST).unwrap());
+        rule.check(&SourceFile::parse("x.rs", src))
+    }
+
+    #[test]
+    fn declared_order_is_clean() {
+        let src = "\
+fn ok(&self) {
+    let m = self.map.lock();
+    let s = slot.state.lock();
+    use_both(m, s);
+}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn reversed_order_is_flagged() {
+        let src = "\
+fn bad(&self) {
+    let s = slot.state.lock();
+    let m = self.map.lock();
+}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("coarse"), "{}", f[0].message);
+        assert!(f[0].message.contains("fine"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn same_class_reacquisition_is_flagged() {
+        let src = "fn bad(&self) { let a = self.map.lock(); let b = other.map.lock(); }";
+        assert_eq!(run(src).len(), 1, "self-deadlock risk");
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "\
+fn ok(&self) {
+    let s = slot.state.lock();
+    drop(s);
+    let m = self.map.lock();
+}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases_the_guard() {
+        let src = "\
+fn ok(&self) {
+    {
+        let s = slot.state.lock();
+    }
+    let m = self.map.lock();
+}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "\
+fn ok(&self) {
+    *lock(&slot.state) = Done;
+    let m = self.map.lock();
+}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn free_lock_helper_is_recognized() {
+        let src = "\
+fn bad(&self) {
+    let s = lock(&slot.state);
+    let m = lock(&self.map);
+}";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn unknown_lock_nested_is_flagged() {
+        let src = "\
+fn bad(&self) {
+    let m = self.map.lock();
+    let q = self.mystery.lock();
+}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unclassified"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn io_read_write_with_args_is_not_a_lock() {
+        let src = "\
+fn ok(&self) {
+    let m = self.map.lock();
+    out.write(buf);
+    file.read(&mut buf);
+}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn rwlock_read_write_are_locks() {
+        let src = "\
+fn bad(&self) {
+    let s = slot.state.read();
+    let m = self.map.write();
+}";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn sequential_locks_in_sibling_statements_are_clean() {
+        let src = "\
+fn ok(&self) {
+    let n = { let m = self.map.lock(); m.len() };
+    let s = slot.state.lock();
+    let m2 = self.map.lock();
+}";
+        // m dies at its block's close; s then m2 violates (fine before
+        // coarse), so exactly one finding.
+        assert_eq!(run(src).len(), 1);
+    }
+}

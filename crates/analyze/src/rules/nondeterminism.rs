@@ -1,0 +1,334 @@
+//! `nondeterminism`: sources of run-to-run variation in code whose
+//! outputs the paper's tables depend on.
+//!
+//! Three sub-checks:
+//!
+//! * **Hash-order iteration** — iterating a `HashMap`/`HashSet` (or the
+//!   workspace's `FxHashMap`/`FxHashSet`) observes hasher/insertion
+//!   order; anything feeding reports, rankings, or serialized output
+//!   must iterate a `BTreeMap` or sort first. The rule tracks local
+//!   bindings and struct fields declared with a hash type and flags
+//!   `for`-loops and ordered-iteration adapters over them. Keyed
+//!   lookups (`get`/`insert`/`contains_key`) are fine and not flagged.
+//! * **Wall-clock in pure compute** — `Instant::now`/`SystemTime` in
+//!   the numeric crates (`stats`, `dataset`, `detectors`, `core`): pure
+//!   score computation must be a function of its inputs. Engine
+//!   telemetry is the one sanctioned exception (suppressed inline).
+//! * **Entropy-seeded RNG** — `thread_rng`/`from_entropy`/
+//!   `rand::random` anywhere: every stochastic component must take an
+//!   explicit seed.
+
+use crate::lexer::Tok;
+use crate::rules::{finding_at, in_fixtures, Finding, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// See the [module docs](self).
+pub struct Nondeterminism;
+
+/// Crates whose compute must not read the clock.
+const PURE_COMPUTE: [&str; 4] = [
+    "crates/stats/src/",
+    "crates/dataset/src/",
+    "crates/detectors/src/",
+    "crates/core/src/",
+];
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Iteration adapters whose order is observable.
+const ORDERED_ITERATION: [&str; 6] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+];
+
+impl Rule for Nondeterminism {
+    fn id(&self) -> &'static str {
+        "nondeterminism"
+    }
+
+    fn description(&self) -> &'static str {
+        "hash-order iteration, wall-clock in pure compute, or entropy-seeded RNG"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let hash_bound = hash_bound_names(file);
+        let clock_scoped =
+            in_fixtures(&file.path) || PURE_COMPUTE.iter().any(|p| file.path.contains(p));
+        let toks = &file.tokens;
+        // `use std::time::Instant;` is not a clock read — track whether
+        // the scan is inside a `use` declaration.
+        let mut in_use = false;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.is_punct(';') {
+                in_use = false;
+                continue;
+            }
+            let Some(name) = t.ident() else { continue };
+            if name == "use" {
+                in_use = true;
+                continue;
+            }
+            match name {
+                // -- wall clock ------------------------------------------------
+                "Instant" | "SystemTime" if clock_scoped && !in_use => {
+                    out.push(finding_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!(
+                            "{name} in pure compute — results must be a function of \
+                             inputs alone (telemetry layers may suppress with a reason)"
+                        ),
+                    ));
+                }
+                // -- entropy-seeded RNG ---------------------------------------
+                "thread_rng" | "from_entropy" => {
+                    out.push(finding_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!("{name} is entropy-seeded — take an explicit seed instead"),
+                    ));
+                }
+                // -- hash iteration: `for .. in <chain over hash binding>` ----
+                "for" => {
+                    if let Some((idx, ident)) = for_loop_hash_receiver(file, i, &hash_bound) {
+                        out.push(finding_at(
+                            file,
+                            self.id(),
+                            idx,
+                            format!(
+                                "iterating hash-ordered '{ident}' — order is not \
+                                 deterministic; use BTreeMap/BTreeSet or sort first"
+                            ),
+                        ));
+                    }
+                }
+                // -- hash iteration: `binding.iter()` adapters ----------------
+                _ if hash_bound.contains(name) => {
+                    if let Some(m) = toks.get(i + 1).and_then(|d| {
+                        d.is_punct('.')
+                            .then(|| toks.get(i + 2))
+                            .flatten()
+                            .and_then(|t| t.ident())
+                    }) {
+                        if ORDERED_ITERATION.contains(&m)
+                            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+                        {
+                            out.push(finding_at(
+                                file,
+                                self.id(),
+                                i + 2,
+                                format!(
+                                    "'{name}.{m}()' iterates in hash order — not \
+                                     deterministic; use BTreeMap/BTreeSet or sort first"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Names bound to hash-ordered containers in this file: struct fields
+/// and let-bindings whose type annotation or initializer mentions a
+/// hash type.
+fn hash_bound_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `name: [path::]HashMap<..>` — struct field or annotated let.
+        if t.is_punct(':') && i > 0 {
+            if let Some(name) = toks[i - 1].ident() {
+                // Skip reference sigils (`&`, `&mut`, lifetimes), then
+                // walk a path of `ident ::` segments to the type head.
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| {
+                    t.is_punct('&') || t.is_ident("mut") || matches!(t.kind, Tok::Lifetime)
+                }) {
+                    j += 1;
+                }
+                let mut hops = 0;
+                while hops < 8 {
+                    let Some(tj) = toks.get(j) else { break };
+                    let Some(id) = tj.ident() else { break };
+                    if HASH_TYPES.contains(&id) {
+                        names.insert(name.to_string());
+                        break;
+                    }
+                    // Expect `::` to continue the path.
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                    {
+                        j += 3;
+                        hops += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // `let [mut] name = ... HashMap::new()/default()/with_capacity()`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).and_then(|t| t.ident()) else {
+                continue;
+            };
+            // Scan the statement (to `;`) for a hash-type constructor.
+            let mut k = j + 1;
+            while let Some(tk) = toks.get(k) {
+                if tk.is_punct(';') {
+                    break;
+                }
+                if let Some(id) = tk.ident() {
+                    if HASH_TYPES.contains(&id) {
+                        names.insert(name.to_string());
+                        break;
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    names
+}
+
+/// For a `for` keyword at `i`, returns `(token index, name)` of the
+/// iterated hash binding, if the `in`-expression's receiver chain ends
+/// at one (ignoring `&`/`&mut` and trailing adapter calls).
+fn for_loop_hash_receiver(
+    file: &SourceFile,
+    i: usize,
+    hash_bound: &BTreeSet<String>,
+) -> Option<(usize, String)> {
+    let toks = &file.tokens;
+    // Find `in` before the loop body `{` (patterns may contain idents,
+    // including `in` never — `in` is reserved).
+    let mut j = i + 1;
+    let mut guard = 0;
+    while guard < 64 {
+        let t = toks.get(j)?;
+        if t.is_ident("in") {
+            break;
+        }
+        if t.is_punct('{') {
+            return None;
+        }
+        j += 1;
+        guard += 1;
+    }
+    // The iterated expression runs from `in` to the body `{`. Flag when
+    // any segment is a hash-bound name and no sort/ordering call
+    // intervenes (`.sorted()` does not exist in std; collecting to a
+    // Vec and sorting happens in separate statements anyway).
+    let mut k = j + 1;
+    while let Some(t) = toks.get(k) {
+        if t.is_punct('{') {
+            break;
+        }
+        if let Some(id) = t.ident() {
+            if hash_bound.contains(id) {
+                return Some((k, id.to_string()));
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        Nondeterminism.check(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_is_flagged() {
+        let src = "\
+let mut m: FxHashMap<String, usize> = FxHashMap::default();
+for (k, v) in &m {
+    emit(k, v);
+}";
+        let f = run("crates/eval/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn iteration_adapters_on_hash_bindings_are_flagged() {
+        let src = "\
+struct S { slots: HashMap<K, V> }
+fn f(s: &S, slots: &HashMap<K, V>) {
+    let keys: Vec<_> = slots.keys().collect();
+}";
+        let f = run("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("slots.keys()"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn keyed_access_is_not_flagged() {
+        let src = "\
+let mut m = HashMap::new();
+m.insert(k, v);
+let x = m.get(&k);
+if m.contains_key(&k) { m.remove(&k); }";
+        assert!(run("crates/eval/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "let m: BTreeMap<K, V> = BTreeMap::new();\nfor (k, v) in &m { emit(k); }";
+        assert!(run("crates/eval/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn use_declarations_are_not_clock_reads() {
+        let src = "use std::time::{Duration, Instant};\nfn f() -> Duration { d }";
+        assert!(run("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_flagged_only_in_pure_compute() {
+        let src = "let t0 = Instant::now();";
+        assert_eq!(run("crates/core/src/engine.rs", src).len(), 1);
+        assert_eq!(run("crates/detectors/src/lof.rs", src).len(), 1);
+        assert!(
+            run("crates/serve/src/batch.rs", src).is_empty(),
+            "serve timing is the scheduler's job"
+        );
+        assert!(run("crates/eval/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn entropy_rng_is_flagged_everywhere() {
+        let f = run(
+            "crates/eval/src/x.rs",
+            "let mut rng = thread_rng();\nlet r = StdRng::from_entropy();",
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn unrelated_for_loops_are_fine() {
+        let src = "let v = vec![1, 2];\nfor x in &v { use_it(x); }\nfor i in 0..10 { f(i); }";
+        assert!(run("crates/eval/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! `swallowed-error`: `let _ = ...;` discards in the serving stack.
+//!
+//! On the request/registry path a discarded `Result` hides fit
+//! failures, dead client sockets and poisoned worker joins. Each
+//! discard must either handle the error, forward it as a typed
+//! protocol error, or carry an inline `anomex: allow(swallowed-error)`
+//! with a reason (e.g. best-effort flush on the shutdown path).
+
+use crate::rules::{finding_at, in_fixtures, Finding, Rule};
+use crate::source::SourceFile;
+
+/// See the [module docs](self).
+pub struct SwallowedError;
+
+/// The discard pattern is only policed where errors carry protocol
+/// meaning; elsewhere `let _ =` is an accepted idiom.
+const SCOPED: [&str; 1] = ["crates/serve/src/"];
+
+impl Rule for SwallowedError {
+    fn id(&self) -> &'static str {
+        "swallowed-error"
+    }
+
+    fn description(&self) -> &'static str {
+        "`let _ = ...` discard on the serve/registry path — handle or annotate"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        in_fixtures(path) || SCOPED.iter().any(|p| path.contains(p))
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            if toks[i].is_ident("let")
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("_"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+            {
+                out.push(finding_at(
+                    file,
+                    self.id(),
+                    i,
+                    "`let _ =` swallows the error — handle it, return it, or \
+                     suppress with a reason"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        SwallowedError.check(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn applies_only_to_serve_and_fixtures() {
+        assert!(SwallowedError.applies_to("crates/serve/src/service.rs"));
+        assert!(SwallowedError.applies_to("crates/analyze/fixtures/swallowed_error.rs"));
+        assert!(!SwallowedError.applies_to("crates/eval/src/runner.rs"));
+    }
+
+    #[test]
+    fn discard_is_flagged() {
+        let f = run("crates/serve/src/x.rs", "let _ = stream.flush();");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn named_underscore_bindings_are_fine() {
+        let src = "let _guard = m.lock();\nlet _unused = compute();";
+        assert!(run("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn plain_lets_are_fine() {
+        assert!(run("crates/serve/src/x.rs", "let x = f();").is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Per-file source model: tokens, line texts, `#[cfg(test)]`/`#[test]`
+//! regions, and `// anomex: allow(rule)` suppressions.
+
+use crate::lexer::{lex, Lexed, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Path relative to the analysis root, `/`-separated.
+    pub path: String,
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Raw text of every line (1-based access via [`SourceFile::line`]).
+    lines: Vec<String>,
+    /// Lines inside test-only code (`#[cfg(test)]` items, `#[test]` fns).
+    test_lines: Vec<bool>,
+    /// Per-line suppressed rule ids from `anomex: allow(...)` comments.
+    allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes one file.
+    #[must_use]
+    pub fn parse(path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let n = lines.len();
+        let test_lines = mark_test_lines(&lexed.tokens, n);
+        let allows = collect_allows(&lexed);
+        SourceFile {
+            path: path.replace('\\', "/"),
+            tokens: lexed.tokens,
+            lines,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// The trimmed text of 1-based line `line` (empty when out of range).
+    #[must_use]
+    pub fn line(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map_or("", |s| s.trim())
+    }
+
+    /// Whether 1-based `line` is inside test-only code.
+    #[must_use]
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether `rule` is suppressed on 1-based `line` by an
+    /// `anomex: allow(...)` comment on that line or the one above it.
+    #[must_use]
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|set| set.contains(rule) || set.contains("all"))
+    }
+
+    /// Number of `anomex: allow` comments in the file.
+    #[must_use]
+    pub fn n_allows(&self) -> usize {
+        self.allows.len()
+    }
+}
+
+/// Extracts `anomex: allow(rule-a, rule-b)` directives from comments and
+/// resolves the line each one applies to: a trailing comment applies to
+/// its own line; a standalone comment applies to the next line that has
+/// code on it.
+fn collect_allows(lexed: &Lexed) -> BTreeMap<u32, BTreeSet<String>> {
+    // A standalone allow comment may precede further comment lines; the
+    // directive then applies to the next *code* line.
+    let code_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for c in &lexed.comments {
+        let Some(rules) = parse_allow(&c.text) else {
+            continue;
+        };
+        let target = if c.trailing {
+            c.line
+        } else {
+            code_lines
+                .range(c.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(c.line)
+        };
+        allows.entry(target).or_default().extend(rules);
+    }
+    allows
+}
+
+/// Parses `anomex: allow(a, b) optional free-text reason` from one
+/// comment. Returns `None` when the comment is not a directive.
+fn parse_allow(text: &str) -> Option<Vec<String>> {
+    let rest = text.trim().strip_prefix("anomex:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (list, _reason) = rest.split_once(')')?;
+    let rules: Vec<String> = list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Marks lines belonging to test-only items: any item annotated
+/// `#[cfg(test)]` (typically `mod unit_tests { ... }`) or `#[test]`.
+/// Tracks from the attribute through the item's closing brace (or
+/// terminating semicolon for brace-less items).
+fn mark_test_lines(tokens: &[Token], n_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; n_lines];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = test_attr_end(tokens, i) {
+            let start_line = tokens[i].line;
+            let end_line = item_end_line(tokens, attr_end);
+            for line in start_line..=end_line {
+                if let Some(slot) = test.get_mut(line.saturating_sub(1) as usize) {
+                    *slot = true;
+                }
+            }
+            // Resume after the item so nested `#[test]`s inside a
+            // `#[cfg(test)] mod` don't restart the scan needlessly.
+            while i < tokens.len() && tokens[i].line <= end_line {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    test
+}
+
+/// If tokens at `i` start a `#[cfg(test)]`/`#[cfg(all(test, ...))]` or
+/// `#[test]` attribute, returns the index one past its closing `]`.
+fn test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    // Find the matching `]` (attributes may nest brackets in cfg exprs).
+    let mut depth = 1usize;
+    let mut j = i + 2;
+    let mut is_test = false;
+    let mut head: Option<&str> = None;
+    while j < tokens.len() && depth > 0 {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        } else if let Some(id) = t.ident() {
+            if head.is_none() {
+                head = Some(id);
+            }
+            if id == "test" {
+                is_test = true;
+            }
+        }
+        j += 1;
+    }
+    // Only `#[test]` itself or a cfg-family attribute mentioning `test`
+    // marks a test item; `#[cfg(feature = "test-utils")]` has no bare
+    // `test` ident, and `should_panic` without `test` does not count.
+    match head {
+        Some("test") => Some(j),
+        Some("cfg" | "cfg_attr") if is_test => Some(j),
+        _ => None,
+    }
+}
+
+/// The last line of the item following an attribute at token index `i`:
+/// scans past further attributes, then to the item's matching closing
+/// brace (or `;` for brace-less items like `use`).
+fn item_end_line(tokens: &[Token], mut i: usize) -> u32 {
+    // Skip consecutive attributes.
+    while i + 1 < tokens.len() && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct('[') {
+                depth += 1;
+            } else if tokens[j].is_punct(']') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    let mut depth = 0usize;
+    let mut entered = false;
+    let mut last_line = tokens.get(i).map_or(0, |t| t.line);
+    while i < tokens.len() {
+        let t = &tokens[i];
+        last_line = t.line;
+        if t.is_punct('{') {
+            depth += 1;
+            entered = true;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if entered && depth == 0 {
+                return t.line;
+            }
+        } else if t.is_punct(';') && !entered && depth == 0 {
+            return t.line;
+        }
+        i += 1;
+    }
+    last_line
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn allow_applies_to_its_own_line_when_trailing() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = v.unwrap(); // anomex: allow(panic-path) startup only\nlet b = 0;",
+        );
+        assert!(f.is_suppressed("panic-path", 1));
+        assert!(!f.is_suppressed("panic-path", 2));
+        assert!(!f.is_suppressed("nondeterminism", 1));
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let src = "\
+// anomex: allow(swallowed-error, panic-path) shutdown path
+// more prose in between
+let _ = worker.join();
+let _ = other.join();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_suppressed("swallowed-error", 3));
+        assert!(f.is_suppressed("panic-path", 3));
+        assert!(!f.is_suppressed("swallowed-error", 4));
+    }
+
+    #[test]
+    fn allow_all_suppresses_everything() {
+        let f = SourceFile::parse("x.rs", "foo(); // anomex: allow(all)");
+        assert!(f.is_suppressed("panic-path", 1));
+        assert!(f.is_suppressed("anything", 1));
+    }
+
+    #[test]
+    fn non_directive_comments_are_ignored() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// allow(panic-path) without the prefix\nlet x = 1;",
+        );
+        assert!(!f.is_suppressed("panic-path", 2));
+        assert_eq!(f.n_allows(), 0);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "\
+fn real() { v.unwrap(); }
+
+#[cfg(test)]
+mod unit_tests {
+    #[test]
+    fn t() {
+        v.unwrap();
+    }
+}
+
+fn after() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3), "attribute line");
+        assert!(f.is_test_line(7), "body of nested test fn");
+        assert!(f.is_test_line(9), "closing brace");
+        assert!(!f.is_test_line(11), "code after the mod");
+    }
+
+    #[test]
+    fn test_attr_on_single_fn() {
+        let src = "#[test]\nfn alone() {\n    x();\n}\nfn not_test() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_feature_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"extra\")]\nfn gated() { x(); }";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, unix))]\nmod t { fn f() {} }\nfn real() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn braceless_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse proptest::prelude::*;\nfn real() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn lines_are_retrievable() {
+        let f = SourceFile::parse("x.rs", "first\n  second  ");
+        assert_eq!(f.line(1), "first");
+        assert_eq!(f.line(2), "second");
+        assert_eq!(f.line(99), "");
+    }
+}

@@ -1,0 +1,69 @@
+//! Workspace file discovery: every `.rs` file under the analysis root,
+//! skipping build output and VCS metadata. std-only (no `walkdir`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", ".github"];
+
+/// Collects all `.rs` files under `root`, returned sorted by their
+/// root-relative `/`-separated path for deterministic reporting.
+///
+/// # Errors
+/// Propagates I/O errors with the offending path attached.
+pub fn rust_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    visit(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("file_type {}: {e}", path.display()))?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            visit(root, &path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn finds_rust_files_and_skips_target() {
+        let dir = std::env::temp_dir().join("anomex_analyze_walk_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        fs::create_dir_all(dir.join("target/debug")).unwrap();
+        fs::write(dir.join("src/lib.rs"), "fn a() {}").unwrap();
+        fs::write(dir.join("src/notes.txt"), "not rust").unwrap();
+        fs::write(dir.join("target/debug/gen.rs"), "fn b() {}").unwrap();
+        let files = rust_files(&dir).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert_eq!(rels, vec!["src/lib.rs"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

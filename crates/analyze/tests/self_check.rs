@@ -1,0 +1,77 @@
+//! Self-hosting checks: the workspace analyzes clean against its
+//! committed baseline, and the fixture corpus trips every rule.
+
+use anomex_analyze::baseline::Baseline;
+use anomex_analyze::walk::rust_files;
+use anomex_analyze::{analyze_files, default_rules};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze has a workspace two levels up")
+        .to_path_buf()
+}
+
+fn analyze(root: &Path, prefix: &str, skip_fixtures: bool) -> anomex_analyze::Analysis {
+    let rules = default_rules().expect("committed manifest parses");
+    let files: Vec<(String, PathBuf)> = rust_files(root)
+        .expect("workspace walks")
+        .into_iter()
+        .map(|(rel, path)| (format!("{prefix}{rel}"), path))
+        .filter(|(rel, _)| !skip_fixtures || !rel.contains("crates/analyze/fixtures/"))
+        .collect();
+    assert!(!files.is_empty(), "no .rs files under {}", root.display());
+    analyze_files(&files, &rules).expect("all files readable")
+}
+
+#[test]
+fn workspace_analyzes_clean_against_baseline() {
+    let root = workspace_root();
+    let analysis = analyze(&root, "", true);
+    let baseline_path = root.join("analyze-baseline.txt");
+    let baseline = Baseline::parse(
+        &std::fs::read_to_string(&baseline_path)
+            .expect("committed analyze-baseline.txt at the workspace root"),
+    )
+    .expect("baseline parses");
+    let (fresh, _grandfathered) = baseline.partition(analysis.findings);
+    assert!(
+        fresh.is_empty(),
+        "new findings not in the baseline:\n{}",
+        fresh
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixture_corpus_trips_every_rule() {
+    let root = workspace_root().join("crates/analyze/fixtures");
+    let analysis = analyze(&root, "crates/analyze/fixtures/", false);
+    let tripped: BTreeSet<&str> = analysis.findings.iter().map(|f| f.rule).collect();
+    for rule in [
+        "nested-lock",
+        "panic-path",
+        "nondeterminism",
+        "float-ordering",
+        "swallowed-error",
+    ] {
+        assert!(tripped.contains(rule), "fixtures never tripped {rule}");
+    }
+    assert!(
+        analysis.suppressed >= 3,
+        "clean.rs should exercise suppressions (saw {})",
+        analysis.suppressed
+    );
+    let clean: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.path.ends_with("clean.rs"))
+        .collect();
+    assert!(clean.is_empty(), "clean.rs must not fire: {clean:?}");
+}

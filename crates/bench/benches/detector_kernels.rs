@@ -65,22 +65,18 @@ fn knn_builders(c: &mut Criterion) {
             // cost Beam/RefOut pay once the memo is enabled.
             let full = Subspace::full(d);
             let parent = Subspace::new(0..d - 1);
-            group.bench_with_input(
-                BenchmarkId::new("incremental", &label),
-                &ds,
-                |b, ds| {
-                    b.iter_batched(
-                        || {
-                            let inc = IncrementalDistances::new(2);
-                            let _ = inc.sq_dists(ds, &parent);
-                            let _ = inc.sq_dists(ds, &Subspace::single(d - 1));
-                            inc
-                        },
-                        |inc| knn_table_from_sq_dists(&inc.sq_dists(ds, &full), K),
-                        BatchSize::LargeInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("incremental", &label), &ds, |b, ds| {
+                b.iter_batched(
+                    || {
+                        let inc = IncrementalDistances::new(2);
+                        let _ = inc.sq_dists(ds, &parent);
+                        let _ = inc.sq_dists(ds, &Subspace::single(d - 1));
+                        inc
+                    },
+                    |inc| knn_table_from_sq_dists(&inc.sq_dists(ds, &full), K),
+                    BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();
@@ -103,7 +99,9 @@ fn detector_miss_paths(c: &mut Criterion) {
     group.bench_function("LOF/dists/N1000-d5", |b| {
         b.iter(|| lof.score_from_sq_dists(&dists).expect("supported"))
     });
-    group.bench_function("FastABOD/coords/N1000-d5", |b| b.iter(|| abod.score_all(&m)));
+    group.bench_function("FastABOD/coords/N1000-d5", |b| {
+        b.iter(|| abod.score_all(&m))
+    });
     group.bench_function("FastABOD/dists/N1000-d5", |b| {
         b.iter(|| abod.score_from_sq_dists(&dists).expect("supported"))
     });

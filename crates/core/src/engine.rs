@@ -173,7 +173,7 @@ impl EngineRun {
     #[must_use]
     pub fn into_single(mut self) -> DimRun {
         assert_eq!(self.dims.len(), 1, "run holds more than one dim pass");
-        self.dims.pop().expect("one pass")
+        self.dims.pop().expect("one pass") // anomex: allow(panic-path) guarded by the assert above
     }
 }
 
@@ -302,6 +302,7 @@ impl<'a> ExplanationEngine<'a> {
             }
             let evals_before = scorer.evaluations();
             let hits_before = scorer.cache_hits();
+            // anomex: allow(nondeterminism) RunStats telemetry; never feeds scores or rankings
             let start = Instant::now();
             let explanations = self.explain_at(explainer, &scorer, spec, dim);
             let stats = RunStats {

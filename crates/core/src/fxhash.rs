@@ -35,7 +35,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))); // anomex: allow(panic-path) chunks_exact(8) guarantees the width
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {

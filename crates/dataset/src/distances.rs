@@ -144,7 +144,10 @@ impl IncrementalDistances {
     /// Panics if a previous holder of the internal lock panicked.
     #[must_use]
     pub fn stats(&self) -> IncrementalDistancesStats {
-        self.inner.lock().expect("distance cache lock poisoned").stats
+        self.inner
+            .lock()
+            .expect("distance cache lock poisoned")
+            .stats
     }
 
     /// The pairwise squared-distance matrix of `dataset` projected onto
@@ -162,7 +165,10 @@ impl IncrementalDistances {
     /// bounds, or if a previous holder of the internal lock panicked.
     #[must_use]
     pub fn sq_dists(&self, dataset: &Dataset, subspace: &Subspace) -> Arc<SqDistMatrix> {
-        assert!(!subspace.is_empty(), "cannot build distances of the empty subspace");
+        assert!(
+            !subspace.is_empty(),
+            "cannot build distances of the empty subspace"
+        );
         let n = dataset.n_rows();
         let mut inner = self.inner.lock().expect("distance cache lock poisoned");
 
@@ -322,7 +328,10 @@ mod unit_tests {
         let from_scratch = cold.sq_dists(&ds, &s012);
         assert_eq!(cold.stats().incremental_builds, 0);
 
-        assert_eq!(*via_parent, *from_scratch, "fold order must match bit-for-bit");
+        assert_eq!(
+            *via_parent, *from_scratch,
+            "fold order must match bit-for-bit"
+        );
     }
 
     #[test]

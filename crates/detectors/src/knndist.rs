@@ -90,7 +90,7 @@ impl KnnDist {
             .map(|i| {
                 let d = knn.distances(i);
                 match self.aggregation {
-                    KnnAggregation::Max => *d.last().expect("k >= 1"),
+                    KnnAggregation::Max => *d.last().expect("k >= 1"), // anomex: allow(panic-path) constructor rejects k = 0
                     KnnAggregation::Mean => d.iter().sum::<f64>() / d.len() as f64,
                 }
             })

@@ -6,9 +6,9 @@ use crate::experiment::ExperimentConfig;
 use crate::metrics;
 use anomex_core::cache::ScoreCache;
 use anomex_core::engine::{ExplanationEngine, RunSpec};
-use anomex_core::fxhash::FxHashMap;
 use anomex_core::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One (dataset × pipeline × explanation-dimensionality) measurement —
@@ -239,7 +239,10 @@ pub fn run_grid(
 ) -> ResultTable {
     let mut table = ResultTable::new(experiment);
     for tb in testbeds {
-        let mut caches: FxHashMap<&'static str, Arc<ScoreCache>> = FxHashMap::default();
+        // BTreeMap keeps any future iteration over the per-detector
+        // caches deterministic (report rows must not depend on hasher
+        // order); lookup cost is irrelevant at a handful of detectors.
+        let mut caches: BTreeMap<&'static str, Arc<ScoreCache>> = BTreeMap::new();
         for pipe in pipelines {
             let cache = Arc::clone(
                 caches

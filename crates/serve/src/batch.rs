@@ -71,6 +71,20 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+impl ServeError {
+    /// The wire-protocol category of this scheduler failure.
+    #[must_use]
+    pub fn code(&self) -> crate::protocol::ErrorCode {
+        use crate::protocol::ErrorCode;
+        match self {
+            ServeError::Rejected => ErrorCode::Overloaded,
+            ServeError::TimedOut => ErrorCode::TimedOut,
+            ServeError::ShutDown => ErrorCode::ShuttingDown,
+            ServeError::Internal(_) => ErrorCode::Internal,
+        }
+    }
+}
+
 /// Scheduler tuning knobs. The defaults favour interactive workloads:
 /// small batches cut after at most 2 ms of coalescing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -285,7 +299,7 @@ impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
                 std::thread::Builder::new()
                     .name(format!("anomex-serve-worker-{i}"))
                     .spawn(move || Self::worker_loop(&shared))
-                    .expect("spawn batch worker")
+                    .expect("spawn batch worker") // anomex: allow(panic-path) startup-only, before any request is accepted
             })
             .collect();
         Batcher { shared, workers }
@@ -366,6 +380,7 @@ impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
                 // Deadline-or-capacity cut: hold the batch open until it
                 // is full, the oldest request has waited `max_delay`, or
                 // shutdown flushes everything immediately.
+                // anomex: allow(panic-path) loop is entered only after the wait saw a nonempty queue
                 let cut = st.queue.front().expect("queue nonempty").enqueued + shared.cfg.max_delay;
                 while st.queue.len() < shared.cfg.max_batch && !st.shutdown {
                     let now = Instant::now();
@@ -438,6 +453,7 @@ impl<Q, R> Drop for Batcher<Q, R> {
         }
         self.shared.arrived.notify_all();
         for worker in self.workers.drain(..) {
+            // anomex: allow(swallowed-error) shutdown path; a worker's panic was already reported per request
             let _ = worker.join();
         }
         // Workers drain the queue before exiting; anything still present

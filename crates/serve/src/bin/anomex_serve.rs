@@ -117,12 +117,12 @@ fn run_stdin(handle: &Arc<ServeHandle>) -> ExitCode {
         let mut out = BufWriter::new(stdout.lock());
         for submitted in rx {
             let resp = submitted.resolve();
-            if write_response(&mut out, &resp).is_err() {
+            // Interactive pipes expect prompt responses; flushing per
+            // line costs little at this throughput. A failed write or
+            // flush means the consumer is gone — stop the reaper.
+            if write_response(&mut out, &resp).is_err() || out.flush().is_err() {
                 return;
             }
-            // Interactive pipes expect prompt responses; flushing per
-            // line costs little at this throughput.
-            let _ = out.flush();
         }
     });
     let stdin = std::io::stdin();
@@ -135,7 +135,10 @@ fn run_stdin(handle: &Arc<ServeHandle>) -> ExitCode {
         }
     }
     drop(tx);
-    let _ = reaper.join();
+    if reaper.join().is_err() {
+        eprintln!("error: response writer panicked; some responses may be missing");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -153,9 +156,13 @@ fn run_tcp(handle: &Arc<ServeHandle>, addr: &str) -> ExitCode {
         match stream {
             Ok(stream) => {
                 let handle = Arc::clone(handle);
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("anomex-serve-conn".to_string())
                     .spawn(move || serve_connection(&handle, stream));
+                if let Err(e) = spawned {
+                    // The connection drops; the listener keeps serving.
+                    eprintln!("warning: cannot spawn connection thread: {e}");
+                }
             }
             Err(e) => eprintln!("warning: failed connection: {e}"),
         }

@@ -134,6 +134,30 @@ pub struct ServeTiming {
     pub run: Option<RunStats>,
 }
 
+/// Machine-readable failure category, so clients can branch on the
+/// *kind* of failure (retry on `overloaded`, fix the request on
+/// `bad_request`, give up on `fit_failed`) without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorCode {
+    /// Malformed or out-of-range request (parse error, bad point/dim).
+    BadRequest,
+    /// The named dataset is neither registered nor a known preset.
+    UnknownDataset,
+    /// Unknown or invalid detector/explainer spec.
+    UnknownSpec,
+    /// The model fit failed (degenerate data, fit panic).
+    FitFailed,
+    /// Rejected by backpressure; safe to retry after a pause.
+    Overloaded,
+    /// The request's deadline elapsed before completion.
+    TimedOut,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// Unexpected internal failure (handler panic, serialization).
+    Internal,
+}
+
 /// One response line.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -142,6 +166,10 @@ pub struct Response {
     pub id: u64,
     /// Whether the operation succeeded.
     pub ok: bool,
+    /// Machine-readable failure category, present iff `ok` is false and
+    /// the failure is classified.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub code: Option<ErrorCode>,
     /// Failure description, present iff `ok` is false.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
@@ -163,12 +191,25 @@ pub struct Response {
 }
 
 impl Response {
-    /// An error response.
+    /// An error response with no machine-readable category (legacy
+    /// callers; prefer [`Response::failure_coded`]).
     #[must_use]
     pub fn failure(id: u64, error: impl Into<String>) -> Self {
         Response {
             id,
             ok: false,
+            error: Some(error.into()),
+            ..Response::default()
+        }
+    }
+
+    /// An error response carrying a typed [`ErrorCode`].
+    #[must_use]
+    pub fn failure_coded(id: u64, code: ErrorCode, error: impl Into<String>) -> Self {
+        Response {
+            id,
+            ok: false,
+            code: Some(code),
             error: Some(error.into()),
             ..Response::default()
         }
@@ -225,6 +266,20 @@ mod unit_tests {
         let err = serde_json::to_string(&Response::failure(4, "nope")).unwrap();
         assert!(err.contains("\"error\":\"nope\""), "{err}");
         assert!(!err.contains("score"), "{err}");
+        assert!(!err.contains("code"), "uncoded failure omits code: {err}");
+    }
+
+    #[test]
+    fn coded_failures_serialize_snake_case() {
+        let err = serde_json::to_string(&Response::failure_coded(
+            5,
+            ErrorCode::UnknownDataset,
+            "no such dataset",
+        ))
+        .unwrap();
+        assert!(err.contains("\"code\":\"unknown_dataset\""), "{err}");
+        let back: Response = serde_json::from_str(&err).unwrap();
+        assert_eq!(back.code, Some(ErrorCode::UnknownDataset));
     }
 
     #[test]

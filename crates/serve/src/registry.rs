@@ -23,6 +23,7 @@ use anomex_detectors::zscore::standardize_scores;
 use anomex_detectors::{fit_model, Detector, FittedModel};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -86,13 +87,22 @@ impl FittedEntry {
         &self.scores
     }
 
+    /// The standardized score of one fit row, or `None` when `point` is
+    /// out of range — the request path's accessor.
+    #[must_use]
+    pub fn try_score_of(&self, point: usize) -> Option<f64> {
+        self.scores.get(point).copied()
+    }
+
     /// The standardized score of one fit row.
     ///
     /// # Panics
-    /// Panics when `point` is out of range.
+    /// Panics when `point` is out of range; request paths use
+    /// [`FittedEntry::try_score_of`] instead.
     #[must_use]
     pub fn score_of(&self, point: usize) -> f64 {
-        self.scores[point]
+        // anomex: allow(panic-path) documented panicking variant of try_score_of
+        self.try_score_of(point).expect("point out of range")
     }
 
     /// Wall-clock time the fit took (projection + fit + standardization).
@@ -148,21 +158,29 @@ struct RegistryMap {
     order: VecDeque<ModelKey>,
 }
 
-/// Marks the slot poisoned if the fit unwinds, so waiters fail instead of
-/// sleeping forever.
-struct PoisonOnUnwind<'a> {
-    slot: &'a Slot,
-    armed: bool,
+/// Why a fit could not produce a model: the underlying detector fit
+/// panicked (degenerate data, invalid shape), either in this call or in
+/// a previous one that poisoned the slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    /// The key whose fit failed.
+    pub key: ModelKey,
+    /// The fit's panic message (or a note that an earlier fit poisoned
+    /// the slot).
+    pub message: String,
 }
 
-impl Drop for PoisonOnUnwind<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            *lock(&self.slot.state) = SlotState::Poisoned;
-            self.slot.done.notify_all();
-        }
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model fit failed for {}/{} on {:?}: {}",
+            self.key.dataset, self.key.detector, self.key.subspace, self.message
+        )
     }
 }
+
+impl std::error::Error for FitError {}
 
 /// The keyed fitted-model registry — see the [module docs](self).
 pub struct ModelRegistry {
@@ -243,13 +261,31 @@ impl ModelRegistry {
     /// # Panics
     /// Panics when the underlying fit panics (e.g. fewer than 2 rows for
     /// kNN-backed detectors), and on every concurrent waiter of that
-    /// failed fit.
+    /// failed fit. Request paths use [`ModelRegistry::try_get_or_fit`],
+    /// which reports the failure as a typed [`FitError`] instead.
     pub fn get_or_fit(
         &self,
         key: &ModelKey,
         dataset: &Dataset,
         detector: &dyn Detector,
     ) -> Arc<FittedEntry> {
+        self.try_get_or_fit(key, dataset, detector)
+            .unwrap_or_else(|e| panic!("{e}")) // anomex: allow(panic-path) documented panicking wrapper
+    }
+
+    /// Fallible variant of [`ModelRegistry::get_or_fit`]: a panicking
+    /// fit is caught, the slot is poisoned so waiters fail fast, and the
+    /// failure comes back as a typed [`FitError`] — one degenerate
+    /// request must not take down a serving worker.
+    ///
+    /// # Errors
+    /// When the fit panics, or when a previous fit poisoned this key.
+    pub fn try_get_or_fit(
+        &self,
+        key: &ModelKey,
+        dataset: &Dataset,
+        detector: &dyn Detector,
+    ) -> Result<Arc<FittedEntry>, FitError> {
         let slot = self.slot_for(key);
         {
             let mut st = lock(&slot.state);
@@ -257,7 +293,7 @@ impl ModelRegistry {
                 match &*st {
                     SlotState::Ready(entry) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Arc::clone(entry);
+                        return Ok(Arc::clone(entry));
                     }
                     SlotState::Empty => {
                         *st = SlotState::Building;
@@ -267,30 +303,44 @@ impl ModelRegistry {
                         st = slot.done.wait(st).unwrap_or_else(PoisonError::into_inner);
                     }
                     SlotState::Poisoned => {
-                        panic!("model fit panicked for {key:?}");
+                        return Err(FitError {
+                            key: key.clone(),
+                            message: "a previous fit of this key panicked".to_string(),
+                        });
                     }
                 }
             }
         }
-        // This thread won the build race; fit outside the lock.
-        let mut guard = PoisonOnUnwind {
-            slot: &slot,
-            armed: true,
-        };
+        // This thread won the build race; fit outside the lock, catching
+        // unwinds so the slot state machine always reaches Ready or
+        // Poisoned and waiters never sleep forever.
         let t0 = Instant::now();
-        let projected = dataset.project(&key.subspace);
-        let model = fit_model(detector, &projected);
-        let scores = Arc::new(standardize_scores(&model.score_fit_rows()));
-        let entry = Arc::new(FittedEntry {
-            model,
-            scores,
-            fit_time: t0.elapsed(),
-        });
-        guard.armed = false;
-        *lock(&slot.state) = SlotState::Ready(Arc::clone(&entry));
-        slot.done.notify_all();
-        self.fits.fetch_add(1, Ordering::Relaxed);
-        entry
+        let fit = catch_unwind(AssertUnwindSafe(|| {
+            let projected = dataset.project(&key.subspace);
+            let model = fit_model(detector, &projected);
+            let scores = Arc::new(standardize_scores(&model.score_fit_rows()));
+            Arc::new(FittedEntry {
+                model,
+                scores,
+                fit_time: t0.elapsed(),
+            })
+        }));
+        match fit {
+            Ok(entry) => {
+                *lock(&slot.state) = SlotState::Ready(Arc::clone(&entry));
+                slot.done.notify_all();
+                self.fits.fetch_add(1, Ordering::Relaxed);
+                Ok(entry)
+            }
+            Err(payload) => {
+                *lock(&slot.state) = SlotState::Poisoned;
+                slot.done.notify_all();
+                Err(FitError {
+                    key: key.clone(),
+                    message: crate::batch::panic_message(payload.as_ref()),
+                })
+            }
+        }
     }
 
     /// Looks up (or inserts) the slot of `key`, applying the FIFO
@@ -420,6 +470,36 @@ mod unit_tests {
         // ...and re-requesting it refits.
         let _ = reg.get_or_fit(&keys[0], &ds, &lof);
         assert_eq!(reg.stats().fits, 4);
+    }
+
+    #[test]
+    fn panicking_fit_poisons_the_slot_with_a_typed_error() {
+        let one = Dataset::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::new();
+        let key = ModelKey::new("one", "lof:k=5", Subspace::new([0usize, 1]));
+        let Err(err) = reg.try_get_or_fit(&key, &one, &lof) else {
+            panic!("a 1-row fit must fail");
+        };
+        assert_eq!(err.key, key);
+        assert!(!err.message.is_empty());
+        // Later callers see the poisoned slot without re-running the fit.
+        let Err(again) = reg.try_get_or_fit(&key, &one, &lof) else {
+            panic!("the poisoned slot must keep failing");
+        };
+        assert!(again.message.contains("previous"), "{}", again.message);
+        assert_eq!(reg.stats().fits, 0, "failed fits are not counted");
+    }
+
+    #[test]
+    fn try_score_of_bounds_checks() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::new();
+        let key = ModelKey::new("toy", "lof:k=5", Subspace::new([0usize, 1]));
+        let entry = reg.try_get_or_fit(&key, &ds, &lof).unwrap();
+        assert!(entry.try_score_of(0).is_some());
+        assert!(entry.try_score_of(ds.n_rows()).is_none());
     }
 
     #[test]

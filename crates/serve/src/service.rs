@@ -16,7 +16,7 @@
 
 use crate::batch::{BatchConfig, BatchContext, BatchCounters, Batcher, ServeError, Ticket};
 use crate::protocol::{
-    DatasetInfo, RankedEntry, Request, RequestBody, Response, ServeTiming, ServiceStats,
+    DatasetInfo, ErrorCode, RankedEntry, Request, RequestBody, Response, ServeTiming, ServiceStats,
 };
 use crate::registry::{ModelKey, ModelRegistry};
 use anomex_core::{
@@ -26,14 +26,40 @@ use anomex_core::{
 use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
 use anomex_dataset::{Dataset, Subspace};
 use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Lof};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
+/// A typed execution failure: a wire [`ErrorCode`] plus prose. Every
+/// path through [`ExplanationService::execute`] classifies its failures
+/// so clients can branch on the category instead of parsing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Machine-readable failure category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// A `map_err`-ready constructor currying the category.
+    fn of(code: ErrorCode) -> impl Fn(String) -> ServiceError {
+        move |message| ServiceError { code, message }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// What one executed operation produced; [`ExplanationService::respond`]
 /// folds it into a [`Response`].
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct Outcome {
     score: Option<f64>,
     explanation: Option<Vec<RankedEntry>>,
@@ -44,11 +70,11 @@ struct Outcome {
 
 /// The serving state machine — see the [module docs](self).
 pub struct ExplanationService {
-    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
     registry: ModelRegistry,
     /// One score cache per (dataset, canonical detector) pair, shared by
     /// every explanation request against that pair.
-    caches: Mutex<HashMap<(String, String), Arc<ScoreCache>>>,
+    caches: Mutex<BTreeMap<(String, String), Arc<ScoreCache>>>,
     /// Scheduler counters, attached by [`ServeHandle::start`] so the
     /// `stats` operation can report them from inside a handler.
     batch_counters: OnceLock<Arc<BatchCounters>>,
@@ -72,9 +98,9 @@ impl ExplanationService {
     #[must_use]
     pub fn with_registry(registry: ModelRegistry) -> Self {
         ExplanationService {
-            datasets: RwLock::new(HashMap::new()),
+            datasets: RwLock::new(BTreeMap::new()),
             registry,
-            caches: Mutex::new(HashMap::new()),
+            caches: Mutex::new(BTreeMap::new()),
             batch_counters: OnceLock::new(),
         }
     }
@@ -155,6 +181,7 @@ impl ExplanationService {
     /// Wires the scheduler's counters into the `stats` operation; called
     /// by [`ServeHandle::start`]. Later calls are no-ops.
     pub fn attach_scheduler(&self, counters: Arc<BatchCounters>) {
+        // anomex: allow(swallowed-error) OnceLock::set rejection is the documented later-call no-op
         let _ = self.batch_counters.set(counters);
     }
 
@@ -183,14 +210,18 @@ impl ExplanationService {
                 resp.timing = Some(timing);
                 resp
             }
-            Ok(Err(msg)) => {
-                let mut resp = Response::failure(req.id, msg);
+            Ok(Err(e)) => {
+                let mut resp = Response::failure_coded(req.id, e.code, e.message);
                 resp.timing = Some(timing);
                 resp
             }
             Err(payload) => {
                 let msg = crate::batch::panic_message(payload.as_ref());
-                let mut resp = Response::failure(req.id, format!("request panicked: {msg}"));
+                let mut resp = Response::failure_coded(
+                    req.id,
+                    ErrorCode::Internal,
+                    format!("request panicked: {msg}"),
+                );
                 resp.timing = Some(timing);
                 resp
             }
@@ -207,11 +238,15 @@ impl ExplanationService {
         )
     }
 
-    fn execute(&self, body: &RequestBody) -> Result<Outcome, String> {
+    fn execute(&self, body: &RequestBody) -> Result<Outcome, ServiceError> {
+        let bad_request = ServiceError::of(ErrorCode::BadRequest);
+        let unknown_dataset = ServiceError::of(ErrorCode::UnknownDataset);
+        let unknown_spec = ServiceError::of(ErrorCode::UnknownSpec);
         match body {
             RequestBody::Load { dataset, rows } => {
-                let ds = Dataset::from_rows(rows.clone()).map_err(|e| e.to_string())?;
-                let info = self.register_dataset(dataset, ds)?;
+                let ds =
+                    Dataset::from_rows(rows.clone()).map_err(|e| bad_request(e.to_string()))?;
+                let info = self.register_dataset(dataset, ds).map_err(bad_request)?;
                 Ok(Outcome {
                     dataset: Some(info),
                     ..Outcome::default()
@@ -223,20 +258,28 @@ impl ExplanationService {
                 subspace,
                 point,
             } => {
-                let ds = self.resolve_dataset(dataset)?;
-                let (canonical, det) = parse_detector(detector)?;
-                check_point(&ds, *point)?;
+                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let (canonical, det) = parse_detector(detector).map_err(unknown_spec)?;
+                check_point(&ds, *point).map_err(&bad_request)?;
                 if ds.n_rows() < 2 {
-                    return Err("scoring needs at least 2 rows".to_string());
+                    return Err(bad_request("scoring needs at least 2 rows".to_string()));
                 }
                 let sub = match subspace {
-                    Some(features) => check_subspace(&ds, features)?,
+                    Some(features) => check_subspace(&ds, features).map_err(bad_request)?,
                     None => Subspace::full(ds.n_features()),
                 };
                 let key = ModelKey::new(dataset.clone(), canonical, sub);
-                let entry = self.registry.get_or_fit(&key, &ds, det.as_ref());
+                let entry = self
+                    .registry
+                    .try_get_or_fit(&key, &ds, det.as_ref())
+                    .map_err(|e| ServiceError::of(ErrorCode::FitFailed)(e.to_string()))?;
+                let score = entry.try_score_of(*point).ok_or_else(|| {
+                    ServiceError::of(ErrorCode::Internal)(format!(
+                        "validated point {point} missing from the frozen score vector"
+                    ))
+                })?;
                 Ok(Outcome {
-                    score: Some(entry.score_of(*point)),
+                    score: Some(score),
                     ..Outcome::default()
                 })
             }
@@ -247,11 +290,11 @@ impl ExplanationService {
                 point,
                 dim,
             } => {
-                let ds = self.resolve_dataset(dataset)?;
-                let (canonical, det) = parse_detector(detector)?;
-                let kind = parse_explainer(explainer)?;
-                check_point(&ds, *point)?;
-                check_dim(&ds, *dim)?;
+                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let (canonical, det) = parse_detector(detector).map_err(&unknown_spec)?;
+                let kind = parse_explainer(explainer).map_err(unknown_spec)?;
+                check_point(&ds, *point).map_err(&bad_request)?;
+                check_dim(&ds, *dim).map_err(bad_request)?;
                 self.run_engine(
                     dataset,
                     &canonical,
@@ -269,16 +312,18 @@ impl ExplanationService {
                 points,
                 dim,
             } => {
-                let ds = self.resolve_dataset(dataset)?;
-                let (canonical, det) = parse_detector(detector)?;
-                let kind = parse_explainer(explainer)?;
+                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let (canonical, det) = parse_detector(detector).map_err(&unknown_spec)?;
+                let kind = parse_explainer(explainer).map_err(unknown_spec)?;
                 if points.is_empty() {
-                    return Err("summarize needs at least one point".to_string());
+                    return Err(bad_request(
+                        "summarize needs at least one point".to_string(),
+                    ));
                 }
                 for &p in points {
-                    check_point(&ds, p)?;
+                    check_point(&ds, p).map_err(&bad_request)?;
                 }
-                check_dim(&ds, *dim)?;
+                check_dim(&ds, *dim).map_err(bad_request)?;
                 self.run_engine(dataset, &canonical, &ds, det.as_ref(), &kind, points, *dim)
             }
             RequestBody::Stats => Ok(Outcome {
@@ -301,17 +346,16 @@ impl ExplanationService {
         kind: &ExplainerKind,
         points: &[usize],
         dim: usize,
-    ) -> Result<Outcome, String> {
+    ) -> Result<Outcome, ServiceError> {
+        let first = points.first().copied().ok_or_else(|| {
+            ServiceError::of(ErrorCode::BadRequest)("no points to explain".to_string())
+        })?;
         let cache = self.cache_for(dataset_name, canonical_detector);
         let engine = ExplanationEngine::with_cache(ds, det, cache);
         let run = engine
             .run(kind, &RunSpec::new(points.to_vec(), vec![dim]))
             .into_single();
-        let ranked = run
-            .explanations
-            .get(&points[0])
-            .cloned()
-            .unwrap_or_default();
+        let ranked = run.explanations.get(&first).cloned().unwrap_or_default();
         Ok(Outcome {
             explanation: Some(ranked_entries(&ranked)),
             run: Some(run.stats),
@@ -338,7 +382,7 @@ impl Submitted {
             Submitted::Immediate(resp) => resp,
             Submitted::Queued(id, ticket) => ticket
                 .wait()
-                .unwrap_or_else(|e| Response::failure(id, e.to_string())),
+                .unwrap_or_else(|e| Response::failure_coded(id, e.code(), e.to_string())),
         }
     }
 }
@@ -403,7 +447,9 @@ impl ServeHandle {
                 let id = req.id;
                 Some(match self.submit(req) {
                     Ok(ticket) => Submitted::Queued(id, ticket),
-                    Err(e) => Submitted::Immediate(Response::failure(id, e.to_string())),
+                    Err(e) => {
+                        Submitted::Immediate(Response::failure_coded(id, e.code(), e.to_string()))
+                    }
                 })
             }
             Err(parse_err) => {
@@ -411,8 +457,9 @@ impl ServeHandle {
                     .ok()
                     .and_then(|v| v.get("id").and_then(serde_json::Value::as_u64))
                     .unwrap_or(0);
-                Some(Submitted::Immediate(Response::failure(
+                Some(Submitted::Immediate(Response::failure_coded(
                     id,
+                    ErrorCode::BadRequest,
                     format!("bad request: {parse_err}"),
                 )))
             }
@@ -426,7 +473,7 @@ impl ServeHandle {
         let id = req.id;
         match self.submit(req) {
             Ok(ticket) => Submitted::Queued(id, ticket).resolve(),
-            Err(e) => Response::failure(id, e.to_string()),
+            Err(e) => Response::failure_coded(id, e.code(), e.to_string()),
         }
     }
 }
@@ -745,6 +792,60 @@ mod unit_tests {
     }
 
     #[test]
+    fn failures_carry_typed_codes() {
+        let svc = service_with_toy();
+        let code = |body: RequestBody| svc.execute(&body).unwrap_err().code;
+        let score = |dataset: &str, detector: &str, point: usize| RequestBody::Score {
+            dataset: dataset.into(),
+            detector: detector.into(),
+            subspace: None,
+            point,
+        };
+        assert_eq!(code(score("missing", "lof", 0)), ErrorCode::UnknownDataset);
+        assert_eq!(code(score("toy", "svm", 0)), ErrorCode::UnknownSpec);
+        assert_eq!(code(score("toy", "lof", 999)), ErrorCode::BadRequest);
+        assert_eq!(
+            code(RequestBody::Explain {
+                dataset: "toy".into(),
+                detector: "lof".into(),
+                explainer: "shap".into(),
+                point: 0,
+                dim: 1,
+            }),
+            ErrorCode::UnknownSpec
+        );
+        assert_eq!(
+            code(RequestBody::Summarize {
+                dataset: "toy".into(),
+                detector: "lof".into(),
+                explainer: "lookout".into(),
+                points: vec![],
+                dim: 1,
+            }),
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn score_fit_failures_are_typed_not_panics() {
+        let svc = service_with_toy();
+        let two = Dataset::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        svc.register_dataset("two", two).unwrap();
+        let res = svc.execute(&RequestBody::Score {
+            dataset: "two".into(),
+            detector: "lof:k=5".into(),
+            subspace: None,
+            point: 0,
+        });
+        match res {
+            // Either the fit degrades gracefully (a score comes back) or
+            // it fails as a typed FitFailed — never a panic.
+            Ok(outcome) => assert!(outcome.score.is_some()),
+            Err(e) => assert_eq!(e.code, ErrorCode::FitFailed),
+        }
+    }
+
+    #[test]
     fn score_is_served_from_the_registry() {
         let svc = service_with_toy();
         let req = RequestBody::Score {
@@ -818,5 +919,6 @@ mod unit_tests {
         });
         assert!(!resp.ok, "kNN on a 1-row dataset must fail, not hang");
         assert_eq!(resp.id, 3);
+        assert_eq!(resp.code, Some(ErrorCode::Internal));
     }
 }
