@@ -17,11 +17,14 @@ use crate::source::SourceFile;
 /// See the [module docs](self).
 pub struct PanicPath;
 
-/// Crates whose non-test code must not panic.
-const HOT_PATHS: [&str; 3] = [
+/// Crates whose non-test code must not panic. `obs` is included: its
+/// subscribers run inline on every instrumented hot path, so a panic
+/// there takes the traced computation down with it.
+const HOT_PATHS: [&str; 4] = [
     "crates/core/src/",
     "crates/serve/src/",
     "crates/detectors/src/",
+    "crates/obs/src/",
 ];
 
 /// Paths where indexing expressions are additionally flagged.
@@ -109,6 +112,7 @@ mod unit_tests {
     fn applies_only_to_hot_paths_and_fixtures() {
         assert!(PanicPath.applies_to("crates/serve/src/service.rs"));
         assert!(PanicPath.applies_to("crates/core/src/engine.rs"));
+        assert!(PanicPath.applies_to("crates/obs/src/registry.rs"));
         assert!(PanicPath.applies_to("crates/analyze/fixtures/panic_path.rs"));
         assert!(!PanicPath.applies_to("crates/eval/src/report.rs"));
         assert!(!PanicPath.applies_to("crates/stats/src/rank.rs"));

@@ -42,8 +42,27 @@ use anomex_dataset::{Dataset, IncrementalDistances};
 use anomex_detectors::Detector;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Process-wide run/pass meters (see `core.scorer.*` in
+/// [`crate::scoring`] for the companion evaluation counters). Spans in
+/// this crate are logical-sequence only: wall clocks stay confined to
+/// `RunStats` telemetry and the serving layer.
+fn obs_dim_passes() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("core.engine.dim_passes"))
+}
+
+fn obs_dims_skipped() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("core.engine.dims_skipped"))
+}
+
+fn obs_points_explained() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("core.engine.points_explained"))
+}
 
 /// What one engine run should do: which points, which explanation
 /// dimensionalities, and under what execution policy.
@@ -287,11 +306,17 @@ impl<'a> ExplanationEngine<'a> {
             !spec.dims.is_empty(),
             "engine run needs at least one target dim"
         );
+        let _run_span = anomex_obs::span!(
+            "core.engine.run",
+            points = spec.points.len(),
+            dims = spec.dims.len()
+        );
         let scorer = self.scorer();
         let mut dims = Vec::with_capacity(spec.dims.len());
         let mut spent = 0usize;
         for &dim in &spec.dims {
             if spec.eval_budget.is_some_and(|budget| spent >= budget) {
+                obs_dims_skipped().incr();
                 dims.push(DimRun {
                     dim,
                     explanations: BTreeMap::new(),
@@ -300,11 +325,14 @@ impl<'a> ExplanationEngine<'a> {
                 });
                 continue;
             }
+            let _dim_span = anomex_obs::span!("core.engine.dim_pass", dim = dim);
             let evals_before = scorer.evaluations();
             let hits_before = scorer.cache_hits();
             // anomex: allow(nondeterminism) RunStats telemetry; never feeds scores or rankings
             let start = Instant::now();
             let explanations = self.explain_at(explainer, &scorer, spec, dim);
+            obs_dim_passes().incr();
+            obs_points_explained().add(spec.points.len() as u64);
             let stats = RunStats {
                 elapsed: start.elapsed(),
                 evaluations: scorer.evaluations() - evals_before,

@@ -21,7 +21,23 @@ use anomex_dataset::{Dataset, IncrementalDistances, Subspace};
 use anomex_detectors::zscore::standardize_scores;
 use anomex_detectors::Detector;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide work meters, in addition to the per-scorer counters: the
+/// scorer is the sole owner of the hit/miss classification, so the
+/// global `core.scorer.*` counters reconcile exactly with every
+/// [`crate::engine::RunStats`] summed over a region (the obs test suite
+/// pins this). Handles are cached so the hot path pays one relaxed
+/// `fetch_add`, never a registry lookup.
+fn obs_evaluations() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("core.scorer.evaluations"))
+}
+
+fn obs_cache_hits() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("core.scorer.cache_hits"))
+}
 
 /// Tri-state memo of whether the scorer's detector supports the
 /// distance-only scoring path (`score_from_sq_dists`).
@@ -183,15 +199,18 @@ impl<'a> SubspaceScorer<'a> {
                 match fetch {
                     Fetch::Computed => {
                         self.evaluations.fetch_add(1, Ordering::Relaxed);
+                        obs_evaluations().incr();
                     }
                     Fetch::Hit => {
                         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        obs_cache_hits().incr();
                     }
                 }
                 scores
             }
             None => {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
+                obs_evaluations().incr();
                 Arc::new(self.compute(subspace))
             }
         }

@@ -45,6 +45,36 @@ use anomex_dataset::view::sq_dist;
 use anomex_dataset::ProjectedMatrix;
 use anomex_parallel::par_map;
 use anomex_stats::rank::bottom_k_asc_excluding;
+use std::sync::OnceLock;
+
+/// Process-wide kernel meters: which kNN build path ran, how many
+/// blocked-kernel passes it took, and how often the sampled-threshold
+/// selection had to fall back to the reference scan. Relaxed counters
+/// only — nothing here can perturb a distance or a neighbour order.
+fn obs_blocked_builds() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.knn.blocked_builds"))
+}
+
+fn obs_naive_builds() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.knn.naive_builds"))
+}
+
+fn obs_matrix_builds() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.knn.matrix_builds"))
+}
+
+fn obs_block_passes() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.knn.block_passes"))
+}
+
+fn obs_selection_fallbacks() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.knn.selection_fallbacks"))
+}
 
 /// Rows per kernel block: the dot-product accumulators of a block
 /// (`BLOCK_ROWS × n`) stay resident while each gathered column streams
@@ -257,6 +287,7 @@ fn bottom_k_nonneg(
         }
     }
     if live < k {
+        obs_selection_fallbacks().incr();
         return bottom_k_reference(xs, k, exclude);
     }
     if k < hits.len() {
@@ -327,6 +358,7 @@ pub fn knn_table_blocked(data: &ProjectedMatrix, k: usize) -> KnnTable {
     assert!(n >= 2, "kNN needs at least two rows");
     assert!(k >= 1, "k must be at least 1");
     let k = k.min(n - 1);
+    obs_blocked_builds().incr();
 
     let gathered = GatheredMatrix::new(data);
     let gathered_ref = &gathered;
@@ -341,16 +373,19 @@ pub fn knn_table_blocked(data: &ProjectedMatrix, k: usize) -> KnnTable {
         let mut shortlist: Vec<(u64, usize)> = Vec::new();
         let mut neighbors = Vec::with_capacity((end - start) * k);
         let mut distances = Vec::with_capacity((end - start) * k);
+        let mut blocks = 0u64;
         let mut i0 = start;
         while i0 < end {
             let i1 = (i0 + BLOCK_ROWS).min(end);
             gathered_ref.sq_dists_block_into(i0, i1, &mut scratch);
+            blocks += 1;
             for i in i0..i1 {
                 let row = &scratch[(i - i0) * n..(i - i0 + 1) * n];
                 select_row(row, i, k, &mut neighbors, &mut distances, &mut shortlist);
             }
             i0 = i1;
         }
+        obs_block_passes().add(blocks);
         (neighbors, distances)
     });
 
@@ -375,6 +410,7 @@ pub fn knn_table_naive(data: &ProjectedMatrix, k: usize) -> KnnTable {
     assert!(n >= 2, "kNN needs at least two rows");
     assert!(k >= 1, "k must be at least 1");
     let k = k.min(n - 1);
+    obs_naive_builds().incr();
 
     let mut neighbors = Vec::with_capacity(n * k);
     let mut distances = Vec::with_capacity(n * k);
@@ -401,6 +437,7 @@ pub fn knn_table_from_sq_dists(dists: &SqDistMatrix, k: usize) -> KnnTable {
     assert!(n >= 2, "kNN needs at least two rows");
     assert!(k >= 1, "k must be at least 1");
     let k = k.min(n - 1);
+    obs_matrix_builds().incr();
 
     let mut neighbors = Vec::with_capacity(n * k);
     let mut distances = Vec::with_capacity(n * k);

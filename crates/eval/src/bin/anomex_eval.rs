@@ -28,6 +28,8 @@ struct Args {
     mode: Mode,
     seed: u64,
     out: PathBuf,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -42,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
     let mut mode = Mode::Balanced;
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
+    let mut trace = None;
+    let mut metrics = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -55,6 +59,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
             "--out" => out = PathBuf::from(argv.next().ok_or("--out needs a value")?),
+            "--trace" => trace = Some(PathBuf::from(argv.next().ok_or("--trace needs a value")?)),
+            "--metrics" => {
+                metrics = Some(PathBuf::from(argv.next().ok_or("--metrics needs a value")?));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -67,11 +75,13 @@ fn parse_args() -> Result<Args, String> {
         mode,
         seed,
         out,
+        trace,
+        metrics,
     })
 }
 
 const USAGE: &str = "usage: anomex-eval <table1|fig8|fig9|fig10|fig11|table2|overlap|all> \
-[--fast|--full] [--seed N] [--out DIR]";
+[--fast|--full] [--seed N] [--out DIR] [--trace FILE] [--metrics FILE]";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -88,6 +98,15 @@ fn main() -> ExitCode {
     };
     let fast = args.mode == Mode::Fast;
     std::fs::create_dir_all(&args.out).expect("create output directory");
+    if let Some(path) = &args.trace {
+        match anomex_obs::JsonLinesSubscriber::to_file(path) {
+            Ok(sub) => anomex_obs::install(std::sync::Arc::new(sub)),
+            Err(e) => {
+                eprintln!("error: cannot open trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     eprintln!("# generating testbed datasets (ground truth derivation may take a while)...");
     let testbeds: Vec<TestbedDataset> = cfg
@@ -185,6 +204,18 @@ fn main() -> ExitCode {
             eprintln!("unknown experiment {other:?}\n{USAGE}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(path) = &args.metrics {
+        // Deterministic (name-sorted) dump of every counter/histogram
+        // the run touched — the counterpart of the JSON-lines trace.
+        let mut json = anomex_obs::snapshot().to_json();
+        json.push('\n');
+        std::fs::write(path, json).expect("write metrics snapshot");
+        eprintln!("#   wrote {}", path.display());
+    }
+    if args.trace.is_some() {
+        // Drop the installed subscriber so its Drop impl flushes the file.
+        anomex_obs::uninstall();
     }
     ExitCode::SUCCESS
 }

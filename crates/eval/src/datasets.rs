@@ -14,6 +14,22 @@ pub enum TestbedFamily {
     Hics(HicsPreset),
     /// Full-space outliers (ground truth derived by exhaustive LOF).
     FullSpace(FullSpacePreset),
+    /// A caller-supplied dataset wrapped via [`TestbedDataset::from_parts`]
+    /// (regression fixtures, external data). Not part of the paper's
+    /// eight, so [`TestbedFamily::all`] never lists it.
+    Custom(CustomFamily),
+}
+
+/// Static description of a [`TestbedFamily::Custom`] dataset. All fields
+/// are `'static` so the family stays `Copy + Eq + Hash` like the presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CustomFamily {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of features.
+    pub n_features: usize,
+    /// Explanation dimensionalities to evaluate.
+    pub dims: &'static [usize],
 }
 
 impl TestbedFamily {
@@ -39,6 +55,7 @@ impl TestbedFamily {
         match self {
             TestbedFamily::Hics(p) => p.name(),
             TestbedFamily::FullSpace(p) => p.name(),
+            TestbedFamily::Custom(c) => c.name,
         }
     }
 
@@ -48,17 +65,19 @@ impl TestbedFamily {
         match self {
             TestbedFamily::Hics(p) => p.n_features(),
             TestbedFamily::FullSpace(p) => p.n_features(),
+            TestbedFamily::Custom(c) => c.n_features,
         }
     }
 
     /// The explanation dimensionalities the paper evaluates on this
     /// dataset: 2–5d for the synthetic family, 2–4d for the full-space
-    /// family.
+    /// family, caller-declared for custom datasets.
     #[must_use]
     pub fn explanation_dims(self) -> Vec<usize> {
         match self {
             TestbedFamily::Hics(_) => vec![2, 3, 4, 5],
             TestbedFamily::FullSpace(_) => vec![2, 3, 4],
+            TestbedFamily::Custom(c) => c.dims.to_vec(),
         }
     }
 
@@ -70,6 +89,10 @@ impl TestbedFamily {
         match self {
             TestbedFamily::Hics(p) => 5.0 / p.n_features() as f64,
             TestbedFamily::FullSpace(_) => 1.0,
+            TestbedFamily::Custom(c) => {
+                let max_dim = c.dims.iter().copied().max().unwrap_or(c.n_features);
+                max_dim as f64 / c.n_features.max(1) as f64
+            }
         }
     }
 }
@@ -110,6 +133,35 @@ impl TestbedDataset {
                     ground_truth,
                 }
             }
+            TestbedFamily::Custom(c) => panic!(
+                "custom testbed '{}' is built via TestbedDataset::from_parts",
+                c.name
+            ),
+        }
+    }
+
+    /// Wraps a caller-supplied dataset and ground truth as a testbed —
+    /// the entry point for regression fixtures and external data that
+    /// should run through the same grid/report machinery as the paper's
+    /// datasets.
+    ///
+    /// # Panics
+    /// Panics when the dataset's feature count disagrees with the
+    /// family's declared `n_features`.
+    #[must_use]
+    pub fn from_parts(family: CustomFamily, dataset: Dataset, ground_truth: GroundTruth) -> Self {
+        assert_eq!(
+            dataset.n_features(),
+            family.n_features,
+            "custom family '{}' declares {} features but the dataset has {}",
+            family.name,
+            family.n_features,
+            dataset.n_features()
+        );
+        TestbedDataset {
+            family: TestbedFamily::Custom(family),
+            dataset,
+            ground_truth,
         }
     }
 
@@ -147,6 +199,40 @@ mod unit_tests {
         let t = TestbedDataset::build(TestbedFamily::Hics(HicsPreset::D14), 1, &[]);
         assert_eq!(t.dataset.n_features(), 14);
         assert_eq!(t.ground_truth.n_outliers(), 20);
+    }
+
+    #[test]
+    fn custom_family_wraps_external_data() {
+        use anomex_dataset::Subspace;
+        let fam = CustomFamily {
+            name: "fixture-3d",
+            n_features: 3,
+            dims: &[2],
+        };
+        let ds = Dataset::from_rows(vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]]).unwrap();
+        let mut gt = GroundTruth::new();
+        gt.add(1, Subspace::new([0usize, 2]));
+        let tb = TestbedDataset::from_parts(fam, ds, gt);
+        assert_eq!(tb.name(), "fixture-3d");
+        assert_eq!(tb.family.n_features(), 3);
+        assert_eq!(tb.family.explanation_dims(), vec![2]);
+        assert!((tb.family.relevant_feature_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(tb.ground_truth.n_outliers(), 1);
+        // Custom families are fixtures, not paper datasets.
+        assert!(!TestbedFamily::all()
+            .iter()
+            .any(|f| matches!(f, TestbedFamily::Custom(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "from_parts")]
+    fn custom_family_rejects_build() {
+        let fam = CustomFamily {
+            name: "fixture-3d",
+            n_features: 3,
+            dims: &[2],
+        };
+        let _ = TestbedDataset::build(TestbedFamily::Custom(fam), 1, &[]);
     }
 
     #[test]

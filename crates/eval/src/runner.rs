@@ -9,7 +9,20 @@ use anomex_core::engine::{ExplanationEngine, RunSpec};
 use anomex_core::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide grid meters: cells actually measured vs skipped (budget
+/// or empty point set). Logical-sequence spans only — wall time lives in
+/// each cell's `seconds` field.
+fn obs_cells() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("eval.grid.cells"))
+}
+
+fn obs_cells_skipped() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("eval.grid.cells_skipped"))
+}
 
 /// One (dataset × pipeline × explanation-dimensionality) measurement —
 /// a single point of a Figure 9/10 curve or Figure 11 runtime curve.
@@ -160,8 +173,10 @@ pub fn run_cell_with_engine(
     dim: usize,
     cfg: &ExperimentConfig,
 ) -> CellResult {
+    let _cell_span = anomex_obs::span!("eval.grid.cell", dim = dim);
     let pois = points_of_interest(testbed, dim, cfg);
     if pois.is_empty() {
+        obs_cells_skipped().incr();
         return skipped_cell(
             testbed,
             pipeline,
@@ -176,6 +191,7 @@ pub fn run_cell_with_engine(
         pois.len(),
     );
     if estimate > cfg.eval_budget as u128 {
+        obs_cells_skipped().incr();
         return skipped_cell(
             testbed,
             pipeline,
@@ -186,6 +202,7 @@ pub fn run_cell_with_engine(
             ),
         );
     }
+    obs_cells().incr();
 
     let run = engine.run(pipeline.explainer(), &RunSpec::new(pois.as_slice(), [dim]));
     let pass = run.into_single();

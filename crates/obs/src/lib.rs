@@ -1,0 +1,112 @@
+//! Zero-dependency observability for the anomex workspace: a
+//! process-wide [`MetricsRegistry`] of named counters and log2-bucketed
+//! histograms, a [`Subscriber`] span/event API, and a JSON-lines trace
+//! exporter — all `std`-only so pure-compute crates can depend on it
+//! without dragging wall clocks or hashers into their determinism
+//! envelope.
+//!
+//! ## Design rules
+//!
+//! * **Metrics are always on and never observable in results.** Counters
+//!   and histograms are plain relaxed atomics; incrementing them cannot
+//!   change a score, a ranking or an iteration order. Snapshots iterate
+//!   `BTreeMap`s, so two snapshots of the same state serialize
+//!   byte-identically.
+//! * **Tracing is opt-in and inert by default.** With no subscriber
+//!   installed (the implicit [`NoopSubscriber`] state), [`span`] and
+//!   [`event`] reduce to one relaxed `AtomicBool` load and allocate
+//!   nothing.
+//! * **Logical time in pure compute, wall time at the edge.** Span
+//!   records are ordered by a process-global logical sequence number;
+//!   only [`span_timed`] — meant for the serving layer — attaches
+//!   wall-clock durations. Core/detector call sites use [`span`] and
+//!   stay clean under `anomex-analyze`'s `nondeterminism` rule.
+//!
+//! ```
+//! let requests = anomex_obs::counter("doc.requests");
+//! requests.incr();
+//! let _guard = anomex_obs::span!("doc.phase", items = 3usize);
+//! anomex_obs::histogram("doc.batch_size").observe(3);
+//! assert!(anomex_obs::snapshot().counter("doc.requests") >= 1);
+//! ```
+
+pub mod registry;
+pub mod subscriber;
+pub mod trace;
+
+pub use registry::{
+    counter, histogram, snapshot, Counter, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use subscriber::{
+    event, install, installed, span, span_timed, uninstall, FieldValue, NoopSubscriber, SpanGuard,
+    Subscriber,
+};
+pub use trace::{JsonLinesSubscriber, Recorded, RecordingSubscriber};
+
+/// Opens an instrumentation span: `span!("name")` or
+/// `span!("name", key = value, ...)`. Field values convert through
+/// [`FieldValue::from`] (`usize`/`u64`/`f64`/`&'static str`). The guard
+/// emits the span-end record when dropped; bind it to a named variable
+/// (`let _span = ...`) so it lives to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(,)?) => {
+        $crate::span($name, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span(
+            $name,
+            &[$((stringify!($key), $crate::FieldValue::from($value))),+],
+        )
+    };
+}
+
+/// Emits a point event: `event!("name")` or `event!("name", key = value)`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(,)?) => {
+        $crate::event($name, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::event(
+            $name,
+            &[$((stringify!($key), $crate::FieldValue::from($value))),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn macro_forms_compile_and_run() {
+        let _serial = subscriber::test_support::serial();
+        let rec = Arc::new(RecordingSubscriber::default());
+        install(rec.clone());
+        {
+            let _plain = span!("lib.plain");
+            let _fields = span!("lib.fields", n = 3usize, ratio = 0.5);
+            event!("lib.event", hits = 7u64, tag = "warm");
+        }
+        uninstall();
+        let records = rec.take();
+        // Two starts, one event, two ends.
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().any(|r| r.name == "lib.event"));
+    }
+
+    #[test]
+    fn counters_survive_subscriber_churn() {
+        let _serial = subscriber::test_support::serial();
+        let c = counter("lib.churn");
+        let before = c.get();
+        install(Arc::new(NoopSubscriber));
+        c.incr();
+        uninstall();
+        c.incr();
+        assert_eq!(c.get(), before + 2);
+    }
+}

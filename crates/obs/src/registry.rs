@@ -1,0 +1,454 @@
+//! The process-wide metrics registry: named counters and log2-bucketed
+//! histograms over relaxed atomics, with deterministic (`BTreeMap`-
+//! ordered) snapshots.
+//!
+//! Handles are `&'static`: a metric, once registered, lives for the
+//! process (the backing storage is leaked — bounded by the number of
+//! distinct metric names, which is a compile-time property of the
+//! instrumented code). Hot paths are expected to cache the handle in a
+//! `OnceLock` so steady-state cost is a single relaxed `fetch_add`.
+//!
+//! The registry's interior mutex is a **leaf lock**: no other lock in
+//! the workspace is ever acquired while it is held (registration
+//! inserts into a map and returns; snapshots copy atomics into owned
+//! structures). `crates/analyze/lock_order.txt` declares it as the
+//! finest class (`obs-registry`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a mutex, recovering from poisoning: the guarded sections only
+/// insert into maps and read atomics, so a poisoned lock can only come
+/// from a panicking thread elsewhere and the data stays consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonically increasing named counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^63`.
+const N_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram: bucket 0 holds exact zeros, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`. Coarse by design — it answers
+/// "what order of magnitude" questions (queue waits, batch sizes)
+/// without requiring a quantile sketch.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+        }
+    }
+
+    /// The bucket index of `value`: 0 for 0, otherwise
+    /// `1 + floor(log2(value))`.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time copy of one histogram: total count, total sum, and
+/// the non-empty `(log2 bucket, count)` pairs in ascending bucket order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (saturating at `u64::MAX` in theory;
+    /// callers observe micros and sizes, far from overflow in practice).
+    pub sum: u64,
+    /// Non-empty buckets, ascending: `(bucket index, observations)`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The registry of named metrics — see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry (tests; production code uses
+    /// [`MetricsRegistry::global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    #[must_use]
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// The counter named `name`, registering it on first use.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = lock(&self.counters);
+        map.entry(name)
+            .or_insert_with(|| &*Box::leak(Box::new(Counter::new())))
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = lock(&self.histograms);
+        map.entry(name)
+            .or_insert_with(|| &*Box::leak(Box::new(Histogram::new())))
+    }
+
+    /// A deterministic point-in-time copy of every metric: counters and
+    /// histograms in ascending name order. (Each value is read
+    /// atomically; the set is not one atomic transaction — quiesce
+    /// writers first when exact cross-metric consistency matters.)
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        // Scoped so the counter-map guard is provably released before
+        // the histogram map is locked (obs-registry is a leaf class in
+        // crates/analyze/lock_order.txt: it never nests, even with
+        // itself).
+        let counters = {
+            let map = lock(&self.counters);
+            map.iter()
+                .map(|(&name, c)| (name.to_string(), c.get()))
+                .collect()
+        };
+        let histograms = {
+            let map = lock(&self.histograms);
+            map.iter()
+                .map(|(&name, h)| (name.to_string(), h.snapshot()))
+                .collect()
+        };
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A deterministic copy of the registry's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name, ascending.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name, ascending.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of one counter (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating at 0), for
+    /// metering one region of work against the cumulative process
+    /// totals. Histograms are dropped — bucket deltas are rarely what a
+    /// caller wants; diff [`MetricsSnapshot::counters`] directly instead.
+    #[must_use]
+    pub fn counters_since(&self, earlier: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(name, &v)| {
+                let was = earlier.counter(name);
+                (name.clone(), v.saturating_sub(was))
+            })
+            .filter(|(_, d)| *d > 0)
+            .collect()
+    }
+
+    /// Serializes the snapshot as a stable, hand-rolled JSON object
+    /// (names ascending — two snapshots of equal state are
+    /// byte-identical). No external serializer: this crate stays
+    /// zero-dependency.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_string(name),
+                h.count,
+                h.sum
+            );
+            for (j, (b, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{b},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders `s` as a JSON string literal (quotes included).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The global registry's counter named `name`.
+#[must_use]
+pub fn counter(name: &'static str) -> &'static Counter {
+    MetricsRegistry::global().counter(name)
+}
+
+/// The global registry's histogram named `name`.
+#[must_use]
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    MetricsRegistry::global().histogram(name)
+}
+
+/// A deterministic snapshot of the global registry.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsRegistry::global().snapshot()
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("t.a");
+        let b = r.counter("t.a");
+        assert!(std::ptr::eq(a, b), "same name must yield one counter");
+        a.incr();
+        b.add(4);
+        assert_eq!(r.snapshot().counter("t.a"), 5);
+        assert_eq!(r.snapshot().counter("t.missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_snapshot_reports_nonempty_buckets_in_order() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 3, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(
+            s.buckets,
+            vec![(0, 1), (1, 2), (2, 1), (10, 1), (64, 1)],
+            "{s:?}"
+        );
+        let ordered: Vec<u32> = s.buckets.iter().map(|&(b, _)| b).collect();
+        let mut sorted = ordered.clone();
+        sorted.sort_unstable();
+        assert_eq!(ordered, sorted);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().mean(), 0.0);
+        h.observe(2);
+        h.observe(4);
+        assert!((h.snapshot().mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_ordered() {
+        let r = MetricsRegistry::new();
+        // Register in non-sorted order.
+        r.counter("t.z").incr();
+        r.counter("t.a").incr();
+        r.histogram("t.h").observe(7);
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.to_json(), s2.to_json());
+        let names: Vec<&String> = s1.counters.keys().collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "counter names must serialize ascending");
+    }
+
+    #[test]
+    fn counters_since_reports_only_changes() {
+        let r = MetricsRegistry::new();
+        r.counter("t.stay").add(3);
+        let before = r.snapshot();
+        r.counter("t.move").add(2);
+        let delta = r.snapshot().counters_since(&before);
+        assert_eq!(delta.get("t.move"), Some(&2));
+        assert_eq!(delta.get("t.stay"), None);
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("t.c").add(2);
+        r.histogram("t.h").observe(5);
+        let json = r.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"t.c\":2},\"histograms\":{\"t.h\":{\"count\":1,\"sum\":5,\"buckets\":[[3,1]]}}}"
+        );
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("t.par");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

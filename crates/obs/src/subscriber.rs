@@ -1,0 +1,287 @@
+//! The span/event subscriber layer: a process-global [`Subscriber`]
+//! slot, guard-based spans ordered by a logical sequence counter, and an
+//! enabled-flag fast path that makes the uninstalled state cost one
+//! relaxed atomic load per call site.
+//!
+//! Two span flavours enforce the workspace's determinism rules:
+//!
+//! * [`span`] — logical-sequence-only; safe in pure-compute crates
+//!   (`anomex-core`, `anomex-detectors`), where wall clocks are banned
+//!   by the `nondeterminism` analysis rule.
+//! * [`span_timed`] — additionally reports wall-clock elapsed
+//!   microseconds on drop; reserved for edge crates (`anomex-serve`,
+//!   binaries) where latency is the point.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+/// One span/event field value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// A float (rates, scores).
+    F64(f64),
+    /// A static label.
+    Str(&'static str),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A sink for span and event records. Implementations must be cheap and
+/// non-blocking-ish: they run inline on the instrumented thread.
+pub trait Subscriber: Send + Sync {
+    /// A span opened: `seq` is its logical birth order.
+    fn span_start(&self, seq: u64, name: &'static str, fields: &[(&'static str, FieldValue)]);
+
+    /// A span closed: `seq` is the close order, `start_seq` links back to
+    /// the matching start, `elapsed_micros` is present only for spans
+    /// opened with [`span_timed`].
+    fn span_end(&self, seq: u64, start_seq: u64, name: &'static str, elapsed_micros: Option<u64>);
+
+    /// A point event.
+    fn on_event(&self, seq: u64, name: &'static str, fields: &[(&'static str, FieldValue)]);
+}
+
+/// The do-nothing subscriber: the semantics of the uninstalled state,
+/// available as a value for tests that want to prove instrumentation
+/// inertness explicitly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    fn span_start(&self, _: u64, _: &'static str, _: &[(&'static str, FieldValue)]) {}
+    fn span_end(&self, _: u64, _: u64, _: &'static str, _: Option<u64>) {}
+    fn on_event(&self, _: u64, _: &'static str, _: &[(&'static str, FieldValue)]) {}
+}
+
+/// Fast-path gate: call sites check this single relaxed load before
+/// doing any work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed subscriber. An `RwLock` (not a `Mutex`): emitting is a
+/// read, so concurrent instrumented threads never serialize on the slot.
+static GLOBAL: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+/// Process-global logical clock for span/event ordering.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn next_seq() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Installs `sub` as the process-global subscriber, replacing any
+/// previous one. Spans already open keep their guard state and emit
+/// their end record to the *new* subscriber — harmless for the
+/// append-only sinks this crate ships.
+pub fn install(sub: Arc<dyn Subscriber>) {
+    *GLOBAL.write().unwrap_or_else(PoisonError::into_inner) = Some(sub);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Removes the global subscriber; spans and events become no-ops again.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *GLOBAL.write().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Whether a subscriber is currently installed.
+#[must_use]
+pub fn installed() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn dispatch(f: impl FnOnce(&dyn Subscriber)) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let guard = GLOBAL.read().unwrap_or_else(PoisonError::into_inner);
+    if let Some(sub) = guard.as_ref() {
+        f(sub.as_ref());
+    }
+}
+
+/// An open span; emits the end record on drop. Inactive (fully free)
+/// when no subscriber was installed at open time.
+#[must_use = "a span guard dropped immediately closes the span immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_seq: u64,
+    started: Option<Instant>,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// The logical sequence number the span was opened at.
+    #[must_use]
+    pub fn start_seq(&self) -> u64 {
+        self.start_seq
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let elapsed = self
+            .started
+            .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let seq = next_seq();
+        dispatch(|s| s.span_end(seq, self.start_seq, self.name, elapsed));
+    }
+}
+
+fn open_span(name: &'static str, fields: &[(&'static str, FieldValue)], timed: bool) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard {
+            name,
+            start_seq: 0,
+            started: None,
+            active: false,
+        };
+    }
+    let start_seq = next_seq();
+    dispatch(|s| s.span_start(start_seq, name, fields));
+    SpanGuard {
+        name,
+        start_seq,
+        started: timed.then(Instant::now),
+        active: true,
+    }
+}
+
+/// Opens a logical-sequence-only span (no wall clock) — the form pure
+/// compute crates use. Prefer the [`crate::span!`] macro for fields.
+pub fn span(name: &'static str, fields: &[(&'static str, FieldValue)]) -> SpanGuard {
+    open_span(name, fields, false)
+}
+
+/// Opens a wall-clock span: the end record carries elapsed microseconds.
+/// Edge crates (serving, binaries) only — pure compute crates must stay
+/// on [`span`] to honour the workspace's `nondeterminism` rule.
+pub fn span_timed(name: &'static str, fields: &[(&'static str, FieldValue)]) -> SpanGuard {
+    open_span(name, fields, true)
+}
+
+/// Emits a point event to the installed subscriber (no-op when none).
+pub fn event(name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let seq = next_seq();
+    dispatch(|s| s.on_event(seq, name, fields));
+}
+
+/// Test-only serialization of the global subscriber slot: tests that
+/// install/uninstall must hold this lock so their windows never overlap
+/// (Rust runs tests on parallel threads by default).
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::test_support::serial;
+    use super::*;
+    use crate::trace::RecordingSubscriber;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _s = serial();
+        uninstall();
+        let g = span("t.noop", &[]);
+        assert!(!g.active);
+        drop(g);
+        event("t.noop", &[]);
+        assert!(!installed());
+    }
+
+    #[test]
+    fn spans_and_events_reach_the_subscriber_in_seq_order() {
+        let _s = serial();
+        let rec = Arc::new(RecordingSubscriber::default());
+        install(rec.clone());
+        {
+            let _outer = span("t.outer", &[("k", FieldValue::U64(1))]);
+            event("t.mid", &[]);
+            let _inner = span("t.inner", &[]);
+        }
+        uninstall();
+        let records = rec.take();
+        assert_eq!(records.len(), 5, "{records:?}");
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "records must arrive in logical order");
+        // LIFO close order: inner ends before outer.
+        assert_eq!(records[3].name, "t.inner");
+        assert_eq!(records[4].name, "t.outer");
+    }
+
+    #[test]
+    fn untimed_spans_report_no_elapsed() {
+        let _s = serial();
+        let rec = Arc::new(RecordingSubscriber::default());
+        install(rec.clone());
+        drop(span("t.plain", &[]));
+        drop(span_timed("t.timed", &[]));
+        uninstall();
+        let records = rec.take();
+        let plain = records
+            .iter()
+            .find(|r| r.name == "t.plain" && r.kind == "span_end")
+            .expect("plain end");
+        let timed = records
+            .iter()
+            .find(|r| r.name == "t.timed" && r.kind == "span_end")
+            .expect("timed end");
+        assert_eq!(plain.elapsed_micros, None);
+        assert!(timed.elapsed_micros.is_some());
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3u64), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Trace sinks: a JSON-lines exporter for files/streams and an
+//! in-memory recorder for tests.
+
+use crate::registry::json_string;
+use crate::subscriber::{FieldValue, Subscriber};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_fields(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    for (key, value) in fields {
+        let _ = match value {
+            FieldValue::U64(v) => write!(out, ",{}:{v}", json_string(key)),
+            FieldValue::F64(v) if v.is_finite() => write!(out, ",{}:{v}", json_string(key)),
+            // JSON has no NaN/Inf literal; ship them as strings.
+            FieldValue::F64(v) => {
+                write!(out, ",{}:{}", json_string(key), json_string(&v.to_string()))
+            }
+            FieldValue::Str(v) => write!(out, ",{}:{}", json_string(key), json_string(v)),
+        };
+    }
+}
+
+/// A [`Subscriber`] writing one JSON object per record:
+///
+/// ```text
+/// {"seq":12,"kind":"span_start","name":"core.engine.dim_pass","dim":3}
+/// {"seq":40,"kind":"span_end","name":"core.engine.dim_pass","start_seq":12}
+/// ```
+///
+/// `span_end` records add `"elapsed_micros"` when the span was opened
+/// with [`crate::span_timed`]. Records are ordered by the emitting
+/// threads' arrival at the writer lock; the `seq` field is the logical
+/// order and is the thing to sort on. Only single-threaded (sequential)
+/// runs produce byte-stable files.
+pub struct JsonLinesSubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSubscriber {
+    /// Wraps any writer.
+    #[must_use]
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonLinesSubscriber {
+            out: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Creates (truncates) `path` and buffers writes to it.
+    ///
+    /// # Errors
+    /// Propagates the file-creation error.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Flushes the underlying writer. Call before reading the trace file
+    /// of a still-installed subscriber; dropping flushes too.
+    pub fn flush(&self) {
+        // anomex: allow(swallowed-error) best-effort trace sink; a full disk must not fail the traced computation
+        let _ = lock(&self.out).flush();
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = lock(&self.out);
+        // anomex: allow(swallowed-error) best-effort trace sink; a full disk must not fail the traced computation
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Drop for JsonLinesSubscriber {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Subscriber for JsonLinesSubscriber {
+    fn span_start(&self, seq: u64, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let mut line = format!(
+            "{{\"seq\":{seq},\"kind\":\"span_start\",\"name\":{}",
+            json_string(name)
+        );
+        write_fields(&mut line, fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn span_end(&self, seq: u64, start_seq: u64, name: &'static str, elapsed_micros: Option<u64>) {
+        let mut line = format!(
+            "{{\"seq\":{seq},\"kind\":\"span_end\",\"name\":{},\"start_seq\":{start_seq}",
+            json_string(name)
+        );
+        if let Some(micros) = elapsed_micros {
+            let _ = write!(line, ",\"elapsed_micros\":{micros}");
+        }
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_event(&self, seq: u64, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let mut line = format!(
+            "{{\"seq\":{seq},\"kind\":\"event\",\"name\":{}",
+            json_string(name)
+        );
+        write_fields(&mut line, fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+}
+
+/// One record captured by [`RecordingSubscriber`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recorded {
+    /// `"span_start"`, `"span_end"` or `"event"`.
+    pub kind: &'static str,
+    /// Logical sequence number.
+    pub seq: u64,
+    /// Record name.
+    pub name: &'static str,
+    /// Fields (empty for `span_end`).
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// For `span_end`: the matching start's sequence number.
+    pub start_seq: Option<u64>,
+    /// For `span_end` of timed spans: elapsed wall time.
+    pub elapsed_micros: Option<u64>,
+}
+
+/// An in-memory [`Subscriber`] for tests: captures every record for
+/// later assertion.
+#[derive(Debug, Default)]
+pub struct RecordingSubscriber {
+    records: Mutex<Vec<Recorded>>,
+}
+
+impl RecordingSubscriber {
+    /// Drains and returns everything recorded so far.
+    #[must_use]
+    pub fn take(&self) -> Vec<Recorded> {
+        std::mem::take(&mut lock(&self.records))
+    }
+
+    /// Records captured so far (without draining).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.records).len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records with the given name (all kinds).
+    #[must_use]
+    pub fn count_named(&self, name: &str) -> usize {
+        lock(&self.records)
+            .iter()
+            .filter(|r| r.name == name)
+            .count()
+    }
+
+    fn push(&self, r: Recorded) {
+        lock(&self.records).push(r);
+    }
+}
+
+impl Subscriber for RecordingSubscriber {
+    fn span_start(&self, seq: u64, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        self.push(Recorded {
+            kind: "span_start",
+            seq,
+            name,
+            fields: fields.to_vec(),
+            start_seq: None,
+            elapsed_micros: None,
+        });
+    }
+
+    fn span_end(&self, seq: u64, start_seq: u64, name: &'static str, elapsed_micros: Option<u64>) {
+        self.push(Recorded {
+            kind: "span_end",
+            seq,
+            name,
+            fields: Vec::new(),
+            start_seq: Some(start_seq),
+            elapsed_micros,
+        });
+    }
+
+    fn on_event(&self, seq: u64, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        self.push(Recorded {
+            kind: "event",
+            seq,
+            name,
+            fields: fields.to_vec(),
+            start_seq: None,
+            elapsed_micros: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_shape() {
+        let buf = SharedBuf::default();
+        let sub = JsonLinesSubscriber::new(buf.clone());
+        sub.span_start(0, "t.span", &[("n", FieldValue::U64(2))]);
+        sub.on_event(1, "t.event", &[("tag", FieldValue::Str("x"))]);
+        sub.span_end(2, 0, "t.span", Some(15));
+        sub.flush();
+        let text = String::from_utf8(lock(&buf.0).clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "{\"seq\":0,\"kind\":\"span_start\",\"name\":\"t.span\",\"n\":2}",
+                "{\"seq\":1,\"kind\":\"event\",\"name\":\"t.event\",\"tag\":\"x\"}",
+                "{\"seq\":2,\"kind\":\"span_end\",\"name\":\"t.span\",\"start_seq\":0,\"elapsed_micros\":15}",
+            ]
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_become_strings() {
+        let buf = SharedBuf::default();
+        let sub = JsonLinesSubscriber::new(buf.clone());
+        sub.on_event(
+            0,
+            "t.nan",
+            &[
+                ("a", FieldValue::F64(f64::NAN)),
+                ("b", FieldValue::F64(0.5)),
+            ],
+        );
+        sub.flush();
+        let text = String::from_utf8(lock(&buf.0).clone()).expect("utf8");
+        assert_eq!(
+            text.trim_end(),
+            "{\"seq\":0,\"kind\":\"event\",\"name\":\"t.nan\",\"a\":\"NaN\",\"b\":0.5}"
+        );
+    }
+
+    #[test]
+    fn file_export_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("anomex-obs-trace-{}.jsonl", std::process::id()));
+        {
+            let sub = JsonLinesSubscriber::to_file(&path).expect("create trace file");
+            sub.span_start(3, "t.file", &[]);
+            sub.span_end(4, 3, "t.file", None);
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"start_seq\":3"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recorder_captures_and_drains() {
+        let rec = RecordingSubscriber::default();
+        assert!(rec.is_empty());
+        rec.span_start(0, "t.r", &[]);
+        rec.span_end(1, 0, "t.r", None);
+        rec.on_event(2, "t.e", &[("v", FieldValue::F64(1.5))]);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.count_named("t.r"), 2);
+        let records = rec.take();
+        assert!(rec.is_empty());
+        assert_eq!(records[1].start_seq, Some(0));
+        assert_eq!(records[2].fields, vec![("v", FieldValue::F64(1.5))]);
+    }
+}

@@ -33,9 +33,55 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Process-wide scheduler meters mirroring [`BatchCounters`]: every
+/// `serve.batch.*` counter increments at exactly the call site of its
+/// `BatchStats` twin, so an obs snapshot delta reconciles with the
+/// scheduler's own stats (a property the serve tests pin). Histograms
+/// add what `BatchStats` cannot carry: batch-size and queue-wait
+/// distributions.
+fn obs_submitted() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.batch.submitted"))
+}
+
+fn obs_rejected() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.batch.rejected"))
+}
+
+fn obs_deadline_misses() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.batch.deadline_misses"))
+}
+
+fn obs_completed() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.batch.completed"))
+}
+
+fn obs_failed() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.batch.failed"))
+}
+
+fn obs_batches() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.batch.batches"))
+}
+
+fn obs_batch_size() -> &'static anomex_obs::Histogram {
+    static H: OnceLock<&'static anomex_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| anomex_obs::histogram("serve.batch.size"))
+}
+
+fn obs_queue_wait_micros() -> &'static anomex_obs::Histogram {
+    static H: OnceLock<&'static anomex_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| anomex_obs::histogram("serve.batch.queue_wait_micros"))
+}
 
 /// Locks a mutex, recovering the guard from a poisoned lock. The
 /// scheduler's own critical sections never panic; poison could only come
@@ -326,6 +372,7 @@ impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
                     .counters
                     .rejected
                     .fetch_add(1, Ordering::Relaxed);
+                obs_rejected().incr();
                 return Err(ServeError::Rejected);
             }
             st.queue.push_back(Job {
@@ -339,6 +386,7 @@ impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        obs_submitted().incr();
         self.shared.arrived.notify_one();
         Ok(Ticket { inner, deadline })
     }
@@ -409,12 +457,14 @@ impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
     fn run_batch(shared: &Shared<Q, R>, batch: &[Job<Q, R>]) {
         let counters = &shared.counters;
         counters.batches.fetch_add(1, Ordering::Relaxed);
+        obs_batches().incr();
         let started = Instant::now();
         // Expired requests fail fast without costing detector work.
         let mut live: Vec<&Job<Q, R>> = Vec::with_capacity(batch.len());
         for job in batch {
             if job.deadline.is_some_and(|d| started >= d) {
                 counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                obs_deadline_misses().incr();
                 job.ticket.fill(Err(ServeError::TimedOut));
             } else {
                 live.push(job);
@@ -427,6 +477,15 @@ impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
             .max_batch_size
             .fetch_max(live.len(), Ordering::Relaxed);
         let batch_size = live.len();
+        obs_batch_size().observe(batch_size as u64);
+        for job in &live {
+            let waited = started.saturating_duration_since(job.enqueued);
+            obs_queue_wait_micros().observe(u64::try_from(waited.as_micros()).unwrap_or(u64::MAX));
+        }
+        let _exec_span = anomex_obs::span_timed(
+            "serve.batch.exec",
+            &[("size", anomex_obs::FieldValue::from(batch_size))],
+        );
         let results = par_map(&live, |job| {
             let ctx = BatchContext {
                 queued: started.saturating_duration_since(job.enqueued),
@@ -437,8 +496,14 @@ impl<Q: Send + Sync + 'static, R: Send + 'static> Batcher<Q, R> {
         });
         for (job, res) in live.iter().zip(results) {
             match &res {
-                Ok(_) => counters.completed.fetch_add(1, Ordering::Relaxed),
-                Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+                Ok(_) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    obs_completed().incr();
+                }
+                Err(_) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    obs_failed().incr();
+                }
             };
             job.ticket.fill(res);
         }

@@ -32,6 +32,7 @@ OPTIONS:
     --delay-ms N       max batch-coalescing delay in ms     [default: 2]
     --workers N        scheduler worker threads             [default: 2]
     --deadline-ms N    per-request deadline in ms           [default: none]
+    --trace PATH       write a JSON-lines span/event trace  [default: off]
     --help             print this help
 ";
 
@@ -39,6 +40,7 @@ struct Options {
     listen: Option<String>,
     cfg: BatchConfig,
     deadline: Option<Duration>,
+    trace: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -46,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         listen: None,
         cfg: BatchConfig::default(),
         deadline: None,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let ms: u64 = parse_num(value("--deadline-ms")?, "--deadline-ms")?;
                 opts.deadline = Some(Duration::from_millis(ms));
             }
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -99,12 +103,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &opts.trace {
+        match anomex_obs::JsonLinesSubscriber::to_file(path) {
+            Ok(sub) => anomex_obs::install(Arc::new(sub)),
+            Err(e) => {
+                eprintln!("error: cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let service = Arc::new(ExplanationService::new());
     let handle = Arc::new(ServeHandle::start(service, opts.cfg, opts.deadline));
-    match &opts.listen {
+    let code = match &opts.listen {
         None => run_stdin(&handle),
         Some(addr) => run_tcp(&handle, addr),
+    };
+    if opts.trace.is_some() {
+        // Drop the installed subscriber so its Drop impl flushes the file.
+        anomex_obs::uninstall();
     }
+    code
 }
 
 /// Stdin mode: a reaper thread prints responses in submission order

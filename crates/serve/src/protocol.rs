@@ -22,6 +22,7 @@ use crate::batch::BatchStats;
 use crate::registry::RegistryStats;
 use anomex_core::RunStats;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// One request line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,7 +111,7 @@ pub struct DatasetInfo {
 }
 
 /// Service-wide counters returned by the `stats` operation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStats {
     /// Fitted-model registry counters.
     pub registry: RegistryStats,
@@ -118,6 +119,10 @@ pub struct ServiceStats {
     pub batch: BatchStats,
     /// Registered datasets.
     pub datasets: usize,
+    /// Process-wide `anomex-obs` counters by name, cumulative since
+    /// process start (engine, detector-kernel and scheduler meters).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub obs: BTreeMap<String, u64>,
 }
 
 /// Per-request timing, folded into every served response.

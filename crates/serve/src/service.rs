@@ -160,7 +160,9 @@ impl ExplanationService {
         Ok(Arc::clone(w.entry(name.to_string()).or_insert(generated)))
     }
 
-    /// Service-wide counters.
+    /// Service-wide counters. The obs snapshot is taken while holding no
+    /// service lock (the registry's interior mutex is a leaf — see
+    /// `crates/analyze/lock_order.txt`).
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -175,6 +177,7 @@ impl ExplanationService {
                 .read()
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
+            obs: anomex_obs::snapshot().counters,
         }
     }
 

@@ -1,0 +1,84 @@
+//! Reconciliation of the process-wide `serve.batch.*` observability
+//! counters with the scheduler's own [`BatchStats`] under a concurrent
+//! 8-client load: the two meter the same events at the same call sites,
+//! so their deltas must agree *exactly* — any drift means an
+//! instrumentation point was added, dropped, or double-counted.
+//!
+//! This file holds exactly one test: obs counters are process-global,
+//! and a sibling test running concurrently in the same binary would
+//! pollute the snapshot delta. Integration-test files are separate
+//! processes, so the rest of the suite cannot interfere.
+//!
+//! [`BatchStats`]: anomex_serve::batch::BatchStats
+
+use anomex_serve::batch::{BatchConfig, Batcher};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: u64 = 8;
+const REQUESTS_PER_CLIENT: u64 = 50;
+
+#[test]
+fn obs_counters_reconcile_with_batch_stats_under_eight_clients() {
+    let before = anomex_obs::snapshot();
+
+    let cfg = BatchConfig {
+        queue_capacity: (CLIENTS * REQUESTS_PER_CLIENT) as usize,
+        max_batch: 8,
+        max_delay: Duration::from_millis(1),
+        workers: 2,
+    };
+    let batcher: Arc<Batcher<u64, u64>> =
+        Arc::new(Batcher::new(cfg, |&x: &u64, _ctx| x.wrapping_mul(3)));
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let batcher = Arc::clone(&batcher);
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let x = c * 1_000 + i;
+                    let ticket = batcher
+                        .submit(x, None)
+                        .expect("queue sized for the whole workload");
+                    assert_eq!(ticket.wait(), Ok(x.wrapping_mul(3)));
+                }
+            });
+        }
+    });
+
+    let stats = batcher.stats();
+    let after = anomex_obs::snapshot();
+    let delta = after.counters_since(&before);
+    let get = |name: &str| delta.get(name).copied().unwrap_or(0);
+
+    // The workload itself: every request accepted and completed.
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    assert_eq!(stats.submitted as u64, total);
+    assert_eq!(stats.completed as u64, total);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.failed, 0);
+
+    // Counter-for-counter parity with the scheduler's own telemetry.
+    assert_eq!(get("serve.batch.submitted"), stats.submitted as u64);
+    assert_eq!(get("serve.batch.completed"), stats.completed as u64);
+    assert_eq!(get("serve.batch.batches"), stats.batches as u64);
+    assert_eq!(get("serve.batch.rejected"), 0);
+    assert_eq!(get("serve.batch.deadline_misses"), 0);
+    assert_eq!(get("serve.batch.failed"), 0);
+
+    // Histogram reconciliation: one batch-size observation per batch,
+    // whose values sum to the executed requests; one queue-wait
+    // observation per executed request.
+    let sizes = after
+        .histograms
+        .get("serve.batch.size")
+        .expect("batch-size histogram exists");
+    assert_eq!(sizes.count, stats.batches as u64);
+    assert_eq!(sizes.sum, total);
+    let waits = after
+        .histograms
+        .get("serve.batch.queue_wait_micros")
+        .expect("queue-wait histogram exists");
+    assert_eq!(waits.count, total);
+}

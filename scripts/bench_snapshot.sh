@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Distill the detector-kernel benchmarks into BENCH_detectors.json.
+# Distill the detector-kernel benchmarks into BENCH_detectors.json,
+# plus an observability counter snapshot into BENCH_obs_counters.json.
 #
 # Runs the `detector_kernels` criterion bench, then extracts the mean
 # estimate of each naive/blocked/incremental kNN build from criterion's
@@ -7,6 +8,11 @@
 # Commit the snapshot alongside kernel changes so reviewers can compare
 # miss-path costs across machines without rerunning five minutes of
 # benches.
+#
+# The obs snapshot comes from one instrumented fast fig9 grid run: its
+# counters (scorer evaluations, cache hits, kernel builds) describe
+# *how much work* the hot path did, complementing criterion's *how
+# fast* — a perf win that quietly changes the work count shows up here.
 #
 # Usage: scripts/bench_snapshot.sh [extra cargo bench args...]
 
@@ -70,3 +76,7 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"wrote {out} ({len(entries)} timings, {len(speedups)} cases)")
 PY
+
+cargo run --release -p anomex-eval --bin anomex_eval -- fig9 --fast \
+    --out target/bench-eval --metrics BENCH_obs_counters.json >/dev/null
+echo "wrote BENCH_obs_counters.json"

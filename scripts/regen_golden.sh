@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate the golden MAP-grid fixture (tests/golden/map_grid.txt).
+#
+# The golden_grid integration test renders the eval runner's MAP grid
+# over the hand-built `golden-6d` testbed and compares it byte-for-byte
+# against the committed file. After an *intentional* behavior change
+# (report formatting, ranking semantics, AP math), rerun this script,
+# review the diff like any other code change, and commit the new bytes.
+#
+# Usage: scripts/regen_golden.sh [extra cargo test args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GOLDEN_BLESS=1 cargo test --test golden_grid map_grid_matches_golden_file "$@"
+
+git --no-pager diff -- tests/golden/map_grid.txt || true
+echo "blessed tests/golden/map_grid.txt — review the diff above before committing"

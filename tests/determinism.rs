@@ -147,6 +147,42 @@ fn zero_seconds(mut t: ResultTable) -> ResultTable {
     t
 }
 
+/// The observability layer must be provably inert: running the same
+/// grid with no subscriber, with [`NoopSubscriber`] installed, and with
+/// a recording subscriber installed yields byte-identical result JSON.
+/// Only wall time may differ (zeroed, as everywhere in this file).
+///
+/// [`NoopSubscriber`]: anomex_obs::NoopSubscriber
+#[test]
+fn observability_subscribers_are_inert() {
+    let tb = vec![d14()];
+    let cfg = ExperimentConfig::fast(42);
+    let pipes: Vec<_> = cfg.point_pipelines().into_iter().take(1).collect();
+
+    let baseline = zero_seconds(run_grid("obs", &tb, &pipes, &cfg)).to_json();
+
+    anomex_obs::install(Arc::new(anomex_obs::NoopSubscriber));
+    let noop = zero_seconds(run_grid("obs", &tb, &pipes, &cfg)).to_json();
+    anomex_obs::uninstall();
+
+    let recorder = Arc::new(anomex_obs::RecordingSubscriber::default());
+    anomex_obs::install(Arc::clone(&recorder) as Arc<dyn anomex_obs::Subscriber>);
+    let recorded = zero_seconds(run_grid("obs", &tb, &pipes, &cfg)).to_json();
+    anomex_obs::uninstall();
+
+    assert_eq!(baseline, noop, "NoopSubscriber changed grid results");
+    assert_eq!(
+        baseline, recorded,
+        "RecordingSubscriber changed grid results"
+    );
+    // The recorder really was live for the third run — instrumentation
+    // was exercised, not skipped.
+    assert!(
+        recorder.count_named("core.engine.run") > 0,
+        "recorder saw no engine spans"
+    );
+}
+
 #[test]
 fn grid_runs_are_bit_identical_as_json() {
     let tb = vec![d14()];

@@ -1,0 +1,184 @@
+//! Golden regression test: the eval runner's MAP grid over a fixed
+//! hand-built testbed must reproduce `tests/golden/map_grid.txt`
+//! byte-for-byte.
+//!
+//! The fixture (`golden-6d`) plants three outliers whose explanations
+//! are decisively unambiguous (every winning subspace leads its
+//! runner-up by > 3 standardized-score units, so no floating-point
+//! reordering can flip a rank):
+//!
+//! * **A** (row 100) and **B** (row 101) break the tight `{0,1}`
+//!   diagonal from opposite corners while conforming everywhere else.
+//! * **C** (row 102) sits at the *odd-parity* corner of an XOR cluster
+//!   construction over `{2,3,4}`: inliers occupy only the four
+//!   even-parity corners, so every **pair** projection of C lands in a
+//!   legitimate cluster — only the full triple exposes it.
+//!
+//! Ground truth adds a decoy (`B: {2,3}`) that no explainer finds, so
+//! the expected MAP values (0.75 at 2d, 1.00 at 3d) exercise the
+//! Average-Precision math, not just perfect scores.
+//!
+//! Regenerate after an intentional behavior change with
+//! `scripts/regen_golden.sh` (or `GOLDEN_BLESS=1 cargo test --test
+//! golden_grid`) and review the diff like any other code change.
+
+use anomex::prelude::*;
+use anomex_dataset::{Dataset, GroundTruth, Subspace};
+use anomex_eval::datasets::{CustomFamily, TestbedDataset};
+use anomex_eval::experiment::ExperimentConfig;
+use anomex_eval::report;
+use anomex_eval::runner::run_grid;
+use std::path::PathBuf;
+
+/// SplitMix64 — the fixture's only randomness, pinned here so the data
+/// is identical on every platform and toolchain.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform jitter in `[-0.05, 0.05)`.
+    fn jitter(&mut self) -> f64 {
+        (self.next_f64() - 0.5) * 0.1
+    }
+}
+
+const GOLDEN_FAMILY: CustomFamily = CustomFamily {
+    name: "golden-6d",
+    n_features: 6,
+    dims: &[2, 3],
+};
+
+/// Builds the `golden-6d` fixture: 100 inliers plus outliers A/B/C at
+/// rows 100/101/102 (see the module docs for the construction).
+fn golden_testbed() -> TestbedDataset {
+    let mut rng = SplitMix64(0x5EED_601D_E421);
+    let centers = [0.2, 0.8];
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(103);
+    for i in 0..100usize {
+        let t = i as f64 / 99.0;
+        let b2 = [0, 1, 0, 1][i % 4];
+        let b3 = [0, 0, 1, 1][i % 4];
+        let b4 = b2 ^ b3;
+        rows.push(vec![
+            t,
+            t,
+            centers[b2] + rng.jitter(),
+            centers[b3] + rng.jitter(),
+            centers[b4] + rng.jitter(),
+            rng.next_f64(),
+        ]);
+    }
+    // A: breaks the {0,1} diagonal; even-parity cluster (0,0,0) elsewhere.
+    rows.push(vec![
+        0.05,
+        0.95,
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+    // B: breaks {0,1} from the opposite corner; cluster (1,1,0).
+    rows.push(vec![
+        0.95,
+        0.05,
+        centers[1] + rng.jitter(),
+        centers[1] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+    // C: on the diagonal; odd-parity corner (0,0,1) of {2,3,4}.
+    rows.push(vec![
+        0.525,
+        0.525,
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        centers[1] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+
+    let dataset = Dataset::from_rows(rows).expect("valid fixture rows");
+    let mut gt = GroundTruth::new();
+    gt.add(100, Subspace::new([0usize, 1]));
+    gt.add(101, Subspace::new([0usize, 1]));
+    gt.add(101, Subspace::new([2usize, 3])); // decoy: halves B's AP
+    gt.add(102, Subspace::new([2usize, 3, 4]));
+    TestbedDataset::from_parts(GOLDEN_FAMILY, dataset, gt)
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("map_grid.txt")
+}
+
+#[test]
+fn map_grid_matches_golden_file() {
+    let tb = golden_testbed();
+    let cfg = ExperimentConfig::fast(42);
+    let pipelines = vec![
+        Pipeline::point(
+            Lof::new(15).unwrap(),
+            Beam::new().beam_width(10).result_size(1),
+        ),
+        Pipeline::summary(Lof::new(15).unwrap(), LookOut::new().budget(1)),
+    ];
+
+    let table = run_grid("golden", &[tb], &pipelines, &cfg);
+    let rendered = report::map_grid(&table);
+
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).expect("read tests/golden/map_grid.txt");
+    assert_eq!(
+        rendered,
+        expected,
+        "map grid diverged from {} — if the change is intentional, \
+         regenerate with scripts/regen_golden.sh and review the diff",
+        path.display()
+    );
+}
+
+/// The fixture's explanations are exact, so the MAP values are exact
+/// binary fractions — pin them directly too, independent of rendering.
+#[test]
+fn golden_cells_have_exact_map_values() {
+    let tb = golden_testbed();
+    let cfg = ExperimentConfig::fast(42);
+    let pipelines = vec![
+        Pipeline::point(
+            Lof::new(15).unwrap(),
+            Beam::new().beam_width(10).result_size(1),
+        ),
+        Pipeline::summary(Lof::new(15).unwrap(), LookOut::new().budget(1)),
+    ];
+    let table = run_grid("golden", &[tb], &pipelines, &cfg);
+    assert_eq!(table.cells.len(), 4);
+    for cell in &table.cells {
+        assert!(!cell.skipped, "{}d cell skipped", cell.dim);
+        // 2d: A scores 1.0, B 0.5 (decoy) → MAP 0.75. 3d: C alone → 1.0.
+        let want = if cell.dim == 2 { 0.75 } else { 1.0 };
+        assert_eq!(
+            cell.map, want,
+            "{}+{} at {}d",
+            cell.explainer, cell.detector, cell.dim
+        );
+        assert_eq!(cell.n_points, if cell.dim == 2 { 2 } else { 1 });
+    }
+}

@@ -1,0 +1,261 @@
+//! Metamorphic properties of the explanation pipelines: relabeling,
+//! duplicating, or affinely transforming features must not change what
+//! an explainer finds.
+//!
+//! Two flavors of assertion:
+//!
+//! * **Bit-exact** where IEEE-754 guarantees it: permuting the two
+//!   features of a pair, appending an unused duplicate feature, and
+//!   scaling every value by a power of two all commute exactly with
+//!   LOF's arithmetic, so the full ranked output (subspaces *and*
+//!   scores) must be identical.
+//! * **Rank-level** where floating-point round-off makes values drift
+//!   (arbitrary per-feature shifts): only the decisively-separated
+//!   winners are pinned, not the full score vector.
+
+use anomex::prelude::*;
+use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::{Detector, KnnDist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 6-feature dataset where the last point deviates ONLY in features
+/// {1, 4} jointly (correlated tube, masked in every 1d marginal) — the
+/// same construction Beam's unit tests pin as decisively explainable.
+fn planted() -> (Dataset, usize, Subspace) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 200;
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    for _ in 0..n {
+        let t: f64 = rng.gen_range(0.1..0.9);
+        let mut r = vec![0.0; 6];
+        for (f, slot) in r.iter_mut().enumerate() {
+            *slot = match f {
+                1 | 4 => t + rng.gen_range(-0.02..0.02),
+                _ => rng.gen_range(0.0..1.0),
+            };
+        }
+        rows.push(r);
+    }
+    let mut out = vec![0.0; 6];
+    for (f, slot) in out.iter_mut().enumerate() {
+        *slot = match f {
+            1 => 0.3,
+            4 => 0.7,
+            _ => rng.gen_range(0.0..1.0),
+        };
+    }
+    rows.push(out);
+    (
+        Dataset::from_rows(rows).unwrap(),
+        n,
+        Subspace::new([1usize, 4]),
+    )
+}
+
+fn transform_rows(ds: &Dataset, f: impl Fn(usize, f64) -> f64) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..ds.n_rows())
+        .map(|i| {
+            ds.row(i)
+                .into_iter()
+                .enumerate()
+                .map(|(j, v)| f(j, v))
+                .collect()
+        })
+        .collect();
+    Dataset::from_rows(rows).unwrap()
+}
+
+fn beam() -> Beam {
+    Beam::new().beam_width(15).result_size(15)
+}
+
+fn refout() -> RefOut {
+    RefOut::new()
+        .pool_size(25)
+        .beam_width(10)
+        .result_size(15)
+        .seed(7)
+}
+
+/// Relabeling features relabels the explanation — nothing else. At 2d
+/// the projection sums two squared differences, and two-term addition
+/// is commutative in IEEE-754, so even the scores are bit-identical.
+#[test]
+fn beam_is_equivariant_under_feature_permutation() {
+    let (ds, point, truth) = planted();
+    let perm = [3usize, 5, 0, 2, 1, 4]; // original feature f -> perm[f]
+    let permuted = {
+        let rows: Vec<Vec<f64>> = (0..ds.n_rows())
+            .map(|i| {
+                let row = ds.row(i);
+                let mut r = vec![0.0; 6];
+                for (f, &pf) in perm.iter().enumerate() {
+                    r[pf] = row[f];
+                }
+                r
+            })
+            .collect();
+        Dataset::from_rows(rows).unwrap()
+    };
+
+    let lof = Lof::new(10).unwrap();
+    let original = beam().explain(&SubspaceScorer::new(&ds, &lof), point, 2);
+    let relabeled = beam().explain(&SubspaceScorer::new(&permuted, &lof), point, 2);
+
+    // Map the original ranking through the permutation and re-rank with
+    // the explainer's own comparator (score desc, subspace asc).
+    let mut mapped: Vec<(Subspace, f64)> = original
+        .entries()
+        .iter()
+        .map(|(s, v)| {
+            (
+                Subspace::new(s.features().iter().map(|&f| perm[f as usize])),
+                *v,
+            )
+        })
+        .collect();
+    mapped.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    assert_eq!(relabeled.entries(), mapped.as_slice());
+    assert_eq!(
+        relabeled.best(),
+        Some(&Subspace::new(
+            truth.features().iter().map(|&f| perm[f as usize])
+        ))
+    );
+}
+
+/// Appending a copy of an existing feature adds subspaces *about* the
+/// copy but must not reorder or rescore any subspace that ignores it.
+#[test]
+fn beam_ranking_survives_a_duplicated_feature() {
+    let (ds, point, truth) = planted();
+    let dup: u16 = 6; // new feature index: a copy of feature 0
+    let widened = {
+        let rows: Vec<Vec<f64>> = (0..ds.n_rows())
+            .map(|i| {
+                let mut r = ds.row(i);
+                r.push(r[0]);
+                r
+            })
+            .collect();
+        Dataset::from_rows(rows).unwrap()
+    };
+
+    let lof = Lof::new(10).unwrap();
+    let original = Beam::new().beam_width(30).result_size(30).explain(
+        &SubspaceScorer::new(&ds, &lof),
+        point,
+        2,
+    );
+    let with_dup = Beam::new().beam_width(30).result_size(30).explain(
+        &SubspaceScorer::new(&widened, &lof),
+        point,
+        2,
+    );
+
+    let surviving: Vec<(Subspace, f64)> = with_dup
+        .entries()
+        .iter()
+        .filter(|(s, _)| !s.features().contains(&dup))
+        .cloned()
+        .collect();
+    assert_eq!(surviving.as_slice(), original.entries());
+    assert_eq!(with_dup.len(), 21); // C(7,2): the copy adds 6 new pairs
+    assert_eq!(original.best(), Some(&truth));
+}
+
+/// Scaling every value by a power of two commutes exactly with LOF's
+/// arithmetic (distances, reachability means and ratios all scale
+/// without rounding), so Beam and RefOut outputs are bit-identical.
+#[test]
+fn explainers_are_invariant_under_power_of_two_scaling() {
+    let (ds, point, _) = planted();
+    let scaled = transform_rows(&ds, |_, v| v * 4.0);
+    let lof = Lof::new(10).unwrap();
+
+    for dim in [2usize, 3] {
+        let a = beam().explain(&SubspaceScorer::new(&ds, &lof), point, dim);
+        let b = beam().explain(&SubspaceScorer::new(&scaled, &lof), point, dim);
+        assert_eq!(a.entries(), b.entries(), "Beam diverged at {dim}d");
+    }
+    let a = refout().explain(&SubspaceScorer::new(&ds, &lof), point, 2);
+    let b = refout().explain(&SubspaceScorer::new(&scaled, &lof), point, 2);
+    assert_eq!(a.entries(), b.entries(), "RefOut diverged under scaling");
+}
+
+/// Arbitrary per-feature shifts perturb distances at round-off scale;
+/// the decisively-separated winner must survive them.
+#[test]
+fn explainers_keep_their_winner_under_per_feature_shifts() {
+    let (ds, point, truth) = planted();
+    let offsets = [10.0, -3.0, 7.5, 100.0, 0.25, -42.0];
+    let shifted = transform_rows(&ds, |f, v| v + offsets[f]);
+    let lof = Lof::new(10).unwrap();
+
+    let beam_orig = beam().explain(&SubspaceScorer::new(&ds, &lof), point, 2);
+    let beam_shift = beam().explain(&SubspaceScorer::new(&shifted, &lof), point, 2);
+    assert_eq!(beam_orig.best(), Some(&truth));
+    assert_eq!(beam_shift.best(), Some(&truth));
+
+    let ref_orig = refout().explain(&SubspaceScorer::new(&ds, &lof), point, 2);
+    let ref_shift = refout().explain(&SubspaceScorer::new(&shifted, &lof), point, 2);
+    assert_eq!(ref_orig.best(), ref_shift.best());
+}
+
+/// Tight cluster plus three planted outliers at strictly increasing
+/// distances — detector rankings over them have huge margins.
+fn graded_outliers() -> (Dataset, [usize; 3]) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut rows: Vec<Vec<f64>> = (0..120)
+        .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let base = rows.len();
+    rows.push(vec![5.0, 5.0, 5.0, 5.0]);
+    rows.push(vec![10.0, 10.0, 10.0, 10.0]);
+    rows.push(vec![20.0, 20.0, 20.0, 20.0]);
+    (
+        Dataset::from_rows(rows).unwrap(),
+        [base, base + 1, base + 2],
+    )
+}
+
+fn top3(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(3);
+    idx
+}
+
+/// Detector-level affine invariance: power-of-two scaling maps scores
+/// exactly (LOF is a scale-free ratio; kNN-distance scales linearly),
+/// and per-feature shifts leave the graded ranking untouched.
+#[test]
+fn detector_rankings_are_affine_invariant() {
+    let (ds, [o1, o2, o3]) = graded_outliers();
+    let scaled = transform_rows(&ds, |_, v| v * 4.0);
+    let shifted = transform_rows(&ds, |f, v| v + [10.0, -3.0, 7.5, 100.0][f]);
+
+    let lof = Lof::new(15).unwrap();
+    let knnd = KnnDist::new(15).unwrap();
+
+    let lof_base = lof.score_all(&ds.full_matrix());
+    assert_eq!(lof_base, lof.score_all(&scaled.full_matrix()));
+    assert_eq!(top3(&lof_base), vec![o3, o2, o1]);
+    assert_eq!(
+        top3(&lof.score_all(&shifted.full_matrix())),
+        vec![o3, o2, o1]
+    );
+
+    let knnd_base = knnd.score_all(&ds.full_matrix());
+    let knnd_scaled = knnd.score_all(&scaled.full_matrix());
+    for (b, s) in knnd_base.iter().zip(&knnd_scaled) {
+        assert_eq!(*b * 4.0, *s, "kNN-dist must scale exactly by 4");
+    }
+    assert_eq!(top3(&knnd_base), vec![o3, o2, o1]);
+    assert_eq!(
+        top3(&knnd.score_all(&shifted.full_matrix())),
+        vec![o3, o2, o1]
+    );
+}

@@ -1,0 +1,90 @@
+//! Reconciliation of the process-wide observability layer with the
+//! engine's own `RunStats` over an eval grid: the `core.scorer.*`
+//! counters increment at exactly the call sites that feed each cell's
+//! `evaluations`/`cache_hits` telemetry, so their snapshot delta must
+//! equal the column sums *exactly* — any drift means an instrumentation
+//! point was added, dropped, or double-counted.
+//!
+//! This file holds exactly one test: obs counters and the installed
+//! subscriber are process-global, and a sibling test running
+//! concurrently in the same binary would pollute the deltas.
+//! Integration-test files are separate processes, so the rest of the
+//! suite cannot interfere.
+
+use anomex_eval::datasets::{TestbedDataset, TestbedFamily};
+use anomex_eval::experiment::ExperimentConfig;
+use anomex_eval::runner::{run_grid, ResultTable};
+use std::sync::Arc;
+
+fn sums(tables: &[&ResultTable]) -> (u64, u64, u64, u64, u64) {
+    let cells = tables.iter().flat_map(|t| &t.cells);
+    let mut evals = 0u64;
+    let mut hits = 0u64;
+    let mut live = 0u64;
+    let mut skipped = 0u64;
+    let mut points = 0u64;
+    for c in cells {
+        evals += c.evaluations as u64;
+        hits += c.cache_hits as u64;
+        if c.skipped {
+            skipped += 1;
+        } else {
+            live += 1;
+            points += c.n_points as u64;
+        }
+    }
+    (evals, hits, live, skipped, points)
+}
+
+#[test]
+fn obs_counters_and_spans_reconcile_with_run_stats_over_the_grid() {
+    let testbeds = vec![TestbedDataset::build(
+        TestbedFamily::Hics(anomex_dataset::gen::hics::HicsPreset::D14),
+        42,
+        &[],
+    )];
+    let cfg = ExperimentConfig::fast(42);
+
+    let recorder = Arc::new(anomex_obs::RecordingSubscriber::default());
+    anomex_obs::install(Arc::clone(&recorder) as Arc<dyn anomex_obs::Subscriber>);
+    let before = anomex_obs::snapshot();
+
+    let point = run_grid("fig9", &testbeds, &cfg.point_pipelines(), &cfg);
+    let summary = run_grid("fig10", &testbeds, &cfg.summary_pipelines(), &cfg);
+
+    let delta = anomex_obs::snapshot().counters_since(&before);
+    anomex_obs::uninstall();
+    let get = |name: &str| delta.get(name).copied().unwrap_or(0);
+
+    let (evals, hits, live, skipped, points) = sums(&[&point, &summary]);
+    assert!(evals > 0 && hits > 0, "grid too small to reconcile");
+    assert!(live > 0, "every cell was skipped");
+
+    // Scorer work: obs counters increment beside the scorer's own
+    // `evaluations`/`cache_hits` atomics that RunStats snapshots.
+    assert_eq!(get("core.scorer.evaluations"), evals);
+    assert_eq!(get("core.scorer.cache_hits"), hits);
+
+    // Grid accounting: one measured/skipped increment per cell, one
+    // engine dim-pass per measured cell (each cell runs one dim), and
+    // every point of interest counted once per measured cell.
+    assert_eq!(get("eval.grid.cells"), live);
+    assert_eq!(get("eval.grid.cells_skipped"), skipped);
+    assert_eq!(get("core.engine.dim_passes"), live);
+    assert_eq!(get("core.engine.points_explained"), points);
+    assert_eq!(get("core.engine.dims_skipped"), 0);
+
+    // Span accounting: every cell opens `eval.grid.cell`, every measured
+    // cell one `core.engine.run` + one `core.engine.dim_pass`; the
+    // recorder sees a start and an end per span.
+    let total_cells = live + skipped;
+    assert_eq!(
+        recorder.count_named("eval.grid.cell") as u64,
+        2 * total_cells
+    );
+    assert_eq!(recorder.count_named("core.engine.run") as u64, 2 * live);
+    assert_eq!(
+        recorder.count_named("core.engine.dim_pass") as u64,
+        2 * live
+    );
+}
