@@ -26,12 +26,16 @@ use std::collections::BTreeSet;
 /// See the [module docs](self).
 pub struct Nondeterminism;
 
-/// Crates whose compute must not read the clock.
-const PURE_COMPUTE: [&str; 4] = [
+/// Crates whose compute must not read the clock. `spec` is here
+/// because canonical encodings and fingerprints must be pure functions
+/// of the spec value — a clock read anywhere would break the
+/// same-spec-same-fingerprint contract.
+const PURE_COMPUTE: [&str; 5] = [
     "crates/stats/src/",
     "crates/dataset/src/",
     "crates/detectors/src/",
     "crates/core/src/",
+    "crates/spec/src/",
 ];
 
 const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
@@ -310,6 +314,11 @@ if m.contains_key(&k) { m.remove(&k); }";
         let src = "let t0 = Instant::now();";
         assert_eq!(run("crates/core/src/engine.rs", src).len(), 1);
         assert_eq!(run("crates/detectors/src/lof.rs", src).len(), 1);
+        assert_eq!(
+            run("crates/spec/src/pipeline.rs", src).len(),
+            1,
+            "fingerprints must be pure functions of the spec"
+        );
         assert!(
             run("crates/serve/src/batch.rs", src).is_empty(),
             "serve timing is the scheduler's job"

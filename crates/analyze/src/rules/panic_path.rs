@@ -19,12 +19,15 @@ pub struct PanicPath;
 
 /// Crates whose non-test code must not panic. `obs` is included: its
 /// subscribers run inline on every instrumented hot path, so a panic
-/// there takes the traced computation down with it.
-const HOT_PATHS: [&str; 4] = [
+/// there takes the traced computation down with it. `spec` is included:
+/// its parsers run on every served request line, so malformed specs
+/// must come back as `Err`, never as a worker-killing panic.
+const HOT_PATHS: [&str; 5] = [
     "crates/core/src/",
     "crates/serve/src/",
     "crates/detectors/src/",
     "crates/obs/src/",
+    "crates/spec/src/",
 ];
 
 /// Paths where indexing expressions are additionally flagged.
@@ -113,6 +116,7 @@ mod unit_tests {
         assert!(PanicPath.applies_to("crates/serve/src/service.rs"));
         assert!(PanicPath.applies_to("crates/core/src/engine.rs"));
         assert!(PanicPath.applies_to("crates/obs/src/registry.rs"));
+        assert!(PanicPath.applies_to("crates/spec/src/detector.rs"));
         assert!(PanicPath.applies_to("crates/analyze/fixtures/panic_path.rs"));
         assert!(!PanicPath.applies_to("crates/eval/src/report.rs"));
         assert!(!PanicPath.applies_to("crates/stats/src/rank.rs"));

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the canonical spec layer: compact/JSON pipeline
+//! parsing, canonical re-encoding, and fingerprinting.
+//!
+//! The spec parser sits on the serving request path (every
+//! explain/summarize line goes through it) and in registry key
+//! canonicalization, so its cost must stay far below one model fit.
+//! `scripts/bench_snapshot.sh` distills the criterion estimates into
+//! `BENCH_spec.json` at the repo root.
+
+use anomex_spec::{DetectorSpec, PipelineSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// The spec texts that actually cross the wire: elided defaults, a
+/// fully-spelled pipeline, and the canonical JSON object form.
+const COMPACT_CASES: [(&str, &str); 3] = [
+    ("elided", "beam+lof"),
+    (
+        "spelled",
+        "refout:pool=150,width=100,results=100,seed=42+iforest:trees=100,psi=256,reps=10,seed=0",
+    ),
+    (
+        "hics",
+        "hics:mc=100,cutoff=400,results=100,fx=true,seed=42+abod:k=10",
+    ),
+];
+
+fn pipeline_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_parse");
+    for (label, text) in COMPACT_CASES {
+        group.bench_with_input(BenchmarkId::new("compact", label), &text, |b, t| {
+            b.iter(|| PipelineSpec::parse(t).unwrap())
+        });
+    }
+    let json = PipelineSpec::parse(COMPACT_CASES[1].1)
+        .unwrap()
+        .to_json()
+        .emit();
+    group.bench_with_input(BenchmarkId::new("json", "spelled"), &json, |b, t| {
+        b.iter(|| PipelineSpec::parse(t).unwrap())
+    });
+    group.finish();
+}
+
+fn canonical_and_fingerprint(c: &mut Criterion) {
+    let spec = PipelineSpec::parse(COMPACT_CASES[1].1).unwrap();
+    let det = DetectorSpec::parse("iforest:seed=7").unwrap();
+    let mut group = c.benchmark_group("spec_encode");
+    group.bench_function("canonical", |b| b.iter(|| spec.canonical()));
+    group.bench_function("fingerprint", |b| b.iter(|| spec.fingerprint()));
+    group.bench_function("detector_canonical", |b| b.iter(|| det.canonical()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = pipeline_parse, canonical_and_fingerprint
+}
+criterion_main!(benches);

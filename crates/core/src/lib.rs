@@ -52,6 +52,7 @@ pub mod hics;
 pub mod lookout;
 pub mod parallel;
 pub mod pipeline;
+pub mod profile;
 pub mod refout;
 pub mod scoring;
 pub mod surrogate;
@@ -63,6 +64,7 @@ pub use explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
 pub use hics::Hics;
 pub use lookout::LookOut;
 pub use pipeline::{ExplainerKind, Pipeline, PipelineOutput};
+pub use profile::profile_dataset;
 pub use refout::RefOut;
 pub use scoring::SubspaceScorer;
 pub use surrogate::Surrogate;

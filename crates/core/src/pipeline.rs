@@ -7,11 +7,16 @@
 //! once and their summary stands as the explanation of *every* point —
 //! exactly how the paper evaluates them with the same per-point MAP.
 
+use crate::beam::Beam;
 use crate::cache::ScoreCache;
 use crate::engine::{ExplanationEngine, RunSpec};
 use crate::explainer::{PointExplainer, RankedSubspaces, SummaryExplainer};
+use crate::hics::Hics;
+use crate::lookout::LookOut;
+use crate::refout::RefOut;
 use anomex_dataset::Dataset;
 use anomex_detectors::Detector;
+use anomex_spec::{ExplainerSpec, PipelineSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +37,82 @@ impl ExplainerKind {
             ExplainerKind::Point(e) => e.name(),
             ExplainerKind::Summary(e) => e.name(),
         }
+    }
+
+    /// Builds the explainer an [`ExplainerSpec`] describes, validating
+    /// the spec's numeric ranges up front so builder assertions never
+    /// fire on wire-supplied values.
+    ///
+    /// # Errors
+    /// When a count parameter is out of range (zero width/results/
+    /// budget, RefOut pool below 4).
+    pub fn from_spec(spec: &ExplainerSpec) -> Result<Self, String> {
+        match *spec {
+            ExplainerSpec::Beam {
+                width,
+                results,
+                fixed_dim,
+            } => {
+                require(width > 0, "beam width must be positive")?;
+                require(results > 0, "beam results must be positive")?;
+                Ok(ExplainerKind::Point(Box::new(
+                    Beam::new()
+                        .beam_width(width)
+                        .result_size(results)
+                        .fixed_dim(fixed_dim),
+                )))
+            }
+            ExplainerSpec::RefOut {
+                pool,
+                width,
+                results,
+                seed,
+            } => {
+                require(pool >= 4, "refout pool must be at least 4")?;
+                require(width > 0, "refout width must be positive")?;
+                require(results > 0, "refout results must be positive")?;
+                Ok(ExplainerKind::Point(Box::new(
+                    RefOut::new()
+                        .pool_size(pool)
+                        .beam_width(width)
+                        .result_size(results)
+                        .seed(seed),
+                )))
+            }
+            ExplainerSpec::LookOut { budget } => {
+                require(budget > 0, "lookout budget must be positive")?;
+                Ok(ExplainerKind::Summary(Box::new(
+                    LookOut::new().budget(budget),
+                )))
+            }
+            ExplainerSpec::Hics {
+                mc,
+                cutoff,
+                results,
+                fixed_dim,
+                seed,
+            } => {
+                require(mc > 0, "hics mc must be positive")?;
+                require(cutoff > 0, "hics cutoff must be positive")?;
+                require(results > 0, "hics results must be positive")?;
+                Ok(ExplainerKind::Summary(Box::new(
+                    Hics::new()
+                        .monte_carlo_iterations(mc)
+                        .candidate_cutoff(cutoff)
+                        .result_size(results)
+                        .fixed_dim(fixed_dim)
+                        .seed(seed),
+                )))
+            }
+        }
+    }
+}
+
+fn require(ok: bool, message: &str) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(message.to_string())
     }
 }
 
@@ -79,6 +160,23 @@ impl Pipeline {
             detector: Box::new(detector),
             explainer: ExplainerKind::Summary(Box::new(explainer)),
         }
+    }
+
+    /// Builds the pipeline a canonical [`PipelineSpec`] describes —
+    /// the single constructor core, eval and serve all share, so a
+    /// spec means the same live pipeline everywhere.
+    ///
+    /// # Errors
+    /// When the detector or explainer half carries an out-of-range
+    /// hyper-parameter.
+    pub fn from_spec(spec: &PipelineSpec) -> Result<Self, String> {
+        let detector =
+            anomex_detectors::build_detector(&spec.detector).map_err(|e| e.to_string())?;
+        let explainer = ExplainerKind::from_spec(&spec.explainer)?;
+        Ok(Pipeline {
+            detector,
+            explainer,
+        })
     }
 
     /// The detector's display name.
@@ -232,6 +330,55 @@ mod unit_tests {
             .into_single();
         assert_eq!(out.explanations, direct.explanations);
         assert_eq!(out.subspace_evaluations, direct.stats.evaluations);
+    }
+
+    #[test]
+    fn spec_built_pipeline_matches_hand_built_output() {
+        let (ds, pois) = planted();
+        let hand = Pipeline::point(Lof::new(10).unwrap(), Beam::new());
+        let spec = Pipeline::from_spec(&PipelineSpec::parse("beam+lof:k=10").unwrap()).unwrap();
+        assert_eq!(spec.label(), hand.label());
+        let out_hand = hand.run(&ds, &pois, 2);
+        let out_spec = spec.run(&ds, &pois, 2);
+        assert_eq!(out_spec.explanations, out_hand.explanations);
+    }
+
+    #[test]
+    fn spec_built_summary_pipeline_matches_hand_built_output() {
+        let (ds, pois) = planted();
+        let hand = Pipeline::summary(Lof::new(10).unwrap(), LookOut::new().budget(5));
+        let spec = Pipeline::from_spec(&PipelineSpec::parse("lookout:budget=5+lof:k=10").unwrap())
+            .unwrap();
+        assert_eq!(spec.label(), hand.label());
+        let out_hand = hand.run(&ds, &pois, 2);
+        let out_spec = spec.run(&ds, &pois, 2);
+        assert_eq!(out_spec.explanations, out_hand.explanations);
+    }
+
+    #[test]
+    fn from_spec_rejects_out_of_range_parameters() {
+        use anomex_spec::{DetectorSpec, ExplainerSpec};
+        let bad = PipelineSpec::new(DetectorSpec::Lof { k: 0 }, ExplainerSpec::beam());
+        assert!(Pipeline::from_spec(&bad).is_err());
+        let bad = PipelineSpec::new(
+            DetectorSpec::lof(),
+            ExplainerSpec::Beam {
+                width: 0,
+                results: 100,
+                fixed_dim: true,
+            },
+        );
+        assert!(Pipeline::from_spec(&bad).is_err());
+        let bad = PipelineSpec::new(
+            DetectorSpec::lof(),
+            ExplainerSpec::RefOut {
+                pool: 3,
+                width: 100,
+                results: 100,
+                seed: 0,
+            },
+        );
+        assert!(Pipeline::from_spec(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Dataset profiling: the characteristics the spec-layer recommender
+//! reads (`anomex_spec::recommend`).
+//!
+//! Deterministic by construction: rows are sampled on a fixed stride
+//! (no RNG), neighbor distances are exact brute-force Euclidean over
+//! the full dataset, and every aggregate comes from `anomex-stats`
+//! descriptive statistics — so the same dataset always profiles to the
+//! same [`DatasetProfile`], byte for byte once serialized.
+
+use anomex_dataset::Dataset;
+use anomex_spec::DatasetProfile;
+use anomex_stats::descriptive;
+
+/// At most this many rows are profiled (stride-sampled, no RNG).
+const MAX_SAMPLE: usize = 256;
+
+/// Neighborhood size for the k-NN distance statistic (clamped to
+/// `n_rows - 1` on tiny datasets).
+const NEIGHBORS: usize = 10;
+
+/// Profiles a dataset: dimensionality, local-density dispersion
+/// (coefficient of variation of sampled average k-NN distances), and a
+/// contamination estimate (fraction of sampled rows whose k-NN
+/// distance lies above the Tukey upper fence of the sample).
+#[must_use]
+pub fn profile_dataset(dataset: &Dataset) -> DatasetProfile {
+    let n = dataset.n_rows();
+    let d = dataset.n_features();
+    if n < 3 || d == 0 {
+        return DatasetProfile {
+            n_rows: n,
+            n_features: d,
+            density_cv: 0.0,
+            contamination: 0.0,
+        };
+    }
+
+    let stride = n.div_ceil(MAX_SAMPLE).max(1);
+    let k = NEIGHBORS.min(n - 1);
+    let mut squared = vec![0.0f64; n];
+    let mut knn = Vec::with_capacity(n.div_ceil(stride));
+    for i in (0..n).step_by(stride) {
+        squared.iter_mut().for_each(|v| *v = 0.0);
+        for f in 0..d {
+            let column = dataset.column(f);
+            let center = column[i];
+            for (acc, &value) in squared.iter_mut().zip(column.iter()) {
+                let diff = value - center;
+                *acc += diff * diff;
+            }
+        }
+        squared[i] = f64::INFINITY; // exclude the point itself
+        let mut sorted = squared.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let avg = sorted.iter().take(k).map(|v| v.sqrt()).sum::<f64>() / k as f64;
+        knn.push(avg);
+    }
+
+    let mean = descriptive::mean(&knn);
+    let std = descriptive::sample_variance(&knn).sqrt();
+    let density_cv = if mean > 0.0 { std / mean } else { 0.0 };
+    let q1 = descriptive::quantile(&knn, 0.25).unwrap_or(mean);
+    let q3 = descriptive::quantile(&knn, 0.75).unwrap_or(mean);
+    let fence = q3 + 1.5 * (q3 - q1);
+    let outliers = knn.iter().filter(|&&v| v > fence).count();
+    DatasetProfile {
+        n_rows: n,
+        n_features: d,
+        density_cv,
+        contamination: outliers as f64 / knn.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn profile_reports_shape_and_is_deterministic() {
+        let ds = uniform(300, 6, 1);
+        let a = profile_dataset(&ds);
+        let b = profile_dataset(&ds);
+        assert_eq!(a, b);
+        assert_eq!(a.n_rows, 300);
+        assert_eq!(a.n_features, 6);
+        assert!(a.density_cv > 0.0);
+        assert!((0.0..=1.0).contains(&a.contamination));
+    }
+
+    #[test]
+    fn planted_outliers_raise_the_contamination_estimate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        for _ in 0..10 {
+            rows.push((0..4).map(|_| rng.gen_range(8.0..9.0)).collect());
+        }
+        let clean = profile_dataset(&uniform(200, 4, 3));
+        let planted = profile_dataset(&Dataset::from_rows(rows).unwrap());
+        assert!(planted.contamination > clean.contamination);
+        assert!(planted.density_cv > clean.density_cv);
+    }
+
+    #[test]
+    fn degenerate_datasets_profile_to_zero() {
+        let ds = Dataset::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let p = profile_dataset(&ds);
+        assert_eq!(p.n_rows, 1);
+        assert_eq!(p.density_cv, 0.0);
+        assert_eq!(p.contamination, 0.0);
+    }
+
+    #[test]
+    fn identical_rows_have_zero_density_dispersion() {
+        let ds = Dataset::from_rows(vec![vec![1.0, 1.0]; 20]).unwrap();
+        let p = profile_dataset(&ds);
+        assert_eq!(p.density_cv, 0.0);
+        assert_eq!(p.contamination, 0.0);
+    }
+}

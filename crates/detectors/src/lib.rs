@@ -44,6 +44,7 @@ pub mod knn;
 pub mod knndist;
 pub mod loda;
 pub mod lof;
+pub mod spec;
 pub mod zscore;
 
 pub use abod::{FastAbod, FittedFastAbod};
@@ -52,6 +53,7 @@ pub use iforest::{FittedIsolationForest, IsolationForest};
 pub use knndist::{FittedKnnDist, KnnDist};
 pub use loda::Loda;
 pub use lof::{FittedLof, Lof};
+pub use spec::build_detector;
 
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;

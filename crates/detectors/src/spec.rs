@@ -1,0 +1,70 @@
+//! Detector construction from canonical [`DetectorSpec`] values.
+//!
+//! The one place a typed spec becomes a live detector — serve, eval
+//! and core all route through here, so a spec builds the exact same
+//! detector everywhere.
+
+use crate::iforest::IsolationForest;
+use crate::{Detector, FastAbod, KnnDist, Lof, Result};
+use anomex_spec::DetectorSpec;
+
+/// Builds the detector a [`DetectorSpec`] describes.
+///
+/// # Errors
+/// [`crate::DetectorError::InvalidParameter`] when the spec carries an
+/// out-of-range hyper-parameter (e.g. `k = 0`).
+pub fn build_detector(spec: &DetectorSpec) -> Result<Box<dyn Detector>> {
+    Ok(match *spec {
+        DetectorSpec::Lof { k } => Box::new(Lof::new(k)?),
+        DetectorSpec::FastAbod { k } => Box::new(FastAbod::new(k)?),
+        DetectorSpec::KnnDist { k } => Box::new(KnnDist::new(k)?),
+        DetectorSpec::IsolationForest {
+            trees,
+            psi,
+            reps,
+            seed,
+        } => Box::new(
+            IsolationForest::builder()
+                .trees(trees)
+                .subsample(psi)
+                .repetitions(reps)
+                .seed(seed)
+                .build()?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_paper_detector() {
+        for compact in [
+            "lof:k=15",
+            "abod:k=10",
+            "knndist:k=5",
+            "iforest:trees=100,psi=256,reps=10,seed=0",
+        ] {
+            let spec = DetectorSpec::parse(compact).unwrap();
+            let det = build_detector(&spec).unwrap();
+            assert_eq!(
+                spec.canonical(),
+                DetectorSpec::parse(compact).unwrap().canonical()
+            );
+            let _ = det.name();
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_surface_as_errors() {
+        assert!(build_detector(&DetectorSpec::Lof { k: 0 }).is_err());
+        assert!(build_detector(&DetectorSpec::IsolationForest {
+            trees: 0,
+            psi: 256,
+            reps: 10,
+            seed: 0,
+        })
+        .is_err());
+    }
+}

@@ -9,6 +9,7 @@
 //! anomex-eval fig10   ...   # MAP of HiCS & LookOut pipelines
 //! anomex-eval fig11   ...   # pipeline runtimes
 //! anomex-eval table2  ...   # effectiveness/efficiency trade-offs
+//! anomex-eval recommend ... # profile-driven recommender vs fixed grid
 //! anomex-eval all     ...   # everything, sharing generated datasets
 //! ```
 //!
@@ -80,7 +81,8 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-const USAGE: &str = "usage: anomex-eval <table1|fig8|fig9|fig10|fig11|table2|overlap|all> \
+const USAGE: &str =
+    "usage: anomex-eval <table1|fig8|fig9|fig10|fig11|table2|recommend|overlap|all> \
 [--fast|--full] [--seed N] [--out DIR] [--trace FILE] [--metrics FILE]";
 
 fn main() -> ExitCode {
@@ -180,6 +182,21 @@ fn main() -> ExitCode {
             println!("Table 2: effectiveness/efficiency trade-offs\n");
             println!("{}", tradeoff::render(&tradeoff::build(&p, &s)));
         }
+        "recommend" => {
+            let t = grid("fig9", &testbeds, &cfg, true, &args.out);
+            let specs = cfg.point_specs();
+            let v = anomex_eval::recommend::validate_recommender(
+                &testbeds,
+                &t,
+                &specs,
+                anomex_spec::RecommendTask::Point,
+            );
+            println!("Profile-driven pipeline recommendation (point explanation task)\n");
+            println!("{}", anomex_eval::recommend::render(&v));
+            let path = args.out.join("recommend.json");
+            std::fs::write(&path, recommend_json(&v)).expect("write recommendation json");
+            eprintln!("#   wrote {}", path.display());
+        }
         "overlap" => {
             // The paper's "complementary experiments": outlier/inlier
             // score separability (AUC) per projection dimensionality.
@@ -218,6 +235,45 @@ fn main() -> ExitCode {
         anomex_obs::uninstall();
     }
     ExitCode::SUCCESS
+}
+
+fn recommend_json(v: &anomex_eval::recommend::RecommenderValidation) -> String {
+    use anomex_spec::Json;
+    let rows: Vec<Json> = v
+        .rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("dataset".into(), Json::Str(r.dataset.clone())),
+                ("label".into(), Json::Str(r.label.clone())),
+                ("map".into(), r.map.map_or(Json::Null, Json::num_f64)),
+                ("recommendation".into(), r.recommendation.to_json()),
+            ])
+        })
+        .collect();
+    let fixed: Vec<Json> = v
+        .fixed_pipeline_means
+        .iter()
+        .map(|(label, map)| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(label.clone())),
+                ("mean_map".into(), Json::num_f64(*map)),
+            ])
+        })
+        .collect();
+    let mut json = Json::Obj(vec![
+        ("task".into(), Json::Str("point".into())),
+        ("rows".into(), Json::Arr(rows)),
+        (
+            "recommended_mean_map".into(),
+            Json::num_f64(v.recommended_mean_map),
+        ),
+        ("fixed_mean_map".into(), Json::num_f64(v.fixed_mean_map)),
+        ("fixed_pipelines".into(), Json::Arr(fixed)),
+    ])
+    .emit();
+    json.push('\n');
+    json
 }
 
 fn fig11_dataset(f: TestbedFamily) -> bool {

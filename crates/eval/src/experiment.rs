@@ -17,10 +17,9 @@
 use crate::datasets::TestbedFamily;
 use anomex_core::cache::ScoreCache;
 use anomex_core::pipeline::Pipeline;
-use anomex_core::{Beam, Hics, LookOut, RefOut};
 use anomex_dataset::gen::fullspace::FullSpacePreset;
 use anomex_dataset::gen::hics::HicsPreset;
-use anomex_detectors::{FastAbod, IsolationForest, Lof};
+use anomex_spec::{DetectorSpec, ExplainerSpec, PipelineSpec};
 
 /// Tunable knobs of one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,79 +147,96 @@ impl ExperimentConfig {
         }
     }
 
-    /// The three paper detectors under this configuration.
-    fn lof(&self) -> Lof {
-        Lof::new(15).expect("valid k")
+    /// The three paper detectors under this configuration, as canonical
+    /// specs, in the order they appear in every figure.
+    #[must_use]
+    pub fn detector_specs(&self) -> [DetectorSpec; 3] {
+        [
+            DetectorSpec::lof(),
+            DetectorSpec::fast_abod(),
+            DetectorSpec::IsolationForest {
+                trees: 100,
+                psi: 256,
+                reps: self.iforest_repetitions,
+                seed: self.seed,
+            },
+        ]
     }
 
-    fn abod(&self) -> FastAbod {
-        FastAbod::new(10).expect("valid k")
+    fn beam_spec(&self) -> ExplainerSpec {
+        ExplainerSpec::Beam {
+            width: self.beam_width,
+            results: self.result_size,
+            fixed_dim: true,
+        }
     }
 
-    fn iforest(&self) -> IsolationForest {
-        IsolationForest::builder()
-            .trees(100)
-            .subsample(256)
-            .repetitions(self.iforest_repetitions)
-            .seed(self.seed)
-            .build()
-            .expect("valid parameters")
+    fn refout_spec(&self) -> ExplainerSpec {
+        ExplainerSpec::RefOut {
+            pool: self.pool_size,
+            width: self.beam_width,
+            results: self.result_size,
+            seed: self.seed,
+        }
     }
 
-    fn beam(&self) -> Beam {
-        Beam::new()
-            .beam_width(self.beam_width)
-            .result_size(self.result_size)
-            .fixed_dim(true)
+    fn lookout_spec(&self) -> ExplainerSpec {
+        ExplainerSpec::LookOut {
+            budget: self.lookout_budget,
+        }
     }
 
-    fn refout(&self) -> RefOut {
-        RefOut::new()
-            .pool_size(self.pool_size)
-            .beam_width(self.beam_width)
-            .result_size(self.result_size)
-            .seed(self.seed)
+    fn hics_spec(&self) -> ExplainerSpec {
+        ExplainerSpec::Hics {
+            mc: self.monte_carlo,
+            cutoff: self.candidate_cutoff,
+            results: self.result_size,
+            fixed_dim: true,
+            seed: self.seed,
+        }
     }
 
-    fn lookout(&self) -> LookOut {
-        LookOut::new().budget(self.lookout_budget)
+    /// The grid's explainer × detector cross product, figure order
+    /// (explainer-major, detectors in [`ExperimentConfig::detector_specs`]
+    /// order).
+    fn cross(&self, explainers: [ExplainerSpec; 2]) -> Vec<PipelineSpec> {
+        let mut specs = Vec::with_capacity(6);
+        for explainer in explainers {
+            for detector in self.detector_specs() {
+                specs.push(PipelineSpec::new(detector, explainer));
+            }
+        }
+        specs
     }
 
-    fn hics(&self) -> Hics {
-        Hics::new()
-            .monte_carlo_iterations(self.monte_carlo)
-            .candidate_cutoff(self.candidate_cutoff)
-            .result_size(self.result_size)
-            .fixed_dim(true)
-            .seed(self.seed)
+    /// The six point-explanation pipelines of Figure 9 —
+    /// {Beam_FX, RefOut} × {LOF, FastABOD, iForest} — as canonical spec
+    /// values. The grid is data: hash it, print it, ship it to serve.
+    #[must_use]
+    pub fn point_specs(&self) -> Vec<PipelineSpec> {
+        self.cross([self.beam_spec(), self.refout_spec()])
     }
 
-    /// The six point-explanation pipelines of Figure 9:
-    /// {Beam_FX, RefOut} × {LOF, FastABOD, iForest}.
+    /// The six summarization pipelines of Figure 10 —
+    /// {LookOut, HiCS_FX} × {LOF, FastABOD, iForest} — as canonical
+    /// spec values.
+    #[must_use]
+    pub fn summary_specs(&self) -> Vec<PipelineSpec> {
+        self.cross([self.lookout_spec(), self.hics_spec()])
+    }
+
+    /// The six point-explanation pipelines of Figure 9, built from
+    /// [`ExperimentConfig::point_specs`].
     #[must_use]
     pub fn point_pipelines(&self) -> Vec<Pipeline> {
-        vec![
-            Pipeline::point(self.lof(), self.beam()),
-            Pipeline::point(self.abod(), self.beam()),
-            Pipeline::point(self.iforest(), self.beam()),
-            Pipeline::point(self.lof(), self.refout()),
-            Pipeline::point(self.abod(), self.refout()),
-            Pipeline::point(self.iforest(), self.refout()),
-        ]
+        build_pipelines(&self.point_specs())
     }
 
-    /// The six summarization pipelines of Figure 10:
-    /// {LookOut, HiCS_FX} × {LOF, FastABOD, iForest}.
+    /// The six summarization pipelines of Figure 10, built from
+    /// [`ExperimentConfig::summary_specs`].
     #[must_use]
     pub fn summary_pipelines(&self) -> Vec<Pipeline> {
-        vec![
-            Pipeline::summary(self.lof(), self.lookout()),
-            Pipeline::summary(self.abod(), self.lookout()),
-            Pipeline::summary(self.iforest(), self.lookout()),
-            Pipeline::summary(self.lof(), self.hics()),
-            Pipeline::summary(self.abod(), self.hics()),
-            Pipeline::summary(self.iforest(), self.hics()),
-        ]
+        build_pipelines(&self.summary_specs())
     }
 
     /// Estimated detector invocations of one cell, used against
@@ -251,6 +267,19 @@ impl ExperimentConfig {
             _ => 0,
         }
     }
+}
+
+/// Materializes spec values into live pipelines.
+///
+/// # Panics
+/// Panics when a spec carries out-of-range parameters — the preset
+/// builders above only emit valid ones.
+#[must_use]
+pub fn build_pipelines(specs: &[PipelineSpec]) -> Vec<Pipeline> {
+    specs
+        .iter()
+        .map(|spec| Pipeline::from_spec(spec).expect("grid specs are valid"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -286,6 +315,28 @@ mod unit_tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), 12);
+    }
+
+    #[test]
+    fn grid_specs_are_data_with_distinct_fingerprints() {
+        let cfg = ExperimentConfig::balanced(0);
+        let specs: Vec<PipelineSpec> = cfg
+            .point_specs()
+            .into_iter()
+            .chain(cfg.summary_specs())
+            .collect();
+        assert_eq!(specs.len(), 12);
+        let mut prints: Vec<u64> = specs.iter().map(PipelineSpec::fingerprint).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), 12, "all twelve grid cells must be distinct");
+        // Every spec round-trips through its canonical text.
+        for spec in &specs {
+            assert_eq!(PipelineSpec::parse(&spec.canonical()).unwrap(), *spec);
+        }
+        // Point/summary split matches the explainer family.
+        assert!(cfg.point_specs().iter().all(|s| !s.is_summary()));
+        assert!(cfg.summary_specs().iter().all(PipelineSpec::is_summary));
     }
 
     #[test]

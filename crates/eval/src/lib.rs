@@ -15,6 +15,7 @@
 //! anomex-eval fig10 [--fast]   # MAP of HiCS & LookOut pipelines
 //! anomex-eval fig11 [--fast]   # pipeline runtimes
 //! anomex-eval table2 [--fast]  # effectiveness/efficiency trade-offs
+//! anomex-eval recommend [--fast]  # profile-driven recommender vs fixed grid
 //! ```
 
 #![warn(missing_docs)]
@@ -26,10 +27,12 @@ pub mod ground_truth;
 pub mod metrics;
 pub mod overlap;
 pub mod plot;
+pub mod recommend;
 pub mod report;
 pub mod runner;
 pub mod tradeoff;
 
 pub use datasets::{TestbedDataset, TestbedFamily};
 pub use metrics::{average_precision, map, mean_recall, precision};
+pub use recommend::{validate_recommender, RecommenderRow, RecommenderValidation};
 pub use runner::{CellResult, ResultTable};

@@ -1,0 +1,248 @@
+//! Recommender validation: does profile-driven pipeline selection beat
+//! the average fixed pipeline on the synthetic testbed?
+//!
+//! The recommender (`anomex_spec::recommend`) picks one pipeline family
+//! per dataset from its [`profile`](anomex_core::profile_dataset). This
+//! module scores that choice against the measured grid: each dataset's
+//! recommended pipeline is looked up in a [`ResultTable`] produced by
+//! the ordinary fixed grid (same budget-scaled hyper-parameters for
+//! every family, so the comparison is apples to apples), and the
+//! recommender's mean MAP is compared with the mean over *all* fixed
+//! pipelines — the score a user expecting one-size-fits-all would get
+//! in expectation.
+
+use crate::datasets::TestbedDataset;
+use crate::runner::ResultTable;
+use anomex_core::profile_dataset;
+use anomex_spec::{
+    recommend, DetectorSpec, ExplainerSpec, PipelineSpec, RecommendTask, Recommendation,
+};
+
+/// The display name the eval reports use for a detector spec.
+#[must_use]
+pub fn detector_display(spec: &DetectorSpec) -> &'static str {
+    match spec {
+        DetectorSpec::Lof { .. } => "LOF",
+        DetectorSpec::FastAbod { .. } => "FastABOD",
+        DetectorSpec::KnnDist { .. } => "KnnDist",
+        DetectorSpec::IsolationForest { .. } => "iForest",
+    }
+}
+
+/// The display name the eval reports use for an explainer spec.
+#[must_use]
+pub fn explainer_display(spec: &ExplainerSpec) -> &'static str {
+    match spec {
+        ExplainerSpec::Beam { fixed_dim, .. } => {
+            if *fixed_dim {
+                "Beam_FX"
+            } else {
+                "Beam"
+            }
+        }
+        ExplainerSpec::RefOut { .. } => "RefOut",
+        ExplainerSpec::LookOut { .. } => "LookOut",
+        ExplainerSpec::Hics { fixed_dim, .. } => {
+            if *fixed_dim {
+                "HiCS_FX"
+            } else {
+                "HiCS"
+            }
+        }
+    }
+}
+
+/// The `"Explainer+Detector"` report label of a pipeline spec —
+/// identical to [`anomex_core::Pipeline::label`] of the built pipeline.
+#[must_use]
+pub fn spec_label(spec: &PipelineSpec) -> String {
+    format!(
+        "{}+{}",
+        explainer_display(&spec.explainer),
+        detector_display(&spec.detector)
+    )
+}
+
+/// One dataset's outcome: what was recommended and how it scored.
+#[derive(Debug, Clone)]
+pub struct RecommenderRow {
+    /// Dataset display name.
+    pub dataset: String,
+    /// The full recommendation (spec + reasoning trace + profile).
+    pub recommendation: Recommendation,
+    /// Report label of the recommended pipeline.
+    pub label: String,
+    /// Mean MAP of the recommended pipeline's measured cells on this
+    /// dataset (`None` when every cell was skipped).
+    pub map: Option<f64>,
+}
+
+/// The validation verdict over a whole testbed.
+#[derive(Debug, Clone)]
+pub struct RecommenderValidation {
+    /// Per-dataset outcomes.
+    pub rows: Vec<RecommenderRow>,
+    /// Mean MAP of the recommended pipeline, averaged over datasets
+    /// with at least one measured cell.
+    pub recommended_mean_map: f64,
+    /// Mean MAP over every fixed pipeline (mean of the per-pipeline
+    /// means below) — the one-size-fits-all baseline.
+    pub fixed_mean_map: f64,
+    /// Per-pipeline mean MAP over its measured cells, figure order.
+    pub fixed_pipeline_means: Vec<(String, f64)>,
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Mean MAP of one pipeline's measured (non-skipped, non-empty) cells,
+/// optionally restricted to one dataset.
+fn pipeline_map(table: &ResultTable, label: &str, dataset: Option<&str>) -> Option<f64> {
+    let maps: Vec<f64> = table
+        .cells
+        .iter()
+        .filter(|c| {
+            !c.skipped
+                && c.n_points > 0
+                && format!("{}+{}", c.explainer, c.detector) == label
+                && dataset.is_none_or(|d| c.dataset == d)
+        })
+        .map(|c| c.map)
+        .collect();
+    if maps.is_empty() {
+        None
+    } else {
+        Some(mean(&maps))
+    }
+}
+
+/// Validates the recommender for `task` against a measured grid.
+///
+/// `table` must be the fixed grid of the matching pipeline family
+/// (`point_pipelines` for [`RecommendTask::Point`], `summary_pipelines`
+/// for [`RecommendTask::Summary`]) run over the same `testbeds`.
+#[must_use]
+pub fn validate_recommender(
+    testbeds: &[TestbedDataset],
+    table: &ResultTable,
+    specs: &[PipelineSpec],
+    task: RecommendTask,
+) -> RecommenderValidation {
+    let rows: Vec<RecommenderRow> = testbeds
+        .iter()
+        .map(|tb| {
+            let profile = profile_dataset(&tb.dataset);
+            let recommendation = recommend(&profile, task);
+            let label = spec_label(&recommendation.spec);
+            let map = pipeline_map(table, &label, Some(tb.name()));
+            RecommenderRow {
+                dataset: tb.name().to_string(),
+                recommendation,
+                label,
+                map,
+            }
+        })
+        .collect();
+
+    let recommended: Vec<f64> = rows.iter().filter_map(|r| r.map).collect();
+    let fixed_pipeline_means: Vec<(String, f64)> = specs
+        .iter()
+        .map(|spec| {
+            let label = spec_label(spec);
+            let map = pipeline_map(table, &label, None).unwrap_or(0.0);
+            (label, map)
+        })
+        .collect();
+    let fixed: Vec<f64> = fixed_pipeline_means.iter().map(|(_, m)| *m).collect();
+
+    RecommenderValidation {
+        rows,
+        recommended_mean_map: mean(&recommended),
+        fixed_mean_map: mean(&fixed),
+        fixed_pipeline_means,
+    }
+}
+
+/// Renders the validation as the text report the CLI prints and
+/// EXPERIMENTS.md quotes.
+#[must_use]
+pub fn render(v: &RecommenderValidation) -> String {
+    let mut out = String::new();
+    out.push_str("dataset                    recommended           MAP\n");
+    for row in &v.rows {
+        let map = row
+            .map
+            .map_or_else(|| "   n/a".to_string(), |m| format!("{m:6.2}"));
+        out.push_str(&format!("{:<26} {:<20} {map}\n", row.dataset, row.label));
+    }
+    out.push('\n');
+    for (label, map) in &v.fixed_pipeline_means {
+        out.push_str(&format!("fixed {label:<21} mean MAP {map:.3}\n"));
+    }
+    out.push_str(&format!(
+        "\nrecommender mean MAP {:.3} vs fixed-pipeline mean {:.3} ({})\n",
+        v.recommended_mean_map,
+        v.fixed_mean_map,
+        if v.recommended_mean_map >= v.fixed_mean_map {
+            "recommender >= fixed mean"
+        } else {
+            "recommender BELOW fixed mean"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_core::Pipeline;
+
+    #[test]
+    fn spec_labels_agree_with_built_pipeline_labels() {
+        for compact in [
+            "beam+lof",
+            "beam:fx=false+abod",
+            "refout+iforest",
+            "lookout+lof",
+            "hics+abod",
+            "hics:fx=false+knndist",
+        ] {
+            let spec = PipelineSpec::parse(compact).unwrap();
+            let built = Pipeline::from_spec(&spec).unwrap();
+            assert_eq!(spec_label(&spec), built.label(), "for {compact}");
+        }
+    }
+
+    #[test]
+    fn pipeline_map_filters_skipped_cells() {
+        use crate::runner::CellResult;
+        let mut table = ResultTable::new("t");
+        let cell = |map: f64, skipped: bool| CellResult {
+            dataset: "D".into(),
+            detector: "LOF".into(),
+            explainer: "Beam_FX".into(),
+            dim: 2,
+            map,
+            mean_recall: 0.0,
+            seconds: 0.0,
+            evaluations: 0,
+            cache_hits: 0,
+            cache_hit_rate: 0.0,
+            peak_cache_entries: 0,
+            n_points: usize::from(!skipped),
+            skipped,
+            skip_reason: None,
+        };
+        table.cells.push(cell(0.5, false));
+        table.cells.push(cell(1.0, false));
+        table.cells.push(cell(0.0, true));
+        assert_eq!(pipeline_map(&table, "Beam_FX+LOF", Some("D")), Some(0.75));
+        assert_eq!(pipeline_map(&table, "Beam_FX+LOF", None), Some(0.75));
+        assert_eq!(pipeline_map(&table, "RefOut+LOF", None), None);
+    }
+}

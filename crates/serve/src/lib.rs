@@ -24,6 +24,14 @@
 //!   calls, with per-stage timing folded into
 //!   [`anomex_core::RunStats`].
 //!
+//! Detector and explainer wire strings are parsed by the canonical
+//! [`anomex_spec`] layer, so `explain`/`summarize` requests may carry an
+//! inline `pipeline` spec (compact `"beam+lof:k=5"` or a
+//! `PipelineSpec` JSON object) instead of the separate fields, and the
+//! `profile`/`recommend` operations expose the profile-driven pipeline
+//! recommender over any registered dataset. Legacy spec strings remain
+//! wire-compatible byte for byte.
+//!
 //! The `anomex_serve` binary wraps a [`service::ServeHandle`] in a
 //! stdin/stdout loop (`--stdin`) or a line-oriented TCP listener
 //! (`--listen ADDR`).

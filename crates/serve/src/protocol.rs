@@ -65,9 +65,16 @@ pub enum RequestBody {
         /// Registered dataset name (or a `hicsN[@seed]` preset).
         dataset: String,
         /// Detector spec.
+        #[serde(default, skip_serializing_if = "String::is_empty")]
         detector: String,
         /// Explainer spec, e.g. `"beam"`, `"lookout:budget=3"`.
+        #[serde(default, skip_serializing_if = "String::is_empty")]
         explainer: String,
+        /// Inline canonical pipeline spec — a compact string
+        /// (`"beam+lof:k=5"`) or a `PipelineSpec` JSON object — instead
+        /// of the separate `detector`/`explainer` fields.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        pipeline: Option<serde_json::Value>,
         /// Row index of the point to explain.
         point: usize,
         /// Explanation dimensionality (number of features).
@@ -78,16 +85,48 @@ pub enum RequestBody {
         /// Registered dataset name (or a `hicsN[@seed]` preset).
         dataset: String,
         /// Detector spec.
+        #[serde(default, skip_serializing_if = "String::is_empty")]
         detector: String,
         /// Explainer spec (a summarizer, e.g. `"lookout"`, `"hics"`).
+        #[serde(default, skip_serializing_if = "String::is_empty")]
         explainer: String,
+        /// Inline canonical pipeline spec — a compact string
+        /// (`"lookout+lof"`) or a `PipelineSpec` JSON object — instead
+        /// of the separate `detector`/`explainer` fields.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        pipeline: Option<serde_json::Value>,
         /// Row indices of the points to summarize.
         points: Vec<usize>,
         /// Explanation dimensionality (number of features).
         dim: usize,
     },
+    /// Deterministic dataset characteristics (dimensionality, density
+    /// dispersion, contamination estimate) — the recommender's input.
+    Profile {
+        /// Registered dataset name (or a `hicsN[@seed]` preset).
+        dataset: String,
+    },
+    /// A rule-based pipeline recommendation from the dataset's profile,
+    /// with a machine-readable reasoning trace.
+    Recommend {
+        /// Registered dataset name (or a `hicsN[@seed]` preset).
+        dataset: String,
+        /// `"point"` (per-point explanation, the default) or
+        /// `"summary"` (set-level summarization).
+        #[serde(default = "default_task", skip_serializing_if = "is_default_task")]
+        task: String,
+    },
     /// Service counters: registry, scheduler and dataset census.
     Stats,
+}
+
+fn default_task() -> String {
+    "point".to_string()
+}
+
+#[allow(clippy::ptr_arg)] // serde's skip_serializing_if passes &String
+fn is_default_task(task: &String) -> bool {
+    task == "point"
 }
 
 /// One ranked subspace of an explanation.
@@ -190,6 +229,13 @@ pub struct Response {
     /// Service counters (for `stats`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub service: Option<ServiceStats>,
+    /// The dataset's profile (for `profile`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile: Option<serde_json::Value>,
+    /// The recommended pipeline with its reasoning trace (for
+    /// `recommend`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recommendation: Option<serde_json::Value>,
     /// Per-request timing (on every served request).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub timing: Option<ServeTiming>,
@@ -293,10 +339,84 @@ mod unit_tests {
                        "explainer": "beam", "point": 0, "dim": 2}"#;
         let req: Request = serde_json::from_str(line).unwrap();
         match req.body {
-            RequestBody::Explain { point, dim, .. } => {
+            RequestBody::Explain {
+                point,
+                dim,
+                pipeline,
+                ..
+            } => {
                 assert_eq!(point, 0);
                 assert_eq!(dim, 2);
+                assert_eq!(pipeline, None);
             }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_explain_requests_serialize_without_new_fields() {
+        let req = Request {
+            id: 2,
+            body: RequestBody::Explain {
+                dataset: "toy".into(),
+                detector: "lof".into(),
+                explainer: "beam".into(),
+                pipeline: None,
+                point: 0,
+                dim: 2,
+            },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(!json.contains("pipeline"), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn inline_pipeline_requests_parse() {
+        let line = r#"{"id": 6, "op": "summarize", "dataset": "toy",
+                       "pipeline": "lookout:budget=3+lof", "points": [1, 2], "dim": 2}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        match req.body {
+            RequestBody::Summarize {
+                detector,
+                explainer,
+                pipeline,
+                ..
+            } => {
+                assert!(detector.is_empty());
+                assert!(explainer.is_empty());
+                assert_eq!(pipeline, Some(serde_json::json!("lookout:budget=3+lof")));
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_and_recommend_requests_parse() {
+        let req: Request =
+            serde_json::from_str(r#"{"id": 7, "op": "profile", "dataset": "hics14"}"#).unwrap();
+        assert_eq!(
+            req.body,
+            RequestBody::Profile {
+                dataset: "hics14".into()
+            }
+        );
+        let req: Request =
+            serde_json::from_str(r#"{"id": 8, "op": "recommend", "dataset": "hics14"}"#).unwrap();
+        assert_eq!(
+            req.body,
+            RequestBody::Recommend {
+                dataset: "hics14".into(),
+                task: "point".into(),
+            }
+        );
+        let req: Request = serde_json::from_str(
+            r#"{"id": 9, "op": "recommend", "dataset": "hics14", "task": "summary"}"#,
+        )
+        .unwrap();
+        match req.body {
+            RequestBody::Recommend { task, .. } => assert_eq!(task, "summary"),
             other => panic!("wrong body: {other:?}"),
         }
     }

@@ -36,9 +36,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Registry key: one fitted model per (dataset, detector, subspace).
 ///
-/// The detector component must be a **canonical** description including
-/// every hyper-parameter and seed (e.g. `"lof:k=15"`), since two
+/// The detector component is stored in **canonical** form — every
+/// hyper-parameter and seed spelled out (e.g. `"lof:k=15"`), since two
 /// configurations of the same algorithm fit different models.
+/// [`ModelKey::new`] canonicalizes recognizable detector specs itself,
+/// so semantically-equal spellings (`"lof"`, `"LOF:k=15"`,
+/// `"lof:k=15"`) alias to **one** fitted-model slot instead of fitting
+/// the same model once per spelling.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelKey {
     /// Registered dataset name.
@@ -50,18 +54,41 @@ pub struct ModelKey {
 }
 
 impl ModelKey {
-    /// Builds a key from its three components.
+    /// Builds a key from its three components. The detector string is
+    /// canonicalized through the shared `anomex-spec` grammar when it
+    /// parses as one of the paper detectors; unrecognized strings
+    /// (fallback detectors, custom names) are kept verbatim.
     #[must_use]
     pub fn new(
         dataset: impl Into<String>,
         detector: impl Into<String>,
         subspace: Subspace,
     ) -> Self {
+        let detector = detector.into();
+        let detector = match anomex_spec::DetectorSpec::parse(&detector) {
+            Ok(spec) => spec.canonical(),
+            Err(_) => detector,
+        };
         ModelKey {
             dataset: dataset.into(),
-            detector: detector.into(),
+            detector,
             subspace,
         }
+    }
+
+    /// The 64-bit FNV-1a fingerprint of the key's canonical
+    /// `dataset/detector/subspace` rendering — a compact stable id for
+    /// logs and cache diagnostics.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let features: Vec<String> = self.subspace.iter().map(|f| f.to_string()).collect();
+        let rendering = format!(
+            "{}/{}/[{}]",
+            self.dataset,
+            self.detector,
+            features.join(",")
+        );
+        anomex_spec::fnv1a64(rendering.as_bytes())
     }
 }
 
@@ -400,6 +427,35 @@ mod unit_tests {
         assert_eq!(stats.fits, 1);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn equivalent_detector_spellings_share_one_slot() {
+        let ds = toy();
+        let lof = Lof::new(15).unwrap();
+        let reg = ModelRegistry::new();
+        let sub = Subspace::new([0usize, 1]);
+        // All four spellings are the same configuration — one fit total.
+        let spellings = ["lof", "LOF", "lof:k=15", "LOF:K=15"];
+        for spelling in spellings {
+            let key = ModelKey::new("toy", spelling, sub.clone());
+            assert_eq!(key.detector, "lof:k=15", "{spelling}");
+            let _ = reg.get_or_fit(&key, &ds, &lof);
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.fits, 1, "aliased keys refit the same model");
+        assert_eq!(stats.hits, 3);
+
+        // Fingerprints separate keys exactly as equality does.
+        let a = ModelKey::new("toy", "lof", sub.clone());
+        let b = ModelKey::new("toy", "lof:k=15", sub.clone());
+        let c = ModelKey::new("toy", "lof:k=5", sub);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // Unrecognized detector strings pass through verbatim.
+        let fallback = ModelKey::new("toy", "loda:p=10,s=7", Subspace::new([0usize]));
+        assert_eq!(fallback.detector, "loda:p=10,s=7");
     }
 
     #[test]

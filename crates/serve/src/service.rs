@@ -20,12 +20,12 @@ use crate::protocol::{
 };
 use crate::registry::{ModelKey, ModelRegistry};
 use anomex_core::{
-    Beam, ExplainerKind, ExplanationEngine, Hics, LookOut, RankedSubspaces, RefOut, RunSpec,
-    RunStats, ScoreCache,
+    ExplainerKind, ExplanationEngine, RankedSubspaces, RunSpec, RunStats, ScoreCache,
 };
 use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
 use anomex_dataset::{Dataset, Subspace};
-use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Lof};
+use anomex_detectors::{build_detector, Detector};
+use anomex_spec::{DatasetRef, DetectorSpec, ExplainerSpec, PipelineSpec, RecommendTask};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
@@ -65,6 +65,8 @@ struct Outcome {
     explanation: Option<Vec<RankedEntry>>,
     dataset: Option<DatasetInfo>,
     service: Option<ServiceStats>,
+    profile: Option<serde_json::Value>,
+    recommendation: Option<serde_json::Value>,
     run: Option<RunStats>,
 }
 
@@ -210,6 +212,8 @@ impl ExplanationService {
                 resp.explanation = outcome.explanation;
                 resp.dataset = outcome.dataset;
                 resp.service = outcome.service;
+                resp.profile = outcome.profile;
+                resp.recommendation = outcome.recommendation;
                 resp.timing = Some(timing);
                 resp
             }
@@ -290,12 +294,14 @@ impl ExplanationService {
                 dataset,
                 detector,
                 explainer,
+                pipeline,
                 point,
                 dim,
             } => {
                 let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
-                let (canonical, det) = parse_detector(detector).map_err(&unknown_spec)?;
-                let kind = parse_explainer(explainer).map_err(unknown_spec)?;
+                let (canonical, det, kind) =
+                    resolve_pipeline(detector, explainer, pipeline.as_ref())
+                        .map_err(unknown_spec)?;
                 check_point(&ds, *point).map_err(&bad_request)?;
                 check_dim(&ds, *dim).map_err(bad_request)?;
                 self.run_engine(
@@ -312,12 +318,14 @@ impl ExplanationService {
                 dataset,
                 detector,
                 explainer,
+                pipeline,
                 points,
                 dim,
             } => {
                 let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
-                let (canonical, det) = parse_detector(detector).map_err(&unknown_spec)?;
-                let kind = parse_explainer(explainer).map_err(unknown_spec)?;
+                let (canonical, det, kind) =
+                    resolve_pipeline(detector, explainer, pipeline.as_ref())
+                        .map_err(unknown_spec)?;
                 if points.is_empty() {
                     return Err(bad_request(
                         "summarize needs at least one point".to_string(),
@@ -328,6 +336,30 @@ impl ExplanationService {
                 }
                 check_dim(&ds, *dim).map_err(bad_request)?;
                 self.run_engine(dataset, &canonical, &ds, det.as_ref(), &kind, points, *dim)
+            }
+            RequestBody::Profile { dataset } => {
+                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let profile = anomex_core::profile_dataset(&ds);
+                Ok(Outcome {
+                    profile: Some(
+                        spec_json_to_value(&profile.to_json())
+                            .map_err(ServiceError::of(ErrorCode::Internal))?,
+                    ),
+                    ..Outcome::default()
+                })
+            }
+            RequestBody::Recommend { dataset, task } => {
+                let task = RecommendTask::parse(task).map_err(bad_request)?;
+                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let profile = anomex_core::profile_dataset(&ds);
+                let rec = anomex_spec::recommend(&profile, task);
+                Ok(Outcome {
+                    recommendation: Some(
+                        spec_json_to_value(&rec.to_json())
+                            .map_err(ServiceError::of(ErrorCode::Internal))?,
+                    ),
+                    ..Outcome::default()
+                })
             }
             RequestBody::Stats => Ok(Outcome {
                 service: Some(self.stats()),
@@ -530,183 +562,95 @@ fn check_subspace(ds: &Dataset, features: &[usize]) -> Result<Subspace, String> 
     Ok(Subspace::new(features.iter().copied()))
 }
 
-/// Parses `hicsN[@seed]` preset names (seed defaults to 42).
+/// Parses `hicsN[@seed]` preset names (seed defaults to 42), via the
+/// canonical [`DatasetRef`] parser.
 fn parse_hics_name(name: &str) -> Option<(HicsPreset, u64)> {
-    let rest = name.strip_prefix("hics")?;
-    let (dims, seed) = match rest.split_once('@') {
-        Some((dims, seed)) => (dims, seed.parse::<u64>().ok()?),
-        None => (rest, 42),
-    };
-    let preset = match dims {
-        "14" => HicsPreset::D14,
-        "23" => HicsPreset::D23,
-        "39" => HicsPreset::D39,
-        "70" => HicsPreset::D70,
-        "100" => HicsPreset::D100,
-        _ => return None,
-    };
-    Some((preset, seed))
-}
-
-/// Splits `key=value,key=value` parameter lists.
-fn parse_kv(params: &str) -> Result<Vec<(String, String)>, String> {
-    if params.is_empty() {
-        return Ok(Vec::new());
+    match DatasetRef::parse(name) {
+        DatasetRef::Synthetic { dims, seed } => {
+            let preset = match dims {
+                14 => HicsPreset::D14,
+                23 => HicsPreset::D23,
+                39 => HicsPreset::D39,
+                70 => HicsPreset::D70,
+                100 => HicsPreset::D100,
+                _ => return None,
+            };
+            Some((preset, seed))
+        }
+        DatasetRef::Named(_) => None,
     }
-    params
-        .split(',')
-        .map(|pair| {
-            let (k, v) = pair
-                .split_once('=')
-                .ok_or_else(|| format!("malformed parameter '{pair}' (expected key=value)"))?;
-            Ok((k.trim().to_string(), v.trim().to_string()))
-        })
-        .collect()
-}
-
-fn parse_usize(key: &str, value: &str) -> Result<usize, String> {
-    value
-        .parse::<usize>()
-        .map_err(|_| format!("parameter '{key}' must be a non-negative integer, got '{value}'"))
-}
-
-fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
-    value
-        .parse::<u64>()
-        .map_err(|_| format!("parameter '{key}' must be a non-negative integer, got '{value}'"))
 }
 
 /// Parses a detector spec (`"lof"`, `"lof:k=5"`,
 /// `"iforest:trees=50,psi=128,reps=2,seed=7"`, `"abod:k=10"`,
-/// `"knndist:k=5"`) into its **canonical** description — every
-/// hyper-parameter spelled out, so equivalent specs share registry and
-/// cache entries — plus the configured detector.
+/// `"knndist:k=5"`, or a `DetectorSpec` JSON object) into its
+/// **canonical** description — every hyper-parameter spelled out, so
+/// equivalent specs share registry and cache entries — plus the
+/// configured detector. Parsing and construction both go through
+/// `anomex-spec`, so the wire grammar is the one the whole workspace
+/// shares.
 ///
 /// # Errors
 /// On unknown detector names, unknown parameters, or invalid values.
 pub fn parse_detector(spec: &str) -> Result<(String, Box<dyn Detector>), String> {
-    let spec = spec.trim();
-    let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
-    let kv = parse_kv(params)?;
-    match name.trim().to_ascii_lowercase().as_str() {
-        "lof" => {
-            let mut k = 15usize;
-            for (key, value) in &kv {
-                match key.as_str() {
-                    "k" => k = parse_usize(key, value)?,
-                    _ => return Err(format!("unknown lof parameter '{key}'")),
-                }
-            }
-            let det = Lof::new(k).map_err(|e| e.to_string())?;
-            Ok((format!("lof:k={k}"), Box::new(det)))
-        }
-        "abod" | "fastabod" => {
-            let mut k = 10usize;
-            for (key, value) in &kv {
-                match key.as_str() {
-                    "k" => k = parse_usize(key, value)?,
-                    _ => return Err(format!("unknown abod parameter '{key}'")),
-                }
-            }
-            let det = FastAbod::new(k).map_err(|e| e.to_string())?;
-            Ok((format!("abod:k={k}"), Box::new(det)))
-        }
-        "knndist" | "knn" => {
-            let mut k = 5usize;
-            for (key, value) in &kv {
-                match key.as_str() {
-                    "k" => k = parse_usize(key, value)?,
-                    _ => return Err(format!("unknown knndist parameter '{key}'")),
-                }
-            }
-            let det = KnnDist::new(k).map_err(|e| e.to_string())?;
-            Ok((format!("knndist:k={k}"), Box::new(det)))
-        }
-        "iforest" => {
-            let (mut trees, mut psi, mut reps, mut seed) = (100usize, 256usize, 10usize, 0u64);
-            for (key, value) in &kv {
-                match key.as_str() {
-                    "trees" => trees = parse_usize(key, value)?,
-                    "psi" => psi = parse_usize(key, value)?,
-                    "reps" => reps = parse_usize(key, value)?,
-                    "seed" => seed = parse_u64(key, value)?,
-                    _ => return Err(format!("unknown iforest parameter '{key}'")),
-                }
-            }
-            let det = IsolationForest::builder()
-                .trees(trees)
-                .subsample(psi)
-                .repetitions(reps)
-                .seed(seed)
-                .build()
-                .map_err(|e| e.to_string())?;
-            Ok((
-                format!("iforest:trees={trees},psi={psi},reps={reps},seed={seed}"),
-                Box::new(det),
-            ))
-        }
-        other => Err(format!(
-            "unknown detector '{other}' (expected lof, abod, iforest or knndist)"
-        )),
-    }
+    let parsed = DetectorSpec::parse(spec)?;
+    let det = build_detector(&parsed).map_err(|e| e.to_string())?;
+    Ok((parsed.canonical(), det))
 }
 
 /// Parses an explainer spec (`"beam"`, `"refout[:seed=s]"`,
-/// `"lookout[:budget=b]"`, `"hics[:seed=s]"`).
+/// `"lookout[:budget=b]"`, `"hics[:seed=s]"`, or an `ExplainerSpec`
+/// JSON object) through the shared `anomex-spec` grammar.
 ///
 /// # Errors
 /// On unknown explainer names, unknown parameters, or invalid values.
 pub fn parse_explainer(spec: &str) -> Result<ExplainerKind, String> {
-    let spec = spec.trim();
-    let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
-    let kv = parse_kv(params)?;
-    match name.trim().to_ascii_lowercase().as_str() {
-        "beam" => {
-            if let Some((key, _)) = kv.first() {
-                return Err(format!("unknown beam parameter '{key}'"));
+    ExplainerKind::from_spec(&ExplainerSpec::parse(spec)?)
+}
+
+/// Resolves the (canonical detector, detector, explainer) triple of an
+/// explain/summarize request: either the legacy separate `detector` /
+/// `explainer` strings, or an inline `pipeline` spec (compact string or
+/// JSON object) — but not both.
+fn resolve_pipeline(
+    detector: &str,
+    explainer: &str,
+    pipeline: Option<&serde_json::Value>,
+) -> Result<(String, Box<dyn Detector>, ExplainerKind), String> {
+    match pipeline {
+        Some(value) => {
+            if !detector.is_empty() || !explainer.is_empty() {
+                return Err(
+                    "request carries both 'pipeline' and 'detector'/'explainer' specs".to_string(),
+                );
             }
-            Ok(ExplainerKind::Point(Box::new(Beam::new())))
+            let text = match value {
+                serde_json::Value::String(compact) => compact.clone(),
+                object => object.to_string(),
+            };
+            let spec = PipelineSpec::parse(&text)?;
+            let det = build_detector(&spec.detector).map_err(|e| e.to_string())?;
+            let kind = ExplainerKind::from_spec(&spec.explainer)?;
+            Ok((spec.detector.canonical(), det, kind))
         }
-        "refout" => {
-            let mut refout = RefOut::new();
-            for (key, value) in &kv {
-                match key.as_str() {
-                    "seed" => refout = refout.seed(parse_u64(key, value)?),
-                    _ => return Err(format!("unknown refout parameter '{key}'")),
-                }
+        None => {
+            if detector.is_empty() || explainer.is_empty() {
+                return Err(
+                    "request needs 'detector' and 'explainer' specs (or an inline 'pipeline')"
+                        .to_string(),
+                );
             }
-            Ok(ExplainerKind::Point(Box::new(refout)))
+            let (canonical, det) = parse_detector(detector)?;
+            let kind = parse_explainer(explainer)?;
+            Ok((canonical, det, kind))
         }
-        "lookout" => {
-            let mut lookout = LookOut::new();
-            for (key, value) in &kv {
-                match key.as_str() {
-                    "budget" => {
-                        let b = parse_usize(key, value)?;
-                        if b == 0 {
-                            return Err("lookout budget must be positive".to_string());
-                        }
-                        lookout = lookout.budget(b);
-                    }
-                    _ => return Err(format!("unknown lookout parameter '{key}'")),
-                }
-            }
-            Ok(ExplainerKind::Summary(Box::new(lookout)))
-        }
-        "hics" => {
-            let mut hics = Hics::new();
-            for (key, value) in &kv {
-                match key.as_str() {
-                    "seed" => hics = hics.seed(parse_u64(key, value)?),
-                    _ => return Err(format!("unknown hics parameter '{key}'")),
-                }
-            }
-            Ok(ExplainerKind::Summary(Box::new(hics)))
-        }
-        other => Err(format!(
-            "unknown explainer '{other}' (expected beam, refout, lookout or hics)"
-        )),
     }
+}
+
+/// Re-encodes an `anomex-spec` JSON value as a `serde_json` value for
+/// the wire (the spec crate is std-only and carries its own JSON type).
+fn spec_json_to_value(json: &anomex_spec::Json) -> Result<serde_json::Value, String> {
+    serde_json::from_str(&json.emit()).map_err(|e| format!("profile serialization failed: {e}"))
 }
 
 #[cfg(test)]
@@ -754,6 +698,70 @@ mod unit_tests {
         ));
         assert!(parse_explainer("lookout:budget=0").is_err());
         assert!(parse_explainer("shap").is_err());
+    }
+
+    #[test]
+    fn inline_pipeline_specs_resolve() {
+        let (canon, _, kind) =
+            resolve_pipeline("", "", Some(&serde_json::json!("beam+lof:k=3"))).unwrap();
+        assert_eq!(canon, "lof:k=3");
+        assert!(matches!(kind, ExplainerKind::Point(_)));
+
+        let obj = serde_json::json!({
+            "detector": {"kind": "lof", "k": 3},
+            "explainer": {"kind": "lookout", "budget": 2},
+        });
+        let (canon, _, kind) = resolve_pipeline("", "", Some(&obj)).unwrap();
+        assert_eq!(canon, "lof:k=3");
+        assert!(matches!(kind, ExplainerKind::Summary(_)));
+
+        // Both forms at once are ambiguous; neither form is an error.
+        assert!(resolve_pipeline("lof", "", Some(&serde_json::json!("beam+lof"))).is_err());
+        assert!(resolve_pipeline("lof", "", None).is_err());
+        assert!(resolve_pipeline("", "", None).is_err());
+    }
+
+    #[test]
+    fn profile_and_recommend_ops_serve_json() {
+        let svc = service_with_toy();
+        let out = svc
+            .execute(&RequestBody::Profile {
+                dataset: "toy".into(),
+            })
+            .unwrap();
+        let profile = out.profile.expect("profile payload");
+        assert_eq!(profile["n_rows"], 21);
+        assert_eq!(profile["n_features"], 2);
+
+        let out = svc
+            .execute(&RequestBody::Recommend {
+                dataset: "toy".into(),
+                task: "point".into(),
+            })
+            .unwrap();
+        let rec = out.recommendation.expect("recommendation payload");
+        // 2 features: a point task on a low-dimensional dataset is Beam+LOF.
+        assert_eq!(
+            rec["compact"],
+            "beam:width=100,results=100,fx=true+lof:k=15"
+        );
+        let trace = rec["trace"].as_array().expect("reasoning trace");
+        assert!(trace.iter().any(|t| t["fired"] == true), "{trace:?}");
+
+        let err = svc
+            .execute(&RequestBody::Recommend {
+                dataset: "toy".into(),
+                task: "banana".into(),
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+
+        let err = svc
+            .execute(&RequestBody::Profile {
+                dataset: "missing".into(),
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownDataset);
     }
 
     #[test]
@@ -812,6 +820,7 @@ mod unit_tests {
                 dataset: "toy".into(),
                 detector: "lof".into(),
                 explainer: "shap".into(),
+                pipeline: None,
                 point: 0,
                 dim: 1,
             }),
@@ -822,6 +831,7 @@ mod unit_tests {
                 dataset: "toy".into(),
                 detector: "lof".into(),
                 explainer: "lookout".into(),
+                pipeline: None,
                 points: vec![],
                 dim: 1,
             }),
@@ -875,6 +885,7 @@ mod unit_tests {
                 dataset: "toy".into(),
                 detector: "lof:k=3".into(),
                 explainer: "beam".into(),
+                pipeline: None,
                 point: 20,
                 dim: 2,
             },
@@ -916,6 +927,7 @@ mod unit_tests {
                 dataset: "one".into(),
                 detector: "lof:k=3".into(),
                 explainer: "beam".into(),
+                pipeline: None,
                 point: 0,
                 dim: 1,
             },

@@ -136,6 +136,7 @@ fn served_explanation_is_bit_identical_to_a_direct_engine_run() {
                 dataset: "planted".into(),
                 detector: "lof:k=10".into(),
                 explainer: spec.into(),
+                pipeline: None,
                 point: outlier,
                 dim: 2,
             },
@@ -161,6 +162,107 @@ fn served_explanation_is_bit_identical_to_a_direct_engine_run() {
         // The best-ranked subspace finds the planted pair.
         assert_eq!(served[0].subspace, vec![0, 1], "{spec}");
     }
+}
+
+/// Drops the per-request timing (queue/exec micros vary run to run) so
+/// the remaining payload can be compared bit-for-bit as serialized JSON.
+fn wire_payload(resp: &anomex_serve::protocol::Response) -> String {
+    let mut stripped = resp.clone();
+    stripped.timing = None;
+    serde_json::to_string(&stripped).unwrap()
+}
+
+#[test]
+fn inline_pipeline_requests_match_the_legacy_wire_bit_for_bit() {
+    let ds = planted();
+    let outlier = ds.n_rows() - 1;
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("planted", planted()).unwrap();
+    let handle = ServeHandle::start(svc, BatchConfig::default(), None);
+
+    // The exact line an old client sends, byte for byte.
+    let legacy_line = format!(
+        r#"{{"id":7,"op":"explain","dataset":"planted","detector":"lof:k=10","explainer":"beam","point":{outlier},"dim":2}}"#
+    );
+    let legacy = handle
+        .submit_line(&legacy_line)
+        .expect("non-blank line")
+        .resolve();
+    assert!(legacy.ok, "{:?}", legacy.error);
+    assert!(legacy.explanation.is_some());
+
+    // The same pipeline as one inline spec value: compact string form
+    // and canonical JSON object form.
+    for pipeline in [
+        serde_json::json!("beam+lof:k=10"),
+        serde_json::json!({
+            "explainer": {"kind": "beam"},
+            "detector": {"kind": "lof", "k": 10},
+        }),
+    ] {
+        let inline = handle.roundtrip(Request {
+            id: 7,
+            body: RequestBody::Explain {
+                dataset: "planted".into(),
+                detector: String::new(),
+                explainer: String::new(),
+                pipeline: Some(pipeline.clone()),
+                point: outlier,
+                dim: 2,
+            },
+        });
+        assert!(inline.ok, "{pipeline}: {:?}", inline.error);
+        assert_eq!(
+            wire_payload(&inline),
+            wire_payload(&legacy),
+            "{pipeline}: inline pipeline drifted from the legacy wire"
+        );
+    }
+}
+
+#[test]
+fn inline_pipeline_summaries_match_legacy_spec_strings() {
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("planted", planted()).unwrap();
+    let handle = ServeHandle::start(svc, BatchConfig::default(), None);
+
+    let legacy = handle.roundtrip(Request {
+        id: 11,
+        body: RequestBody::Summarize {
+            dataset: "planted".into(),
+            detector: "lof:k=10".into(),
+            explainer: "lookout:budget=2".into(),
+            pipeline: None,
+            points: vec![0, 40, 80],
+            dim: 2,
+        },
+    });
+    assert!(legacy.ok, "{:?}", legacy.error);
+    let fits_after_legacy = handle.service().registry().stats().fits;
+
+    let inline = handle.roundtrip(Request {
+        id: 11,
+        body: RequestBody::Summarize {
+            dataset: "planted".into(),
+            detector: String::new(),
+            explainer: String::new(),
+            pipeline: Some(serde_json::json!("lookout:budget=2+lof:k=10")),
+            points: vec![0, 40, 80],
+            dim: 2,
+        },
+    });
+    assert!(inline.ok, "{:?}", inline.error);
+    assert_eq!(
+        wire_payload(&inline),
+        wire_payload(&legacy),
+        "inline summarize pipeline drifted from the legacy wire"
+    );
+    // Both spellings hit the same fitted-model slots: no extra fits.
+    let stats = handle.service().registry().stats();
+    assert_eq!(
+        stats.fits, fits_after_legacy,
+        "equivalent specs refit already-fitted models"
+    );
 }
 
 #[test]
@@ -257,6 +359,7 @@ fn overload_is_rejected_not_buffered() {
             dataset: "hics14".into(),
             detector: "lof:k=15".into(),
             explainer: "lookout:budget=2".into(),
+            pipeline: None,
             points: vec![0, 1, 2],
             dim: 2,
         },

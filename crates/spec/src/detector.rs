@@ -1,0 +1,294 @@
+//! Typed detector configurations.
+//!
+//! A [`DetectorSpec`] is the canonical, versionable description of one
+//! detector configuration — the paper's three detectors (§2.1) plus the
+//! kNN-distance baseline. Its [`canonical`](DetectorSpec::canonical)
+//! rendering is **exactly** the wire string `anomex-serve` has always
+//! used as its registry/cache key (`"lof:k=15"`,
+//! `"iforest:trees=100,psi=256,reps=10,seed=0"`), so adopting the spec
+//! layer changes no persisted key and no served response.
+
+use crate::json::Json;
+use crate::params::{parse_compact, ParamReader};
+
+/// One detector configuration. Every variant spells out its complete
+/// hyper-parameter set; parsing fills omitted fields with the paper's
+/// defaults, so two spec texts that differ only in elided defaults or
+/// parameter order canonicalize — and fingerprint — identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorSpec {
+    /// Local Outlier Factor (paper default `k = 15`).
+    Lof {
+        /// Neighborhood size.
+        k: usize,
+    },
+    /// Fast Angle-Based Outlier Detection (paper default `k = 10`).
+    FastAbod {
+        /// Neighborhood size.
+        k: usize,
+    },
+    /// Average k-nearest-neighbor distance (default `k = 5`).
+    KnnDist {
+        /// Neighborhood size.
+        k: usize,
+    },
+    /// Isolation Forest (paper defaults `t = 100`, `ψ = 256`, 10
+    /// repetitions, seed 0).
+    IsolationForest {
+        /// Number of trees per repetition.
+        trees: usize,
+        /// Subsample size ψ per tree.
+        psi: usize,
+        /// Score repetitions averaged.
+        reps: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl DetectorSpec {
+    /// Paper-default LOF.
+    #[must_use]
+    pub fn lof() -> Self {
+        DetectorSpec::Lof { k: 15 }
+    }
+
+    /// Paper-default Fast ABOD.
+    #[must_use]
+    pub fn fast_abod() -> Self {
+        DetectorSpec::FastAbod { k: 10 }
+    }
+
+    /// Default kNN-distance detector.
+    #[must_use]
+    pub fn knn_dist() -> Self {
+        DetectorSpec::KnnDist { k: 5 }
+    }
+
+    /// Paper-default Isolation Forest with the given seed.
+    #[must_use]
+    pub fn iforest(seed: u64) -> Self {
+        DetectorSpec::IsolationForest {
+            trees: 100,
+            psi: 256,
+            reps: 10,
+            seed,
+        }
+    }
+
+    /// The algorithm tag used in canonical encodings.
+    #[must_use]
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            DetectorSpec::Lof { .. } => "lof",
+            DetectorSpec::FastAbod { .. } => "abod",
+            DetectorSpec::KnnDist { .. } => "knndist",
+            DetectorSpec::IsolationForest { .. } => "iforest",
+        }
+    }
+
+    /// The canonical compact encoding: algorithm tag plus **every**
+    /// hyper-parameter in fixed order — byte-identical to the registry
+    /// key strings `anomex-serve` has used since PR 3.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            DetectorSpec::Lof { k } => format!("lof:k={k}"),
+            DetectorSpec::FastAbod { k } => format!("abod:k={k}"),
+            DetectorSpec::KnnDist { k } => format!("knndist:k={k}"),
+            DetectorSpec::IsolationForest {
+                trees,
+                psi,
+                reps,
+                seed,
+            } => {
+                format!("iforest:trees={trees},psi={psi},reps={reps},seed={seed}")
+            }
+        }
+    }
+
+    /// The canonical JSON object form, keys in canonical order.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind".to_string(), Json::Str(self.algorithm().to_string()))];
+        match self {
+            DetectorSpec::Lof { k }
+            | DetectorSpec::FastAbod { k }
+            | DetectorSpec::KnnDist { k } => {
+                fields.push(("k".to_string(), Json::num_usize(*k)));
+            }
+            DetectorSpec::IsolationForest {
+                trees,
+                psi,
+                reps,
+                seed,
+            } => {
+                fields.push(("trees".to_string(), Json::num_usize(*trees)));
+                fields.push(("psi".to_string(), Json::num_usize(*psi)));
+                fields.push(("reps".to_string(), Json::num_usize(*reps)));
+                fields.push(("seed".to_string(), Json::num_u64(*seed)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// The stable 64-bit fingerprint of the canonical encoding —
+    /// invariant under parameter reordering and default elision.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// Parses a compact spec (`"lof"`, `"LOF:k=5"`,
+    /// `"iforest:seed=7,trees=50"`) or, when the text starts with `{`,
+    /// the JSON object form. Accepted algorithm aliases match the
+    /// historical serve wire: `fastabod` → `abod`, `knn` → `knndist`.
+    ///
+    /// # Errors
+    /// On unknown algorithms, unknown parameters, or malformed values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.starts_with('{') {
+            return Self::from_json(&crate::json::parse(text)?);
+        }
+        let (name, params) = parse_compact(text)?;
+        Self::from_parts(&name, ParamReader::new(params))
+    }
+
+    /// Parses the JSON object form (`{"kind": "lof", "k": 5}`). A bare
+    /// JSON string is accepted as the compact form for symmetry.
+    ///
+    /// # Errors
+    /// On missing/unknown `kind`, unknown fields, or malformed values.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        if let Json::Str(compact) = value {
+            return Self::parse(compact);
+        }
+        let Json::Obj(fields) = value else {
+            return Err("detector spec must be an object or a string".to_string());
+        };
+        let mut kind = None;
+        let mut params: Vec<(String, String)> = Vec::new();
+        for (key, v) in fields {
+            if key == "kind" || key == "name" {
+                kind = Some(
+                    v.as_str()
+                        .ok_or_else(|| "detector 'kind' must be a string".to_string())?
+                        .to_string(),
+                );
+            } else {
+                params.push((key.clone(), json_param(v)?));
+            }
+        }
+        let kind = kind.ok_or_else(|| "detector spec is missing 'kind'".to_string())?;
+        Self::from_parts(&kind, ParamReader::new(params))
+    }
+
+    fn from_parts(name: &str, mut params: ParamReader) -> Result<Self, String> {
+        let spec = match name.trim().to_ascii_lowercase().as_str() {
+            "lof" => DetectorSpec::Lof {
+                k: params.take_usize(&["k"], 15)?,
+            },
+            "abod" | "fastabod" => DetectorSpec::FastAbod {
+                k: params.take_usize(&["k"], 10)?,
+            },
+            "knndist" | "knn" => DetectorSpec::KnnDist {
+                k: params.take_usize(&["k"], 5)?,
+            },
+            "iforest" => DetectorSpec::IsolationForest {
+                trees: params.take_usize(&["trees"], 100)?,
+                psi: params.take_usize(&["psi"], 256)?,
+                reps: params.take_usize(&["reps"], 10)?,
+                seed: params.take_u64(&["seed"], 0)?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown detector '{other}' (expected lof, abod, iforest or knndist)"
+                ))
+            }
+        };
+        params.finish(spec.algorithm())?;
+        Ok(spec)
+    }
+}
+
+/// Renders one JSON parameter value back to compact-token text.
+pub(crate) fn json_param(v: &Json) -> Result<String, String> {
+    match v {
+        Json::Num(raw) => Ok(raw.clone()),
+        Json::Str(s) => Ok(s.clone()),
+        Json::Bool(b) => Ok(b.to_string()),
+        other => Err(format!("unsupported parameter value {}", other.emit())),
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn canonical_matches_historical_wire_strings() {
+        assert_eq!(DetectorSpec::parse("lof").unwrap().canonical(), "lof:k=15");
+        assert_eq!(
+            DetectorSpec::parse("LOF:k=5").unwrap().canonical(),
+            "lof:k=5"
+        );
+        assert_eq!(
+            DetectorSpec::parse("fastabod").unwrap().canonical(),
+            "abod:k=10"
+        );
+        assert_eq!(
+            DetectorSpec::parse("knn:k=3").unwrap().canonical(),
+            "knndist:k=3"
+        );
+        assert_eq!(
+            DetectorSpec::parse("iforest:trees=50,seed=7")
+                .unwrap()
+                .canonical(),
+            "iforest:trees=50,psi=256,reps=10,seed=7"
+        );
+    }
+
+    #[test]
+    fn param_order_and_elision_do_not_change_the_fingerprint() {
+        let a = DetectorSpec::parse("iforest:seed=7,trees=50").unwrap();
+        let b = DetectorSpec::parse("iforest:trees=50,psi=256,reps=10,seed=7").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = DetectorSpec::parse("iforest:seed=8,trees=50").unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn json_form_round_trips() {
+        for compact in [
+            "lof:k=15",
+            "abod:k=10",
+            "knndist:k=5",
+            "iforest:trees=100,psi=256,reps=10,seed=0",
+        ] {
+            let spec = DetectorSpec::parse(compact).unwrap();
+            let back = DetectorSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec);
+            let reparsed = DetectorSpec::parse(&spec.to_json().emit()).unwrap();
+            assert_eq!(reparsed, spec);
+        }
+    }
+
+    #[test]
+    fn json_field_order_is_irrelevant() {
+        let a = DetectorSpec::parse(r#"{"kind": "iforest", "seed": 7, "trees": 50}"#).unwrap();
+        let b = DetectorSpec::parse(r#"{"trees": 50, "seed": 7, "kind": "iforest"}"#).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(DetectorSpec::parse("svm").is_err());
+        assert!(DetectorSpec::parse("lof:q=1").is_err());
+        assert!(DetectorSpec::parse("lof:k=nope").is_err());
+        assert!(DetectorSpec::parse(r#"{"k": 5}"#).is_err());
+        assert!(DetectorSpec::parse(r#"{"kind": "lof", "q": 1}"#).is_err());
+    }
+}

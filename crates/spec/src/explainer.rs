@@ -1,0 +1,367 @@
+//! Typed explainer configurations.
+//!
+//! An [`ExplainerSpec`] covers the paper's four explanation algorithms:
+//! the two point explainers (Beam, RefOut) and the two summarizers
+//! (LookOut, HiCS retrieval). Parsing accepts every explainer string
+//! `anomex-serve` has historically spoken (`"beam"`, `"refout:seed=3"`,
+//! `"lookout:budget=5"`, `"hics:seed=1"`) plus the full parameter set
+//! the builders in `anomex-core` expose, with defaults mirroring those
+//! builders exactly.
+
+use crate::detector::json_param;
+use crate::json::Json;
+use crate::params::{parse_compact, ParamReader};
+
+/// One explainer configuration. Variants carry their complete
+/// spec-visible parameter set; fields not listed here (RefOut's pool
+/// dimension fraction, HiCS's `alpha` and statistical test) stay at
+/// the library defaults and are deliberately outside the spec schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplainerSpec {
+    /// Beam subspace search (point explainer).
+    Beam {
+        /// Beam width per dimensionality stage.
+        width: usize,
+        /// Ranked subspaces retained.
+        results: usize,
+        /// Restrict results to the final stage's dimensionality.
+        fixed_dim: bool,
+    },
+    /// RefOut random-pool refinement (point explainer).
+    RefOut {
+        /// Random subspace pool size.
+        pool: usize,
+        /// Beam width for the refinement stage.
+        width: usize,
+        /// Ranked subspaces retained.
+        results: usize,
+        /// RNG seed for pool sampling.
+        seed: u64,
+    },
+    /// LookOut budgeted plot selection (summarizer).
+    LookOut {
+        /// Number of feature-pair plots selected.
+        budget: usize,
+    },
+    /// HiCS contrast-based retrieval (summarizer).
+    Hics {
+        /// Monte-Carlo contrast iterations.
+        mc: usize,
+        /// Candidate subspaces retained per stage.
+        cutoff: usize,
+        /// Ranked subspaces retained.
+        results: usize,
+        /// Restrict results to the final stage's dimensionality.
+        fixed_dim: bool,
+        /// RNG seed for the Monte-Carlo slices.
+        seed: u64,
+    },
+}
+
+impl ExplainerSpec {
+    /// Paper-default Beam.
+    #[must_use]
+    pub fn beam() -> Self {
+        ExplainerSpec::Beam {
+            width: 100,
+            results: 100,
+            fixed_dim: true,
+        }
+    }
+
+    /// Paper-default RefOut with the given seed.
+    #[must_use]
+    pub fn refout(seed: u64) -> Self {
+        ExplainerSpec::RefOut {
+            pool: 100,
+            width: 100,
+            results: 100,
+            seed,
+        }
+    }
+
+    /// Paper-default LookOut (budget 100).
+    #[must_use]
+    pub fn lookout() -> Self {
+        ExplainerSpec::LookOut { budget: 100 }
+    }
+
+    /// Paper-default HiCS retrieval with the given seed.
+    #[must_use]
+    pub fn hics(seed: u64) -> Self {
+        ExplainerSpec::Hics {
+            mc: 100,
+            cutoff: 400,
+            results: 100,
+            fixed_dim: true,
+            seed,
+        }
+    }
+
+    /// The algorithm tag used in canonical encodings.
+    #[must_use]
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            ExplainerSpec::Beam { .. } => "beam",
+            ExplainerSpec::RefOut { .. } => "refout",
+            ExplainerSpec::LookOut { .. } => "lookout",
+            ExplainerSpec::Hics { .. } => "hics",
+        }
+    }
+
+    /// Whether this explainer produces an anomaly summary (LookOut,
+    /// HiCS) rather than per-point subspace explanations (Beam,
+    /// RefOut). Mirrors `ExplainerKind` in `anomex-core`.
+    #[must_use]
+    pub fn is_summary(&self) -> bool {
+        matches!(
+            self,
+            ExplainerSpec::LookOut { .. } | ExplainerSpec::Hics { .. }
+        )
+    }
+
+    /// The canonical compact encoding: algorithm tag plus **every**
+    /// spec-visible parameter in fixed order.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            ExplainerSpec::Beam {
+                width,
+                results,
+                fixed_dim,
+            } => format!("beam:width={width},results={results},fx={fixed_dim}"),
+            ExplainerSpec::RefOut {
+                pool,
+                width,
+                results,
+                seed,
+            } => format!("refout:pool={pool},width={width},results={results},seed={seed}"),
+            ExplainerSpec::LookOut { budget } => format!("lookout:budget={budget}"),
+            ExplainerSpec::Hics {
+                mc,
+                cutoff,
+                results,
+                fixed_dim,
+                seed,
+            } => {
+                format!("hics:mc={mc},cutoff={cutoff},results={results},fx={fixed_dim},seed={seed}")
+            }
+        }
+    }
+
+    /// The canonical JSON object form, keys in canonical order.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind".to_string(), Json::Str(self.algorithm().to_string()))];
+        match self {
+            ExplainerSpec::Beam {
+                width,
+                results,
+                fixed_dim,
+            } => {
+                fields.push(("width".to_string(), Json::num_usize(*width)));
+                fields.push(("results".to_string(), Json::num_usize(*results)));
+                fields.push(("fx".to_string(), Json::Bool(*fixed_dim)));
+            }
+            ExplainerSpec::RefOut {
+                pool,
+                width,
+                results,
+                seed,
+            } => {
+                fields.push(("pool".to_string(), Json::num_usize(*pool)));
+                fields.push(("width".to_string(), Json::num_usize(*width)));
+                fields.push(("results".to_string(), Json::num_usize(*results)));
+                fields.push(("seed".to_string(), Json::num_u64(*seed)));
+            }
+            ExplainerSpec::LookOut { budget } => {
+                fields.push(("budget".to_string(), Json::num_usize(*budget)));
+            }
+            ExplainerSpec::Hics {
+                mc,
+                cutoff,
+                results,
+                fixed_dim,
+                seed,
+            } => {
+                fields.push(("mc".to_string(), Json::num_usize(*mc)));
+                fields.push(("cutoff".to_string(), Json::num_usize(*cutoff)));
+                fields.push(("results".to_string(), Json::num_usize(*results)));
+                fields.push(("fx".to_string(), Json::Bool(*fixed_dim)));
+                fields.push(("seed".to_string(), Json::num_u64(*seed)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// The stable 64-bit fingerprint of the canonical encoding —
+    /// invariant under parameter reordering and default elision.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// Parses a compact spec (`"beam"`, `"refout:seed=3"`,
+    /// `"hics:mc=50,cutoff=200"`) or, when the text starts with `{`,
+    /// the JSON object form.
+    ///
+    /// # Errors
+    /// On unknown explainers, unknown parameters, or malformed values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.starts_with('{') {
+            return Self::from_json(&crate::json::parse(text)?);
+        }
+        let (name, params) = parse_compact(text)?;
+        Self::from_parts(&name, ParamReader::new(params))
+    }
+
+    /// Parses the JSON object form (`{"kind": "beam", "width": 50}`). A
+    /// bare JSON string is accepted as the compact form for symmetry.
+    ///
+    /// # Errors
+    /// On missing/unknown `kind`, unknown fields, or malformed values.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        if let Json::Str(compact) = value {
+            return Self::parse(compact);
+        }
+        let Json::Obj(fields) = value else {
+            return Err("explainer spec must be an object or a string".to_string());
+        };
+        let mut kind = None;
+        let mut params: Vec<(String, String)> = Vec::new();
+        for (key, v) in fields {
+            if key == "kind" || key == "name" {
+                kind = Some(
+                    v.as_str()
+                        .ok_or_else(|| "explainer 'kind' must be a string".to_string())?
+                        .to_string(),
+                );
+            } else {
+                params.push((key.clone(), json_param(v)?));
+            }
+        }
+        let kind = kind.ok_or_else(|| "explainer spec is missing 'kind'".to_string())?;
+        Self::from_parts(&kind, ParamReader::new(params))
+    }
+
+    fn from_parts(name: &str, mut params: ParamReader) -> Result<Self, String> {
+        let spec = match name.trim().to_ascii_lowercase().as_str() {
+            "beam" => ExplainerSpec::Beam {
+                width: params.take_usize(&["width", "beam_width", "w"], 100)?,
+                results: params.take_usize(&["results", "result_size", "r"], 100)?,
+                fixed_dim: params.take_bool(&["fx", "fixed_dim"], true)?,
+            },
+            "refout" => ExplainerSpec::RefOut {
+                pool: params.take_usize(&["pool", "pool_size"], 100)?,
+                width: params.take_usize(&["width", "beam_width", "w"], 100)?,
+                results: params.take_usize(&["results", "result_size", "r"], 100)?,
+                seed: params.take_u64(&["seed"], 0)?,
+            },
+            "lookout" => {
+                let budget = params.take_usize(&["budget", "b"], 100)?;
+                if budget == 0 {
+                    return Err("lookout budget must be positive".to_string());
+                }
+                ExplainerSpec::LookOut { budget }
+            }
+            "hics" => ExplainerSpec::Hics {
+                mc: params.take_usize(&["mc", "monte_carlo", "monte_carlo_iterations"], 100)?,
+                cutoff: params.take_usize(&["cutoff", "candidate_cutoff"], 400)?,
+                results: params.take_usize(&["results", "result_size", "r"], 100)?,
+                fixed_dim: params.take_bool(&["fx", "fixed_dim"], true)?,
+                seed: params.take_u64(&["seed"], 0)?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown explainer '{other}' (expected beam, refout, lookout or hics)"
+                ))
+            }
+        };
+        params.finish(spec.algorithm())?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn canonical_spells_out_every_parameter() {
+        assert_eq!(
+            ExplainerSpec::parse("beam").unwrap().canonical(),
+            "beam:width=100,results=100,fx=true"
+        );
+        assert_eq!(
+            ExplainerSpec::parse("refout:seed=3").unwrap().canonical(),
+            "refout:pool=100,width=100,results=100,seed=3"
+        );
+        assert_eq!(
+            ExplainerSpec::parse("lookout:budget=5")
+                .unwrap()
+                .canonical(),
+            "lookout:budget=5"
+        );
+        assert_eq!(
+            ExplainerSpec::parse("hics:seed=1").unwrap().canonical(),
+            "hics:mc=100,cutoff=400,results=100,fx=true,seed=1"
+        );
+    }
+
+    #[test]
+    fn historical_serve_strings_still_parse() {
+        for wire in ["beam", "refout:seed=3", "lookout:budget=3", "hics:seed=9"] {
+            ExplainerSpec::parse(wire).unwrap();
+        }
+        assert_eq!(
+            ExplainerSpec::parse("lookout:budget=0").unwrap_err(),
+            "lookout budget must be positive"
+        );
+        assert_eq!(
+            ExplainerSpec::parse("shap").unwrap_err(),
+            "unknown explainer 'shap' (expected beam, refout, lookout or hics)"
+        );
+    }
+
+    #[test]
+    fn summary_flag_matches_algorithm_family() {
+        assert!(!ExplainerSpec::beam().is_summary());
+        assert!(!ExplainerSpec::refout(0).is_summary());
+        assert!(ExplainerSpec::lookout().is_summary());
+        assert!(ExplainerSpec::hics(0).is_summary());
+    }
+
+    #[test]
+    fn aliases_and_elision_keep_the_fingerprint_stable() {
+        let a = ExplainerSpec::parse("beam:beam_width=40,fx=1").unwrap();
+        let b = ExplainerSpec::parse("beam:fixed_dim=true,width=40,results=100").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = ExplainerSpec::parse("beam:width=41").unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn json_form_round_trips() {
+        for compact in [
+            "beam:width=40,results=10,fx=false",
+            "refout:pool=30,seed=7",
+            "lookout:budget=4",
+            "hics:mc=50,cutoff=200,seed=2",
+        ] {
+            let spec = ExplainerSpec::parse(compact).unwrap();
+            let back = ExplainerSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec);
+            let reparsed = ExplainerSpec::parse(&spec.to_json().emit()).unwrap();
+            assert_eq!(reparsed, spec);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_parameters() {
+        assert!(ExplainerSpec::parse("beam:k=1").is_err());
+        assert!(ExplainerSpec::parse("lookout:width=2").is_err());
+        assert!(ExplainerSpec::parse(r#"{"kind": "hics", "alpha": 0.2}"#).is_err());
+    }
+}

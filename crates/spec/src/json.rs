@@ -1,0 +1,469 @@
+//! A minimal, dependency-free JSON model for spec encoding.
+//!
+//! The spec layer needs exactly three things from JSON: parse a request
+//! fragment into a tree, look fields up by name, and emit a **canonical**
+//! rendering (fixed field order, every field spelled out) that the
+//! fingerprint can hash. `serde_json` would drag a non-std dependency
+//! into the one crate everything else depends on, so — like the stable
+//! JSON in `anomex-obs` and the hand-rolled protocol helpers in
+//! `anomex-serve` — this is written from first principles.
+//!
+//! Numbers keep their **lexical form** (`Json::Num` stores the validated
+//! token text): `u64` seeds survive round-trips bit-exactly instead of
+//! being squeezed through an `f64`, and emission is trivially stable.
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its validated lexical token (e.g. `"42"`,
+    /// `"-1.5e3"`) so integer precision is never lost.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key/value list. Order is preserved from
+    /// the source on parse and fixed by the caller on emit; lookups are
+    /// linear, which is fine at spec sizes (a handful of fields).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks a field up by name (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`: a JSON integer, or the strings `"7"` (some
+    /// clients quote numerics).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse::<u64>().ok(),
+            Json::Str(s) => s.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize` (via [`Json::as_u64`]).
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as an `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse::<f64>().ok(),
+            Json::Str(s) => s.parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool: JSON `true`/`false`, or the lenient forms
+    /// `1`/`0` and `"true"`/`"false"` used by compact param lists.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            Json::Num(raw) if raw == "1" => Some(true),
+            Json::Num(raw) if raw == "0" => Some(false),
+            Json::Str(s) => parse_bool_token(s),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON. Objects emit their fields in
+    /// stored order — canonical emitters build them in canonical order.
+    #[must_use]
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(k));
+                    out.push(':');
+                    v.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// A number node from an unsigned integer.
+    #[must_use]
+    pub fn num_u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A number node from a `usize`.
+    #[must_use]
+    pub fn num_usize(v: usize) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A number node from a finite `f64`, using Rust's shortest
+    /// round-trip formatting (non-finite values have no JSON rendering
+    /// and become `null`).
+    #[must_use]
+    pub fn num_f64(v: f64) -> Json {
+        if v.is_finite() {
+            let mut raw = format!("{v}");
+            if !raw.contains(['.', 'e', 'E']) {
+                // Keep floats lexically distinct from integers so
+                // round-trips preserve the canonical rendering.
+                raw.push_str(".0");
+            }
+            Json::Num(raw)
+        } else {
+            Json::Null
+        }
+    }
+}
+
+/// `"true"`/`"false"`/`"1"`/`"0"` (ASCII case-insensitive) as a bool.
+#[must_use]
+pub fn parse_bool_token(s: &str) -> Option<bool> {
+    if s.eq_ignore_ascii_case("true") || s == "1" {
+        Some(true)
+    } else if s.eq_ignore_ascii_case("false") || s == "0" {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Renders `s` as a JSON string literal, quotes included (the same
+/// escape set as `anomex-obs`'s stable JSON).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+/// A human-readable description of the first syntax error, with its
+/// byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&b) => Err(format!("unexpected byte '{}' at {}", b as char, *pos)),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // consume '"'
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape at byte {}", *pos))?;
+                        // Surrogates are replaced rather than paired: spec
+                        // payloads are ASCII identifiers in practice.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // byte stream is valid UTF-8 by construction).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                if let Some(c) = s.chars().next() {
+                    out.push(c);
+                    *pos += c.len_utf8();
+                } else {
+                    return Err("unterminated string".to_string());
+                }
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0usize;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0usize;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("invalid number at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0usize;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("invalid number at byte {start}"));
+        }
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| "invalid utf-8".to_string())?
+        .to_string();
+    Ok(Json::Num(raw))
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Num("42".into()));
+        assert_eq!(parse("-1.5e3").unwrap(), Json::Num("-1.5e3".into()));
+        assert_eq!(parse(r#""hi\n""#).unwrap(), Json::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": "c"}], "d": true}"#).unwrap();
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        let Some(Json::Arr(items)) = v.get("a") else {
+            panic!("a is an array");
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].get("b").and_then(Json::as_str), Some("c"));
+    }
+
+    #[test]
+    fn big_u64_survives_round_trip() {
+        let raw = u64::MAX.to_string();
+        let v = parse(&raw).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.emit(), raw);
+    }
+
+    #[test]
+    fn emit_round_trips() {
+        let src = r#"{"k":15,"kind":"lof","tags":["a","b"],"on":false}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.emit(), src);
+        assert_eq!(parse(&v.emit()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "1.e", "nul", "\"x", "1 2", "{a:1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn float_nodes_stay_lexically_floats() {
+        assert_eq!(Json::num_f64(2.0).emit(), "2.0");
+        assert_eq!(Json::num_f64(0.125).emit(), "0.125");
+        assert_eq!(Json::num_f64(f64::NAN).emit(), "null");
+    }
+
+    #[test]
+    fn lenient_accessors() {
+        assert_eq!(parse("\"7\"").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("1").unwrap().as_bool(), Some(true));
+        assert_eq!(parse("\"false\"").unwrap().as_bool(), Some(false));
+        assert_eq!(parse("0.5").unwrap().as_f64(), Some(0.5));
+        assert_eq!(parse("[]").unwrap().as_u64(), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! Canonical pipeline specifications for the anomex workspace —
+//! "pipelines as data" (ROADMAP item 4).
+//!
+//! Every layer of the workspace describes the same 12-pipeline grid
+//! (the paper's Beam/RefOut/LookOut/HiCS × LOF/FastABOD/iForest study)
+//! but historically re-encoded it per layer: constructor calls in
+//! `anomex-core`, grid loops in `anomex-eval`, string parsers in
+//! `anomex-serve`. This crate is the single typed source of truth:
+//!
+//! * [`DetectorSpec`] / [`ExplainerSpec`] / [`PipelineSpec`] — typed
+//!   configurations with a **canonical** compact encoding (the exact
+//!   wire strings serve has always spoken, defaults spelled out) and a
+//!   hand-rolled stable JSON form ([`json::Json`], obs-style, no
+//!   external deps).
+//! * [`PipelineSpec::fingerprint`] — an FNV-1a 64 hash of the
+//!   canonical form, invariant under parameter reordering, default
+//!   elision, and compact-vs-JSON surface syntax. Registry keys and
+//!   caches key on this, so semantically equal configs share slots.
+//! * [`DatasetProfile`] + [`recommend`] — dataset characteristics and
+//!   a deterministic rule-based recommender mapping profile + task to
+//!   a spec with a machine-readable reasoning trace.
+//!
+//! The crate is deliberately `std`-only and dependency-free so every
+//! other crate (core, eval, serve) can depend on it without cycles.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod detector;
+pub mod explainer;
+pub mod json;
+mod params;
+pub mod pipeline;
+pub mod profile;
+pub mod recommend;
+
+pub use detector::DetectorSpec;
+pub use explainer::ExplainerSpec;
+pub use json::Json;
+pub use pipeline::{DatasetRef, PipelineSpec};
+pub use profile::DatasetProfile;
+pub use recommend::{recommend, RecommendTask, Recommendation, TraceEntry};
+
+/// FNV-1a 64-bit hash — the workspace's stable fingerprint function.
+/// Stable across platforms and releases by construction (pure integer
+/// arithmetic over bytes), unlike `std`'s randomized hashers.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crate_surface_is_wired_together() {
+        let spec = PipelineSpec::parse("beam+lof").unwrap();
+        assert_eq!(spec.fingerprint(), fnv1a64(spec.canonical().as_bytes()));
+    }
+}

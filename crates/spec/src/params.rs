@@ -1,0 +1,145 @@
+//! Shared `key=value` parameter parsing for compact spec strings.
+//!
+//! The compact grammar is the one `anomex-serve` has spoken since PR 3:
+//! `name[:key=value,key=value,...]`. [`ParamReader`] consumes a parsed
+//! parameter list by **alias sets** (so `beam_width`, `width` and `w`
+//! all address the same field), applies defaults for omitted keys, and
+//! rejects leftovers with the historical error wording.
+
+use crate::json::parse_bool_token;
+
+/// Splits `name[:params]` and the `key=value` list.
+///
+/// # Errors
+/// On empty names or malformed `key=value` pairs.
+pub(crate) fn parse_compact(text: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let (name, params) = text.split_once(':').unwrap_or((text, ""));
+    let name = name.trim();
+    if name.is_empty() {
+        return Err("spec must start with an algorithm name".to_string());
+    }
+    let mut kv = Vec::new();
+    if !params.is_empty() {
+        for pair in params.split(',') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed parameter '{pair}' (expected key=value)"))?;
+            kv.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    Ok((name.to_string(), kv))
+}
+
+/// Consumes a parameter list by alias sets; see the [module docs](self).
+pub(crate) struct ParamReader {
+    params: Vec<(String, String)>,
+    used: Vec<bool>,
+}
+
+impl ParamReader {
+    pub(crate) fn new(params: Vec<(String, String)>) -> Self {
+        let used = vec![false; params.len()];
+        ParamReader { params, used }
+    }
+
+    /// The value of the parameter matching any alias, marking every
+    /// match consumed. When a key repeats, the **last** occurrence wins
+    /// — mirroring how the historical serve parser folded repeated keys.
+    fn take_raw(&mut self, aliases: &[&str]) -> Option<(String, String)> {
+        let mut found = None;
+        for (i, (key, value)) in self.params.iter().enumerate() {
+            if aliases.iter().any(|a| key.eq_ignore_ascii_case(a)) {
+                self.used[i] = true;
+                found = Some((key.clone(), value.clone()));
+            }
+        }
+        found
+    }
+
+    /// A `usize` parameter with a default.
+    pub(crate) fn take_usize(&mut self, aliases: &[&str], default: usize) -> Result<usize, String> {
+        match self.take_raw(aliases) {
+            None => Ok(default),
+            Some((key, value)) => value.parse::<usize>().map_err(|_| {
+                format!("parameter '{key}' must be a non-negative integer, got '{value}'")
+            }),
+        }
+    }
+
+    /// A `u64` parameter with a default.
+    pub(crate) fn take_u64(&mut self, aliases: &[&str], default: u64) -> Result<u64, String> {
+        match self.take_raw(aliases) {
+            None => Ok(default),
+            Some((key, value)) => value.parse::<u64>().map_err(|_| {
+                format!("parameter '{key}' must be a non-negative integer, got '{value}'")
+            }),
+        }
+    }
+
+    /// A boolean parameter with a default (`true`/`false`/`1`/`0`).
+    pub(crate) fn take_bool(&mut self, aliases: &[&str], default: bool) -> Result<bool, String> {
+        match self.take_raw(aliases) {
+            None => Ok(default),
+            Some((key, value)) => parse_bool_token(&value)
+                .ok_or_else(|| format!("parameter '{key}' must be true or false, got '{value}'")),
+        }
+    }
+
+    /// Errors on any parameter no `take_*` call consumed, with the
+    /// historical `unknown <algo> parameter '<key>'` wording.
+    pub(crate) fn finish(self, algo: &str) -> Result<(), String> {
+        for (i, (key, _)) in self.params.iter().enumerate() {
+            if !self.used[i] {
+                return Err(format!("unknown {algo} parameter '{key}'"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn compact_splits_name_and_params() {
+        let (name, kv) = parse_compact("lof:k=5, j = 2").unwrap();
+        assert_eq!(name, "lof");
+        assert_eq!(
+            kv,
+            vec![
+                ("k".to_string(), "5".to_string()),
+                ("j".to_string(), "2".to_string())
+            ]
+        );
+        let (name, kv) = parse_compact("beam").unwrap();
+        assert_eq!(name, "beam");
+        assert!(kv.is_empty());
+        assert!(parse_compact(":k=1").is_err());
+        assert!(parse_compact("lof:k").is_err());
+    }
+
+    #[test]
+    fn reader_applies_aliases_defaults_and_leftovers() {
+        let (_, kv) = parse_compact("x:beam_width=7,fx=1").unwrap();
+        let mut r = ParamReader::new(kv);
+        assert_eq!(r.take_usize(&["width", "beam_width"], 100).unwrap(), 7);
+        assert_eq!(r.take_usize(&["results"], 100).unwrap(), 100);
+        assert!(r.take_bool(&["fx", "fixed_dim"], false).unwrap());
+        r.finish("x").unwrap();
+
+        let (_, kv) = parse_compact("x:oops=1").unwrap();
+        let mut r = ParamReader::new(kv);
+        assert_eq!(r.take_usize(&["k"], 3).unwrap(), 3);
+        let err = r.finish("x").unwrap_err();
+        assert_eq!(err, "unknown x parameter 'oops'");
+    }
+
+    #[test]
+    fn last_duplicate_wins() {
+        let (_, kv) = parse_compact("x:k=1,k=9").unwrap();
+        let mut r = ParamReader::new(kv);
+        assert_eq!(r.take_usize(&["k"], 0).unwrap(), 9);
+        r.finish("x").unwrap();
+    }
+}

@@ -1,0 +1,231 @@
+//! The canonical pipeline spec: one detector × one explainer.
+//!
+//! A [`PipelineSpec`] is the "pipelines as data" unit the whole
+//! workspace shares: eval declares the paper's 12-pipeline grid as a
+//! list of these values, serve accepts them inline on the wire, and
+//! the registry keys fitted models by their canonical detector half.
+//! [`DatasetRef`] is the companion dataset naming scheme covering the
+//! `hicsN[@seed]` synthetic presets serve has always spoken.
+
+use crate::detector::DetectorSpec;
+use crate::explainer::ExplainerSpec;
+use crate::json::Json;
+
+/// One detector × explainer pairing, as pure data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineSpec {
+    /// The anomaly detector half.
+    pub detector: DetectorSpec,
+    /// The explanation-algorithm half.
+    pub explainer: ExplainerSpec,
+}
+
+impl PipelineSpec {
+    /// Pairs a detector with an explainer.
+    #[must_use]
+    pub fn new(detector: DetectorSpec, explainer: ExplainerSpec) -> Self {
+        PipelineSpec {
+            detector,
+            explainer,
+        }
+    }
+
+    /// Whether the explainer half is a summarizer.
+    #[must_use]
+    pub fn is_summary(&self) -> bool {
+        self.explainer.is_summary()
+    }
+
+    /// The canonical compact encoding `explainer+detector`, each half
+    /// spelled out in full (e.g.
+    /// `"beam:width=100,results=100,fx=true+lof:k=15"`).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}+{}",
+            self.explainer.canonical(),
+            self.detector.canonical()
+        )
+    }
+
+    /// The canonical JSON object form:
+    /// `{"explainer": {...}, "detector": {...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("explainer".to_string(), self.explainer.to_json()),
+            ("detector".to_string(), self.detector.to_json()),
+        ])
+    }
+
+    /// The stable 64-bit fingerprint of the canonical encoding —
+    /// invariant under parameter reordering, default elision, and the
+    /// compact-vs-JSON choice of surface syntax.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// Parses the compact form `explainer+detector` (either half may
+    /// elide defaults, e.g. `"beam+lof"`) or, when the text starts
+    /// with `{`, the JSON object form.
+    ///
+    /// # Errors
+    /// On a missing `+` separator or an invalid half.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.starts_with('{') {
+            return Self::from_json(&crate::json::parse(text)?);
+        }
+        let (explainer, detector) = text
+            .split_once('+')
+            .ok_or_else(|| "pipeline spec must be 'explainer+detector'".to_string())?;
+        Ok(PipelineSpec {
+            detector: DetectorSpec::parse(detector)?,
+            explainer: ExplainerSpec::parse(explainer)?,
+        })
+    }
+
+    /// Parses the JSON object form. A bare JSON string is accepted as
+    /// the compact form for symmetry.
+    ///
+    /// # Errors
+    /// On missing `detector`/`explainer` fields or invalid halves.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        if let Json::Str(compact) = value {
+            return Self::parse(compact);
+        }
+        let Json::Obj(_) = value else {
+            return Err("pipeline spec must be an object or a string".to_string());
+        };
+        let detector = value
+            .get("detector")
+            .ok_or_else(|| "pipeline spec is missing 'detector'".to_string())?;
+        let explainer = value
+            .get("explainer")
+            .ok_or_else(|| "pipeline spec is missing 'explainer'".to_string())?;
+        Ok(PipelineSpec {
+            detector: DetectorSpec::from_json(detector)?,
+            explainer: ExplainerSpec::from_json(explainer)?,
+        })
+    }
+}
+
+/// A dataset reference: either one of the synthetic `hicsN[@seed]`
+/// presets (the paper's testbed, §4.1) or a registered name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DatasetRef {
+    /// A synthetic HiCS-testbed preset: `dims` ∈ {14, 23, 39, 70, 100}.
+    Synthetic {
+        /// Preset dimensionality.
+        dims: usize,
+        /// Generator seed (`42` when elided, serve's historical default).
+        seed: u64,
+    },
+    /// Any other name, resolved against loaded datasets.
+    Named(String),
+}
+
+impl DatasetRef {
+    /// The preset dimensionalities of the paper's synthetic testbed.
+    pub const SYNTHETIC_DIMS: [usize; 5] = [14, 23, 39, 70, 100];
+
+    /// Parses a dataset name. `hicsN[@seed]` with a known `N` becomes
+    /// [`DatasetRef::Synthetic`]; anything else is [`DatasetRef::Named`]
+    /// verbatim (including unknown `hicsN` dims, which must fail at
+    /// lookup time with the historical "unknown dataset" error, not at
+    /// parse time).
+    #[must_use]
+    pub fn parse(name: &str) -> Self {
+        if let Some(rest) = name.strip_prefix("hics") {
+            let (dims, seed) = match rest.split_once('@') {
+                Some((dims, seed)) => (dims, seed.parse::<u64>().ok()),
+                None => (rest, Some(42)),
+            };
+            if let (Ok(dims), Some(seed)) = (dims.parse::<usize>(), seed) {
+                if Self::SYNTHETIC_DIMS.contains(&dims) {
+                    return DatasetRef::Synthetic { dims, seed };
+                }
+            }
+        }
+        DatasetRef::Named(name.to_string())
+    }
+
+    /// The canonical name: `hicsN` for seed-42 presets, `hicsN@seed`
+    /// otherwise, the verbatim name for [`DatasetRef::Named`]. Matches
+    /// the wire strings serve has always accepted.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            DatasetRef::Synthetic { dims, seed: 42 } => format!("hics{dims}"),
+            DatasetRef::Synthetic { dims, seed } => format!("hics{dims}@{seed}"),
+            DatasetRef::Named(name) => name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn compact_form_round_trips_and_elides_defaults() {
+        let spec = PipelineSpec::parse("beam+lof").unwrap();
+        assert_eq!(
+            spec.canonical(),
+            "beam:width=100,results=100,fx=true+lof:k=15"
+        );
+        assert_eq!(PipelineSpec::parse(&spec.canonical()).unwrap(), spec);
+        assert_eq!(
+            spec.fingerprint(),
+            PipelineSpec::parse("beam+lof").unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn json_form_round_trips() {
+        let spec = PipelineSpec::parse("hics:seed=1+iforest:seed=7").unwrap();
+        let back = PipelineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let reparsed = PipelineSpec::parse(&spec.to_json().emit()).unwrap();
+        assert_eq!(reparsed, spec);
+        assert!(spec.is_summary());
+    }
+
+    #[test]
+    fn json_halves_accept_compact_strings() {
+        let spec = PipelineSpec::parse(r#"{"detector": "lof:k=5", "explainer": "beam"}"#).unwrap();
+        assert_eq!(spec.detector, DetectorSpec::Lof { k: 5 });
+        assert_eq!(spec.explainer, ExplainerSpec::beam());
+    }
+
+    #[test]
+    fn rejects_malformed_pipelines() {
+        assert!(PipelineSpec::parse("beam").is_err());
+        assert!(PipelineSpec::parse("beam+svm").is_err());
+        assert!(PipelineSpec::parse(r#"{"detector": "lof"}"#).is_err());
+    }
+
+    #[test]
+    fn dataset_refs_cover_the_preset_grammar() {
+        assert_eq!(
+            DatasetRef::parse("hics14"),
+            DatasetRef::Synthetic { dims: 14, seed: 42 }
+        );
+        assert_eq!(
+            DatasetRef::parse("hics23@7"),
+            DatasetRef::Synthetic { dims: 23, seed: 7 }
+        );
+        assert_eq!(
+            DatasetRef::parse("hics15"),
+            DatasetRef::Named("hics15".to_string())
+        );
+        assert_eq!(
+            DatasetRef::parse("iris"),
+            DatasetRef::Named("iris".to_string())
+        );
+        assert_eq!(DatasetRef::parse("hics14").canonical(), "hics14");
+        assert_eq!(DatasetRef::parse("hics14@42").canonical(), "hics14");
+        assert_eq!(DatasetRef::parse("hics70@9").canonical(), "hics70@9");
+    }
+}

@@ -1,0 +1,94 @@
+//! Dataset profiles: the characteristics the recommender reads.
+//!
+//! A [`DatasetProfile`] is plain data — dimensionality, a density
+//! dispersion statistic, and a contamination estimate. *Computing* one
+//! from a dataset lives in `anomex-core` (`profile_dataset`), which has
+//! the dataset and stats machinery; this crate only defines the shape
+//! so the rule-based recommender stays std-only and dependency-free.
+
+use crate::json::Json;
+
+/// Characteristics of one dataset, as consumed by the recommender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetProfile {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of features (the paper's testbed spans 14–100).
+    pub n_features: usize,
+    /// Coefficient of variation (std/mean) of sampled k-NN distances —
+    /// a scale-free dispersion measure of local density.
+    pub density_cv: f64,
+    /// Estimated fraction of anomalous rows, from the upper tail of the
+    /// sampled k-NN distance distribution.
+    pub contamination: f64,
+}
+
+impl DatasetProfile {
+    /// The canonical JSON object form, keys in fixed order.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n_rows".to_string(), Json::num_usize(self.n_rows)),
+            ("n_features".to_string(), Json::num_usize(self.n_features)),
+            ("density_cv".to_string(), Json::num_f64(self.density_cv)),
+            (
+                "contamination".to_string(),
+                Json::num_f64(self.contamination),
+            ),
+        ])
+    }
+
+    /// Parses the JSON object form.
+    ///
+    /// # Errors
+    /// On missing or non-numeric fields.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("profile is missing '{key}'"))
+        };
+        let num = |key: &str| {
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| format!("profile '{key}' must be a number"))
+        };
+        let count = |key: &str| {
+            field(key)?
+                .as_usize()
+                .ok_or_else(|| format!("profile '{key}' must be a non-negative integer"))
+        };
+        Ok(DatasetProfile {
+            n_rows: count("n_rows")?,
+            n_features: count("n_features")?,
+            density_cv: num("density_cv")?,
+            contamination: num("contamination")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let p = DatasetProfile {
+            n_rows: 1000,
+            n_features: 23,
+            density_cv: 0.35,
+            contamination: 0.02,
+        };
+        let back = DatasetProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        let text = p.to_json().emit();
+        let reparsed = DatasetProfile::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let v = crate::json::parse(r#"{"n_rows": 10}"#).unwrap();
+        assert!(DatasetProfile::from_json(&v).is_err());
+    }
+}

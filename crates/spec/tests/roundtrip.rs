@@ -1,0 +1,183 @@
+//! Property tests for spec round-tripping (hand-rolled, seeded).
+//!
+//! No external property-testing dependency: a SplitMix64 generator
+//! drives a few hundred random specs per property, so failures are
+//! reproducible from the fixed seed.
+
+use anomex_spec::{DetectorSpec, ExplainerSpec, Json, PipelineSpec};
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn arbitrary_detector(rng: &mut SplitMix64) -> DetectorSpec {
+    match rng.below(4) {
+        0 => DetectorSpec::Lof {
+            k: rng.usize_in(1, 200),
+        },
+        1 => DetectorSpec::FastAbod {
+            k: rng.usize_in(1, 200),
+        },
+        2 => DetectorSpec::KnnDist {
+            k: rng.usize_in(1, 200),
+        },
+        _ => DetectorSpec::IsolationForest {
+            trees: rng.usize_in(1, 300),
+            psi: rng.usize_in(2, 1024),
+            reps: rng.usize_in(1, 20),
+            seed: rng.next(),
+        },
+    }
+}
+
+fn arbitrary_explainer(rng: &mut SplitMix64) -> ExplainerSpec {
+    match rng.below(4) {
+        0 => ExplainerSpec::Beam {
+            width: rng.usize_in(1, 500),
+            results: rng.usize_in(1, 500),
+            fixed_dim: rng.bool(),
+        },
+        1 => ExplainerSpec::RefOut {
+            pool: rng.usize_in(1, 500),
+            width: rng.usize_in(1, 500),
+            results: rng.usize_in(1, 500),
+            seed: rng.next(),
+        },
+        2 => ExplainerSpec::LookOut {
+            budget: rng.usize_in(1, 200),
+        },
+        _ => ExplainerSpec::Hics {
+            mc: rng.usize_in(1, 500),
+            cutoff: rng.usize_in(1, 1000),
+            results: rng.usize_in(1, 500),
+            fixed_dim: rng.bool(),
+            seed: rng.next(),
+        },
+    }
+}
+
+fn arbitrary_pipeline(rng: &mut SplitMix64) -> PipelineSpec {
+    PipelineSpec::new(arbitrary_detector(rng), arbitrary_explainer(rng))
+}
+
+/// Shuffles an object's fields in place (Fisher–Yates), recursing into
+/// nested objects — exercising the order-invariance of `from_json`.
+fn shuffle_fields(value: &mut Json, rng: &mut SplitMix64) {
+    if let Json::Obj(fields) = value {
+        for (_, v) in fields.iter_mut() {
+            shuffle_fields(v, rng);
+        }
+        for i in (1..fields.len()).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            fields.swap(i, j);
+        }
+    }
+}
+
+#[test]
+fn parse_encode_is_identity_on_compact_form() {
+    let mut rng = SplitMix64(0xA5A5_0001);
+    for _ in 0..300 {
+        let spec = arbitrary_pipeline(&mut rng);
+        let compact = spec.canonical();
+        let reparsed = PipelineSpec::parse(&compact).expect("canonical form must parse");
+        assert_eq!(reparsed, spec, "compact round-trip failed for {compact}");
+        assert_eq!(reparsed.canonical(), compact);
+    }
+}
+
+#[test]
+fn parse_encode_is_identity_on_json_form() {
+    let mut rng = SplitMix64(0xA5A5_0002);
+    for _ in 0..300 {
+        let spec = arbitrary_pipeline(&mut rng);
+        let text = spec.to_json().emit();
+        let reparsed = PipelineSpec::parse(&text).expect("JSON form must parse");
+        assert_eq!(reparsed, spec, "JSON round-trip failed for {text}");
+    }
+}
+
+#[test]
+fn fingerprint_is_invariant_under_json_field_reordering() {
+    let mut rng = SplitMix64(0xA5A5_0003);
+    for _ in 0..300 {
+        let spec = arbitrary_pipeline(&mut rng);
+        let mut json = spec.to_json();
+        shuffle_fields(&mut json, &mut rng);
+        let reparsed = PipelineSpec::from_json(&json).expect("shuffled JSON must parse");
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.fingerprint(), spec.fingerprint());
+    }
+}
+
+#[test]
+fn fingerprint_is_invariant_under_default_elision() {
+    // Every default-valued parameter dropped from the compact text must
+    // parse back to the same spec and fingerprint.
+    let cases = [
+        ("beam+lof", "beam:width=100,results=100,fx=true+lof:k=15"),
+        (
+            "refout:seed=9+iforest:seed=9",
+            "refout:pool=100,width=100,results=100,seed=9+iforest:trees=100,psi=256,reps=10,seed=9",
+        ),
+        ("lookout+abod", "lookout:budget=100+abod:k=10"),
+        (
+            "hics+knndist",
+            "hics:mc=100,cutoff=400,results=100,fx=true,seed=0+knndist:k=5",
+        ),
+    ];
+    for (elided, full) in cases {
+        let a = PipelineSpec::parse(elided).unwrap();
+        let b = PipelineSpec::parse(full).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.canonical(), full);
+    }
+}
+
+#[test]
+fn distinct_specs_get_distinct_fingerprints() {
+    // Not a cryptographic guarantee, but over a few hundred random
+    // specs FNV-1a collisions would indicate a canonicalization bug
+    // (e.g. two different specs rendering the same canonical text).
+    let mut rng = SplitMix64(0xA5A5_0004);
+    let mut seen: Vec<(u64, PipelineSpec)> = Vec::new();
+    for _ in 0..300 {
+        let spec = arbitrary_pipeline(&mut rng);
+        let fp = spec.fingerprint();
+        for (other_fp, other) in &seen {
+            if spec == *other {
+                assert_eq!(fp, *other_fp);
+            } else {
+                assert_ne!(
+                    fp,
+                    *other_fp,
+                    "collision between {} and {}",
+                    spec.canonical(),
+                    other.canonical()
+                );
+            }
+        }
+        seen.push((fp, spec));
+    }
+}

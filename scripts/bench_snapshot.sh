@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Distill the detector-kernel benchmarks into BENCH_detectors.json,
-# plus an observability counter snapshot into BENCH_obs_counters.json.
+# Distill the detector-kernel benchmarks into BENCH_detectors.json and
+# the spec-layer benchmarks into BENCH_spec.json, plus an observability
+# counter snapshot into BENCH_obs_counters.json.
 #
 # Runs the `detector_kernels` criterion bench, then extracts the mean
 # estimate of each naive/blocked/incremental kNN build from criterion's
@@ -75,6 +76,42 @@ with open(out, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
 print(f"wrote {out} ({len(entries)} timings, {len(speedups)} cases)")
+PY
+
+cargo bench -p anomex-bench --bench spec_parse "$@"
+
+python3 - "$crit" BENCH_spec.json <<'PY'
+import json, os, sys, datetime
+
+crit, out = sys.argv[1], sys.argv[2]
+entries = []
+for group in ("spec_parse", "spec_encode"):
+    gdir = os.path.join(crit, group)
+    if not os.path.isdir(gdir):
+        continue
+    for dirpath, dirnames, filenames in os.walk(gdir):
+        if os.path.basename(dirpath) != "new" or "estimates.json" not in filenames:
+            continue
+        with open(os.path.join(dirpath, "estimates.json")) as f:
+            mean_ns = json.load(f)["mean"]["point_estimate"]
+        rel = os.path.relpath(os.path.dirname(dirpath), crit)
+        entries.append({
+            "bench": rel.replace(os.sep, "/"),
+            "ns": round(mean_ns, 1),
+        })
+entries.sort(key=lambda e: e["bench"])
+
+snapshot = {
+    "bench": "spec_parse (pipeline parsing, canonical encoding, fingerprint)",
+    "recorded": datetime.date.today().isoformat(),
+    "source": "criterion mean point estimates (target/criterion)",
+    "estimator": "criterion mean",
+    "timings_ns": entries,
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(entries)} timings)")
 PY
 
 cargo run --release -p anomex-eval --bin anomex_eval -- fig9 --fast \

@@ -52,6 +52,7 @@ pub use anomex_dataset as dataset;
 pub use anomex_detectors as detectors;
 pub use anomex_eval as eval;
 pub use anomex_serve as serve;
+pub use anomex_spec as spec;
 pub use anomex_stats as stats;
 
 /// One-stop imports for the common workflow: generate/load data → pick a

@@ -155,6 +155,31 @@ fn map_grid_matches_golden_file() {
     );
 }
 
+/// The same grid, but with every pipeline built from a canonical
+/// `PipelineSpec` string instead of hand-chained builders: output must
+/// stay byte-identical to the golden file. This is the contract that
+/// lets eval and serve declare pipelines as data.
+#[test]
+fn map_grid_built_from_specs_is_byte_identical() {
+    let tb = golden_testbed();
+    let cfg = ExperimentConfig::fast(42);
+    let pipelines: Vec<Pipeline> = ["beam:width=10,results=1+lof:k=15", "lookout:budget=1+lof"]
+        .iter()
+        .map(|compact| {
+            let spec = anomex::spec::PipelineSpec::parse(compact).expect("golden spec parses");
+            Pipeline::from_spec(&spec).expect("golden spec builds")
+        })
+        .collect();
+
+    let table = run_grid("golden", &[tb], &pipelines, &cfg);
+    let rendered = report::map_grid(&table);
+    let expected = std::fs::read_to_string(golden_path()).expect("read tests/golden/map_grid.txt");
+    assert_eq!(
+        rendered, expected,
+        "spec-built pipelines must reproduce the golden grid byte-for-byte"
+    );
+}
+
 /// The fixture's explanations are exact, so the MAP values are exact
 /// binary fractions — pin them directly too, independent of rendering.
 #[test]

@@ -1,0 +1,150 @@
+//! End-to-end validation of the profile-driven recommender: profiling a
+//! dataset, asking `anomex_spec::recommend` for a pipeline, and scoring
+//! the choice against a really-measured fixed grid.
+//!
+//! The fixture reuses the `golden-6d` construction of
+//! `tests/golden_grid.rs` *without* the decoy ground-truth entry, so the
+//! recommended Beam_FX+LOF pipeline scores MAP = 1.0 exactly at every
+//! dimensionality (each planted subspace leads its runner-up by > 3
+//! standardized-score units — see the golden test's module docs). That
+//! makes the headline claim (`recommended mean MAP >= fixed-pipeline
+//! mean MAP`) hold by construction, while the grid, profiling and
+//! cell-matching are all exercised for real.
+
+use anomex_dataset::{Dataset, GroundTruth, Subspace};
+use anomex_eval::datasets::{CustomFamily, TestbedDataset};
+use anomex_eval::experiment::ExperimentConfig;
+use anomex_eval::recommend::{spec_label, validate_recommender};
+use anomex_eval::runner::run_grid;
+use anomex_spec::RecommendTask;
+
+/// SplitMix64, pinned byte-for-byte to the golden fixture's stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn jitter(&mut self) -> f64 {
+        (self.next_f64() - 0.5) * 0.1
+    }
+}
+
+const FAMILY: CustomFamily = CustomFamily {
+    name: "recommender-6d",
+    n_features: 6,
+    dims: &[2, 3],
+};
+
+/// The `golden-6d` data (identical RNG stream) with unambiguous ground
+/// truth: A/B break the `{0,1}` diagonal, C sits at the odd-parity
+/// corner of the XOR clusters over `{2,3,4}`. No decoy entry, so a
+/// pipeline that top-ranks each planted subspace scores exactly 1.0.
+fn fixture() -> TestbedDataset {
+    let mut rng = SplitMix64(0x5EED_601D_E421);
+    let centers = [0.2, 0.8];
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(103);
+    for i in 0..100usize {
+        let t = i as f64 / 99.0;
+        let b2 = [0, 1, 0, 1][i % 4];
+        let b3 = [0, 0, 1, 1][i % 4];
+        let b4 = b2 ^ b3;
+        rows.push(vec![
+            t,
+            t,
+            centers[b2] + rng.jitter(),
+            centers[b3] + rng.jitter(),
+            centers[b4] + rng.jitter(),
+            rng.next_f64(),
+        ]);
+    }
+    rows.push(vec![
+        0.05,
+        0.95,
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+    rows.push(vec![
+        0.95,
+        0.05,
+        centers[1] + rng.jitter(),
+        centers[1] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+    rows.push(vec![
+        0.525,
+        0.525,
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        centers[1] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+
+    let dataset = Dataset::from_rows(rows).expect("valid fixture rows");
+    let mut gt = GroundTruth::new();
+    gt.add(100, Subspace::new([0usize, 1]));
+    gt.add(101, Subspace::new([0usize, 1]));
+    gt.add(102, Subspace::new([2usize, 3, 4]));
+    TestbedDataset::from_parts(FAMILY, dataset, gt)
+}
+
+#[test]
+fn recommender_beats_the_mean_fixed_pipeline_on_a_measured_grid() {
+    let tb = fixture();
+    let cfg = ExperimentConfig::fast(42);
+    let table = run_grid("recommender", &[tb.clone()], &cfg.point_pipelines(), &cfg);
+    let v = validate_recommender(&[tb], &table, &cfg.point_specs(), RecommendTask::Point);
+
+    assert_eq!(v.rows.len(), 1);
+    let row = &v.rows[0];
+    // 6 features < the high-dim threshold -> LOF; point task -> Beam.
+    assert_eq!(row.label, "Beam_FX+LOF");
+    assert_eq!(row.recommendation.profile.n_features, 6);
+    assert!(row.recommendation.trace.iter().any(|t| t.fired));
+
+    // Beam top-ranks every planted subspace on this fixture, so the
+    // recommended pipeline's measured MAP is exactly 1.0 — and the mean
+    // over all six fixed point pipelines can therefore never beat it.
+    assert_eq!(row.map, Some(1.0));
+    assert_eq!(v.recommended_mean_map, 1.0);
+    assert!(
+        v.recommended_mean_map >= v.fixed_mean_map,
+        "recommender mean {} below fixed mean {}",
+        v.recommended_mean_map,
+        v.fixed_mean_map
+    );
+    assert_eq!(v.fixed_pipeline_means.len(), 6);
+}
+
+#[test]
+fn high_dimensional_datasets_are_routed_to_fast_abod() {
+    let g =
+        anomex_dataset::gen::hics::generate_hics(anomex_dataset::gen::hics::HicsPreset::D14, 42);
+    let profile = anomex_core::profile_dataset(&g.dataset);
+    assert_eq!(profile.n_features, 14);
+
+    let rec = anomex_spec::recommend(&profile, RecommendTask::Point);
+    assert_eq!(spec_label(&rec.spec), "Beam_FX+FastABOD");
+    let fired: Vec<&str> = rec
+        .trace
+        .iter()
+        .filter(|t| t.fired)
+        .map(|t| t.rule.as_str())
+        .collect();
+    assert!(fired.contains(&"detector.high_dim"), "trace: {fired:?}");
+
+    let summary = anomex_spec::recommend(&profile, RecommendTask::Summary);
+    assert_eq!(spec_label(&summary.spec), "LookOut+LOF");
+}
