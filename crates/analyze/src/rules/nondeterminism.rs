@@ -326,6 +326,25 @@ if m.contains_key(&k) { m.remove(&k); }";
         assert!(run("crates/eval/src/runner.rs", src).is_empty());
     }
 
+    /// The neighbor-index modules (kd-tree, LSH) are pure compute: the
+    /// same data must yield the same table on every run, so both the
+    /// clock rule and the entropy-RNG rule must cover them. The LSH
+    /// index in particular seeds its hyperplanes from a fixed constant
+    /// — an entropy seed there would make every fit irreproducible.
+    #[test]
+    fn neighbor_index_modules_are_pure_compute() {
+        let clock = "let t0 = Instant::now();";
+        assert_eq!(run("crates/detectors/src/approx.rs", clock).len(), 1);
+        assert_eq!(run("crates/detectors/src/kdtree.rs", clock).len(), 1);
+        assert_eq!(run("crates/detectors/src/knn.rs", clock).len(), 1);
+        let entropy = "let mut rng = StdRng::from_entropy();";
+        assert_eq!(
+            run("crates/detectors/src/approx.rs", entropy).len(),
+            1,
+            "LSH hyperplane seeding must be deterministic"
+        );
+    }
+
     #[test]
     fn entropy_rng_is_flagged_everywhere() {
         let f = run(

@@ -1,0 +1,93 @@
+//! Neighbor-backend benchmarks: the sublinear-search question.
+//!
+//! One operation — build the full kNN table of a dataset — under the
+//! three concrete [`NeighborBackend`]s:
+//!
+//! * `exact`  — blocked norm-trick kernel, O(N²·d), the baseline every
+//!   committed result is pinned to;
+//! * `kdtree` — median-split kd-tree build + per-row pruned queries,
+//!   ~O(N log N) at low dimension, exact distances;
+//! * `approx` — multi-table signed-random-projection LSH (oversized
+//!   buckets re-split about their local mean) with an exact rerank of
+//!   the candidate union, sublinear candidate sets at high dimension,
+//!   approximate.
+//!
+//! Grid: N ∈ {1 000, 10 000, 100 000} × d ∈ {2, 5, 16}, k = 15 (the
+//! paper's LOF neighbourhood). Two cells are omitted deliberately —
+//! the omission is part of the result, not a silent cap:
+//!
+//! * `exact` at N = 100 000: the O(N²·d) scan takes minutes per
+//!   sample; the crossover against kd-tree/LSH is already decided two
+//!   orders of magnitude earlier (see `BENCH_knn_backends.json`).
+//! * `kdtree` at d = 16, N = 100 000: kd-tree pruning collapses in
+//!   high dimension (every leaf cell touches the query ball), so the
+//!   query degenerates toward the exhaustive scan it was meant to
+//!   replace. `NeighborBackend::Auto` routes this shape to `approx`.
+//!
+//! `scripts/bench_snapshot.sh` distills the same grid into
+//! `BENCH_knn_backends.json` and gates regressions against it.
+
+use anomex_dataset::Dataset;
+use anomex_detectors::knn::{knn_table_with, NeighborBackend};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const K: usize = 15;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+}
+
+/// Uniform cube: the neutral input. Cluster geometry skews the
+/// comparison in either direction — tight isolated blobs collapse LSH
+/// sign codes to "which blob" (buckets = blobs, rerank degenerates),
+/// while axis-aligned structure flatters kd-tree pruning. Uniform data
+/// gives every backend its asymptotic behaviour and nothing else.
+fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_rows(
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect::<Vec<Vec<f64>>>(),
+    )
+    .expect("well-formed")
+}
+
+/// exact vs kdtree vs approx kNN-table builds across the N × d grid.
+fn knn_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_backends");
+    for n in [1_000usize, 10_000, 100_000] {
+        for d in [2usize, 5, 16] {
+            let ds = random_dataset(n, d, (n * 31 + d) as u64);
+            let m = ds.full_matrix();
+            let label = format!("N{n}-d{d}");
+
+            if n <= 10_000 {
+                group.bench_with_input(BenchmarkId::new("exact", &label), &m, |b, m| {
+                    b.iter(|| knn_table_with(m, K, NeighborBackend::Exact))
+                });
+            }
+            if !(d == 16 && n == 100_000) {
+                group.bench_with_input(BenchmarkId::new("kdtree", &label), &m, |b, m| {
+                    b.iter(|| knn_table_with(m, K, NeighborBackend::KdTree))
+                });
+            }
+            group.bench_with_input(BenchmarkId::new("approx", &label), &m, |b, m| {
+                b.iter(|| knn_table_with(m, K, NeighborBackend::Approx))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = knn_backends
+}
+criterion_main!(benches);

@@ -170,7 +170,10 @@ impl IncrementalDistances {
             "cannot build distances of the empty subspace"
         );
         let n = dataset.n_rows();
-        let mut inner = self.inner.lock().expect("distance cache lock poisoned");
+        let mut guard = self.inner.lock().expect("distance cache lock poisoned");
+        // Reborrow the guard as a plain `&mut Caches` so the borrow
+        // checker can split the disjoint field borrows below.
+        let mut inner = &mut *guard;
 
         if let Some(m) = inner.matrices.get(subspace) {
             inner.stats.matrix_hits += 1;

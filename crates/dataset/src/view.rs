@@ -68,6 +68,23 @@ impl ProjectedMatrix {
         &self.data
     }
 
+    /// A new matrix with `other`'s rows appended below `self`'s — the
+    /// substrate of incremental ingestion (fitted-model `append_rows`).
+    ///
+    /// # Panics
+    /// Panics when the dimensionalities differ.
+    #[must_use]
+    pub fn concat(&self, other: &ProjectedMatrix) -> ProjectedMatrix {
+        assert_eq!(
+            self.dim, other.dim,
+            "cannot concatenate matrices of different dimensionality"
+        );
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        ProjectedMatrix::new(data, self.n_rows + other.n_rows, self.dim)
+    }
+
     /// Gathers the matrix into `out` in **column-major** order
     /// (`out[t * n_rows + i]` = row `i`, feature `t`), reusing `out`'s
     /// allocation. Distance kernels iterate one feature over *all* rows
@@ -146,6 +163,24 @@ mod unit_tests {
         let mut norms = Vec::new();
         m.sq_norms_into(&mut norms);
         assert_eq!(norms, vec![5.0, 25.0, 61.0]);
+    }
+
+    #[test]
+    fn concat_stacks_rows() {
+        let a = ProjectedMatrix::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = ProjectedMatrix::new(vec![5.0, 6.0], 1, 2);
+        let c = a.concat(&b);
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.row(0), &[1.0, 2.0]);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensionality")]
+    fn concat_rejects_dim_mismatch() {
+        let a = ProjectedMatrix::new(vec![1.0, 2.0], 1, 2);
+        let b = ProjectedMatrix::new(vec![5.0], 1, 1);
+        let _ = a.concat(&b);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
-use crate::knn::{knn_table_with, KnnBackend, KnnTable};
+use crate::knn::{knn_table_with, merge_knn_exact, KnnTable, NeighborBackend};
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::view::dot;
@@ -39,7 +39,7 @@ const DEGENERATE_VAR: f64 = 1e6;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FastAbod {
     k: usize,
-    backend: KnnBackend,
+    backend: NeighborBackend,
 }
 
 impl FastAbod {
@@ -57,15 +57,21 @@ impl FastAbod {
         }
         Ok(FastAbod {
             k,
-            backend: KnnBackend::default(),
+            backend: NeighborBackend::default(),
         })
     }
 
-    /// Selects the kNN backend (brute force by default).
+    /// Selects the neighbor backend (exact by default).
     #[must_use]
-    pub fn with_backend(mut self, backend: KnnBackend) -> Self {
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// The configured neighbor backend.
+    #[must_use]
+    pub fn backend(&self) -> NeighborBackend {
+        self.backend
     }
 
     /// The configured neighbourhood size.
@@ -213,6 +219,11 @@ impl Detector for FastAbod {
     }
 
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        // The distance-memo path bypasses the backend dispatch, so it
+        // only stands in for `score_all` when the backend is exact.
+        if self.backend != NeighborBackend::Exact {
+            return None;
+        }
         Some(
             self.raw_variance_from_sq_dists(dists)
                 .into_iter()
@@ -231,6 +242,7 @@ impl Detector for FastAbod {
 /// fit time.
 #[derive(Debug, Clone)]
 pub struct FittedFastAbod {
+    abod: FastAbod,
     knn: KnnTable,
     data: ProjectedMatrix,
 }
@@ -245,6 +257,7 @@ impl FittedFastAbod {
     pub fn fit(abod: FastAbod, data: &ProjectedMatrix) -> Self {
         let knn = knn_table_with(data, abod.k, abod.backend);
         FittedFastAbod {
+            abod,
             knn,
             data: data.clone(),
         }
@@ -279,6 +292,28 @@ impl FittedModel for FittedFastAbod {
 
     fn n_rows(&self) -> usize {
         self.knn.n_rows()
+    }
+
+    fn append_rows(&self, added: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        if added.dim() != self.data.dim() {
+            return None;
+        }
+        if added.n_rows() == 0 {
+            return Some(Box::new(self.clone()));
+        }
+        let extended = self.data.concat(added);
+        if self.abod.backend == NeighborBackend::Exact {
+            crate::fit::obs_append_merges().incr();
+            let knn = merge_knn_exact(&self.knn, &extended, self.abod.k);
+            Some(Box::new(FittedFastAbod {
+                abod: self.abod,
+                knn,
+                data: extended,
+            }))
+        } else {
+            crate::fit::obs_append_rebuilds().incr();
+            Some(Box::new(FittedFastAbod::fit(self.abod, &extended)))
+        }
     }
 }
 
@@ -386,5 +421,38 @@ mod unit_tests {
         assert_eq!(fitted.n_rows(), m.n_rows());
         let via_trait = Detector::fit(&abod, &m).expect("FastABOD has a fit path");
         assert_eq!(via_trait.score_fit_rows(), abod.score_all(&m));
+    }
+
+    #[test]
+    fn append_then_score_equals_refit_then_score() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let rows: Vec<Vec<f64>> = (0..110)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let all = Dataset::from_rows(rows.clone()).unwrap().full_matrix();
+        let base = Dataset::from_rows(rows[..90].to_vec())
+            .unwrap()
+            .full_matrix();
+        let added = Dataset::from_rows(rows[90..].to_vec())
+            .unwrap()
+            .full_matrix();
+        let abod = FastAbod::new(10).unwrap();
+        let fitted = FittedFastAbod::fit(abod, &base);
+        let appended = FittedModel::append_rows(&fitted, &added).unwrap();
+        assert_eq!(appended.n_rows(), all.n_rows());
+        assert_eq!(appended.score_fit_rows(), abod.score_all(&all));
+        assert_eq!(
+            appended.score_fit_rows(),
+            FittedFastAbod::fit(abod, &all).score_fit_rows()
+        );
+        // Non-exact backends refit rather than merge, and still agree
+        // with a from-scratch fit on the extended matrix.
+        let kd = abod.with_backend(NeighborBackend::KdTree);
+        let kd_appended =
+            FittedModel::append_rows(&FittedFastAbod::fit(kd, &base), &added).unwrap();
+        assert_eq!(
+            kd_appended.score_fit_rows(),
+            FittedFastAbod::fit(kd, &all).score_fit_rows()
+        );
     }
 }

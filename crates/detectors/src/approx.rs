@@ -1,0 +1,532 @@
+//! Approximate k-nearest-neighbour search for high-dimensional
+//! projections — deterministic random-hyperplane LSH.
+//!
+//! Space-partitioning trees lose their pruning power as dimensionality
+//! grows (every kd-tree query degenerates toward a full scan well
+//! before d = 16), so the high-dim arm of [`NeighborBackend`] trades
+//! exactness for asymptotics: `L` independent hash tables, each
+//! bucketing rows by the sign pattern of `B` fixed random hyperplanes
+//! through the data mean. Rows sharing a bucket in *any* table are
+//! candidate neighbours; exact distances are then computed only over
+//! that candidate union, so per-row work is O(L · bucket + L·B·d)
+//! instead of O(N·d). `B` scales with `log2(N)`, and on matrices of
+//! at least [`SPLIT_MIN_ROWS`] rows buckets that still exceed
+//! [`SPLIT_CAP`] rows (global sign codes are skewed) are recursively
+//! re-split with extra planes centered on each bucket's own mean —
+//! keeping buckets near a constant target size, so total build cost
+//! is O(N·(log N + L·B·d)), sublinear in N per row where the exact
+//! kernel is linear.
+//!
+//! **Determinism:** the hyperplanes come from a [`SplitMix64`] stream
+//! with a compile-time seed, and bucketing is sort-based (no hash-map
+//! iteration), so the index — and every score downstream of it — is a
+//! pure function of the input matrix. The nondeterminism lint treats
+//! this crate as pure compute; this module keeps that guarantee.
+//!
+//! **Accuracy envelope:** rows whose candidate set undershoots `k` fall
+//! back to an exact scan (counted by `detectors.approx.row_fallbacks`),
+//! and matrices below [`NeighborBackend::APPROX_MIN_ROWS`] rows skip
+//! hashing entirely and use the exact kernel — hashing cannot beat one
+//! blocked pass there, and it makes the committed small-N eval grids
+//! (including the golden testbed) drift-free by construction. Recall
+//! against the exact backend on clustered data is pinned by the tests
+//! below; MAP drift on the golden grid is pinned in tests/golden_grid.rs.
+
+use crate::kernels;
+use crate::knn::KnnTable;
+use anomex_dataset::view::{dot, sq_dist};
+use anomex_dataset::ProjectedMatrix;
+use anomex_parallel::par_chunk_flat_map;
+use anomex_spec::NeighborBackend;
+use std::sync::OnceLock;
+
+/// Process-wide meters separating the three ways an approx build can
+/// resolve: a real LSH build, a whole-matrix exact fallback (small N),
+/// and per-row exact fallbacks (candidate undershoot).
+fn obs_approx_builds() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.approx.builds"))
+}
+
+fn obs_approx_exact_fallbacks() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.approx.exact_fallbacks"))
+}
+
+fn obs_approx_row_fallbacks() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.approx.row_fallbacks"))
+}
+
+/// Fixed seed of the hyperplane stream. A compile-time constant — not
+/// wall-clock, not process entropy — so two builds over the same matrix
+/// are identical across runs and machines.
+const LSH_SEED: u64 = 0x5EED_A99C_0B1D_7E11;
+
+/// Independent hash tables; a near neighbour missed by one sign pattern
+/// gets `L − 1` more chances.
+const TABLES: usize = 8;
+
+/// Target bucket population; `B` is chosen so `N / 2^B` lands near it.
+/// Must comfortably exceed the typical `k` (paper detectors use
+/// k ≤ 15) so one bucket usually covers the whole neighbourhood.
+const TARGET_BUCKET: usize = 64;
+
+/// Bound on hyperplanes per table (codes are packed into a `u64`;
+/// beyond 16 bits buckets would be mostly singletons at any N this
+/// system targets).
+const MAX_BITS: u32 = 16;
+const MIN_BITS: u32 = 4;
+
+/// A bucket larger than this after global hashing is re-split with
+/// extra hyperplanes centered on the *bucket's own mean*. Global
+/// sign codes are skewed (their cells are angular cones, and tight
+/// off-center clusters put a whole cluster on one side of nearly
+/// every plane), so without a cap the row-weighted expected bucket —
+/// and with it per-row rerank cost — grows superlinearly in N.
+/// Local centering makes the extra planes discriminative exactly
+/// where global ones are blind.
+const SPLIT_CAP: usize = 2 * TARGET_BUCKET;
+
+/// Hyperplanes added per re-split level: one. Halving is the gentlest
+/// refinement — sub-buckets land just under [`SPLIT_CAP`] instead of
+/// fragmenting far below it, and every lost candidate is lost recall.
+const SPLIT_BITS: usize = 1;
+
+/// Maximum re-split depth — bounds recursion on pathological runs
+/// (identical rows hash identically at every level and can never
+/// split, so they stop here and stay one bucket).
+const SPLIT_LEVELS: usize = 16;
+
+/// Matrices below this row count skip the re-split entirely. Oversized
+/// buckets only cost real time at scale; at small N the surplus
+/// candidates are cheap and *are* the recall — the committed eval
+/// grids (1 000-row testbeds) stay bit-identical to the pre-split
+/// index, which pins their MAP drift at zero.
+const SPLIT_MIN_ROWS: usize = 8192;
+
+/// SplitMix64 — the workspace's standard tiny deterministic generator.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [−1, 1). For sign-hash LSH any sign-symmetric
+    /// component distribution yields valid hyperplane directions.
+    fn symmetric(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+/// One build's worth of hash tables over a projected matrix.
+struct LshIndex {
+    /// Row ids of each table, sorted by hash code (tables concatenated:
+    /// table `t` occupies `[t * n, (t + 1) * n)`).
+    order: Vec<u32>,
+    /// For table `t` and row `i`, the `[start, end)` extent of `i`'s
+    /// bucket within `order`'s table-`t` segment, stored flat at
+    /// `t * n + i`.
+    bucket: Vec<(u32, u32)>,
+    n_rows: usize,
+}
+
+impl LshIndex {
+    fn build(data: &ProjectedMatrix) -> Self {
+        let n = data.n_rows();
+        let dim = data.dim();
+        let bits = bits_for(n);
+        // Hyperplanes pass through the data mean so sign patterns split
+        // the mass rather than all agreeing on off-center data.
+        let mut mean = vec![0.0f64; dim];
+        for row in data.rows() {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut rng = SplitMix64(LSH_SEED);
+        // planes[t][b] is one hyperplane normal of dim components,
+        // stored flat: table-major, then plane-major.
+        let planes: Vec<f64> = (0..TABLES * bits as usize * dim)
+            .map(|_| rng.symmetric())
+            .collect();
+        // Re-split planes, drawn from the same stream after the global
+        // ones: table-major, then level-major, then plane-major.
+        let split_planes: Vec<f64> = (0..TABLES * SPLIT_LEVELS * SPLIT_BITS * dim)
+            .map(|_| rng.symmetric())
+            .collect();
+
+        let mut order = Vec::with_capacity(TABLES * n);
+        let mut bucket = vec![(0u32, 0u32); TABLES * n];
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n);
+        let mut centered = vec![0.0f64; dim];
+        for t in 0..TABLES {
+            keyed.clear();
+            for (i, row) in data.rows().enumerate() {
+                for (c, (&v, &m)) in centered.iter_mut().zip(row.iter().zip(&mean)) {
+                    *c = v - m;
+                }
+                let mut code = 0u64;
+                for b in 0..bits as usize {
+                    let p0 = (t * bits as usize + b) * dim;
+                    let plane = &planes[p0..p0 + dim];
+                    code = (code << 1) | u64::from(dot(&centered, plane) >= 0.0);
+                }
+                keyed.push((code, i as u32));
+            }
+            keyed.sort_unstable();
+            // Walk equal-code runs; `split_run` refines oversized ones
+            // in place (permuting `keyed` within the run) and records
+            // every leaf bucket's extent. Extents are structural — no
+            // final code-comparison pass — so refined sub-buckets can
+            // never collide with a neighbouring run's codes. Below
+            // [`SPLIT_MIN_ROWS`] the level budget is zero and the walk
+            // reduces to plain extent marking.
+            let levels = if n >= SPLIT_MIN_ROWS { SPLIT_LEVELS } else { 0 };
+            let seg_base = t * n;
+            let tp0 = t * SPLIT_LEVELS * SPLIT_BITS * dim;
+            let table_planes = &split_planes[tp0..tp0 + SPLIT_LEVELS * SPLIT_BITS * dim];
+            let mut run_start = 0usize;
+            for pos in 1..=n {
+                if pos == n || keyed[pos].0 != keyed[run_start].0 {
+                    split_run(
+                        data,
+                        table_planes,
+                        &mut keyed,
+                        run_start,
+                        pos,
+                        levels,
+                        seg_base,
+                        &mut bucket,
+                    );
+                    run_start = pos;
+                }
+            }
+            order.extend(keyed.iter().map(|&(_, i)| i));
+        }
+        LshIndex {
+            order,
+            bucket,
+            n_rows: n,
+        }
+    }
+
+    /// The deduplicated, self-excluded union of row `i`'s buckets
+    /// across all tables, written into `out` (ascending row order).
+    fn candidates_into(&self, i: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let n = self.n_rows;
+        for t in 0..TABLES {
+            let (start, end) = self.bucket[t * n + i];
+            let seg = &self.order[t * n + start as usize..t * n + end as usize];
+            out.extend(seg.iter().copied().filter(|&j| j as usize != i));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// Recursively refines one equal-code run `keyed[start..end]` until
+/// every bucket holds at most [`SPLIT_CAP`] rows (or the level budget
+/// runs out), then records each leaf bucket's extent into `bucket`.
+///
+/// Each level hashes the run's members with [`SPLIT_BITS`] fresh
+/// hyperplanes centered on the *run's own mean* — global-mean planes
+/// cannot cut inside a tight off-center cluster (the whole cluster
+/// sits on one side of nearly every plane), but locally centered ones
+/// split its mass evenly. Within a run all inherited codes are equal,
+/// so members' keys are overwritten with just the sub-code before the
+/// in-place re-sort; determinism is preserved because the planes come
+/// from the seeded stream and ties sort by row id.
+#[allow(clippy::too_many_arguments)]
+fn split_run(
+    data: &ProjectedMatrix,
+    table_planes: &[f64],
+    keyed: &mut [(u64, u32)],
+    start: usize,
+    end: usize,
+    levels_left: usize,
+    seg_base: usize,
+    bucket: &mut [(u32, u32)],
+) {
+    let len = end - start;
+    if len <= SPLIT_CAP || levels_left == 0 {
+        for &(_, i) in &keyed[start..end] {
+            bucket[seg_base + i as usize] = (start as u32, end as u32);
+        }
+        return;
+    }
+    let dim = data.dim();
+    let mut mean = vec![0.0f64; dim];
+    for &(_, i) in &keyed[start..end] {
+        for (m, &v) in mean.iter_mut().zip(data.row(i as usize)) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= len as f64;
+    }
+    let level = SPLIT_LEVELS - levels_left;
+    let mut centered = vec![0.0f64; dim];
+    for slot in &mut keyed[start..end] {
+        let row = data.row(slot.1 as usize);
+        for (c, (&v, &m)) in centered.iter_mut().zip(row.iter().zip(&mean)) {
+            *c = v - m;
+        }
+        let mut code = 0u64;
+        for b in 0..SPLIT_BITS {
+            let p0 = (level * SPLIT_BITS + b) * dim;
+            let plane = &table_planes[p0..p0 + dim];
+            code = (code << 1) | u64::from(dot(&centered, plane) >= 0.0);
+        }
+        slot.0 = code;
+    }
+    keyed[start..end].sort_unstable();
+    let mut run_start = start;
+    for pos in start + 1..=end {
+        if pos == end || keyed[pos].0 != keyed[run_start].0 {
+            split_run(
+                data,
+                table_planes,
+                keyed,
+                run_start,
+                pos,
+                levels_left - 1,
+                seg_base,
+                bucket,
+            );
+            run_start = pos;
+        }
+    }
+}
+
+/// Hyperplanes per table for an `n`-row matrix: enough that buckets
+/// land near [`TARGET_BUCKET`] rows, clamped to `[MIN_BITS, MAX_BITS]`.
+fn bits_for(n: usize) -> u32 {
+    let ideal = (n / TARGET_BUCKET).max(1) as u64;
+    // The smallest B with 2^B ≥ ideal buckets (ceil log2).
+    let ceil_log2 = if ideal <= 1 {
+        0
+    } else {
+        64 - (ideal - 1).leading_zeros()
+    };
+    ceil_log2.clamp(MIN_BITS, MAX_BITS)
+}
+
+/// Computes an approximate kNN table of `data`: deterministic LSH
+/// candidate generation, exact distances over the candidates. Falls
+/// back to the exact blocked kernel when `data` is too small for
+/// hashing to pay ([`NeighborBackend::APPROX_MIN_ROWS`] rows, or
+/// `n < 4k`), and per row when a candidate set undershoots `k`.
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 rows or `k == 0`.
+#[must_use]
+pub fn knn_table_approx(data: &ProjectedMatrix, k: usize) -> KnnTable {
+    let n = data.n_rows();
+    assert!(n >= 2, "kNN needs at least two rows");
+    assert!(k >= 1, "k must be at least 1");
+    if n < NeighborBackend::APPROX_MIN_ROWS || n < 4 * k {
+        obs_approx_exact_fallbacks().incr();
+        return kernels::knn_table_blocked(data, k);
+    }
+    let k = k.min(n - 1);
+    obs_approx_builds().incr();
+    let index = LshIndex::build(data);
+    let index_ref = &index;
+    let flat: Vec<(usize, f64)> = par_chunk_flat_map(n, 32, |start, end| {
+        let mut cands: Vec<u32> = Vec::new();
+        let mut pairs: Vec<(f64, usize)> = Vec::new();
+        let mut part = Vec::with_capacity((end - start) * k);
+        let mut fallbacks = 0u64;
+        for i in start..end {
+            let ri = data.row(i);
+            pairs.clear();
+            index_ref.candidates_into(i, &mut cands);
+            if cands.len() < k {
+                // Candidate undershoot: exact scan for this row.
+                fallbacks += 1;
+                pairs.extend(
+                    (0..n)
+                        .filter(|&j| j != i)
+                        .map(|j| (sq_dist(ri, data.row(j)), j)),
+                );
+            } else {
+                pairs.extend(
+                    cands
+                        .iter()
+                        .map(|&j| (sq_dist(ri, data.row(j as usize)), j as usize)),
+                );
+            }
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            part.extend(pairs.iter().take(k).map(|&(v, j)| (j, v.sqrt())));
+        }
+        if fallbacks > 0 {
+            obs_approx_row_fallbacks().add(fallbacks);
+        }
+        part
+    });
+    let neighbors = flat.iter().map(|&(id, _)| id).collect();
+    let distances = flat.iter().map(|&(_, d)| d).collect();
+    KnnTable::from_flat(neighbors, distances, n, k)
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::knn::knn_table;
+    use anomex_dataset::Dataset;
+
+    /// Clustered 16-dim data — the regime the approx backend targets:
+    /// every row's true neighbours share its cluster, so sign hashes
+    /// separate neighbourhoods cleanly.
+    fn clustered(n: usize, dim: usize, clusters: usize) -> ProjectedMatrix {
+        let mut rng = SplitMix64(0xC1_u64);
+        let centers: Vec<Vec<f64>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.symmetric() * 10.0).collect())
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let c = &centers[i % clusters];
+                c.iter().map(|&v| v + rng.symmetric() * 0.5).collect()
+            })
+            .collect();
+        Dataset::from_rows(rows).unwrap().full_matrix()
+    }
+
+    fn recall_vs_exact(m: &ProjectedMatrix, k: usize) -> f64 {
+        let exact = knn_table(m, k);
+        let approx = knn_table_approx(m, k);
+        assert_eq!(exact.k(), approx.k());
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for i in 0..m.n_rows() {
+            let truth: Vec<usize> = exact.neighbors(i).to_vec();
+            for j in approx.neighbors(i) {
+                if truth.contains(j) {
+                    hit += 1;
+                }
+            }
+            total += truth.len();
+        }
+        hit as f64 / total as f64
+    }
+
+    #[test]
+    fn small_matrices_fall_back_to_the_exact_kernel_bit_identically() {
+        let m = clustered(400, 16, 8); // below APPROX_MIN_ROWS
+        assert_eq!(knn_table_approx(&m, 10), knn_table(&m, 10));
+    }
+
+    #[test]
+    fn recall_is_high_on_clustered_high_dim_data() {
+        let m = clustered(2048, 16, 16);
+        let recall = recall_vs_exact(&m, 10);
+        assert!(recall >= 0.9, "recall {recall} below bound");
+    }
+
+    #[test]
+    fn resplit_path_keeps_recall_on_clustered_data() {
+        // Above SPLIT_MIN_ROWS the oversized-bucket re-split is live:
+        // 16 clusters of 512 rows all exceed SPLIT_CAP, so every
+        // cluster gets refined by locally centered planes. Ground
+        // truth via brute force over a row sample keeps this cheap.
+        let m = clustered(8192, 16, 16);
+        let approx = knn_table_approx(&m, 10);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for i in (0..m.n_rows()).step_by(61) {
+            let ri = m.row(i);
+            let mut d: Vec<(f64, usize)> = (0..m.n_rows())
+                .filter(|&j| j != i)
+                .map(|j| (sq_dist(ri, m.row(j)), j))
+                .collect();
+            d.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let truth: Vec<usize> = d[..10].iter().map(|&(_, j)| j).collect();
+            hit += approx
+                .neighbors(i)
+                .iter()
+                .filter(|j| truth.contains(j))
+                .count();
+            total += truth.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "re-split recall {recall} below bound");
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let m = clustered(1024, 16, 8);
+        assert_eq!(knn_table_approx(&m, 5), knn_table_approx(&m, 5));
+    }
+
+    #[test]
+    fn distances_are_exact_for_reported_neighbors_and_sorted() {
+        let m = clustered(1024, 16, 8);
+        let t = knn_table_approx(&m, 5);
+        for i in 0..m.n_rows() {
+            assert!(!t.neighbors(i).contains(&i));
+            for w in t.distances(i).windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            for (&j, &d) in t.neighbors(i).iter().zip(t.distances(i)) {
+                let true_d = m.sq_dist(i, j).sqrt();
+                assert!((d - true_d).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_match_exact() {
+        // All-duplicate rows: every sign pattern collides, candidates
+        // cover everything, distances all zero — same as exact.
+        let dup = Dataset::from_rows(vec![vec![3.0; 16]; 600])
+            .unwrap()
+            .full_matrix();
+        let t = knn_table_approx(&dup, 4);
+        for i in 0..dup.n_rows() {
+            assert_eq!(t.distances(i), &[0.0; 4]);
+            assert!(!t.neighbors(i).contains(&i));
+        }
+        // Constant columns: hyperplane components on dead axes
+        // contribute nothing; recall stays exact on 1-effective-dim
+        // clustered data.
+        let rows: Vec<Vec<f64>> = (0..600)
+            .map(|i| {
+                let mut r = vec![7.0; 16];
+                r[0] = f64::from(i % 10) * 100.0 + f64::from(i / 10) * 0.01;
+                r
+            })
+            .collect();
+        let m = Dataset::from_rows(rows).unwrap().full_matrix();
+        let recall = recall_vs_exact(&m, 5);
+        assert!(recall >= 0.9, "constant-column recall {recall}");
+        // k ≥ n_rows clamps identically to exact (small n → fallback).
+        let tiny = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]])
+            .unwrap()
+            .full_matrix();
+        assert_eq!(knn_table_approx(&tiny, 50), knn_table(&tiny, 50));
+    }
+
+    #[test]
+    fn bits_scale_with_n() {
+        assert_eq!(bits_for(512), MIN_BITS);
+        assert_eq!(bits_for(64 * 64), 6);
+        assert!(bits_for(1 << 30) == MAX_BITS);
+        // Monotone non-decreasing in n.
+        let mut prev = 0;
+        for n in [512, 1024, 4096, 16384, 65536, 262144] {
+            let b = bits_for(n);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

@@ -33,6 +33,21 @@
 
 use crate::Detector;
 use anomex_dataset::ProjectedMatrix;
+use std::sync::OnceLock;
+
+/// Process-wide meters separating *incremental update* work (an exact
+/// kNN merge absorbed the new rows without rescanning old pairs) from
+/// *rebuild* work (the model refit itself from scratch on the extended
+/// matrix). The serve registry's append path is judged by this split.
+pub(crate) fn obs_append_merges() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.append.merges"))
+}
+
+pub(crate) fn obs_append_rebuilds() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.append.rebuilds"))
+}
 
 /// A detector frozen against one projected matrix: the expensive
 /// data-dependent state (kNN tables, tree ensembles, reference sets) is
@@ -48,6 +63,26 @@ pub trait FittedModel: Send + Sync {
 
     /// Number of rows of the fit matrix.
     fn n_rows(&self) -> usize;
+
+    /// Absorbs `added` rows, returning a **new** model fitted to the
+    /// extended matrix (old rows first, `added` below). Models are
+    /// Arc-shared by the serve registry, so ingestion is copy-on-write
+    /// — the receiver is never mutated.
+    ///
+    /// The returned model is bit-identical to refitting the detector on
+    /// the extended matrix: exact-backend kNN models merge their stored
+    /// table with the new rows (counted by `detectors.append.merges`);
+    /// other models refit in place (counted by
+    /// `detectors.append.rebuilds`), which for the seeded Isolation
+    /// Forest is the identical computation a fresh fit would run.
+    ///
+    /// Returns `None` (the default) when the model cannot absorb rows:
+    /// no stored coordinates ([`PrecomputedScores`]) or a
+    /// dimensionality mismatch. Callers then refit from scratch.
+    fn append_rows(&self, added: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        let _ = added;
+        None
+    }
 }
 
 /// Fallback fitted model for detectors without a dedicated fit path

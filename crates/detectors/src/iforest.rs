@@ -327,6 +327,7 @@ impl ForestRep {
 /// only the read-only path-length evaluation.
 #[derive(Debug, Clone)]
 pub struct FittedIsolationForest {
+    forest: IsolationForest,
     reps: Vec<ForestRep>,
     data: ProjectedMatrix,
 }
@@ -343,6 +344,7 @@ impl FittedIsolationForest {
             })
             .collect();
         FittedIsolationForest {
+            forest,
             reps,
             data: data.clone(),
         }
@@ -384,6 +386,22 @@ impl FittedModel for FittedIsolationForest {
 
     fn n_rows(&self) -> usize {
         self.data.n_rows()
+    }
+
+    fn append_rows(&self, added: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        if added.dim() != self.data.dim() {
+            return None;
+        }
+        if added.n_rows() == 0 {
+            return Some(Box::new(self.clone()));
+        }
+        // Trees cannot absorb rows incrementally without changing the
+        // subsample distribution, so iForest rebuilds on the extended
+        // matrix — the per-repetition seeding makes the rebuild the
+        // identical computation a from-scratch refit would run.
+        crate::fit::obs_append_rebuilds().incr();
+        let extended = self.data.concat(added);
+        Some(Box::new(FittedIsolationForest::fit(self.forest, &extended)))
     }
 }
 
@@ -562,6 +580,32 @@ mod unit_tests {
         assert_eq!(fitted.score_all(), fitted.score_all());
         let via_trait = Detector::fit(&forest, &m).expect("iForest has a fit path");
         assert_eq!(via_trait.score_fit_rows(), forest.score_all(&m));
+    }
+
+    #[test]
+    fn append_then_score_equals_refit_then_score() {
+        let (ds, _) = cluster_with_outlier(100);
+        let m = ds.full_matrix();
+        let mut rng = StdRng::seed_from_u64(23);
+        let added_rows: Vec<Vec<f64>> = (0..15)
+            .map(|_| vec![rng.gen::<f64>() * 0.1, rng.gen::<f64>() * 0.1])
+            .collect();
+        let added = Dataset::from_rows(added_rows).unwrap().full_matrix();
+        let all = m.concat(&added);
+        let forest = IsolationForest::builder()
+            .trees(20)
+            .repetitions(2)
+            .seed(5)
+            .build()
+            .unwrap();
+        let fitted = FittedIsolationForest::fit(forest, &m);
+        let appended = FittedModel::append_rows(&fitted, &added).unwrap();
+        assert_eq!(appended.n_rows(), all.n_rows());
+        assert_eq!(appended.score_fit_rows(), forest.score_all(&all));
+        assert_eq!(
+            appended.score_fit_rows(),
+            FittedIsolationForest::fit(forest, &all).score_fit_rows()
+        );
     }
 
     #[test]

@@ -35,6 +35,32 @@ enum Node {
     },
 }
 
+/// Reusable query state: the bounded candidate heap plus the per-axis
+/// offset vector of the incremental cell-distance bound. One scratch
+/// per worker amortizes all per-query allocation across a batch of
+/// queries ([`crate::knn::knn_table_kdtree`] keeps one per row chunk).
+pub struct KdScratch {
+    heap: BoundedMaxHeap,
+    offsets: Vec<f64>,
+}
+
+impl KdScratch {
+    /// An empty scratch; sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        KdScratch {
+            heap: BoundedMaxHeap::new(0),
+            offsets: Vec::new(),
+        }
+    }
+}
+
+impl Default for KdScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<'a> KdTree<'a> {
     /// Builds the tree in O(N log N) expected time (median-of-axis
     /// partitioning via `select_nth_unstable`).
@@ -54,26 +80,72 @@ impl<'a> KdTree<'a> {
         KdTree { data, nodes, ids }
     }
 
+    /// The tree's row permutation: every row id, leaf-contiguous (each
+    /// node owns a contiguous range). Querying rows in this order makes
+    /// consecutive queries share most of their search path and hit hot
+    /// leaf blocks — the batch table build iterates it instead of raw
+    /// row order and scatters results back.
+    #[must_use]
+    pub fn row_order(&self) -> &[u32] {
+        &self.ids
+    }
+
     /// The `k` nearest neighbours of `query` (excluding `exclude`, used
     /// for self-queries), as `(row, squared_distance)` sorted ascending.
     #[must_use]
     pub fn knn(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<(usize, f64)> {
+        let mut scratch = KdScratch::new();
+        let mut out = Vec::new();
+        self.knn_into(query, k, exclude, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`KdTree::knn`] with caller-owned buffers: `out` is cleared and
+    /// filled with the `k` nearest `(row, squared_distance)` ascending.
+    /// Reusing `scratch` and `out` across queries makes the batch
+    /// table build allocation-free per row.
+    pub fn knn_into(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        scratch: &mut KdScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) {
         assert_eq!(
             query.len(),
             self.data.dim(),
             "query dimensionality mismatch"
         );
-        let mut heap = BoundedMaxHeap::new(k);
-        self.search(0, query, exclude, &mut heap);
-        heap.into_sorted()
+        scratch.heap.reset(k);
+        scratch.offsets.clear();
+        scratch.offsets.resize(self.data.dim(), 0.0);
+        self.search(
+            0,
+            query,
+            exclude,
+            &mut scratch.heap,
+            0.0,
+            &mut scratch.offsets,
+        );
+        scratch.heap.drain_sorted_into(out);
     }
 
+    /// Depth-first pruned search. `cell_sq` is the squared distance
+    /// from the query to this node's cell and `offsets[a]` the query's
+    /// per-axis offset beyond that cell's boundary (0 while inside) —
+    /// the incremental cell-distance bound: descending to the far
+    /// child replaces one axis term, so the bound tightens with every
+    /// split crossed instead of testing each splitting plane in
+    /// isolation.
     fn search(
         &self,
         node: usize,
         query: &[f64],
         exclude: Option<usize>,
         heap: &mut BoundedMaxHeap,
+        cell_sq: f64,
+        offsets: &mut [f64],
     ) {
         match &self.nodes[node] {
             Node::Leaf { start, end } => {
@@ -92,17 +164,22 @@ impl<'a> KdTree<'a> {
                 left,
                 right,
             } => {
-                let diff = query[*axis as usize] - value;
+                let axis = *axis as usize;
+                let diff = query[axis] - value;
                 let (near, far) = if diff < 0.0 {
                     (*left as usize, *right as usize)
                 } else {
                     (*right as usize, *left as usize)
                 };
-                self.search(near, query, exclude, heap);
-                // Prune the far side when the splitting plane is farther
+                self.search(near, query, exclude, heap, cell_sq, offsets);
+                let old_off = offsets[axis];
+                let far_sq = cell_sq - old_off * old_off + diff * diff;
+                // Prune the far side when its whole cell is farther
                 // than the current k-th best.
-                if !heap.full() || diff * diff < heap.worst() {
-                    self.search(far, query, exclude, heap);
+                if !heap.full() || far_sq < heap.worst() {
+                    offsets[axis] = diff;
+                    self.search(far, query, exclude, heap, far_sq, offsets);
+                    offsets[axis] = old_off;
                 }
             }
         }
@@ -186,6 +263,13 @@ impl BoundedMaxHeap {
         }
     }
 
+    /// Empties the heap and re-arms it for a `k`-candidate query.
+    fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.items.clear();
+        self.items.reserve(k + 1);
+    }
+
     fn full(&self) -> bool {
         self.items.len() >= self.k
     }
@@ -238,9 +322,12 @@ impl BoundedMaxHeap {
         }
     }
 
-    fn into_sorted(mut self) -> Vec<(usize, f64)> {
+    /// Sorts the candidates ascending by distance into `out` (cleared
+    /// first), leaving the heap empty for reuse.
+    fn drain_sorted_into(&mut self, out: &mut Vec<(usize, f64)>) {
         self.items.sort_by(|a, b| a.1.total_cmp(&b.1));
-        self.items
+        out.clear();
+        out.append(&mut self.items);
     }
 }
 

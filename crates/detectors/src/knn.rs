@@ -9,24 +9,17 @@
 //! as [`crate::kernels::knn_table_naive`], the reference the
 //! equivalence tests and benches compare against.
 
-use crate::kdtree::KdTree;
+use crate::kdtree::{KdScratch, KdTree};
 use crate::kernels;
+use anomex_dataset::view::dot;
 use anomex_dataset::ProjectedMatrix;
 use anomex_parallel::par_chunk_flat_map;
 
-/// Which exact-kNN implementation a detector should use.
-///
-/// Both backends return identical distances; neighbour *identities* may
-/// differ between backends only under exact distance ties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum KnnBackend {
-    /// Blocked O(N²·d) scan — the reference semantics and the default.
-    #[default]
-    BruteForce,
-    /// k-d tree — typically faster in the 2–5d projections subspace
-    /// search lives in.
-    KdTree,
-}
+pub use anomex_spec::NeighborBackend;
+
+/// Rows per parallel work item of the kd-tree query and append-merge
+/// loops.
+const QUERY_CHUNK: usize = 32;
 
 /// k-nearest neighbours of every row in a flat, `k`-strided layout:
 /// row `i`'s neighbours and distances live at `[i * k, (i + 1) * k)` of
@@ -111,34 +104,125 @@ impl KnnTable {
     }
 }
 
-/// Computes the kNN table of `data` with the chosen backend.
+/// Computes the kNN table of `data` with the chosen backend. `Auto`
+/// resolves to a concrete backend from the data shape
+/// ([`NeighborBackend::resolve`]) before dispatching.
+///
+/// `Exact` and `KdTree` return identical distances; neighbour
+/// *identities* may differ between them only under exact distance
+/// ties. `Approx` may miss true neighbours on adversarial data (its
+/// recall/MAP-drift envelope is pinned by the [`crate::approx`]
+/// tests) and falls back to the exact kernel below
+/// [`NeighborBackend::APPROX_MIN_ROWS`] rows.
 ///
 /// # Panics
 /// Panics if `data` has fewer than 2 rows or `k == 0`.
 #[must_use]
-pub fn knn_table_with(data: &ProjectedMatrix, k: usize, backend: KnnBackend) -> KnnTable {
-    match backend {
-        KnnBackend::BruteForce => knn_table(data, k),
-        KnnBackend::KdTree => {
-            let n = data.n_rows();
-            assert!(n >= 2, "kNN needs at least two rows");
-            assert!(k >= 1, "k must be at least 1");
-            let k = k.min(n - 1);
-            let tree = KdTree::build(data);
-            let tree_ref = &tree;
-            let flat: Vec<(usize, f64)> = par_chunk_flat_map(n, 32, |start, end| {
-                let mut part = Vec::with_capacity((end - start) * k);
-                for i in start..end {
-                    let nn = tree_ref.knn(data.row(i), k, Some(i));
-                    part.extend(nn.iter().map(|&(id, d)| (id, d.sqrt())));
-                }
-                part
-            });
-            let neighbors = flat.iter().map(|&(id, _)| id).collect();
-            let distances = flat.iter().map(|&(_, d)| d).collect();
-            KnnTable::from_flat(neighbors, distances, n, k)
+pub fn knn_table_with(data: &ProjectedMatrix, k: usize, backend: NeighborBackend) -> KnnTable {
+    match backend.resolve(data.n_rows(), data.dim()) {
+        NeighborBackend::Exact => knn_table(data, k),
+        NeighborBackend::KdTree => knn_table_kdtree(data, k),
+        NeighborBackend::Approx => crate::approx::knn_table_approx(data, k),
+        // `resolve` never returns `Auto`; exact is the safe identity.
+        NeighborBackend::Auto => knn_table(data, k),
+    }
+}
+
+/// Computes the kNN table by querying a freshly built kd-tree with
+/// every row, parallel over row chunks. Same distances as the exact
+/// kernel; tie order between equidistant neighbours is unspecified.
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 rows or `k == 0`.
+#[must_use]
+pub fn knn_table_kdtree(data: &ProjectedMatrix, k: usize) -> KnnTable {
+    let n = data.n_rows();
+    assert!(n >= 2, "kNN needs at least two rows");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n - 1);
+    let tree = KdTree::build(data);
+    let tree_ref = &tree;
+    // Query rows in leaf order, not row order: consecutive queries
+    // then share most of their tree path and reuse hot leaf blocks.
+    // Results come back leaf-ordered and are scattered into row order
+    // below — an O(n·k) pass that the locality win dwarfs.
+    let order = tree.row_order();
+    let flat: Vec<(usize, f64)> = par_chunk_flat_map(n, QUERY_CHUNK, |start, end| {
+        let mut part = Vec::with_capacity((end - start) * k);
+        let mut scratch = KdScratch::new();
+        let mut nn = Vec::with_capacity(k);
+        for &row in &order[start..end] {
+            let i = row as usize;
+            tree_ref.knn_into(data.row(i), k, Some(i), &mut scratch, &mut nn);
+            part.extend(nn.iter().map(|&(id, d)| (id, d.sqrt())));
+        }
+        part
+    });
+    let mut neighbors = vec![0usize; n * k];
+    let mut distances = vec![0.0f64; n * k];
+    for (p, &row) in order.iter().enumerate() {
+        let dst = row as usize * k;
+        for (j, &(id, d)) in flat[p * k..(p + 1) * k].iter().enumerate() {
+            neighbors[dst + j] = id;
+            distances[dst + j] = d;
         }
     }
+    KnnTable::from_flat(neighbors, distances, n, k)
+}
+
+/// Extends an **exact-backend** kNN table to cover `extended` — the fit
+/// matrix the table was built on with new rows appended below it —
+/// without rescanning old-row × old-row pairs.
+///
+/// Correctness rests on a superset argument: an old row's new top-k
+/// neighbour set can only contain old rows that were already in its
+/// stored top-k (any old row ranked ≤ k among all rows is ranked ≤ k
+/// among old rows alone; when the stored k was clamped to
+/// `old_n − 1`, *every* old row is stored), so per old row it suffices
+/// to re-rank `stored neighbours ∪ appended rows`. Appended rows get a
+/// full scan. Distances are recomputed from coordinates with the exact
+/// arithmetic of the blocked kernel (`‖a‖² + ‖b‖² − 2⟨a,b⟩`, ascending
+/// feature order, clamped at 0) and selected by the same
+/// `(value, index)` order, so the result is **bit-identical** to
+/// refitting on `extended` — the property the append-equivalence tests
+/// pin. Cost: O(old_n · (k + added)) + O(added · n) instead of O(n²).
+///
+/// # Panics
+/// Panics when `extended` has fewer rows than `old` covers or `k == 0`.
+#[must_use]
+pub fn merge_knn_exact(old: &KnnTable, extended: &ProjectedMatrix, k: usize) -> KnnTable {
+    let old_n = old.n_rows();
+    let new_n = extended.n_rows();
+    assert!(new_n >= old_n, "extended matrix must contain the old rows");
+    assert!(new_n >= 2, "kNN needs at least two rows");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(new_n - 1);
+    let mut sq_norms = Vec::new();
+    extended.sq_norms_into(&mut sq_norms);
+    let norms = &sq_norms;
+    let flat: Vec<(usize, f64)> = par_chunk_flat_map(new_n, QUERY_CHUNK, |start, end| {
+        let mut pairs: Vec<(f64, usize)> = Vec::new();
+        let mut part = Vec::with_capacity((end - start) * k);
+        for i in start..end {
+            let ri = extended.row(i);
+            pairs.clear();
+            let sq_to = |j: usize| (norms[i] + norms[j] - 2.0 * dot(ri, extended.row(j))).max(0.0);
+            if i < old_n {
+                // Old row: stored neighbours plus every appended row.
+                pairs.extend(old.neighbors(i).iter().map(|&j| (sq_to(j), j)));
+                pairs.extend((old_n..new_n).map(|j| (sq_to(j), j)));
+            } else {
+                // Appended row: full scan.
+                pairs.extend((0..new_n).filter(|&j| j != i).map(|j| (sq_to(j), j)));
+            }
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            part.extend(pairs.iter().take(k).map(|&(v, j)| (j, v.sqrt())));
+        }
+        part
+    });
+    let neighbors = flat.iter().map(|&(id, _)| id).collect();
+    let distances = flat.iter().map(|&(_, d)| d).collect();
+    KnnTable::from_flat(neighbors, distances, new_n, k)
 }
 
 /// Computes the kNN table of `data` with `k` clamped to `n_rows − 1`
@@ -219,14 +303,112 @@ mod unit_tests {
             .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
             .collect();
         let m = Dataset::from_rows(rows).unwrap().full_matrix();
-        let brute = knn_table_with(&m, 10, KnnBackend::BruteForce);
-        let tree = knn_table_with(&m, 10, KnnBackend::KdTree);
+        let brute = knn_table_with(&m, 10, NeighborBackend::Exact);
+        let tree = knn_table_with(&m, 10, NeighborBackend::KdTree);
         assert_eq!(brute.k(), tree.k());
         for i in 0..m.n_rows() {
             for (a, b) in brute.distances(i).iter().zip(tree.distances(i)) {
                 assert!((a - b).abs() < 1e-9, "row {i}");
             }
         }
+    }
+
+    #[test]
+    fn auto_backend_resolves_from_the_data_shape() {
+        // Tiny low-dim data: auto must land on the exact kernel and be
+        // bit-identical to it.
+        let m = line();
+        let auto = knn_table_with(&m, 2, NeighborBackend::Auto);
+        let exact = knn_table_with(&m, 2, NeighborBackend::Exact);
+        assert_eq!(auto, exact);
+        assert_eq!(
+            NeighborBackend::Auto.resolve(m.n_rows(), m.dim()),
+            NeighborBackend::Exact
+        );
+    }
+
+    #[test]
+    fn kdtree_handles_degenerate_inputs_like_exact() {
+        // All-duplicate rows, a constant column, k ≥ n_rows, and a
+        // two-row matrix: distances must match the exact kernel.
+        let cases: Vec<(ProjectedMatrix, usize)> = vec![
+            (
+                Dataset::from_rows(vec![vec![2.0, 2.0]; 7])
+                    .unwrap()
+                    .full_matrix(),
+                3,
+            ),
+            (
+                Dataset::from_rows((0..9).map(|i| vec![f64::from(i), 5.0]).collect())
+                    .unwrap()
+                    .full_matrix(),
+                4,
+            ),
+            (line(), 100),
+            (
+                Dataset::from_rows(vec![vec![0.0], vec![1.0]])
+                    .unwrap()
+                    .full_matrix(),
+                1,
+            ),
+        ];
+        for (m, k) in cases {
+            let exact = knn_table_with(&m, k, NeighborBackend::Exact);
+            let tree = knn_table_with(&m, k, NeighborBackend::KdTree);
+            assert_eq!(exact.k(), tree.k());
+            for i in 0..m.n_rows() {
+                for (a, b) in exact.distances(i).iter().zip(tree.distances(i)) {
+                    assert!((a - b).abs() < 1e-12, "row {i}: {a} vs {b}");
+                }
+                assert!(!tree.neighbors(i).contains(&i), "self excluded at {i}");
+            }
+        }
+    }
+
+    fn split_rows(rows: Vec<Vec<f64>>, old_n: usize) -> (ProjectedMatrix, ProjectedMatrix) {
+        let old = Dataset::from_rows(rows[..old_n].to_vec())
+            .unwrap()
+            .full_matrix();
+        let all = Dataset::from_rows(rows).unwrap().full_matrix();
+        (old, all)
+    }
+
+    #[test]
+    fn merge_is_bit_identical_to_refit() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(97);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
+            .collect();
+        for k in [1, 5, 15] {
+            let (old_m, all_m) = split_rows(rows.clone(), 260);
+            let old = knn_table(&old_m, k);
+            let merged = merge_knn_exact(&old, &all_m, k);
+            let refit = knn_table(&all_m, k);
+            assert_eq!(merged, refit, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn merge_grows_clamped_k_and_handles_duplicates() {
+        // Old table clamped to k = old_n − 1 = 2; after the append the
+        // clamp loosens to 4 and every row (including exact duplicates)
+        // must match a fresh refit bit for bit.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.5, 0.5],
+            vec![0.0, 0.0],
+        ];
+        let (old_m, all_m) = split_rows(rows, 3);
+        let old = knn_table(&old_m, 4);
+        assert_eq!(old.k(), 2);
+        let merged = merge_knn_exact(&old, &all_m, 4);
+        let refit = knn_table(&all_m, 4);
+        assert_eq!(merged, refit);
+        assert_eq!(merged.k(), 4);
     }
 
     #[test]

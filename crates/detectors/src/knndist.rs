@@ -14,7 +14,7 @@
 
 use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
-use crate::knn::{knn_table_with, KnnBackend, KnnTable};
+use crate::knn::{knn_table_with, merge_knn_exact, KnnTable, NeighborBackend};
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
@@ -42,7 +42,7 @@ pub enum KnnAggregation {
 pub struct KnnDist {
     k: usize,
     aggregation: KnnAggregation,
-    backend: KnnBackend,
+    backend: NeighborBackend,
 }
 
 impl KnnDist {
@@ -60,7 +60,7 @@ impl KnnDist {
         Ok(KnnDist {
             k,
             aggregation: KnnAggregation::default(),
-            backend: KnnBackend::default(),
+            backend: NeighborBackend::default(),
         })
     }
 
@@ -77,11 +77,17 @@ impl KnnDist {
         self
     }
 
-    /// Selects the kNN backend.
+    /// Selects the neighbor backend.
     #[must_use]
-    pub fn with_backend(mut self, backend: KnnBackend) -> Self {
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// The configured neighbor backend.
+    #[must_use]
+    pub fn backend(&self) -> NeighborBackend {
+        self.backend
     }
 
     /// Collapses each row's neighbour distances into one score.
@@ -109,6 +115,11 @@ impl Detector for KnnDist {
     }
 
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        // The distance-memo path bypasses the backend dispatch, so it
+        // only stands in for `score_all` when the backend is exact.
+        if self.backend != NeighborBackend::Exact {
+            return None;
+        }
         Some(self.aggregate(&knn_table_from_sq_dists(dists, self.k)))
     }
 
@@ -118,22 +129,30 @@ impl Detector for KnnDist {
 }
 
 /// kNN-distance frozen against one matrix: the kNN table is computed
-/// once at fit time; scoring replays only the aggregation.
+/// once at fit time; scoring replays only the aggregation. The
+/// projected coordinates are kept alongside so the model can absorb
+/// appended rows ([`FittedModel::append_rows`]).
 #[derive(Debug, Clone)]
 pub struct FittedKnnDist {
     det: KnnDist,
     knn: KnnTable,
+    data: ProjectedMatrix,
 }
 
 impl FittedKnnDist {
-    /// Builds the kNN table of `data` and freezes it.
+    /// Builds the kNN table of `data` and freezes it together with the
+    /// coordinates.
     ///
     /// # Panics
     /// Panics when `data` has fewer than 2 rows (kNN is undefined).
     #[must_use]
     pub fn fit(det: KnnDist, data: &ProjectedMatrix) -> Self {
         let knn = knn_table_with(data, det.k, det.backend);
-        FittedKnnDist { det, knn }
+        FittedKnnDist {
+            det,
+            knn,
+            data: data.clone(),
+        }
     }
 
     /// The frozen kNN table.
@@ -161,6 +180,28 @@ impl FittedModel for FittedKnnDist {
 
     fn n_rows(&self) -> usize {
         self.knn.n_rows()
+    }
+
+    fn append_rows(&self, added: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        if added.dim() != self.data.dim() {
+            return None;
+        }
+        if added.n_rows() == 0 {
+            return Some(Box::new(self.clone()));
+        }
+        let extended = self.data.concat(added);
+        if self.det.backend == NeighborBackend::Exact {
+            crate::fit::obs_append_merges().incr();
+            let knn = merge_knn_exact(&self.knn, &extended, self.det.k);
+            Some(Box::new(FittedKnnDist {
+                det: self.det,
+                knn,
+                data: extended,
+            }))
+        } else {
+            crate::fit::obs_append_rebuilds().incr();
+            Some(Box::new(FittedKnnDist::fit(self.det, &extended)))
+        }
     }
 }
 
@@ -257,6 +298,41 @@ mod unit_tests {
     #[test]
     fn rejects_zero_k() {
         assert!(KnnDist::new(0).is_err());
+    }
+
+    #[test]
+    fn append_then_score_equals_refit_then_score() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let all = Dataset::from_rows(rows.clone()).unwrap().full_matrix();
+        let base = Dataset::from_rows(rows[..100].to_vec())
+            .unwrap()
+            .full_matrix();
+        let added = Dataset::from_rows(rows[100..].to_vec())
+            .unwrap()
+            .full_matrix();
+        for agg in [KnnAggregation::Max, KnnAggregation::Mean] {
+            let det = KnnDist::new(15).unwrap().with_aggregation(agg);
+            let fitted = FittedKnnDist::fit(det, &base);
+            let appended = FittedModel::append_rows(&fitted, &added).unwrap();
+            assert_eq!(appended.n_rows(), all.n_rows());
+            assert_eq!(appended.score_fit_rows(), det.score_all(&all), "{agg:?}");
+            assert_eq!(
+                appended.score_fit_rows(),
+                FittedKnnDist::fit(det, &all).score_fit_rows(),
+                "{agg:?}"
+            );
+        }
+        // Dimensionality mismatch is rejected rather than mangled.
+        let fitted = FittedKnnDist::fit(KnnDist::new(5).unwrap(), &base);
+        let wrong = Dataset::from_rows(vec![vec![1.0], vec![2.0]])
+            .unwrap()
+            .full_matrix();
+        assert!(FittedModel::append_rows(&fitted, &wrong).is_none());
     }
 
     #[test]

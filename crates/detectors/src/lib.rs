@@ -36,6 +36,7 @@
 #![deny(unsafe_code)]
 
 pub mod abod;
+pub mod approx;
 pub mod fit;
 pub mod iforest;
 pub mod kdtree;
@@ -50,6 +51,7 @@ pub mod zscore;
 pub use abod::{FastAbod, FittedFastAbod};
 pub use fit::{fit_model, FittedModel, PrecomputedScores};
 pub use iforest::{FittedIsolationForest, IsolationForest};
+pub use knn::NeighborBackend;
 pub use knndist::{FittedKnnDist, KnnDist};
 pub use loda::Loda;
 pub use lof::{FittedLof, Lof};

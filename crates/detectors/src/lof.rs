@@ -7,7 +7,7 @@
 
 use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
-use crate::knn::{knn_table_with, KnnBackend, KnnTable};
+use crate::knn::{knn_table_with, merge_knn_exact, KnnTable, NeighborBackend};
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
@@ -26,7 +26,7 @@ const MIN_MEAN_REACH: f64 = 1e-12;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lof {
     k: usize,
-    backend: KnnBackend,
+    backend: NeighborBackend,
 }
 
 impl Lof {
@@ -43,16 +43,23 @@ impl Lof {
         }
         Ok(Lof {
             k,
-            backend: KnnBackend::default(),
+            backend: NeighborBackend::default(),
         })
     }
 
-    /// Selects the kNN backend (brute force by default; the k-d tree is
-    /// usually faster for 2–5d projections).
+    /// Selects the neighbor backend (exact by default; the k-d tree is
+    /// usually faster for 2–5d projections, the approximate index for
+    /// large high-dim matrices).
     #[must_use]
-    pub fn with_backend(mut self, backend: KnnBackend) -> Self {
+    pub fn with_backend(mut self, backend: NeighborBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// The configured neighbor backend.
+    #[must_use]
+    pub fn backend(&self) -> NeighborBackend {
+        self.backend
     }
 
     /// The configured neighbourhood size.
@@ -105,6 +112,11 @@ impl Detector for Lof {
     }
 
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
+        // The distance-memo path bypasses the backend dispatch, so it
+        // only stands in for `score_all` when the backend is exact.
+        if self.backend != NeighborBackend::Exact {
+            return None;
+        }
         Some(self.score_from_knn(&knn_table_from_sq_dists(dists, self.k)))
     }
 
@@ -114,22 +126,30 @@ impl Detector for Lof {
 }
 
 /// LOF frozen against one matrix: the kNN table is computed once at fit
-/// time, after which scoring is a cheap read-only pass over it.
+/// time, after which scoring is a cheap read-only pass over it. The
+/// projected coordinates are kept alongside so the model can absorb
+/// appended rows ([`FittedModel::append_rows`]).
 #[derive(Debug, Clone)]
 pub struct FittedLof {
     lof: Lof,
     knn: KnnTable,
+    data: ProjectedMatrix,
 }
 
 impl FittedLof {
-    /// Builds the kNN table of `data` and freezes it.
+    /// Builds the kNN table of `data` and freezes it together with the
+    /// coordinates.
     ///
     /// # Panics
     /// Panics when `data` has fewer than 2 rows (kNN is undefined).
     #[must_use]
     pub fn fit(lof: Lof, data: &ProjectedMatrix) -> Self {
         let knn = knn_table_with(data, lof.k, lof.backend);
-        FittedLof { lof, knn }
+        FittedLof {
+            lof,
+            knn,
+            data: data.clone(),
+        }
     }
 
     /// The frozen kNN table.
@@ -158,6 +178,32 @@ impl FittedModel for FittedLof {
 
     fn n_rows(&self) -> usize {
         self.knn.n_rows()
+    }
+
+    fn append_rows(&self, added: &ProjectedMatrix) -> Option<Box<dyn FittedModel>> {
+        if added.dim() != self.data.dim() {
+            return None;
+        }
+        if added.n_rows() == 0 {
+            return Some(Box::new(self.clone()));
+        }
+        let extended = self.data.concat(added);
+        if self.lof.backend == NeighborBackend::Exact {
+            // Incremental merge: bit-identical to a refit, without the
+            // old-row × old-row rescan.
+            crate::fit::obs_append_merges().incr();
+            let knn = merge_knn_exact(&self.knn, &extended, self.lof.k);
+            Some(Box::new(FittedLof {
+                lof: self.lof,
+                knn,
+                data: extended,
+            }))
+        } else {
+            // Non-exact tables have backend-specific tie orders; a
+            // refit keeps append ≡ refit trivially true.
+            crate::fit::obs_append_rebuilds().incr();
+            Some(Box::new(FittedLof::fit(self.lof, &extended)))
+        }
     }
 }
 
@@ -297,10 +343,35 @@ mod unit_tests {
         let brute = Lof::new(5).unwrap().score_all(&ds.full_matrix());
         let tree = Lof::new(5)
             .unwrap()
-            .with_backend(crate::knn::KnnBackend::KdTree)
+            .with_backend(NeighborBackend::KdTree)
             .score_all(&ds.full_matrix());
         for (a, b) in brute.iter().zip(&tree) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn append_then_score_equals_refit_then_score() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let rows: Vec<Vec<f64>> = (0..120).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let old = Dataset::from_rows(rows[..100].to_vec())
+            .unwrap()
+            .full_matrix();
+        let added = Dataset::from_rows(rows[100..].to_vec())
+            .unwrap()
+            .full_matrix();
+        let all = Dataset::from_rows(rows).unwrap().full_matrix();
+        let lof = Lof::new(15).unwrap();
+        let fitted = FittedLof::fit(lof, &old);
+        let appended = FittedModel::append_rows(&fitted, &added).expect("exact LOF appends");
+        assert_eq!(appended.n_rows(), all.n_rows());
+        assert_eq!(appended.score_fit_rows(), lof.score_all(&all));
+        assert_eq!(
+            appended.score_fit_rows(),
+            FittedLof::fit(lof, &all).score_fit_rows()
+        );
+        // Dim mismatch is refused, empty appends are identity.
+        let wrong = Dataset::from_rows(vec![vec![1.0]]).unwrap().full_matrix();
+        assert!(FittedModel::append_rows(&fitted, &wrong).is_none());
     }
 }

@@ -3,7 +3,7 @@
 use anomex_dataset::{Dataset, IncrementalDistances, Subspace};
 use anomex_detectors::kdtree::KdTree;
 use anomex_detectors::kernels::{knn_table_blocked, knn_table_from_sq_dists, knn_table_naive};
-use anomex_detectors::knn::{knn_table, knn_table_with, KnnBackend};
+use anomex_detectors::knn::{knn_table, knn_table_with, NeighborBackend};
 use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Loda, Lof};
 use anomex_stats::descriptive::OnlineMoments;
 use proptest::prelude::*;
@@ -128,7 +128,7 @@ proptest! {
                 prop_assert!(w[0] <= w[1]);
             }
         }
-        let kd = knn_table_with(&m, k, KnnBackend::KdTree);
+        let kd = knn_table_with(&m, k, NeighborBackend::KdTree);
         for i in 0..ds.n_rows() {
             for (a, b) in t.distances(i).iter().zip(kd.distances(i)) {
                 prop_assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
@@ -199,7 +199,7 @@ proptest! {
         prop_assert_eq!(&first, &abod.score_all(&m));
         // Serial reference: the textbook Fast ABOD loop, no scratch
         // reuse, no parallelism.
-        let knn = knn_table_with(&m, 4, KnnBackend::BruteForce);
+        let knn = knn_table_with(&m, 4, NeighborBackend::Exact);
         for (p, score) in first.iter().enumerate() {
             let rp = m.row(p);
             let diffs: Vec<Vec<f64>> = knn.neighbors(p).iter()

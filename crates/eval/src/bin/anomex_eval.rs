@@ -21,6 +21,7 @@ use anomex_eval::experiment::ExperimentConfig;
 use anomex_eval::report;
 use anomex_eval::runner::{run_grid, ResultTable};
 use anomex_eval::tradeoff;
+use anomex_spec::NeighborBackend;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -31,6 +32,7 @@ struct Args {
     out: PathBuf,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    backend: NeighborBackend,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut trace = None;
     let mut metrics = None;
+    let mut backend = NeighborBackend::Exact;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -64,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => {
                 metrics = Some(PathBuf::from(argv.next().ok_or("--metrics needs a value")?));
             }
+            "--backend" => {
+                backend = NeighborBackend::parse(&argv.next().ok_or("--backend needs a value")?)?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -78,12 +84,14 @@ fn parse_args() -> Result<Args, String> {
         out,
         trace,
         metrics,
+        backend,
     })
 }
 
 const USAGE: &str =
     "usage: anomex-eval <table1|fig8|fig9|fig10|fig11|table2|recommend|overlap|all> \
-[--fast|--full] [--seed N] [--out DIR] [--trace FILE] [--metrics FILE]";
+[--fast|--full] [--seed N] [--out DIR] [--trace FILE] [--metrics FILE] \
+[--backend exact|kdtree|approx|auto]";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -93,11 +101,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cfg = match args.mode {
+    let mut cfg = match args.mode {
         Mode::Fast => ExperimentConfig::fast(args.seed),
         Mode::Balanced => ExperimentConfig::balanced(args.seed),
         Mode::Full => ExperimentConfig::full(args.seed),
     };
+    cfg.backend = args.backend;
     let fast = args.mode == Mode::Fast;
     std::fs::create_dir_all(&args.out).expect("create output directory");
     if let Some(path) = &args.trace {

@@ -19,7 +19,7 @@ use anomex_core::cache::ScoreCache;
 use anomex_core::pipeline::Pipeline;
 use anomex_dataset::gen::fullspace::FullSpacePreset;
 use anomex_dataset::gen::hics::HicsPreset;
-use anomex_spec::{DetectorSpec, ExplainerSpec, PipelineSpec};
+use anomex_spec::{DetectorSpec, ExplainerSpec, NeighborBackend, PipelineSpec};
 
 /// Tunable knobs of one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +52,11 @@ pub struct ExperimentConfig {
     /// Dimensionalities of the exhaustive-LOF ground-truth derivation
     /// for the full-space family.
     pub gt_dims_end: usize,
+    /// Neighbor-search backend of the kNN detectors (LOF, Fast ABOD).
+    /// `Exact` reproduces the committed golden grids bit-for-bit;
+    /// `KdTree`/`Approx`/`Auto` trade exactness (Approx) or generality
+    /// (KdTree: low dims) for sublinear neighbor search.
+    pub backend: NeighborBackend,
 }
 
 impl ExperimentConfig {
@@ -71,6 +76,7 @@ impl ExperimentConfig {
             eval_budget: 3_000,
             cache_capacity: None,
             gt_dims_end: 3,
+            backend: NeighborBackend::Exact,
         }
     }
 
@@ -93,6 +99,7 @@ impl ExperimentConfig {
             eval_budget: 9_000,
             cache_capacity: None,
             gt_dims_end: 4,
+            backend: NeighborBackend::Exact,
         }
     }
 
@@ -113,6 +120,7 @@ impl ExperimentConfig {
             eval_budget: 2_000_000,
             cache_capacity: Some(1 << 20),
             gt_dims_end: 4,
+            backend: NeighborBackend::Exact,
         }
     }
 
@@ -152,8 +160,8 @@ impl ExperimentConfig {
     #[must_use]
     pub fn detector_specs(&self) -> [DetectorSpec; 3] {
         [
-            DetectorSpec::lof(),
-            DetectorSpec::fast_abod(),
+            DetectorSpec::lof().with_backend(self.backend),
+            DetectorSpec::fast_abod().with_backend(self.backend),
             DetectorSpec::IsolationForest {
                 trees: 100,
                 psi: 256,
@@ -354,6 +362,22 @@ mod unit_tests {
         // Beam grows with points, dims and features.
         let beam = cfg.estimated_evaluations("Beam_FX", 39, 5, 10);
         assert!(beam > cfg.estimated_evaluations("Beam_FX", 39, 2, 10));
+    }
+
+    #[test]
+    fn backend_knob_reaches_the_knn_detector_specs() {
+        let mut cfg = ExperimentConfig::balanced(0);
+        cfg.backend = NeighborBackend::KdTree;
+        let specs = cfg.detector_specs();
+        assert_eq!(specs[0].neighbor_backend(), Some(NeighborBackend::KdTree));
+        assert_eq!(specs[1].neighbor_backend(), Some(NeighborBackend::KdTree));
+        assert_eq!(specs[2].neighbor_backend(), None); // iForest has no kNN
+                                                       // Exact stays wire-compatible: the default grid's canonical
+                                                       // strings (and thus fingerprints and registry keys) are the
+                                                       // historical ones.
+        let exact = ExperimentConfig::balanced(0).detector_specs();
+        assert_eq!(exact[0].canonical(), "lof:k=15");
+        assert_eq!(exact[1].canonical(), "abod:k=10");
     }
 
     #[test]

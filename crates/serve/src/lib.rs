@@ -32,6 +32,15 @@
 //! recommender over any registered dataset. Legacy spec strings remain
 //! wire-compatible byte for byte.
 //!
+//! The `append` operation extends a registered dataset in place: the
+//! dataset moves to its next *append epoch* (registry and cache keys
+//! embed the epoch, so pre-append models are never consulted again) and
+//! fitted models whose detector supports incremental extension
+//! ([`anomex_detectors::FittedModel::append_rows`]) migrate
+//! forward without a refit — for the exact neighbor backend the
+//! migrated model serves scores **bit-identical** to a from-scratch
+//! refit on the extended data.
+//!
 //! The `anomex_serve` binary wraps a [`service::ServeHandle`] in a
 //! stdin/stdout loop (`--stdin`) or a line-oriented TCP listener
 //! (`--listen ADDR`).

@@ -7,6 +7,7 @@
 //! ```json
 //! {"id": 1, "op": "load", "dataset": "toy", "rows": [[0.0, 0.1], [1.0, 0.9]]}
 //! {"id": 2, "op": "score", "dataset": "toy", "detector": "lof:k=3", "point": 0}
+//! {"id": 6, "op": "append", "dataset": "toy", "rows": [[0.5, 0.5]], "window": 10000}
 //! {"id": 3, "op": "explain", "dataset": "toy", "detector": "lof",
 //!  "explainer": "beam", "point": 0, "dim": 2}
 //! {"id": 4, "op": "summarize", "dataset": "hics14", "detector": "iforest",
@@ -46,6 +47,21 @@ pub enum RequestBody {
         dataset: String,
         /// Row-major data values.
         rows: Vec<Vec<f64>>,
+    },
+    /// Appends rows to an already-registered dataset (row-major values,
+    /// same width). Fitted models of the dataset migrate in place when
+    /// their detector supports incremental extension
+    /// (`FittedModel::append_rows`); the rest refit lazily on next use.
+    Append {
+        /// Name of the dataset to extend (registered or preset).
+        dataset: String,
+        /// Row-major data values to append.
+        rows: Vec<Vec<f64>>,
+        /// Sliding-window bound: keep only the most recent `window`
+        /// rows after the append. Dropping old rows invalidates
+        /// incremental migration, so every model refits lazily.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        window: Option<usize>,
     },
     /// The standardized outlyingness score of one point in one subspace,
     /// served from the fitted-model registry.
@@ -390,6 +406,36 @@ mod unit_tests {
             }
             other => panic!("wrong body: {other:?}"),
         }
+    }
+
+    #[test]
+    fn append_requests_parse_and_roundtrip() {
+        let line = r#"{"id": 10, "op": "append", "dataset": "toy",
+                       "rows": [[0.5, 0.5], [0.6, 0.4]]}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        assert_eq!(
+            req.body,
+            RequestBody::Append {
+                dataset: "toy".into(),
+                rows: vec![vec![0.5, 0.5], vec![0.6, 0.4]],
+                window: None,
+            }
+        );
+        // The window bound is optional on the wire and elided when unset.
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"append\""), "{json}");
+        assert!(!json.contains("window"), "{json}");
+        let windowed: Request = serde_json::from_str(
+            r#"{"id": 11, "op": "append", "dataset": "toy", "rows": [[1.0, 1.0]], "window": 500}"#,
+        )
+        .unwrap();
+        match windowed.body {
+            RequestBody::Append { window, .. } => assert_eq!(window, Some(500)),
+            other => panic!("wrong body: {other:?}"),
+        }
+        let back: Request =
+            serde_json::from_str(&serde_json::to_string(&windowed).unwrap()).unwrap();
+        assert_eq!(back, windowed);
     }
 
     #[test]

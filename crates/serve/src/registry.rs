@@ -370,6 +370,64 @@ impl ModelRegistry {
         }
     }
 
+    /// A snapshot of every **ready** entry fitted against `dataset` —
+    /// the migration walk of the serve `append` operation. Slots still
+    /// building (or poisoned) are skipped: their requesters hold a
+    /// pre-append view and the entries are never consulted again once
+    /// the dataset moves to its next append generation.
+    #[must_use]
+    pub fn ready_entries_for_dataset(&self, dataset: &str) -> Vec<(ModelKey, Arc<FittedEntry>)> {
+        let m = lock(&self.map);
+        let mut out = Vec::new();
+        // Walk the insertion-order deque, not the hash map, so the
+        // migration order is deterministic for tests and logs.
+        for key in &m.order {
+            if key.dataset != dataset {
+                continue;
+            }
+            let Some(slot) = m.slots.get(key) else {
+                continue;
+            };
+            if let SlotState::Ready(entry) = &*lock(&slot.state) {
+                out.push((key.clone(), Arc::clone(entry)));
+            }
+        }
+        out
+    }
+
+    /// Publishes an already-fitted model under `key` without running a
+    /// fit — the append path's insert. The entry freezes
+    /// `standardize_scores(model.score_fit_rows())` exactly as a cold
+    /// fit would, so migrated models serve bit-identical scores to a
+    /// from-scratch refit of the same data. Overwrites whatever state
+    /// the slot held (a racing lazy fit of the same key produces an
+    /// equivalent model, so last-writer-wins is safe). Not counted as a
+    /// fit: no detector fit ran here.
+    pub fn insert_ready(&self, key: &ModelKey, model: Box<dyn FittedModel>, fit_time: Duration) {
+        let scores = Arc::new(standardize_scores(&model.score_fit_rows()));
+        let entry = Arc::new(FittedEntry {
+            model,
+            scores,
+            fit_time,
+        });
+        let slot = self.slot_for(key);
+        *lock(&slot.state) = SlotState::Ready(entry);
+        slot.done.notify_all();
+    }
+
+    /// Drops every slot keyed to `dataset`, returning how many were
+    /// removed. Readers holding an entry's `Arc` keep it alive; in-flight
+    /// fits publish into their (now orphaned) slot and finish normally.
+    /// Used by the serve `append` operation to release the previous
+    /// append generation's models.
+    pub fn remove_dataset(&self, dataset: &str) -> usize {
+        let mut m = lock(&self.map);
+        let before = m.slots.len();
+        m.slots.retain(|key, _| key.dataset != dataset);
+        m.order.retain(|key| key.dataset != dataset);
+        before - m.slots.len()
+    }
+
     /// Looks up (or inserts) the slot of `key`, applying the FIFO
     /// capacity bound on insertion.
     fn slot_for(&self, key: &ModelKey) -> Arc<Slot> {
@@ -545,6 +603,38 @@ mod unit_tests {
         };
         assert!(again.message.contains("previous"), "{}", again.message);
         assert_eq!(reg.stats().fits, 0, "failed fits are not counted");
+    }
+
+    #[test]
+    fn append_support_snapshots_inserts_and_removes() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ModelRegistry::new();
+        let sub = Subspace::new([0usize, 1]);
+        let key = ModelKey::new("toy", "lof:k=5", sub.clone());
+        let entry = reg.get_or_fit(&key, &ds, &lof);
+
+        let ready = reg.ready_entries_for_dataset("toy");
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].0, key);
+        assert!(Arc::ptr_eq(&ready[0].1, &entry));
+        assert!(reg.ready_entries_for_dataset("other").is_empty());
+
+        // Republishing under the next epoch runs no fit, yet freezes the
+        // same standardized scores a cold fit of that key would.
+        let new_key = ModelKey::new("toy@e1", "lof:k=5", sub.clone());
+        let model = fit_model(&lof, &ds.project(&sub));
+        reg.insert_ready(&new_key, model, Duration::from_millis(1));
+        let fetched = reg.get_or_fit(&new_key, &ds, &lof);
+        let direct = standardize_scores(&lof.score_all(&ds.project(&sub)));
+        assert_eq!(**fetched.scores(), direct);
+        assert_eq!(reg.stats().fits, 1, "insert_ready is not a fit");
+
+        assert_eq!(reg.remove_dataset("toy"), 1);
+        assert_eq!(reg.len(), 1, "other datasets' slots survive");
+        assert_eq!(reg.remove_dataset("toy"), 0);
+        // The removed entry stays alive for existing Arc holders.
+        assert_eq!(entry.model().n_rows(), ds.n_rows());
     }
 
     #[test]

@@ -70,9 +70,40 @@ struct Outcome {
     run: Option<RunStats>,
 }
 
+/// A registered dataset plus its append generation. The epoch bumps on
+/// every `append`, and model-registry / score-cache keys embed it
+/// (`name` at epoch 0, `name@e{N}` after), so entries fitted against a
+/// pre-append snapshot are never consulted again — no stale model can
+/// serve post-append requests, even when a lazy fit races the append.
+struct DatasetEntry {
+    data: Arc<Dataset>,
+    epoch: u64,
+}
+
+impl DatasetEntry {
+    /// The epoch-qualified internal id used for registry and cache keys.
+    fn keyed_id(&self, name: &str) -> String {
+        if self.epoch == 0 {
+            name.to_string()
+        } else {
+            format!("{name}@e{}", self.epoch)
+        }
+    }
+}
+
+fn obs_append_migrated() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.append.migrated_models"))
+}
+
+fn obs_append_deferred() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("serve.append.deferred_refits"))
+}
+
 /// The serving state machine — see the [module docs](self).
 pub struct ExplanationService {
-    datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
+    datasets: RwLock<BTreeMap<String, DatasetEntry>>,
     registry: ModelRegistry,
     /// One score cache per (dataset, canonical detector) pair, shared by
     /// every explanation request against that pair.
@@ -135,7 +166,13 @@ impl ExplanationService {
             n_rows: dataset.n_rows(),
             n_features: dataset.n_features(),
         };
-        w.insert(name.to_string(), Arc::new(dataset));
+        w.insert(
+            name.to_string(),
+            DatasetEntry {
+                data: Arc::new(dataset),
+                epoch: 0,
+            },
+        );
         Ok(info)
     }
 
@@ -146,10 +183,17 @@ impl ExplanationService {
     /// # Errors
     /// When the name is neither registered nor a recognizable preset.
     pub fn resolve_dataset(&self, name: &str) -> Result<Arc<Dataset>, String> {
+        self.resolve_keyed(name).map(|(ds, _)| ds)
+    }
+
+    /// Resolves a dataset together with its epoch-qualified internal id
+    /// — the string the model registry and score caches key on. Equal to
+    /// the public name until the first `append` bumps the epoch.
+    fn resolve_keyed(&self, name: &str) -> Result<(Arc<Dataset>, String), String> {
         {
             let r = self.datasets.read().unwrap_or_else(PoisonError::into_inner);
-            if let Some(ds) = r.get(name) {
-                return Ok(Arc::clone(ds));
+            if let Some(entry) = r.get(name) {
+                return Ok((Arc::clone(&entry.data), entry.keyed_id(name)));
             }
         }
         let (preset, seed) = parse_hics_name(name)
@@ -159,7 +203,11 @@ impl ExplanationService {
             .datasets
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        Ok(Arc::clone(w.entry(name.to_string()).or_insert(generated)))
+        let entry = w.entry(name.to_string()).or_insert(DatasetEntry {
+            data: generated,
+            epoch: 0,
+        });
+        Ok((Arc::clone(&entry.data), entry.keyed_id(name)))
     }
 
     /// Service-wide counters. The obs snapshot is taken while holding no
@@ -259,13 +307,18 @@ impl ExplanationService {
                     ..Outcome::default()
                 })
             }
+            RequestBody::Append {
+                dataset,
+                rows,
+                window,
+            } => self.append_dataset(dataset, rows, *window),
             RequestBody::Score {
                 dataset,
                 detector,
                 subspace,
                 point,
             } => {
-                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let (ds, keyed) = self.resolve_keyed(dataset).map_err(unknown_dataset)?;
                 let (canonical, det) = parse_detector(detector).map_err(unknown_spec)?;
                 check_point(&ds, *point).map_err(&bad_request)?;
                 if ds.n_rows() < 2 {
@@ -275,7 +328,7 @@ impl ExplanationService {
                     Some(features) => check_subspace(&ds, features).map_err(bad_request)?,
                     None => Subspace::full(ds.n_features()),
                 };
-                let key = ModelKey::new(dataset.clone(), canonical, sub);
+                let key = ModelKey::new(keyed, canonical, sub);
                 let entry = self
                     .registry
                     .try_get_or_fit(&key, &ds, det.as_ref())
@@ -298,14 +351,14 @@ impl ExplanationService {
                 point,
                 dim,
             } => {
-                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let (ds, keyed) = self.resolve_keyed(dataset).map_err(unknown_dataset)?;
                 let (canonical, det, kind) =
                     resolve_pipeline(detector, explainer, pipeline.as_ref())
                         .map_err(unknown_spec)?;
                 check_point(&ds, *point).map_err(&bad_request)?;
                 check_dim(&ds, *dim).map_err(bad_request)?;
                 self.run_engine(
-                    dataset,
+                    &keyed,
                     &canonical,
                     &ds,
                     det.as_ref(),
@@ -322,7 +375,7 @@ impl ExplanationService {
                 points,
                 dim,
             } => {
-                let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
+                let (ds, keyed) = self.resolve_keyed(dataset).map_err(unknown_dataset)?;
                 let (canonical, det, kind) =
                     resolve_pipeline(detector, explainer, pipeline.as_ref())
                         .map_err(unknown_spec)?;
@@ -335,7 +388,7 @@ impl ExplanationService {
                     check_point(&ds, p).map_err(&bad_request)?;
                 }
                 check_dim(&ds, *dim).map_err(bad_request)?;
-                self.run_engine(dataset, &canonical, &ds, det.as_ref(), &kind, points, *dim)
+                self.run_engine(&keyed, &canonical, &ds, det.as_ref(), &kind, points, *dim)
             }
             RequestBody::Profile { dataset } => {
                 let ds = self.resolve_dataset(dataset).map_err(unknown_dataset)?;
@@ -366,6 +419,116 @@ impl ExplanationService {
                 ..Outcome::default()
             }),
         }
+    }
+
+    /// Executes the `append` operation: extends the named dataset with
+    /// new rows (optionally bounded to a sliding window of the most
+    /// recent `window` rows), bumps its append epoch, and migrates
+    /// fitted models forward. Models whose detector supports
+    /// incremental extension are updated in place via
+    /// [`anomex_detectors::FittedModel::append_rows`] and republished
+    /// under the new
+    /// epoch's keys; the rest — and every model when the window dropped
+    /// rows, since vanished neighbors invalidate an incremental merge —
+    /// refit lazily on next use. The obs counters
+    /// `serve.append.{migrated_models,deferred_refits}` separate the two
+    /// paths, and the detector layer's `detectors.append.{merges,rebuilds}`
+    /// split the migration work itself.
+    fn append_dataset(
+        &self,
+        name: &str,
+        rows: &[Vec<f64>],
+        window: Option<usize>,
+    ) -> Result<Outcome, ServiceError> {
+        let bad_request = ServiceError::of(ErrorCode::BadRequest);
+        if rows.is_empty() {
+            return Err(bad_request("append needs at least one row".to_string()));
+        }
+        if window == Some(0) {
+            return Err(bad_request("append window must be at least 1".to_string()));
+        }
+        // Materialize presets first so `append` works against `hicsN`
+        // names exactly like registered datasets.
+        self.resolve_dataset(name)
+            .map_err(ServiceError::of(ErrorCode::UnknownDataset))?;
+        let added = Dataset::from_rows(rows.to_vec()).map_err(|e| bad_request(e.to_string()))?;
+
+        // Swap the dataset under the write lock; migration below works
+        // on owned snapshots, holding no service lock.
+        let (old_id, new_id, dropped_rows, info) = {
+            let mut map = self
+                .datasets
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let entry = map.get_mut(name).ok_or_else(|| {
+                ServiceError::of(ErrorCode::UnknownDataset)(format!(
+                    "dataset '{name}' disappeared during append"
+                ))
+            })?;
+            if added.n_features() != entry.data.n_features() {
+                return Err(bad_request(format!(
+                    "appended rows have {} features, dataset '{name}' has {}",
+                    added.n_features(),
+                    entry.data.n_features()
+                )));
+            }
+            let mut combined: Vec<Vec<f64>> = (0..entry.data.n_rows())
+                .map(|i| entry.data.row(i))
+                .collect();
+            combined.extend(rows.iter().cloned());
+            let mut dropped = 0usize;
+            if let Some(limit) = window {
+                if combined.len() > limit {
+                    dropped = combined.len() - limit;
+                    combined.drain(..dropped);
+                }
+            }
+            let new_data =
+                Arc::new(Dataset::from_rows(combined).map_err(|e| bad_request(e.to_string()))?);
+            let old_id = entry.keyed_id(name);
+            entry.epoch += 1;
+            let info = DatasetInfo {
+                name: name.to_string(),
+                n_rows: new_data.n_rows(),
+                n_features: new_data.n_features(),
+            };
+            entry.data = new_data;
+            (old_id, entry.keyed_id(name), dropped, info)
+        };
+
+        // The superseded epoch's score caches are unreachable (new
+        // requests key on `new_id`); release them eagerly.
+        {
+            let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+            caches.retain(|(ds, _), _| ds != &old_id);
+        }
+
+        // Migrate fitted models forward under the new epoch's keys.
+        for (key, entry) in self.registry.ready_entries_for_dataset(&old_id) {
+            let migrated = if dropped_rows == 0 {
+                let t0 = Instant::now();
+                let projected = added.project(&key.subspace);
+                entry
+                    .model()
+                    .append_rows(&projected)
+                    .map(|model| (model, t0.elapsed()))
+            } else {
+                None
+            };
+            match migrated {
+                Some((model, took)) => {
+                    let new_key = ModelKey::new(new_id.clone(), key.detector, key.subspace);
+                    self.registry.insert_ready(&new_key, model, took);
+                    obs_append_migrated().incr();
+                }
+                None => obs_append_deferred().incr(),
+            }
+        }
+        self.registry.remove_dataset(&old_id);
+        Ok(Outcome {
+            dataset: Some(info),
+            ..Outcome::default()
+        })
     }
 
     /// Runs a real [`ExplanationEngine`] over the pair's shared cache —
@@ -856,6 +1019,143 @@ mod unit_tests {
             Ok(outcome) => assert!(outcome.score.is_some()),
             Err(e) => assert_eq!(e.code, ErrorCode::FitFailed),
         }
+    }
+
+    #[test]
+    fn append_then_score_matches_a_refit_from_scratch() {
+        let all = toy_rows();
+        let (head, tail) = all.split_at(16);
+        // Incremental service: load the head, fit via a score, append
+        // the tail — the fitted LOF migrates instead of refitting.
+        let svc = Arc::new(ExplanationService::new());
+        svc.register_dataset("toy", Dataset::from_rows(head.to_vec()).unwrap())
+            .unwrap();
+        let score_req = |point: usize| RequestBody::Score {
+            dataset: "toy".into(),
+            detector: "lof:k=3".into(),
+            subspace: None,
+            point,
+        };
+        svc.execute(&score_req(0)).unwrap();
+        assert_eq!(svc.registry().stats().fits, 1);
+        let out = svc
+            .execute(&RequestBody::Append {
+                dataset: "toy".into(),
+                rows: tail.to_vec(),
+                window: None,
+            })
+            .unwrap();
+        let info = out.dataset.expect("append reports the new shape");
+        assert_eq!(info.n_rows, all.len());
+        assert_eq!(info.name, "toy", "the public name is epoch-free");
+
+        // Reference service: the full dataset loaded at once.
+        let fresh = service_with_toy();
+        for point in 0..all.len() {
+            let a = svc.execute(&score_req(point)).unwrap().score.unwrap();
+            let b = fresh.execute(&score_req(point)).unwrap().score.unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "point {point}");
+        }
+        // Every post-append score came from the migrated model: the only
+        // fit this registry ever ran was the pre-append one.
+        assert_eq!(svc.registry().stats().fits, 1);
+    }
+
+    #[test]
+    fn windowed_append_defers_to_a_lazy_refit() {
+        let svc = service_with_toy(); // 21 rows
+        let score = RequestBody::Score {
+            dataset: "toy".into(),
+            detector: "lof:k=3".into(),
+            subspace: None,
+            point: 0,
+        };
+        svc.execute(&score).unwrap();
+        assert_eq!(svc.registry().stats().fits, 1);
+        // Keep only the most recent 10 of 25 rows: old rows vanish, so
+        // the fitted model cannot merge and the registry is left cold.
+        let out = svc
+            .execute(&RequestBody::Append {
+                dataset: "toy".into(),
+                rows: vec![vec![0.02, 0.03]; 4],
+                window: Some(10),
+            })
+            .unwrap();
+        assert_eq!(out.dataset.unwrap().n_rows, 10);
+        assert_eq!(
+            svc.registry().len(),
+            0,
+            "no model migrates across a window drop"
+        );
+        // Scoring after the window refits on the surviving rows and
+        // matches a from-scratch service over exactly those rows.
+        let a = svc.execute(&score).unwrap().score.unwrap();
+        assert_eq!(svc.registry().stats().fits, 2);
+        let mut rows = toy_rows();
+        rows.extend(std::iter::repeat(vec![0.02, 0.03]).take(4));
+        let survivors = rows.split_off(rows.len() - 10);
+        let fresh = Arc::new(ExplanationService::new());
+        fresh
+            .register_dataset("toy", Dataset::from_rows(survivors).unwrap())
+            .unwrap();
+        let b = fresh.execute(&score).unwrap().score.unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn explanations_after_append_match_a_fresh_service() {
+        let all = toy_rows();
+        let (head, tail) = all.split_at(16);
+        let svc = Arc::new(ExplanationService::new());
+        svc.register_dataset("toy", Dataset::from_rows(head.to_vec()).unwrap())
+            .unwrap();
+        svc.execute(&RequestBody::Append {
+            dataset: "toy".into(),
+            rows: tail.to_vec(),
+            window: None,
+        })
+        .unwrap();
+        let explain = RequestBody::Explain {
+            dataset: "toy".into(),
+            detector: "lof:k=3".into(),
+            explainer: "beam".into(),
+            pipeline: None,
+            point: 20,
+            dim: 2,
+        };
+        let a = svc.execute(&explain).unwrap().explanation.unwrap();
+        let b = service_with_toy()
+            .execute(&explain)
+            .unwrap()
+            .explanation
+            .unwrap();
+        assert_eq!(a, b, "served explanations see the appended data");
+    }
+
+    #[test]
+    fn append_validates_inputs() {
+        let svc = service_with_toy();
+        let append =
+            |dataset: &str, rows: Vec<Vec<f64>>, window: Option<usize>| RequestBody::Append {
+                dataset: dataset.into(),
+                rows,
+                window,
+            };
+        let code = |body: RequestBody| svc.execute(&body).unwrap_err().code;
+        assert_eq!(
+            code(append("missing", vec![vec![0.0, 0.0]], None)),
+            ErrorCode::UnknownDataset
+        );
+        assert_eq!(code(append("toy", vec![], None)), ErrorCode::BadRequest);
+        assert_eq!(
+            code(append("toy", vec![vec![1.0]], None)),
+            ErrorCode::BadRequest,
+            "width mismatch"
+        );
+        assert_eq!(
+            code(append("toy", vec![vec![1.0, 2.0]], Some(0))),
+            ErrorCode::BadRequest
+        );
     }
 
     #[test]

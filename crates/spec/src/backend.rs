@@ -1,0 +1,183 @@
+//! Neighbor-search backend selection for kNN-family detectors.
+//!
+//! Every kNN-family detector (LOF, FastABOD, kNN-dist) needs the same
+//! artifact at fit time — a [`KnnTable`]-shaped list of each row's k
+//! nearest neighbors — but the best way to *build* it depends on the
+//! data shape: exact blocked scans win at small N, a kd-tree wins in
+//! the low-dimensional subspaces explanations live in, and an
+//! approximate hash index is the only sublinear option once the
+//! dimensionality defeats space partitioning. `NeighborBackend` is the
+//! canonical knob: it travels inside [`DetectorSpec`] params (elided
+//! from the wire form when it is the default `Exact`, so historical
+//! spec strings, fingerprints, and registry keys are unchanged), and
+//! the detectors crate dispatches on it when building neighbor tables.
+//!
+//! [`KnnTable`]: https://docs.rs/anomex-detectors
+//! [`DetectorSpec`]: crate::DetectorSpec
+
+/// How a kNN-family detector builds its neighbor table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NeighborBackend {
+    /// Exact blocked O(N²) scan (the norm-trick kernel). Always
+    /// bit-identical to the reference brute-force path; the default.
+    #[default]
+    Exact,
+    /// Exact kd-tree with largest-spread axis splits. Same neighbor
+    /// *sets* as `Exact` (ties may order differently); wins when the
+    /// projected dimensionality is small.
+    KdTree,
+    /// Approximate random-hyperplane LSH index. Deterministic
+    /// (fixed-seed hyperplanes), sublinear candidate generation, with
+    /// recall < 1.0 possible on adversarial data; falls back to an
+    /// exact scan below [`Self::APPROX_MIN_ROWS`] rows.
+    Approx,
+    /// Choose per (n_rows, dim) at fit time using the same data-shape
+    /// heuristics as `DatasetProfile`: kd-tree for low dims at scale,
+    /// approx for high dims at scale, exact otherwise.
+    Auto,
+}
+
+impl NeighborBackend {
+    /// Below this row count `Approx` uses an exact scan internally:
+    /// hashing overhead cannot beat one blocked pass over the data.
+    pub const APPROX_MIN_ROWS: usize = 512;
+
+    /// Rows before `Auto` leaves the exact backend for a kd-tree.
+    pub const AUTO_KDTREE_MIN_ROWS: usize = 512;
+    /// Largest projected dimensionality where `Auto` trusts a kd-tree.
+    pub const AUTO_KDTREE_MAX_DIM: usize = 8;
+    /// Rows before `Auto` accepts approximate recall at high dims.
+    pub const AUTO_APPROX_MIN_ROWS: usize = 8192;
+
+    /// Canonical lowercase wire token (`exact`, `kdtree`, `approx`,
+    /// `auto`) used in `DetectorSpec` params and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NeighborBackend::Exact => "exact",
+            NeighborBackend::KdTree => "kdtree",
+            NeighborBackend::Approx => "approx",
+            NeighborBackend::Auto => "auto",
+        }
+    }
+
+    /// Parse a wire token, case-insensitively, accepting the aliases
+    /// `kd`/`kd-tree`/`kd_tree` for `kdtree` and `lsh`/`ann` for
+    /// `approx`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "exact" | "brute" | "bruteforce" => Ok(NeighborBackend::Exact),
+            "kdtree" | "kd" | "kd-tree" | "kd_tree" => Ok(NeighborBackend::KdTree),
+            "approx" | "lsh" | "ann" => Ok(NeighborBackend::Approx),
+            "auto" => Ok(NeighborBackend::Auto),
+            _ => Err(format!(
+                "unknown neighbor backend {s:?} (expected exact, kdtree, approx, or auto)"
+            )),
+        }
+    }
+
+    /// Resolve `Auto` against a concrete data shape; other variants
+    /// return themselves. The thresholds mirror the `DatasetProfile`
+    /// size buckets: exact until a backend can amortize its build
+    /// cost, kd-tree only while the dimensionality leaves axis splits
+    /// selective, approx only once N is large enough that recall loss
+    /// buys a real asymptotic win.
+    pub fn resolve(self, n_rows: usize, dim: usize) -> Self {
+        match self {
+            NeighborBackend::Auto => {
+                if dim <= Self::AUTO_KDTREE_MAX_DIM && n_rows >= Self::AUTO_KDTREE_MIN_ROWS {
+                    NeighborBackend::KdTree
+                } else if dim > Self::AUTO_KDTREE_MAX_DIM && n_rows >= Self::AUTO_APPROX_MIN_ROWS {
+                    NeighborBackend::Approx
+                } else {
+                    NeighborBackend::Exact
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// True for the default backend, whose `backend=` param is elided
+    /// from canonical spec strings so historical wire forms stay
+    /// byte-identical.
+    pub fn is_default(self) -> bool {
+        self == NeighborBackend::Exact
+    }
+}
+
+impl std::fmt::Display for NeighborBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_exact() {
+        assert_eq!(NeighborBackend::default(), NeighborBackend::Exact);
+        assert!(NeighborBackend::Exact.is_default());
+        assert!(!NeighborBackend::KdTree.is_default());
+    }
+
+    #[test]
+    fn round_trips_canonical_tokens() {
+        for b in [
+            NeighborBackend::Exact,
+            NeighborBackend::KdTree,
+            NeighborBackend::Approx,
+            NeighborBackend::Auto,
+        ] {
+            assert_eq!(NeighborBackend::parse(b.as_str()), Ok(b));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_case() {
+        assert_eq!(
+            NeighborBackend::parse("KD-Tree"),
+            Ok(NeighborBackend::KdTree)
+        );
+        assert_eq!(
+            NeighborBackend::parse("kd_tree"),
+            Ok(NeighborBackend::KdTree)
+        );
+        assert_eq!(NeighborBackend::parse("LSH"), Ok(NeighborBackend::Approx));
+        assert_eq!(NeighborBackend::parse("ann"), Ok(NeighborBackend::Approx));
+        assert_eq!(NeighborBackend::parse("Brute"), Ok(NeighborBackend::Exact));
+        assert_eq!(NeighborBackend::parse(" auto "), Ok(NeighborBackend::Auto));
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = NeighborBackend::parse("ball-tree").unwrap_err();
+        assert!(err.contains("ball-tree"), "{err}");
+        assert!(err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn auto_resolves_by_shape() {
+        use NeighborBackend::*;
+        // Small data: exact regardless of dim.
+        assert_eq!(Auto.resolve(100, 2), Exact);
+        assert_eq!(Auto.resolve(100, 16), Exact);
+        // Low-dim at scale: kd-tree.
+        assert_eq!(Auto.resolve(512, 2), KdTree);
+        assert_eq!(Auto.resolve(100_000, 8), KdTree);
+        // High-dim: exact until the approx threshold, then approx.
+        assert_eq!(Auto.resolve(4096, 16), Exact);
+        assert_eq!(Auto.resolve(8192, 16), Approx);
+        // Non-auto variants are fixed points.
+        assert_eq!(KdTree.resolve(10, 100), KdTree);
+        assert_eq!(Exact.resolve(1_000_000, 2), Exact);
+        assert_eq!(Approx.resolve(10, 2), Approx);
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(NeighborBackend::KdTree.to_string(), "kdtree");
+        assert_eq!(NeighborBackend::Auto.to_string(), "auto");
+    }
+}

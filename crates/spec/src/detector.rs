@@ -8,6 +8,7 @@
 //! `"iforest:trees=100,psi=256,reps=10,seed=0"`), so adopting the spec
 //! layer changes no persisted key and no served response.
 
+use crate::backend::NeighborBackend;
 use crate::json::Json;
 use crate::params::{parse_compact, ParamReader};
 
@@ -21,16 +22,22 @@ pub enum DetectorSpec {
     Lof {
         /// Neighborhood size.
         k: usize,
+        /// Neighbor-table construction backend (default `Exact`).
+        backend: NeighborBackend,
     },
     /// Fast Angle-Based Outlier Detection (paper default `k = 10`).
     FastAbod {
         /// Neighborhood size.
         k: usize,
+        /// Neighbor-table construction backend (default `Exact`).
+        backend: NeighborBackend,
     },
     /// Average k-nearest-neighbor distance (default `k = 5`).
     KnnDist {
         /// Neighborhood size.
         k: usize,
+        /// Neighbor-table construction backend (default `Exact`).
+        backend: NeighborBackend,
     },
     /// Isolation Forest (paper defaults `t = 100`, `ψ = 256`, 10
     /// repetitions, seed 0).
@@ -50,19 +57,52 @@ impl DetectorSpec {
     /// Paper-default LOF.
     #[must_use]
     pub fn lof() -> Self {
-        DetectorSpec::Lof { k: 15 }
+        DetectorSpec::Lof {
+            k: 15,
+            backend: NeighborBackend::Exact,
+        }
     }
 
     /// Paper-default Fast ABOD.
     #[must_use]
     pub fn fast_abod() -> Self {
-        DetectorSpec::FastAbod { k: 10 }
+        DetectorSpec::FastAbod {
+            k: 10,
+            backend: NeighborBackend::Exact,
+        }
     }
 
     /// Default kNN-distance detector.
     #[must_use]
     pub fn knn_dist() -> Self {
-        DetectorSpec::KnnDist { k: 5 }
+        DetectorSpec::KnnDist {
+            k: 5,
+            backend: NeighborBackend::Exact,
+        }
+    }
+
+    /// The neighbor backend of kNN-family variants (`None` for
+    /// detectors that build no neighbor table).
+    #[must_use]
+    pub fn neighbor_backend(&self) -> Option<NeighborBackend> {
+        match self {
+            DetectorSpec::Lof { backend, .. }
+            | DetectorSpec::FastAbod { backend, .. }
+            | DetectorSpec::KnnDist { backend, .. } => Some(*backend),
+            DetectorSpec::IsolationForest { .. } => None,
+        }
+    }
+
+    /// A copy with the neighbor backend replaced on kNN-family
+    /// variants; a no-op on `IsolationForest`.
+    #[must_use]
+    pub fn with_backend(self, new: NeighborBackend) -> Self {
+        match self {
+            DetectorSpec::Lof { k, .. } => DetectorSpec::Lof { k, backend: new },
+            DetectorSpec::FastAbod { k, .. } => DetectorSpec::FastAbod { k, backend: new },
+            DetectorSpec::KnnDist { k, .. } => DetectorSpec::KnnDist { k, backend: new },
+            other @ DetectorSpec::IsolationForest { .. } => other,
+        }
     }
 
     /// Paper-default Isolation Forest with the given seed.
@@ -89,13 +129,20 @@ impl DetectorSpec {
 
     /// The canonical compact encoding: algorithm tag plus **every**
     /// hyper-parameter in fixed order — byte-identical to the registry
-    /// key strings `anomex-serve` has used since PR 3.
+    /// key strings `anomex-serve` has used since PR 3. The one
+    /// exception to "every" is `backend=`, which is elided when it is
+    /// the default `Exact` so historical wire strings, fingerprints,
+    /// and registry keys are unchanged by the backend knob.
     #[must_use]
     pub fn canonical(&self) -> String {
         match self {
-            DetectorSpec::Lof { k } => format!("lof:k={k}"),
-            DetectorSpec::FastAbod { k } => format!("abod:k={k}"),
-            DetectorSpec::KnnDist { k } => format!("knndist:k={k}"),
+            DetectorSpec::Lof { k, backend } => format!("lof:k={k}{}", backend_suffix(*backend)),
+            DetectorSpec::FastAbod { k, backend } => {
+                format!("abod:k={k}{}", backend_suffix(*backend))
+            }
+            DetectorSpec::KnnDist { k, backend } => {
+                format!("knndist:k={k}{}", backend_suffix(*backend))
+            }
             DetectorSpec::IsolationForest {
                 trees,
                 psi,
@@ -112,10 +159,16 @@ impl DetectorSpec {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![("kind".to_string(), Json::Str(self.algorithm().to_string()))];
         match self {
-            DetectorSpec::Lof { k }
-            | DetectorSpec::FastAbod { k }
-            | DetectorSpec::KnnDist { k } => {
+            DetectorSpec::Lof { k, backend }
+            | DetectorSpec::FastAbod { k, backend }
+            | DetectorSpec::KnnDist { k, backend } => {
                 fields.push(("k".to_string(), Json::num_usize(*k)));
+                if !backend.is_default() {
+                    fields.push((
+                        "backend".to_string(),
+                        Json::Str(backend.as_str().to_string()),
+                    ));
+                }
             }
             DetectorSpec::IsolationForest {
                 trees,
@@ -188,12 +241,15 @@ impl DetectorSpec {
         let spec = match name.trim().to_ascii_lowercase().as_str() {
             "lof" => DetectorSpec::Lof {
                 k: params.take_usize(&["k"], 15)?,
+                backend: take_backend(&mut params)?,
             },
             "abod" | "fastabod" => DetectorSpec::FastAbod {
                 k: params.take_usize(&["k"], 10)?,
+                backend: take_backend(&mut params)?,
             },
             "knndist" | "knn" => DetectorSpec::KnnDist {
                 k: params.take_usize(&["k"], 5)?,
+                backend: take_backend(&mut params)?,
             },
             "iforest" => DetectorSpec::IsolationForest {
                 trees: params.take_usize(&["trees"], 100)?,
@@ -209,6 +265,24 @@ impl DetectorSpec {
         };
         params.finish(spec.algorithm())?;
         Ok(spec)
+    }
+}
+
+/// The `,backend=<tok>` canonical suffix — empty for the default.
+fn backend_suffix(backend: NeighborBackend) -> String {
+    if backend.is_default() {
+        String::new()
+    } else {
+        format!(",backend={}", backend.as_str())
+    }
+}
+
+/// Consumes the optional `backend=` param (alias `nn`).
+fn take_backend(params: &mut ParamReader) -> Result<NeighborBackend, String> {
+    match params.take_token(&["backend", "nn"]) {
+        None => Ok(NeighborBackend::Exact),
+        Some(token) => NeighborBackend::parse(&token)
+            .map_err(|e| format!("parameter 'backend' is invalid: {e}")),
     }
 }
 
@@ -290,5 +364,61 @@ mod unit_tests {
         assert!(DetectorSpec::parse("lof:k=nope").is_err());
         assert!(DetectorSpec::parse(r#"{"k": 5}"#).is_err());
         assert!(DetectorSpec::parse(r#"{"kind": "lof", "q": 1}"#).is_err());
+        assert!(DetectorSpec::parse("lof:backend=ball-tree").is_err());
+        assert!(DetectorSpec::parse("iforest:backend=kdtree").is_err());
+    }
+
+    #[test]
+    fn exact_backend_is_elided_from_canonical_forms() {
+        // Historical wire strings are byte-identical: an explicit
+        // backend=exact canonicalizes to the pre-backend spelling.
+        let spec = DetectorSpec::parse("lof:k=15,backend=exact").unwrap();
+        assert_eq!(spec, DetectorSpec::lof());
+        assert_eq!(spec.canonical(), "lof:k=15");
+        assert_eq!(spec.fingerprint(), DetectorSpec::lof().fingerprint());
+        assert_eq!(spec.to_json().emit(), r#"{"kind":"lof","k":15}"#);
+    }
+
+    #[test]
+    fn non_default_backend_round_trips_everywhere() {
+        let spec = DetectorSpec::parse("lof:k=15,backend=kdtree").unwrap();
+        assert_eq!(
+            spec,
+            DetectorSpec::Lof {
+                k: 15,
+                backend: NeighborBackend::KdTree
+            }
+        );
+        assert_eq!(spec.canonical(), "lof:k=15,backend=kdtree");
+        assert_ne!(spec.fingerprint(), DetectorSpec::lof().fingerprint());
+        // Compact → JSON → compact round trip preserves the backend.
+        let back = DetectorSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let reparsed = DetectorSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(reparsed, spec);
+        // Aliases and case fold to the same canonical form.
+        let aliased = DetectorSpec::parse("LOF:k=15,nn=KD-Tree").unwrap();
+        assert_eq!(aliased, spec);
+        // Approx and auto spell out too.
+        assert_eq!(
+            DetectorSpec::parse("knn:backend=lsh").unwrap().canonical(),
+            "knndist:k=5,backend=approx"
+        );
+        assert_eq!(
+            DetectorSpec::parse("abod:backend=auto")
+                .unwrap()
+                .canonical(),
+            "abod:k=10,backend=auto"
+        );
+    }
+
+    #[test]
+    fn with_backend_and_accessor() {
+        let spec = DetectorSpec::lof().with_backend(NeighborBackend::Auto);
+        assert_eq!(spec.neighbor_backend(), Some(NeighborBackend::Auto));
+        assert_eq!(spec.canonical(), "lof:k=15,backend=auto");
+        let forest = DetectorSpec::iforest(0).with_backend(NeighborBackend::KdTree);
+        assert_eq!(forest, DetectorSpec::iforest(0));
+        assert_eq!(forest.neighbor_backend(), None);
     }
 }

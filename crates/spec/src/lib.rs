@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backend;
 pub mod detector;
 pub mod explainer;
 pub mod json;
@@ -34,6 +35,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod recommend;
 
+pub use backend::NeighborBackend;
 pub use detector::DetectorSpec;
 pub use explainer::ExplainerSpec;
 pub use json::Json;

@@ -76,6 +76,12 @@ impl ParamReader {
         }
     }
 
+    /// A free-form token parameter (e.g. an enum spelling), returned
+    /// verbatim for the caller to validate; `None` when omitted.
+    pub(crate) fn take_token(&mut self, aliases: &[&str]) -> Option<String> {
+        self.take_raw(aliases).map(|(_, value)| value)
+    }
+
     /// A boolean parameter with a default (`true`/`false`/`1`/`0`).
     pub(crate) fn take_bool(&mut self, aliases: &[&str], default: bool) -> Result<bool, String> {
         match self.take_raw(aliases) {
@@ -133,6 +139,15 @@ mod unit_tests {
         assert_eq!(r.take_usize(&["k"], 3).unwrap(), 3);
         let err = r.finish("x").unwrap_err();
         assert_eq!(err, "unknown x parameter 'oops'");
+    }
+
+    #[test]
+    fn token_returns_verbatim_or_none() {
+        let (_, kv) = parse_compact("x:backend=KdTree").unwrap();
+        let mut r = ParamReader::new(kv);
+        assert_eq!(r.take_token(&["backend"]), Some("KdTree".to_string()));
+        assert_eq!(r.take_token(&["missing"]), None);
+        r.finish("x").unwrap();
     }
 
     #[test]

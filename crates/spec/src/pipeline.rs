@@ -195,7 +195,7 @@ mod unit_tests {
     #[test]
     fn json_halves_accept_compact_strings() {
         let spec = PipelineSpec::parse(r#"{"detector": "lof:k=5", "explainer": "beam"}"#).unwrap();
-        assert_eq!(spec.detector, DetectorSpec::Lof { k: 5 });
+        assert_eq!(spec.detector, DetectorSpec::parse("lof:k=5").unwrap());
         assert_eq!(spec.explainer, ExplainerSpec::beam());
     }
 

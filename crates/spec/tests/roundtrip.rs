@@ -4,7 +4,7 @@
 //! drives a few hundred random specs per property, so failures are
 //! reproducible from the fixed seed.
 
-use anomex_spec::{DetectorSpec, ExplainerSpec, Json, PipelineSpec};
+use anomex_spec::{DetectorSpec, ExplainerSpec, Json, NeighborBackend, PipelineSpec};
 
 struct SplitMix64(u64);
 
@@ -30,16 +30,28 @@ impl SplitMix64 {
     }
 }
 
+fn arbitrary_backend(rng: &mut SplitMix64) -> NeighborBackend {
+    match rng.below(4) {
+        0 => NeighborBackend::Exact,
+        1 => NeighborBackend::KdTree,
+        2 => NeighborBackend::Approx,
+        _ => NeighborBackend::Auto,
+    }
+}
+
 fn arbitrary_detector(rng: &mut SplitMix64) -> DetectorSpec {
     match rng.below(4) {
         0 => DetectorSpec::Lof {
             k: rng.usize_in(1, 200),
+            backend: arbitrary_backend(rng),
         },
         1 => DetectorSpec::FastAbod {
             k: rng.usize_in(1, 200),
+            backend: arbitrary_backend(rng),
         },
         2 => DetectorSpec::KnnDist {
             k: rng.usize_in(1, 200),
+            backend: arbitrary_backend(rng),
         },
         _ => DetectorSpec::IsolationForest {
             trees: rng.usize_in(1, 300),

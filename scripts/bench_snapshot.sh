@@ -15,7 +15,14 @@
 # *how much work* the hot path did, complementing criterion's *how
 # fast* — a perf win that quietly changes the work count shows up here.
 #
-# Usage: scripts/bench_snapshot.sh [extra cargo bench args...]
+# Perf gate: after regenerating, each new timing is diffed against the
+# committed snapshot (git HEAD). Any case more than 10 % slower fails
+# the script — CI runs this to catch perf regressions. Intentional
+# rebaselines (new machine, accepted slowdown) re-run with
+# ANOMEX_BENCH_REBASE=1, which skips the gate and keeps the new
+# snapshots for committing.
+#
+# Usage: [ANOMEX_BENCH_REBASE=1] scripts/bench_snapshot.sh [extra cargo bench args...]
 
 set -euo pipefail
 
@@ -114,6 +121,127 @@ with open(out, "w") as f:
 print(f"wrote {out} ({len(entries)} timings)")
 PY
 
+cargo bench -p anomex-bench --bench knn_backends "$@"
+
+python3 - "$crit" BENCH_knn_backends.json <<'PY'
+import json, os, sys, datetime
+
+crit, out = sys.argv[1], sys.argv[2]
+group = os.path.join(crit, "knn_backends")
+entries = []
+for backend in sorted(os.listdir(group)):
+    bdir = os.path.join(group, backend)
+    if not os.path.isdir(bdir):
+        continue
+    for case in sorted(os.listdir(bdir)):
+        est = os.path.join(bdir, case, "new", "estimates.json")
+        if not os.path.isfile(est):
+            continue
+        with open(est) as f:
+            mean_ns = json.load(f)["mean"]["point_estimate"]
+        n, d = case.split("-")
+        entries.append({
+            "backend": backend,
+            "n_rows": int(n[1:]),
+            "dim": int(d[1:]),
+            "ms": round(mean_ns / 1e6, 4),
+        })
+entries.sort(key=lambda e: (e["dim"], e["n_rows"], e["backend"]))
+
+by_case = {}
+for e in entries:
+    by_case.setdefault((e["n_rows"], e["dim"]), {})[e["backend"]] = e["ms"]
+speedups = [
+    {
+        "n_rows": n, "dim": d,
+        **({"kdtree_vs_exact": round(t["exact"] / t["kdtree"], 2)}
+           if {"exact", "kdtree"} <= t.keys() else {}),
+        **({"approx_vs_exact": round(t["exact"] / t["approx"], 2)}
+           if {"exact", "approx"} <= t.keys() else {}),
+    }
+    for (n, d), t in sorted(by_case.items())
+]
+
+snapshot = {
+    "bench": "knn_backends (knn_table_with: exact vs kdtree vs approx)",
+    "k": 15,
+    "recorded": datetime.date.today().isoformat(),
+    "source": "criterion mean point estimates (target/criterion)",
+    "estimator": "criterion mean",
+    "omitted": [
+        "exact at n_rows=100000 (O(N^2 d) scan, minutes per sample)",
+        "kdtree at n_rows=100000 dim=16 (pruning collapses; Auto routes to approx)",
+    ],
+    "timings_ms": entries,
+    "speedups": speedups,
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(entries)} timings, {len(speedups)} cases)")
+PY
+
 cargo run --release -p anomex-eval --bin anomex_eval -- fig9 --fast \
     --out target/bench-eval --metrics BENCH_obs_counters.json >/dev/null
 echo "wrote BENCH_obs_counters.json"
+
+# ---- perf gate ------------------------------------------------------
+# Diff every regenerated timing against the committed snapshot; fail on
+# >10 % regression unless ANOMEX_BENCH_REBASE=1 explicitly rebaselines.
+if [ "${ANOMEX_BENCH_REBASE:-0}" = "1" ]; then
+    echo "ANOMEX_BENCH_REBASE=1: skipping perf gate, keeping new snapshots"
+    exit 0
+fi
+
+python3 - <<'PY'
+import json, subprocess, sys
+
+THRESHOLD = 1.10  # fail when a case runs >10% slower than committed
+
+def committed(path):
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{path}"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except subprocess.CalledProcessError:
+        return None  # not committed yet: nothing to gate against
+    return json.loads(blob)
+
+def keyed(snapshot):
+    """timing entries keyed by their identity fields, value = time."""
+    out = {}
+    for field, unit in (("timings_ms", "ms"), ("timings_ns", "ns")):
+        for e in snapshot.get(field, []):
+            key = tuple(sorted((k, v) for k, v in e.items() if k != unit))
+            out[key] = (e[unit], unit)
+    return out
+
+failures = []
+for path in ("BENCH_detectors.json", "BENCH_spec.json", "BENCH_knn_backends.json"):
+    base = committed(path)
+    if base is None:
+        print(f"perf gate: {path} has no committed baseline, skipping")
+        continue
+    with open(path) as f:
+        new = json.load(f)
+    base_k, new_k = keyed(base), keyed(new)
+    for key, (old_t, unit) in sorted(base_k.items()):
+        if key not in new_k:
+            continue  # grid shrank: reviewed like any diff of the JSON
+        new_t, _ = new_k[key]
+        if old_t > 0 and new_t / old_t > THRESHOLD:
+            case = ", ".join(f"{k}={v}" for k, v in key)
+            failures.append(
+                f"{path}: {case}: {old_t}{unit} -> {new_t}{unit} "
+                f"({new_t / old_t:.2f}x)"
+            )
+
+if failures:
+    print("perf gate FAILED (>10% regression vs committed snapshot):")
+    for f_ in failures:
+        print(f"  {f_}")
+    print("rerun with ANOMEX_BENCH_REBASE=1 to accept and rebaseline")
+    sys.exit(1)
+print("perf gate passed: no case >10% slower than committed snapshot")
+PY

@@ -70,6 +70,7 @@ pub mod prelude {
     pub use anomex_dataset::gen::hics::{generate_hics, HicsPreset};
     pub use anomex_dataset::{Dataset, GroundTruth, Subspace};
     pub use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Loda, Lof};
+    pub use anomex_spec::NeighborBackend;
 }
 
 #[cfg(test)]

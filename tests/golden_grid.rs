@@ -180,6 +180,84 @@ fn map_grid_built_from_specs_is_byte_identical() {
     );
 }
 
+/// The kd-tree neighbor backend must be an *exact* drop-in: the same
+/// grid run with `backend=kdtree` on every kNN-backed detector renders
+/// byte-identically to the committed golden file. This is the contract
+/// that lets `NeighborBackend::Auto` switch backends by shape without
+/// perturbing any committed result.
+#[test]
+fn map_grid_under_kdtree_backend_is_byte_identical() {
+    let tb = golden_testbed();
+    let cfg = ExperimentConfig::fast(42);
+    let pipelines = vec![
+        Pipeline::point(
+            Lof::new(15).unwrap().with_backend(NeighborBackend::KdTree),
+            Beam::new().beam_width(10).result_size(1),
+        ),
+        Pipeline::summary(
+            Lof::new(15).unwrap().with_backend(NeighborBackend::KdTree),
+            LookOut::new().budget(1),
+        ),
+    ];
+    let table = run_grid("golden", &[tb], &pipelines, &cfg);
+    let rendered = report::map_grid(&table);
+    let expected = std::fs::read_to_string(golden_path()).expect("read tests/golden/map_grid.txt");
+    assert_eq!(
+        rendered, expected,
+        "the kd-tree backend must reproduce the exact golden grid byte-for-byte"
+    );
+
+    // The same guarantee through the spec grammar's backend parameter.
+    let spec_pipelines: Vec<Pipeline> = [
+        "beam:width=10,results=1+lof:k=15,backend=kdtree",
+        "lookout:budget=1+lof:backend=kd",
+    ]
+    .iter()
+    .map(|compact| {
+        let spec = anomex::spec::PipelineSpec::parse(compact).expect("backend spec parses");
+        Pipeline::from_spec(&spec).expect("backend spec builds")
+    })
+    .collect();
+    let table = run_grid("golden", &[golden_testbed()], &spec_pipelines, &cfg);
+    assert_eq!(
+        report::map_grid(&table),
+        expected,
+        "spec-declared kdtree backend must reproduce the golden grid"
+    );
+}
+
+/// The approximate (LSH) backend guards small inputs: below its
+/// row-count floor it falls back to the exact kernel, so on the 103-row
+/// golden fixture `backend=approx` renders byte-identically too — the
+/// MAP drift against exact is *zero by construction* here. (Drift on
+/// above-floor inputs is measured and recorded in EXPERIMENTS.md.)
+#[test]
+fn map_grid_under_approx_backend_falls_back_to_exact_below_floor() {
+    assert!(
+        golden_testbed().dataset.n_rows() < NeighborBackend::APPROX_MIN_ROWS,
+        "fixture must sit below the approx floor for this test's premise"
+    );
+    let tb = golden_testbed();
+    let cfg = ExperimentConfig::fast(42);
+    let pipelines = vec![
+        Pipeline::point(
+            Lof::new(15).unwrap().with_backend(NeighborBackend::Approx),
+            Beam::new().beam_width(10).result_size(1),
+        ),
+        Pipeline::summary(
+            Lof::new(15).unwrap().with_backend(NeighborBackend::Approx),
+            LookOut::new().budget(1),
+        ),
+    ];
+    let table = run_grid("golden", &[tb], &pipelines, &cfg);
+    let rendered = report::map_grid(&table);
+    let expected = std::fs::read_to_string(golden_path()).expect("read tests/golden/map_grid.txt");
+    assert_eq!(
+        rendered, expected,
+        "below the row floor the approx backend must serve exact results"
+    );
+}
+
 /// The fixture's explanations are exact, so the MAP values are exact
 /// binary fractions — pin them directly too, independent of rendering.
 #[test]
