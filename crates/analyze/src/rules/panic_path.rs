@@ -21,17 +21,20 @@ pub struct PanicPath;
 /// subscribers run inline on every instrumented hot path, so a panic
 /// there takes the traced computation down with it. `spec` is included:
 /// its parsers run on every served request line, so malformed specs
-/// must come back as `Err`, never as a worker-killing panic.
-const HOT_PATHS: [&str; 5] = [
+/// must come back as `Err`, never as a worker-killing panic. `reactor`
+/// is included: the event loop is single-threaded, so one panic drops
+/// every open connection at once, not just the offending request's.
+const HOT_PATHS: [&str; 6] = [
     "crates/core/src/",
     "crates/serve/src/",
     "crates/detectors/src/",
     "crates/obs/src/",
     "crates/spec/src/",
+    "crates/reactor/src/",
 ];
 
 /// Paths where indexing expressions are additionally flagged.
-const STRICT_INDEX: [&str; 1] = ["crates/serve/src/"];
+const STRICT_INDEX: [&str; 2] = ["crates/serve/src/", "crates/reactor/src/"];
 
 const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
@@ -41,7 +44,7 @@ impl Rule for PanicPath {
     }
 
     fn description(&self) -> &'static str {
-        "unwrap/expect/panic!-family (and indexing, in serve) on non-test hot paths"
+        "unwrap/expect/panic!-family (and indexing, in serve/reactor) on non-test hot paths"
     }
 
     fn applies_to(&self, path: &str) -> bool {
@@ -117,6 +120,7 @@ mod unit_tests {
         assert!(PanicPath.applies_to("crates/core/src/engine.rs"));
         assert!(PanicPath.applies_to("crates/obs/src/registry.rs"));
         assert!(PanicPath.applies_to("crates/spec/src/detector.rs"));
+        assert!(PanicPath.applies_to("crates/reactor/src/lib.rs"));
         assert!(PanicPath.applies_to("crates/analyze/fixtures/panic_path.rs"));
         assert!(!PanicPath.applies_to("crates/eval/src/report.rs"));
         assert!(!PanicPath.applies_to("crates/stats/src/rank.rs"));
@@ -158,14 +162,19 @@ mod unit_tests {
     }
 
     #[test]
-    fn indexing_flagged_only_in_serve() {
+    fn indexing_flagged_only_in_serve_and_reactor() {
         let serve = run(
             "crates/serve/src/registry.rs",
             "let s = self.scores[point];",
         );
         assert_eq!(serve.len(), 1);
+        let reactor = run("crates/reactor/src/lib.rs", "let b = buf[cursor];");
+        assert_eq!(reactor.len(), 1);
         let core = run("crates/core/src/x.rs", "let s = self.scores[point];");
-        assert!(core.is_empty(), "indexing outside serve is fine: {core:?}");
+        assert!(
+            core.is_empty(),
+            "indexing outside serve/reactor is fine: {core:?}"
+        );
     }
 
     #[test]

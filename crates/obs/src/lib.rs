@@ -1,6 +1,7 @@
 //! Zero-dependency observability for the anomex workspace: a
-//! process-wide [`MetricsRegistry`] of named counters and log2-bucketed
-//! histograms, a [`Subscriber`] span/event API, and a JSON-lines trace
+//! process-wide [`MetricsRegistry`] of named counters, gauges and
+//! log2-bucketed histograms, a [`Subscriber`] span/event API, and a
+//! JSON-lines trace
 //! exporter — all `std`-only so pure-compute crates can depend on it
 //! without dragging wall clocks or hashers into their determinism
 //! envelope.
@@ -35,8 +36,8 @@ pub mod subscriber;
 pub mod trace;
 
 pub use registry::{
-    counter, histogram, snapshot, Counter, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot,
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot,
 };
 pub use subscriber::{
     event, install, installed, span, span_timed, uninstall, FieldValue, NoopSubscriber, SpanGuard,

@@ -1,6 +1,6 @@
-//! The process-wide metrics registry: named counters and log2-bucketed
-//! histograms over relaxed atomics, with deterministic (`BTreeMap`-
-//! ordered) snapshots.
+//! The process-wide metrics registry: named counters, gauges and
+//! log2-bucketed histograms over relaxed atomics, with deterministic
+//! (`BTreeMap`-ordered) snapshots.
 //!
 //! Handles are `&'static`: a metric, once registered, lives for the
 //! process (the backing storage is leaked — bounded by the number of
@@ -45,6 +45,32 @@ impl Counter {
     /// Adds one to the counter.
     pub fn incr(&self) {
         self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-value-wins gauge: a level, not a rate. Where a
+/// [`Counter`] answers "how many ever", a gauge answers "what is it
+/// right now" — a shed flag, the latest SLO quantile estimate, a queue
+/// depth. Set and read are single relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Replaces the gauge's value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// The current value.
@@ -156,12 +182,79 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The inclusive upper bound of the bucket holding the `q`-quantile
+    /// observation (0 when empty; `q` clamped to `[0, 1]`).
+    ///
+    /// Log2 buckets make this a *conservative* quantile: the true value
+    /// lies somewhere in the winning bucket, and this returns the
+    /// bucket's top edge (`2^b − 1`; bucket 0 → 0), i.e. at most 2× the
+    /// true quantile. That one-sided error is exactly what an SLO check
+    /// wants — "p99 is at most X" never under-reports a violation.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q·count), at least 1: the rank of the quantile observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        // Unreachable when counts are consistent; be safe under racy
+        // snapshots (count read before a concurrent bucket increment).
+        self.buckets
+            .last()
+            .map_or(0, |&(b, _)| bucket_upper_bound(b))
+    }
+
+    /// Bucket-wise difference `self − earlier` (saturating), for judging
+    /// a *window* of observations against cumulative process totals —
+    /// e.g. "queue waits since the last SLO evaluation".
+    #[must_use]
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        for &(b, n) in &self.buckets {
+            let was = earlier
+                .buckets
+                .iter()
+                .find(|&&(eb, _)| eb == b)
+                .map_or(0, |&(_, en)| en);
+            let d = n.saturating_sub(was);
+            if d > 0 {
+                buckets.push((b, d));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+}
+
+/// The largest value bucket `b` can hold: 0 for the zero bucket,
+/// `2^b − 1` otherwise (`u64::MAX` for the top bucket).
+fn bucket_upper_bound(b: u32) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
 }
 
 /// The registry of named metrics — see the [module docs](self).
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
 }
 
@@ -188,6 +281,14 @@ impl MetricsRegistry {
             .or_insert_with(|| &*Box::leak(Box::new(Counter::new())))
     }
 
+    /// The gauge named `name`, registering it on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = lock(&self.gauges);
+        map.entry(name)
+            .or_insert_with(|| &*Box::leak(Box::new(Gauge::new())))
+    }
+
     /// The histogram named `name`, registering it on first use.
     #[must_use]
     pub fn histogram(&self, name: &'static str) -> &'static Histogram {
@@ -212,6 +313,12 @@ impl MetricsRegistry {
                 .map(|(&name, c)| (name.to_string(), c.get()))
                 .collect()
         };
+        let gauges = {
+            let map = lock(&self.gauges);
+            map.iter()
+                .map(|(&name, g)| (name.to_string(), g.get()))
+                .collect()
+        };
         let histograms = {
             let map = lock(&self.histograms);
             map.iter()
@@ -220,6 +327,7 @@ impl MetricsRegistry {
         };
         MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -230,6 +338,8 @@ impl MetricsRegistry {
 pub struct MetricsSnapshot {
     /// Counter values by name, ascending.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name, ascending.
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram states by name, ascending.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -239,6 +349,12 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of one gauge (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Counter-wise difference `self - earlier` (saturating at 0), for
@@ -265,6 +381,13 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -320,6 +443,12 @@ pub(crate) fn json_string(s: &str) -> String {
 #[must_use]
 pub fn counter(name: &'static str) -> &'static Counter {
     MetricsRegistry::global().counter(name)
+}
+
+/// The global registry's gauge named `name`.
+#[must_use]
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    MetricsRegistry::global().gauge(name)
 }
 
 /// The global registry's histogram named `name`.
@@ -428,12 +557,83 @@ mod unit_tests {
     fn snapshot_json_shape() {
         let r = MetricsRegistry::new();
         r.counter("t.c").add(2);
+        r.gauge("t.g").set(9);
         r.histogram("t.h").observe(5);
         let json = r.snapshot().to_json();
         assert_eq!(
             json,
-            "{\"counters\":{\"t.c\":2},\"histograms\":{\"t.h\":{\"count\":1,\"sum\":5,\"buckets\":[[3,1]]}}}"
+            "{\"counters\":{\"t.c\":2},\"gauges\":{\"t.g\":9},\"histograms\":{\"t.h\":{\"count\":1,\"sum\":5,\"buckets\":[[3,1]]}}}"
         );
+    }
+
+    #[test]
+    fn gauges_are_last_value_wins() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("t.level");
+        let same = r.gauge("t.level");
+        assert!(std::ptr::eq(g, same), "same name must yield one gauge");
+        g.set(7);
+        same.set(3);
+        assert_eq!(r.snapshot().gauge("t.level"), 3);
+        assert_eq!(r.snapshot().gauge("t.missing"), 0);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_the_bucket_top_edge() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile_upper_bound(0.99), 0, "empty → 0");
+        // 90 fast observations (value 3 → bucket 2) and 10 slow
+        // (value 1000 → bucket 10): p50 lands in the fast bucket,
+        // p99 in the slow one.
+        for _ in 0..90 {
+            h.observe(3);
+        }
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.50), 3, "2^2 − 1");
+        assert_eq!(s.quantile_upper_bound(0.90), 3, "rank 90 is still fast");
+        assert_eq!(
+            s.quantile_upper_bound(0.91),
+            1023,
+            "rank 91 is slow: 2^10 − 1"
+        );
+        assert_eq!(s.quantile_upper_bound(0.99), 1023);
+        assert_eq!(s.quantile_upper_bound(1.0), 1023);
+        assert_eq!(s.quantile_upper_bound(0.0), 3, "clamped to rank 1");
+
+        let zeros = Histogram::new();
+        zeros.observe(0);
+        assert_eq!(zeros.snapshot().quantile_upper_bound(0.99), 0);
+        let top = Histogram::new();
+        top.observe(u64::MAX);
+        assert_eq!(top.snapshot().quantile_upper_bound(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_since_isolates_the_window() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(2); // bucket 2
+        }
+        let before = h.snapshot();
+        for _ in 0..5 {
+            h.observe(4000); // bucket 12
+        }
+        let window = h.snapshot().since(&before);
+        assert_eq!(window.count, 5);
+        assert_eq!(window.sum, 20_000);
+        assert_eq!(window.buckets, vec![(12, 5)]);
+        // Cumulative p99 is still dominated by the old fast bucket; the
+        // window's p99 sees only the new slow observations.
+        assert_eq!(h.snapshot().quantile_upper_bound(0.5), 3);
+        assert_eq!(window.quantile_upper_bound(0.5), 4095, "2^12 − 1");
+        // since(self) is empty.
+        let now = h.snapshot();
+        let empty = now.since(&now);
+        assert_eq!(empty.count, 0);
+        assert!(empty.buckets.is_empty());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Per-connection state: read-side line framing, write-side buffering,
+//! and the FIFO of in-flight responses that preserves pipelining order.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::reactor::Completion;
+
+/// One response slot in a connection's FIFO. Responses are emitted
+/// strictly front-to-back, so a slow request parks every response queued
+/// behind it — exactly the ordering a pipelining client expects.
+pub(crate) enum Pending {
+    /// The response line is ready to serialize onto the wire.
+    Ready(String),
+    /// The work is still in flight; the loop polls `try_take`.
+    Waiting(Box<dyn Completion + Send>),
+}
+
+pub(crate) struct Connection {
+    pub(crate) stream: TcpStream,
+    /// Bytes read but not yet framed into a complete line.
+    rbuf: Vec<u8>,
+    /// Serialized responses not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has already been written.
+    wpos: usize,
+    /// In-flight responses, submission order.
+    pub(crate) pending: VecDeque<Pending>,
+    /// Peer closed its write half; no further requests will arrive.
+    pub(crate) eof: bool,
+    /// Unrecoverable I/O or framing error; reap without flushing.
+    pub(crate) dead: bool,
+    /// A request line exceeded `max_line`; close after the (optional)
+    /// overflow response flushes.
+    pub(crate) overflowed: bool,
+}
+
+impl Connection {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        Connection {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            eof: false,
+            dead: false,
+            overflowed: false,
+        }
+    }
+
+    /// Drain the socket's readable bytes and return every complete line.
+    ///
+    /// Lines are `\n`-delimited; a trailing `\r` is stripped so both
+    /// `\n` and `\r\n` clients work. Invalid UTF-8 is replaced rather
+    /// than rejected — the handler decides what a malformed request
+    /// means. A line (complete or still unterminated) longer than
+    /// `max_line` marks the connection overflowed: framing can no longer
+    /// be trusted, so reading stops for good.
+    pub(crate) fn fill(&mut self, max_line: usize) -> io::Result<Vec<String>> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    // anomex: allow(panic-path) Read's contract bounds n by chunk.len()
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    // Keep draining until WouldBlock so level-triggered
+                    // poll never strands buffered bytes.
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+
+        let mut lines = Vec::new();
+        let mut start = 0usize;
+        while let Some(rel) = self
+            .rbuf
+            .get(start..)
+            .and_then(|tail| tail.iter().position(|&b| b == b'\n'))
+        {
+            let end = start + rel;
+            let mut line = self.rbuf.get(start..end).unwrap_or(&[]);
+            if let Some((&b'\r', rest)) = line.split_last() {
+                line = rest;
+            }
+            if line.len() > max_line {
+                self.overflowed = true;
+            } else if !line.is_empty() {
+                lines.push(String::from_utf8_lossy(line).into_owned());
+            }
+            start = end + 1;
+            if self.overflowed {
+                break;
+            }
+        }
+        self.rbuf.drain(..start);
+        if self.rbuf.len() > max_line {
+            // An unterminated line already past the cap can never frame.
+            self.overflowed = true;
+        }
+        if self.overflowed {
+            self.rbuf.clear();
+            self.eof = true; // stop reading; flush whatever is owed, then close
+        }
+        Ok(lines)
+    }
+
+    /// Queue one response line (newline appended) for the wire.
+    pub(crate) fn queue_response(&mut self, line: &str) {
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Move completed responses from the pending FIFO to the write
+    /// buffer, stopping at the first still-waiting slot so per-connection
+    /// response order always matches request order. Returns how many
+    /// responses became wire-ready.
+    pub(crate) fn drain_pending(&mut self) -> u64 {
+        let mut drained = 0;
+        while let Some(front) = self.pending.front_mut() {
+            let line = match front {
+                Pending::Ready(s) => std::mem::take(s),
+                Pending::Waiting(c) => match c.try_take() {
+                    Some(s) => s,
+                    None => break,
+                },
+            };
+            self.pending.pop_front();
+            self.queue_response(&line);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// True while any slot in the FIFO is still waiting on work.
+    pub(crate) fn has_waiting(&self) -> bool {
+        matches!(self.pending.front(), Some(Pending::Waiting(_)))
+    }
+
+    /// Write as much of the buffered output as the socket accepts.
+    pub(crate) fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(self.wbuf.get(self.wpos..).unwrap_or(&[])) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Unflushed output remains.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Nothing left to read, compute, or flush — reap the connection.
+    pub(crate) fn finished(&self) -> bool {
+        self.eof && self.pending.is_empty() && !self.wants_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, Connection) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, Connection::new(server))
+    }
+
+    #[test]
+    fn frames_lines_and_strips_carriage_returns() {
+        let (mut client, mut conn) = pair();
+        client.write_all(b"alpha\r\nbeta\ngam").unwrap();
+        // Allow the loopback to deliver.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let lines = conn.fill(1 << 20).unwrap();
+        assert_eq!(lines, vec!["alpha".to_string(), "beta".to_string()]);
+        assert!(!conn.eof, "partial line keeps the connection open");
+
+        client.write_all(b"ma\n").unwrap();
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let lines = conn.fill(1 << 20).unwrap();
+        assert_eq!(lines, vec!["gamma".to_string()]);
+        assert!(conn.eof, "peer close must surface as EOF");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let (mut client, mut conn) = pair();
+        client.write_all(b"\n\r\nreal\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let lines = conn.fill(1 << 20).unwrap();
+        assert_eq!(lines, vec!["real".to_string()]);
+    }
+
+    #[test]
+    fn oversized_line_marks_overflow_and_stops_reading() {
+        let (mut client, mut conn) = pair();
+        client.write_all(&[b'x'; 256]).unwrap();
+        client.write_all(b"\nafter\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let lines = conn.fill(64).unwrap();
+        assert!(lines.is_empty(), "overflowed line must not be delivered");
+        assert!(conn.overflowed);
+        assert!(conn.eof, "overflow terminates the read side");
+    }
+
+    #[test]
+    fn unterminated_line_past_cap_overflows() {
+        let (mut client, mut conn) = pair();
+        client.write_all(&[b'y'; 300]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let lines = conn.fill(64).unwrap();
+        assert!(lines.is_empty());
+        assert!(conn.overflowed, "an unframeable prefix can never recover");
+    }
+
+    #[test]
+    fn drain_preserves_submission_order_across_mixed_readiness() {
+        struct Now(Option<String>);
+        impl Completion for Now {
+            fn try_take(&mut self) -> Option<String> {
+                self.0.take()
+            }
+        }
+        struct Never;
+        impl Completion for Never {
+            fn try_take(&mut self) -> Option<String> {
+                None
+            }
+        }
+
+        let (_client, mut conn) = pair();
+        conn.pending.push_back(Pending::Ready("first".into()));
+        conn.pending.push_back(Pending::Waiting(Box::new(Never)));
+        conn.pending
+            .push_back(Pending::Waiting(Box::new(Now(Some("third".into())))));
+
+        assert_eq!(conn.drain_pending(), 1, "stop at the waiting slot");
+        assert!(conn.has_waiting());
+        assert_eq!(conn.pending.len(), 2, "third stays queued behind second");
+    }
+}

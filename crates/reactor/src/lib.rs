@@ -1,0 +1,40 @@
+//! A dependency-free event-loop front end for line-oriented protocols.
+//!
+//! `anomex-reactor` replaces the thread-per-connection TCP path in
+//! `anomex-serve` with a single-threaded readiness loop: one thread
+//! multiplexes every connection through `poll(2)` (a ~30-line FFI shim —
+//! see [`sys`]), framing newline-delimited requests out of per-connection
+//! read buffers and flushing responses through per-connection write
+//! buffers. Concurrency in the *work* stays where it already lives — the
+//! `Batcher` worker pool behind `ServeHandle` — the reactor only moves
+//! the *I/O* off the thread-per-connection model so idle connections cost
+//! a pollfd, not a stack.
+//!
+//! The crate knows nothing about JSON or anomex: a [`LineHandler`] maps
+//! one request line to a [`Submission`] — either an immediate response
+//! line or a boxed [`Completion`] the loop polls for the finished
+//! response. Responses leave each connection in exactly the order their
+//! requests arrived (pipelining preserves order), enforced by a
+//! per-connection FIFO of pending submissions.
+//!
+//! Determinism and bounds:
+//! - no timers besides the poll timeout, no randomness, no allocation
+//!   beyond the per-connection buffers;
+//! - a connection with `max_pipeline` unanswered requests stops being
+//!   polled for readability until responses drain (flow control, bounded
+//!   memory);
+//! - request lines longer than `max_line` bytes terminate the connection
+//!   after an optional configured overflow response (bounded framing).
+//!
+//! The loop is single-threaded and lock-free by construction: the only
+//! shared state is the stop flag (an `AtomicBool`) and whatever the
+//! injected `Completion`s guard internally.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod conn;
+mod reactor;
+pub mod sys;
+
+pub use reactor::{Completion, LineHandler, Reactor, ReactorConfig, ReactorStats, Submission};

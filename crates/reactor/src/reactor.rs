@@ -1,0 +1,261 @@
+//! The event loop: accept, frame, dispatch, drain, flush, reap.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::conn::{Connection, Pending};
+use crate::sys;
+
+/// An in-flight response the loop polls without blocking.
+///
+/// Implementations wrap whatever the backend hands out for asynchronous
+/// work — in `anomex-serve`, a batcher `Ticket` plus its serializer.
+/// `try_take` must be cheap and non-blocking; it is called once per loop
+/// iteration while the completion is at the front of its connection's
+/// FIFO, and must return `Some` exactly once.
+pub trait Completion {
+    /// Return the finished response line, or `None` while still running.
+    fn try_take(&mut self) -> Option<String>;
+}
+
+/// What a [`LineHandler`] produced for one request line.
+pub enum Submission {
+    /// The response is already known (fast path, or a typed error such
+    /// as a shed/overload rejection).
+    Done(String),
+    /// Work was queued; the loop polls the completion for the response.
+    Pending(Box<dyn Completion + Send>),
+    /// The line owes no response (e.g. whitespace-only input).
+    Skip,
+}
+
+/// Maps one request line to a response, synchronously or not.
+///
+/// Called on the reactor thread, so implementations must not block:
+/// either answer immediately or enqueue into a bounded queue and return
+/// [`Submission::Pending`]. A full queue should be answered with a typed
+/// error via [`Submission::Done`] — backpressure belongs on the wire,
+/// not in the loop.
+pub trait LineHandler {
+    /// Handle one framed request line (newline already stripped).
+    fn handle_line(&self, line: &str) -> Submission;
+}
+
+/// Tunables for the loop; `Default` matches the serve binary's defaults.
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Longest accepted request line in bytes; longer lines terminate
+    /// the connection (after `overflow_response`, if configured).
+    pub max_line: usize,
+    /// Unanswered requests a single connection may pipeline before the
+    /// loop stops reading from it (flow control, bounded memory).
+    pub max_pipeline: usize,
+    /// Concurrent connections; beyond this, accepts pause (the listen
+    /// backlog absorbs the burst).
+    pub max_conns: usize,
+    /// Idle poll timeout in milliseconds — the latency of noticing the
+    /// stop flag when nothing else is happening.
+    pub poll_timeout_ms: i32,
+    /// Response line sent before closing a connection that overflowed
+    /// `max_line`, so clients see a typed error instead of a bare reset.
+    pub overflow_response: Option<String>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            max_line: 1 << 20,
+            max_pipeline: 64,
+            max_conns: 1024,
+            poll_timeout_ms: 20,
+            overflow_response: None,
+        }
+    }
+}
+
+/// Counters the loop maintains; returned by [`Reactor::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Connections accepted over the loop's lifetime.
+    pub accepted: u64,
+    /// Request lines framed and dispatched to the handler.
+    pub lines_in: u64,
+    /// Response lines handed to write buffers.
+    pub responses_out: u64,
+    /// Connections terminated for oversized request lines.
+    pub overflows: u64,
+}
+
+/// A single-threaded poll loop serving `H` over newline-framed TCP.
+pub struct Reactor<H: LineHandler> {
+    listener: TcpListener,
+    handler: H,
+    config: ReactorConfig,
+    stop: Arc<AtomicBool>,
+    conns: Vec<Connection>,
+    stats: ReactorStats,
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::fd::AsRawFd>(t: &T) -> sys::Fd {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> sys::Fd {
+    0
+}
+
+impl<H: LineHandler> Reactor<H> {
+    /// Bind a non-blocking listener on `addr` and prepare the loop.
+    pub fn bind(addr: impl ToSocketAddrs, handler: H, config: ReactorConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Reactor {
+            listener,
+            handler,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Vec::new(),
+            stats: ReactorStats::default(),
+        })
+    }
+
+    /// The bound address (useful with port 0 in tests).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the loop from another thread; `run` notices it
+    /// within one poll timeout.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Drive the loop until the stop flag is raised, then return the
+    /// lifetime counters. Open connections are dropped on stop — serving
+    /// processes stop only at shutdown, where in-flight pipelines are
+    /// forfeit anyway.
+    pub fn run(mut self) -> io::Result<ReactorStats> {
+        while !self.stop.load(Ordering::Relaxed) {
+            self.tick()?;
+        }
+        Ok(self.stats)
+    }
+
+    /// One iteration: drain completions, poll, accept, read+dispatch,
+    /// flush, reap. Public only through `run`; kept separate so the
+    /// steps read in order.
+    fn tick(&mut self) -> io::Result<()> {
+        // 1. Move finished work onto the wire buffers.
+        let mut any_waiting = false;
+        for conn in &mut self.conns {
+            self.stats.responses_out += conn.drain_pending();
+            if conn.has_waiting() {
+                any_waiting = true;
+            }
+        }
+
+        // 2. Declare interests. A connection at its pipeline cap is not
+        //    readable-interesting (flow control); one with a drained
+        //    write buffer is not writable-interesting (else poll spins).
+        let accepting = self.conns.len() < self.config.max_conns;
+        let mut fds = Vec::with_capacity(1 + self.conns.len());
+        fds.push((
+            fd_of(&self.listener),
+            sys::Interest {
+                readable: accepting,
+                writable: false,
+            },
+        ));
+        for conn in &self.conns {
+            fds.push((
+                fd_of(&conn.stream),
+                sys::Interest {
+                    readable: !conn.eof && conn.pending.len() < self.config.max_pipeline,
+                    writable: conn.wants_write(),
+                },
+            ));
+        }
+
+        // While completions are in flight nothing will mark a descriptor
+        // ready when they finish, so poll with a short tick instead of
+        // the idle timeout.
+        let timeout = if any_waiting {
+            1
+        } else {
+            self.config.poll_timeout_ms
+        };
+        let ready = sys::wait(&fds, timeout)?;
+
+        // 3. Accept every pending connection (level-triggered: drain).
+        if ready.first().is_some_and(|r| r.readable) {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(true)?;
+                        let _ = stream.set_nodelay(true);
+                        self.conns.push(Connection::new(stream));
+                        self.stats.accepted += 1;
+                        if self.conns.len() >= self.config.max_conns {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    // Per-connection accept failures (e.g. the peer reset
+                    // while queued) must not take down the loop.
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 4. Read, frame, dispatch; then flush whatever is writable.
+        //    `ready[1 + i]` is index-aligned with `self.conns[i]` from
+        //    step 2; connections accepted in step 3 sit past `ready.len()`
+        //    and simply wait for the next tick.
+        for i in 0..self.conns.len() {
+            let Some(r) = ready.get(1 + i) else { break };
+            let Some(conn) = self.conns.get_mut(i) else {
+                break;
+            };
+            if r.readable && !conn.eof {
+                match conn.fill(self.config.max_line) {
+                    Ok(lines) => {
+                        for line in lines {
+                            self.stats.lines_in += 1;
+                            match self.handler.handle_line(&line) {
+                                Submission::Done(s) => conn.pending.push_back(Pending::Ready(s)),
+                                Submission::Pending(c) => {
+                                    conn.pending.push_back(Pending::Waiting(c));
+                                }
+                                Submission::Skip => {}
+                            }
+                        }
+                        if conn.overflowed {
+                            self.stats.overflows += 1;
+                            if let Some(msg) = &self.config.overflow_response {
+                                conn.pending.push_back(Pending::Ready(msg.clone()));
+                            }
+                        }
+                    }
+                    Err(_) => conn.dead = true,
+                }
+                // Answer fast-path responses in the same tick: drain what
+                // the dispatch just made ready so a synchronous handler
+                // costs one poll round-trip, not two.
+                self.stats.responses_out += conn.drain_pending();
+            }
+            if (r.writable || conn.wants_write()) && !conn.dead && conn.flush().is_err() {
+                conn.dead = true;
+            }
+        }
+
+        // 5. Reap: errored connections immediately, finished ones after
+        //    their last byte flushed.
+        self.conns.retain(|c| !c.dead && !c.finished());
+        Ok(())
+    }
+}

@@ -1,0 +1,241 @@
+//! Readiness notification: a minimal `poll(2)` shim.
+//!
+//! The reactor needs exactly one OS facility — "which of these sockets
+//! can make progress?" — and `poll(2)` answers it portably across unix
+//! with a single C call and no descriptor-count limit, so the shim is a
+//! `#[repr(C)]` struct, five flag constants and one `extern` function.
+//! On non-unix targets (where std exposes no raw descriptors) the
+//! fallback sleeps briefly and optimistically reports every interest as
+//! ready; this stays *correct* because every reactor socket is
+//! non-blocking — a spurious "ready" costs one `WouldBlock` read, never
+//! a stall — it merely degrades the idle loop to a bounded busy-wait.
+
+// The FFI surface below is the crate's only unsafe code: one foreign
+// call whose contract (valid pointer + matching length, both from a
+// live `Vec`) is local to `wait`.
+#![allow(unsafe_code)]
+
+use std::io;
+
+/// A raw socket descriptor, as handed to `poll(2)`.
+///
+/// On non-unix targets descriptors are synthetic (the fallback never
+/// dereferences them) but the type is kept identical so the reactor
+/// compiles unchanged.
+pub type Fd = i32;
+
+/// What a caller wants to know about one descriptor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Interest {
+    /// Wake when a read would make progress (data, EOF, or error).
+    pub readable: bool,
+    /// Wake when a write would make progress.
+    pub writable: bool,
+}
+
+/// What the kernel reported for one descriptor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Readiness {
+    /// A read would make progress. Errors and hangups are folded in so
+    /// the read path observes EOF/reset instead of spinning.
+    pub readable: bool,
+    /// A write would make progress (or would fail fast — errors fold in).
+    pub writable: bool,
+    /// The peer hung up or the descriptor is invalid.
+    pub hangup: bool,
+}
+
+/// Block until at least one interest is ready or `timeout_ms` elapses.
+///
+/// Returns one [`Readiness`] per input descriptor, index-aligned.
+/// `EINTR` is retried internally; a zero result (timeout) yields
+/// all-false readiness, which callers treat as an idle tick.
+pub fn wait(fds: &[(Fd, Interest)], timeout_ms: i32) -> io::Result<Vec<Readiness>> {
+    imp::wait(fds, timeout_ms)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{Fd, Interest, Readiness};
+    use std::io;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::ffi::c_uint;
+
+    unsafe extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::ffi::c_int) -> std::ffi::c_int;
+    }
+
+    pub fn wait(fds: &[(Fd, Interest)], timeout_ms: i32) -> io::Result<Vec<Readiness>> {
+        let mut pfds: Vec<PollFd> = fds
+            .iter()
+            .map(|&(fd, want)| PollFd {
+                fd,
+                events: if want.readable { POLLIN } else { 0 }
+                    | if want.writable { POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        loop {
+            // SAFETY: `pfds` is a live Vec for the duration of the call;
+            // the pointer and length describe exactly its initialized
+            // elements, which is the whole `poll(2)` contract.
+            let rc = unsafe { poll(pfds.as_mut_ptr(), pfds.len() as NfdsT, timeout_ms) };
+            if rc >= 0 {
+                break;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+        Ok(pfds
+            .iter()
+            .map(|p| Readiness {
+                readable: p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+                writable: p.revents & (POLLOUT | POLLERR | POLLNVAL) != 0,
+                hangup: p.revents & (POLLHUP | POLLNVAL) != 0,
+            })
+            .collect())
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{Fd, Interest, Readiness};
+    use std::io;
+    use std::time::Duration;
+
+    pub fn wait(fds: &[(Fd, Interest)], timeout_ms: i32) -> io::Result<Vec<Readiness>> {
+        // Bounded optimistic tick: every socket is non-blocking, so
+        // reporting each interest as ready is safe (WouldBlock, not a
+        // stall) — cap the sleep so the loop stays responsive.
+        std::thread::sleep(Duration::from_millis(timeout_ms.clamp(0, 5) as u64));
+        Ok(fds
+            .iter()
+            .map(|&(_, want)| Readiness {
+                readable: want.readable,
+                writable: want.writable,
+                hangup: false,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[cfg(unix)]
+    fn fd_of<T: std::os::fd::AsRawFd>(t: &T) -> Fd {
+        t.as_raw_fd()
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn timeout_reports_nothing_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ready = wait(
+            &[(
+                fd_of(&listener),
+                Interest {
+                    readable: true,
+                    writable: false,
+                },
+            )],
+            10,
+        )
+        .unwrap();
+        assert_eq!(ready.len(), 1);
+        assert!(!ready[0].readable && !ready[0].writable && !ready[0].hangup);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pending_connection_wakes_listener_and_data_wakes_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        let ready = wait(
+            &[(
+                fd_of(&listener),
+                Interest {
+                    readable: true,
+                    writable: false,
+                },
+            )],
+            1000,
+        )
+        .unwrap();
+        assert!(ready[0].readable, "pending accept must report readable");
+
+        let (server_side, _) = listener.accept().unwrap();
+        client.write_all(b"ping\n").unwrap();
+        let ready = wait(
+            &[
+                (
+                    fd_of(&server_side),
+                    Interest {
+                        readable: true,
+                        writable: true,
+                    },
+                ),
+                (
+                    fd_of(&listener),
+                    Interest {
+                        readable: true,
+                        writable: false,
+                    },
+                ),
+            ],
+            1000,
+        )
+        .unwrap();
+        assert!(ready[0].readable, "buffered bytes must report readable");
+        assert!(
+            ready[0].writable,
+            "empty socket buffer must report writable"
+        );
+        assert!(!ready[1].readable, "listener has no second pending accept");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn peer_close_reports_readable_for_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        drop(client);
+        let ready = wait(
+            &[(
+                fd_of(&server_side),
+                Interest {
+                    readable: true,
+                    writable: false,
+                },
+            )],
+            1000,
+        )
+        .unwrap();
+        assert!(ready[0].readable, "EOF must surface as readable");
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end loop tests over real loopback sockets: framing, pipelining
+//! order, slow completions, overflow handling, and stop semantics.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use anomex_reactor::{Completion, LineHandler, Reactor, ReactorConfig, Submission};
+
+/// Immediate handler: upper-cases the request.
+struct Upper;
+
+impl LineHandler for Upper {
+    fn handle_line(&self, line: &str) -> Submission {
+        Submission::Done(line.to_uppercase())
+    }
+}
+
+/// Deferred handler: a worker thread finishes each request after a
+/// per-request delay, so completions resolve *out of* submission order
+/// while responses must still leave in submission order.
+struct Delayed;
+
+struct Slot(Arc<Mutex<Option<String>>>);
+
+impl Completion for Slot {
+    fn try_take(&mut self) -> Option<String> {
+        self.0.lock().unwrap().take()
+    }
+}
+
+impl LineHandler for Delayed {
+    fn handle_line(&self, line: &str) -> Submission {
+        let slot = Arc::new(Mutex::new(None));
+        let fill = Arc::clone(&slot);
+        // Later requests finish *sooner*: index 0 sleeps longest.
+        let delay = 40u64.saturating_sub(10 * line.len().min(4) as u64);
+        let line = line.to_string();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(delay));
+            *fill.lock().unwrap() = Some(format!("done:{line}"));
+        });
+        Submission::Pending(Box::new(Slot(slot)))
+    }
+}
+
+fn spawn_reactor<H: LineHandler + Send + 'static>(
+    handler: H,
+    config: ReactorConfig,
+) -> (
+    std::net::SocketAddr,
+    Arc<std::sync::atomic::AtomicBool>,
+    thread::JoinHandle<anomex_reactor::ReactorStats>,
+) {
+    let reactor = Reactor::bind("127.0.0.1:0", handler, config).expect("bind");
+    let addr = reactor.local_addr().expect("addr");
+    let stop = reactor.stop_handle();
+    let join = thread::spawn(move || reactor.run().expect("run"));
+    (addr, stop, join)
+}
+
+#[test]
+fn eight_pipelining_clients_get_ordered_echoes() {
+    let (addr, stop, join) = spawn_reactor(Upper, ReactorConfig::default());
+    const CLIENTS: usize = 8;
+    const LINES: usize = 50;
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let done = Arc::clone(&done);
+        handles.push(thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            // Pipeline the whole batch before reading anything back.
+            let mut blob = String::new();
+            for j in 0..LINES {
+                blob.push_str(&format!("client{c}-line{j}\n"));
+            }
+            stream.write_all(blob.as_bytes()).expect("write");
+            let mut reader = BufReader::new(stream);
+            for j in 0..LINES {
+                let mut resp = String::new();
+                reader.read_line(&mut resp).expect("read");
+                assert_eq!(
+                    resp.trim_end(),
+                    format!("CLIENT{c}-LINE{j}"),
+                    "responses must preserve per-connection request order"
+                );
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    for h in handles {
+        h.join().expect("client");
+    }
+    assert_eq!(done.load(Ordering::SeqCst), CLIENTS);
+
+    stop.store(true, Ordering::SeqCst);
+    let stats = join.join().expect("reactor");
+    assert_eq!(stats.accepted, CLIENTS as u64);
+    assert_eq!(stats.lines_in, (CLIENTS * LINES) as u64);
+    assert_eq!(stats.responses_out, (CLIENTS * LINES) as u64);
+    assert_eq!(stats.overflows, 0);
+}
+
+#[test]
+fn out_of_order_completions_respond_in_submission_order() {
+    let (addr, stop, join) = spawn_reactor(Delayed, ReactorConfig::default());
+    // "a" (len 1, 30ms) before "abcd" (len 4, 0ms): the second request
+    // finishes first, but must be answered second.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"a\nabcd\n").expect("write");
+    let mut reader = BufReader::new(stream);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read");
+    let mut second = String::new();
+    reader.read_line(&mut second).expect("read");
+    assert_eq!(first.trim_end(), "done:a");
+    assert_eq!(second.trim_end(), "done:abcd");
+
+    stop.store(true, Ordering::SeqCst);
+    join.join().expect("reactor");
+}
+
+#[test]
+fn oversized_line_gets_typed_response_then_close() {
+    let config = ReactorConfig {
+        max_line: 64,
+        overflow_response: Some("{\"ok\":false,\"code\":\"bad_request\"}".to_string()),
+        ..ReactorConfig::default()
+    };
+    let (addr, stop, join) = spawn_reactor(Upper, config);
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&[b'x'; 4096]).expect("write");
+    stream.write_all(b"\n").expect("write");
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read overflow response");
+    assert_eq!(resp.trim_end(), "{\"ok\":false,\"code\":\"bad_request\"}");
+    // After the typed response the reactor closes: next read sees EOF.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read to eof");
+    assert!(rest.is_empty(), "no bytes may follow the overflow response");
+
+    stop.store(true, Ordering::SeqCst);
+    let stats = join.join().expect("reactor");
+    assert_eq!(stats.overflows, 1);
+}
+
+#[test]
+fn pipeline_cap_throttles_but_loses_nothing() {
+    // A cap of 4 with 32 pipelined requests forces several read pauses;
+    // every response must still arrive, in order.
+    let config = ReactorConfig {
+        max_pipeline: 4,
+        ..ReactorConfig::default()
+    };
+    let (addr, stop, join) = spawn_reactor(Upper, config);
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut blob = String::new();
+    for j in 0..32 {
+        blob.push_str(&format!("req{j}\n"));
+    }
+    stream.write_all(blob.as_bytes()).expect("write");
+    let mut reader = BufReader::new(stream);
+    for j in 0..32 {
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read");
+        assert_eq!(resp.trim_end(), format!("REQ{j}"));
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let stats = join.join().expect("reactor");
+    assert_eq!(stats.lines_in, 32);
+    assert_eq!(stats.responses_out, 32);
+}
+
+#[test]
+fn stop_flag_halts_an_idle_loop_promptly() {
+    let (_addr, stop, join) = spawn_reactor(Upper, ReactorConfig::default());
+    thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::SeqCst);
+    let start = std::time::Instant::now();
+    join.join().expect("reactor");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "stop must be honored within a few poll timeouts"
+    );
+}

@@ -1,0 +1,374 @@
+//! Serve-throughput measurement feeding `BENCH_serve.json`.
+//!
+//! Compares the two TCP edges over the *real* serving stack — the
+//! `anomex-reactor` event loop vs a thread-per-connection accept loop,
+//! both in front of the same `ServeHandle` — under 64 pipelining
+//! clients with connection churn, then induces a queue-wait SLO
+//! violation to show typed `overloaded` shedding, and times warm
+//! registry lookups single-lock vs 8-way sharded.
+//!
+//! Latency quantiles come from anomex-obs log2 histograms
+//! (`quantile_upper_bound`: bucket top edges, one-sided ≤2x error), so
+//! the snapshot measures exactly what the serving SLO machinery sees.
+//! Run via `scripts/bench_snapshot.sh`, which stamps the date and
+//! applies the >10% regression gate:
+//!
+//! ```sh
+//! cargo run --release -p anomex-serve --example serve_throughput
+//! ```
+
+use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::Lof;
+use anomex_reactor::ReactorConfig;
+use anomex_serve::batch::BatchConfig;
+use anomex_serve::front::ReactorServer;
+use anomex_serve::protocol::{ErrorCode, Request, RequestBody, Response};
+use anomex_serve::registry::{ModelKey, ModelRegistry, ShardedModelRegistry};
+use anomex_serve::service::{ExplanationService, ServeHandle};
+use anomex_serve::shed::SloConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 64;
+const ROUNDS: usize = 4;
+const DEPTH: usize = 8;
+
+fn leak(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+/// A deterministic dataset: `n` rows on a noisy diagonal in 4 features.
+fn bench_dataset(n: usize) -> Dataset {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut unit = move || {
+        // xorshift*: deterministic, dependency-free.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let t = unit();
+            vec![t + 0.02 * unit(), t + 0.02 * unit(), unit(), unit()]
+        })
+        .collect();
+    Dataset::from_rows(rows).unwrap()
+}
+
+fn score_line(id: u64) -> String {
+    serde_json::to_string(&Request {
+        id,
+        body: RequestBody::Score {
+            dataset: "bench".into(),
+            detector: "lof:k=10".into(),
+            subspace: Some(vec![0, 1]),
+            point: 0,
+        },
+    })
+    .unwrap()
+}
+
+/// The legacy edge: accept loop, one thread per connection, one
+/// blocking submit-resolve per line — the serve binary's `--threaded`
+/// shape, reproduced here so both edges share one `ServeHandle`.
+fn start_threaded(handle: Arc<ServeHandle>) -> (SocketAddr, Arc<AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::Relaxed) {
+                return;
+            }
+            let Ok(stream) = conn else { continue };
+            let handle = Arc::clone(&handle);
+            std::thread::spawn(move || {
+                let reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    let Some(submitted) = handle.submit_line(&line) else {
+                        continue;
+                    };
+                    let resp = submitted.resolve();
+                    let text = serde_json::to_string(&resp).unwrap();
+                    if writeln!(writer, "{text}").is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    (addr, stop)
+}
+
+/// Drives the full client load: `CLIENTS` threads, each `rounds` fresh
+/// connections (churn included) pipelining `depth` requests.
+/// Client-observed write-to-response latency goes into `latency` so
+/// both edges are judged by what callers experience. Returns
+/// (wall, ok, overloaded).
+fn drive(
+    addr: SocketAddr,
+    clients: usize,
+    rounds: usize,
+    depth: usize,
+    lines: &(dyn Fn(u64) -> String + Sync),
+    latency: &'static anomex_obs::Histogram,
+) -> (Duration, u64, u64) {
+    let started = Instant::now();
+    let ok = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let ok = &ok;
+            let overloaded = &overloaded;
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut payload = String::new();
+                    for d in 0..depth {
+                        payload.push_str(&lines(((c * rounds + r) * depth + d) as u64));
+                        payload.push('\n');
+                    }
+                    let sent = Instant::now();
+                    writer.write_all(payload.as_bytes()).unwrap();
+                    let mut reader = BufReader::new(stream);
+                    for _ in 0..depth {
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        latency.observe(sent.elapsed().as_micros() as u64);
+                        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+                        if resp.code == Some(ErrorCode::Overloaded) {
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            assert!(resp.ok, "{:?}", resp.error);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (
+        started.elapsed(),
+        ok.load(Ordering::Relaxed),
+        overloaded.load(Ordering::Relaxed),
+    )
+}
+
+fn warm_handle() -> Arc<ServeHandle> {
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("bench", bench_dataset(2_000)).unwrap();
+    let handle = Arc::new(ServeHandle::start(svc, BatchConfig::default(), None));
+    // Warm the one model the load reads, so the runs measure serving,
+    // not fitting.
+    let warm = handle
+        .submit_line(&score_line(0))
+        .expect("non-blank")
+        .resolve();
+    assert!(warm.ok, "{:?}", warm.error);
+    handle
+}
+
+fn q_ms(h: &anomex_obs::Histogram, q: f64) -> f64 {
+    h.snapshot().quantile_upper_bound(q) as f64 / 1000.0
+}
+
+fn main() {
+    let total = (CLIENTS * ROUNDS * DEPTH) as u64;
+    let mut edges = Vec::new();
+    for edge in ["reactor", "threaded"] {
+        let mut best: Option<(f64, f64, f64)> = None;
+        for pass in 0..3 {
+            let handle = warm_handle();
+            let observed = anomex_obs::histogram(leak(format!("{edge}{pass}.client_micros")));
+            let (wall, ok) = if edge == "reactor" {
+                let server = ReactorServer::start(
+                    Arc::clone(&handle),
+                    "127.0.0.1:0",
+                    ReactorConfig::default(),
+                )
+                .expect("bind reactor");
+                let (wall, ok, _) =
+                    drive(server.addr(), CLIENTS, ROUNDS, DEPTH, &score_line, observed);
+                server.stop().expect("clean reactor shutdown");
+                (wall, ok)
+            } else {
+                let (addr, stop) = start_threaded(Arc::clone(&handle));
+                let (wall, ok, _) = drive(addr, CLIENTS, ROUNDS, DEPTH, &score_line, observed);
+                stop.store(true, Ordering::Relaxed);
+                let _ = TcpStream::connect(addr); // unblock the acceptor
+                (wall, ok)
+            };
+            assert_eq!(ok, total, "{edge}: lost responses");
+            if pass == 0 {
+                continue; // warmup pass
+            }
+            let wall_ms = wall.as_secs_f64() * 1000.0;
+            let p50 = q_ms(observed, 0.50);
+            let p99 = q_ms(observed, 0.99);
+            if best.map_or(true, |(w, _, _)| wall_ms < w) {
+                best = Some((wall_ms, p50, p99));
+            }
+        }
+        let (wall_ms, p50, p99) = best.unwrap();
+        edges.push((edge, wall_ms, p50, p99, total as f64 / (wall_ms / 1000.0)));
+    }
+
+    // Overload: one worker, cold models per request (every line names a
+    // distinct k, forcing a fresh fit), SLO far below the induced wait.
+    let svc = Arc::new(ExplanationService::new());
+    svc.register_dataset("bench", bench_dataset(1_000)).unwrap();
+    let slo = SloConfig {
+        queue_wait_limit_micros: 1_000,
+        quantile: 0.5,
+        min_observations: 16,
+        eval_interval: Duration::from_millis(50),
+    };
+    let handle = Arc::new(ServeHandle::start_with_slo(
+        svc,
+        BatchConfig {
+            workers: 1,
+            queue_capacity: 4_096,
+            ..BatchConfig::default()
+        },
+        None,
+        Some(slo),
+    ));
+    let server = ReactorServer::start(Arc::clone(&handle), "127.0.0.1:0", ReactorConfig::default())
+        .expect("bind reactor");
+    let qw_baseline = anomex_obs::histogram("serve.batch.queue_wait_micros").snapshot();
+    let cold_line = |id: u64| {
+        serde_json::to_string(&Request {
+            id,
+            body: RequestBody::Score {
+                dataset: "bench".into(),
+                detector: format!("lof:k={}", 5 + id % 400),
+                subspace: Some(vec![0, 1]),
+                point: 0,
+            },
+        })
+        .unwrap()
+    };
+    let overload_lat = anomex_obs::histogram("overload.client_micros");
+    let (wall, ok, overloaded) = drive(server.addr(), 16, 4, 8, &cold_line, overload_lat);
+    server.stop().expect("clean reactor shutdown");
+    let qw_window = anomex_obs::histogram("serve.batch.queue_wait_micros")
+        .snapshot()
+        .since(&qw_baseline);
+
+    // Warm registry lookups: single-lock vs 8-way sharded, 8 threads.
+    let ds = bench_dataset(200);
+    let det = Lof::new(10).unwrap();
+    let keys: Vec<ModelKey> = (0..64)
+        .map(|i| {
+            ModelKey::new(
+                "bench",
+                format!("lof:k={}", 5 + i),
+                Subspace::new([0usize, 1]),
+            )
+        })
+        .collect();
+    let single = ModelRegistry::new();
+    let sharded = ShardedModelRegistry::new(8);
+    for key in &keys {
+        single.get_or_fit(key, &ds, &det);
+        sharded.get_or_fit(key, &ds, &det);
+    }
+    let lookups = 200_000usize;
+    let bench_lookups = |sharded_path: bool| -> f64 {
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let keys = &keys;
+                let single = &single;
+                let sharded = &sharded;
+                let ds = &ds;
+                let det = &det;
+                scope.spawn(move || {
+                    for i in 0..lookups {
+                        let key = &keys[(t + i).wrapping_mul(31) % keys.len()];
+                        let entry = if sharded_path {
+                            sharded.get_or_fit(key, ds, det)
+                        } else {
+                            single.get_or_fit(key, ds, det)
+                        };
+                        std::hint::black_box(entry);
+                    }
+                });
+            }
+        });
+        started.elapsed().as_secs_f64() * 1000.0
+    };
+    bench_lookups(false); // warmup
+    let single_ms = bench_lookups(false);
+    let sharded_ms = bench_lookups(true);
+
+    // ---- JSON snapshot (date stamped by bench_snapshot.sh) ----------
+    println!("{{");
+    println!(
+        "  \"bench\": \"serve_throughput (reactor vs thread-per-connection edge, SLO shed, registry sharding)\","
+    );
+    println!("  \"source\": \"cargo run --release -p anomex-serve --example serve_throughput\",");
+    println!(
+        "  \"estimator\": \"best of 2 measured passes after 1 warmup; latency quantiles are log2-bucket upper bounds from anomex-obs histograms (one-sided, at most 2x high)\","
+    );
+    println!(
+        "  \"workload\": {{ \"clients\": {CLIENTS}, \"rounds_per_client\": {ROUNDS}, \"pipeline_depth\": {DEPTH}, \"requests\": {total}, \"pool_workers\": 2, \"note\": \"fresh connection per round; one warm lof:k=10 model; latency is client-observed write-to-response\" }},"
+    );
+    println!("  \"timings_ms\": [");
+    let mut first = true;
+    for (edge, wall_ms, p50, p99) in edges.iter().map(|(e, w, p50, p99, _)| (e, w, p50, p99)) {
+        for (metric, ms) in [
+            ("wall", wall_ms),
+            ("p50_latency", p50),
+            ("p99_latency", p99),
+        ] {
+            if !first {
+                println!(",");
+            }
+            first = false;
+            print!("    {{ \"edge\": \"{edge}\", \"metric\": \"{metric}\", \"ms\": {ms:.3} }}");
+        }
+    }
+    println!("\n  ],");
+    println!("  \"throughput_req_per_s\": [");
+    println!(
+        "    {{ \"edge\": \"{}\", \"rps\": {:.0} }},",
+        edges[0].0, edges[0].4
+    );
+    println!(
+        "    {{ \"edge\": \"{}\", \"rps\": {:.0} }}",
+        edges[1].0, edges[1].4
+    );
+    println!("  ],");
+    println!(
+        "  \"speedups\": [ {{ \"reactor_vs_threaded_rps\": {:.2} }} ],",
+        edges[0].4 / edges[1].4
+    );
+    println!(
+        "  \"overload\": {{ \"slo\": {{ \"queue_wait_limit_ms\": 1, \"quantile\": 0.5, \"min_observations\": 16, \"eval_interval_ms\": 50 }}, \"workload\": {{ \"clients\": 16, \"rounds_per_client\": 4, \"pipeline_depth\": 8, \"pool_workers\": 1 }}, \"requests\": {}, \"served_ok\": {ok}, \"shed_typed_overloaded\": {overloaded}, \"wall_ms\": {:.1}, \"queue_wait_p99_ms\": {:.3} }},",
+        16 * 4 * 8,
+        wall.as_secs_f64() * 1000.0,
+        qw_window.quantile_upper_bound(0.99) as f64 / 1000.0,
+    );
+    println!(
+        "  \"registry_sharding\": {{ \"threads\": 8, \"lookups_per_thread\": {lookups}, \"keys\": {}, \"single_lock_ms\": {single_ms:.1}, \"sharded8_ms\": {sharded_ms:.1}, \"speedup\": {:.2} }}",
+        keys.len(),
+        single_ms / sharded_ms
+    );
+    println!("}}");
+    assert!(
+        overloaded > 0,
+        "overload run never shed — SLO machinery is not engaging"
+    );
+}

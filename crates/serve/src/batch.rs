@@ -96,6 +96,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub enum ServeError {
     /// The bounded queue was full at submission time (backpressure).
     Rejected,
+    /// Admission control refused the request: the queue-wait SLO is
+    /// being violated and the [`LoadShedder`](crate::shed::LoadShedder)
+    /// is shedding new work before it can queue.
+    Shed,
     /// The request's deadline expired before a result was produced.
     TimedOut,
     /// The scheduler is shutting down.
@@ -108,6 +112,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Rejected => write!(f, "queue full, request rejected"),
+            ServeError::Shed => write!(f, "queue-wait SLO exceeded, request shed"),
             ServeError::TimedOut => write!(f, "deadline expired"),
             ServeError::ShutDown => write!(f, "service shut down"),
             ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -124,6 +129,7 @@ impl ServeError {
         use crate::protocol::ErrorCode;
         match self {
             ServeError::Rejected => ErrorCode::Overloaded,
+            ServeError::Shed => ErrorCode::Overloaded,
             ServeError::TimedOut => ErrorCode::TimedOut,
             ServeError::ShutDown => ErrorCode::ShuttingDown,
             ServeError::Internal(_) => ErrorCode::Internal,

@@ -5,13 +5,29 @@
 //!
 //! * `--stdin` (default): read stdin, write stdout, exit at EOF.
 //!   Responses come back in submission order.
-//! * `--listen ADDR`: line-oriented TCP, one thread per connection,
-//!   all connections sharing one scheduler — concurrent clients are
-//!   what micro-batching is for.
+//! * `--listen ADDR`: line-oriented TCP. The default edge is the
+//!   `anomex-reactor` event loop — one poll thread multiplexing every
+//!   connection, with per-connection FIFOs preserving pipelined
+//!   response order; `--threaded` selects the legacy
+//!   thread-per-connection edge instead. Either way all connections
+//!   share one scheduler — concurrent clients are what micro-batching
+//!   is for.
+//!
+//! The model registry is sharded by key fingerprint (`--shards`), and
+//! `--slo-ms` arms queue-wait admission control: when the p99 (or
+//! `--slo-quantile`) of recent queue waits exceeds the budget, new
+//! requests are rejected with a typed `overloaded` error instead of
+//! queueing behind the backlog. `--replicate-from` pulls a running
+//! peer's datasets and warm-fits its models before serving.
 
+use anomex_reactor::ReactorConfig;
 use anomex_serve::batch::BatchConfig;
-use anomex_serve::protocol::Response;
+use anomex_serve::front::{response_line, ReactorServer};
+use anomex_serve::protocol::{Request, RequestBody, Response};
+use anomex_serve::registry::ShardedModelRegistry;
 use anomex_serve::service::{ExplanationService, ServeHandle, Submitted};
+use anomex_serve::shed::SloConfig;
+use anomex_spec::{FrontEdge, ServeSpec};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
@@ -27,37 +43,89 @@ USAGE:
     anomex_serve --listen ADDR             serve line-oriented TCP (e.g. 127.0.0.1:7878)
 
 OPTIONS:
+    --config PATH      JSON ServeSpec (anomex-spec) setting the defaults
+                       below; explicit flags still override it
     --queue N          queue capacity before backpressure   [default: 1024]
     --batch N          max requests per batch               [default: 32]
     --delay-ms N       max batch-coalescing delay in ms     [default: 2]
     --workers N        scheduler worker threads             [default: 2]
     --deadline-ms N    per-request deadline in ms           [default: none]
+    --shards N         model-registry shards (power of two) [default: 8]
+    --slo-ms N         queue-wait SLO in ms; exceeding it sheds
+                       new requests with a typed overloaded error
+                                                            [default: off]
+    --slo-quantile Q   queue-wait quantile held to the SLO  [default: 0.99]
+    --threaded         thread-per-connection TCP edge instead of the
+                       reactor event loop (only with --listen)
+    --replicate-from ADDR   pull datasets + warm-fit models from a
+                       running peer before serving
     --trace PATH       write a JSON-lines span/event trace  [default: off]
     --help             print this help
 ";
 
 struct Options {
     listen: Option<String>,
+    threaded: bool,
     cfg: BatchConfig,
     deadline: Option<Duration>,
+    shards: usize,
+    slo: Option<SloConfig>,
+    replicate_from: Option<String>,
     trace: Option<String>,
 }
 
+/// Pre-pass: load `--config` (if any) so the spec sets the defaults
+/// and every explicit flag still overrides it, regardless of order.
+fn load_config(args: &[String]) -> Result<ServeSpec, String> {
+    let mut spec = ServeSpec::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--config" {
+            let path = it.next().ok_or("--config needs a value")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read config {path}: {e}"))?;
+            spec = ServeSpec::parse(&text).map_err(|e| format!("config {path}: {e}"))?;
+        }
+    }
+    Ok(spec)
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
+    let spec = load_config(args)?;
     let mut opts = Options {
         listen: None,
-        cfg: BatchConfig::default(),
-        deadline: None,
+        threaded: spec.front == FrontEdge::Threaded,
+        cfg: BatchConfig {
+            queue_capacity: spec.queue,
+            max_batch: spec.batch,
+            max_delay: Duration::from_millis(spec.delay_ms),
+            workers: spec.workers,
+        },
+        deadline: spec.deadline_ms.map(Duration::from_millis),
+        shards: spec.shards,
+        slo: None,
+        replicate_from: None,
         trace: None,
     };
+    let mut threaded_flag = false;
+    let mut slo_ms: Option<u64> = spec.slo.map(|s| s.limit_ms);
+    let mut slo_quantile: f64 = spec.slo.map_or(0.99, |s| s.quantile);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
+            "--config" => {
+                // Consumed by the pre-pass; skip the path operand.
+                value("--config")?;
+            }
             "--stdin" => opts.listen = None,
             "--listen" => opts.listen = Some(value("--listen")?.clone()),
+            "--threaded" => {
+                opts.threaded = true;
+                threaded_flag = true;
+            }
             "--queue" => {
                 opts.cfg.queue_capacity = parse_num(value("--queue")?, "--queue")?;
             }
@@ -75,11 +143,38 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let ms: u64 = parse_num(value("--deadline-ms")?, "--deadline-ms")?;
                 opts.deadline = Some(Duration::from_millis(ms));
             }
+            "--shards" => {
+                opts.shards = parse_num(value("--shards")?, "--shards")?;
+            }
+            "--slo-ms" => {
+                slo_ms = Some(parse_num(value("--slo-ms")?, "--slo-ms")?);
+            }
+            "--slo-quantile" => {
+                let raw = value("--slo-quantile")?;
+                slo_quantile = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|q| (0.0..=1.0).contains(q))
+                    .ok_or_else(|| {
+                        format!("--slo-quantile needs a value in [0, 1], got '{raw}'")
+                    })?;
+            }
+            "--replicate-from" => {
+                opts.replicate_from = Some(value("--replicate-from")?.clone());
+            }
             "--trace" => opts.trace = Some(value("--trace")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if threaded_flag && opts.listen.is_none() {
+        return Err("--threaded only applies with --listen".to_string());
+    }
+    opts.slo = slo_ms.map(|ms| SloConfig {
+        queue_wait_limit_micros: ms.saturating_mul(1_000),
+        quantile: slo_quantile,
+        ..SloConfig::default()
+    });
     Ok(opts)
 }
 
@@ -112,11 +207,40 @@ fn main() -> ExitCode {
             }
         }
     }
-    let service = Arc::new(ExplanationService::new());
-    let handle = Arc::new(ServeHandle::start(service, opts.cfg, opts.deadline));
+    let service = Arc::new(ExplanationService::with_sharded_registry(
+        ShardedModelRegistry::new(opts.shards),
+    ));
+    let handle = Arc::new(ServeHandle::start_with_slo(
+        service,
+        opts.cfg,
+        opts.deadline,
+        opts.slo.clone(),
+    ));
+    if let Some(peer) = &opts.replicate_from {
+        let resp = handle.roundtrip(Request {
+            id: 0,
+            body: RequestBody::Replicate {
+                from: Some(peer.clone()),
+            },
+        });
+        match (resp.ok, resp.replication) {
+            (true, Some(report)) => eprintln!(
+                "anomex_serve replicated from {peer}: {} datasets, {} models warm",
+                report.datasets_loaded, report.models_fitted
+            ),
+            _ => {
+                eprintln!(
+                    "error: replication from {peer} failed: {}",
+                    resp.error.unwrap_or_else(|| "unknown error".to_string())
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let code = match &opts.listen {
         None => run_stdin(&handle),
-        Some(addr) => run_tcp(&handle, addr),
+        Some(addr) if opts.threaded => run_tcp_threaded(&handle, addr),
+        Some(addr) => run_tcp_reactor(&handle, addr),
     };
     if opts.trace.is_some() {
         // Drop the installed subscriber so its Drop impl flushes the file.
@@ -160,8 +284,27 @@ fn run_stdin(handle: &Arc<ServeHandle>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// TCP mode: one thread per connection, one shared scheduler.
-fn run_tcp(handle: &Arc<ServeHandle>, addr: &str) -> ExitCode {
+/// Default TCP mode: the non-blocking reactor event loop.
+fn run_tcp_reactor(handle: &Arc<ServeHandle>, addr: &str) -> ExitCode {
+    let server = match ReactorServer::start(Arc::clone(handle), addr, ReactorConfig::default()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("anomex_serve listening on {} (reactor)", server.addr());
+    match server.join() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: reactor loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Legacy TCP mode: one thread per connection, one shared scheduler.
+fn run_tcp_threaded(handle: &Arc<ServeHandle>, addr: &str) -> ExitCode {
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -169,7 +312,7 @@ fn run_tcp(handle: &Arc<ServeHandle>, addr: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("anomex_serve listening on {addr}");
+    eprintln!("anomex_serve listening on {addr} (threaded)");
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
@@ -207,11 +350,5 @@ fn serve_connection(handle: &ServeHandle, stream: TcpStream) {
 }
 
 fn write_response<W: Write>(out: &mut W, resp: &Response) -> std::io::Result<()> {
-    let json = serde_json::to_string(resp).unwrap_or_else(|e| {
-        format!(
-            "{{\"id\":{},\"ok\":false,\"error\":\"serialize: {e}\"}}",
-            resp.id
-        )
-    });
-    writeln!(out, "{json}")
+    writeln!(out, "{}", response_line(resp))
 }

@@ -1,0 +1,197 @@
+//! The event-loop front end: `anomex-reactor` wired to a [`ServeHandle`].
+//!
+//! The thread-per-connection path in the serve binary spends one OS
+//! thread per client doing nothing but blocking on `read(2)`. This
+//! module replaces that edge with a single poll-loop thread: the
+//! [`ServeLineHandler`] parses and submits each framed line on the
+//! reactor thread (both non-blocking — parse failures and shed/
+//! backpressure rejections answer immediately), and queued work is
+//! redeemed through a non-blocking [`Completion`] wrapping the batcher
+//! ticket. Work concurrency stays where it was — the batcher's worker
+//! pool — so responses remain bit-identical to direct
+//! `ExplanationService` calls; only the I/O multiplexing strategy
+//! changes.
+//!
+//! Response *order* per connection is preserved by the reactor's
+//! pending FIFO even when batches complete out of submission order,
+//! which is what lets pipelining clients correlate responses without
+//! ids (they still get ids).
+
+use crate::batch::{ServeError, Ticket};
+use crate::protocol::{ErrorCode, Response};
+use crate::service::{ServeHandle, Submitted};
+use anomex_reactor::{Completion, LineHandler, Reactor, ReactorConfig, ReactorStats, Submission};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Serializes one response line. Serialization of our own `Response`
+/// cannot realistically fail, but if it ever does the client still gets
+/// a well-formed typed error instead of a dropped line.
+#[must_use]
+pub fn response_line(resp: &Response) -> String {
+    serde_json::to_string(resp).unwrap_or_else(|e| {
+        let msg = format!("response serialization failed: {e}").replace('"', "'");
+        format!(
+            "{{\"id\":{},\"ok\":false,\"code\":\"internal\",\"error\":\"{msg}\"}}",
+            resp.id
+        )
+    })
+}
+
+/// The typed line sent before closing a connection whose request line
+/// exceeded the reactor's `max_line`.
+#[must_use]
+pub fn overflow_response() -> String {
+    response_line(&Response::failure_coded(
+        0,
+        ErrorCode::BadRequest,
+        "request line exceeds the maximum length",
+    ))
+}
+
+/// A batcher ticket plus everything needed to render its response; the
+/// reactor polls it once per tick while it heads its connection's FIFO.
+struct TicketCompletion {
+    id: u64,
+    ticket: Ticket<Response>,
+    /// Mirror of the `Ticket::wait` deadline: the batch cut only fails
+    /// expired jobs when it reaches them, so the waiter side enforces
+    /// promptness — here, the reactor.
+    deadline: Option<Instant>,
+}
+
+impl Completion for TicketCompletion {
+    fn try_take(&mut self) -> Option<String> {
+        if let Some(result) = self.ticket.try_take() {
+            let resp = result
+                .unwrap_or_else(|e| Response::failure_coded(self.id, e.code(), e.to_string()));
+            return Some(response_line(&resp));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                // Give up exactly like a blocking `Ticket::wait` would;
+                // if the worker fills the ticket later, it drops unseen.
+                return Some(response_line(&Response::failure_coded(
+                    self.id,
+                    ErrorCode::TimedOut,
+                    ServeError::TimedOut.to_string(),
+                )));
+            }
+        }
+        None
+    }
+}
+
+/// [`LineHandler`] over a [`ServeHandle`]: parse, admit (or shed),
+/// submit — all non-blocking, as the reactor contract requires.
+pub struct ServeLineHandler {
+    handle: Arc<ServeHandle>,
+}
+
+impl ServeLineHandler {
+    /// Wraps a running handle.
+    #[must_use]
+    pub fn new(handle: Arc<ServeHandle>) -> Self {
+        ServeLineHandler { handle }
+    }
+}
+
+impl LineHandler for ServeLineHandler {
+    fn handle_line(&self, line: &str) -> Submission {
+        match self.handle.submit_line(line) {
+            None => Submission::Skip,
+            Some(Submitted::Immediate(resp)) => Submission::Done(response_line(&resp)),
+            Some(Submitted::Queued(id, ticket)) => {
+                Submission::Pending(Box::new(TicketCompletion {
+                    id,
+                    ticket,
+                    deadline: self.handle.default_deadline().map(|d| Instant::now() + d),
+                }))
+            }
+        }
+    }
+}
+
+/// A reactor front end running on its own thread — the serve binary's
+/// `--listen` edge, and the in-process server the crosscheck tests spin
+/// up against real sockets.
+pub struct ReactorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<io::Result<ReactorStats>>,
+}
+
+impl ReactorServer {
+    /// Binds `addr` (port 0 picks a free port) and starts the loop on a
+    /// dedicated thread. When `config.overflow_response` is unset, the
+    /// protocol's typed [`overflow_response`] is installed.
+    ///
+    /// # Errors
+    /// When binding the listener fails.
+    pub fn start(
+        handle: Arc<ServeHandle>,
+        addr: impl ToSocketAddrs,
+        mut config: ReactorConfig,
+    ) -> io::Result<Self> {
+        if config.overflow_response.is_none() {
+            config.overflow_response = Some(overflow_response());
+        }
+        let reactor = Reactor::bind(addr, ServeLineHandler::new(handle), config)?;
+        let addr = reactor.local_addr()?;
+        let stop = reactor.stop_handle();
+        let join = std::thread::spawn(move || reactor.run());
+        Ok(ReactorServer { addr, stop, join })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the stop flag and joins the loop, returning its counters.
+    ///
+    /// # Errors
+    /// When the loop exited with an I/O error or panicked.
+    pub fn stop(self) -> io::Result<ReactorStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("reactor thread panicked")))
+    }
+
+    /// Blocks until the loop exits (it never does unless the stop flag
+    /// is raised elsewhere or the loop errors) — the serve binary's
+    /// foreground path.
+    ///
+    /// # Errors
+    /// When the loop exited with an I/O error or panicked.
+    pub fn join(self) -> io::Result<ReactorStats> {
+        self.join
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("reactor thread panicked")))
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let line = response_line(&Response::success(42));
+        assert_eq!(line, r#"{"id":42,"ok":true}"#);
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn overflow_response_is_typed() {
+        let resp: Response = serde_json::from_str(&overflow_response()).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(ErrorCode::BadRequest));
+    }
+}

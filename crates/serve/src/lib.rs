@@ -41,9 +41,28 @@
 //! migrated model serves scores **bit-identical** to a from-scratch
 //! refit on the extended data.
 //!
+//! Three production-shape pieces sit on top:
+//!
+//! * [`front::ReactorServer`] — a non-blocking `anomex-reactor` event
+//!   loop replacing the thread-per-connection TCP edge: one poll-loop
+//!   thread multiplexes every client, per-connection FIFOs preserve
+//!   pipelined response order, and work concurrency stays in the
+//!   batcher's pool so responses remain bit-identical;
+//! * [`registry::ShardedModelRegistry`] — the registry key space split
+//!   by [`registry::ModelKey::fingerprint`] across power-of-two shards,
+//!   so requests for different keys stop serializing on one map lock;
+//! * [`shed::LoadShedder`] — obs-metrics-driven admission control:
+//!   when a configured quantile of the queue-wait histogram exceeds the
+//!   SLO, [`service::ServeHandle::submit`] rejects with the typed
+//!   [`batch::ServeError::Shed`] (`overloaded` on the wire) before the
+//!   request can queue. The `replicate` operation lets a fresh process
+//!   pull a peer's datasets and warm-fit its model keys, so several
+//!   processes can serve one model set.
+//!
 //! The `anomex_serve` binary wraps a [`service::ServeHandle`] in a
-//! stdin/stdout loop (`--stdin`) or a line-oriented TCP listener
-//! (`--listen ADDR`).
+//! stdin/stdout loop (`--stdin`) or a TCP listener (`--listen ADDR`,
+//! reactor event loop by default, `--threaded` for the legacy
+//! thread-per-connection edge).
 //!
 //! ```
 //! use anomex_serve::protocol::{Request, RequestBody};
@@ -78,11 +97,18 @@
 #![deny(unsafe_code)]
 
 pub mod batch;
+pub mod front;
 pub mod protocol;
 pub mod registry;
 pub mod service;
+pub mod shed;
 
 pub use batch::{BatchConfig, BatchContext, BatchStats, Batcher, ServeError, Ticket};
-pub use protocol::{DatasetInfo, RankedEntry, Request, RequestBody, Response, ServeTiming};
-pub use registry::{FittedEntry, ModelKey, ModelRegistry, RegistryStats};
+pub use front::{ReactorServer, ServeLineHandler};
+pub use protocol::{
+    DatasetInfo, RankedEntry, ReplicationManifest, ReplicationReport, Request, RequestBody,
+    Response, ServeTiming,
+};
+pub use registry::{FittedEntry, ModelKey, ModelRegistry, RegistryStats, ShardedModelRegistry};
 pub use service::{ExplanationService, ServeHandle, Submitted};
+pub use shed::{LoadShedder, SloConfig};

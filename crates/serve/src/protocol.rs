@@ -132,6 +132,16 @@ pub enum RequestBody {
         #[serde(default = "default_task", skip_serializing_if = "is_default_task")]
         task: String,
     },
+    /// Model-set replication, for running several processes over one
+    /// model set. Without `from`, **exports** this process's replication
+    /// manifest (datasets + ready model keys). With `from`, **imports**:
+    /// connects to the peer at `"host:port"`, fetches its manifest, then
+    /// registers the datasets and warm-fits the models locally.
+    Replicate {
+        /// Peer address to replicate from; omitted = export a manifest.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        from: Option<String>,
+    },
     /// Service counters: registry, scheduler and dataset census.
     Stats,
 }
@@ -165,11 +175,65 @@ pub struct DatasetInfo {
     pub n_features: usize,
 }
 
+/// One fitted model named by its public key components — what a
+/// replication manifest lists, spelled with the dataset's public name so
+/// the importer (whose append epochs start fresh) can rebuild the key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelDescriptor {
+    /// Public dataset name (append-epoch qualifier stripped).
+    pub dataset: String,
+    /// Canonical detector spec, e.g. `"lof:k=15"`.
+    pub detector: String,
+    /// Subspace feature indices, ascending.
+    pub subspace: Vec<usize>,
+}
+
+/// One registered dataset with its rows, as replication ships it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetRows {
+    /// Registered name.
+    pub name: String,
+    /// Row-major data values (the current append generation's view).
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// Everything a fresh process needs to serve this process's model set:
+/// the datasets (with rows) and the keys of every ready fitted model.
+/// Models themselves are not shipped — fits are deterministic, so the
+/// importer refits the same keys and arrives at bit-identical scores.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationManifest {
+    /// Registered datasets with their rows.
+    pub datasets: Vec<DatasetRows>,
+    /// Keys of every ready fitted model, deterministic shard-walk order.
+    pub models: Vec<ModelDescriptor>,
+}
+
+/// What a replication import accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationReport {
+    /// Datasets registered from the manifest.
+    pub datasets_loaded: usize,
+    /// Datasets skipped because the name was already registered.
+    pub datasets_skipped: usize,
+    /// Models warm-fitted from the manifest's keys.
+    pub models_fitted: usize,
+    /// Models skipped (unparseable detector spec or failed fit).
+    pub models_skipped: usize,
+}
+
 /// Service-wide counters returned by the `stats` operation.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStats {
-    /// Fitted-model registry counters.
+    /// Fitted-model registry counters, aggregated over all shards.
     pub registry: RegistryStats,
+    /// How many shards the registry key space is split across.
+    #[serde(default)]
+    pub registry_shards: usize,
+    /// Resident entries per registry shard (shard order) — the balance
+    /// diagnostic.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub registry_shard_entries: Vec<usize>,
     /// Micro-batching scheduler counters.
     pub batch: BatchStats,
     /// Registered datasets.
@@ -252,6 +316,12 @@ pub struct Response {
     /// `recommend`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub recommendation: Option<serde_json::Value>,
+    /// The exported model-set manifest (for `replicate` without `from`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub manifest: Option<ReplicationManifest>,
+    /// The import report (for `replicate` with `from`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub replication: Option<ReplicationReport>,
     /// Per-request timing (on every served request).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub timing: Option<ServeTiming>,
@@ -436,6 +506,46 @@ mod unit_tests {
         let back: Request =
             serde_json::from_str(&serde_json::to_string(&windowed).unwrap()).unwrap();
         assert_eq!(back, windowed);
+    }
+
+    #[test]
+    fn replicate_requests_parse_in_both_forms() {
+        let export: Request = serde_json::from_str(r#"{"id": 12, "op": "replicate"}"#).unwrap();
+        assert_eq!(export.body, RequestBody::Replicate { from: None });
+        let json = serde_json::to_string(&export).unwrap();
+        assert!(!json.contains("from"), "export form elides from: {json}");
+
+        let import: Request =
+            serde_json::from_str(r#"{"id": 13, "op": "replicate", "from": "127.0.0.1:7878"}"#)
+                .unwrap();
+        assert_eq!(
+            import.body,
+            RequestBody::Replicate {
+                from: Some("127.0.0.1:7878".into())
+            }
+        );
+    }
+
+    #[test]
+    fn replication_manifest_roundtrips() {
+        let manifest = ReplicationManifest {
+            datasets: vec![DatasetRows {
+                name: "toy".into(),
+                rows: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+            }],
+            models: vec![ModelDescriptor {
+                dataset: "toy".into(),
+                detector: "lof:k=15".into(),
+                subspace: vec![0, 1],
+            }],
+        };
+        let mut resp = Response::success(12);
+        resp.manifest = Some(manifest.clone());
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"manifest\""), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.manifest, Some(manifest));
+        assert_eq!(back.replication, None);
     }
 
     #[test]

@@ -459,6 +459,180 @@ impl ModelRegistry {
     }
 }
 
+/// [`ModelRegistry`] sharded by [`ModelKey::fingerprint`] — the
+/// registry-map mutex split `N` ways so concurrent requests for
+/// *different* keys stop serializing on one lock.
+///
+/// This generalizes the `ScoreCache` sharding exemplar in
+/// `anomex-core`: the shard count is clamped to `1..=256` and rounded up
+/// to a power of two so routing is a mask (`fingerprint & (n - 1)`), not
+/// a modulo. Because `ModelKey::new` canonicalizes detector spellings
+/// *before* the fingerprint is taken, aliased spellings of one
+/// configuration land on the same shard and keep the fit-exactly-once
+/// guarantee — a key's slot state machine always lives in exactly one
+/// shard.
+///
+/// Routing is pure key arithmetic, so two processes configured with the
+/// same shard count place every key identically — which is what lets a
+/// `replicate`d standby answer routing-sensitive diagnostics the same
+/// way as its source.
+pub struct ShardedModelRegistry {
+    shards: Box<[ModelRegistry]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+}
+
+impl Default for ShardedModelRegistry {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl ShardedModelRegistry {
+    /// An unbounded registry split over `n_shards` (clamped to `1..=256`,
+    /// rounded up to a power of two).
+    #[must_use]
+    pub fn new(n_shards: usize) -> Self {
+        Self::build(n_shards, None)
+    }
+
+    /// A sharded registry bounding **total** resident models to
+    /// `capacity`: each shard gets `(capacity / n_shards).max(1)` FIFO
+    /// slots, so the realized bound rounds up to at least one model per
+    /// shard.
+    #[must_use]
+    pub fn with_capacity(n_shards: usize, capacity: usize) -> Self {
+        Self::build(n_shards, Some(capacity))
+    }
+
+    /// Wraps one existing registry as a single shard — the compatibility
+    /// path for callers that built a [`ModelRegistry`] themselves.
+    #[must_use]
+    pub fn from_single(registry: ModelRegistry) -> Self {
+        ShardedModelRegistry {
+            shards: vec![registry].into_boxed_slice(),
+            mask: 0,
+        }
+    }
+
+    fn build(n_shards: usize, total_capacity: Option<usize>) -> Self {
+        let n = n_shards.clamp(1, 256).next_power_of_two();
+        let shards: Vec<ModelRegistry> = (0..n)
+            .map(|_| match total_capacity {
+                Some(cap) => ModelRegistry::with_capacity((cap / n).max(1)),
+                None => ModelRegistry::new(),
+            })
+            .collect();
+        ShardedModelRegistry {
+            shards: shards.into_boxed_slice(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// How many shards the key space is split across (a power of two).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to: `fingerprint & (n_shards - 1)`.
+    #[must_use]
+    pub fn shard_index(&self, key: &ModelKey) -> usize {
+        (key.fingerprint() & self.mask) as usize
+    }
+
+    fn shard_for(&self, key: &ModelKey) -> &ModelRegistry {
+        // anomex: allow(panic-path) shard_index masks by len-1 of a power-of-two length
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Total resident entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(ModelRegistry::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(ModelRegistry::is_empty)
+    }
+
+    /// Counters aggregated over all shards. `peak_entries` is the sum of
+    /// per-shard peaks — an upper bound on the true simultaneous peak,
+    /// since shards need not have peaked at the same instant.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        let mut total = RegistryStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.stats();
+            total.fits += s.fits;
+            total.hits += s.hits;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+            total.peak_entries += s.peak_entries;
+        }
+        total
+    }
+
+    /// Per-shard entry counts, shard order — the balance diagnostic the
+    /// `stats` op reports.
+    #[must_use]
+    pub fn shard_entries(&self) -> Vec<usize> {
+        self.shards.iter().map(ModelRegistry::len).collect()
+    }
+
+    /// See [`ModelRegistry::get_or_fit`]; routed to `key`'s shard.
+    ///
+    /// # Panics
+    /// Panics when the underlying fit panics — request paths use
+    /// [`ShardedModelRegistry::try_get_or_fit`].
+    pub fn get_or_fit(
+        &self,
+        key: &ModelKey,
+        dataset: &Dataset,
+        detector: &dyn Detector,
+    ) -> Arc<FittedEntry> {
+        self.shard_for(key).get_or_fit(key, dataset, detector)
+    }
+
+    /// See [`ModelRegistry::try_get_or_fit`]; routed to `key`'s shard.
+    ///
+    /// # Errors
+    /// When the fit panics, or when a previous fit poisoned this key.
+    pub fn try_get_or_fit(
+        &self,
+        key: &ModelKey,
+        dataset: &Dataset,
+        detector: &dyn Detector,
+    ) -> Result<Arc<FittedEntry>, FitError> {
+        self.shard_for(key).try_get_or_fit(key, dataset, detector)
+    }
+
+    /// See [`ModelRegistry::ready_entries_for_dataset`]; concatenated in
+    /// shard order (then insertion order within a shard) so the walk
+    /// stays deterministic for a fixed shard count.
+    #[must_use]
+    pub fn ready_entries_for_dataset(&self, dataset: &str) -> Vec<(ModelKey, Arc<FittedEntry>)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.ready_entries_for_dataset(dataset));
+        }
+        out
+    }
+
+    /// See [`ModelRegistry::insert_ready`]; routed to `key`'s shard.
+    pub fn insert_ready(&self, key: &ModelKey, model: Box<dyn FittedModel>, fit_time: Duration) {
+        self.shard_for(key).insert_ready(key, model, fit_time);
+    }
+
+    /// See [`ModelRegistry::remove_dataset`]; applied to every shard,
+    /// returning the total removed.
+    pub fn remove_dataset(&self, dataset: &str) -> usize {
+        self.shards.iter().map(|s| s.remove_dataset(dataset)).sum()
+    }
+}
+
 #[cfg(test)]
 mod unit_tests {
     use super::*;
@@ -660,5 +834,163 @@ mod unit_tests {
         use anomex_detectors::Detector;
         let direct = standardize_scores(&loda.score_all(&ds.project(&sub)));
         assert_eq!(**entry.scores(), direct);
+    }
+
+    // ---- sharded registry ------------------------------------------------
+
+    #[test]
+    fn shard_count_is_clamped_to_a_power_of_two() {
+        assert_eq!(ShardedModelRegistry::new(0).n_shards(), 1);
+        assert_eq!(ShardedModelRegistry::new(1).n_shards(), 1);
+        assert_eq!(ShardedModelRegistry::new(5).n_shards(), 8);
+        assert_eq!(ShardedModelRegistry::new(8).n_shards(), 8);
+        assert_eq!(ShardedModelRegistry::new(9_999).n_shards(), 256);
+        assert_eq!(ShardedModelRegistry::default().n_shards(), 8);
+    }
+
+    #[test]
+    fn every_key_routes_to_exactly_one_in_range_shard() {
+        let reg = ShardedModelRegistry::new(8);
+        for ds in ["a", "b", "toy", "cover"] {
+            for det in ["lof:k=5", "lof:k=15", "iforest", "knn:k=10"] {
+                for f in 0..6usize {
+                    let key = ModelKey::new(ds, det, Subspace::new([f]));
+                    let shard = reg.shard_index(&key);
+                    assert!(shard < reg.n_shards());
+                    // Routing is a pure function of the key: stable
+                    // across calls and across registries of equal width.
+                    assert_eq!(shard, reg.shard_index(&key.clone()));
+                    assert_eq!(shard, ShardedModelRegistry::new(8).shard_index(&key));
+                    assert_eq!(
+                        shard,
+                        (key.fingerprint() % 8) as usize,
+                        "mask routing must equal modulo for power-of-two widths"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aliased_detector_spellings_land_on_the_same_shard_and_slot() {
+        let ds = toy();
+        let lof = Lof::new(15).unwrap();
+        let reg = ShardedModelRegistry::new(16);
+        let sub = Subspace::new([0usize, 1]);
+        let spellings = ["lof", "LOF", "lof:k=15", "LOF:K=15"];
+        let shards: Vec<usize> = spellings
+            .iter()
+            .map(|s| reg.shard_index(&ModelKey::new("toy", *s, sub.clone())))
+            .collect();
+        assert!(
+            shards.windows(2).all(|w| w[0] == w[1]),
+            "aliases diverged across shards: {shards:?}"
+        );
+        for spelling in spellings {
+            let key = ModelKey::new("toy", spelling, sub.clone());
+            let _ = reg.get_or_fit(&key, &ds, &lof);
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.fits, 1, "aliases must share one fitted slot");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn sharded_registry_behaves_like_one_registry() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ShardedModelRegistry::new(4);
+        let keys: Vec<ModelKey> = (0..3usize)
+            .map(|f| ModelKey::new("toy", "lof:k=5", Subspace::new([f])))
+            .collect();
+        for key in &keys {
+            let _ = reg.get_or_fit(key, &ds, &lof);
+            let _ = reg.get_or_fit(key, &ds, &lof);
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.fits, 3);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+        assert_eq!(
+            reg.shard_entries().iter().sum::<usize>(),
+            3,
+            "per-shard entries must sum to the total"
+        );
+
+        // Scores served through a shard are the same frozen vectors a
+        // flat registry produces.
+        let flat = ModelRegistry::new();
+        for key in &keys {
+            let sharded = reg.get_or_fit(key, &ds, &lof);
+            let direct = flat.get_or_fit(key, &ds, &lof);
+            assert_eq!(**sharded.scores(), **direct.scores());
+        }
+
+        // Dataset-wide operations span every shard.
+        assert_eq!(reg.ready_entries_for_dataset("toy").len(), 3);
+        assert_eq!(reg.remove_dataset("toy"), 3);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn concurrent_cold_misses_stay_exactly_once_across_shards() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ShardedModelRegistry::new(8);
+        let keys: Vec<ModelKey> = [
+            Subspace::new([0usize]),
+            Subspace::new([1usize]),
+            Subspace::new([2usize]),
+            Subspace::new([0usize, 1]),
+        ]
+        .into_iter()
+        .map(|sub| ModelKey::new("toy", "lof:k=5", sub))
+        .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                for key in &keys {
+                    scope.spawn(|| {
+                        let _ = reg.get_or_fit(key, &ds, &lof);
+                    });
+                }
+            }
+        });
+        let stats = reg.stats();
+        assert_eq!(stats.fits, keys.len(), "one fit per distinct key");
+        assert_eq!(stats.hits, keys.len() * 7);
+    }
+
+    #[test]
+    fn from_single_preserves_flat_capacity_semantics() {
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        let reg = ShardedModelRegistry::from_single(ModelRegistry::with_capacity(2));
+        assert_eq!(reg.n_shards(), 1);
+        for f in 0..3usize {
+            let key = ModelKey::new("toy", "lof:k=5", Subspace::new([f]));
+            let _ = reg.get_or_fit(&key, &ds, &lof);
+        }
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sharded_capacity_splits_across_shards() {
+        let reg = ShardedModelRegistry::with_capacity(4, 16);
+        assert_eq!(reg.n_shards(), 4);
+        // Each shard holds at most 4; inserting many distinct keys can
+        // never push the total past 16.
+        let ds = toy();
+        let lof = Lof::new(5).unwrap();
+        for f in 0..3usize {
+            for g in 0..3usize {
+                let key = ModelKey::new(format!("d{f}"), "lof:k=5", Subspace::new([g]));
+                let _ = reg.get_or_fit(&key, &ds, &lof);
+            }
+        }
+        assert!(reg.len() <= 16);
+        assert_eq!(reg.stats().fits, 9);
     }
 }

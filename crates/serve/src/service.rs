@@ -16,9 +16,11 @@
 
 use crate::batch::{BatchConfig, BatchContext, BatchCounters, Batcher, ServeError, Ticket};
 use crate::protocol::{
-    DatasetInfo, ErrorCode, RankedEntry, Request, RequestBody, Response, ServeTiming, ServiceStats,
+    DatasetInfo, DatasetRows, ErrorCode, ModelDescriptor, RankedEntry, ReplicationManifest,
+    ReplicationReport, Request, RequestBody, Response, ServeTiming, ServiceStats,
 };
-use crate::registry::{ModelKey, ModelRegistry};
+use crate::registry::{ModelKey, ModelRegistry, ShardedModelRegistry};
+use crate::shed::{LoadShedder, SloConfig};
 use anomex_core::{
     ExplainerKind, ExplanationEngine, RankedSubspaces, RunSpec, RunStats, ScoreCache,
 };
@@ -67,6 +69,8 @@ struct Outcome {
     service: Option<ServiceStats>,
     profile: Option<serde_json::Value>,
     recommendation: Option<serde_json::Value>,
+    manifest: Option<ReplicationManifest>,
+    replication: Option<ReplicationReport>,
     run: Option<RunStats>,
 }
 
@@ -104,7 +108,7 @@ fn obs_append_deferred() -> &'static anomex_obs::Counter {
 /// The serving state machine — see the [module docs](self).
 pub struct ExplanationService {
     datasets: RwLock<BTreeMap<String, DatasetEntry>>,
-    registry: ModelRegistry,
+    registry: ShardedModelRegistry,
     /// One score cache per (dataset, canonical detector) pair, shared by
     /// every explanation request against that pair.
     caches: Mutex<BTreeMap<(String, String), Arc<ScoreCache>>>,
@@ -120,16 +124,25 @@ impl Default for ExplanationService {
 }
 
 impl ExplanationService {
-    /// A service with an unbounded fitted-model registry.
+    /// A service with an unbounded fitted-model registry, sharded at the
+    /// default width.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_registry(ModelRegistry::new())
+        Self::with_sharded_registry(ShardedModelRegistry::default())
     }
 
-    /// A service over a caller-configured registry (e.g. FIFO-bounded via
-    /// [`ModelRegistry::with_capacity`] for memory-constrained serving).
+    /// A service over a caller-configured flat registry (e.g.
+    /// FIFO-bounded via [`ModelRegistry::with_capacity`] for
+    /// memory-constrained serving); wrapped as a single shard, so flat
+    /// capacity semantics are preserved exactly.
     #[must_use]
     pub fn with_registry(registry: ModelRegistry) -> Self {
+        Self::with_sharded_registry(ShardedModelRegistry::from_single(registry))
+    }
+
+    /// A service over a caller-configured sharded registry.
+    #[must_use]
+    pub fn with_sharded_registry(registry: ShardedModelRegistry) -> Self {
         ExplanationService {
             datasets: RwLock::new(BTreeMap::new()),
             registry,
@@ -140,7 +153,7 @@ impl ExplanationService {
 
     /// The fitted-model registry.
     #[must_use]
-    pub fn registry(&self) -> &ModelRegistry {
+    pub fn registry(&self) -> &ShardedModelRegistry {
         &self.registry
     }
 
@@ -217,6 +230,8 @@ impl ExplanationService {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             registry: self.registry.stats(),
+            registry_shards: self.registry.n_shards(),
+            registry_shard_entries: self.registry.shard_entries(),
             batch: self
                 .batch_counters
                 .get()
@@ -262,6 +277,8 @@ impl ExplanationService {
                 resp.service = outcome.service;
                 resp.profile = outcome.profile;
                 resp.recommendation = outcome.recommendation;
+                resp.manifest = outcome.manifest;
+                resp.replication = outcome.replication;
                 resp.timing = Some(timing);
                 resp
             }
@@ -414,6 +431,13 @@ impl ExplanationService {
                     ..Outcome::default()
                 })
             }
+            RequestBody::Replicate { from } => match from {
+                None => Ok(Outcome {
+                    manifest: Some(self.export_manifest()),
+                    ..Outcome::default()
+                }),
+                Some(peer) => self.import_replica(peer),
+            },
             RequestBody::Stats => Ok(Outcome {
                 service: Some(self.stats()),
                 ..Outcome::default()
@@ -531,6 +555,85 @@ impl ExplanationService {
         })
     }
 
+    /// Builds this process's replication manifest: every registered
+    /// dataset's current rows, plus the public key of every ready fitted
+    /// model. Models are listed by key, not shipped — fits are
+    /// deterministic, so an importer refitting the same keys arrives at
+    /// bit-identical frozen scores.
+    ///
+    /// Model keys are rendered with the **public** dataset name (append
+    /// epoch stripped): the importer starts at epoch 0, and what
+    /// replication promises is "the same model set over the same current
+    /// data", not a replay of the source's append history.
+    fn export_manifest(&self) -> ReplicationManifest {
+        // Snapshot (name, keyed id, data) under the read lock, then walk
+        // the registry lock-free of service state: the registry's shard
+        // mutexes must stay leaves.
+        let snapshot: Vec<(String, String, Arc<Dataset>)> = {
+            let r = self.datasets.read().unwrap_or_else(PoisonError::into_inner);
+            r.iter()
+                .map(|(name, entry)| (name.clone(), entry.keyed_id(name), Arc::clone(&entry.data)))
+                .collect()
+        };
+        let mut manifest = ReplicationManifest::default();
+        for (name, keyed, data) in snapshot {
+            manifest.datasets.push(DatasetRows {
+                name: name.clone(),
+                rows: (0..data.n_rows()).map(|i| data.row(i)).collect(),
+            });
+            for (key, _) in self.registry.ready_entries_for_dataset(&keyed) {
+                manifest.models.push(ModelDescriptor {
+                    dataset: name.clone(),
+                    detector: key.detector,
+                    subspace: key.subspace.iter().collect(),
+                });
+            }
+        }
+        manifest
+    }
+
+    /// Imports a peer's model set: fetches its replication manifest over
+    /// one JSON-lines round trip, registers the datasets this process
+    /// does not already have, and warm-fits every model key so the
+    /// replica answers its first real request from a hot registry.
+    ///
+    /// Runs on a batch worker and blocks on the peer (bounded by a 30s
+    /// socket timeout) — replication is an administrative operation, not
+    /// a hot-path one.
+    fn import_replica(&self, peer: &str) -> Result<Outcome, ServiceError> {
+        let bad_request = ServiceError::of(ErrorCode::BadRequest);
+        let manifest = fetch_manifest(peer).map_err(bad_request)?;
+        let mut report = ReplicationReport::default();
+        for ds in manifest.datasets {
+            match Dataset::from_rows(ds.rows)
+                .map_err(|e| e.to_string())
+                .and_then(|data| self.register_dataset(&ds.name, data))
+            {
+                Ok(_) => report.datasets_loaded += 1,
+                // Already registered (or malformed): keep the local copy.
+                Err(_) => report.datasets_skipped += 1,
+            }
+        }
+        for model in manifest.models {
+            let fitted = self.resolve_keyed(&model.dataset).and_then(|(ds, keyed)| {
+                let (canonical, det) = parse_detector(&model.detector)?;
+                let sub = check_subspace(&ds, &model.subspace)?;
+                let key = ModelKey::new(keyed, canonical, sub);
+                self.registry
+                    .try_get_or_fit(&key, &ds, det.as_ref())
+                    .map_err(|e| e.to_string())
+            });
+            match fitted {
+                Ok(_) => report.models_fitted += 1,
+                Err(_) => report.models_skipped += 1,
+            }
+        }
+        Ok(Outcome {
+            replication: Some(report),
+            ..Outcome::default()
+        })
+    }
+
     /// Runs a real [`ExplanationEngine`] over the pair's shared cache —
     /// the same code path a direct caller would use, which is what makes
     /// served explanations bit-identical to library calls.
@@ -591,17 +694,35 @@ pub struct ServeHandle {
     service: Arc<ExplanationService>,
     batcher: Batcher<Request, Response>,
     default_deadline: Option<Duration>,
+    /// SLO admission control; `None` = admit everything the queue takes.
+    shedder: Option<LoadShedder>,
 }
 
 impl ServeHandle {
-    /// Starts the worker pool over `service`. `default_deadline` bounds
-    /// every request's time in the system (queue wait + execution);
-    /// `None` lets requests wait indefinitely.
+    /// Starts the worker pool over `service` with no SLO admission
+    /// control. `default_deadline` bounds every request's time in the
+    /// system (queue wait + execution); `None` lets requests wait
+    /// indefinitely.
     #[must_use]
     pub fn start(
         service: Arc<ExplanationService>,
         cfg: BatchConfig,
         default_deadline: Option<Duration>,
+    ) -> Self {
+        Self::start_with_slo(service, cfg, default_deadline, None)
+    }
+
+    /// Starts the worker pool with optional SLO-driven load shedding:
+    /// when `slo` is set, a [`LoadShedder`] watches the queue-wait
+    /// histogram and [`ServeHandle::submit`] rejects with
+    /// [`ServeError::Shed`] while the configured quantile exceeds the
+    /// budget — the queue stays short instead of merely bounded.
+    #[must_use]
+    pub fn start_with_slo(
+        service: Arc<ExplanationService>,
+        cfg: BatchConfig,
+        default_deadline: Option<Duration>,
+        slo: Option<SloConfig>,
     ) -> Self {
         let svc = Arc::clone(&service);
         let batcher = Batcher::new(cfg, move |req: &Request, ctx: &BatchContext| {
@@ -612,6 +733,7 @@ impl ServeHandle {
             service,
             batcher,
             default_deadline,
+            shedder: slo.map(LoadShedder::new),
         }
     }
 
@@ -621,12 +743,24 @@ impl ServeHandle {
         &self.service
     }
 
+    /// The deadline applied to every submitted request.
+    #[must_use]
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.default_deadline
+    }
+
     /// Queues one request.
     ///
     /// # Errors
-    /// [`ServeError::Rejected`] under backpressure, [`ServeError::ShutDown`]
-    /// after shutdown.
+    /// [`ServeError::Shed`] while the queue-wait SLO is being violated,
+    /// [`ServeError::Rejected`] under queue-capacity backpressure,
+    /// [`ServeError::ShutDown`] after shutdown.
     pub fn submit(&self, req: Request) -> Result<Ticket<Response>, ServeError> {
+        if let Some(shedder) = &self.shedder {
+            if shedder.should_shed() {
+                return Err(ServeError::Shed);
+            }
+        }
         self.batcher.submit(req, self.default_deadline)
     }
 
@@ -674,6 +808,41 @@ impl ServeHandle {
             Err(e) => Response::failure_coded(id, e.code(), e.to_string()),
         }
     }
+}
+
+/// One JSON-lines round trip against a peer serve process: sends a
+/// manifest-export `replicate` request and returns the manifest. Socket
+/// reads and writes are bounded by a 30s timeout so a hung peer cannot
+/// pin a batch worker forever.
+fn fetch_manifest(peer: &str) -> Result<ReplicationManifest, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let timeout = Duration::from_secs(30);
+    let stream = std::net::TcpStream::connect(peer)
+        .map_err(|e| format!("replicate: cannot connect to '{peer}': {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("replicate: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("replicate: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("replicate: {e}"))?;
+    writer
+        .write_all(b"{\"id\":0,\"op\":\"replicate\"}\n")
+        .map_err(|e| format!("replicate: request to '{peer}' failed: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("replicate: reading from '{peer}' failed: {e}"))?;
+    let resp: Response = serde_json::from_str(line.trim())
+        .map_err(|e| format!("replicate: peer '{peer}' sent malformed JSON: {e}"))?;
+    if !resp.ok {
+        return Err(format!(
+            "replicate: peer '{peer}' refused: {}",
+            resp.error.unwrap_or_else(|| "unknown error".to_string())
+        ));
+    }
+    resp.manifest
+        .ok_or_else(|| format!("replicate: peer '{peer}' sent no manifest"))
 }
 
 /// Converts a ranking into its wire representation.
@@ -1235,5 +1404,170 @@ mod unit_tests {
         assert!(!resp.ok, "kNN on a 1-row dataset must fail, not hang");
         assert_eq!(resp.id, 3);
         assert_eq!(resp.code, Some(ErrorCode::Internal));
+    }
+
+    #[test]
+    fn replicate_export_lists_datasets_and_ready_models() {
+        let svc = service_with_toy();
+        svc.execute(&RequestBody::Score {
+            dataset: "toy".into(),
+            detector: "lof:k=3".into(),
+            subspace: None,
+            point: 0,
+        })
+        .unwrap();
+        let out = svc.execute(&RequestBody::Replicate { from: None }).unwrap();
+        let manifest = out.manifest.expect("export returns a manifest");
+        assert_eq!(manifest.datasets.len(), 1);
+        assert_eq!(manifest.datasets[0].name, "toy");
+        assert_eq!(manifest.datasets[0].rows, toy_rows());
+        assert_eq!(manifest.models.len(), 1);
+        assert_eq!(manifest.models[0].dataset, "toy");
+        assert_eq!(manifest.models[0].detector, "lof:k=3");
+        assert_eq!(manifest.models[0].subspace, vec![0, 1]);
+    }
+
+    #[test]
+    fn replicate_export_uses_public_names_after_append() {
+        let svc = service_with_toy();
+        let score = RequestBody::Score {
+            dataset: "toy".into(),
+            detector: "lof:k=3".into(),
+            subspace: None,
+            point: 0,
+        };
+        svc.execute(&score).unwrap();
+        svc.execute(&RequestBody::Append {
+            dataset: "toy".into(),
+            rows: vec![vec![0.02, 0.03]],
+            window: None,
+        })
+        .unwrap();
+        svc.execute(&score).unwrap();
+        let manifest = svc
+            .execute(&RequestBody::Replicate { from: None })
+            .unwrap()
+            .manifest
+            .unwrap();
+        assert_eq!(
+            manifest.models.len(),
+            1,
+            "only the live epoch's model is listed"
+        );
+        assert_eq!(
+            manifest.models[0].dataset, "toy",
+            "epoch qualifiers must not leak onto the wire"
+        );
+        assert_eq!(manifest.datasets[0].rows.len(), toy_rows().len() + 1);
+    }
+
+    #[test]
+    fn replicate_import_over_tcp_warms_a_bit_identical_replica() {
+        use crate::front::ReactorServer;
+        use anomex_reactor::ReactorConfig;
+
+        // Source process: data + one fitted model, behind a reactor.
+        let source = service_with_toy();
+        let score = |id: u64| Request {
+            id,
+            body: RequestBody::Score {
+                dataset: "toy".into(),
+                detector: "lof:k=3".into(),
+                subspace: None,
+                point: 20,
+            },
+        };
+        let source_handle = Arc::new(ServeHandle::start(
+            Arc::clone(&source),
+            BatchConfig::default(),
+            None,
+        ));
+        let expected = source_handle.roundtrip(score(1)).score.unwrap();
+        let server = ReactorServer::start(
+            Arc::clone(&source_handle),
+            "127.0.0.1:0",
+            ReactorConfig::default(),
+        )
+        .unwrap();
+
+        // Replica process: one replicate call pulls data and warm-fits.
+        let replica = Arc::new(ExplanationService::new());
+        let out = replica
+            .execute(&RequestBody::Replicate {
+                from: Some(server.addr().to_string()),
+            })
+            .unwrap();
+        let report = out.replication.expect("import returns a report");
+        assert_eq!(report.datasets_loaded, 1);
+        assert_eq!(report.models_fitted, 1);
+        assert_eq!(report.models_skipped, 0);
+        assert_eq!(replica.registry().stats().fits, 1, "warm-fitted");
+
+        // The replica serves the same bits without contacting the source.
+        server.stop().unwrap();
+        let got = replica.execute(&score(2).body).unwrap().score.unwrap();
+        assert_eq!(got.to_bits(), expected.to_bits());
+        assert_eq!(
+            replica.registry().stats().fits,
+            1,
+            "the serving read was a registry hit, not a refit"
+        );
+    }
+
+    #[test]
+    fn replicate_import_from_an_unreachable_peer_is_typed() {
+        let svc = ExplanationService::new();
+        let err = svc
+            .execute(&RequestBody::Replicate {
+                // A reserved port on localhost nothing listens on.
+                from: Some("127.0.0.1:1".into()),
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("cannot connect"), "{}", err.message);
+    }
+
+    #[test]
+    fn slo_shedding_rejects_typed_then_recovers() {
+        let svc = service_with_toy();
+        let handle = ServeHandle::start_with_slo(
+            svc,
+            BatchConfig::default(),
+            None,
+            Some(SloConfig {
+                queue_wait_limit_micros: 1_000,
+                quantile: 0.99,
+                min_observations: 8,
+                eval_interval: Duration::from_millis(0),
+            }),
+        );
+        // Simulate a violated SLO: the live queue-wait histogram records
+        // a burst of 60ms waits after the shedder's baseline snapshot.
+        let h = anomex_obs::histogram(crate::shed::QUEUE_WAIT_METRIC);
+        for _ in 0..100 {
+            h.observe(60_000);
+        }
+        let req = || Request {
+            id: 9,
+            body: RequestBody::Stats,
+        };
+        let err = handle.submit(req()).unwrap_err();
+        assert_eq!(err, ServeError::Shed);
+        assert_eq!(err.code(), ErrorCode::Overloaded, "typed wire rejection");
+        // With a zero eval interval every submit re-evaluates, so keep
+        // the violation visible for the wire-shaped check...
+        for _ in 0..100 {
+            h.observe(60_000);
+        }
+        // ...and submit_line degrades identically, as the wire would see.
+        let resp = handle
+            .submit_line(r#"{"id": 9, "op": "stats"}"#)
+            .unwrap()
+            .resolve();
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(ErrorCode::Overloaded));
+        // The next window is quiet, so admission control releases.
+        let resp = handle.roundtrip(req());
+        assert!(resp.ok, "shed must release once the window drains");
     }
 }

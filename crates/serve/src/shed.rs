@@ -1,0 +1,243 @@
+//! SLO-driven load shedding for the serving layer.
+//!
+//! The batcher already rejects when its queue is *full*; that is a
+//! memory bound, not a latency bound. A queue of 1024 requests that each
+//! wait 400ms is "healthy" by the capacity test while every client
+//! misses its deadline. The [`LoadShedder`] closes that gap: it watches
+//! the `serve.batch.queue_wait_micros` log2 histogram that the batcher
+//! already maintains, and when a configured quantile of the *recent
+//! window* exceeds the SLO it starts answering new requests with a typed
+//! `overloaded` error before they ever enter the queue.
+//!
+//! ## Semantics
+//!
+//! * Evaluation happens at most once per `eval_interval`, on the
+//!   *delta* between cumulative histogram snapshots
+//!   ([`HistogramSnapshot::since`]), so old overloads cannot haunt the
+//!   estimate forever.
+//! * The quantile estimate is [`HistogramSnapshot::quantile_upper_bound`]
+//!   — the top edge of the log2 bucket holding the quantile rank. The
+//!   error is one-sided (at most 2x high), which for an SLO check is the
+//!   conservative direction: we may shed slightly early, never late.
+//! * Windows with fewer than `min_observations` samples release the
+//!   shed. This is also the recovery path: while shedding, requests are
+//!   rejected before they can be observed waiting, the window drains,
+//!   and the shedder re-admits traffic to probe the queue again. The
+//!   engage/release cycle is the probe.
+//!
+//! Decisions between evaluations are cached, so the per-request cost on
+//! the submit path is one mutex lock and an `Instant` comparison; the
+//! shed-state lock is a leaf (nothing else is locked while it is held).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use anomex_obs::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// The histogram the batcher feeds with per-request queue-wait times.
+pub(crate) const QUEUE_WAIT_METRIC: &str = "serve.batch.queue_wait_micros";
+
+/// Latency SLO driving admission control.
+#[derive(Clone, Debug)]
+pub struct SloConfig {
+    /// Queue-wait budget in microseconds; the shed engages when
+    /// `quantile` of the recent window exceeds it.
+    pub queue_wait_limit_micros: u64,
+    /// Which quantile of queue wait is held to the budget (default 0.99).
+    pub quantile: f64,
+    /// Minimum samples a window needs before its quantile is trusted;
+    /// sparser windows release the shed (default 32).
+    pub min_observations: u64,
+    /// How often the window is re-evaluated; decisions are cached in
+    /// between (default 100ms).
+    pub eval_interval: Duration,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            queue_wait_limit_micros: 50_000,
+            quantile: 0.99,
+            min_observations: 32,
+            eval_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+struct ShedState {
+    /// Cumulative snapshot at the start of the current window.
+    baseline: HistogramSnapshot,
+    last_eval: Instant,
+    shedding: bool,
+}
+
+/// Watches the queue-wait histogram and decides, per request, whether to
+/// admit it. Shared across submit paths behind an `Arc`.
+pub struct LoadShedder {
+    slo: SloConfig,
+    source: &'static Histogram,
+    state: Mutex<ShedState>,
+    // Meters resolved once so the hot path never touches the
+    // obs-registry lock.
+    shed_requests: &'static Counter,
+    evaluations: &'static Counter,
+    engaged: &'static Counter,
+    active: &'static Gauge,
+    estimate: &'static Gauge,
+}
+
+impl LoadShedder {
+    /// A shedder over the live batcher queue-wait histogram.
+    pub fn new(slo: SloConfig) -> Self {
+        Self::with_histogram(slo, anomex_obs::histogram(QUEUE_WAIT_METRIC))
+    }
+
+    /// A shedder over an explicit histogram — lets tests drive the
+    /// window without racing the global batcher metric.
+    pub fn with_histogram(slo: SloConfig, source: &'static Histogram) -> Self {
+        LoadShedder {
+            slo,
+            source,
+            state: Mutex::new(ShedState {
+                baseline: source.snapshot(),
+                last_eval: Instant::now(),
+                shedding: false,
+            }),
+            shed_requests: anomex_obs::counter("serve.shed.shed_requests"),
+            evaluations: anomex_obs::counter("serve.shed.evaluations"),
+            engaged: anomex_obs::counter("serve.shed.engaged"),
+            active: anomex_obs::gauge("serve.shed.active"),
+            estimate: anomex_obs::gauge("serve.slo.queue_wait_quantile_micros"),
+        }
+    }
+
+    /// The configuration this shedder enforces.
+    pub fn slo(&self) -> &SloConfig {
+        &self.slo
+    }
+
+    /// Should the request at hand be rejected? Also counts the shed when
+    /// it says yes, so callers only need to map the answer to the wire.
+    pub fn should_shed(&self) -> bool {
+        let decision = self.decide(Instant::now());
+        if decision {
+            self.shed_requests.incr();
+        }
+        decision
+    }
+
+    /// The cached decision, re-evaluated when the window is due. Split
+    /// from `should_shed` so tests can step time explicitly.
+    fn decide(&self, now: Instant) -> bool {
+        let mut state = match self.state.lock() {
+            Ok(g) => g,
+            // A poisoned shed lock must fail open: dropping admission
+            // control degrades latency, not correctness.
+            Err(_) => return false,
+        };
+        if now.duration_since(state.last_eval) < self.slo.eval_interval {
+            return state.shedding;
+        }
+        state.last_eval = now;
+        self.evaluations.incr();
+
+        let cumulative = self.source.snapshot();
+        let window = cumulative.since(&state.baseline);
+        state.baseline = cumulative;
+
+        let next = if window.count < self.slo.min_observations {
+            // Too sparse to judge — and, while shedding, the natural
+            // consequence of shedding. Either way: admit and probe.
+            false
+        } else {
+            let est = window.quantile_upper_bound(self.slo.quantile);
+            self.estimate.set(est);
+            est > self.slo.queue_wait_limit_micros
+        };
+        if next && !state.shedding {
+            self.engaged.incr();
+        }
+        state.shedding = next;
+        self.active.set(next as u64);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo(limit: u64) -> SloConfig {
+        SloConfig {
+            queue_wait_limit_micros: limit,
+            quantile: 0.99,
+            min_observations: 8,
+            eval_interval: Duration::from_millis(0),
+        }
+    }
+
+    #[test]
+    fn engages_when_the_window_quantile_exceeds_the_limit() {
+        let h = anomex_obs::histogram("test.shed.engage");
+        let shedder = LoadShedder::with_histogram(slo(1_000), h);
+        assert!(!shedder.should_shed(), "empty window admits");
+
+        for _ in 0..100 {
+            h.observe(60_000);
+        }
+        assert!(shedder.should_shed(), "p99 of 60ms must trip a 1ms SLO");
+        assert_eq!(anomex_obs::gauge("serve.shed.active").get(), 1);
+    }
+
+    #[test]
+    fn releases_once_the_window_goes_quiet() {
+        let h = anomex_obs::histogram("test.shed.release");
+        let shedder = LoadShedder::with_histogram(slo(1_000), h);
+        for _ in 0..100 {
+            h.observe(60_000);
+        }
+        assert!(shedder.should_shed());
+        // While shedding, nothing new is observed waiting; the next
+        // window is empty and the shed releases to probe.
+        assert!(!shedder.should_shed(), "sparse window releases the shed");
+    }
+
+    #[test]
+    fn healthy_latency_never_sheds() {
+        let h = anomex_obs::histogram("test.shed.healthy");
+        let shedder = LoadShedder::with_histogram(slo(100_000), h);
+        for _ in 0..1_000 {
+            h.observe(500);
+        }
+        assert!(!shedder.should_shed(), "sub-SLO waits must be admitted");
+    }
+
+    #[test]
+    fn sparse_windows_are_not_judged() {
+        let h = anomex_obs::histogram("test.shed.sparse");
+        let shedder = LoadShedder::with_histogram(slo(1), h);
+        for _ in 0..4 {
+            h.observe(1_000_000); // terrible, but only 4 samples < min 8
+        }
+        assert!(!shedder.should_shed());
+    }
+
+    #[test]
+    fn decisions_are_cached_between_evaluations() {
+        let h = anomex_obs::histogram("test.shed.cached");
+        let cfg = SloConfig {
+            eval_interval: Duration::from_secs(3_600),
+            min_observations: 8,
+            ..slo(1_000)
+        };
+        let shedder = LoadShedder::with_histogram(cfg, h);
+        // First call inside the interval returns the constructed state
+        // (admitting) and must not evaluate.
+        for _ in 0..100 {
+            h.observe(60_000);
+        }
+        let before = anomex_obs::counter("serve.shed.evaluations").get();
+        assert!(!shedder.should_shed(), "cached decision, no evaluation");
+        assert_eq!(anomex_obs::counter("serve.shed.evaluations").get(), before);
+    }
+}

@@ -18,7 +18,12 @@
 //!   caches key on this, so semantically equal configs share slots.
 //! * [`DatasetProfile`] + [`recommend`] — dataset characteristics and
 //!   a deterministic rule-based recommender mapping profile + task to
-//!   a spec with a machine-readable reasoning trace.
+//!   a spec with a machine-readable reasoning trace, including the
+//!   measured-crossover rule that switches kNN detectors to
+//!   `backend=auto` at scale (ROADMAP item 1c).
+//! * [`ServeSpec`] — the serving stack's configuration as data (front
+//!   edge, registry shards, batcher shape, queue-wait SLO), consumed
+//!   by the `anomex_serve` binary's `--config`.
 //!
 //! The crate is deliberately `std`-only and dependency-free so every
 //! other crate (core, eval, serve) can depend on it without cycles.
@@ -34,6 +39,7 @@ mod params;
 pub mod pipeline;
 pub mod profile;
 pub mod recommend;
+pub mod serve;
 
 pub use backend::NeighborBackend;
 pub use detector::DetectorSpec;
@@ -42,6 +48,7 @@ pub use json::Json;
 pub use pipeline::{DatasetRef, PipelineSpec};
 pub use profile::DatasetProfile;
 pub use recommend::{recommend, RecommendTask, Recommendation, TraceEntry};
+pub use serve::{FrontEdge, ServeSpec, SloSpec};
 
 /// FNV-1a 64-bit hash — the workspace's stable fingerprint function.
 /// Stable across platforms and releases by construction (pure integer

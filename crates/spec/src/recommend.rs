@@ -9,6 +9,7 @@
 //! holds up better than LOF as dimensionality grows, and LookOut+LOF
 //! is the strongest summarizer pairing.
 
+use crate::backend::NeighborBackend;
 use crate::detector::DetectorSpec;
 use crate::explainer::ExplainerSpec;
 use crate::json::Json;
@@ -23,6 +24,17 @@ pub const HIGH_DIM_THRESHOLD: usize = 14;
 /// The density-dispersion level treated as "strongly varying local
 /// density" in advisory trace entries.
 pub const HIGH_DENSITY_CV: f64 = 0.5;
+
+/// Rows at and above which the measured crossovers in
+/// `BENCH_knn_backends.json` make a sublinear neighbor backend worth
+/// recommending (ROADMAP item 1c): at `n_rows = 10 000` the kd-tree
+/// builds the k=15 table ~11× faster than the exact scan at d=2 and
+/// the LSH index overtakes exact above the kd-tree dim ceiling, while
+/// at `n_rows = 1 000` no backend beats one blocked pass. Below this
+/// the recommender leaves the detector on the (elided) exact default so
+/// wire forms, fingerprints, and registry keys match historical spec
+/// strings.
+pub const BACKEND_AUTO_MIN_ROWS: usize = 10_000;
 
 /// What kind of explanation the caller wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,10 +144,11 @@ impl Recommendation {
 #[must_use]
 pub fn recommend(profile: &DatasetProfile, task: RecommendTask) -> Recommendation {
     let mut trace = Vec::new();
-    let spec = match task {
+    let mut spec = match task {
         RecommendTask::Point => point_pipeline(profile, &mut trace),
         RecommendTask::Summary => summary_pipeline(&mut trace),
     };
+    spec.detector = backend_rule(spec.detector, profile, &mut trace);
     advisory_rules(profile, &mut trace);
     Recommendation {
         spec,
@@ -185,6 +198,44 @@ fn summary_pipeline(trace: &mut Vec<TraceEntry>) -> PipelineSpec {
             .to_string(),
     ));
     PipelineSpec::new(DetectorSpec::lof(), ExplainerSpec::lookout())
+}
+
+/// Switches the recommended detector to `backend=auto` once the row
+/// count clears the measured sublinear-backend crossover, letting the
+/// fit-time resolver pick kd-tree or LSH per projected subspace shape.
+fn backend_rule(
+    detector: DetectorSpec,
+    profile: &DatasetProfile,
+    trace: &mut Vec<TraceEntry>,
+) -> DetectorSpec {
+    let at_scale = profile.n_rows >= BACKEND_AUTO_MIN_ROWS;
+    let fired = at_scale && detector.neighbor_backend().is_some();
+    let detail = if fired {
+        let resolved = NeighborBackend::Auto.resolve(profile.n_rows, profile.n_features);
+        format!(
+            "n_rows = {} reaches the measured backend crossover \
+             {BACKEND_AUTO_MIN_ROWS} (BENCH_knn_backends.json): backend=auto \
+             resolves to {resolved} for ({}, {}) at fit time",
+            profile.n_rows, profile.n_rows, profile.n_features
+        )
+    } else if !at_scale {
+        format!(
+            "n_rows = {} is below the measured backend crossover \
+             {BACKEND_AUTO_MIN_ROWS} (BENCH_knn_backends.json): exact blocked \
+             scans still win, and the elided default keeps wire forms stable",
+            profile.n_rows
+        )
+    } else {
+        "the chosen detector builds no neighbor table, so there is \
+         nothing for a sublinear backend to accelerate"
+            .to_string()
+    };
+    trace.push(TraceEntry::new("detector.backend_auto", fired, detail));
+    if fired {
+        detector.with_backend(NeighborBackend::Auto)
+    } else {
+        detector
+    }
 }
 
 fn advisory_rules(profile: &DatasetProfile, trace: &mut Vec<TraceEntry>) {
@@ -272,6 +323,41 @@ mod unit_tests {
             json.get("compact").unwrap().as_str().unwrap(),
             rec.spec.canonical()
         );
+    }
+
+    #[test]
+    fn backend_auto_fires_at_the_measured_crossover() {
+        let mut p = profile(4);
+        p.n_rows = BACKEND_AUTO_MIN_ROWS;
+        let rec = recommend(&p, RecommendTask::Point);
+        assert_eq!(
+            rec.spec.detector,
+            DetectorSpec::lof().with_backend(NeighborBackend::Auto)
+        );
+        assert_eq!(rec.spec.detector.canonical(), "lof:k=15,backend=auto");
+        assert!(rec
+            .trace
+            .iter()
+            .any(|t| t.rule == "detector.backend_auto" && t.fired));
+
+        // Summary pipelines score with a kNN detector too, so they get
+        // the same treatment.
+        let rec = recommend(&p, RecommendTask::Summary);
+        assert_eq!(
+            rec.spec.detector.neighbor_backend(),
+            Some(NeighborBackend::Auto)
+        );
+    }
+
+    #[test]
+    fn small_datasets_keep_the_legacy_wire_form() {
+        let rec = recommend(&profile(4), RecommendTask::Point);
+        assert_eq!(rec.spec.detector, DetectorSpec::lof());
+        assert!(!rec.spec.canonical().contains("backend"));
+        assert!(rec
+            .trace
+            .iter()
+            .any(|t| t.rule == "detector.backend_auto" && !t.fired));
     }
 
     #[test]

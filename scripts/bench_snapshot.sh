@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Distill the detector-kernel benchmarks into BENCH_detectors.json and
 # the spec-layer benchmarks into BENCH_spec.json, plus an observability
-# counter snapshot into BENCH_obs_counters.json.
+# counter snapshot into BENCH_obs_counters.json, the kNN-backend
+# crossover grid into BENCH_knn_backends.json, and the serve
+# throughput/latency snapshot into BENCH_serve.json.
 #
 # Runs the `detector_kernels` criterion bench, then extracts the mean
 # estimate of each naive/blocked/incremental kNN build from criterion's
@@ -185,6 +187,31 @@ cargo run --release -p anomex-eval --bin anomex_eval -- fig9 --fast \
     --out target/bench-eval --metrics BENCH_obs_counters.json >/dev/null
 echo "wrote BENCH_obs_counters.json"
 
+# Serve throughput/latency snapshot: reactor vs thread-per-connection
+# edge over the real stack, p50/p99 from the obs log2 histograms, plus
+# the SLO overload run (typed overloaded shed) and the registry
+# sharding microbench. The example prints the snapshot JSON; the date
+# is stamped here so reruns on the same code produce identical output.
+cargo run --release -p anomex-serve --example serve_throughput \
+    > target/serve_throughput.json
+
+python3 - target/serve_throughput.json BENCH_serve.json <<'PY'
+import json, sys, datetime
+
+src, out = sys.argv[1], sys.argv[2]
+with open(src) as f:
+    snapshot = json.load(f)
+stamped = {}
+for k, v in snapshot.items():
+    stamped[k] = v
+    if k == "bench":
+        stamped["recorded"] = datetime.date.today().isoformat()
+with open(out, "w") as f:
+    json.dump(stamped, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(snapshot.get('timings_ms', []))} timings)")
+PY
+
 # ---- perf gate ------------------------------------------------------
 # Diff every regenerated timing against the committed snapshot; fail on
 # >10 % regression unless ANOMEX_BENCH_REBASE=1 explicitly rebaselines.
@@ -218,7 +245,12 @@ def keyed(snapshot):
     return out
 
 failures = []
-for path in ("BENCH_detectors.json", "BENCH_spec.json", "BENCH_knn_backends.json"):
+for path in (
+    "BENCH_detectors.json",
+    "BENCH_spec.json",
+    "BENCH_knn_backends.json",
+    "BENCH_serve.json",
+):
     base = committed(path)
     if base is None:
         print(f"perf gate: {path} has no committed baseline, skipping")
