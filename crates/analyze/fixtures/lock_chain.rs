@@ -1,0 +1,21 @@
+//! Seeded interprocedural `nested-lock` violation: the lock-order
+//! breach only appears once the call graph propagates the callee's
+//! acquisitions to the caller's live guard. Not compiled — lexed by the
+//! analyzer's negative tests and the CI fixtures check.
+
+fn drain_under_guard(&self) {
+    let g = self.outer_thing.lock();
+    refill_slot(g);
+    finish(g);
+}
+
+fn refill_slot(g: Guard) {
+    let inner = self.inner_thing.lock();
+    copy_into(g, inner);
+}
+
+fn chain_is_clean_when_guard_dropped(&self) {
+    let g = self.outer_thing.lock();
+    drop(g);
+    refill_slot(placeholder());
+}

@@ -1,0 +1,13 @@
+//! Seeded interprocedural `panic-path` violation: the panic lives in a
+//! helper one call away from the root, so only the call-graph pass can
+//! see it. Not compiled — lexed by the analyzer's negative tests and
+//! the CI fixtures check.
+
+fn hot_entry(points: &[f64]) -> f64 {
+    summarize_tail(points)
+}
+
+fn summarize_tail(points: &[f64]) -> f64 {
+    let last = points.last().unwrap();
+    last + 1.0
+}

@@ -1,0 +1,29 @@
+//! Seeded `reactor-blocking` violations: blocking primitives reachable
+//! from the poll-loop dispatch path. Fixture reactor roots are fns
+//! under `impl Reactor`. Not compiled — lexed by the analyzer's
+//! negative tests and the CI fixtures check.
+
+impl Reactor {
+    fn run(&mut self) {
+        loop {
+            self.tick();
+        }
+    }
+
+    fn tick(&mut self) {
+        dispatch_ready(self);
+    }
+}
+
+fn dispatch_ready(r: &mut Reactor) {
+    std::thread::sleep(Duration::from_millis(5));
+    println!("tick {}", r.generation);
+    let cfg = File::open("reactor.cfg");
+    let g = r.shared_thing.lock();
+    apply(cfg, g);
+    eprintln!("done"); // anomex: allow(reactor-blocking) fixture suppression probe
+}
+
+fn never_reached_from_reactor() {
+    std::thread::sleep(Duration::from_millis(50));
+}

@@ -484,4 +484,89 @@ mod unit_tests {
             vec!["let", "unwrap_or_else", "unwrap"]
         );
     }
+
+    #[test]
+    fn multi_hash_raw_strings_hide_inner_terminators() {
+        // The inner `"#` must not close an `r##"..."##` string.
+        let l = lex("let s = r##\"inner \"# quote, unwrap()\"##; tail.unwrap()");
+        let unwraps = l.tokens.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 1, "only the code unwrap survives");
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_markers() {
+        let l = lex("let s = r#\"// not a comment /* nor this */\"#; after");
+        assert!(l.comments.is_empty(), "{:?}", l.comments);
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn byte_raw_strings_hide_their_contents() {
+        let l = lex("let s = br#\"panic!()\"#; tail");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn block_comment_hides_string_quotes() {
+        // An odd number of quotes inside a comment must not open a string.
+        let l = lex("/* \"unterminated */ let x = 1;");
+        assert!(l.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_balance() {
+        let l = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ survivor");
+        assert_eq!(
+            idents("/* 1 /* 2 /* 3 */ 2 */ 1 */ survivor"),
+            vec!["survivor"]
+        );
+        assert!(!l.tokens.iter().any(|t| t.is_ident("1")));
+    }
+
+    #[test]
+    fn unterminated_block_comment_stops_cleanly() {
+        let l = lex("let a = 1; /* runs off the end of the file");
+        assert!(l.tokens.iter().any(|t| t.is_ident("a")));
+    }
+
+    #[test]
+    fn turbofish_lexes_as_punctuation() {
+        let l = lex("v.iter().collect::<Vec<_>>(); done");
+        assert!(l.tokens.iter().any(|t| t.is_ident("collect")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("Vec")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("done")));
+        // No lifetime/char confusion from the angle brackets.
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn loop_labels_are_lifetimes_not_chars() {
+        let l = lex("'outer: loop { break 'outer; }");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == Tok::Literal).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn long_lifetimes_next_to_char_matches() {
+        let l = lex("fn g<'long_name, T>(x: &'long_name T) { match c { 'b' => {} '\\n' => {} } }");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == Tok::Literal).count(),
+            2
+        );
+    }
 }

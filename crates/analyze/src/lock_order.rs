@@ -15,7 +15,14 @@
 //! # comment
 //! class <name> <path-substring> <ident>[,<ident>...]
 //! order <name> <name> [<name>...]
+//! reactorsafe <name> [<name>...]
 //! ```
+//!
+//! `reactorsafe` marks classes whose critical sections are bounded
+//! (no I/O, no waiting on other work) and therefore acceptable to
+//! acquire on the single-threaded reactor loop; the `reactor-blocking`
+//! interprocedural rule flags every other lock acquisition reachable
+//! from the event loop.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -34,6 +41,8 @@ pub struct LockOrder {
     /// `before` holds every (a, b) pair with a strictly before b,
     /// transitively closed over the declared chains.
     before: BTreeSet<(String, String)>,
+    /// Classes declared safe to acquire on the reactor thread.
+    reactor_safe: BTreeSet<String>,
 }
 
 /// A manifest parse error with its 1-based line.
@@ -64,6 +73,7 @@ impl LockOrder {
     pub fn parse(text: &str) -> Result<Self, ManifestError> {
         let mut classes: Vec<ClassDecl> = Vec::new();
         let mut chains: Vec<(usize, Vec<String>)> = Vec::new();
+        let mut safe: Vec<(usize, Vec<String>)> = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -95,6 +105,16 @@ impl LockOrder {
                         });
                     }
                     chains.push((i + 1, names));
+                }
+                Some("reactorsafe") => {
+                    let names: Vec<String> = parts.map(str::to_string).collect();
+                    if names.is_empty() {
+                        return Err(ManifestError {
+                            line: i + 1,
+                            message: "reactorsafe needs at least one class name".into(),
+                        });
+                    }
+                    safe.push((i + 1, names));
                 }
                 Some(other) => {
                     return Err(ManifestError {
@@ -145,7 +165,23 @@ impl LockOrder {
                 });
             }
         }
-        Ok(LockOrder { classes, before })
+        let mut reactor_safe = BTreeSet::new();
+        for (line, names) in safe {
+            for name in names {
+                if !known.contains(name.as_str()) {
+                    return Err(ManifestError {
+                        line,
+                        message: format!("reactorsafe references undeclared class '{name}'"),
+                    });
+                }
+                reactor_safe.insert(name);
+            }
+        }
+        Ok(LockOrder {
+            classes,
+            before,
+            reactor_safe,
+        })
     }
 
     /// Classifies a lock acquisition: the class name declared for
@@ -164,6 +200,13 @@ impl LockOrder {
     #[must_use]
     pub fn allows(&self, held: &str, inner: &str) -> bool {
         self.before.contains(&(held.to_string(), inner.to_string()))
+    }
+
+    /// Whether `class` is declared safe to acquire on the reactor
+    /// thread (`reactorsafe` directive).
+    #[must_use]
+    pub fn is_reactor_safe(&self, class: &str) -> bool {
+        self.reactor_safe.contains(class)
     }
 
     /// Class names → declaration summaries, for diagnostics.
@@ -231,6 +274,16 @@ order outer inner
         assert!(LockOrder::parse("frobnicate x").is_err());
         let contradiction = LockOrder::parse("class a p x\nclass b p y\norder a b\norder b a\n");
         assert!(contradiction.is_err());
+    }
+
+    #[test]
+    fn reactorsafe_classes_parse_and_validate() {
+        let m = LockOrder::parse("class a p x\nclass b p y\nreactorsafe a\n").unwrap();
+        assert!(m.is_reactor_safe("a"));
+        assert!(!m.is_reactor_safe("b"));
+        assert!(!m.is_reactor_safe("unknown"));
+        assert!(LockOrder::parse("reactorsafe ghost\n").is_err());
+        assert!(LockOrder::parse("class a p x\nreactorsafe\n").is_err());
     }
 
     #[test]

@@ -157,16 +157,18 @@ impl Rule for NestedLock {
     }
 }
 
-struct Acquisition {
-    receiver_last: String,
-    desc: String,
+/// A recognized lock acquisition (also consumed by the symbol
+/// extractor, which feeds the interprocedural lock-set pass).
+pub(crate) struct Acquisition {
+    pub(crate) receiver_last: String,
+    pub(crate) desc: String,
 }
 
 /// Recognizes a lock acquisition at token `i`:
 /// `<chain>.lock()`, `<chain>.read()`, `<chain>.write()` (zero-arg
 /// calls only, so `io::Read::read(&mut buf)` never matches), or the
 /// workspace's `lock(&<chain>)` poison-recovering helper.
-fn acquisition(file: &SourceFile, i: usize) -> Option<Acquisition> {
+pub(crate) fn acquisition(file: &SourceFile, i: usize) -> Option<Acquisition> {
     let toks = &file.tokens;
     let t = &toks[i];
     let name = t.ident()?;
@@ -181,6 +183,11 @@ fn acquisition(file: &SourceFile, i: usize) -> Option<Acquisition> {
                 }
                 let chain = receiver_chain(file, i);
                 let last = chain.last()?.clone();
+                // `stdout().lock()` / `stdin.lock()` are stdio handle
+                // locks, not workspace sync primitives.
+                if matches!(last.as_str(), "stdin" | "stdout" | "stderr") {
+                    return None;
+                }
                 Some(Acquisition {
                     desc: format!("{}.{name}()", chain.join(".")),
                     receiver_last: last,

@@ -24,7 +24,7 @@ pub struct PanicPath;
 /// must come back as `Err`, never as a worker-killing panic. `reactor`
 /// is included: the event loop is single-threaded, so one panic drops
 /// every open connection at once, not just the offending request's.
-const HOT_PATHS: [&str; 6] = [
+pub const HOT_PATHS: [&str; 6] = [
     "crates/core/src/",
     "crates/serve/src/",
     "crates/detectors/src/",
@@ -33,8 +33,16 @@ const HOT_PATHS: [&str; 6] = [
     "crates/reactor/src/",
 ];
 
-/// Paths where indexing expressions are additionally flagged.
-const STRICT_INDEX: [&str; 2] = ["crates/serve/src/", "crates/reactor/src/"];
+/// Paths where indexing expressions are additionally flagged. `spec`
+/// and `obs` joined `serve`/`reactor` once their index arithmetic was
+/// bounds-proofed: both run on every request (spec parses the line,
+/// obs records the latency), so a stray `[i]` is a served panic.
+pub const STRICT_INDEX: [&str; 4] = [
+    "crates/serve/src/",
+    "crates/reactor/src/",
+    "crates/spec/src/",
+    "crates/obs/src/",
+];
 
 const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
@@ -162,7 +170,7 @@ mod unit_tests {
     }
 
     #[test]
-    fn indexing_flagged_only_in_serve_and_reactor() {
+    fn indexing_flagged_only_in_strict_crates() {
         let serve = run(
             "crates/serve/src/registry.rs",
             "let s = self.scores[point];",
@@ -170,10 +178,14 @@ mod unit_tests {
         assert_eq!(serve.len(), 1);
         let reactor = run("crates/reactor/src/lib.rs", "let b = buf[cursor];");
         assert_eq!(reactor.len(), 1);
+        let spec = run("crates/spec/src/json.rs", "let b = bytes[pos];");
+        assert_eq!(spec.len(), 1);
+        let obs = run("crates/obs/src/registry.rs", "let b = buckets[i];");
+        assert_eq!(obs.len(), 1);
         let core = run("crates/core/src/x.rs", "let s = self.scores[point];");
         assert!(
             core.is_empty(),
-            "indexing outside serve/reactor is fine: {core:?}"
+            "indexing outside the strict crates is fine: {core:?}"
         );
     }
 

@@ -1,9 +1,12 @@
 //! Self-hosting checks: the workspace analyzes clean against its
-//! committed baseline, and the fixture corpus trips every rule.
+//! committed baseline, the fixture corpus trips every rule (including
+//! the interprocedural ones, with call-chain evidence), and the
+//! summary cache reproduces a cold run exactly.
 
 use anomex_analyze::baseline::Baseline;
+use anomex_analyze::lock_order::{LockOrder, DEFAULT_MANIFEST};
 use anomex_analyze::walk::rust_files;
-use anomex_analyze::{analyze_files, default_rules};
+use anomex_analyze::{analyze_files, analyze_workspace, default_rules, Analysis};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -60,6 +63,7 @@ fn fixture_corpus_trips_every_rule() {
         "nondeterminism",
         "float-ordering",
         "swallowed-error",
+        "reactor-blocking",
     ] {
         assert!(tripped.contains(rule), "fixtures never tripped {rule}");
     }
@@ -74,4 +78,128 @@ fn fixture_corpus_trips_every_rule() {
         .filter(|f| f.path.ends_with("clean.rs"))
         .collect();
     assert!(clean.is_empty(), "clean.rs must not fire: {clean:?}");
+}
+
+/// Analyzes exactly one fixture file (interprocedural passes included).
+fn analyze_fixture(name: &str) -> Analysis {
+    let rel = format!("crates/analyze/fixtures/{name}");
+    let path = workspace_root().join(&rel);
+    let rules = default_rules().expect("committed manifest parses");
+    analyze_files(&[(rel, path)], &rules).expect("fixture readable")
+}
+
+#[test]
+fn lock_chain_fixture_trips_interprocedural_nested_lock() {
+    let analysis = analyze_fixture("lock_chain.rs");
+    let f: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "nested-lock")
+        .collect();
+    assert_eq!(
+        f.len(),
+        1,
+        "exactly the seeded chain: {:?}",
+        analysis.findings
+    );
+    assert_eq!(
+        f[0].line, 8,
+        "flagged at the call site, not the acquisition"
+    );
+    assert!(
+        f[0].message.contains("chain:") && f[0].message.contains("->"),
+        "call-chain evidence: {}",
+        f[0].message
+    );
+    assert!(
+        f[0].message.contains("drain_under_guard") && f[0].message.contains("refill_slot"),
+        "names both ends: {}",
+        f[0].message
+    );
+}
+
+#[test]
+fn reactor_blocking_fixture_trips_with_chain_and_respects_suppression() {
+    let analysis = analyze_fixture("reactor_blocking.rs");
+    let f: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "reactor-blocking")
+        .collect();
+    let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("std::thread::sleep")),
+        "sleep: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("println!")),
+        "stdio: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("File::open")),
+        "file I/O: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("unclassified lock")),
+        "unclassified lock: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .all(|m| m.contains("via Reactor::tick -> dispatch_ready")),
+        "every finding carries the dispatch chain: {msgs:?}"
+    );
+    assert!(
+        f.iter().all(|f| f.line < 28),
+        "never_reached_from_reactor must stay silent: {f:?}"
+    );
+    assert!(
+        !msgs.iter().any(|m| m.contains("eprintln!")),
+        "suppressed stdio site must not fire: {msgs:?}"
+    );
+}
+
+#[test]
+fn panic_reach_fixture_trips_with_chain() {
+    let analysis = analyze_fixture("panic_reach.rs");
+    let f: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic-path" && f.message.contains("reachable via"))
+        .collect();
+    assert_eq!(f.len(), 1, "{:?}", analysis.findings);
+    assert_eq!(f[0].line, 11, "the unwrap inside the helper");
+    assert!(
+        f[0].message.contains("hot_entry -> summarize_tail"),
+        "chain evidence: {}",
+        f[0].message
+    );
+}
+
+#[test]
+fn summary_cache_reproduces_cold_run_and_skips_relexing() {
+    let root = workspace_root();
+    let rules = default_rules().expect("committed manifest parses");
+    let manifest = LockOrder::parse(DEFAULT_MANIFEST).expect("manifest parses");
+    let files: Vec<(String, PathBuf)> = rust_files(&root)
+        .expect("workspace walks")
+        .into_iter()
+        .filter(|(rel, _)| !rel.contains("crates/analyze/fixtures/"))
+        .collect();
+    let cache =
+        std::env::temp_dir().join(format!("anomex-analyze-cache-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+    let cold =
+        analyze_workspace(&files, &rules, &manifest, Some(&cache)).expect("cold run succeeds");
+    assert_eq!(cold.cache_hits, 0, "no cache to hit on the first run");
+    assert!(cache.exists(), "cold run writes the cache");
+    let warm =
+        analyze_workspace(&files, &rules, &manifest, Some(&cache)).expect("warm run succeeds");
+    let _ = std::fs::remove_file(&cache);
+    assert_eq!(
+        warm.cache_hits, warm.files,
+        "every unchanged file comes from cache"
+    );
+    assert_eq!(warm.files, cold.files);
+    assert_eq!(warm.suppressed, cold.suppressed);
+    assert_eq!(warm.findings, cold.findings, "warm run reproduces cold run");
 }

@@ -21,7 +21,7 @@
 use crate::dataset::Dataset;
 use crate::subspace::Subspace;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A dense `n × n` matrix of pairwise squared Euclidean distances
 /// (row-major, zero diagonal, symmetric).
@@ -139,14 +139,11 @@ impl IncrementalDistances {
     }
 
     /// A snapshot of the cache telemetry.
-    ///
-    /// # Panics
-    /// Panics if a previous holder of the internal lock panicked.
     #[must_use]
     pub fn stats(&self) -> IncrementalDistancesStats {
         self.inner
             .lock()
-            .expect("distance cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .stats
     }
 
@@ -162,7 +159,7 @@ impl IncrementalDistances {
     ///
     /// # Panics
     /// Panics when `subspace` is empty or references a feature out of
-    /// bounds, or if a previous holder of the internal lock panicked.
+    /// bounds.
     #[must_use]
     pub fn sq_dists(&self, dataset: &Dataset, subspace: &Subspace) -> Arc<SqDistMatrix> {
         assert!(
@@ -170,7 +167,9 @@ impl IncrementalDistances {
             "cannot build distances of the empty subspace"
         );
         let n = dataset.n_rows();
-        let mut guard = self.inner.lock().expect("distance cache lock poisoned");
+        // Poison recovery: the cache holds only derived data, so a
+        // panicking earlier holder leaves nothing logically torn.
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         // Reborrow the guard as a plain `&mut Caches` so the borrow
         // checker can split the disjoint field borrows below.
         let mut inner = &mut *guard;

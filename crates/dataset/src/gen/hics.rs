@@ -205,6 +205,7 @@ pub fn generate_hics(preset: HicsPreset, seed: u64) -> Generated {
     let mut block_outliers: Vec<Vec<usize>> = vec![Vec::new(); n_blocks];
     for &(a, b) in SHARED_PAIRS.iter() {
         if a < n_blocks && b < n_blocks {
+            // anomex: allow(panic-path) pool holds N_ROWS ids, outlier draws are bounded well below it
             let p = fresh.next().expect("row pool exhausted");
             block_outliers[a].push(p);
             block_outliers[b].push(p);
@@ -212,6 +213,7 @@ pub fn generate_hics(preset: HicsPreset, seed: u64) -> Generated {
     }
     for bo in &mut block_outliers {
         while bo.len() < OUTLIERS_PER_BLOCK {
+            // anomex: allow(panic-path) pool holds N_ROWS ids, outlier draws are bounded well below it
             bo.push(fresh.next().expect("row pool exhausted"));
         }
     }
@@ -264,6 +266,7 @@ pub fn generate_hics(preset: HicsPreset, seed: u64) -> Generated {
         }
     }
 
+    // anomex: allow(panic-path) every column is allocated with N_ROWS entries above
     let dataset = Dataset::from_columns(columns).expect("generator produces a valid matrix");
     Generated {
         dataset,

@@ -44,6 +44,7 @@ impl Subspace {
             .into_iter()
             .map(|x| {
                 let x: usize = x.into();
+                // anomex: allow(panic-path) documented contract; feature counts are far below u16::MAX
                 u16::try_from(x).expect("feature index exceeds u16::MAX")
             })
             .collect();

@@ -163,19 +163,22 @@ pub type Result<T> = std::result::Result<T, DetectorError>;
 /// The three paper detectors with the paper's hyper-parameters
 /// (`LOF k=15`, `Fast ABOD k=10`, `iForest t=100 ψ=256 reps=10`), in the
 /// order they appear in every figure. Handy for building the 12 pipelines.
-#[must_use]
-pub fn paper_detectors(seed: u64) -> Vec<Box<dyn Detector>> {
-    vec![
-        Box::new(Lof::new(15).expect("paper k is valid")),
-        Box::new(FastAbod::new(10).expect("paper k is valid")),
+///
+/// # Errors
+/// Never with the constants baked in here; the `Result` keeps this
+/// panic-free and lets callers compose it with other fallible
+/// construction.
+pub fn paper_detectors(seed: u64) -> Result<Vec<Box<dyn Detector>>> {
+    Ok(vec![
+        Box::new(Lof::new(15)?),
+        Box::new(FastAbod::new(10)?),
         Box::new(
             IsolationForest::builder()
                 .trees(100)
                 .subsample(256)
                 .repetitions(10)
                 .seed(seed)
-                .build()
-                .expect("paper parameters are valid"),
+                .build()?,
         ),
-    ]
+    ])
 }

@@ -218,7 +218,7 @@ fn main() -> ExitCode {
             };
             let g = generate_hics(preset, cfg.seed);
             println!("Score-overlap (masking) analysis on {}\n", preset.name());
-            for det in paper_detectors(cfg.seed) {
+            for det in paper_detectors(cfg.seed).expect("paper hyper-parameters are valid") {
                 let profile = anomex_eval::overlap::masking_profile(&g, &det);
                 println!(
                     "{}",

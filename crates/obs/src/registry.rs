@@ -122,7 +122,11 @@ impl Histogram {
     pub fn observe(&self, value: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
-        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        // `bucket_of(u64::MAX) == 64 == N_BUCKETS - 1`, so the index is
+        // always in range; `.get()` keeps the hot path panic-free.
+        if let Some(bucket) = self.buckets.get(Self::bucket_of(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of observations so far.

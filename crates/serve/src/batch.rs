@@ -99,7 +99,11 @@ pub enum ServeError {
     /// Admission control refused the request: the queue-wait SLO is
     /// being violated and the [`LoadShedder`](crate::shed::LoadShedder)
     /// is shedding new work before it can queue.
-    Shed,
+    Shed {
+        /// Client retry hint: the shed decision cannot change sooner
+        /// than the shedder's next window evaluation.
+        retry_after_ms: u64,
+    },
     /// The request's deadline expired before a result was produced.
     TimedOut,
     /// The scheduler is shutting down.
@@ -112,7 +116,10 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Rejected => write!(f, "queue full, request rejected"),
-            ServeError::Shed => write!(f, "queue-wait SLO exceeded, request shed"),
+            ServeError::Shed { retry_after_ms } => write!(
+                f,
+                "queue-wait SLO exceeded, request shed; retry after {retry_after_ms}ms"
+            ),
             ServeError::TimedOut => write!(f, "deadline expired"),
             ServeError::ShutDown => write!(f, "service shut down"),
             ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -129,11 +136,30 @@ impl ServeError {
         use crate::protocol::ErrorCode;
         match self {
             ServeError::Rejected => ErrorCode::Overloaded,
-            ServeError::Shed => ErrorCode::Overloaded,
+            ServeError::Shed { .. } => ErrorCode::Overloaded,
             ServeError::TimedOut => ErrorCode::TimedOut,
             ServeError::ShutDown => ErrorCode::ShuttingDown,
             ServeError::Internal(_) => ErrorCode::Internal,
         }
+    }
+
+    /// Client retry hint in milliseconds, when this failure carries one
+    /// (currently only SLO sheds do).
+    #[must_use]
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::Shed { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+
+    /// The wire response for this failure: typed code, prose, and the
+    /// retry hint when one applies.
+    #[must_use]
+    pub fn to_response(&self, id: u64) -> crate::protocol::Response {
+        let mut resp = crate::protocol::Response::failure_coded(id, self.code(), self.to_string());
+        resp.retry_after_ms = self.retry_after_ms();
+        resp
     }
 }
 

@@ -67,8 +67,7 @@ struct TicketCompletion {
 impl Completion for TicketCompletion {
     fn try_take(&mut self) -> Option<String> {
         if let Some(result) = self.ticket.try_take() {
-            let resp = result
-                .unwrap_or_else(|e| Response::failure_coded(self.id, e.code(), e.to_string()));
+            let resp = result.unwrap_or_else(|e| e.to_response(self.id));
             return Some(response_line(&resp));
         }
         if let Some(deadline) = self.deadline {

@@ -297,6 +297,10 @@ pub struct Response {
     /// Failure description, present iff `ok` is false.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
+    /// Client retry hint in milliseconds, present on `overloaded`
+    /// sheds: the admission decision cannot change sooner.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry_after_ms: Option<u64>,
     /// The requested score (for `score`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub score: Option<f64>,

@@ -681,9 +681,7 @@ impl Submitted {
     pub fn resolve(self) -> Response {
         match self {
             Submitted::Immediate(resp) => resp,
-            Submitted::Queued(id, ticket) => ticket
-                .wait()
-                .unwrap_or_else(|e| Response::failure_coded(id, e.code(), e.to_string())),
+            Submitted::Queued(id, ticket) => ticket.wait().unwrap_or_else(|e| e.to_response(id)),
         }
     }
 }
@@ -758,7 +756,9 @@ impl ServeHandle {
     pub fn submit(&self, req: Request) -> Result<Ticket<Response>, ServeError> {
         if let Some(shedder) = &self.shedder {
             if shedder.should_shed() {
-                return Err(ServeError::Shed);
+                return Err(ServeError::Shed {
+                    retry_after_ms: shedder.retry_after_ms(),
+                });
             }
         }
         self.batcher.submit(req, self.default_deadline)
@@ -779,9 +779,7 @@ impl ServeHandle {
                 let id = req.id;
                 Some(match self.submit(req) {
                     Ok(ticket) => Submitted::Queued(id, ticket),
-                    Err(e) => {
-                        Submitted::Immediate(Response::failure_coded(id, e.code(), e.to_string()))
-                    }
+                    Err(e) => Submitted::Immediate(e.to_response(id)),
                 })
             }
             Err(parse_err) => {
@@ -805,7 +803,7 @@ impl ServeHandle {
         let id = req.id;
         match self.submit(req) {
             Ok(ticket) => Submitted::Queued(id, ticket).resolve(),
-            Err(e) => Response::failure_coded(id, e.code(), e.to_string()),
+            Err(e) => e.to_response(id),
         }
     }
 }
@@ -1552,8 +1550,13 @@ mod unit_tests {
             body: RequestBody::Stats,
         };
         let err = handle.submit(req()).unwrap_err();
-        assert_eq!(err, ServeError::Shed);
+        assert!(matches!(err, ServeError::Shed { .. }), "{err:?}");
         assert_eq!(err.code(), ErrorCode::Overloaded, "typed wire rejection");
+        assert_eq!(
+            err.retry_after_ms(),
+            Some(1),
+            "a zero eval interval still hints at least 1ms"
+        );
         // With a zero eval interval every submit re-evaluates, so keep
         // the violation visible for the wire-shaped check...
         for _ in 0..100 {
@@ -1566,6 +1569,11 @@ mod unit_tests {
             .resolve();
         assert!(!resp.ok);
         assert_eq!(resp.code, Some(ErrorCode::Overloaded));
+        assert_eq!(
+            resp.retry_after_ms,
+            Some(1),
+            "the shed response carries the retry hint on the wire"
+        );
         // The next window is quiet, so admission control releases.
         let resp = handle.roundtrip(req());
         assert!(resp.ok, "shed must release once the window drains");

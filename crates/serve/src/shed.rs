@@ -116,6 +116,16 @@ impl LoadShedder {
         &self.slo
     }
 
+    /// Client retry hint: the shed decision cannot change sooner than
+    /// the next window evaluation, one `eval_interval` away. Clamped to
+    /// ≥ 1ms so the hint never degenerates to "retry immediately".
+    #[must_use]
+    pub fn retry_after_ms(&self) -> u64 {
+        u64::try_from(self.slo.eval_interval.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1)
+    }
+
     /// Should the request at hand be rejected? Also counts the shed when
     /// it says yes, so callers only need to map the answer to the wire.
     pub fn should_shed(&self) -> bool {

@@ -241,7 +241,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(word.as_bytes()) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|r| r.starts_with(word.as_bytes()))
+    {
         *pos += word.len();
         Ok(value)
     } else {
@@ -344,7 +347,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (the input is a &str, so the
                 // byte stream is valid UTF-8 by construction).
-                let rest = &bytes[*pos..];
+                let rest = bytes.get(*pos..).unwrap_or(&[]);
                 let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
                 if let Some(c) = s.chars().next() {
                     out.push(c);
@@ -395,7 +398,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Err(format!("invalid number at byte {start}"));
         }
     }
-    let raw = std::str::from_utf8(&bytes[start..*pos])
+    let digits = bytes
+        .get(start..*pos)
+        .ok_or_else(|| format!("invalid number at byte {start}"))?;
+    let raw = std::str::from_utf8(digits)
         .map_err(|_| "invalid utf-8".to_string())?
         .to_string();
     Ok(Json::Num(raw))

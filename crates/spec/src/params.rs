@@ -47,9 +47,9 @@ impl ParamReader {
     /// — mirroring how the historical serve parser folded repeated keys.
     fn take_raw(&mut self, aliases: &[&str]) -> Option<(String, String)> {
         let mut found = None;
-        for (i, (key, value)) in self.params.iter().enumerate() {
+        for (used, (key, value)) in self.used.iter_mut().zip(&self.params) {
             if aliases.iter().any(|a| key.eq_ignore_ascii_case(a)) {
-                self.used[i] = true;
+                *used = true;
                 found = Some((key.clone(), value.clone()));
             }
         }
@@ -94,8 +94,8 @@ impl ParamReader {
     /// Errors on any parameter no `take_*` call consumed, with the
     /// historical `unknown <algo> parameter '<key>'` wording.
     pub(crate) fn finish(self, algo: &str) -> Result<(), String> {
-        for (i, (key, _)) in self.params.iter().enumerate() {
-            if !self.used[i] {
+        for ((key, _), used) in self.params.iter().zip(&self.used) {
+            if !used {
                 return Err(format!("unknown {algo} parameter '{key}'"));
             }
         }

@@ -15,8 +15,9 @@
 # few hundred of the 600.
 #
 # Asserts: every response line is well-formed JSON; at least one request
-# was shed with `"code":"overloaded"`; at least one score succeeded (the
-# shed never turned into a full outage).
+# was shed with `"code":"overloaded"` carrying a positive
+# `retry_after_ms` hint; at least one score succeeded (the shed never
+# turned into a full outage).
 #
 # Usage: scripts/serve_overload_smoke.sh [--release]
 set -euo pipefail
@@ -61,10 +62,13 @@ for line in lines:
         ok += 1
     elif resp.get("code") == "overloaded":
         shed += 1
+        hint = resp.get("retry_after_ms")
+        assert isinstance(hint, int) and hint >= 1, \
+            f"FAIL: shed response without a usable retry hint: {resp}"
     else:
         raise SystemExit(f"FAIL: unexpected failure (not a shed): {resp}")
 
-print(f"{len(lines)} responses: {ok} ok, {shed} typed overloaded")
+print(f"{len(lines)} responses: {ok} ok, {shed} typed overloaded with retry hints")
 assert len(lines) == 601, f"expected 601 response lines, got {len(lines)}"
 assert shed > 0, "queue pressure never produced a typed overloaded shed"
 assert ok > 0, "shedding must not reject every request"
