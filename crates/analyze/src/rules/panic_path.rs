@@ -36,15 +36,26 @@ pub const HOT_PATHS: [&str; 6] = [
 /// Paths where indexing expressions are additionally flagged. `spec`
 /// and `obs` joined `serve`/`reactor` once their index arithmetic was
 /// bounds-proofed: both run on every request (spec parses the line,
-/// obs records the latency), so a stray `[i]` is a served panic.
-pub const STRICT_INDEX: [&str; 4] = [
+/// obs records the latency), so a stray `[i]` is a served panic. The
+/// SIMD kernel module joined when it landed: its blocked inner loops
+/// are written entirely with zip/slice patterns, and this gate keeps
+/// unchecked indexing from creeping back into the hottest loops in
+/// the codebase.
+pub const STRICT_INDEX: [&str; 5] = [
     "crates/serve/src/",
     "crates/reactor/src/",
     "crates/spec/src/",
     "crates/obs/src/",
+    "crates/detectors/src/simd.rs",
 ];
 
 const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords after which a `[` opens a slice pattern, an array type, or
+/// an array literal — never an indexing expression. The lexer folds
+/// keywords into `Ident`, so without this list `let [a, b] = pair;`
+/// and `&mut [f64]` parameters would read as indexing.
+const NON_INDEX_KEYWORDS: [&str; 8] = ["let", "mut", "ref", "box", "in", "return", "else", "match"];
 
 impl Rule for PanicPath {
     fn id(&self) -> &'static str {
@@ -97,8 +108,10 @@ impl Rule for PanicPath {
                 // brackets (`vec![...]`) and types/patterns never match
                 // because their previous token is punctuation.
                 let prev = &toks[i - 1];
-                let is_index =
-                    matches!(&prev.kind, Tok::Ident(_)) || prev.is_punct(')') || prev.is_punct(']');
+                let is_index = match &prev.kind {
+                    Tok::Ident(name) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
+                    _ => prev.is_punct(')') || prev.is_punct(']'),
+                };
                 if is_index {
                     out.push(finding_at(
                         file,
@@ -182,6 +195,13 @@ mod unit_tests {
         assert_eq!(spec.len(), 1);
         let obs = run("crates/obs/src/registry.rs", "let b = buckets[i];");
         assert_eq!(obs.len(), 1);
+        let simd = run("crates/detectors/src/simd.rs", "let v = cols[t];");
+        assert_eq!(simd.len(), 1);
+        let kernels = run("crates/detectors/src/kernels.rs", "let v = cols[t];");
+        assert!(
+            kernels.is_empty(),
+            "only simd.rs is strict inside detectors: {kernels:?}"
+        );
         let core = run("crates/core/src/x.rs", "let s = self.scores[point];");
         assert!(
             core.is_empty(),
@@ -202,5 +222,17 @@ mod unit_tests {
     fn slicing_counts_as_indexing() {
         let f = run("crates/serve/src/x.rs", "let s = &rows[..k];");
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn slice_patterns_and_array_types_are_not_indexing() {
+        let f = run(
+            "crates/serve/src/x.rs",
+            "let [a, b] = pair;\nfn k(acc: &mut [f64], lanes: [f64; 4]) {}\nfor x in [1, 2] {}\nreturn [a, b];",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // The keyword carve-out must not swallow real indexing.
+        let g = run("crates/serve/src/x.rs", "let v = lanes[i];");
+        assert_eq!(g.len(), 1);
     }
 }

@@ -119,6 +119,34 @@ fn lock_chain_fixture_trips_interprocedural_nested_lock() {
 }
 
 #[test]
+fn nondet_f32_fixture_trips_every_precision_hazard() {
+    let analysis = analyze_fixture("nondet_f32.rs");
+    let f: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "nondeterminism")
+        .collect();
+    assert_eq!(
+        f.len(),
+        3,
+        "timing-based selection, entropy-seeded audit, hash-order report: {f:?}"
+    );
+    let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("Instant")),
+        "timing-based precision selection: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("thread_rng")),
+        "entropy-seeded lane audit: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("per_kernel_drift")),
+        "hash-order drift report: {msgs:?}"
+    );
+}
+
+#[test]
 fn reactor_blocking_fixture_trips_with_chain_and_respects_suppression() {
     let analysis = analyze_fixture("reactor_blocking.rs");
     let f: Vec<_> = analysis

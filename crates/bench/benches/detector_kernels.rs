@@ -8,14 +8,24 @@
 //!   (the production path behind `knn_table`);
 //! * `incremental` — kNN from a warm [`IncrementalDistances`] memo,
 //!   i.e. the cost of extending a stage-wise chain `S → S ∪ {f}`:
-//!   one O(N²) plane add instead of a fresh O(N²·d) scan.
+//!   one O(N²) plane add instead of a fresh O(N²·d) scan;
+//! * `blocked_f32` — the blocked build over `f32` storage with f64
+//!   accumulation (the `precision=f32` opt-in).
+//!
+//! The `distance_kernels` group isolates the raw block sweep — scalar
+//! f64 vs unrolled f64 vs f32 storage — with no k-selection in the
+//! timed region.
 //!
 //! Grid: N ∈ {500, 1000, 2000} × d ∈ {2, 5, 10}, k = 15 (the paper's
 //! LOF neighbourhood). `scripts/bench_snapshot.sh` distills the same
 //! comparison into `BENCH_detectors.json`.
 
 use anomex_dataset::{Dataset, IncrementalDistances, Subspace};
-use anomex_detectors::kernels::{knn_table_blocked, knn_table_from_sq_dists, knn_table_naive};
+use anomex_detectors::kernels::{
+    knn_table_blocked, knn_table_blocked_f32, knn_table_from_sq_dists, knn_table_naive,
+    GatheredMatrix,
+};
+use anomex_detectors::simd::GatheredMatrixF32;
 use anomex_detectors::{Detector, FastAbod, Lof};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -56,6 +66,9 @@ fn knn_builders(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("blocked", &label), &m, |b, m| {
                 b.iter(|| knn_table_blocked(m, K))
             });
+            group.bench_with_input(BenchmarkId::new("blocked_f32", &label), &m, |b, m| {
+                b.iter(|| knn_table_blocked_f32(m, K))
+            });
 
             // Incremental steady state: the memo holds the (d−1)-feature
             // parent matrix and the last feature's plane (warmed in the
@@ -78,6 +91,61 @@ fn knn_builders(c: &mut Criterion) {
                 )
             });
         }
+    }
+    group.finish();
+}
+
+/// Kernel-only block passes, no k-selection: the scalar f64 reference
+/// vs the unrolled f64 kernel (byte-identical output, so the ratio is
+/// pure instruction-level win) vs the f32 storage kernel (half the
+/// memory traffic). Selection costs dilute these ratios in the full
+/// `knn_builders` timings; this group isolates the distance sweep that
+/// the SIMD work actually targets.
+fn distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    for (n, d) in [(1000usize, 5usize), (2000, 10)] {
+        let ds = random_dataset(n, d, (n * 17 + d) as u64);
+        let m = ds.full_matrix();
+        let label = format!("N{n}-d{d}");
+        let g64 = GatheredMatrix::new(&m);
+        let g32 = GatheredMatrixF32::new(&m);
+
+        let mut scalar_out = vec![0.0f64; 8 * n];
+        group.bench_function(BenchmarkId::new("scalar", &label), |b| {
+            b.iter(|| {
+                let mut i0 = 0;
+                while i0 < n {
+                    let i1 = (i0 + 8).min(n);
+                    g64.sq_dists_block_scalar_into(i0, i1, &mut scalar_out);
+                    i0 = i1;
+                }
+                scalar_out[0]
+            })
+        });
+        let mut simd_out = vec![0.0f64; 8 * n];
+        group.bench_function(BenchmarkId::new("simd", &label), |b| {
+            b.iter(|| {
+                let mut i0 = 0;
+                while i0 < n {
+                    let i1 = (i0 + 8).min(n);
+                    g64.sq_dists_block_into(i0, i1, &mut simd_out);
+                    i0 = i1;
+                }
+                simd_out[0]
+            })
+        });
+        let mut f32_out = vec![0.0f64; 8 * n];
+        group.bench_function(BenchmarkId::new("f32", &label), |b| {
+            b.iter(|| {
+                let mut i0 = 0;
+                while i0 < n {
+                    let i1 = (i0 + 8).min(n);
+                    g32.sq_dists_block_into(i0, i1, &mut f32_out);
+                    i0 = i1;
+                }
+                f32_out[0]
+            })
+        });
     }
     group.finish();
 }
@@ -111,6 +179,6 @@ fn detector_miss_paths(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = config();
-    targets = knn_builders, detector_miss_paths
+    targets = knn_builders, distance_kernels, detector_miss_paths
 }
 criterion_main!(benches);

@@ -358,7 +358,14 @@ mod unit_tests {
     #[test]
     fn from_spec_rejects_out_of_range_parameters() {
         use anomex_spec::{DetectorSpec, ExplainerSpec};
-        let bad = PipelineSpec::new(DetectorSpec::Lof { k: 0 }, ExplainerSpec::beam());
+        let bad = PipelineSpec::new(
+            DetectorSpec::Lof {
+                k: 0,
+                backend: anomex_spec::NeighborBackend::Exact,
+                precision: anomex_spec::Precision::F64,
+            },
+            ExplainerSpec::beam(),
+        );
         assert!(Pipeline::from_spec(&bad).is_err());
         let bad = PipelineSpec::new(
             DetectorSpec::lof(),

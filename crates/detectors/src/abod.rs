@@ -15,7 +15,7 @@
 
 use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
-use crate::knn::{knn_table_with, merge_knn_exact, KnnTable, NeighborBackend};
+use crate::knn::{knn_table_with_precision, merge_knn_exact, KnnTable, NeighborBackend, Precision};
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::view::dot;
@@ -40,6 +40,7 @@ const DEGENERATE_VAR: f64 = 1e6;
 pub struct FastAbod {
     k: usize,
     backend: NeighborBackend,
+    precision: Precision,
 }
 
 impl FastAbod {
@@ -58,6 +59,7 @@ impl FastAbod {
         Ok(FastAbod {
             k,
             backend: NeighborBackend::default(),
+            precision: Precision::default(),
         })
     }
 
@@ -72,6 +74,21 @@ impl FastAbod {
     #[must_use]
     pub fn backend(&self) -> NeighborBackend {
         self.backend
+    }
+
+    /// Selects the kernel storage precision (f64 by default; f32 is
+    /// used for the kNN build, while the angle kernel itself always
+    /// runs over the original f64 coordinates).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The configured storage precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The configured neighbourhood size.
@@ -89,7 +106,7 @@ impl FastAbod {
     /// schedule, so scores are deterministic.
     #[must_use]
     pub fn raw_variance(&self, data: &ProjectedMatrix) -> Vec<f64> {
-        let knn = knn_table_with(data, self.k, self.backend);
+        let knn = knn_table_with_precision(data, self.k, self.backend, self.precision);
         variance_from_coords(data, &knn)
     }
 
@@ -168,19 +185,40 @@ fn variance_from_coords(data: &ProjectedMatrix, knn: &KnnTable) -> Vec<f64> {
             }
             // ABOD(p) = Var over pairs (x1, x2) of
             //   ⟨x1−p, x2−p⟩ / (‖x1−p‖² · ‖x2−p‖²)
+            // The inner loop batches four right-hand neighbours per
+            // pass through `simd::dot4`, which accumulates each dot in
+            // ascending feature order exactly like `dot` — so the
+            // moments stream is bit-identical to the scalar pair loop
+            // (dots of zero-norm duplicates are computed but their
+            // moments are still skipped in order).
             let mut moments = OnlineMoments::new();
             for i in 0..k {
                 if norms_sq[i] == 0.0 {
                     continue; // duplicate of p: angle undefined
                 }
                 let di = &diffs[i * dim..(i + 1) * dim];
-                for j in i + 1..k {
-                    if norms_sq[j] == 0.0 {
-                        continue;
+                let mut j = i + 1;
+                while j + 4 <= k {
+                    let d0 = &diffs[j * dim..(j + 1) * dim];
+                    let d1 = &diffs[(j + 1) * dim..(j + 2) * dim];
+                    let d2 = &diffs[(j + 2) * dim..(j + 3) * dim];
+                    let d3 = &diffs[(j + 3) * dim..(j + 4) * dim];
+                    let dots = crate::simd::dot4(di, [d0, d1, d2, d3]);
+                    for (l, &ip) in dots.iter().enumerate() {
+                        let nj = norms_sq[j + l];
+                        if nj == 0.0 {
+                            continue;
+                        }
+                        moments.push(ip / (norms_sq[i] * nj));
                     }
-                    let dj = &diffs[j * dim..(j + 1) * dim];
-                    let v = dot(di, dj) / (norms_sq[i] * norms_sq[j]);
-                    moments.push(v);
+                    j += 4;
+                }
+                while j < k {
+                    if norms_sq[j] != 0.0 {
+                        let dj = &diffs[j * dim..(j + 1) * dim];
+                        moments.push(dot(di, dj) / (norms_sq[i] * norms_sq[j]));
+                    }
+                    j += 1;
                 }
             }
             out.push(finish_variance(moments));
@@ -219,9 +257,10 @@ impl Detector for FastAbod {
     }
 
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
-        // The distance-memo path bypasses the backend dispatch, so it
-        // only stands in for `score_all` when the backend is exact.
-        if self.backend != NeighborBackend::Exact {
+        // The distance-memo path bypasses the backend dispatch and its
+        // distances were computed in f64, so it only stands in for
+        // `score_all` under the default exact/f64 configuration.
+        if self.backend != NeighborBackend::Exact || self.precision != Precision::F64 {
             return None;
         }
         Some(
@@ -255,7 +294,7 @@ impl FittedFastAbod {
     /// Panics when `data` has fewer than 2 rows (kNN is undefined).
     #[must_use]
     pub fn fit(abod: FastAbod, data: &ProjectedMatrix) -> Self {
-        let knn = knn_table_with(data, abod.k, abod.backend);
+        let knn = knn_table_with_precision(data, abod.k, abod.backend, abod.precision);
         FittedFastAbod {
             abod,
             knn,
@@ -302,7 +341,7 @@ impl FittedModel for FittedFastAbod {
             return Some(Box::new(self.clone()));
         }
         let extended = self.data.concat(added);
-        if self.abod.backend == NeighborBackend::Exact {
+        if self.abod.backend == NeighborBackend::Exact && self.abod.precision == Precision::F64 {
             crate::fit::obs_append_merges().incr();
             let knn = merge_knn_exact(&self.knn, &extended, self.abod.k);
             Some(Box::new(FittedFastAbod {

@@ -40,6 +40,7 @@
 //! bit-for-bit.
 
 use crate::knn::KnnTable;
+use crate::simd::{self, GatheredMatrixF32};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::view::sq_dist;
 use anomex_dataset::ProjectedMatrix;
@@ -74,6 +75,11 @@ fn obs_block_passes() -> &'static anomex_obs::Counter {
 fn obs_selection_fallbacks() -> &'static anomex_obs::Counter {
     static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
     C.get_or_init(|| anomex_obs::counter("detectors.knn.selection_fallbacks"))
+}
+
+fn obs_f32_builds() -> &'static anomex_obs::Counter {
+    static C: OnceLock<&'static anomex_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| anomex_obs::counter("detectors.knn.f32_builds"))
 }
 
 /// Rows per kernel block: the dot-product accumulators of a block
@@ -146,9 +152,134 @@ impl GatheredMatrix {
     /// entries are touched. Values are clamped at 0 so rounding residue
     /// never produces negative squared distances.
     ///
+    /// The dot phase runs the feature-blocked 4-lane kernels of
+    /// [`crate::simd`]: features fold in blocks of four per accumulator
+    /// read-modify-write, with the element dimension auto-vectorized.
+    /// Per output element the accumulation order is ascending feature
+    /// order — the same sequence of roundings as
+    /// [`sq_dists_block_scalar_into`](Self::sq_dists_block_scalar_into),
+    /// so results are **bit-identical** to the scalar reference (the
+    /// crosscheck suite pins this).
+    ///
     /// # Panics
     /// Panics when the row range is invalid or `out` is too small.
     pub fn sq_dists_block_into(&self, i0: usize, i1: usize, out: &mut [f64]) {
+        assert!(
+            i0 <= i1 && i1 <= self.n_rows,
+            "invalid row block {i0}..{i1}"
+        );
+        let n = self.n_rows;
+        let rows = i1 - i0;
+        let out = &mut out[..rows * n];
+        out.fill(0.0);
+        // Dot products: out[bi * n + j] = ⟨row_{i0+bi}, row_j⟩, feature
+        // blocks of four ascending, with the remainder features *and*
+        // the norm-trick finish fused into one widened tail pass
+        // (width 4–7) — e.g. d = 5 is a single sweep over the block.
+        // Per element the rounding sequence is unchanged: all features
+        // ascending, then the finish.
+        let dim = self.dim;
+        if dim == 0 {
+            for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+                simd::finish_norm_trick(acc, self.sq_norms[i0 + bi], &self.sq_norms);
+            }
+            return;
+        }
+        if dim < simd::LANES {
+            // 1–3 features: single-feature passes, finish fused into
+            // the last one.
+            for t in 0..dim {
+                let col = self.column(t);
+                let last = t + 1 == dim;
+                for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+                    let i = i0 + bi;
+                    if last {
+                        simd::axpy1_finish(acc, col[i], col, self.sq_norms[i], &self.sq_norms);
+                    } else {
+                        simd::axpy1(acc, col[i], col);
+                    }
+                }
+            }
+            return;
+        }
+        let rem = dim % simd::LANES;
+        let tail_start = dim - simd::LANES - rem;
+        let mut t = 0;
+        while t < tail_start {
+            let c0 = self.column(t);
+            let c1 = self.column(t + 1);
+            let c2 = self.column(t + 2);
+            let c3 = self.column(t + 3);
+            for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+                let i = i0 + bi;
+                simd::axpy4(acc, [c0[i], c1[i], c2[i], c3[i]], [c0, c1, c2, c3]);
+            }
+            t += simd::LANES;
+        }
+        let ts = tail_start;
+        let c0 = self.column(ts);
+        let c1 = self.column(ts + 1);
+        let c2 = self.column(ts + 2);
+        let c3 = self.column(ts + 3);
+        for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+            let i = i0 + bi;
+            let nsq_i = self.sq_norms[i];
+            match rem {
+                1 => {
+                    let c4 = self.column(ts + 4);
+                    simd::axpy5_finish(
+                        acc,
+                        [c0[i], c1[i], c2[i], c3[i], c4[i]],
+                        [c0, c1, c2, c3, c4],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+                2 => {
+                    let c4 = self.column(ts + 4);
+                    let c5 = self.column(ts + 5);
+                    simd::axpy6_finish(
+                        acc,
+                        [c0[i], c1[i], c2[i], c3[i], c4[i], c5[i]],
+                        [c0, c1, c2, c3, c4, c5],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+                3 => {
+                    let c4 = self.column(ts + 4);
+                    let c5 = self.column(ts + 5);
+                    let c6 = self.column(ts + 6);
+                    simd::axpy7_finish(
+                        acc,
+                        [c0[i], c1[i], c2[i], c3[i], c4[i], c5[i], c6[i]],
+                        [c0, c1, c2, c3, c4, c5, c6],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+                _ => {
+                    simd::axpy4_finish(
+                        acc,
+                        [c0[i], c1[i], c2[i], c3[i]],
+                        [c0, c1, c2, c3],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The historical scalar reference implementation of
+    /// [`sq_dists_block_into`](Self::sq_dists_block_into): one feature
+    /// folded per accumulator pass, no unrolling. Kept as the ground
+    /// truth the crosscheck and property suites compare the fast
+    /// kernels against, bit for bit.
+    ///
+    /// # Panics
+    /// Panics when the row range is invalid or `out` is too small.
+    pub fn sq_dists_block_scalar_into(&self, i0: usize, i1: usize, out: &mut [f64]) {
         assert!(
             i0 <= i1 && i1 <= self.n_rows,
             "invalid row block {i0}..{i1}"
@@ -346,6 +477,34 @@ fn select_row_reference(
     neighbors.extend(idx);
 }
 
+/// The blocked-kernel input both storage precisions expose: a row
+/// count plus the block distance pass. Lets one parallel driver serve
+/// the f64 and f32 gathers.
+trait BlockSource: Sync {
+    fn src_n_rows(&self) -> usize;
+    fn block_into(&self, i0: usize, i1: usize, out: &mut [f64]);
+}
+
+impl BlockSource for GatheredMatrix {
+    fn src_n_rows(&self) -> usize {
+        self.n_rows()
+    }
+
+    fn block_into(&self, i0: usize, i1: usize, out: &mut [f64]) {
+        self.sq_dists_block_into(i0, i1, out);
+    }
+}
+
+impl BlockSource for GatheredMatrixF32 {
+    fn src_n_rows(&self) -> usize {
+        self.n_rows()
+    }
+
+    fn block_into(&self, i0: usize, i1: usize, out: &mut [f64]) {
+        self.sq_dists_block_into(i0, i1, out);
+    }
+}
+
 /// Computes the kNN table with the blocked norm-trick kernel, row
 /// blocks fanned out across cores (deterministic: per-row outputs are
 /// independent of the thread schedule).
@@ -359,10 +518,31 @@ pub fn knn_table_blocked(data: &ProjectedMatrix, k: usize) -> KnnTable {
     assert!(k >= 1, "k must be at least 1");
     let k = k.min(n - 1);
     obs_blocked_builds().incr();
+    knn_table_blocked_impl(&GatheredMatrix::new(data), k)
+}
 
-    let gathered = GatheredMatrix::new(data);
-    let gathered_ref = &gathered;
+/// The `precision=f32` twin of [`knn_table_blocked`]: gathers columns
+/// as `f32` (one rounding per element) and accumulates in `f64`.
+/// Squared distances differ from the f64 kernel only through that
+/// gather rounding; duplicate rows still measure exactly `0.0`, so
+/// self-exclusion and tie order behave identically.
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 rows or `k == 0`.
+#[must_use]
+pub fn knn_table_blocked_f32(data: &ProjectedMatrix, k: usize) -> KnnTable {
+    let n = data.n_rows();
+    assert!(n >= 2, "kNN needs at least two rows");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n - 1);
+    obs_blocked_builds().incr();
+    obs_f32_builds().incr();
+    knn_table_blocked_impl(&GatheredMatrixF32::new(data), k)
+}
 
+/// The shared parallel block driver behind both precisions.
+fn knn_table_blocked_impl<S: BlockSource>(gathered_ref: &S, k: usize) -> KnnTable {
+    let n = gathered_ref.src_n_rows();
     let chunk = BLOCK_ROWS * BLOCKS_PER_CHUNK;
     let ranges: Vec<(usize, usize)> = (0..n)
         .step_by(chunk)
@@ -377,7 +557,7 @@ pub fn knn_table_blocked(data: &ProjectedMatrix, k: usize) -> KnnTable {
         let mut i0 = start;
         while i0 < end {
             let i1 = (i0 + BLOCK_ROWS).min(end);
-            gathered_ref.sq_dists_block_into(i0, i1, &mut scratch);
+            gathered_ref.block_into(i0, i1, &mut scratch);
             blocks += 1;
             for i in i0..i1 {
                 let row = &scratch[(i - i0) * n..(i - i0 + 1) * n];
@@ -568,6 +748,92 @@ mod unit_tests {
                     .map(|(_, j)| j)
                     .collect();
                 assert_eq!(got, want, "n={n} k={k} exclude={exclude}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_threshold_undershoot_falls_back_to_reference() {
+        // Deterministic construction that forces the undershoot branch:
+        // n = 256 rows with SELECT_SAMPLE = 64 gives stride 4, so the
+        // sample reads exactly the indices 0, 4, …, 252. Plant the 64
+        // smallest values 1.0..=64.0 on those sampled slots and park
+        // everything else at 1000 + j. The sample rank for k = 40 is
+        // r = ceil(64·41 / 256) + 2 = 13, so the threshold lands on
+        // t = 13.0 — but only the 13 planted values ≤ t survive the
+        // compaction pass, far short of k = 40 live candidates, and the
+        // row must take the reference fallback.
+        assert_eq!(SELECT_SAMPLE, 64, "construction assumes a 64-point sample");
+        let n = MIN_SAMPLED_LEN;
+        let k = 40;
+        let exclude = 2; // non-sampled, non-candidate slot
+        let mut xs: Vec<f64> = (0..n).map(|j| 1000.0 + j as f64).collect();
+        for s in 0..SELECT_SAMPLE {
+            xs[s * 4] = (s + 1) as f64;
+        }
+        assert_eq!(sampled_threshold(&xs, k, exclude), 13.0);
+
+        let before = obs_selection_fallbacks().get();
+        let mut shortlist: Vec<(u64, usize)> = Vec::new();
+        let got = bottom_k_nonneg(&xs, k, exclude, &mut shortlist);
+        assert!(
+            obs_selection_fallbacks().get() > before,
+            "the undershoot branch must record a selection fallback"
+        );
+        // Pinned output: the k smallest live at the first 40 sampled
+        // slots, ascending — and must agree with the general selection.
+        let want: Vec<(f64, usize)> = (0..k).map(|s| ((s + 1) as f64, 4 * s)).collect();
+        assert_eq!(got, want);
+        assert_eq!(got, bottom_k_reference(&xs, k, exclude));
+        let general = bottom_k_asc_excluding(&xs, k, exclude);
+        assert_eq!(got.iter().map(|&(_, j)| j).collect::<Vec<_>>(), general);
+    }
+
+    #[test]
+    fn simd_block_kernel_is_bitwise_scalar() {
+        // The unrolled kernel must reproduce the scalar reference to the
+        // last bit for every row-count/dim residue mod 4 (the golden
+        // artifacts depend on this).
+        for (n, d) in [(12, 4), (13, 5), (14, 6), (15, 7), (9, 1), (21, 3)] {
+            let m = random_matrix(n, d, 100 + (n * d) as u64);
+            let g = GatheredMatrix::new(&m);
+            let rows = BLOCK_ROWS.min(n);
+            let mut fast = vec![0.0; rows * n];
+            let mut reference = vec![0.0; rows * n];
+            let mut i0 = 0;
+            while i0 < n {
+                let i1 = (i0 + rows).min(n);
+                g.sq_dists_block_into(i0, i1, &mut fast);
+                g.sq_dists_block_scalar_into(i0, i1, &mut reference);
+                let len = (i1 - i0) * n;
+                assert!(
+                    fast[..len]
+                        .iter()
+                        .zip(&reference[..len])
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "n={n} d={d} block {i0}..{i1}"
+                );
+                i0 = i1;
+            }
+        }
+    }
+
+    #[test]
+    fn f32_table_matches_f64_ranks() {
+        let m = random_matrix(90, 5, 23);
+        let f64_table = knn_table_blocked(&m, 6);
+        let f32_table = knn_table_blocked_f32(&m, 6);
+        assert_eq!(f64_table.k(), f32_table.k());
+        for i in 0..m.n_rows() {
+            // Continuous random data has no near-ties at f32 resolution,
+            // so neighbour identity must match exactly and distances to
+            // f32 relative accuracy.
+            assert_eq!(f64_table.neighbors(i), f32_table.neighbors(i), "row {i}");
+            for (a, b) in f64_table.distances(i).iter().zip(f32_table.distances(i)) {
+                assert!(
+                    (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                    "row {i}: {a} vs {b}"
+                );
             }
         }
     }

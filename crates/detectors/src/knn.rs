@@ -15,7 +15,7 @@ use anomex_dataset::view::dot;
 use anomex_dataset::ProjectedMatrix;
 use anomex_parallel::par_chunk_flat_map;
 
-pub use anomex_spec::NeighborBackend;
+pub use anomex_spec::{NeighborBackend, Precision};
 
 /// Rows per parallel work item of the kd-tree query and append-merge
 /// loops.
@@ -119,12 +119,33 @@ impl KnnTable {
 /// Panics if `data` has fewer than 2 rows or `k == 0`.
 #[must_use]
 pub fn knn_table_with(data: &ProjectedMatrix, k: usize, backend: NeighborBackend) -> KnnTable {
-    match backend.resolve(data.n_rows(), data.dim()) {
-        NeighborBackend::Exact => knn_table(data, k),
-        NeighborBackend::KdTree => knn_table_kdtree(data, k),
-        NeighborBackend::Approx => crate::approx::knn_table_approx(data, k),
+    knn_table_with_precision(data, k, backend, Precision::F64)
+}
+
+/// [`knn_table_with`] plus the storage-precision knob. `F32` takes the
+/// half-width blocked kernel ([`kernels::knn_table_blocked_f32`]) when
+/// the backend resolves to `Exact`; the kd-tree and approximate
+/// backends have no f32 storage layout and keep their f64 paths, so a
+/// non-exact backend silently gets full precision rather than a
+/// different algorithm. `F64` is byte-identical to [`knn_table_with`].
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 rows or `k == 0`.
+#[must_use]
+pub fn knn_table_with_precision(
+    data: &ProjectedMatrix,
+    k: usize,
+    backend: NeighborBackend,
+    precision: Precision,
+) -> KnnTable {
+    match (backend.resolve(data.n_rows(), data.dim()), precision) {
+        (NeighborBackend::Exact, Precision::F32) => kernels::knn_table_blocked_f32(data, k),
+        (NeighborBackend::Exact, Precision::F64) => knn_table(data, k),
+        (NeighborBackend::KdTree, _) => knn_table_kdtree(data, k),
+        (NeighborBackend::Approx, _) => crate::approx::knn_table_approx(data, k),
         // `resolve` never returns `Auto`; exact is the safe identity.
-        NeighborBackend::Auto => knn_table(data, k),
+        (NeighborBackend::Auto, Precision::F32) => kernels::knn_table_blocked_f32(data, k),
+        (NeighborBackend::Auto, Precision::F64) => knn_table(data, k),
     }
 }
 

@@ -14,7 +14,7 @@
 
 use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
-use crate::knn::{knn_table_with, merge_knn_exact, KnnTable, NeighborBackend};
+use crate::knn::{knn_table_with_precision, merge_knn_exact, KnnTable, NeighborBackend, Precision};
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
@@ -43,6 +43,7 @@ pub struct KnnDist {
     k: usize,
     aggregation: KnnAggregation,
     backend: NeighborBackend,
+    precision: Precision,
 }
 
 impl KnnDist {
@@ -61,6 +62,7 @@ impl KnnDist {
             k,
             aggregation: KnnAggregation::default(),
             backend: NeighborBackend::default(),
+            precision: Precision::default(),
         })
     }
 
@@ -90,6 +92,19 @@ impl KnnDist {
         self.backend
     }
 
+    /// Selects the kernel storage precision (f64 by default).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The configured storage precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Collapses each row's neighbour distances into one score.
     fn aggregate(&self, knn: &KnnTable) -> Vec<f64> {
         (0..knn.n_rows())
@@ -106,7 +121,7 @@ impl KnnDist {
 
 impl Detector for KnnDist {
     fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
-        let knn = knn_table_with(data, self.k, self.backend);
+        let knn = knn_table_with_precision(data, self.k, self.backend, self.precision);
         self.aggregate(&knn)
     }
 
@@ -115,9 +130,10 @@ impl Detector for KnnDist {
     }
 
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
-        // The distance-memo path bypasses the backend dispatch, so it
-        // only stands in for `score_all` when the backend is exact.
-        if self.backend != NeighborBackend::Exact {
+        // The distance-memo path bypasses the backend dispatch and its
+        // distances were computed in f64, so it only stands in for
+        // `score_all` under the default exact/f64 configuration.
+        if self.backend != NeighborBackend::Exact || self.precision != Precision::F64 {
             return None;
         }
         Some(self.aggregate(&knn_table_from_sq_dists(dists, self.k)))
@@ -147,7 +163,7 @@ impl FittedKnnDist {
     /// Panics when `data` has fewer than 2 rows (kNN is undefined).
     #[must_use]
     pub fn fit(det: KnnDist, data: &ProjectedMatrix) -> Self {
-        let knn = knn_table_with(data, det.k, det.backend);
+        let knn = knn_table_with_precision(data, det.k, det.backend, det.precision);
         FittedKnnDist {
             det,
             knn,
@@ -190,7 +206,7 @@ impl FittedModel for FittedKnnDist {
             return Some(Box::new(self.clone()));
         }
         let extended = self.data.concat(added);
-        if self.det.backend == NeighborBackend::Exact {
+        if self.det.backend == NeighborBackend::Exact && self.det.precision == Precision::F64 {
             crate::fit::obs_append_merges().incr();
             let knn = merge_knn_exact(&self.knn, &extended, self.det.k);
             Some(Box::new(FittedKnnDist {

@@ -45,13 +45,14 @@ pub mod knn;
 pub mod knndist;
 pub mod loda;
 pub mod lof;
+pub mod simd;
 pub mod spec;
 pub mod zscore;
 
 pub use abod::{FastAbod, FittedFastAbod};
 pub use fit::{fit_model, FittedModel, PrecomputedScores};
 pub use iforest::{FittedIsolationForest, IsolationForest};
-pub use knn::NeighborBackend;
+pub use knn::{NeighborBackend, Precision};
 pub use knndist::{FittedKnnDist, KnnDist};
 pub use loda::Loda;
 pub use lof::{FittedLof, Lof};

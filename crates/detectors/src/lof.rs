@@ -7,7 +7,7 @@
 
 use crate::fit::FittedModel;
 use crate::kernels::knn_table_from_sq_dists;
-use crate::knn::{knn_table_with, merge_knn_exact, KnnTable, NeighborBackend};
+use crate::knn::{knn_table_with_precision, merge_knn_exact, KnnTable, NeighborBackend, Precision};
 use crate::{Detector, DetectorError, Result};
 use anomex_dataset::distances::SqDistMatrix;
 use anomex_dataset::ProjectedMatrix;
@@ -27,6 +27,7 @@ const MIN_MEAN_REACH: f64 = 1e-12;
 pub struct Lof {
     k: usize,
     backend: NeighborBackend,
+    precision: Precision,
 }
 
 impl Lof {
@@ -44,6 +45,7 @@ impl Lof {
         Ok(Lof {
             k,
             backend: NeighborBackend::default(),
+            precision: Precision::default(),
         })
     }
 
@@ -60,6 +62,22 @@ impl Lof {
     #[must_use]
     pub fn backend(&self) -> NeighborBackend {
         self.backend
+    }
+
+    /// Selects the kernel storage precision (f64 by default; f32 halves
+    /// the kNN build's memory traffic on the exact backend, accumulating
+    /// in f64 — neighbour ranks are preserved on all but adversarially
+    /// tight ties).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The configured storage precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The configured neighbourhood size.
@@ -103,7 +121,7 @@ impl Lof {
 
 impl Detector for Lof {
     fn score_all(&self, data: &ProjectedMatrix) -> Vec<f64> {
-        let knn = knn_table_with(data, self.k, self.backend);
+        let knn = knn_table_with_precision(data, self.k, self.backend, self.precision);
         self.score_from_knn(&knn)
     }
 
@@ -112,9 +130,10 @@ impl Detector for Lof {
     }
 
     fn score_from_sq_dists(&self, dists: &SqDistMatrix) -> Option<Vec<f64>> {
-        // The distance-memo path bypasses the backend dispatch, so it
-        // only stands in for `score_all` when the backend is exact.
-        if self.backend != NeighborBackend::Exact {
+        // The distance-memo path bypasses the backend dispatch and its
+        // distances were computed in f64, so it only stands in for
+        // `score_all` under the default exact/f64 configuration.
+        if self.backend != NeighborBackend::Exact || self.precision != Precision::F64 {
             return None;
         }
         Some(self.score_from_knn(&knn_table_from_sq_dists(dists, self.k)))
@@ -144,7 +163,7 @@ impl FittedLof {
     /// Panics when `data` has fewer than 2 rows (kNN is undefined).
     #[must_use]
     pub fn fit(lof: Lof, data: &ProjectedMatrix) -> Self {
-        let knn = knn_table_with(data, lof.k, lof.backend);
+        let knn = knn_table_with_precision(data, lof.k, lof.backend, lof.precision);
         FittedLof {
             lof,
             knn,
@@ -188,9 +207,10 @@ impl FittedModel for FittedLof {
             return Some(Box::new(self.clone()));
         }
         let extended = self.data.concat(added);
-        if self.lof.backend == NeighborBackend::Exact {
+        if self.lof.backend == NeighborBackend::Exact && self.lof.precision == Precision::F64 {
             // Incremental merge: bit-identical to a refit, without the
-            // old-row × old-row rescan.
+            // old-row × old-row rescan. The merge arithmetic is f64, so
+            // f32-precision models refit instead (see the else arm).
             crate::fit::obs_append_merges().incr();
             let knn = merge_knn_exact(&self.knn, &extended, self.lof.k);
             Some(Box::new(FittedLof {
@@ -199,8 +219,9 @@ impl FittedModel for FittedLof {
                 data: extended,
             }))
         } else {
-            // Non-exact tables have backend-specific tie orders; a
-            // refit keeps append ≡ refit trivially true.
+            // Non-exact tables have backend-specific tie orders and
+            // f32 tables half-width distances the f64 merge would not
+            // reproduce; a refit keeps append ≡ refit trivially true.
             crate::fit::obs_append_rebuilds().incr();
             Some(Box::new(FittedLof::fit(self.lof, &extended)))
         }

@@ -1,0 +1,713 @@
+//! Four-lane feature-blocked kernels behind the blocked distance and
+//! angle paths, plus the opt-in f32 storage variant of the gathered
+//! matrix.
+//!
+//! Two invariants govern everything in this module:
+//!
+//! 1. **f64 lanes are byte-stable.** Every fast f64 kernel performs,
+//!    per output element, the *same sequence of roundings* as the
+//!    scalar reference it replaces: features fold into each
+//!    accumulator one at a time in ascending feature order, exactly
+//!    like the reference loop. The blocking only changes *which*
+//!    elements and features are in flight together (four features per
+//!    accumulator read-modify-write, independent element chains that
+//!    LLVM vectorizes), never the per-element operation order — so
+//!    results are bit-identical and the golden artifacts need no
+//!    re-blessing. The crosscheck suite pins this with `to_bits`
+//!    equality.
+//! 2. **f32 storage, f64 accumulation.** [`GatheredMatrixF32`] stores
+//!    gathered columns as `f32` (half the kernel memory traffic) but
+//!    widens every operand to `f64` before any multiply — the widening
+//!    is exact, so the only error versus the f64 path is the one
+//!    rounding per element at gather time. Squared norms are
+//!    accumulated from the *widened* values in the same ascending
+//!    feature order as the dot products, so for bitwise-duplicate rows
+//!    the norm-trick cancellation `‖a‖² + ‖b‖² − 2⟨a,b⟩` is exact and
+//!    duplicates still measure exactly `0.0`.
+//!
+//! The whole module is on the analyzer's STRICT_INDEX list: inner
+//! loops are written with zip/slice patterns so no unchecked indexing
+//! can panic mid-kernel.
+
+use anomex_dataset::ProjectedMatrix;
+
+/// Feature-block width: four features folded per accumulator pass.
+pub const LANES: usize = 4;
+
+/// Folds four features into the accumulators:
+/// `acc[j] += a0·c0[j]; acc[j] += a1·c1[j]; acc[j] += a2·c2[j];
+/// acc[j] += a3·c3[j]` — four *sequential* adds per element (the same
+/// roundings, in the same ascending-feature order, as four scalar
+/// passes) but only one accumulator read-modify-write per element
+/// instead of four.
+///
+/// The loop body is a straight-line chain over a multi-way zip on
+/// purpose: each element's chain is independent, so LLVM vectorizes
+/// the element dimension, and a whole quad of features flows through
+/// one register-resident accumulator. (An earlier hand-unrolled
+/// `chunks_exact` version of this loop pattern-matched worse and
+/// benchmarked *slower* than the scalar reference.)
+///
+/// Columns shorter than `acc` truncate the pass (the kernels always
+/// pass equal lengths; the zip just makes that unable to panic).
+pub(crate) fn axpy4(acc: &mut [f64], lanes: [f64; 4], cols: [&[f64]; 4]) {
+    let [a0, a1, a2, a3] = lanes;
+    let [c0, c1, c2, c3] = cols;
+    let iter = acc.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3);
+    for ((((s, &p), &r), &u), &w) in iter {
+        let mut t = *s;
+        t += a0 * p;
+        t += a1 * r;
+        t += a2 * u;
+        t += a3 * w;
+        *s = t;
+    }
+}
+
+/// Single-feature remainder pass: `acc[j] += a·col[j]` — identical to
+/// one pass of the scalar reference loop.
+pub(crate) fn axpy1(acc: &mut [f64], a: f64, col: &[f64]) {
+    for (s, &v) in acc.iter_mut().zip(col) {
+        *s += a * v;
+    }
+}
+
+/// The f32-storage twin of [`axpy4`]: identical shape and per-element
+/// rounding order, with every `f32` operand widened (exactly) to `f64`
+/// before its multiply.
+pub(crate) fn axpy4_f32(acc: &mut [f64], lanes: [f64; 4], cols: [&[f32]; 4]) {
+    let [a0, a1, a2, a3] = lanes;
+    let [c0, c1, c2, c3] = cols;
+    let iter = acc.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3);
+    for ((((s, &p), &r), &u), &w) in iter {
+        let mut t = *s;
+        t += a0 * f64::from(p);
+        t += a1 * f64::from(r);
+        t += a2 * f64::from(u);
+        t += a3 * f64::from(w);
+        *s = t;
+    }
+}
+
+/// Single-feature f32 remainder pass with exact widening.
+pub(crate) fn axpy1_f32(acc: &mut [f64], a: f64, col: &[f32]) {
+    for (s, &v) in acc.iter_mut().zip(col) {
+        *s += a * f64::from(v);
+    }
+}
+
+/// The norm-trick finish pass shared by both storage precisions:
+/// `acc[j] ← max(nsq_i + nsq[j] − 2·acc[j], 0)`. Byte-identical to the
+/// historical in-place finish of the blocked kernel.
+pub(crate) fn finish_norm_trick(acc: &mut [f64], nsq_i: f64, sq_norms: &[f64]) {
+    for (s, &nsq_j) in acc.iter_mut().zip(sq_norms) {
+        *s = (nsq_i + nsq_j - 2.0 * *s).max(0.0);
+    }
+}
+
+/// Last-feature pass with the norm-trick finish fused in: per element,
+/// the final `acc[j] += a·col[j]` rounding happens first and the
+/// finish expression second — exactly the sequence the split
+/// [`axpy1`] + [`finish_norm_trick`] pair performs, minus one full
+/// accumulator round-trip.
+pub(crate) fn axpy1_finish(acc: &mut [f64], a: f64, col: &[f64], nsq_i: f64, sq_norms: &[f64]) {
+    for ((s, &v), &nsq_j) in acc.iter_mut().zip(col).zip(sq_norms) {
+        let t = *s + a * v;
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// Last-quad pass with the finish fused in: the four feature adds land
+/// in ascending order, then the finish — the same per-element rounding
+/// sequence as [`axpy4`] followed by [`finish_norm_trick`].
+pub(crate) fn axpy4_finish(
+    acc: &mut [f64],
+    lanes: [f64; 4],
+    cols: [&[f64]; 4],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3] = lanes;
+    let [c0, c1, c2, c3] = cols;
+    let iter = acc.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3).zip(sq_norms);
+    for (((((s, &p), &r), &u), &w), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * p;
+        t += a1 * r;
+        t += a2 * u;
+        t += a3 * w;
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// Five-feature tail pass with the finish fused in: a quad plus one
+/// remainder feature fold in ascending order, then the norm trick —
+/// one accumulator round-trip for the whole tail of a `dim ≡ 1 (mod
+/// 4)` kernel (e.g. the paper's d = 5 subspaces).
+pub(crate) fn axpy5_finish(
+    acc: &mut [f64],
+    lanes: [f64; 5],
+    cols: [&[f64]; 5],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3, a4] = lanes;
+    let [c0, c1, c2, c3, c4] = cols;
+    let iter = acc
+        .iter_mut()
+        .zip(c0)
+        .zip(c1)
+        .zip(c2)
+        .zip(c3)
+        .zip(c4)
+        .zip(sq_norms);
+    for ((((((s, &p), &r), &u), &w), &x), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * p;
+        t += a1 * r;
+        t += a2 * u;
+        t += a3 * w;
+        t += a4 * x;
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// Six-feature tail pass with the finish fused in (`dim ≡ 2 (mod 4)`).
+pub(crate) fn axpy6_finish(
+    acc: &mut [f64],
+    lanes: [f64; 6],
+    cols: [&[f64]; 6],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3, a4, a5] = lanes;
+    let [c0, c1, c2, c3, c4, c5] = cols;
+    let iter = acc
+        .iter_mut()
+        .zip(c0)
+        .zip(c1)
+        .zip(c2)
+        .zip(c3)
+        .zip(c4)
+        .zip(c5)
+        .zip(sq_norms);
+    for (((((((s, &p), &r), &u), &w), &x), &y), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * p;
+        t += a1 * r;
+        t += a2 * u;
+        t += a3 * w;
+        t += a4 * x;
+        t += a5 * y;
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// Seven-feature tail pass with the finish fused in (`dim ≡ 3 (mod 4)`).
+pub(crate) fn axpy7_finish(
+    acc: &mut [f64],
+    lanes: [f64; 7],
+    cols: [&[f64]; 7],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3, a4, a5, a6] = lanes;
+    let [c0, c1, c2, c3, c4, c5, c6] = cols;
+    let iter = acc
+        .iter_mut()
+        .zip(c0)
+        .zip(c1)
+        .zip(c2)
+        .zip(c3)
+        .zip(c4)
+        .zip(c5)
+        .zip(c6)
+        .zip(sq_norms);
+    for ((((((((s, &p), &r), &u), &w), &x), &y), &z), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * p;
+        t += a1 * r;
+        t += a2 * u;
+        t += a3 * w;
+        t += a4 * x;
+        t += a5 * y;
+        t += a6 * z;
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// f32 twin of [`axpy1_finish`] with exact widening.
+pub(crate) fn axpy1_finish_f32(acc: &mut [f64], a: f64, col: &[f32], nsq_i: f64, sq_norms: &[f64]) {
+    for ((s, &v), &nsq_j) in acc.iter_mut().zip(col).zip(sq_norms) {
+        let t = *s + a * f64::from(v);
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// f32 twin of [`axpy4_finish`] with exact widening.
+pub(crate) fn axpy4_finish_f32(
+    acc: &mut [f64],
+    lanes: [f64; 4],
+    cols: [&[f32]; 4],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3] = lanes;
+    let [c0, c1, c2, c3] = cols;
+    let iter = acc.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3).zip(sq_norms);
+    for (((((s, &p), &r), &u), &w), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * f64::from(p);
+        t += a1 * f64::from(r);
+        t += a2 * f64::from(u);
+        t += a3 * f64::from(w);
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// Four dot products against a common left vector in one streaming
+/// pass: `out[l] = ⟨a, b_l⟩`, each accumulated independently in
+/// ascending feature order — bit-identical to four calls of the scalar
+/// `dot` (which starts from `0.0` and folds ascending), but reading
+/// `a` once instead of four times. The angle kernel batches neighbour
+/// pairs through this.
+pub(crate) fn dot4(a: &[f64], bs: [&[f64]; 4]) -> [f64; 4] {
+    let [b0, b1, b2, b3] = bs;
+    let (mut t0, mut t1, mut t2, mut t3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let quads = a
+        .iter()
+        .zip(b0.iter())
+        .zip(b1.iter())
+        .zip(b2.iter())
+        .zip(b3.iter());
+    for ((((&x, &y0), &y1), &y2), &y3) in quads {
+        t0 += x * y0;
+        t1 += x * y1;
+        t2 += x * y2;
+        t3 += x * y3;
+    }
+    [t0, t1, t2, t3]
+}
+
+/// f32 twin of [`axpy5_finish`] with exact widening.
+pub(crate) fn axpy5_finish_f32(
+    acc: &mut [f64],
+    lanes: [f64; 5],
+    cols: [&[f32]; 5],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3, a4] = lanes;
+    let [c0, c1, c2, c3, c4] = cols;
+    let iter = acc
+        .iter_mut()
+        .zip(c0)
+        .zip(c1)
+        .zip(c2)
+        .zip(c3)
+        .zip(c4)
+        .zip(sq_norms);
+    for ((((((s, &p), &r), &u), &w), &x), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * f64::from(p);
+        t += a1 * f64::from(r);
+        t += a2 * f64::from(u);
+        t += a3 * f64::from(w);
+        t += a4 * f64::from(x);
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// f32 twin of [`axpy6_finish`] with exact widening.
+pub(crate) fn axpy6_finish_f32(
+    acc: &mut [f64],
+    lanes: [f64; 6],
+    cols: [&[f32]; 6],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3, a4, a5] = lanes;
+    let [c0, c1, c2, c3, c4, c5] = cols;
+    let iter = acc
+        .iter_mut()
+        .zip(c0)
+        .zip(c1)
+        .zip(c2)
+        .zip(c3)
+        .zip(c4)
+        .zip(c5)
+        .zip(sq_norms);
+    for (((((((s, &p), &r), &u), &w), &x), &y), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * f64::from(p);
+        t += a1 * f64::from(r);
+        t += a2 * f64::from(u);
+        t += a3 * f64::from(w);
+        t += a4 * f64::from(x);
+        t += a5 * f64::from(y);
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// f32 twin of [`axpy7_finish`] with exact widening.
+pub(crate) fn axpy7_finish_f32(
+    acc: &mut [f64],
+    lanes: [f64; 7],
+    cols: [&[f32]; 7],
+    nsq_i: f64,
+    sq_norms: &[f64],
+) {
+    let [a0, a1, a2, a3, a4, a5, a6] = lanes;
+    let [c0, c1, c2, c3, c4, c5, c6] = cols;
+    let iter = acc
+        .iter_mut()
+        .zip(c0)
+        .zip(c1)
+        .zip(c2)
+        .zip(c3)
+        .zip(c4)
+        .zip(c5)
+        .zip(c6)
+        .zip(sq_norms);
+    for ((((((((s, &p), &r), &u), &w), &x), &y), &z), &nsq_j) in iter {
+        let mut t = *s;
+        t += a0 * f64::from(p);
+        t += a1 * f64::from(r);
+        t += a2 * f64::from(u);
+        t += a3 * f64::from(w);
+        t += a4 * f64::from(x);
+        t += a5 * f64::from(y);
+        t += a6 * f64::from(z);
+        *s = (nsq_i + nsq_j - 2.0 * t).max(0.0);
+    }
+}
+
+/// A column-major `f32` gather of a projected matrix with
+/// double-precision squared norms — the opt-in storage layout behind
+/// `precision=f32` kNN builds. Norms are accumulated from the widened
+/// `f32` values in ascending feature order (the same order the dot
+/// kernel uses), so the duplicate-row exact-zero guarantee of the f64
+/// path carries over bit for bit.
+pub struct GatheredMatrixF32 {
+    /// Column-major values: `cols[t * n_rows + i]` is row `i`,
+    /// feature `t`, rounded once to `f32` at gather time.
+    cols: Vec<f32>,
+    /// `‖row_i‖²` accumulated in f64 from the widened f32 values.
+    sq_norms: Vec<f64>,
+    n_rows: usize,
+    dim: usize,
+}
+
+impl GatheredMatrixF32 {
+    /// Gathers `data`, rounding each element to `f32` once
+    /// (O(N·d), done once per kNN build).
+    #[must_use]
+    pub fn new(data: &ProjectedMatrix) -> Self {
+        let mut wide = Vec::new();
+        data.gather_columns_into(&mut wide);
+        let n_rows = data.n_rows();
+        let dim = data.dim();
+        let cols: Vec<f32> = wide.iter().map(|&v| v as f32).collect();
+        // Norms from the *rounded* values, folding features in
+        // ascending order — the dot kernel's exact order, so identical
+        // rows cancel bitwise in the norm trick.
+        let mut sq_norms = vec![0.0f64; n_rows];
+        for col in cols.chunks_exact(n_rows.max(1)) {
+            for (s, &v) in sq_norms.iter_mut().zip(col) {
+                let w = f64::from(v);
+                *s += w * w;
+            }
+        }
+        GatheredMatrixF32 {
+            cols,
+            sq_norms,
+            n_rows,
+            dim,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The double-precision squared norm of every row.
+    #[must_use]
+    pub fn sq_norms(&self) -> &[f64] {
+        &self.sq_norms
+    }
+
+    /// One gathered column (empty when `t` is out of range — the
+    /// kernels only ask for `t < dim`).
+    #[must_use]
+    pub fn column(&self, t: usize) -> &[f32] {
+        let start = t.saturating_mul(self.n_rows);
+        self.cols
+            .get(start..start.saturating_add(self.n_rows))
+            .unwrap_or(&[])
+    }
+
+    /// Writes the squared distances of rows `i0..i1` to *every* row
+    /// into `out` (`out[(i − i0) * n_rows + j] = ‖row_i − row_j‖²`),
+    /// mirroring `GatheredMatrix::sq_dists_block_into` with f32
+    /// columns and f64 accumulation.
+    ///
+    /// # Panics
+    /// Panics when the row range is invalid or `out` is too small.
+    pub fn sq_dists_block_into(&self, i0: usize, i1: usize, out: &mut [f64]) {
+        assert!(
+            i0 <= i1 && i1 <= self.n_rows,
+            "invalid row block {i0}..{i1}"
+        );
+        let n = self.n_rows;
+        let rows = i1 - i0;
+        assert!(out.len() >= rows * n, "output buffer too small");
+        let Some(out) = out.get_mut(..rows * n) else {
+            return; // unreachable: the assert above guarantees the range
+        };
+        out.fill(0.0);
+        // Feature blocks of four, ascending; the remainder features
+        // and the norm-trick finish fuse into one widened tail pass
+        // (width 4–7), mirroring the f64 kernel — per output element
+        // the accumulation order is ascending feature order, then the
+        // finish.
+        let dim = self.dim;
+        if dim == 0 {
+            for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+                let nsq_i = self.sq_norms.get(i0 + bi).copied().unwrap_or(0.0);
+                finish_norm_trick(acc, nsq_i, &self.sq_norms);
+            }
+            return;
+        }
+        let wide = |col: &[f32], i: usize| col.get(i).map_or(0.0, |&v| f64::from(v));
+        if dim < LANES {
+            for t in 0..dim {
+                let col = self.column(t);
+                let last = t + 1 == dim;
+                for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+                    let i = i0 + bi;
+                    let a = wide(col, i);
+                    if last {
+                        let nsq_i = self.sq_norms.get(i).copied().unwrap_or(0.0);
+                        axpy1_finish_f32(acc, a, col, nsq_i, &self.sq_norms);
+                    } else {
+                        axpy1_f32(acc, a, col);
+                    }
+                }
+            }
+            return;
+        }
+        let rem = dim % LANES;
+        let tail_start = dim - LANES - rem;
+        let mut t = 0;
+        while t < tail_start {
+            let c0 = self.column(t);
+            let c1 = self.column(t + 1);
+            let c2 = self.column(t + 2);
+            let c3 = self.column(t + 3);
+            for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+                let i = i0 + bi;
+                let lanes = [wide(c0, i), wide(c1, i), wide(c2, i), wide(c3, i)];
+                axpy4_f32(acc, lanes, [c0, c1, c2, c3]);
+            }
+            t += LANES;
+        }
+        let ts = tail_start;
+        let c0 = self.column(ts);
+        let c1 = self.column(ts + 1);
+        let c2 = self.column(ts + 2);
+        let c3 = self.column(ts + 3);
+        for (bi, acc) in out.chunks_exact_mut(n).enumerate() {
+            let i = i0 + bi;
+            let nsq_i = self.sq_norms.get(i).copied().unwrap_or(0.0);
+            match rem {
+                1 => {
+                    let c4 = self.column(ts + 4);
+                    axpy5_finish_f32(
+                        acc,
+                        [
+                            wide(c0, i),
+                            wide(c1, i),
+                            wide(c2, i),
+                            wide(c3, i),
+                            wide(c4, i),
+                        ],
+                        [c0, c1, c2, c3, c4],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+                2 => {
+                    let c4 = self.column(ts + 4);
+                    let c5 = self.column(ts + 5);
+                    axpy6_finish_f32(
+                        acc,
+                        [
+                            wide(c0, i),
+                            wide(c1, i),
+                            wide(c2, i),
+                            wide(c3, i),
+                            wide(c4, i),
+                            wide(c5, i),
+                        ],
+                        [c0, c1, c2, c3, c4, c5],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+                3 => {
+                    let c4 = self.column(ts + 4);
+                    let c5 = self.column(ts + 5);
+                    let c6 = self.column(ts + 6);
+                    axpy7_finish_f32(
+                        acc,
+                        [
+                            wide(c0, i),
+                            wide(c1, i),
+                            wide(c2, i),
+                            wide(c3, i),
+                            wide(c4, i),
+                            wide(c5, i),
+                            wide(c6, i),
+                        ],
+                        [c0, c1, c2, c3, c4, c5, c6],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+                _ => {
+                    axpy4_finish_f32(
+                        acc,
+                        [wide(c0, i), wide(c1, i), wide(c2, i), wide(c3, i)],
+                        [c0, c1, c2, c3],
+                        nsq_i,
+                        &self.sq_norms,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use anomex_dataset::Dataset;
+
+    fn deterministic_matrix(n: usize, d: usize) -> ProjectedMatrix {
+        // Irrational-step lattice: dense, tie-free, no RNG dependency.
+        Dataset::from_rows(
+            (0..n)
+                .map(|i| {
+                    (0..d)
+                        .map(|t| ((i * d + t) as f64 * 0.618_033_988_749).sin() * 7.5)
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+        .full_matrix()
+    }
+
+    #[test]
+    fn axpy4_is_bitwise_four_scalar_passes() {
+        for n in [1usize, 3, 4, 7, 16, 33] {
+            let cols: Vec<Vec<f64>> = (0..4)
+                .map(|c| (0..n).map(|j| ((c * n + j) as f64).sin() * 3.0).collect())
+                .collect();
+            let lanes = [1.25, -0.5, 0.75, 2.0];
+            let mut fast = vec![0.125f64; n];
+            let mut reference = fast.clone();
+            let slices: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+            axpy4(
+                &mut fast,
+                lanes,
+                [slices[0], slices[1], slices[2], slices[3]],
+            );
+            for (a, col) in lanes.iter().zip(&cols) {
+                axpy1(&mut reference, *a, col);
+            }
+            assert!(
+                fast.iter()
+                    .zip(&reference)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot4_is_bitwise_four_scalar_dots() {
+        use anomex_dataset::view::dot;
+        for d in [1usize, 2, 3, 4, 5, 8, 13] {
+            let a: Vec<f64> = (0..d).map(|t| (t as f64 + 0.5).cos()).collect();
+            let bs: Vec<Vec<f64>> = (0..4)
+                .map(|c| (0..d).map(|t| ((c + 2) * (t + 1)) as f64 * 0.1).collect())
+                .collect();
+            let got = dot4(&a, [&bs[0][..], &bs[1][..], &bs[2][..], &bs[3][..]]);
+            for (g, b) in got.iter().zip(&bs) {
+                assert_eq!(g.to_bits(), dot(&a, b).to_bits(), "d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_blocked_distances_match_widened_reference() {
+        // Reference: round to f32 once, then exact f64 norm-trick
+        // arithmetic. The kernel must reproduce it to the last bit.
+        for (n, d) in [(9usize, 1usize), (16, 4), (21, 5), (8, 7)] {
+            let m = deterministic_matrix(n, d);
+            let g = GatheredMatrixF32::new(&m);
+            let mut out = vec![0.0f64; 4 * n];
+            let mut i0 = 0;
+            while i0 < n {
+                let i1 = (i0 + 4).min(n);
+                g.sq_dists_block_into(i0, i1, &mut out);
+                for i in i0..i1 {
+                    for j in 0..n {
+                        let mut nsq_i = 0.0f64;
+                        let mut nsq_j = 0.0f64;
+                        let mut ip = 0.0f64;
+                        for t in 0..d {
+                            let a = f64::from(m.row(i).get(t).copied().unwrap_or(0.0) as f32);
+                            let b = f64::from(m.row(j).get(t).copied().unwrap_or(0.0) as f32);
+                            nsq_i += a * a;
+                            nsq_j += b * b;
+                            ip += a * b;
+                        }
+                        let want = (nsq_i + nsq_j - 2.0 * ip).max(0.0);
+                        let got = out.get((i - i0) * n + j).copied().unwrap_or(f64::NAN);
+                        assert_eq!(got.to_bits(), want.to_bits(), "({i},{j}) n={n} d={d}");
+                    }
+                }
+                i0 = i1;
+            }
+        }
+    }
+
+    #[test]
+    fn f32_duplicate_rows_measure_exact_zero() {
+        let mut rows = vec![vec![0.1, 0.2, 0.3, 0.4, 0.5]; 6];
+        rows.push(vec![1.0, 1.0, 1.0, 1.0, 1.0]);
+        let m = Dataset::from_rows(rows).unwrap().full_matrix();
+        let g = GatheredMatrixF32::new(&m);
+        let n = g.n_rows();
+        let mut out = vec![0.0f64; n * n];
+        g.sq_dists_block_into(0, n, &mut out);
+        for i in 0..6 {
+            for j in 0..6 {
+                let v = out.get(i * n + j).copied().unwrap_or(f64::NAN);
+                assert_eq!(v, 0.0, "duplicate pair ({i},{j})");
+            }
+        }
+        let cross = out.get(6).copied().unwrap_or(0.0);
+        assert!(cross > 0.0, "distinct rows stay distinct");
+    }
+}

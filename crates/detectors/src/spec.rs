@@ -15,9 +15,29 @@ use anomex_spec::DetectorSpec;
 /// out-of-range hyper-parameter (e.g. `k = 0`).
 pub fn build_detector(spec: &DetectorSpec) -> Result<Box<dyn Detector>> {
     Ok(match *spec {
-        DetectorSpec::Lof { k, backend } => Box::new(Lof::new(k)?.with_backend(backend)),
-        DetectorSpec::FastAbod { k, backend } => Box::new(FastAbod::new(k)?.with_backend(backend)),
-        DetectorSpec::KnnDist { k, backend } => Box::new(KnnDist::new(k)?.with_backend(backend)),
+        DetectorSpec::Lof {
+            k,
+            backend,
+            precision,
+        } => Box::new(Lof::new(k)?.with_backend(backend).with_precision(precision)),
+        DetectorSpec::FastAbod {
+            k,
+            backend,
+            precision,
+        } => Box::new(
+            FastAbod::new(k)?
+                .with_backend(backend)
+                .with_precision(precision),
+        ),
+        DetectorSpec::KnnDist {
+            k,
+            backend,
+            precision,
+        } => Box::new(
+            KnnDist::new(k)?
+                .with_backend(backend)
+                .with_precision(precision),
+        ),
         DetectorSpec::IsolationForest {
             trees,
             psi,
@@ -62,6 +82,7 @@ mod unit_tests {
         assert!(build_detector(&DetectorSpec::Lof {
             k: 0,
             backend: NeighborBackend::Exact,
+            precision: anomex_spec::Precision::F64,
         })
         .is_err());
         assert!(build_detector(&DetectorSpec::IsolationForest {
@@ -86,21 +107,44 @@ mod unit_tests {
             "lof:k=5,backend=kdtree",
             "abod:k=4,nn=kd",
             "knndist:k=3,backend=exact",
+            "lof:k=5,precision=f32",
+            "knndist:k=3,prec=single",
         ] {
             let spec = DetectorSpec::parse(compact).unwrap();
             let det = build_detector(&spec).unwrap();
             // The built detector scores identically to the directly
             // configured one — the spec layer adds no drift.
             let direct: Box<dyn Detector> = match spec {
-                DetectorSpec::Lof { k, backend } => {
-                    Box::new(Lof::new(k).unwrap().with_backend(backend))
-                }
-                DetectorSpec::FastAbod { k, backend } => {
-                    Box::new(FastAbod::new(k).unwrap().with_backend(backend))
-                }
-                DetectorSpec::KnnDist { k, backend } => {
-                    Box::new(KnnDist::new(k).unwrap().with_backend(backend))
-                }
+                DetectorSpec::Lof {
+                    k,
+                    backend,
+                    precision,
+                } => Box::new(
+                    Lof::new(k)
+                        .unwrap()
+                        .with_backend(backend)
+                        .with_precision(precision),
+                ),
+                DetectorSpec::FastAbod {
+                    k,
+                    backend,
+                    precision,
+                } => Box::new(
+                    FastAbod::new(k)
+                        .unwrap()
+                        .with_backend(backend)
+                        .with_precision(precision),
+                ),
+                DetectorSpec::KnnDist {
+                    k,
+                    backend,
+                    precision,
+                } => Box::new(
+                    KnnDist::new(k)
+                        .unwrap()
+                        .with_backend(backend)
+                        .with_precision(precision),
+                ),
                 DetectorSpec::IsolationForest { .. } => unreachable!("not in the list"),
             };
             assert_eq!(det.score_all(&m), direct.score_all(&m), "{compact}");

@@ -2,8 +2,12 @@
 
 use anomex_dataset::{Dataset, IncrementalDistances, Subspace};
 use anomex_detectors::kdtree::KdTree;
-use anomex_detectors::kernels::{knn_table_blocked, knn_table_from_sq_dists, knn_table_naive};
+use anomex_detectors::kernels::{
+    knn_table_blocked, knn_table_blocked_f32, knn_table_from_sq_dists, knn_table_naive,
+    GatheredMatrix,
+};
 use anomex_detectors::knn::{knn_table, knn_table_with, NeighborBackend};
+use anomex_detectors::simd::GatheredMatrixF32;
 use anomex_detectors::{Detector, FastAbod, IsolationForest, KnnDist, Loda, Lof};
 use anomex_stats::descriptive::OnlineMoments;
 use proptest::prelude::*;
@@ -230,6 +234,106 @@ proptest! {
 
         let blocked = knn_table_blocked(&m, 5);
         prop_assert_eq!(&blocked, &knn_table_blocked(&m, 5));
+    }
+
+    /// Lane-remainder coverage for the unrolled f64 kernel: for every
+    /// row-count residue mod 4 (dropping 0–3 trailing rows) and every
+    /// feature-count residue mod 4 reachable by prefix projection, the
+    /// SIMD block kernel is *bit-identical* to the scalar reference.
+    #[test]
+    fn simd_lane_remainders_are_bitwise_scalar(ds in dataset()) {
+        for drop in 0..4usize {
+            let rows = ds.n_rows() - drop;
+            let sub = Dataset::from_rows(
+                (0..rows).map(|i| ds.row(i).to_vec()).collect(),
+            ).unwrap();
+            for dim in (1..=ds.n_features()).rev().take(4) {
+                let m = sub.project(&Subspace::new(0..dim));
+                let g = GatheredMatrix::new(&m);
+                let mut fast = vec![0.0; 8 * rows];
+                let mut reference = vec![0.0; 8 * rows];
+                let mut i0 = 0;
+                while i0 < rows {
+                    let i1 = (i0 + 8).min(rows);
+                    g.sq_dists_block_into(i0, i1, &mut fast);
+                    g.sq_dists_block_scalar_into(i0, i1, &mut reference);
+                    let len = (i1 - i0) * rows;
+                    for (jj, (a, b)) in fast[..len].iter().zip(&reference[..len]).enumerate() {
+                        prop_assert_eq!(
+                            a.to_bits(), b.to_bits(),
+                            "rows={} dim={} block {}..{} slot {}", rows, dim, i0, i1, jj
+                        );
+                    }
+                    i0 = i1;
+                }
+            }
+        }
+    }
+
+    /// Lane-remainder coverage for the f32 storage kernel: distances
+    /// stay within a magnitude-relative single-precision bound of the
+    /// f64 scalar reference for every row/dim residue mod 4. (The error
+    /// budget is the one f32 rounding per gathered element, amplified
+    /// by norm-trick cancellation — hence the bound scales with the
+    /// operand norms, not the distance itself.)
+    #[test]
+    fn f32_lane_remainders_track_f64_within_ulp_budget(ds in dataset()) {
+        for drop in 0..4usize {
+            let rows = ds.n_rows() - drop;
+            let sub = Dataset::from_rows(
+                (0..rows).map(|i| ds.row(i).to_vec()).collect(),
+            ).unwrap();
+            for dim in (1..=ds.n_features()).rev().take(4) {
+                let m = sub.project(&Subspace::new(0..dim));
+                let g64 = GatheredMatrix::new(&m);
+                let g32 = GatheredMatrixF32::new(&m);
+                let mut wide = vec![0.0; 8 * rows];
+                let mut narrow = vec![0.0; 8 * rows];
+                let mut i0 = 0;
+                while i0 < rows {
+                    let i1 = (i0 + 8).min(rows);
+                    g64.sq_dists_block_into(i0, i1, &mut wide);
+                    g32.sq_dists_block_into(i0, i1, &mut narrow);
+                    for bi in 0..(i1 - i0) {
+                        let nsq_i = g64.sq_norms()[i0 + bi];
+                        for j in 0..rows {
+                            let a = wide[bi * rows + j];
+                            let b = narrow[bi * rows + j];
+                            let scale = nsq_i + g64.sq_norms()[j] + 1.0;
+                            prop_assert!(
+                                (a - b).abs() <= 1e-5 * scale,
+                                "rows={} dim={} ({},{}): {} vs {}",
+                                rows, dim, i0 + bi, j, a, b
+                            );
+                        }
+                    }
+                    i0 = i1;
+                }
+            }
+        }
+    }
+
+    /// The f32 path keeps the exact-zero duplicate-row guarantee on
+    /// tie-heavy gridded data, at every row-count residue mod 4: any
+    /// pair the f64 kernel puts at exactly 0 the f32 kernel must too.
+    #[test]
+    fn f32_duplicate_rows_stay_exact_zero(ds in gridded_dataset(), k in 1usize..5) {
+        for drop in 0..4usize {
+            let rows = ds.n_rows() - drop;
+            let sub = Dataset::from_rows(
+                (0..rows).map(|i| ds.row(i).to_vec()).collect(),
+            ).unwrap();
+            let m = sub.full_matrix();
+            let narrow = knn_table_blocked_f32(&m, k);
+            let wide = knn_table_blocked(&m, k);
+            for i in 0..rows {
+                for (x, y) in wide.distances(i).iter().zip(narrow.distances(i)) {
+                    if *x == 0.0 {
+                        prop_assert_eq!(*y, 0.0, "row {}", i);
+                    }
+                }
+            }
+        }
     }
 
     /// The k-d tree finds exactly the smallest distances.

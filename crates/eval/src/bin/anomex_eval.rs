@@ -21,7 +21,7 @@ use anomex_eval::experiment::ExperimentConfig;
 use anomex_eval::report;
 use anomex_eval::runner::{run_grid, ResultTable};
 use anomex_eval::tradeoff;
-use anomex_spec::NeighborBackend;
+use anomex_spec::{NeighborBackend, Precision};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -33,6 +33,7 @@ struct Args {
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     backend: NeighborBackend,
+    precision: Precision,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -50,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut trace = None;
     let mut metrics = None;
     let mut backend = NeighborBackend::Exact;
+    let mut precision = Precision::F64;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -70,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
             "--backend" => {
                 backend = NeighborBackend::parse(&argv.next().ok_or("--backend needs a value")?)?;
             }
+            "--precision" => {
+                precision = Precision::parse(&argv.next().ok_or("--precision needs a value")?)?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -85,13 +90,14 @@ fn parse_args() -> Result<Args, String> {
         trace,
         metrics,
         backend,
+        precision,
     })
 }
 
 const USAGE: &str =
     "usage: anomex-eval <table1|fig8|fig9|fig10|fig11|table2|recommend|overlap|all> \
 [--fast|--full] [--seed N] [--out DIR] [--trace FILE] [--metrics FILE] \
-[--backend exact|kdtree|approx|auto]";
+[--backend exact|kdtree|approx|auto] [--precision f64|f32]";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -107,6 +113,7 @@ fn main() -> ExitCode {
         Mode::Full => ExperimentConfig::full(args.seed),
     };
     cfg.backend = args.backend;
+    cfg.precision = args.precision;
     let fast = args.mode == Mode::Fast;
     std::fs::create_dir_all(&args.out).expect("create output directory");
     if let Some(path) = &args.trace {

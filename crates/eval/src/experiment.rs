@@ -19,7 +19,7 @@ use anomex_core::cache::ScoreCache;
 use anomex_core::pipeline::Pipeline;
 use anomex_dataset::gen::fullspace::FullSpacePreset;
 use anomex_dataset::gen::hics::HicsPreset;
-use anomex_spec::{DetectorSpec, ExplainerSpec, NeighborBackend, PipelineSpec};
+use anomex_spec::{DetectorSpec, ExplainerSpec, NeighborBackend, PipelineSpec, Precision};
 
 /// Tunable knobs of one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +57,11 @@ pub struct ExperimentConfig {
     /// `KdTree`/`Approx`/`Auto` trade exactness (Approx) or generality
     /// (KdTree: low dims) for sublinear neighbor search.
     pub backend: NeighborBackend,
+    /// Storage precision of the kNN distance kernels. `F64` reproduces
+    /// the committed golden grids bit-for-bit; `F32` halves kernel
+    /// memory traffic while accumulating in f64 (rank-stable on every
+    /// committed testbed — see DESIGN.md §14).
+    pub precision: Precision,
 }
 
 impl ExperimentConfig {
@@ -77,6 +82,7 @@ impl ExperimentConfig {
             cache_capacity: None,
             gt_dims_end: 3,
             backend: NeighborBackend::Exact,
+            precision: Precision::F64,
         }
     }
 
@@ -100,6 +106,7 @@ impl ExperimentConfig {
             cache_capacity: None,
             gt_dims_end: 4,
             backend: NeighborBackend::Exact,
+            precision: Precision::F64,
         }
     }
 
@@ -121,6 +128,7 @@ impl ExperimentConfig {
             cache_capacity: Some(1 << 20),
             gt_dims_end: 4,
             backend: NeighborBackend::Exact,
+            precision: Precision::F64,
         }
     }
 
@@ -160,8 +168,12 @@ impl ExperimentConfig {
     #[must_use]
     pub fn detector_specs(&self) -> [DetectorSpec; 3] {
         [
-            DetectorSpec::lof().with_backend(self.backend),
-            DetectorSpec::fast_abod().with_backend(self.backend),
+            DetectorSpec::lof()
+                .with_backend(self.backend)
+                .with_precision(self.precision),
+            DetectorSpec::fast_abod()
+                .with_backend(self.backend)
+                .with_precision(self.precision),
             DetectorSpec::IsolationForest {
                 trees: 100,
                 psi: 256,
@@ -378,6 +390,22 @@ mod unit_tests {
         let exact = ExperimentConfig::balanced(0).detector_specs();
         assert_eq!(exact[0].canonical(), "lof:k=15");
         assert_eq!(exact[1].canonical(), "abod:k=10");
+    }
+
+    #[test]
+    fn precision_knob_reaches_the_knn_detector_specs() {
+        let mut cfg = ExperimentConfig::balanced(0);
+        cfg.precision = Precision::F32;
+        let specs = cfg.detector_specs();
+        assert_eq!(specs[0].precision(), Some(Precision::F32));
+        assert_eq!(specs[1].precision(), Some(Precision::F32));
+        assert_eq!(specs[2].precision(), None); // iForest has no kNN
+        assert_eq!(specs[0].canonical(), "lof:k=15,precision=f32");
+        // The f64 default is elided everywhere, so existing canonical
+        // strings, fingerprints and registry keys are untouched.
+        let default = ExperimentConfig::balanced(0).detector_specs();
+        assert_eq!(default[0].precision(), Some(Precision::F64));
+        assert_eq!(default[0].canonical(), "lof:k=15");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::backend::NeighborBackend;
 use crate::json::Json;
 use crate::params::{parse_compact, ParamReader};
+use crate::precision::Precision;
 
 /// One detector configuration. Every variant spells out its complete
 /// hyper-parameter set; parsing fills omitted fields with the paper's
@@ -24,6 +25,8 @@ pub enum DetectorSpec {
         k: usize,
         /// Neighbor-table construction backend (default `Exact`).
         backend: NeighborBackend,
+        /// Gathered-column storage precision (default `F64`).
+        precision: Precision,
     },
     /// Fast Angle-Based Outlier Detection (paper default `k = 10`).
     FastAbod {
@@ -31,6 +34,8 @@ pub enum DetectorSpec {
         k: usize,
         /// Neighbor-table construction backend (default `Exact`).
         backend: NeighborBackend,
+        /// Gathered-column storage precision (default `F64`).
+        precision: Precision,
     },
     /// Average k-nearest-neighbor distance (default `k = 5`).
     KnnDist {
@@ -38,6 +43,8 @@ pub enum DetectorSpec {
         k: usize,
         /// Neighbor-table construction backend (default `Exact`).
         backend: NeighborBackend,
+        /// Gathered-column storage precision (default `F64`).
+        precision: Precision,
     },
     /// Isolation Forest (paper defaults `t = 100`, `ψ = 256`, 10
     /// repetitions, seed 0).
@@ -60,6 +67,7 @@ impl DetectorSpec {
         DetectorSpec::Lof {
             k: 15,
             backend: NeighborBackend::Exact,
+            precision: Precision::F64,
         }
     }
 
@@ -69,6 +77,7 @@ impl DetectorSpec {
         DetectorSpec::FastAbod {
             k: 10,
             backend: NeighborBackend::Exact,
+            precision: Precision::F64,
         }
     }
 
@@ -78,6 +87,7 @@ impl DetectorSpec {
         DetectorSpec::KnnDist {
             k: 5,
             backend: NeighborBackend::Exact,
+            precision: Precision::F64,
         }
     }
 
@@ -98,9 +108,57 @@ impl DetectorSpec {
     #[must_use]
     pub fn with_backend(self, new: NeighborBackend) -> Self {
         match self {
-            DetectorSpec::Lof { k, .. } => DetectorSpec::Lof { k, backend: new },
-            DetectorSpec::FastAbod { k, .. } => DetectorSpec::FastAbod { k, backend: new },
-            DetectorSpec::KnnDist { k, .. } => DetectorSpec::KnnDist { k, backend: new },
+            DetectorSpec::Lof { k, precision, .. } => DetectorSpec::Lof {
+                k,
+                backend: new,
+                precision,
+            },
+            DetectorSpec::FastAbod { k, precision, .. } => DetectorSpec::FastAbod {
+                k,
+                backend: new,
+                precision,
+            },
+            DetectorSpec::KnnDist { k, precision, .. } => DetectorSpec::KnnDist {
+                k,
+                backend: new,
+                precision,
+            },
+            other @ DetectorSpec::IsolationForest { .. } => other,
+        }
+    }
+
+    /// The storage precision of kNN-family variants (`None` for
+    /// detectors whose kernels have no precision knob).
+    #[must_use]
+    pub fn precision(&self) -> Option<Precision> {
+        match self {
+            DetectorSpec::Lof { precision, .. }
+            | DetectorSpec::FastAbod { precision, .. }
+            | DetectorSpec::KnnDist { precision, .. } => Some(*precision),
+            DetectorSpec::IsolationForest { .. } => None,
+        }
+    }
+
+    /// A copy with the storage precision replaced on kNN-family
+    /// variants; a no-op on `IsolationForest`.
+    #[must_use]
+    pub fn with_precision(self, new: Precision) -> Self {
+        match self {
+            DetectorSpec::Lof { k, backend, .. } => DetectorSpec::Lof {
+                k,
+                backend,
+                precision: new,
+            },
+            DetectorSpec::FastAbod { k, backend, .. } => DetectorSpec::FastAbod {
+                k,
+                backend,
+                precision: new,
+            },
+            DetectorSpec::KnnDist { k, backend, .. } => DetectorSpec::KnnDist {
+                k,
+                backend,
+                precision: new,
+            },
             other @ DetectorSpec::IsolationForest { .. } => other,
         }
     }
@@ -136,13 +194,33 @@ impl DetectorSpec {
     #[must_use]
     pub fn canonical(&self) -> String {
         match self {
-            DetectorSpec::Lof { k, backend } => format!("lof:k={k}{}", backend_suffix(*backend)),
-            DetectorSpec::FastAbod { k, backend } => {
-                format!("abod:k={k}{}", backend_suffix(*backend))
-            }
-            DetectorSpec::KnnDist { k, backend } => {
-                format!("knndist:k={k}{}", backend_suffix(*backend))
-            }
+            DetectorSpec::Lof {
+                k,
+                backend,
+                precision,
+            } => format!(
+                "lof:k={k}{}{}",
+                backend_suffix(*backend),
+                precision_suffix(*precision)
+            ),
+            DetectorSpec::FastAbod {
+                k,
+                backend,
+                precision,
+            } => format!(
+                "abod:k={k}{}{}",
+                backend_suffix(*backend),
+                precision_suffix(*precision)
+            ),
+            DetectorSpec::KnnDist {
+                k,
+                backend,
+                precision,
+            } => format!(
+                "knndist:k={k}{}{}",
+                backend_suffix(*backend),
+                precision_suffix(*precision)
+            ),
             DetectorSpec::IsolationForest {
                 trees,
                 psi,
@@ -159,14 +237,32 @@ impl DetectorSpec {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![("kind".to_string(), Json::Str(self.algorithm().to_string()))];
         match self {
-            DetectorSpec::Lof { k, backend }
-            | DetectorSpec::FastAbod { k, backend }
-            | DetectorSpec::KnnDist { k, backend } => {
+            DetectorSpec::Lof {
+                k,
+                backend,
+                precision,
+            }
+            | DetectorSpec::FastAbod {
+                k,
+                backend,
+                precision,
+            }
+            | DetectorSpec::KnnDist {
+                k,
+                backend,
+                precision,
+            } => {
                 fields.push(("k".to_string(), Json::num_usize(*k)));
                 if !backend.is_default() {
                     fields.push((
                         "backend".to_string(),
                         Json::Str(backend.as_str().to_string()),
+                    ));
+                }
+                if !precision.is_default() {
+                    fields.push((
+                        "precision".to_string(),
+                        Json::Str(precision.as_str().to_string()),
                     ));
                 }
             }
@@ -242,14 +338,17 @@ impl DetectorSpec {
             "lof" => DetectorSpec::Lof {
                 k: params.take_usize(&["k"], 15)?,
                 backend: take_backend(&mut params)?,
+                precision: take_precision(&mut params)?,
             },
             "abod" | "fastabod" => DetectorSpec::FastAbod {
                 k: params.take_usize(&["k"], 10)?,
                 backend: take_backend(&mut params)?,
+                precision: take_precision(&mut params)?,
             },
             "knndist" | "knn" => DetectorSpec::KnnDist {
                 k: params.take_usize(&["k"], 5)?,
                 backend: take_backend(&mut params)?,
+                precision: take_precision(&mut params)?,
             },
             "iforest" => DetectorSpec::IsolationForest {
                 trees: params.take_usize(&["trees"], 100)?,
@@ -283,6 +382,25 @@ fn take_backend(params: &mut ParamReader) -> Result<NeighborBackend, String> {
         None => Ok(NeighborBackend::Exact),
         Some(token) => NeighborBackend::parse(&token)
             .map_err(|e| format!("parameter 'backend' is invalid: {e}")),
+    }
+}
+
+/// The `,precision=<tok>` canonical suffix — empty for the default.
+fn precision_suffix(precision: Precision) -> String {
+    if precision.is_default() {
+        String::new()
+    } else {
+        format!(",precision={}", precision.as_str())
+    }
+}
+
+/// Consumes the optional `precision=` param (alias `prec`).
+fn take_precision(params: &mut ParamReader) -> Result<Precision, String> {
+    match params.take_token(&["precision", "prec"]) {
+        None => Ok(Precision::F64),
+        Some(token) => {
+            Precision::parse(&token).map_err(|e| format!("parameter 'precision' is invalid: {e}"))
+        }
     }
 }
 
@@ -386,7 +504,8 @@ mod unit_tests {
             spec,
             DetectorSpec::Lof {
                 k: 15,
-                backend: NeighborBackend::KdTree
+                backend: NeighborBackend::KdTree,
+                precision: Precision::F64
             }
         );
         assert_eq!(spec.canonical(), "lof:k=15,backend=kdtree");
@@ -410,6 +529,67 @@ mod unit_tests {
                 .canonical(),
             "abod:k=10,backend=auto"
         );
+    }
+
+    #[test]
+    fn default_precision_is_elided_from_canonical_forms() {
+        // An explicit precision=f64 canonicalizes to the historical
+        // spelling, so pre-precision wire strings, fingerprints, and
+        // registry keys are all unchanged.
+        let spec = DetectorSpec::parse("lof:k=15,precision=f64").unwrap();
+        assert_eq!(spec, DetectorSpec::lof());
+        assert_eq!(spec.canonical(), "lof:k=15");
+        assert_eq!(spec.fingerprint(), DetectorSpec::lof().fingerprint());
+        assert_eq!(spec.to_json().emit(), r#"{"kind":"lof","k":15}"#);
+    }
+
+    #[test]
+    fn f32_precision_round_trips_everywhere() {
+        let spec = DetectorSpec::parse("lof:k=15,precision=f32").unwrap();
+        assert_eq!(
+            spec,
+            DetectorSpec::Lof {
+                k: 15,
+                backend: NeighborBackend::Exact,
+                precision: Precision::F32
+            }
+        );
+        assert_eq!(spec.canonical(), "lof:k=15,precision=f32");
+        assert_ne!(spec.fingerprint(), DetectorSpec::lof().fingerprint());
+        let back = DetectorSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let reparsed = DetectorSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(reparsed, spec);
+        // Aliases and case fold to the same canonical form.
+        let aliased = DetectorSpec::parse("LOF:k=15,prec=Single").unwrap();
+        assert_eq!(aliased, spec);
+        // Backend and precision compose, in fixed canonical order.
+        let both = DetectorSpec::parse("knn:prec=f32,nn=kdtree").unwrap();
+        assert_eq!(both.canonical(), "knndist:k=5,backend=kdtree,precision=f32");
+        assert_eq!(
+            both.to_json().emit(),
+            r#"{"kind":"knndist","k":5,"backend":"kdtree","precision":"f32"}"#
+        );
+        // iforest has no precision knob.
+        assert!(DetectorSpec::parse("iforest:precision=f32").is_err());
+        assert!(DetectorSpec::parse("lof:precision=f16").is_err());
+    }
+
+    #[test]
+    fn with_precision_and_accessor() {
+        let spec = DetectorSpec::fast_abod().with_precision(Precision::F32);
+        assert_eq!(spec.precision(), Some(Precision::F32));
+        assert_eq!(spec.canonical(), "abod:k=10,precision=f32");
+        // with_backend preserves precision and vice versa.
+        let moved = spec.with_backend(NeighborBackend::Auto);
+        assert_eq!(moved.precision(), Some(Precision::F32));
+        assert_eq!(
+            moved.with_precision(Precision::F64).canonical(),
+            "abod:k=10,backend=auto"
+        );
+        let forest = DetectorSpec::iforest(0).with_precision(Precision::F32);
+        assert_eq!(forest, DetectorSpec::iforest(0));
+        assert_eq!(forest.precision(), None);
     }
 
     #[test]

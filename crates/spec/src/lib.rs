@@ -37,6 +37,7 @@ pub mod explainer;
 pub mod json;
 mod params;
 pub mod pipeline;
+pub mod precision;
 pub mod profile;
 pub mod recommend;
 pub mod serve;
@@ -46,6 +47,7 @@ pub use detector::DetectorSpec;
 pub use explainer::ExplainerSpec;
 pub use json::Json;
 pub use pipeline::{DatasetRef, PipelineSpec};
+pub use precision::Precision;
 pub use profile::DatasetProfile;
 pub use recommend::{recommend, RecommendTask, Recommendation, TraceEntry};
 pub use serve::{FrontEdge, ServeSpec, SloSpec};

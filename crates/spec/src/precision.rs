@@ -1,0 +1,108 @@
+//! Storage-precision selection for kNN-family detector kernels.
+//!
+//! The distance kernels are memory-bound: at the sizes the comparative
+//! grid sweeps, every blocked pass streams the gathered column matrix
+//! through the cache, so halving the element width nearly halves the
+//! traffic. `Precision` is the canonical knob for that trade: `F64`
+//! (the default) keeps the bit-exact double-precision reference path,
+//! `F32` stores gathered columns as `f32` while **accumulating in
+//! `f64`** — each `f32` operand widens exactly to `f64` before any
+//! multiply, so the only error is the one rounding at gather time.
+//!
+//! Like [`NeighborBackend`], the knob travels inside `DetectorSpec`
+//! params and is elided from canonical strings, JSON, and fingerprints
+//! when it is the default `F64`, so historical wire forms, registry
+//! keys, and golden artifacts are unchanged.
+//!
+//! [`NeighborBackend`]: crate::NeighborBackend
+
+/// How a kNN-family detector stores gathered feature columns when
+/// building its neighbor table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full double-precision storage and accumulation; bit-identical
+    /// to the reference scalar kernel. The default.
+    #[default]
+    F64,
+    /// Single-precision storage with double-precision accumulation.
+    /// Halves kernel memory traffic; squared distances differ from the
+    /// reference only through the one `f64 → f32` rounding per gathered
+    /// element, and duplicate rows still measure exactly `0.0`.
+    F32,
+}
+
+impl Precision {
+    /// Canonical lowercase wire token (`f64`, `f32`) used in
+    /// `DetectorSpec` params and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Parse a wire token, case-insensitively, accepting the aliases
+    /// `double`/`full` for `f64` and `single`/`half-width` spelling
+    /// `float` for `f32`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "f64" | "double" | "full" => Ok(Precision::F64),
+            "f32" | "single" | "float" => Ok(Precision::F32),
+            _ => Err(format!("unknown precision {s:?} (expected f64 or f32)")),
+        }
+    }
+
+    /// True for the default precision, whose `precision=` param is
+    /// elided from canonical spec strings so historical wire forms
+    /// stay byte-identical.
+    pub fn is_default(self) -> bool {
+        self == Precision::F64
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_f64() {
+        assert_eq!(Precision::default(), Precision::F64);
+        assert!(Precision::F64.is_default());
+        assert!(!Precision::F32.is_default());
+    }
+
+    #[test]
+    fn round_trips_canonical_tokens() {
+        for p in [Precision::F64, Precision::F32] {
+            assert_eq!(Precision::parse(p.as_str()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_case() {
+        assert_eq!(Precision::parse("Double"), Ok(Precision::F64));
+        assert_eq!(Precision::parse("full"), Ok(Precision::F64));
+        assert_eq!(Precision::parse("SINGLE"), Ok(Precision::F32));
+        assert_eq!(Precision::parse(" float "), Ok(Precision::F32));
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = Precision::parse("f16").unwrap_err();
+        assert!(err.contains("f16"), "{err}");
+        assert!(err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(Precision::F64.to_string(), "f64");
+        assert_eq!(Precision::F32.to_string(), "f32");
+    }
+}

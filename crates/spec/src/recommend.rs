@@ -302,6 +302,27 @@ mod unit_tests {
     }
 
     #[test]
+    fn recommendations_always_stay_full_precision() {
+        // `recommend` never emits `precision=f32`: the reduced-precision
+        // path is a caller opt-in, not something the rule engine may
+        // choose — every profile and task must come back at the f64
+        // default (elided from the canonical string).
+        for n_features in [4usize, 23, 39, 70, 512] {
+            for task in [RecommendTask::Point, RecommendTask::Summary] {
+                let rec = recommend(&profile(n_features), task);
+                if let Some(p) = rec.spec.detector.precision() {
+                    assert!(p.is_default(), "{n_features} features: recommended {p}");
+                }
+                assert!(
+                    !rec.spec.canonical().contains("precision"),
+                    "{n_features} features: {}",
+                    rec.spec.canonical()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn recommendation_is_deterministic() {
         let a = recommend(&profile(39), RecommendTask::Point);
         let b = recommend(&profile(39), RecommendTask::Point);

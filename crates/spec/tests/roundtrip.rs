@@ -4,7 +4,7 @@
 //! drives a few hundred random specs per property, so failures are
 //! reproducible from the fixed seed.
 
-use anomex_spec::{DetectorSpec, ExplainerSpec, Json, NeighborBackend, PipelineSpec};
+use anomex_spec::{DetectorSpec, ExplainerSpec, Json, NeighborBackend, PipelineSpec, Precision};
 
 struct SplitMix64(u64);
 
@@ -39,19 +39,30 @@ fn arbitrary_backend(rng: &mut SplitMix64) -> NeighborBackend {
     }
 }
 
+fn arbitrary_precision(rng: &mut SplitMix64) -> Precision {
+    if rng.bool() {
+        Precision::F64
+    } else {
+        Precision::F32
+    }
+}
+
 fn arbitrary_detector(rng: &mut SplitMix64) -> DetectorSpec {
     match rng.below(4) {
         0 => DetectorSpec::Lof {
             k: rng.usize_in(1, 200),
             backend: arbitrary_backend(rng),
+            precision: arbitrary_precision(rng),
         },
         1 => DetectorSpec::FastAbod {
             k: rng.usize_in(1, 200),
             backend: arbitrary_backend(rng),
+            precision: arbitrary_precision(rng),
         },
         2 => DetectorSpec::KnnDist {
             k: rng.usize_in(1, 200),
             backend: arbitrary_backend(rng),
+            precision: arbitrary_precision(rng),
         },
         _ => DetectorSpec::IsolationForest {
             trees: rng.usize_in(1, 300),

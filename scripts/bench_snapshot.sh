@@ -67,9 +67,47 @@ speedups = [
         "n_rows": n, "dim": d,
         "blocked_vs_naive": round(t["naive"] / t["blocked"], 2),
         "incremental_vs_naive": round(t["naive"] / t["incremental"], 2),
+        **({"blocked_f32_vs_naive": round(t["naive"] / t["blocked_f32"], 2)}
+           if "blocked_f32" in t else {}),
     }
     for (n, d), t in sorted(by_case.items())
     if {"naive", "blocked", "incremental"} <= t.keys()
+]
+
+# Kernel-only block sweeps (no k-selection): scalar f64 reference vs
+# the unrolled f64 kernel vs f32 storage.
+kgroup = os.path.join(crit, "distance_kernels")
+kernels = []
+if os.path.isdir(kgroup):
+    for kernel in sorted(os.listdir(kgroup)):
+        kdir = os.path.join(kgroup, kernel)
+        if not os.path.isdir(kdir):
+            continue
+        for case in sorted(os.listdir(kdir)):
+            est = os.path.join(kdir, case, "new", "estimates.json")
+            if not os.path.isfile(est):
+                continue
+            with open(est) as f:
+                mean_ns = json.load(f)["mean"]["point_estimate"]
+            n, d = case.split("-")
+            kernels.append({
+                "kernel": kernel,
+                "n_rows": int(n[1:]),
+                "dim": int(d[1:]),
+                "ms": round(mean_ns / 1e6, 4),
+            })
+
+kernel_by_case = {}
+for e in kernels:
+    kernel_by_case.setdefault((e["n_rows"], e["dim"]), {})[e["kernel"]] = e["ms"]
+kernel_speedups = [
+    {
+        "n_rows": n, "dim": d,
+        "simd_vs_scalar": round(t["scalar"] / t["simd"], 2),
+        "f32_vs_scalar": round(t["scalar"] / t["f32"], 2),
+    }
+    for (n, d), t in sorted(kernel_by_case.items())
+    if {"scalar", "simd", "f32"} <= t.keys()
 ]
 
 snapshot = {
@@ -80,6 +118,8 @@ snapshot = {
     "estimator": "criterion mean",
     "timings_ms": entries,
     "speedups": speedups,
+    "kernel_timings_ms": kernels,
+    "kernel_speedups": kernel_speedups,
 }
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2)
@@ -212,9 +252,11 @@ with open(out, "w") as f:
 print(f"wrote {out} ({len(snapshot.get('timings_ms', []))} timings)")
 PY
 
-# ---- perf gate ------------------------------------------------------
-# Diff every regenerated timing against the committed snapshot; fail on
-# >10 % regression unless ANOMEX_BENCH_REBASE=1 explicitly rebaselines.
+# ---- perf gate + per-PR delta ---------------------------------------
+# Diff every regenerated timing against the committed snapshot; write
+# the full per-case delta to target/bench-delta.json (CI uploads it as
+# a reviewable artifact) and fail on >10 % regression unless
+# ANOMEX_BENCH_REBASE=1 explicitly rebaselines.
 if [ "${ANOMEX_BENCH_REBASE:-0}" = "1" ]; then
     echo "ANOMEX_BENCH_REBASE=1: skipping perf gate, keeping new snapshots"
     exit 0
@@ -224,6 +266,7 @@ python3 - <<'PY'
 import json, subprocess, sys
 
 THRESHOLD = 1.10  # fail when a case runs >10% slower than committed
+DELTA_OUT = "target/bench-delta.json"
 
 def committed(path):
     try:
@@ -238,13 +281,18 @@ def committed(path):
 def keyed(snapshot):
     """timing entries keyed by their identity fields, value = time."""
     out = {}
-    for field, unit in (("timings_ms", "ms"), ("timings_ns", "ns")):
+    for field, unit in (
+        ("timings_ms", "ms"),
+        ("timings_ns", "ns"),
+        ("kernel_timings_ms", "ms"),
+    ):
         for e in snapshot.get(field, []):
             key = tuple(sorted((k, v) for k, v in e.items() if k != unit))
             out[key] = (e[unit], unit)
     return out
 
 failures = []
+delta = []
 for path in (
     "BENCH_detectors.json",
     "BENCH_spec.json",
@@ -262,12 +310,32 @@ for path in (
         if key not in new_k:
             continue  # grid shrank: reviewed like any diff of the JSON
         new_t, _ = new_k[key]
-        if old_t > 0 and new_t / old_t > THRESHOLD:
+        ratio = new_t / old_t if old_t > 0 else 1.0
+        delta.append({
+            "snapshot": path,
+            "case": {k: v for k, v in key},
+            "unit": unit,
+            "committed": old_t,
+            "regenerated": new_t,
+            "ratio": round(ratio, 3),
+            "regressed": bool(old_t > 0 and ratio > THRESHOLD),
+        })
+        if old_t > 0 and ratio > THRESHOLD:
             case = ", ".join(f"{k}={v}" for k, v in key)
             failures.append(
                 f"{path}: {case}: {old_t}{unit} -> {new_t}{unit} "
-                f"({new_t / old_t:.2f}x)"
+                f"({ratio:.2f}x)"
             )
+
+with open(DELTA_OUT, "w") as f:
+    json.dump({
+        "threshold": THRESHOLD,
+        "compared": len(delta),
+        "regressions": sum(1 for d in delta if d["regressed"]),
+        "deltas": delta,
+    }, f, indent=2)
+    f.write("\n")
+print(f"wrote {DELTA_OUT} ({len(delta)} cases compared)")
 
 if failures:
     print("perf gate FAILED (>10% regression vs committed snapshot):")

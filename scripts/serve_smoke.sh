@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Smoke test for the anomex_serve JSON-lines front end: pipe three
-# requests (load, score, explain) through `anomex_serve --stdin` and
-# assert every response line is well-formed JSON with `"ok":true`.
+# Smoke test for the anomex_serve JSON-lines front end: pipe requests
+# (load, then score and explain in both storage precisions) through
+# `anomex_serve --stdin` and assert every response line is well-formed
+# JSON with `"ok":true`.
 #
 # Usage: scripts/serve_smoke.sh [--release]
 set -euo pipefail
@@ -18,14 +19,16 @@ cargo build "${profile[@]}" -p anomex-serve --bin anomex_serve
 
 requests='{"id":1,"op":"load","dataset":"smoke","rows":[[0.0,0.0],[0.1,0.0],[0.0,0.1],[0.1,0.1],[0.2,0.0],[0.0,0.2],[0.2,0.2],[0.1,0.2],[0.2,0.1],[5.0,5.0]]}
 {"id":2,"op":"score","dataset":"smoke","detector":"lof:k=3","subspace":[0,1],"point":9}
-{"id":3,"op":"explain","dataset":"smoke","detector":"lof:k=3","explainer":"beam","point":9,"dim":1}'
+{"id":3,"op":"explain","dataset":"smoke","detector":"lof:k=3","explainer":"beam","point":9,"dim":1}
+{"id":4,"op":"score","dataset":"smoke","detector":"lof:k=3,precision=f32","subspace":[0,1],"point":9}
+{"id":5,"op":"explain","dataset":"smoke","detector":"knndist:k=3,precision=f32","explainer":"beam","point":9,"dim":1}'
 
 out="$(printf '%s\n' "$requests" | "$target_dir/anomex_serve" --stdin)"
 printf '%s\n' "$out"
 
 lines="$(printf '%s\n' "$out" | grep -c .)"
-if [[ "$lines" -ne 3 ]]; then
-    echo "FAIL: expected 3 response lines, got $lines" >&2
+if [[ "$lines" -ne 5 ]]; then
+    echo "FAIL: expected 5 response lines, got $lines" >&2
     exit 1
 fi
 

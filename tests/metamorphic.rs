@@ -15,6 +15,7 @@
 
 use anomex::prelude::*;
 use anomex_dataset::{Dataset, Subspace};
+use anomex_detectors::kernels::{knn_table_blocked, knn_table_blocked_f32};
 use anomex_detectors::{Detector, KnnDist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -202,6 +203,106 @@ fn explainers_keep_their_winner_under_per_feature_shifts() {
     let ref_orig = refout().explain(&SubspaceScorer::new(&ds, &lof), point, 2);
     let ref_shift = refout().explain(&SubspaceScorer::new(&shifted, &lof), point, 2);
     assert_eq!(ref_orig.best(), ref_shift.best());
+}
+
+/// Precision-invariance: relabeling features leaves every pairwise
+/// distance mathematically unchanged, but under `precision=f32` the
+/// per-feature accumulation order moves with the labels, so distances
+/// may drift in the last bits. Neighbour *ranks* must not: any
+/// neighbour-slot disagreement between the two f32 tables is allowed
+/// only where the f64 reference says the two candidates are tied to
+/// within single-precision resolution.
+#[test]
+fn f32_knn_ranks_survive_feature_permutation() {
+    let (ds, _, _) = planted();
+    let perm = [3usize, 5, 0, 2, 1, 4];
+    let permuted = {
+        let rows: Vec<Vec<f64>> = (0..ds.n_rows())
+            .map(|i| {
+                let row = ds.row(i);
+                let mut r = vec![0.0; 6];
+                for (f, &pf) in perm.iter().enumerate() {
+                    r[pf] = row[f];
+                }
+                r
+            })
+            .collect();
+        Dataset::from_rows(rows).unwrap()
+    };
+
+    let k = 10;
+    let m = ds.full_matrix();
+    let base = knn_table_blocked_f32(&m, k);
+    let relabeled = knn_table_blocked_f32(&permuted.full_matrix(), k);
+    for i in 0..ds.n_rows() {
+        for (slot, (&a, &b)) in base
+            .neighbors(i)
+            .iter()
+            .zip(relabeled.neighbors(i))
+            .enumerate()
+        {
+            if a != b {
+                let da = m.sq_dist(i, a).sqrt();
+                let db = m.sq_dist(i, b).sqrt();
+                assert!(
+                    (da - db).abs() <= 1e-5 * da.max(1.0),
+                    "row {i} slot {slot}: neighbours {a} ({da}) vs {b} ({db}) \
+                     differ without an f32-resolution tie to excuse it"
+                );
+            }
+        }
+    }
+}
+
+/// Precision-invariance under row duplication: appending bitwise copies
+/// of existing rows must (a) give each copy a *exactly-zero* nearest-
+/// neighbour distance in the f32 table (the widened-norm cancellation
+/// guarantee), and (b) leave every original row's neighbour ranking a
+/// prefix-preserving superset — filtering the appended indices out of
+/// the new list recovers a prefix of the old one, because original
+/// pairwise distances are bit-identical and ties break toward the
+/// smaller (original) index.
+#[test]
+fn f32_knn_ranks_survive_row_duplication() {
+    let (ds, _, _) = planted();
+    let n = ds.n_rows();
+    let k = 8;
+    let dups = [0usize, 57, 123];
+    let widened = {
+        let mut rows: Vec<Vec<f64>> = (0..n).map(|i| ds.row(i).to_vec()).collect();
+        for &src in &dups {
+            rows.push(ds.row(src).to_vec());
+        }
+        Dataset::from_rows(rows).unwrap()
+    };
+
+    let base = knn_table_blocked_f32(&ds.full_matrix(), k);
+    let wide = knn_table_blocked_f32(&widened.full_matrix(), k);
+    let wide64 = knn_table_blocked(&widened.full_matrix(), k);
+
+    for (a, &src) in dups.iter().enumerate() {
+        let appended = n + a;
+        // The copy is its source's nearest neighbour at exactly 0.0,
+        // and vice versa — in the f32 table just like the f64 one.
+        assert_eq!(wide.neighbors(src)[0], appended, "source {src}");
+        assert_eq!(wide.distances(src)[0], 0.0, "source {src}");
+        assert_eq!(wide.neighbors(appended)[0], src, "copy {appended}");
+        assert_eq!(wide.distances(appended)[0], 0.0, "copy {appended}");
+        assert_eq!(wide64.distances(src)[0], 0.0, "f64 source {src}");
+    }
+    for i in 0..n {
+        let filtered: Vec<usize> = wide
+            .neighbors(i)
+            .iter()
+            .copied()
+            .filter(|&j| j < n)
+            .collect();
+        assert_eq!(
+            filtered.as_slice(),
+            &base.neighbors(i)[..filtered.len()],
+            "row {i}: originals must keep their relative order"
+        );
+    }
 }
 
 /// Tight cluster plus three planted outliers at strictly increasing

@@ -1,0 +1,294 @@
+//! Crosscheck layer for the unrolled distance/angle kernels: every
+//! fast path is proven against the scalar f64 reference on the
+//! `golden-6d` fixture (the same construction `tests/golden_grid.rs`
+//! pins byte-for-byte).
+//!
+//! Three tiers of strictness:
+//!
+//! * **f64 lanes: byte stability.** The unrolled block kernel and the
+//!   dot4-batched angle kernel must reproduce the scalar reference to
+//!   the last bit — this is what lets the golden artifacts survive the
+//!   SIMD rewrite without re-blessing.
+//! * **f32 storage: bounded ULP drift.** The f32 path's only error is
+//!   one rounding per gathered element, so squared distances must sit
+//!   within a small multiple of `f32::EPSILON` *of the operand norms*
+//!   (norm-trick cancellation means the bound scales with the norms,
+//!   not the distance).
+//! * **f32 storage: rank invariance.** Neighbour identities and
+//!   detector outlier rankings may differ from f64 only across
+//!   f32-resolution ties — on the decisively-separated golden fixture
+//!   that means not at all.
+
+use anomex_dataset::{view::dot, Dataset, Subspace};
+use anomex_detectors::kernels::{knn_table_blocked, knn_table_blocked_f32, GatheredMatrix};
+use anomex_detectors::knn::knn_table_with;
+use anomex_detectors::simd::GatheredMatrixF32;
+use anomex_detectors::{Detector, FastAbod, KnnDist, Lof, NeighborBackend, Precision};
+use anomex_stats::descriptive::OnlineMoments;
+
+/// SplitMix64 — identical to the `golden_grid` fixture's generator.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn jitter(&mut self) -> f64 {
+        (self.next_f64() - 0.5) * 0.1
+    }
+}
+
+/// The `golden-6d` rows: 100 inliers on a jittered cluster lattice plus
+/// outliers A/B/C at rows 100–102 (see `tests/golden_grid.rs`).
+fn golden_rows() -> Dataset {
+    let mut rng = SplitMix64(0x5EED_601D_E421);
+    let centers = [0.2, 0.8];
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(103);
+    for i in 0..100usize {
+        let t = i as f64 / 99.0;
+        let b2 = [0, 1, 0, 1][i % 4];
+        let b3 = [0, 0, 1, 1][i % 4];
+        let b4 = b2 ^ b3;
+        rows.push(vec![
+            t,
+            t,
+            centers[b2] + rng.jitter(),
+            centers[b3] + rng.jitter(),
+            centers[b4] + rng.jitter(),
+            rng.next_f64(),
+        ]);
+    }
+    rows.push(vec![
+        0.05,
+        0.95,
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+    rows.push(vec![
+        0.95,
+        0.05,
+        centers[1] + rng.jitter(),
+        centers[0] + rng.jitter(),
+        centers[1] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+    rows.push(vec![
+        0.5,
+        0.5,
+        centers[1] + rng.jitter(),
+        centers[1] + rng.jitter(),
+        centers[1] + rng.jitter(),
+        rng.next_f64(),
+    ]);
+    Dataset::from_rows(rows).unwrap()
+}
+
+/// Error budget for one f32 rounding per gathered element, folded
+/// through a d ≤ 6 norm-trick distance: a comfortable multiple of
+/// `f32::EPSILON` against the operand-norm scale.
+const F32_ULP_BUDGET: f64 = 32.0 * (f32::EPSILON as f64);
+
+/// The f64 SIMD block kernel is bit-identical to the scalar reference
+/// on the golden fixture — in the full 6-d space and in the 2d/3d
+/// subspace projections the golden MAP grid actually scans.
+#[test]
+fn golden_f64_blocks_are_byte_stable() {
+    let ds = golden_rows();
+    let subspaces = [
+        Subspace::new(0usize..6),
+        Subspace::new([0usize, 1]),
+        Subspace::new([2usize, 3, 4]),
+        Subspace::new([1usize, 5]),
+        Subspace::single(3),
+    ];
+    for s in &subspaces {
+        let m = ds.project(s);
+        let n = m.n_rows();
+        let g = GatheredMatrix::new(&m);
+        let mut fast = vec![0.0; 8 * n];
+        let mut reference = vec![0.0; 8 * n];
+        let mut i0 = 0;
+        while i0 < n {
+            let i1 = (i0 + 8).min(n);
+            g.sq_dists_block_into(i0, i1, &mut fast);
+            g.sq_dists_block_scalar_into(i0, i1, &mut reference);
+            let len = (i1 - i0) * n;
+            for (slot, (a, b)) in fast[..len].iter().zip(&reference[..len]).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{s:?} block {i0}..{i1} slot {slot}: {a} vs {b}"
+                );
+            }
+            i0 = i1;
+        }
+    }
+}
+
+/// The dot4-batched angle kernel is bit-identical to the textbook
+/// serial Fast ABOD loop over the same neighbour sets.
+#[test]
+fn golden_angle_kernel_is_byte_stable() {
+    let ds = golden_rows();
+    let m = ds.full_matrix();
+    let k = 10;
+    let abod = FastAbod::new(k)
+        .unwrap()
+        .with_backend(NeighborBackend::Exact);
+    let scores = abod.score_all(&m);
+    let knn = knn_table_with(&m, k, NeighborBackend::Exact);
+
+    for (p, score) in scores.iter().enumerate() {
+        let rp = m.row(p);
+        let diffs: Vec<Vec<f64>> = knn
+            .neighbors(p)
+            .iter()
+            .map(|&o| m.row(o).iter().zip(rp).map(|(a, b)| a - b).collect())
+            .collect();
+        let norms: Vec<f64> = diffs.iter().map(|v| dot(v, v)).collect();
+        let mut moments = OnlineMoments::new();
+        for i in 0..diffs.len() {
+            if norms[i] == 0.0 {
+                continue;
+            }
+            for j in i + 1..diffs.len() {
+                if norms[j] == 0.0 {
+                    continue;
+                }
+                moments.push(dot(&diffs[i], &diffs[j]) / (norms[i] * norms[j]));
+            }
+        }
+        let var = if moments.count() < 2 {
+            1e6
+        } else {
+            moments.population_variance()
+        };
+        let want = -(var.max(1e-300)).ln();
+        assert_eq!(
+            score.to_bits(),
+            want.to_bits(),
+            "point {p}: {score} vs {want}"
+        );
+    }
+}
+
+/// f32 squared distances track the f64 kernel within the single-
+/// precision ULP budget on every golden block.
+#[test]
+fn golden_f32_distances_stay_within_ulp_budget() {
+    let ds = golden_rows();
+    let m = ds.full_matrix();
+    let n = m.n_rows();
+    let g64 = GatheredMatrix::new(&m);
+    let g32 = GatheredMatrixF32::new(&m);
+    let mut wide = vec![0.0; 8 * n];
+    let mut narrow = vec![0.0; 8 * n];
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + 8).min(n);
+        g64.sq_dists_block_into(i0, i1, &mut wide);
+        g32.sq_dists_block_into(i0, i1, &mut narrow);
+        for bi in 0..(i1 - i0) {
+            for j in 0..n {
+                let a = wide[bi * n + j];
+                let b = narrow[bi * n + j];
+                let scale = g64.sq_norms()[i0 + bi] + g64.sq_norms()[j] + 1.0;
+                assert!(
+                    (a - b).abs() <= F32_ULP_BUDGET * scale,
+                    "({},{j}): {a} vs {b} (budget {})",
+                    i0 + bi,
+                    F32_ULP_BUDGET * scale
+                );
+            }
+        }
+        i0 = i1;
+    }
+}
+
+/// On the decisively-separated golden fixture the f32 kNN table agrees
+/// with the f64 table on every neighbour identity, and distances agree
+/// to single precision.
+#[test]
+fn golden_f32_knn_ranks_match_f64() {
+    let ds = golden_rows();
+    let m = ds.full_matrix();
+    let k = 10;
+    let wide = knn_table_blocked(&m, k);
+    let narrow = knn_table_blocked_f32(&m, k);
+    assert_eq!(wide.k(), narrow.k());
+    for i in 0..m.n_rows() {
+        assert_eq!(wide.neighbors(i), narrow.neighbors(i), "row {i}");
+        for (a, b) in wide.distances(i).iter().zip(narrow.distances(i)) {
+            assert!((a - b).abs() <= 1e-5 * a.max(1.0), "row {i}: {a} vs {b}");
+        }
+    }
+}
+
+/// Detector-level agreement: for LOF, kNN-distance and Fast ABOD the
+/// f32 scores track f64 closely, and every score pair the f64 run
+/// separates by more than working-precision noise keeps its order
+/// under f32 — outlier rankings are precision-invariant.
+#[test]
+fn golden_detector_rankings_are_precision_invariant() {
+    let ds = golden_rows();
+    let m = ds.full_matrix();
+    let detectors: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
+        (
+            "lof",
+            Lof::new(10).unwrap().score_all(&m),
+            Lof::new(10)
+                .unwrap()
+                .with_precision(Precision::F32)
+                .score_all(&m),
+        ),
+        (
+            "knndist",
+            KnnDist::new(10).unwrap().score_all(&m),
+            KnnDist::new(10)
+                .unwrap()
+                .with_precision(Precision::F32)
+                .score_all(&m),
+        ),
+        (
+            "fastabod",
+            FastAbod::new(10).unwrap().score_all(&m),
+            FastAbod::new(10)
+                .unwrap()
+                .with_precision(Precision::F32)
+                .score_all(&m),
+        ),
+    ];
+    for (name, wide, narrow) in &detectors {
+        assert_eq!(wide.len(), narrow.len(), "{name}");
+        for (i, (a, b)) in wide.iter().zip(narrow).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+                "{name} row {i}: {a} vs {b}"
+            );
+        }
+        for i in 0..wide.len() {
+            for j in (i + 1)..wide.len() {
+                let margin = (wide[i] - wide[j]).abs();
+                if margin > 1e-3 * wide[i].abs().max(1.0) {
+                    assert_eq!(
+                        wide[i] > wide[j],
+                        narrow[i] > narrow[j],
+                        "{name}: rows {i}/{j} flipped order under f32 \
+                         despite an f64 margin of {margin}"
+                    );
+                }
+            }
+        }
+    }
+}
